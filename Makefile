@@ -1,0 +1,52 @@
+# branchcost — reproduction of Hwu/Conte/Chang, ISCA 1989.
+
+GO ?= go
+
+.PHONY: all build test vet bench repro tables figures ablations fuzz goldens clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode trims the differential fuzzer's program count.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's full evaluation (tables, figures, ablations).
+repro:
+	$(GO) run ./cmd/branchsim -all
+
+tables:
+	for t in 1 2 3 4 5; do $(GO) run ./cmd/branchsim -table $$t; done
+
+figures:
+	$(GO) run ./cmd/branchsim -figure 3
+	$(GO) run ./cmd/branchsim -figure 4
+
+ablations:
+	for a in counter btbsize assoc ctxswitch static cycle scaling \
+	         delay icache crossval opt superscalar hwcost sensitivity traces; do \
+		$(GO) run ./cmd/branchsim -ablate $$a; done
+
+# Front-end fuzzing (30 s each target).
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/lang
+	$(GO) test -fuzz FuzzInterp -fuzztime 30s ./internal/lang
+
+# Rewrite the golden snapshots after a deliberate behaviour change.
+goldens:
+	$(GO) test ./internal/experiments -run TestTableGoldens -update
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,158 @@
+// Package branchcost reproduces Hwu, Conte and Chang, "Comparing Software
+// and Hardware Schemes For Reducing the Cost of Branches" (ISCA 1989).
+//
+// It provides, end to end, everything the paper's evaluation needs:
+//
+//   - an MC (mini-C) compiler targeting a compare-and-branch register ISA
+//     (internal/lang, internal/compile, internal/isa);
+//   - a functional simulator streaming branch events (internal/vm);
+//   - a profiler (internal/profile);
+//   - the two hardware schemes — Simple and Counter-based Branch Target
+//     Buffers (internal/btb);
+//   - the software scheme — the Forward Semantic: profile-guided likely
+//     bits, trace selection, and forward-slot filling (internal/fs);
+//   - the pipeline cost model and a cycle-level validator
+//     (internal/pipeline);
+//   - the paper's 12 benchmarks re-implemented in MC (internal/workloads);
+//   - and harnesses regenerating every table and figure
+//     (internal/experiments).
+//
+// This root package is the stable façade: it re-exports the types and
+// functions a user composes, so typical programs import only branchcost.
+// The examples/ directory shows complete programs built on it.
+package branchcost
+
+import (
+	"branchcost/internal/btb"
+	"branchcost/internal/compile"
+	"branchcost/internal/core"
+	"branchcost/internal/fs"
+	"branchcost/internal/isa"
+	"branchcost/internal/opt"
+	"branchcost/internal/pipeline"
+	"branchcost/internal/predict"
+	"branchcost/internal/profile"
+	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
+)
+
+// Program is a compiled executable image (see internal/isa).
+type Program = isa.Program
+
+// Inst is one machine instruction.
+type Inst = isa.Inst
+
+// Compile translates MC source files (sharing one global namespace, with a
+// main function) into a Program.
+func Compile(sources ...string) (*Program, error) { return compile.Compile(sources...) }
+
+// Optimize runs the optimizer (constant folding, copy propagation, dead
+// writes, redundant load elimination) over an untransformed program.
+func Optimize(p *Program) (*Program, error) { return opt.Optimize(p) }
+
+// RunConfig bounds a program execution.
+type RunConfig = vm.Config
+
+// RunResult is the outcome of one execution.
+type RunResult = vm.Result
+
+// BranchEvent describes one executed branch, as seen by predictors.
+type BranchEvent = vm.BranchEvent
+
+// BranchFunc observes executed branches during a run.
+type BranchFunc = vm.BranchFunc
+
+// Run executes a program on the given input; hook (optional) observes every
+// branch.
+func Run(p *Program, input []byte, hook BranchFunc, cfg RunConfig) (RunResult, error) {
+	return vm.Run(p, input, hook, cfg)
+}
+
+// Profile holds merged branch statistics across runs.
+type Profile = profile.Profile
+
+// CollectProfile runs the program over the input suite and returns its
+// profile (the paper's probe-based profiling step).
+func CollectProfile(p *Program, inputs [][]byte) (*Profile, error) {
+	prof := profile.New()
+	col := &profile.Collector{P: prof}
+	hook := col.Hook()
+	for _, in := range inputs {
+		res, err := vm.Run(p, in, hook, vm.Config{})
+		if err != nil {
+			return nil, err
+		}
+		prof.Steps += res.Steps
+		prof.Runs++
+	}
+	return prof, nil
+}
+
+// Predictor is the branch-prediction scheme abstraction; Prediction and
+// PredictionStats score it over a branch stream.
+type (
+	Predictor       = predict.Predictor
+	Prediction      = predict.Prediction
+	PredictionStats = predict.Stats
+	Evaluator       = predict.Evaluator
+)
+
+// NewSBTB returns the paper's Simple Branch Target Buffer (256-entry fully
+// associative with NewSBTB(256, 256)).
+func NewSBTB(entries, assoc int) Predictor { return btb.NewSBTB(entries, assoc) }
+
+// NewCBTB returns the paper's Counter-based Branch Target Buffer (paper
+// configuration: NewCBTB(256, 256, 2, 2)).
+func NewCBTB(entries, assoc, counterBits int, threshold uint8) Predictor {
+	return btb.NewCBTB(entries, assoc, counterBits, threshold)
+}
+
+// NewLikelyBit returns the Forward Semantic's predictor: it follows the
+// compiler's likely-taken bit carried by the (transformed) program.
+func NewLikelyBit(p *Program) Predictor {
+	return predict.LikelyBit{Targets: predict.ProgramTargets{Prog: p}}
+}
+
+// TransformResult is the outcome of the Forward Semantic transform.
+type TransformResult = fs.Result
+
+// Transform applies the Forward Semantic to a program: likely bits from the
+// profile, trace selection and layout, and slotCount (= k+ℓ) forward slots
+// after every predicted-taken trace-ending branch.
+func Transform(p *Program, prof *Profile, slotCount int) (*TransformResult, error) {
+	return fs.Transform(p, prof, slotCount)
+}
+
+// PipelineConfig is one operating point (k, ℓ̄, m̄) of the paper's cost
+// model: cost = A + (k+ℓ̄+m̄)(1−A) cycles per branch.
+type PipelineConfig = pipeline.Config
+
+// Config selects hardware parameters for a full evaluation; the zero value
+// is the paper's configuration.
+type Config = core.Config
+
+// Eval is the complete measurement of one benchmark under all three
+// schemes.
+type Eval = core.Eval
+
+// Evaluate measures all three schemes on a program: profiling on
+// profInputs, scoring on evalInputs (pass the same suite for the paper's
+// methodology).
+func Evaluate(name string, p *Program, profInputs, evalInputs [][]byte, cfg Config) (*Eval, error) {
+	return core.Evaluate(name, p, profInputs, evalInputs, cfg)
+}
+
+// Benchmark is a member of the paper's workload suite.
+type Benchmark = workloads.Benchmark
+
+// Benchmarks returns the full suite (ten primary benchmarks in the paper's
+// order, then eqn and espresso).
+func Benchmarks() []*Benchmark { return workloads.All() }
+
+// BenchmarkByName looks up one benchmark.
+func BenchmarkByName(name string) (*Benchmark, error) { return workloads.ByName(name) }
+
+// EvaluateBenchmark measures one suite benchmark with its input suite.
+func EvaluateBenchmark(b *Benchmark, cfg Config) (*Eval, error) {
+	return core.EvaluateBenchmark(b, cfg)
+}

@@ -1,0 +1,145 @@
+// Command bcc compiles MC source files and optionally applies the Forward
+// Semantic transform, printing the resulting machine code.
+//
+// Usage:
+//
+//	bcc prog.mc                       # compile and disassemble
+//	bcc -run -in input.txt prog.mc    # compile and execute on an input file
+//	bcc -slots 4 -in input.txt prog.mc
+//	                                  # profile on the input, transform with
+//	                                  # k+l = 4 slots, disassemble the layout
+//	bcc -stats -slots 4 -in a -in b prog.mc
+//	                                  # transform statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"branchcost"
+	"branchcost/internal/asm"
+	"branchcost/internal/profile"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var inputs multiFlag
+	var (
+		run      = flag.Bool("run", false, "execute the program on the input(s)")
+		slots    = flag.Int("slots", 0, "apply the Forward Semantic with k+l slots (profiles on the inputs)")
+		statOnly = flag.Bool("stats", false, "print transform statistics instead of a disassembly")
+		optimize = flag.Bool("O", false, "run the optimizer before anything else")
+		profPath = flag.String("profile", "", "use a saved profile (bprof -o) instead of profiling on the inputs")
+		emitAsm  = flag.Bool("S", false, "emit assembly instead of a disassembly listing")
+		fromAsm  = flag.Bool("asm", false, "treat the source files as assembly, not MC")
+	)
+	flag.Var(&inputs, "in", "input file (repeatable; default: empty input)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "bcc: no source files")
+		os.Exit(2)
+	}
+
+	var sources []string
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		sources = append(sources, string(src))
+	}
+	var prog *branchcost.Program
+	var err error
+	if *fromAsm {
+		prog, err = asm.Parse(strings.Join(sources, "\n"))
+	} else {
+		prog, err = branchcost.Compile(sources...)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *optimize {
+		if prog, err = branchcost.Optimize(prog); err != nil {
+			fail(err)
+		}
+	}
+
+	ins := readInputs(inputs)
+
+	if *run {
+		for i, in := range ins {
+			res, err := branchcost.Run(prog, in, nil, branchcost.RunConfig{})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("-- run %d: %d instructions, %d branches --\n", i, res.Steps, res.Branches)
+			os.Stdout.Write(res.Output)
+		}
+		return
+	}
+
+	if *slots > 0 {
+		var prof *branchcost.Profile
+		if *profPath != "" {
+			f, err := os.Open(*profPath)
+			if err != nil {
+				fail(err)
+			}
+			prof, err = profile.Load(f)
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+		} else if prof, err = branchcost.CollectProfile(prog, ins); err != nil {
+			fail(err)
+		}
+		res, err := branchcost.Transform(prog, prof, *slots)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("forward semantic: %d -> %d instructions (%.2f%% growth), "+
+			"%d traces, %d likely branches, %d slot copies, %d nops, %d fixup jumps\n",
+			res.OrigSize, res.NewSize, 100*res.CodeGrowth(), res.NumTraces,
+			res.LikelyBranches, res.SlotInsts, res.NopPadding, res.FixupJumps)
+		if !*statOnly {
+			fmt.Print(res.Prog.Disassemble())
+		}
+		return
+	}
+
+	if *emitAsm {
+		text, err := asm.Format(prog)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(text)
+		return
+	}
+	fmt.Print(prog.Disassemble())
+}
+
+func readInputs(paths []string) [][]byte {
+	if len(paths) == 0 {
+		return [][]byte{nil}
+	}
+	var out [][]byte
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fail(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "bcc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command bprof profiles an MC program (or a named suite benchmark) and
+// prints its branch statistics — the view the paper's profiling compiler
+// works from.
+//
+// Usage:
+//
+//	bprof -bench grep                 # profile a suite benchmark
+//	bprof -in input.txt prog.mc       # profile an MC program on input files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchcost"
+	"branchcost/internal/stats"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var inputs multiFlag
+	bench := flag.String("bench", "", "profile a suite benchmark instead of source files")
+	outPath := flag.String("o", "", "save the profile as JSON to this path")
+	flag.Var(&inputs, "in", "input file (repeatable)")
+	flag.Parse()
+
+	var prog *branchcost.Program
+	var ins [][]byte
+	var err error
+	switch {
+	case *bench != "":
+		b, err2 := branchcost.BenchmarkByName(*bench)
+		if err2 != nil {
+			fail(err2)
+		}
+		prog, err = b.Program()
+		if err != nil {
+			fail(err)
+		}
+		ins = b.Inputs()
+	case flag.NArg() > 0:
+		var sources []string
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fail(err)
+			}
+			sources = append(sources, string(src))
+		}
+		prog, err = branchcost.Compile(sources...)
+		if err != nil {
+			fail(err)
+		}
+		for _, p := range inputs {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				fail(err)
+			}
+			ins = append(ins, data)
+		}
+		if len(ins) == 0 {
+			ins = [][]byte{nil}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "bprof: need -bench or source files")
+		os.Exit(2)
+	}
+
+	prof, err := branchcost.CollectProfile(prog, ins)
+	if err != nil {
+		fail(err)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := prof.Save(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "profile saved to %s\n", *outPath)
+	}
+	s := prof.Summarize()
+	fmt.Print(prof)
+	fmt.Printf("\ncontrol:          %s of %d instructions\n", stats.Pct(s.ControlFraction()), s.Steps)
+	fmt.Printf("conditionals:     %s taken (%d of %d)\n",
+		stats.Pct(s.CondTakenFraction()), s.CondTaken, s.CondExec)
+	fmt.Printf("unconditionals:   %s known target (%d of %d)\n",
+		stats.Pct(s.KnownFraction()), s.UncondKnown, s.UncondExec)
+	fmt.Printf("static sites:     %d conditional, %d unconditional\n", s.StaticCond, s.StaticUncond)
+	fmt.Printf("likely-bit A_FS:  %s (profile self-prediction)\n", stats.Pct(prof.StaticAccuracy()))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "bprof: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,201 @@
+// Command branchsim regenerates the paper's evaluation: Tables 1–5,
+// Figures 3–4, the introduction's headline comparison, and the ablations.
+//
+// Usage:
+//
+//	branchsim -all                 # everything (default when no flag given)
+//	branchsim -table 3             # one table (1..5)
+//	branchsim -figure 3            # one figure (3 or 4)
+//	branchsim -headline            # the introduction's cycles/branch numbers
+//	branchsim -ablate counter      # counter|btbsize|assoc|ctxswitch|static|cycle|scaling
+//	branchsim -bench grep -table 3 # restrict ablations to one benchmark
+//
+// Hardware configuration knobs (-entries, -assoc, -bits, -threshold,
+// -slots) default to the paper's configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"branchcost/internal/core"
+	"branchcost/internal/experiments"
+	"branchcost/internal/stats"
+	"branchcost/internal/workloads"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate one table (1..5)")
+		figure   = flag.Int("figure", 0, "regenerate one figure (3 or 4)")
+		headline = flag.Bool("headline", false, "regenerate the introduction's comparison")
+		ablate   = flag.String("ablate", "", "ablation: counter|btbsize|assoc|ctxswitch|static|cycle|scaling|crossval|icache|delay|opt|superscalar|hwcost|sensitivity|traces")
+		all      = flag.Bool("all", false, "regenerate everything")
+		benchSel = flag.String("bench", "", "comma-separated benchmark subset for ablations (default: all primary)")
+
+		entries   = flag.Int("entries", 256, "BTB entries")
+		assoc     = flag.Int("assoc", 256, "BTB associativity")
+		bits      = flag.Int("bits", 2, "CBTB counter bits")
+		threshold = flag.Int("threshold", 2, "CBTB counter threshold")
+		slots     = flag.Int("slots", 2, "forward slots (k+l) for the measured FS binary")
+		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
+		format    = flag.String("format", "text", "table output format: text|csv|md")
+	)
+	flag.Parse()
+
+	outputFormat = *format
+	cfg := core.Config{
+		SBTBEntries: *entries, SBTBAssoc: *assoc,
+		CBTBEntries: *entries, CBTBAssoc: *assoc,
+		CounterBits: *bits, CounterThreshold: uint8(*threshold),
+		EvalSlots: *slots,
+	}
+	suite := experiments.NewSuite(cfg)
+
+	names := benchNames(*benchSel)
+
+	nothing := *table == 0 && *figure == 0 && !*headline && *ablate == "" && !*all
+	if nothing {
+		*all = true
+	}
+
+	run := func(label string, f func() (string, error)) {
+		start := time.Now()
+		text, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "branchsim: %s: %v\n", label, err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+		if *timing {
+			fmt.Printf("[%s took %v]\n\n", label, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	tables := map[int]func() (string, error){
+		1: func() (string, error) { _, t, err := experiments.Table1(suite); return render(t, err) },
+		2: func() (string, error) { _, t, err := experiments.Table2(suite); return render(t, err) },
+		3: func() (string, error) { _, t, err := experiments.Table3(suite); return render(t, err) },
+		4: func() (string, error) { _, t, err := experiments.Table4(suite); return render(t, err) },
+		5: func() (string, error) { _, t, err := experiments.Table5(suite); return render(t, err) },
+	}
+	figures := map[int][]int{3: {1, 2}, 4: {4, 8}}
+
+	if *all || *table > 0 {
+		for i := 1; i <= 5; i++ {
+			if *all || *table == i {
+				run(fmt.Sprintf("table %d", i), tables[i])
+			}
+		}
+	}
+	if *all || *figure > 0 {
+		for _, fig := range []int{3, 4} {
+			if *all || *figure == fig {
+				for _, k := range figures[fig] {
+					k := k
+					run(fmt.Sprintf("figure %d (k=%d)", fig, k), func() (string, error) {
+						_, text, err := experiments.Figure(suite, k, 8)
+						return text, err
+					})
+				}
+			}
+		}
+	}
+	if *all || *headline {
+		run("headline", func() (string, error) {
+			_, t, err := experiments.Headline(suite)
+			return render(t, err)
+		})
+		run("scaling", func() (string, error) {
+			_, t, err := experiments.Scaling(suite)
+			return render(t, err)
+		})
+	}
+
+	ablations := map[string]func() (string, error){
+		"counter": func() (string, error) { _, t, err := experiments.CounterSweep(names); return render(t, err) },
+		"btbsize": func() (string, error) { _, t, err := experiments.SizeSweep(names); return render(t, err) },
+		"assoc":   func() (string, error) { _, t, err := experiments.AssocSweep(names); return render(t, err) },
+		"ctxswitch": func() (string, error) {
+			_, t, err := experiments.ContextSwitch(names)
+			return render(t, err)
+		},
+		"static": func() (string, error) { _, t, err := experiments.StaticSchemes(names); return render(t, err) },
+		"cycle":  func() (string, error) { _, t, err := experiments.CycleCheck(names); return render(t, err) },
+		"scaling": func() (string, error) {
+			_, t, err := experiments.Scaling(suite)
+			return render(t, err)
+		},
+		"crossval": func() (string, error) { _, t, err := experiments.CrossVal(names); return render(t, err) },
+		"icache": func() (string, error) {
+			_, t, err := experiments.ICache(suite, names, []int{2, 4, 8})
+			return render(t, err)
+		},
+		"delay": func() (string, error) {
+			_, t, err := experiments.DelayedBranch(suite, names, 2, 1)
+			return render(t, err)
+		},
+		"opt": func() (string, error) { _, t, err := experiments.Optimizer(names); return render(t, err) },
+		"superscalar": func() (string, error) {
+			_, t, err := experiments.Superscalar(suite, names)
+			return render(t, err)
+		},
+		"hwcost": func() (string, error) {
+			_, t, err := experiments.HardwareCost(suite, names)
+			return render(t, err)
+		},
+		"sensitivity": func() (string, error) {
+			_, t, err := experiments.Sensitivity(names, 3)
+			return render(t, err)
+		},
+		"traces": func() (string, error) {
+			_, t, err := experiments.TraceSelection(suite, names)
+			return render(t, err)
+		},
+	}
+	if *ablate != "" {
+		f, ok := ablations[*ablate]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "branchsim: unknown ablation %q\n", *ablate)
+			os.Exit(2)
+		}
+		run("ablation "+*ablate, f)
+	}
+	if *all {
+		for _, name := range []string{"counter", "btbsize", "assoc", "ctxswitch", "static", "cycle", "crossval", "icache", "delay", "opt", "superscalar", "hwcost", "sensitivity", "traces"} {
+			run("ablation "+name, ablations[name])
+		}
+	}
+}
+
+func render(t *stats.Table, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return t.Render(outputFormat)
+}
+
+// outputFormat is set from -format before any experiment runs.
+var outputFormat string
+
+func benchNames(sel string) []string {
+	if sel == "" {
+		var names []string
+		for _, b := range workloads.Primary() {
+			names = append(names, b.Name)
+		}
+		return names
+	}
+	parts := strings.Split(sel, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if _, err := workloads.ByName(parts[i]); err != nil {
+			fmt.Fprintf(os.Stderr, "branchsim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	return parts
+}

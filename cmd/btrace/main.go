@@ -1,0 +1,158 @@
+// Command btrace records and replays branch traces (trace-driven
+// simulation, the methodology of the paper's era).
+//
+// Usage:
+//
+//	btrace -record -bench grep -o grep.bt     # record a benchmark's trace
+//	btrace -record -o prog.bt prog.mc         # record an MC program (empty input)
+//	btrace grep.bt                             # replay through all schemes
+//	btrace -scheme cbtb -entries 64 grep.bt    # one scheme, custom geometry
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"branchcost"
+	"branchcost/internal/btb"
+	"branchcost/internal/predict"
+	"branchcost/internal/tracefile"
+	"branchcost/internal/vm"
+)
+
+func main() {
+	var (
+		record  = flag.Bool("record", false, "record a trace instead of replaying")
+		bench   = flag.String("bench", "", "benchmark to record")
+		out     = flag.String("o", "trace.bt", "output path when recording")
+		scheme  = flag.String("scheme", "", "replay one scheme: sbtb|cbtb|taken|nottaken|btfnt (default: all)")
+		entries = flag.Int("entries", 256, "BTB entries")
+		assoc   = flag.Int("assoc", 256, "BTB associativity")
+		bits    = flag.Int("bits", 2, "CBTB counter bits")
+		thresh  = flag.Int("threshold", 2, "CBTB threshold")
+	)
+	flag.Parse()
+
+	if *record {
+		doRecord(*bench, *out, flag.Args())
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "btrace: need a trace file to replay (or -record)")
+		os.Exit(2)
+	}
+	doReplay(flag.Arg(0), *scheme, *entries, *assoc, *bits, uint8(*thresh))
+}
+
+func doRecord(bench, out string, srcPaths []string) {
+	var prog *branchcost.Program
+	var inputs [][]byte
+	switch {
+	case bench != "":
+		b, err := branchcost.BenchmarkByName(bench)
+		if err != nil {
+			fail(err)
+		}
+		p, err := b.Program()
+		if err != nil {
+			fail(err)
+		}
+		prog, inputs = p, b.Inputs()
+	case len(srcPaths) > 0:
+		var sources []string
+		for _, path := range srcPaths {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fail(err)
+			}
+			sources = append(sources, string(src))
+		}
+		p, err := branchcost.Compile(sources...)
+		if err != nil {
+			fail(err)
+		}
+		prog, inputs = p, [][]byte{nil}
+	default:
+		fail(fmt.Errorf("need -bench or source files"))
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tw, err := tracefile.NewWriter(f)
+	if err != nil {
+		fail(err)
+	}
+	hook := tw.Hook()
+	var steps int64
+	for i, in := range inputs {
+		res, err := branchcost.Run(prog, in, hook, branchcost.RunConfig{})
+		if err != nil {
+			fail(fmt.Errorf("run %d: %w", i, err))
+		}
+		steps += res.Steps
+	}
+	if err := tw.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("recorded %d branch events (%d instructions, %d runs) to %s\n",
+		tw.Count(), steps, len(inputs), out)
+}
+
+func doReplay(path, scheme string, entries, assoc, bits int, thresh uint8) {
+	newPredictors := func() map[string]predict.Predictor {
+		all := map[string]predict.Predictor{
+			"sbtb":     btb.NewSBTB(entries, assoc),
+			"cbtb":     btb.NewCBTB(entries, assoc, bits, thresh),
+			"nottaken": predict.AlwaysNotTaken{},
+		}
+		if scheme != "" {
+			p, ok := all[scheme]
+			if !ok {
+				fail(fmt.Errorf("unknown scheme %q (trace replay has no program context for taken/btfnt targets)", scheme))
+			}
+			return map[string]predict.Predictor{scheme: p}
+		}
+		return all
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := tracefile.NewReader(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		fail(err)
+	}
+	preds := newPredictors()
+	evals := map[string]*predict.Evaluator{}
+	for name, p := range preds {
+		evals[name] = &predict.Evaluator{P: p}
+	}
+	err = tr.Replay(func(ev vm.BranchEvent) {
+		for _, e := range evals {
+			e.Observe(ev)
+		}
+	})
+	if err != nil {
+		fail(err)
+	}
+	for _, name := range []string{"sbtb", "cbtb", "nottaken"} {
+		e, ok := evals[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-9s accuracy %7.3f%%  miss ratio %.4f  (%d branches)\n",
+			name, 100*e.S.Accuracy(), e.S.MissRatio(), e.S.Branches)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "btrace: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module branchcost
+
+go 1.22

@@ -1,0 +1,490 @@
+// Package asm provides a textual assembly format for isa programs: Format
+// renders an untransformed program as assembly source with symbolic labels,
+// and Parse assembles such source back into an executable program. The two
+// round-trip exactly (asm.Parse(asm.Format(p)) reproduces p), which makes
+// the format suitable for golden files, hand-written test kernels, and
+// inspecting compiler output with cmd/bcc.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"branchcost/internal/isa"
+)
+
+// Format renders p as assembly text. The program must be untransformed
+// (forward slots have no textual representation).
+func Format(p *isa.Program) (string, error) {
+	if p.Loc != nil {
+		return "", fmt.Errorf("asm: cannot format a transformed program")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; branchcost assembly (%d instructions)\n", len(p.Code))
+	fmt.Fprintf(&b, ".words %d\n", p.Words)
+	if n := significantData(p.Data); n > 0 {
+		b.WriteString(".data")
+		for _, v := range p.Data[:n] {
+			fmt.Fprintf(&b, " %d", v)
+		}
+		b.WriteByte('\n')
+	}
+	if p.Entry != 0 {
+		fmt.Fprintf(&b, ".entry L%d\n", p.Entry)
+	}
+
+	// Label every control-flow target.
+	labeled := map[int32]bool{p.Entry: true}
+	for _, in := range p.Code {
+		switch {
+		case in.Op.IsCondBranch():
+			labeled[in.Target] = true
+		case in.Op == isa.JMP || in.Op == isa.CALL:
+			labeled[in.Target] = true
+		case in.Op == isa.JMPI:
+			for _, t := range in.Table {
+				labeled[t] = true
+			}
+		}
+	}
+
+	funcStart := map[int32]string{}
+	funcEnd := map[int32]bool{}
+	for _, f := range p.Funcs {
+		funcStart[f.Entry] = f.Name
+		funcEnd[f.End] = true
+	}
+
+	for i, in := range p.Code {
+		pos := int32(i)
+		if funcEnd[pos] {
+			b.WriteString("end\n")
+		}
+		if name, ok := funcStart[pos]; ok {
+			fmt.Fprintf(&b, "func %s\n", name)
+		}
+		if labeled[pos] {
+			fmt.Fprintf(&b, "L%d:\n", pos)
+		}
+		line, err := formatInst(in)
+		if err != nil {
+			return "", fmt.Errorf("asm: instruction %d: %w", i, err)
+		}
+		fmt.Fprintf(&b, "\t%s\n", line)
+	}
+	if funcEnd[int32(len(p.Code))] {
+		b.WriteString("end\n")
+	}
+	return b.String(), nil
+}
+
+func significantData(data []int64) int {
+	n := len(data)
+	for n > 0 && data[n-1] == 0 {
+		n--
+	}
+	return n
+}
+
+func formatInst(in isa.Inst) (string, error) {
+	likely := ""
+	if in.Likely {
+		likely = "!"
+	}
+	switch in.Op {
+	case isa.NOP, isa.HALT, isa.RET:
+		return in.Op.String(), nil
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.SLT, isa.SLE, isa.SEQ, isa.SNE:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs, in.Rt), nil
+	case isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.SHLI, isa.SHRI, isa.SLTI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs, in.Imm), nil
+	case isa.LDI:
+		return fmt.Sprintf("ldi r%d, %d", in.Rd, in.Imm), nil
+	case isa.MOV:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs), nil
+	case isa.LD:
+		return fmt.Sprintf("ld r%d, %d(r%d)", in.Rd, in.Imm, in.Rs), nil
+	case isa.ST:
+		return fmt.Sprintf("st %d(r%d), r%d", in.Imm, in.Rs, in.Rt), nil
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLE, isa.BGT:
+		return fmt.Sprintf("%s%s r%d, r%d, L%d", in.Op, likely, in.Rs, in.Rt, in.Target), nil
+	case isa.JMP:
+		return fmt.Sprintf("jmp%s L%d", likely, in.Target), nil
+	case isa.CALL:
+		return fmt.Sprintf("call L%d", in.Target), nil
+	case isa.JMPI:
+		parts := make([]string, len(in.Table))
+		for i, t := range in.Table {
+			parts[i] = fmt.Sprintf("L%d", t)
+		}
+		return fmt.Sprintf("jmpi r%d, [%s]", in.Rs, strings.Join(parts, ", ")), nil
+	case isa.IN:
+		return fmt.Sprintf("in r%d", in.Rd), nil
+	case isa.OUT:
+		return fmt.Sprintf("out r%d", in.Rs), nil
+	}
+	return "", fmt.Errorf("unsupported opcode %v", in.Op)
+}
+
+// Parse assembles source text into a program.
+func Parse(src string) (*isa.Program, error) {
+	p := &parser{labels: map[string]int32{}}
+	if err := p.firstPass(src); err != nil {
+		return nil, err
+	}
+	if err := p.secondPass(src); err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{
+		Code:  p.code,
+		Data:  p.data,
+		Words: p.words,
+		Funcs: p.funcs,
+		Entry: p.entry,
+	}
+	if prog.Words < len(prog.Data) {
+		prog.Words = len(prog.Data)
+	}
+	if prog.Words == 0 {
+		prog.Words = len(prog.Data)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: assembled program invalid: %w", err)
+	}
+	return prog, nil
+}
+
+type parser struct {
+	labels map[string]int32
+	code   []isa.Inst
+	data   []int64
+	words  int
+	funcs  []isa.FuncInfo
+	entry  int32
+
+	openFunc string
+	openAt   int32
+}
+
+// cleanLines splits source into semantic lines (comments stripped).
+func cleanLines(src string) []string {
+	raw := strings.Split(src, "\n")
+	out := make([]string, len(raw))
+	for i, l := range raw {
+		if idx := strings.IndexByte(l, ';'); idx >= 0 {
+			l = l[:idx]
+		}
+		out[i] = strings.TrimSpace(l)
+	}
+	return out
+}
+
+// firstPass records label positions.
+func (p *parser) firstPass(src string) error {
+	pos := int32(0)
+	for lineNo, l := range cleanLines(src) {
+		switch {
+		case l == "" || strings.HasPrefix(l, "."):
+		case strings.HasSuffix(l, ":"):
+			name := strings.TrimSuffix(l, ":")
+			if name == "" {
+				return fmt.Errorf("asm: line %d: empty label", lineNo+1)
+			}
+			if _, dup := p.labels[name]; dup {
+				return fmt.Errorf("asm: line %d: duplicate label %s", lineNo+1, name)
+			}
+			p.labels[name] = pos
+		case strings.HasPrefix(l, "func ") || l == "end":
+		default:
+			pos++
+		}
+	}
+	return nil
+}
+
+func (p *parser) resolve(lineNo int, label string) (int32, error) {
+	t, ok := p.labels[label]
+	if !ok {
+		return 0, fmt.Errorf("asm: line %d: undefined label %q", lineNo, label)
+	}
+	return t, nil
+}
+
+func (p *parser) secondPass(src string) error {
+	for lineNo0, l := range cleanLines(src) {
+		lineNo := lineNo0 + 1
+		switch {
+		case l == "" || strings.HasSuffix(l, ":"):
+		case strings.HasPrefix(l, ".words"):
+			v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(l, ".words")))
+			if err != nil {
+				return fmt.Errorf("asm: line %d: bad .words: %v", lineNo, err)
+			}
+			p.words = v
+		case strings.HasPrefix(l, ".data"):
+			for _, f := range strings.Fields(strings.TrimPrefix(l, ".data")) {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return fmt.Errorf("asm: line %d: bad .data value %q", lineNo, f)
+				}
+				p.data = append(p.data, v)
+			}
+		case strings.HasPrefix(l, ".entry"):
+			t, err := p.resolve(lineNo, strings.TrimSpace(strings.TrimPrefix(l, ".entry")))
+			if err != nil {
+				return err
+			}
+			p.entry = t
+		case strings.HasPrefix(l, "func "):
+			if p.openFunc != "" {
+				return fmt.Errorf("asm: line %d: func %s not closed before new func", lineNo, p.openFunc)
+			}
+			p.openFunc = strings.TrimSpace(strings.TrimPrefix(l, "func "))
+			p.openAt = int32(len(p.code))
+		case l == "end":
+			if p.openFunc == "" {
+				return fmt.Errorf("asm: line %d: end without func", lineNo)
+			}
+			p.funcs = append(p.funcs, isa.FuncInfo{Name: p.openFunc, Entry: p.openAt, End: int32(len(p.code))})
+			p.openFunc = ""
+		default:
+			in, err := p.parseInst(lineNo, l)
+			if err != nil {
+				return err
+			}
+			in.ID = int32(len(p.code))
+			if in.Op.IsCondBranch() {
+				in.Fall = in.ID + 1
+			}
+			p.code = append(p.code, in)
+		}
+	}
+	if p.openFunc != "" {
+		return fmt.Errorf("asm: func %s not closed", p.openFunc)
+	}
+	sort.Slice(p.funcs, func(i, j int) bool { return p.funcs[i].Entry < p.funcs[j].Entry })
+	return nil
+}
+
+var condOps = map[string]isa.Op{
+	"beq": isa.BEQ, "bne": isa.BNE, "blt": isa.BLT,
+	"bge": isa.BGE, "ble": isa.BLE, "bgt": isa.BGT,
+}
+
+var aluOps = map[string]isa.Op{
+	"add": isa.ADD, "sub": isa.SUB, "mul": isa.MUL, "div": isa.DIV,
+	"mod": isa.MOD, "and": isa.AND, "or": isa.OR, "xor": isa.XOR,
+	"shl": isa.SHL, "shr": isa.SHR, "slt": isa.SLT, "sle": isa.SLE,
+	"seq": isa.SEQ, "sne": isa.SNE,
+}
+
+var immOps = map[string]isa.Op{
+	"addi": isa.ADDI, "muli": isa.MULI, "andi": isa.ANDI, "ori": isa.ORI,
+	"shli": isa.SHLI, "shri": isa.SHRI, "slti": isa.SLTI,
+}
+
+func (p *parser) parseInst(lineNo int, l string) (isa.Inst, error) {
+	mnem, rest, _ := strings.Cut(l, " ")
+	likely := false
+	if strings.HasSuffix(mnem, "!") {
+		likely = true
+		mnem = strings.TrimSuffix(mnem, "!")
+	}
+	args := splitArgs(rest)
+	fail := func(msg string) (isa.Inst, error) {
+		return isa.Inst{}, fmt.Errorf("asm: line %d: %s in %q", lineNo, msg, l)
+	}
+
+	switch {
+	case mnem == "nop":
+		return isa.Inst{Op: isa.NOP}, nil
+	case mnem == "halt":
+		return isa.Inst{Op: isa.HALT}, nil
+	case mnem == "ret":
+		return isa.Inst{Op: isa.RET}, nil
+
+	case aluOps[mnem] != 0:
+		if len(args) != 3 {
+			return fail("want 3 operands")
+		}
+		rd, e1 := reg(args[0])
+		rs, e2 := reg(args[1])
+		rt, e3 := reg(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail("bad register")
+		}
+		return isa.Inst{Op: aluOps[mnem], Rd: rd, Rs: rs, Rt: rt}, nil
+
+	case immOps[mnem] != 0:
+		if len(args) != 3 {
+			return fail("want 3 operands")
+		}
+		rd, e1 := reg(args[0])
+		rs, e2 := reg(args[1])
+		imm, e3 := strconv.ParseInt(args[2], 10, 64)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return fail("bad operands")
+		}
+		return isa.Inst{Op: immOps[mnem], Rd: rd, Rs: rs, Imm: imm}, nil
+
+	case mnem == "ldi":
+		if len(args) != 2 {
+			return fail("want 2 operands")
+		}
+		rd, e1 := reg(args[0])
+		imm, e2 := strconv.ParseInt(args[1], 10, 64)
+		if e1 != nil || e2 != nil {
+			return fail("bad operands")
+		}
+		return isa.Inst{Op: isa.LDI, Rd: rd, Imm: imm}, nil
+
+	case mnem == "mov":
+		if len(args) != 2 {
+			return fail("want 2 operands")
+		}
+		rd, e1 := reg(args[0])
+		rs, e2 := reg(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("bad registers")
+		}
+		return isa.Inst{Op: isa.MOV, Rd: rd, Rs: rs}, nil
+
+	case mnem == "ld":
+		if len(args) != 2 {
+			return fail("want 2 operands")
+		}
+		rd, e1 := reg(args[0])
+		imm, rs, e2 := memOperand(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("bad operands")
+		}
+		return isa.Inst{Op: isa.LD, Rd: rd, Rs: rs, Imm: imm}, nil
+
+	case mnem == "st":
+		if len(args) != 2 {
+			return fail("want 2 operands")
+		}
+		imm, rs, e1 := memOperand(args[0])
+		rt, e2 := reg(args[1])
+		if e1 != nil || e2 != nil {
+			return fail("bad operands")
+		}
+		return isa.Inst{Op: isa.ST, Rs: rs, Rt: rt, Imm: imm}, nil
+
+	case condOps[mnem] != 0:
+		if len(args) != 3 {
+			return fail("want 3 operands")
+		}
+		rs, e1 := reg(args[0])
+		rt, e2 := reg(args[1])
+		t, e3 := p.resolve(lineNo, args[2])
+		if e1 != nil || e2 != nil {
+			return fail("bad registers")
+		}
+		if e3 != nil {
+			return isa.Inst{}, e3
+		}
+		return isa.Inst{Op: condOps[mnem], Rs: rs, Rt: rt, Target: t, Likely: likely}, nil
+
+	case mnem == "jmp" || mnem == "call":
+		if len(args) != 1 {
+			return fail("want 1 operand")
+		}
+		t, err := p.resolve(lineNo, args[0])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		op := isa.JMP
+		if mnem == "call" {
+			op = isa.CALL
+		}
+		return isa.Inst{Op: op, Target: t, Likely: likely && op == isa.JMP}, nil
+
+	case mnem == "jmpi":
+		if len(args) < 2 {
+			return fail("want register and table")
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return fail("bad register")
+		}
+		tblText := strings.Join(args[1:], ",")
+		tblText = strings.TrimPrefix(strings.TrimSuffix(strings.TrimSpace(tblText), "]"), "[")
+		var tbl []int32
+		for _, f := range strings.FieldsFunc(tblText, func(r rune) bool { return r == ',' || r == ' ' }) {
+			t, err := p.resolve(lineNo, strings.TrimSpace(f))
+			if err != nil {
+				return isa.Inst{}, err
+			}
+			tbl = append(tbl, t)
+		}
+		if len(tbl) == 0 {
+			return fail("empty jump table")
+		}
+		return isa.Inst{Op: isa.JMPI, Rs: rs, Table: tbl}, nil
+
+	case mnem == "in":
+		if len(args) != 1 {
+			return fail("want 1 operand")
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return fail("bad register")
+		}
+		return isa.Inst{Op: isa.IN, Rd: rd}, nil
+
+	case mnem == "out":
+		if len(args) != 1 {
+			return fail("want 1 operand")
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return fail("bad register")
+		}
+		return isa.Inst{Op: isa.OUT, Rs: rs}, nil
+	}
+	return fail("unknown mnemonic")
+}
+
+func splitArgs(rest string) []string {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func reg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// memOperand parses "disp(rN)".
+func memOperand(s string) (int64, uint8, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	disp, err := strconv.ParseInt(strings.TrimSpace(s[:open]), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad displacement in %q", s)
+	}
+	r, err := reg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return disp, r, nil
+}

@@ -1,0 +1,249 @@
+package asm_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"branchcost/internal/asm"
+	"branchcost/internal/isa"
+	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
+)
+
+// TestRoundTripBenchmarks formats and re-assembles every benchmark binary
+// and requires exact instruction equality plus identical execution.
+func TestRoundTripBenchmarks(t *testing.T) {
+	for _, b := range workloads.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := b.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			text, err := asm.Format(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := asm.Parse(text)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(back.Code) != len(prog.Code) {
+				t.Fatalf("code length %d != %d", len(back.Code), len(prog.Code))
+			}
+			for i := range prog.Code {
+				a, bI := prog.Code[i], back.Code[i]
+				// Fall is reconstructed as next; everything else must match.
+				a.Line = 0
+				bI.Line = 0
+				if !reflect.DeepEqual(a, bI) {
+					t.Fatalf("instruction %d differs:\n  have %+v\n  want %+v", i, bI, a)
+				}
+			}
+			if back.Entry != prog.Entry || back.Words < len(back.Data) {
+				t.Fatalf("header fields differ")
+			}
+			if !reflect.DeepEqual(back.Funcs, prog.Funcs) {
+				t.Fatalf("functions differ:\n%v\n%v", back.Funcs, prog.Funcs)
+			}
+			// Execution equivalence on one input.
+			in := b.Input(0)
+			want, err := vm.Run(prog, in, nil, vm.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := vm.Run(back, in, nil, vm.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want.Output, got.Output) || want.Steps != got.Steps {
+				t.Fatal("execution diverged after round trip")
+			}
+		})
+	}
+}
+
+const handWritten = `
+; a tiny kernel: copy input to output, uppercase a-z
+.words 64
+.data 0 0 5
+
+func main
+L0:
+	in    r4
+	slti  r5, r4, 0
+	bne   r5, r0, L9      ; EOF?
+	ldi   r5, 97
+	blt   r4, r5, L7      ; below 'a'
+	ldi   r5, 122
+	bgt   r4, r5, L7      ; above 'z'
+	addi  r4, r4, -32
+L7:
+	out   r4
+	jmp   L0
+L9:
+	halt
+end
+`
+
+func TestHandWrittenKernel(t *testing.T) {
+	p, err := asm.Parse(handWritten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, []byte("Hello, wOrld!"), nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "HELLO, WORLD!" {
+		t.Fatalf("output %q", res.Output)
+	}
+	if len(p.Funcs) != 1 || p.Funcs[0].Name != "main" {
+		t.Fatalf("funcs: %v", p.Funcs)
+	}
+	if p.Data[2] != 5 || p.Words != 64 {
+		t.Fatal("data/words lost")
+	}
+}
+
+func TestLikelyBitSyntax(t *testing.T) {
+	src := `
+func main
+L0:
+	ldi r4, 1
+	beq! r4, r0, L3
+	jmp! L0
+L3:
+	halt
+end
+`
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Code[1].Likely || !p.Code[2].Likely {
+		t.Fatal("likely bits lost")
+	}
+	text, err := asm.Format(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "beq!") || !strings.Contains(text, "jmp!") {
+		t.Fatalf("likely suffix not formatted:\n%s", text)
+	}
+}
+
+func TestJumpTableSyntax(t *testing.T) {
+	src := `
+func main
+L0:
+	in r4
+	jmpi r4, [L3, L4, L5]
+L3:
+	halt
+L4:
+	halt
+L5:
+	halt
+end
+`
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{2, 3, 4}
+	if !reflect.DeepEqual(p.Code[1].Table, want) {
+		t.Fatalf("table = %v, want %v", p.Code[1].Table, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown mnemonic", "func main\n\tfoo r1\nend"},
+		{"undefined label", "func main\n\tjmp NOPE\nend"},
+		{"duplicate label", "L0:\nL0:\nfunc main\n\thalt\nend"},
+		{"bad register", "func main\n\tldi r99, 1\nend"},
+		{"bad register name", "func main\n\tmov x4, r1\nend"},
+		{"unclosed func", "func main\n\thalt\n"},
+		{"end without func", "end"},
+		{"nested func", "func a\nfunc b\nend"},
+		{"bad mem operand", "func main\n\tld r4, 3[r1]\nend"},
+		{"bad words", ".words xyz\nfunc main\n\thalt\nend"},
+		{"bad data", ".data 1 z\nfunc main\n\thalt\nend"},
+		{"wrong arity", "func main\n\tadd r1, r2\nend"},
+		{"empty table", "func main\n\tjmpi r4, []\nend"},
+		{"empty label", ":\nfunc main\n\thalt\nend"},
+	}
+	for _, c := range cases {
+		if _, err := asm.Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestFormatRejectsTransformed(t *testing.T) {
+	p := &isa.Program{
+		Code:  []isa.Inst{{Op: isa.HALT}},
+		Words: 1,
+		Loc:   []int32{0},
+	}
+	if _, err := asm.Format(p); err == nil {
+		t.Fatal("expected rejection")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+; full-line comment
+
+func main
+	ldi r4, 7   ; trailing comment
+	out r4
+	halt
+end
+`
+	p, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(p, nil, nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 7 {
+		t.Fatalf("output %v", res.Output)
+	}
+}
+
+// FuzzParse ensures the assembler never panics and that everything it
+// accepts assembles into a structurally valid program.
+func FuzzParse(f *testing.F) {
+	f.Add(handWritten)
+	f.Add("func main\n\thalt\nend")
+	f.Add(".words 16\n.data 1 2 3\nfunc main\nL0:\n\tjmp L0\nend")
+	f.Add("func main\n\tjmpi r4, [L1]\nL1:\n\thalt\nend")
+	f.Add("; comment only")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Parse(src)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted invalid program: %v\n%s", err, src)
+		}
+		// Accepted programs must round-trip through Format.
+		text, err := asm.Format(p)
+		if err != nil {
+			t.Fatalf("cannot format accepted program: %v", err)
+		}
+		if _, err := asm.Parse(text); err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\n%s", err, text)
+		}
+	})
+}

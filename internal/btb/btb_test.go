@@ -1,0 +1,372 @@
+package btb_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"branchcost/internal/btb"
+	"branchcost/internal/isa"
+	"branchcost/internal/vm"
+)
+
+func ev(pc int32, taken bool, target int32) vm.BranchEvent {
+	return vm.BranchEvent{PC: pc, ID: pc, Op: isa.BEQ, Taken: taken, Target: target}
+}
+
+func TestBufferGeometryPanics(t *testing.T) {
+	bad := [][2]int{{0, 1}, {4, 0}, {5, 2}, {-4, 2}}
+	for _, g := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v did not panic", g)
+				}
+			}()
+			btb.NewBuffer(g[0], g[1])
+		}()
+	}
+	if b := btb.NewBuffer(8, 2); b.Entries() != 8 || b.Assoc() != 2 {
+		t.Error("geometry accessors wrong")
+	}
+}
+
+func TestBufferInsertLookupDelete(t *testing.T) {
+	b := btb.NewBuffer(4, 4)
+	if _, ok := b.Lookup(10); ok {
+		t.Fatal("lookup on empty buffer hit")
+	}
+	e := b.Insert(10)
+	e.Target = 99
+	got, ok := b.Lookup(10)
+	if !ok || got.Target != 99 {
+		t.Fatal("inserted entry not found")
+	}
+	// Insert of an existing pc returns the same entry, preserving state.
+	e2 := b.Insert(10)
+	if e2.Target != 99 {
+		t.Fatal("re-insert cleared the entry")
+	}
+	b.Delete(10)
+	if _, ok := b.Lookup(10); ok {
+		t.Fatal("deleted entry still present")
+	}
+	b.Delete(10) // idempotent
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestBufferLRUReplacement(t *testing.T) {
+	b := btb.NewBuffer(4, 4)
+	for pc := int32(0); pc < 4; pc++ {
+		b.Insert(pc)
+	}
+	// Touch 0 so 1 becomes LRU.
+	b.Lookup(0)
+	b.Insert(100)
+	if _, ok := b.Lookup(1); ok {
+		t.Fatal("LRU entry 1 not evicted")
+	}
+	for _, pc := range []int32{0, 2, 3, 100} {
+		if _, ok := b.Lookup(pc); !ok {
+			t.Fatalf("entry %d wrongly evicted", pc)
+		}
+	}
+	if b.Evictions() != 1 {
+		t.Fatalf("evictions = %d", b.Evictions())
+	}
+}
+
+func TestBufferSetIsolation(t *testing.T) {
+	// 2 sets x 2 ways: even PCs and odd PCs index different sets.
+	b := btb.NewBuffer(4, 2)
+	b.Insert(0)
+	b.Insert(2)
+	b.Insert(4) // evicts 0 (same set as 2); odd set untouched
+	b.Insert(1)
+	if _, ok := b.Lookup(1); !ok {
+		t.Fatal("odd set disturbed by even-set evictions")
+	}
+	if _, ok := b.Lookup(0); ok {
+		t.Fatal("entry 0 should have been evicted")
+	}
+}
+
+// TestBufferCapacityInvariant: Len never exceeds capacity, and a valid
+// entry found by Lookup was always the last Insert target for that PC.
+func TestBufferCapacityInvariant(t *testing.T) {
+	check := func(ops []uint16) bool {
+		b := btb.NewBuffer(16, 4)
+		last := map[int32]int64{}
+		for i, op := range ops {
+			pc := int32(op % 64)
+			if op%3 == 0 {
+				b.Delete(pc)
+				delete(last, pc)
+				continue
+			}
+			e := b.Insert(pc)
+			e.Target = int32(i)
+			last[pc] = int64(i)
+		}
+		if b.Len() > 16 {
+			return false
+		}
+		for pc, want := range last {
+			if e, ok := b.Lookup(pc); ok && int64(e.Target) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := btb.NewBuffer(8, 8)
+	for pc := int32(0); pc < 8; pc++ {
+		b.Insert(pc)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after reset = %d", b.Len())
+	}
+}
+
+func TestSBTBSemantics(t *testing.T) {
+	s := btb.NewSBTB(256, 256)
+	// Miss predicts not-taken.
+	p := s.Predict(ev(5, true, 40))
+	if p.Taken || p.Hit {
+		t.Fatal("miss must predict not-taken")
+	}
+	// Taken branch inserted; next prediction is taken with the target.
+	s.Update(ev(5, true, 40))
+	p = s.Predict(ev(5, false, 0))
+	if !p.Taken || !p.Hit || p.Target != 40 {
+		t.Fatalf("hit prediction wrong: %+v", p)
+	}
+	// Not-taken execution deletes the entry (the paper's rule).
+	s.Update(ev(5, false, 0))
+	p = s.Predict(ev(5, true, 40))
+	if p.Taken || p.Hit {
+		t.Fatal("entry not deleted after not-taken execution")
+	}
+	// Not-taken branches never enter the buffer.
+	s.Update(ev(6, false, 0))
+	if s.Buffer().Len() != 0 {
+		t.Fatal("not-taken branch inserted")
+	}
+	// Target changes are tracked.
+	s.Update(ev(7, true, 100))
+	s.Update(ev(7, true, 200))
+	if p := s.Predict(ev(7, true, 200)); p.Target != 200 {
+		t.Fatalf("target not updated: %+v", p)
+	}
+	s.Reset()
+	if s.Buffer().Len() != 0 {
+		t.Fatal("reset failed")
+	}
+	if s.Name() != "sbtb" {
+		t.Fatal("name")
+	}
+}
+
+func TestCBTBCounterDynamics(t *testing.T) {
+	c := btb.NewCBTB(256, 256, 2, 2)
+	// New taken entry initializes at T=2 and predicts taken.
+	c.Update(ev(5, true, 40))
+	if p := c.Predict(ev(5, true, 40)); !p.Taken || p.Target != 40 {
+		t.Fatalf("just-taken branch predicted not-taken: %+v", p)
+	}
+	// One not-taken drops the counter to 1 -> predict not-taken, still a hit.
+	c.Update(ev(5, false, 0))
+	if p := c.Predict(ev(5, true, 40)); p.Taken || !p.Hit {
+		t.Fatalf("hysteresis wrong: %+v", p)
+	}
+	// Two takens saturate at 3; one not-taken still predicts taken
+	// (the 2-bit counter's tolerance of a single anomaly).
+	c.Update(ev(5, true, 40))
+	c.Update(ev(5, true, 40))
+	c.Update(ev(5, false, 0))
+	if p := c.Predict(ev(5, true, 40)); !p.Taken {
+		t.Fatal("saturated counter lost tolerance")
+	}
+	// New not-taken entry initializes at T-1 and predicts not-taken, as a hit.
+	c.Update(ev(9, false, 0))
+	if p := c.Predict(ev(9, false, 0)); p.Taken || !p.Hit {
+		t.Fatalf("not-taken insert wrong: %+v", p)
+	}
+	if c.Name() != "cbtb" {
+		t.Fatal("name")
+	}
+}
+
+func TestCBTBSaturation(t *testing.T) {
+	c := btb.NewCBTB(16, 16, 2, 2)
+	for i := 0; i < 100; i++ {
+		c.Update(ev(3, true, 30))
+	}
+	// After heavy saturation, exactly two not-takens flip the prediction
+	// (3 -> 2 -> 1): the "inertia" is bounded by the counter width.
+	c.Update(ev(3, false, 0))
+	if p := c.Predict(ev(3, true, 30)); !p.Taken {
+		t.Fatal("flipped after one not-taken despite saturation")
+	}
+	c.Update(ev(3, false, 0))
+	if p := c.Predict(ev(3, true, 30)); p.Taken {
+		t.Fatal("did not flip after two not-takens")
+	}
+}
+
+func TestCBTBConfigPanics(t *testing.T) {
+	for _, bad := range []struct{ bits, th int }{{0, 1}, {9, 1}, {2, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bits=%d threshold=%d did not panic", bad.bits, bad.th)
+				}
+			}()
+			btb.NewCBTB(16, 16, bad.bits, uint8(bad.th))
+		}()
+	}
+}
+
+// TestCounterBounds property-checks that the CBTB counter stays within
+// [0, 2^bits-1] under arbitrary outcome sequences (observed via prediction
+// flips: from saturation it takes at most 2^bits - T not-takens... here we
+// just stress-update and check predictions remain sane).
+func TestCounterBounds(t *testing.T) {
+	check := func(outcomes []bool) bool {
+		c := btb.NewCBTB(4, 4, 2, 2)
+		for _, taken := range outcomes {
+			p := c.Predict(ev(1, taken, 10))
+			_ = p
+			c.Update(ev(1, taken, 10))
+		}
+		// After 4 takens the prediction must be taken; after 4 not-takens,
+		// not-taken — regardless of history (saturation bound).
+		for i := 0; i < 4; i++ {
+			c.Update(ev(1, true, 10))
+		}
+		if !c.Predict(ev(1, true, 10)).Taken {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			c.Update(ev(1, false, 10))
+		}
+		return !c.Predict(ev(1, false, 10)).Taken
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSBTBAccuracyOnBiasedStream: on a stream of a single always-taken
+// branch, the SBTB must be wrong exactly once (the cold miss).
+func TestSBTBAccuracyOnBiasedStream(t *testing.T) {
+	s := btb.NewSBTB(256, 256)
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		p := s.Predict(ev(7, true, 70))
+		if !p.Taken || p.Target != 70 {
+			wrong++
+		}
+		s.Update(ev(7, true, 70))
+	}
+	if wrong != 1 {
+		t.Fatalf("wrong = %d, want 1", wrong)
+	}
+}
+
+func scoreStream(update func(vm.BranchEvent), predict func(vm.BranchEvent) (bool, int32), pattern []bool, n int) int {
+	wrong := 0
+	for i := 0; i < n; i++ {
+		taken := pattern[i%len(pattern)]
+		e := ev(7, taken, 70)
+		pt, target := predict(e)
+		if pt != taken || (pt && target != 70) {
+			wrong++
+		}
+		update(e)
+	}
+	return wrong
+}
+
+// TestAlternatingBranch: strict alternation is the textbook pathology for
+// both schemes — the SBTB thrashes insert/delete and the 2-bit counter
+// oscillates across its threshold; both end up wrong essentially always.
+func TestAlternatingBranch(t *testing.T) {
+	s := btb.NewSBTB(256, 256)
+	c := btb.NewCBTB(256, 256, 2, 2)
+	const n = 1000
+	pat := []bool{true, false}
+	sWrong := scoreStream(s.Update, func(e vm.BranchEvent) (bool, int32) {
+		p := s.Predict(e)
+		return p.Taken, p.Target
+	}, pat, n)
+	cWrong := scoreStream(c.Update, func(e vm.BranchEvent) (bool, int32) {
+		p := c.Predict(e)
+		return p.Taken, p.Target
+	}, pat, n)
+	if sWrong < n*9/10 {
+		t.Fatalf("SBTB wrong only %d/%d on alternating stream", sWrong, n)
+	}
+	if cWrong < n*9/10 {
+		t.Fatalf("CBTB wrong only %d/%d on alternating stream", cWrong, n)
+	}
+}
+
+// TestPatternTTN: on a taken-taken-not-taken pattern the counter's
+// hysteresis pays off: the CBTB settles at 2/3 correct while the SBTB
+// (insert on taken, delete on not-taken) settles at 1/3 — the quantitative
+// reason the paper's CBTB beats its SBTB.
+func TestPatternTTN(t *testing.T) {
+	s := btb.NewSBTB(256, 256)
+	c := btb.NewCBTB(256, 256, 2, 2)
+	const n = 999
+	pat := []bool{true, true, false}
+	sWrong := scoreStream(s.Update, func(e vm.BranchEvent) (bool, int32) {
+		p := s.Predict(e)
+		return p.Taken, p.Target
+	}, pat, n)
+	cWrong := scoreStream(c.Update, func(e vm.BranchEvent) (bool, int32) {
+		p := c.Predict(e)
+		return p.Taken, p.Target
+	}, pat, n)
+	if got := float64(cWrong) / n; got > 0.35 {
+		t.Fatalf("CBTB wrong fraction %.2f, want ~1/3", got)
+	}
+	if got := float64(sWrong) / n; got < 0.60 {
+		t.Fatalf("SBTB wrong fraction %.2f, want ~2/3", got)
+	}
+	if cWrong >= sWrong {
+		t.Fatalf("CBTB (%d) must beat SBTB (%d) on TTN", cWrong, sWrong)
+	}
+}
+
+func TestFullAssocIgnoresPCDistribution(t *testing.T) {
+	// A fully associative buffer must behave identically for clustered and
+	// scattered PCs with the same working-set size.
+	run := func(pcs []int32) int {
+		s := btb.NewSBTB(8, 8)
+		wrong := 0
+		for round := 0; round < 50; round++ {
+			for _, pc := range pcs {
+				p := s.Predict(ev(pc, true, pc+1))
+				if !p.Taken {
+					wrong++
+				}
+				s.Update(ev(pc, true, pc+1))
+			}
+		}
+		return wrong
+	}
+	clustered := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	scattered := []int32{0, 1000, 2000, 3000, 4000, 5000, 6000, 7000}
+	if a, b := run(clustered), run(scattered); a != b {
+		t.Fatalf("full associativity is PC-distribution dependent: %d vs %d", a, b)
+	}
+}

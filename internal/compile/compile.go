@@ -1,0 +1,382 @@
+// Package compile translates MC source (see internal/lang) into isa
+// programs. It performs symbol resolution, stack-frame layout, expression
+// evaluation on a register stack, short-circuit evaluation of && and ||,
+// switch lowering (dense jump tables via JMPI, sparse compare chains), and
+// label resolution. The generated code has the paper's fingerprint: a
+// compare-and-branch ISA with roughly one branch every four instructions on
+// the benchmark suite.
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"branchcost/internal/isa"
+	"branchcost/internal/lang"
+)
+
+// Builtin function names recognized by the compiler.
+const (
+	builtinGetc = "getc"
+	builtinPutc = "putc"
+)
+
+// globalBase is the first data address handed to globals; low addresses are
+// reserved so that accidental null-pointer indexing traps loudly in tests.
+const globalBase = 8
+
+// maxJumpTable bounds the size of a switch jump table.
+const maxJumpTable = 512
+
+// Options selects optional compilation behaviour.
+type Options struct {
+	// Inline enables IMPACT-style inlining of small single-return
+	// functions before code generation (see inline.go).
+	Inline bool
+}
+
+// Compile translates one or more MC source files into a single program.
+// All files share one global namespace; main must be defined.
+func Compile(sources ...string) (*isa.Program, error) {
+	return CompileOpts(Options{}, sources...)
+}
+
+// CompileOpts is Compile with explicit options.
+func CompileOpts(opts Options, sources ...string) (*isa.Program, error) {
+	var files []*lang.File
+	lines := 0
+	for i, src := range sources {
+		f, err := lang.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("compile: source %d: %w", i, err)
+		}
+		files = append(files, f)
+		lines += f.Lines
+	}
+	c := &compiler{
+		globals: map[string]gsym{},
+		funcs:   map[string]*lang.FuncDecl{},
+		strings: map[string]int64{},
+		dataEnd: globalBase,
+	}
+	for _, f := range files {
+		for _, g := range f.Globals {
+			if err := c.declareGlobal(g); err != nil {
+				return nil, err
+			}
+		}
+		for _, fn := range f.Funcs {
+			if _, dup := c.funcs[fn.Name]; dup {
+				return nil, errf(fn.Line, "function %s redeclared", fn.Name)
+			}
+			if fn.Name == builtinGetc || fn.Name == builtinPutc {
+				return nil, errf(fn.Line, "function %s shadows a builtin", fn.Name)
+			}
+			c.funcs[fn.Name] = fn
+		}
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return nil, fmt.Errorf("compile: no main function")
+	}
+	if len(c.funcs["main"].Params) != 0 {
+		return nil, fmt.Errorf("compile: main must take no parameters")
+	}
+	if opts.Inline {
+		inlineFunctions(c.funcs)
+	}
+
+	// Entry stub: call main, then halt.
+	c.emit(isa.Inst{Op: isa.CALL}, 0)
+	c.callPatches = append(c.callPatches, callPatch{at: 0, name: "main", line: 0})
+	c.emit(isa.Inst{Op: isa.HALT}, 0)
+
+	// Compile functions in a deterministic order: main first, then the
+	// rest alphabetically (layout stability keeps experiments reproducible).
+	names := make([]string, 0, len(c.funcs))
+	for n := range c.funcs {
+		if n != "main" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	names = append([]string{"main"}, names...)
+
+	// Intern every string literal up front, in a deterministic source
+	// order, so the data layout is a pure function of the AST (the
+	// reference interpreter in internal/lang replicates it).
+	for _, n := range names {
+		lang.VisitExprs(c.funcs[n].Body, func(e lang.Expr) {
+			if s, ok := e.(*lang.StrLit); ok {
+				c.internString(s.Val)
+			}
+		})
+	}
+
+	for _, n := range names {
+		if err := c.compileFunc(c.funcs[n]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Resolve function-call targets.
+	for _, p := range c.callPatches {
+		fi, ok := c.funcEntry[p.name]
+		if !ok {
+			return nil, errf(p.line, "call of undefined function %s", p.name)
+		}
+		c.code[p.at].Target = fi
+	}
+
+	prog := &isa.Program{
+		Code:        c.code,
+		Data:        c.data,
+		Words:       c.dataEnd,
+		Funcs:       c.funcInfos,
+		Entry:       0,
+		SourceLines: lines,
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: internal error: generated invalid program: %w", err)
+	}
+	return prog, nil
+}
+
+type gsym struct {
+	addr  int64
+	size  int64 // >1 means array (name evaluates to its address)
+	array bool
+}
+
+type callPatch struct {
+	at   int32
+	name string
+	line int
+}
+
+type compiler struct {
+	globals map[string]gsym
+	funcs   map[string]*lang.FuncDecl
+	strings map[string]int64 // interned string literals -> address
+
+	data    []int64
+	dataEnd int
+
+	code        []isa.Inst
+	callPatches []callPatch
+	funcEntry   map[string]int32
+	funcInfos   []isa.FuncInfo
+}
+
+func errf(line int, format string, args ...any) error {
+	return fmt.Errorf("compile: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (c *compiler) declareGlobal(g *lang.GlobalDecl) error {
+	if _, dup := c.globals[g.Name]; dup {
+		return errf(g.Line, "global %s redeclared", g.Name)
+	}
+	addr := int64(c.dataEnd)
+	c.globals[g.Name] = gsym{addr: addr, size: g.Size, array: g.Size > 1}
+	c.growData(int(addr + g.Size))
+	copy(c.data[addr:], g.Init)
+	return nil
+}
+
+func (c *compiler) growData(end int) {
+	if end > c.dataEnd {
+		c.dataEnd = end
+	}
+	for len(c.data) < end {
+		c.data = append(c.data, 0)
+	}
+}
+
+func (c *compiler) internString(s string) int64 {
+	if a, ok := c.strings[s]; ok {
+		return a
+	}
+	addr := int64(c.dataEnd)
+	c.growData(c.dataEnd + len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c.data[addr+int64(i)] = int64(s[i])
+	}
+	c.strings[s] = addr
+	return addr
+}
+
+func (c *compiler) emit(in isa.Inst, line int) int32 {
+	at := int32(len(c.code))
+	in.ID = at
+	in.Line = int32(line)
+	c.code = append(c.code, in)
+	return at
+}
+
+// ---------- per-function state ----------
+
+type label int
+
+type funcCtx struct {
+	c       *compiler
+	fn      *lang.FuncDecl
+	locals  map[string]int64 // name -> frame offset (relative to SP)
+	nLocals int64
+	nParams int64
+
+	labels     []int32           // label -> resolved code index (-1 unresolved)
+	patches    []patch           // pending target fixups
+	breaksTo   []label           // break-target stack (loops and switches)
+	continueTo []label           // continue-target stack (loops only)
+	epilogue   label             // label of the shared epilogue
+	tables     map[int32][]label // JMPI code index -> labels of its table
+}
+
+type patch struct {
+	at  int32 // instruction index whose Target refers to lbl
+	lbl label
+}
+
+func (c *compiler) compileFunc(fn *lang.FuncDecl) error {
+	fc := &funcCtx{
+		c:      c,
+		fn:     fn,
+		locals: map[string]int64{},
+		tables: map[int32][]label{},
+	}
+	fc.nParams = int64(len(fn.Params))
+
+	// Collect all local declarations up front so the frame size is known at
+	// the prologue. MC scoping is function-wide (like early C).
+	if err := fc.collectLocals(fn.Body); err != nil {
+		return err
+	}
+	// Parameters live above the saved RA; see the frame layout in doc.go.
+	for i, p := range fn.Params {
+		if _, dup := fc.locals[p]; dup {
+			return errf(fn.Line, "parameter %s collides with a local in %s", p, fn.Name)
+		}
+		fc.locals[p] = fc.nLocals + 1 + (fc.nParams - 1 - int64(i))
+	}
+
+	entry := int32(len(c.code))
+	if c.funcEntry == nil {
+		c.funcEntry = map[string]int32{}
+	}
+	c.funcEntry[fn.Name] = entry
+
+	// Prologue: save RA below SP, then open the frame.
+	c.emit(isa.Inst{Op: isa.ST, Rs: isa.SP, Imm: -1, Rt: isa.RA}, fn.Line)
+	c.emit(isa.Inst{Op: isa.ADDI, Rd: isa.SP, Rs: isa.SP, Imm: -(fc.nLocals + 1)}, fn.Line)
+
+	fc.epilogue = fc.newLabel()
+	if err := fc.stmt(fn.Body); err != nil {
+		return err
+	}
+	// Implicit "return 0" at the end of the body.
+	c.emit(isa.Inst{Op: isa.LDI, Rd: isa.RV, Imm: 0}, fn.Line)
+	fc.bind(fc.epilogue)
+	c.emit(isa.Inst{Op: isa.LD, Rd: isa.RA, Rs: isa.SP, Imm: fc.nLocals}, fn.Line)
+	c.emit(isa.Inst{Op: isa.ADDI, Rd: isa.SP, Rs: isa.SP, Imm: fc.nLocals + 1}, fn.Line)
+	c.emit(isa.Inst{Op: isa.RET}, fn.Line)
+
+	if err := fc.resolve(); err != nil {
+		return err
+	}
+	c.funcInfos = append(c.funcInfos, isa.FuncInfo{Name: fn.Name, Entry: entry, End: int32(len(c.code))})
+	return nil
+}
+
+func (fc *funcCtx) collectLocals(s lang.Stmt) error {
+	switch st := s.(type) {
+	case nil:
+		return nil
+	case *lang.Block:
+		for _, x := range st.Stmts {
+			if err := fc.collectLocals(x); err != nil {
+				return err
+			}
+		}
+	case *lang.LocalDecl:
+		if _, dup := fc.locals[st.Name]; dup {
+			return errf(st.Line, "local %s redeclared in %s", st.Name, fc.fn.Name)
+		}
+		fc.locals[st.Name] = fc.nLocals
+		fc.nLocals++
+	case *lang.IfStmt:
+		if err := fc.collectLocals(st.Then); err != nil {
+			return err
+		}
+		return fc.collectLocals(st.Else)
+	case *lang.WhileStmt:
+		return fc.collectLocals(st.Body)
+	case *lang.DoWhileStmt:
+		return fc.collectLocals(st.Body)
+	case *lang.ForStmt:
+		if err := fc.collectLocals(st.Init); err != nil {
+			return err
+		}
+		if err := fc.collectLocals(st.Post); err != nil {
+			return err
+		}
+		return fc.collectLocals(st.Body)
+	case *lang.SwitchStmt:
+		for _, cs := range st.Cases {
+			for _, x := range cs.Body {
+				if err := fc.collectLocals(x); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (fc *funcCtx) newLabel() label {
+	fc.labels = append(fc.labels, -1)
+	return label(len(fc.labels) - 1)
+}
+
+func (fc *funcCtx) bind(l label) {
+	fc.labels[l] = int32(len(fc.c.code))
+}
+
+// jump emits an unconditional jump to l.
+func (fc *funcCtx) jump(l label, line int) {
+	at := fc.c.emit(isa.Inst{Op: isa.JMP}, line)
+	fc.patches = append(fc.patches, patch{at: at, lbl: l})
+}
+
+// branch emits a conditional branch to l (fall-through is the next
+// instruction, fixed up during resolve).
+func (fc *funcCtx) branch(op isa.Op, rs, rt uint8, l label, line int) {
+	at := fc.c.emit(isa.Inst{Op: op, Rs: rs, Rt: rt}, line)
+	fc.patches = append(fc.patches, patch{at: at, lbl: l})
+}
+
+func (fc *funcCtx) resolve() error {
+	for _, p := range fc.patches {
+		t := fc.labels[p.lbl]
+		if t < 0 {
+			return fmt.Errorf("compile: internal error: unbound label in %s", fc.fn.Name)
+		}
+		fc.c.code[p.at].Target = t
+	}
+	for at, tbl := range fc.tables {
+		targets := make([]int32, len(tbl))
+		for i, l := range tbl {
+			t := fc.labels[l]
+			if t < 0 {
+				return fmt.Errorf("compile: internal error: unbound table label in %s", fc.fn.Name)
+			}
+			targets[i] = t
+		}
+		fc.c.code[at].Table = targets
+	}
+	// Fall-through of every conditional branch is the next instruction.
+	for i := range fc.c.code {
+		if fc.c.code[i].Op.IsCondBranch() && fc.c.code[i].Fall == 0 {
+			fc.c.code[i].Fall = int32(i) + 1
+		}
+	}
+	return nil
+}

@@ -1,0 +1,392 @@
+package compile_test
+
+// Differential testing: generate random MC programs, run them compiled on
+// the VM (optionally through the optimizer and the Forward Semantic
+// transform) and interpreted by the independent reference interpreter in
+// internal/lang, and require byte-identical output. Programs are
+// constructed to terminate and to stay in bounds (masked array indices,
+// forced-odd divisors, counted loops), so any divergence is a genuine bug
+// in one of the implementations.
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"branchcost/internal/compile"
+	"branchcost/internal/fs"
+	"branchcost/internal/lang"
+	"branchcost/internal/opt"
+	"branchcost/internal/profile"
+	"branchcost/internal/vm"
+)
+
+// genRNG is a splitmix64 generator, deterministic per seed.
+type genRNG struct{ s uint64 }
+
+func (r *genRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *genRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *genRNG) pick(xs []string) string { return xs[r.intn(len(xs))] }
+
+// progGen builds one random program.
+type progGen struct {
+	r        *genRNG
+	b        strings.Builder
+	scalars  []string // global scalars
+	arrays   []string // global arrays, all of size 8
+	auxFuncs []string // leaf helper functions and their arity
+	auxArity map[string]int
+	locals   []string // locals of the function being generated
+	depth    int
+	loops    int
+}
+
+func generateProgram(seed uint64) string {
+	g := &progGen{r: &genRNG{s: seed}, auxArity: map[string]int{}}
+
+	nScalars := 1 + g.r.intn(3)
+	for i := 0; i < nScalars; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.scalars = append(g.scalars, name)
+		if g.r.intn(2) == 0 {
+			fmt.Fprintf(&g.b, "var %s = %d;\n", name, g.r.intn(100)-50)
+		} else {
+			fmt.Fprintf(&g.b, "var %s;\n", name)
+		}
+	}
+	nArrays := 1 + g.r.intn(2)
+	for i := 0; i < nArrays; i++ {
+		name := fmt.Sprintf("a%d", i)
+		g.arrays = append(g.arrays, name)
+		fmt.Fprintf(&g.b, "var %s[8];\n", name)
+	}
+
+	// Leaf helper functions (no calls inside, so recursion is impossible).
+	nAux := g.r.intn(3)
+	for i := 0; i < nAux; i++ {
+		name := fmt.Sprintf("f%d", i)
+		arity := 1 + g.r.intn(3)
+		g.auxFuncs = append(g.auxFuncs, name)
+		g.auxArity[name] = arity
+		params := make([]string, arity)
+		for j := range params {
+			params[j] = fmt.Sprintf("p%d", j)
+		}
+		fmt.Fprintf(&g.b, "func %s(%s) {\n", name, strings.Join(params, ", "))
+		g.locals = params
+		// A couple of statements without calls or loops.
+		n := 1 + g.r.intn(2)
+		for s := 0; s < n; s++ {
+			g.simpleStmtNoCall(1)
+		}
+		fmt.Fprintf(&g.b, "\treturn %s;\n}\n", g.exprNoCall(2))
+		g.locals = nil
+	}
+
+	g.b.WriteString("func main() {\n")
+	nLocals := 1 + g.r.intn(3)
+	for i := 0; i < nLocals; i++ {
+		name := fmt.Sprintf("v%d", i)
+		g.locals = append(g.locals, name)
+		fmt.Fprintf(&g.b, "\tvar %s = %d;\n", name, g.r.intn(20))
+	}
+	n := 4 + g.r.intn(8)
+	for i := 0; i < n; i++ {
+		g.stmt(0)
+	}
+	// Make sure every run produces some output.
+	fmt.Fprintf(&g.b, "\tputc('0' + ((%s) & 63));\n", g.expr(2))
+	g.b.WriteString("}\n")
+	return g.b.String()
+}
+
+// scalarLV returns a random assignable scalar (local or global).
+func (g *progGen) scalarLV() string {
+	pool := append(append([]string{}, g.scalars...), g.locals...)
+	return g.r.pick(pool)
+}
+
+// indexLV returns an in-bounds array element lvalue.
+func (g *progGen) indexLV(depth int) string {
+	arr := g.r.pick(g.arrays)
+	return fmt.Sprintf("%s[(%s) & 7]", arr, g.expr(depth))
+}
+
+var binOps = []string{"+", "-", "*", "&", "|", "^", "<", "<=", ">", ">=", "==", "!=", "<<", ">>"}
+
+// expr emits a random expression of bounded depth (calls allowed).
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.r.intn(10) {
+	case 0, 1, 2:
+		return g.atom()
+	case 3:
+		op := g.r.pick([]string{"-", "~", "!"})
+		return fmt.Sprintf("%s(%s)", op, g.expr(depth-1))
+	case 4:
+		// Guarded division: divisor forced odd (nonzero).
+		op := g.r.pick([]string{"/", "%"})
+		return fmt.Sprintf("(%s) %s ((%s) | 1)", g.expr(depth-1), op, g.expr(depth-1))
+	case 5:
+		op := g.r.pick([]string{"&&", "||"})
+		return fmt.Sprintf("(%s) %s (%s)", g.expr(depth-1), op, g.expr(depth-1))
+	case 6:
+		if len(g.auxFuncs) > 0 {
+			name := g.r.pick(g.auxFuncs)
+			args := make([]string, g.auxArity[name])
+			for i := range args {
+				args[i] = g.expr(depth - 1)
+			}
+			return fmt.Sprintf("%s(%s)", name, strings.Join(args, ", "))
+		}
+		fallthrough
+	case 7:
+		return g.indexLV(depth - 1)
+	default:
+		op := g.r.pick(binOps)
+		// Bounded shift amounts keep both implementations in the masked
+		// range (they mask identically, but small shifts make values
+		// comparable across more operators).
+		if op == "<<" || op == ">>" {
+			return fmt.Sprintf("(%s) %s %d", g.expr(depth-1), op, g.r.intn(8))
+		}
+		return fmt.Sprintf("(%s) %s (%s)", g.expr(depth-1), op, g.expr(depth-1))
+	}
+}
+
+// exprNoCall avoids function calls (for helper bodies).
+func (g *progGen) exprNoCall(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.r.intn(6) {
+	case 0:
+		return g.atom()
+	case 1:
+		return fmt.Sprintf("-(%s)", g.exprNoCall(depth-1))
+	case 2:
+		return g.indexNoCall(depth - 1)
+	default:
+		op := g.r.pick(binOps)
+		if op == "<<" || op == ">>" {
+			return fmt.Sprintf("(%s) %s %d", g.exprNoCall(depth-1), op, g.r.intn(8))
+		}
+		return fmt.Sprintf("(%s) %s (%s)", g.exprNoCall(depth-1), op, g.exprNoCall(depth-1))
+	}
+}
+
+func (g *progGen) indexNoCall(depth int) string {
+	arr := g.r.pick(g.arrays)
+	return fmt.Sprintf("%s[(%s) & 7]", arr, g.exprNoCall(depth))
+}
+
+func (g *progGen) atom() string {
+	switch g.r.intn(5) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.intn(200)-100)
+	case 1:
+		if len(g.locals) > 0 {
+			return g.r.pick(g.locals)
+		}
+		return g.r.pick(g.scalars)
+	case 2:
+		return g.r.pick(g.scalars)
+	case 3:
+		return "getc()"
+	default:
+		return fmt.Sprintf("'%c'", byte('a'+g.r.intn(26)))
+	}
+}
+
+var assignOps = []string{"=", "+=", "-=", "*=", "&=", "|=", "^="}
+
+func (g *progGen) indent(depth int) string { return strings.Repeat("\t", depth+1) }
+
+// simpleStmtNoCall emits an assignment without calls (helper bodies).
+func (g *progGen) simpleStmtNoCall(depth int) {
+	if len(g.arrays) > 0 && g.r.intn(2) == 0 {
+		fmt.Fprintf(&g.b, "%s%s %s %s;\n", g.indent(depth),
+			g.indexNoCall(1), g.r.pick(assignOps), g.exprNoCall(1))
+		return
+	}
+	lv := g.r.pick(g.locals)
+	fmt.Fprintf(&g.b, "%s%s %s %s;\n", g.indent(depth), lv, g.r.pick(assignOps), g.exprNoCall(1))
+}
+
+// stmt emits a random statement at the given nesting depth.
+func (g *progGen) stmt(depth int) {
+	ind := g.indent(depth)
+	if depth > 2 {
+		fmt.Fprintf(&g.b, "%s%s %s %s;\n", ind, g.scalarLV(), g.r.pick(assignOps), g.expr(1))
+		return
+	}
+	switch g.r.intn(10) {
+	case 0, 1:
+		fmt.Fprintf(&g.b, "%s%s %s %s;\n", ind, g.scalarLV(), g.r.pick(assignOps), g.expr(2))
+	case 2:
+		fmt.Fprintf(&g.b, "%s%s %s %s;\n", ind, g.indexLV(1), g.r.pick(assignOps), g.expr(2))
+	case 3:
+		fmt.Fprintf(&g.b, "%sputc((%s) & 255);\n", ind, g.expr(2))
+	case 4:
+		fmt.Fprintf(&g.b, "%sif (%s) {\n", ind, g.expr(2))
+		g.stmt(depth + 1)
+		if g.r.intn(2) == 0 {
+			fmt.Fprintf(&g.b, "%s} else {\n", ind)
+			g.stmt(depth + 1)
+		}
+		fmt.Fprintf(&g.b, "%s}\n", ind)
+	case 5:
+		// Counted while loop, guaranteed to terminate.
+		g.loops++
+		lv := fmt.Sprintf("w%d", g.loops)
+		// The counter stays out of g.locals: nested statements must not be
+		// able to assign it, or termination is lost.
+		fmt.Fprintf(&g.b, "%svar %s = 0;\n", ind, lv)
+		fmt.Fprintf(&g.b, "%swhile (%s < %d) {\n", ind, lv, 1+g.r.intn(6))
+		fmt.Fprintf(&g.b, "%s\t%s += 1;\n", ind, lv)
+		g.stmt(depth + 1)
+		fmt.Fprintf(&g.b, "%s}\n", ind)
+	case 6:
+		g.loops++
+		lv := fmt.Sprintf("w%d", g.loops)
+		fmt.Fprintf(&g.b, "%svar %s;\n", ind, lv)
+		fmt.Fprintf(&g.b, "%sfor (%s = 0; %s < %d; %s += 1) {\n", ind, lv, lv, 1+g.r.intn(5), lv)
+		g.stmt(depth + 1)
+		fmt.Fprintf(&g.b, "%s}\n", ind)
+	case 7:
+		fmt.Fprintf(&g.b, "%sswitch ((%s) & 3) {\n", ind, g.expr(2))
+		for v := 0; v < 4; v++ {
+			if g.r.intn(4) == 0 {
+				continue
+			}
+			fmt.Fprintf(&g.b, "%scase %d:\n", ind, v)
+			g.stmt(depth + 1)
+			if g.r.intn(3) != 0 {
+				fmt.Fprintf(&g.b, "%s\tbreak;\n", ind)
+			}
+		}
+		fmt.Fprintf(&g.b, "%sdefault:\n", ind)
+		g.stmt(depth + 1)
+		fmt.Fprintf(&g.b, "%s}\n", ind)
+	case 8:
+		g.loops++
+		lv := fmt.Sprintf("w%d", g.loops)
+		fmt.Fprintf(&g.b, "%svar %s = 0;\n", ind, lv)
+		fmt.Fprintf(&g.b, "%sdo {\n", ind)
+		fmt.Fprintf(&g.b, "%s\t%s += 1;\n", ind, lv)
+		g.stmt(depth + 1)
+		fmt.Fprintf(&g.b, "%s} while (%s < %d);\n", ind, lv, 1+g.r.intn(4))
+	default:
+		fmt.Fprintf(&g.b, "%s%s %s %s;\n", ind, g.scalarLV(), g.r.pick(assignOps), g.expr(2))
+	}
+}
+
+// runDifferential compares one random program across the reference
+// interpreter, the plain compiled binary, the optimized binary, and the
+// FS-transformed optimized binary.
+func runDifferential(t *testing.T, seed uint64) {
+	t.Helper()
+	src := generateProgram(seed)
+
+	file, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("seed %d: generated invalid program: %v\n%s", seed, err, src)
+	}
+	ref, err := lang.NewInterp(file)
+	if err != nil {
+		t.Fatalf("seed %d: interp: %v", seed, err)
+	}
+	prog, err := compile.Compile(src)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+	}
+	inlined, err := compile.CompileOpts(compile.Options{Inline: true}, src)
+	if err != nil {
+		t.Fatalf("seed %d: inline compile: %v\n%s", seed, err, src)
+	}
+	optProg, err := opt.Optimize(inlined)
+	if err != nil {
+		t.Fatalf("seed %d: optimize: %v", seed, err)
+	}
+
+	// A few inputs per program.
+	inputs := [][]byte{nil, []byte("abc"), []byte{0, 255, 7, 9, 200, 13}}
+	prof := profile.New()
+	col := &profile.Collector{P: prof}
+	for _, in := range inputs {
+		want, err := ref.Run(in, 1<<22)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v\n%s", seed, err, src)
+		}
+		got, err := vm.Run(prog, in, nil, vm.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: vm: %v\n%s", seed, err, src)
+		}
+		if !bytes.Equal(want, got.Output) {
+			t.Fatalf("seed %d: compiled output %q != reference %q\n%s",
+				seed, got.Output, want, src)
+		}
+		gotInl, err := vm.Run(inlined, in, nil, vm.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: inlined vm: %v\n%s", seed, err, src)
+		}
+		if !bytes.Equal(want, gotInl.Output) {
+			t.Fatalf("seed %d: inlined output %q != reference %q\n%s",
+				seed, gotInl.Output, want, src)
+		}
+		gotOpt, err := vm.Run(optProg, in, col.Hook(), vm.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: optimized vm: %v\n%s", seed, err, src)
+		}
+		if !bytes.Equal(want, gotOpt.Output) {
+			t.Fatalf("seed %d: optimized output %q != reference %q\n%s",
+				seed, gotOpt.Output, want, src)
+		}
+		prof.Runs++
+	}
+	res, err := fs.Transform(optProg, prof, 1+int(seed%4))
+	if err != nil {
+		t.Fatalf("seed %d: transform: %v", seed, err)
+	}
+	for _, in := range inputs {
+		want, _ := ref.Run(in, 1<<22)
+		got, err := vm.Run(res.Prog, in, nil, vm.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: transformed vm: %v\n%s", seed, err, src)
+		}
+		if !bytes.Equal(want, got.Output) {
+			t.Fatalf("seed %d: transformed output %q != reference %q\n%s",
+				seed, got.Output, want, src)
+		}
+	}
+}
+
+func TestDifferentialRandomPrograms(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 25
+	}
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		runDifferential(t, seed*0x9e37)
+	}
+}
+
+func TestGeneratedProgramsParse(t *testing.T) {
+	for seed := uint64(1); seed < 40; seed++ {
+		src := generateProgram(seed * 7777)
+		if _, err := lang.Parse(src); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package compile_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"branchcost/internal/compile"
+	"branchcost/internal/isa"
+	"branchcost/internal/vm"
+)
+
+// TestDeepExpressionRejected: the evaluation register stack is finite; an
+// expression too deep must fail with a diagnostic, not a panic or silent
+// miscompile.
+func TestDeepExpressionRejected(t *testing.T) {
+	// Build a right-leaning expression deeper than the register stack:
+	// 1+(1+(1+...)) — each nesting level holds one live register.
+	depth := isa.EvalRegs + 4
+	expr := "1"
+	for i := 0; i < depth; i++ {
+		expr = "1 + (getc() + (" + expr + "))"
+	}
+	src := "func main() { putc(" + expr + "); }"
+	_, err := compile.Compile(src)
+	if err == nil {
+		t.Fatal("deep expression accepted")
+	}
+	if !strings.Contains(err.Error(), "too complex") {
+		t.Fatalf("unhelpful diagnostic: %v", err)
+	}
+}
+
+// TestDeepButAcceptableExpression: left-leaning chains use constant stack
+// depth and must compile at any length.
+func TestDeepButAcceptableExpression(t *testing.T) {
+	expr := "1"
+	for i := 0; i < 200; i++ {
+		expr += " + 1"
+	}
+	src := "func main() { putc(" + expr + " - 151); }"
+	prog, err := compile.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(prog, nil, nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 50 {
+		t.Fatalf("got %d", res.Output[0])
+	}
+}
+
+// TestManyArgsCall: argument passing through the frame works at higher
+// arities.
+func TestManyArgsCall(t *testing.T) {
+	src := `
+func sum8(a, b, c, d, e, f, g, h) {
+	return a + b + c + d + e + f + g + h;
+}
+func main() {
+	putc('0' + sum8(1, 1, 1, 1, 1, 1, 1, 2));
+}`
+	if got := run(t, src, ""); got != "9" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestDeepCallNesting: nested calls in argument positions spill correctly
+// at depth.
+func TestDeepCallNesting(t *testing.T) {
+	src := `
+func inc(x) { return x + 1; }
+func main() {
+	putc('0' + inc(inc(inc(inc(inc(inc(inc(inc(0)))))))));
+}`
+	if got := run(t, src, ""); got != "8" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestMultiFileCompilation: globals and functions resolve across files.
+func TestMultiFileCompilation(t *testing.T) {
+	lib := `
+var counter;
+func bump(by) { counter += by; return counter; }
+`
+	main := `
+func main() {
+	bump(3);
+	bump(4);
+	putc('0' + counter);
+}`
+	prog, err := compile.Compile(main, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(prog, nil, nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "7" {
+		t.Fatalf("got %q", res.Output)
+	}
+	// Cross-file collisions are rejected.
+	if _, err := compile.Compile(`var counter; func main() {}`, lib); err == nil {
+		t.Fatal("cross-file global collision accepted")
+	}
+}
+
+// TestErrorsCarrySourceLines: diagnostics name the offending line.
+func TestErrorsCarrySourceLines(t *testing.T) {
+	src := "var a;\nvar b;\nfunc main() {\n\tundefined_var = 1;\n}\n"
+	_, err := compile.Compile(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("diagnostic lacks the line number: %v", err)
+	}
+}
+
+// TestHugeSwitchUsesCompareChain: a sparse switch beyond the jump-table
+// bound still compiles (as a compare chain) and runs correctly.
+func TestHugeSwitchUsesCompareChain(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("func main() {\n\tvar v; v = getc() * 1000;\n\tswitch (v) {\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "\tcase %d: putc('A' + %d); break;\n", i*1000, i%26)
+	}
+	b.WriteString("\tdefault: putc('?');\n\t}\n}\n")
+	prog, err := compile.Compile(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jmpis := 0
+	for _, in := range prog.Code {
+		if in.Op == isa.JMPI {
+			jmpis++
+		}
+	}
+	if jmpis != 0 {
+		t.Fatalf("sparse switch used a jump table")
+	}
+	res, err := vm.Run(prog, []byte{7}, nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "H" {
+		t.Fatalf("got %q", res.Output)
+	}
+}
+
+// TestDenseSwitchUsesJumpTable confirms the lowering decision that gives
+// the paper its unknown-target branches.
+func TestDenseSwitchUsesJumpTable(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("func main() {\n\tswitch (getc()) {\n")
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, "\tcase %d: putc('A' + %d); break;\n", i, i)
+	}
+	b.WriteString("\tdefault: putc('?');\n\t}\n}\n")
+	prog, err := compile.Compile(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range prog.Code {
+		if in.Op == isa.JMPI {
+			found = true
+			if len(in.Table) != 20 {
+				t.Fatalf("table size %d, want 20", len(in.Table))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dense switch did not use a jump table")
+	}
+	for i := 0; i < 20; i++ {
+		res, err := vm.Run(prog, []byte{byte(i)}, nil, vm.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output[0] != byte('A'+i) {
+			t.Fatalf("case %d: got %q", i, res.Output)
+		}
+	}
+	// Out-of-range input takes the default, not a trap.
+	res, err := vm.Run(prog, []byte{99}, nil, vm.Config{})
+	if err != nil || string(res.Output) != "?" {
+		t.Fatalf("default case: %q %v", res.Output, err)
+	}
+}
+
+// TestRecursionDepth: a recursive program with a deep (but frame-bounded)
+// call chain runs without corrupting the stack.
+func TestRecursionDepth(t *testing.T) {
+	src := `
+func down(n) {
+	if (n == 0) { return 0; }
+	return down(n - 1) + 1;
+}
+func main() {
+	var d;
+	d = down(5000);
+	putc('0' + d / 1000);
+}`
+	if got := run(t, src, ""); got != "5" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestGlobalInitializers: every initializer form materializes in the data
+// segment.
+func TestGlobalInitializers(t *testing.T) {
+	src := `
+var neg = -12;
+var arr[6] = {10, 20, 30};
+var str = "AB";
+func main() {
+	putc(0 - neg);        // 12
+	putc(arr[0]); putc(arr[2]); putc('0' + arr[5]); // 10, 30, '0' (zero fill)
+	putc(str[0]); putc(str[1]);
+	putc('0' + str[2]);   // terminator
+}`
+	prog, err := compile.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(prog, nil, nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{12, 10, 30, '0', 'A', 'B', '0'}
+	if string(res.Output) != string(want) {
+		t.Fatalf("got %v want %v", res.Output, want)
+	}
+}
+
+// TestInliningEffects: the inliner must remove call overhead from small
+// predicates while preserving behaviour exactly.
+func TestInliningEffects(t *testing.T) {
+	src := `
+func is_lower(c) { return c >= 'a' && c <= 'z'; }
+func is_upper(c) { return c >= 'A' && c <= 'Z'; }
+func is_letter(c) { return is_lower(c) || is_upper(c); }
+func main() {
+	var c; var n;
+	n = 0;
+	c = getc();
+	while (c != -1) {
+		if (is_letter(c)) { n += 1; }
+		c = getc();
+	}
+	putc('0' + n % 10);
+}`
+	plain, err := compile.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlined, err := compile.CompileOpts(compile.Options{Inline: true}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("Hello, World! 123")
+	want, err := vm.Run(plain, in, nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm.Run(inlined, in, nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want.Output) != string(got.Output) {
+		t.Fatalf("inlining changed behaviour: %q vs %q", got.Output, want.Output)
+	}
+	if got.Steps >= want.Steps {
+		t.Fatalf("no dynamic win: %d -> %d", want.Steps, got.Steps)
+	}
+	// The hot loop must be call-free after inlining: count dynamic calls.
+	calls := func(p *isa.Program) int64 {
+		var n int64
+		hook := func(ev vm.BranchEvent) {
+			if ev.Op == isa.CALL {
+				n++
+			}
+		}
+		if _, err := vm.Run(p, in, hook, vm.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if before, after := calls(plain), calls(inlined); after >= before {
+		t.Fatalf("calls not reduced: %d -> %d", before, after)
+	}
+}
+
+// TestInliningSafetyGuards: sites that must not inline.
+func TestInliningSafetyGuards(t *testing.T) {
+	// A side-effecting argument (getc) must be evaluated exactly once even
+	// when the parameter appears twice in the body.
+	src := `
+func twice(x) { return x + x; }
+func main() {
+	putc('0' + twice(getc()) % 10);
+	putc('0' + twice(3));
+}`
+	inlined, err := compile.CompileOpts(compile.Options{Inline: true}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Run(inlined, []byte{4}, nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// twice(getc()) = 8 -> '8'; twice(3) = 6 -> '6'.
+	if string(res.Output) != "86" {
+		t.Fatalf("got %q", res.Output)
+	}
+
+	// Recursion must not be inlined into an infinite expansion.
+	rec := `
+func r(n) { return r(n); }
+func main() { putc('x'); }`
+	if _, err := compile.CompileOpts(compile.Options{Inline: true}, rec); err != nil {
+		t.Fatalf("recursive candidate broke compilation: %v", err)
+	}
+
+	// Zero-use parameters with trapping arguments: division must not be
+	// silently dropped (the inliner refuses such arguments).
+	drop := `
+func first(a, b) { return a; }
+func main() {
+	var z;
+	z = getc() - getc(); // 0
+	putc('0' + first(5, 7 / z) % 10);
+}`
+	p, err := compile.CompileOpts(compile.Options{Inline: true}, drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Run(p, []byte{3, 3}, nil, vm.Config{}); err == nil {
+		t.Fatal("trapping argument was optimized away by inlining")
+	}
+}

@@ -1,0 +1,360 @@
+package compile
+
+import (
+	"branchcost/internal/isa"
+	"branchcost/internal/lang"
+)
+
+// evalReg maps an evaluation-stack depth to an architectural register.
+func evalReg(depth int) uint8 { return uint8(isa.EvalBase + depth) }
+
+func (fc *funcCtx) checkDepth(depth, line int) error {
+	if depth >= isa.EvalRegs {
+		return errf(line, "expression too complex (evaluation depth %d)", depth)
+	}
+	return nil
+}
+
+// expr compiles e, leaving its value in evalReg(depth). Registers below
+// depth are treated as live across the compilation.
+func (fc *funcCtx) expr(e lang.Expr, depth int) error {
+	if err := fc.checkDepth(depth, exprLine(e)); err != nil {
+		return err
+	}
+	d := evalReg(depth)
+	switch x := e.(type) {
+	case *lang.IntLit:
+		fc.c.emit(isa.Inst{Op: isa.LDI, Rd: d, Imm: x.Val}, x.Line)
+		return nil
+
+	case *lang.StrLit:
+		addr := fc.c.internString(x.Val)
+		fc.c.emit(isa.Inst{Op: isa.LDI, Rd: d, Imm: addr}, x.Line)
+		return nil
+
+	case *lang.Ident:
+		return fc.loadVar(x.Name, d, x.Line)
+
+	case *lang.IndexExpr:
+		if err := fc.expr(x.Base, depth); err != nil {
+			return err
+		}
+		// Constant index folds into the load displacement.
+		if lit, ok := x.Index.(*lang.IntLit); ok {
+			fc.c.emit(isa.Inst{Op: isa.LD, Rd: d, Rs: d, Imm: lit.Val}, x.Line)
+			return nil
+		}
+		if err := fc.expr(x.Index, depth+1); err != nil {
+			return err
+		}
+		fc.c.emit(isa.Inst{Op: isa.ADD, Rd: d, Rs: d, Rt: evalReg(depth + 1)}, x.Line)
+		fc.c.emit(isa.Inst{Op: isa.LD, Rd: d, Rs: d, Imm: 0}, x.Line)
+		return nil
+
+	case *lang.UnaryExpr:
+		if err := fc.expr(x.X, depth); err != nil {
+			return err
+		}
+		switch x.Op {
+		case lang.NOT:
+			fc.c.emit(isa.Inst{Op: isa.SEQ, Rd: d, Rs: d, Rt: isa.RZ}, x.Line)
+		case lang.MINUS:
+			fc.c.emit(isa.Inst{Op: isa.SUB, Rd: d, Rs: isa.RZ, Rt: d}, x.Line)
+		case lang.TILDE:
+			if err := fc.checkDepth(depth+1, x.Line); err != nil {
+				return err
+			}
+			t := evalReg(depth + 1)
+			fc.c.emit(isa.Inst{Op: isa.LDI, Rd: t, Imm: -1}, x.Line)
+			fc.c.emit(isa.Inst{Op: isa.XOR, Rd: d, Rs: d, Rt: t}, x.Line)
+		default:
+			return errf(x.Line, "unhandled unary operator %v", x.Op)
+		}
+		return nil
+
+	case *lang.BinaryExpr:
+		return fc.binaryExpr(x, depth)
+
+	case *lang.CallExpr:
+		return fc.call(x, depth)
+	}
+	return errf(exprLine(e), "unhandled expression %T", e)
+}
+
+// immForm returns the immediate-operand opcode for op, if one exists.
+func immForm(op isa.Op) (isa.Op, bool) {
+	switch op {
+	case isa.ADD:
+		return isa.ADDI, true
+	case isa.MUL:
+		return isa.MULI, true
+	case isa.AND:
+		return isa.ANDI, true
+	case isa.OR:
+		return isa.ORI, true
+	case isa.SHL:
+		return isa.SHLI, true
+	case isa.SHR:
+		return isa.SHRI, true
+	case isa.SLT:
+		return isa.SLTI, true
+	}
+	return 0, false
+}
+
+var arithOp = map[lang.Kind]isa.Op{
+	lang.PLUS: isa.ADD, lang.MINUS: isa.SUB, lang.STAR: isa.MUL,
+	lang.SLASH: isa.DIV, lang.PERCENT: isa.MOD,
+	lang.AND: isa.AND, lang.OR: isa.OR, lang.XOR: isa.XOR,
+	lang.SHL: isa.SHL, lang.SHR: isa.SHR,
+}
+
+func (fc *funcCtx) binaryExpr(x *lang.BinaryExpr, depth int) error {
+	d := evalReg(depth)
+	switch x.Op {
+	case lang.ANDAND, lang.OROR:
+		// Short-circuit evaluation materializing 0/1.
+		falseL := fc.newLabel()
+		endL := fc.newLabel()
+		if err := fc.cond(x, depth, false, falseL); err != nil {
+			return err
+		}
+		fc.c.emit(isa.Inst{Op: isa.LDI, Rd: d, Imm: 1}, x.Line)
+		fc.jump(endL, x.Line)
+		fc.bind(falseL)
+		fc.c.emit(isa.Inst{Op: isa.LDI, Rd: d, Imm: 0}, x.Line)
+		fc.bind(endL)
+		return nil
+
+	case lang.EQ, lang.NE, lang.LT, lang.LE, lang.GT, lang.GE:
+		if err := fc.expr(x.X, depth); err != nil {
+			return err
+		}
+		// x < const folds to SLTI.
+		if lit, ok := x.Y.(*lang.IntLit); ok && x.Op == lang.LT {
+			fc.c.emit(isa.Inst{Op: isa.SLTI, Rd: d, Rs: d, Imm: lit.Val}, x.Line)
+			return nil
+		}
+		if err := fc.expr(x.Y, depth+1); err != nil {
+			return err
+		}
+		t := evalReg(depth + 1)
+		switch x.Op {
+		case lang.EQ:
+			fc.c.emit(isa.Inst{Op: isa.SEQ, Rd: d, Rs: d, Rt: t}, x.Line)
+		case lang.NE:
+			fc.c.emit(isa.Inst{Op: isa.SNE, Rd: d, Rs: d, Rt: t}, x.Line)
+		case lang.LT:
+			fc.c.emit(isa.Inst{Op: isa.SLT, Rd: d, Rs: d, Rt: t}, x.Line)
+		case lang.LE:
+			fc.c.emit(isa.Inst{Op: isa.SLE, Rd: d, Rs: d, Rt: t}, x.Line)
+		case lang.GT:
+			fc.c.emit(isa.Inst{Op: isa.SLT, Rd: d, Rs: t, Rt: d}, x.Line)
+		case lang.GE:
+			fc.c.emit(isa.Inst{Op: isa.SLE, Rd: d, Rs: t, Rt: d}, x.Line)
+		}
+		return nil
+	}
+
+	op, ok := arithOp[x.Op]
+	if !ok {
+		return errf(x.Line, "unhandled binary operator %v", x.Op)
+	}
+	if err := fc.expr(x.X, depth); err != nil {
+		return err
+	}
+	if lit, ok := x.Y.(*lang.IntLit); ok {
+		if iop, has := immForm(op); has {
+			fc.c.emit(isa.Inst{Op: iop, Rd: d, Rs: d, Imm: lit.Val}, x.Line)
+			return nil
+		}
+		if op == isa.SUB {
+			fc.c.emit(isa.Inst{Op: isa.ADDI, Rd: d, Rs: d, Imm: -lit.Val}, x.Line)
+			return nil
+		}
+	}
+	if err := fc.expr(x.Y, depth+1); err != nil {
+		return err
+	}
+	fc.c.emit(isa.Inst{Op: op, Rd: d, Rs: d, Rt: evalReg(depth + 1)}, x.Line)
+	return nil
+}
+
+func (fc *funcCtx) call(x *lang.CallExpr, depth int) error {
+	d := evalReg(depth)
+	switch x.Name {
+	case builtinGetc:
+		if len(x.Args) != 0 {
+			return errf(x.Line, "getc takes no arguments")
+		}
+		fc.c.emit(isa.Inst{Op: isa.IN, Rd: d}, x.Line)
+		return nil
+	case builtinPutc:
+		if len(x.Args) != 1 {
+			return errf(x.Line, "putc takes one argument")
+		}
+		if err := fc.expr(x.Args[0], depth); err != nil {
+			return err
+		}
+		fc.c.emit(isa.Inst{Op: isa.OUT, Rs: d}, x.Line)
+		return nil
+	}
+
+	fn, ok := fc.c.funcs[x.Name]
+	if !ok {
+		return errf(x.Line, "call of undefined function %s", x.Name)
+	}
+	if len(x.Args) != len(fn.Params) {
+		return errf(x.Line, "%s takes %d arguments, got %d", x.Name, len(fn.Params), len(x.Args))
+	}
+	n := len(x.Args)
+	if err := fc.checkDepth(depth+n, x.Line); err != nil {
+		return err
+	}
+
+	// Evaluate arguments onto the stack above the live registers. Nested
+	// calls inside the arguments spill recursively.
+	for j, a := range x.Args {
+		if err := fc.expr(a, depth+j); err != nil {
+			return err
+		}
+	}
+	// Spill live evaluation registers, then the arguments, below SP.
+	for i := 0; i < depth; i++ {
+		fc.c.emit(isa.Inst{Op: isa.ST, Rs: isa.SP, Imm: int64(-(1 + i)), Rt: evalReg(i)}, x.Line)
+	}
+	for j := 0; j < n; j++ {
+		fc.c.emit(isa.Inst{Op: isa.ST, Rs: isa.SP, Imm: int64(-(depth + 1 + j)), Rt: evalReg(depth + j)}, x.Line)
+	}
+	if depth+n > 0 {
+		fc.c.emit(isa.Inst{Op: isa.ADDI, Rd: isa.SP, Rs: isa.SP, Imm: int64(-(depth + n))}, x.Line)
+	}
+	at := fc.c.emit(isa.Inst{Op: isa.CALL}, x.Line)
+	fc.c.callPatches = append(fc.c.callPatches, callPatch{at: at, name: x.Name, line: x.Line})
+	if depth+n > 0 {
+		fc.c.emit(isa.Inst{Op: isa.ADDI, Rd: isa.SP, Rs: isa.SP, Imm: int64(depth + n)}, x.Line)
+	}
+	for i := 0; i < depth; i++ {
+		fc.c.emit(isa.Inst{Op: isa.LD, Rd: evalReg(i), Rs: isa.SP, Imm: int64(-(1 + i))}, x.Line)
+	}
+	fc.c.emit(isa.Inst{Op: isa.MOV, Rd: d, Rs: isa.RV}, x.Line)
+	return nil
+}
+
+// cond compiles e for control flow: it branches to target when the truth of
+// e equals whenTrue, and falls through otherwise. Registers below depth stay
+// live.
+func (fc *funcCtx) cond(e lang.Expr, depth int, whenTrue bool, target label) error {
+	if err := fc.checkDepth(depth, exprLine(e)); err != nil {
+		return err
+	}
+	switch x := e.(type) {
+	case *lang.IntLit:
+		if (x.Val != 0) == whenTrue {
+			fc.jump(target, x.Line)
+		}
+		return nil
+
+	case *lang.UnaryExpr:
+		if x.Op == lang.NOT {
+			return fc.cond(x.X, depth, !whenTrue, target)
+		}
+
+	case *lang.BinaryExpr:
+		switch x.Op {
+		case lang.ANDAND:
+			if whenTrue {
+				out := fc.newLabel()
+				if err := fc.cond(x.X, depth, false, out); err != nil {
+					return err
+				}
+				if err := fc.cond(x.Y, depth, true, target); err != nil {
+					return err
+				}
+				fc.bind(out)
+				return nil
+			}
+			if err := fc.cond(x.X, depth, false, target); err != nil {
+				return err
+			}
+			return fc.cond(x.Y, depth, false, target)
+
+		case lang.OROR:
+			if whenTrue {
+				if err := fc.cond(x.X, depth, true, target); err != nil {
+					return err
+				}
+				return fc.cond(x.Y, depth, true, target)
+			}
+			out := fc.newLabel()
+			if err := fc.cond(x.X, depth, true, out); err != nil {
+				return err
+			}
+			if err := fc.cond(x.Y, depth, false, target); err != nil {
+				return err
+			}
+			fc.bind(out)
+			return nil
+
+		case lang.EQ, lang.NE, lang.LT, lang.LE, lang.GT, lang.GE:
+			if err := fc.expr(x.X, depth); err != nil {
+				return err
+			}
+			if err := fc.expr(x.Y, depth+1); err != nil {
+				return err
+			}
+			a, b := evalReg(depth), evalReg(depth+1)
+			var op isa.Op
+			switch x.Op {
+			case lang.EQ:
+				op = isa.BEQ
+			case lang.NE:
+				op = isa.BNE
+			case lang.LT:
+				op = isa.BLT
+			case lang.LE:
+				op = isa.BLE
+			case lang.GT:
+				op = isa.BGT
+			case lang.GE:
+				op = isa.BGE
+			}
+			if !whenTrue {
+				op = op.Invert()
+			}
+			fc.branch(op, a, b, target, x.Line)
+			return nil
+		}
+	}
+
+	// General case: nonzero test.
+	if err := fc.expr(e, depth); err != nil {
+		return err
+	}
+	op := isa.BNE
+	if !whenTrue {
+		op = isa.BEQ
+	}
+	fc.branch(op, evalReg(depth), isa.RZ, target, exprLine(e))
+	return nil
+}
+
+func exprLine(e lang.Expr) int {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return x.Line
+	case *lang.StrLit:
+		return x.Line
+	case *lang.Ident:
+		return x.Line
+	case *lang.IndexExpr:
+		return x.Line
+	case *lang.CallExpr:
+		return x.Line
+	case *lang.UnaryExpr:
+		return x.Line
+	case *lang.BinaryExpr:
+		return x.Line
+	}
+	return 0
+}

@@ -1,0 +1,284 @@
+package compile
+
+import (
+	"branchcost/internal/lang"
+)
+
+// Inlining, IMPACT-style: the paper's compiler aggressively inlined small
+// functions before trace selection, turning call-dominated leaf predicates
+// (is_space, is_alpha, …) into intra-procedural branches. This pass does
+// the safe subset at the AST level:
+//
+//   - a candidate's body is a single `return expr;` whose expression
+//     contains no calls (so evaluating it cannot write memory or consume
+//     input, making repeated parameter substitution sound);
+//   - a call site is rewritten only when every argument is a "pure simple"
+//     expression — literals, variables, and non-trapping operators over
+//     them (no calls, no division, no indexing) — so substituting an
+//     argument at zero, one or many use sites preserves behaviour exactly;
+//   - rounds iterate to a fixpoint (bounded), so a predicate built from
+//     other inlined predicates (is_alnum = is_alpha || is_digit) becomes
+//     inlinable once its callees have been folded into it.
+//
+// The differential fuzzer and the benchmark golden tests guard the
+// transformation.
+
+// inlineBudget caps the body size (AST nodes) a candidate may have.
+const inlineBudget = 48
+
+// inlineRounds bounds fixpoint iteration.
+const inlineRounds = 4
+
+// inlineFunctions rewrites call sites in every function (including inside
+// candidates themselves). It mutates the FuncDecl bodies in place.
+func inlineFunctions(funcs map[string]*lang.FuncDecl) {
+	for round := 0; round < inlineRounds; round++ {
+		candidates := map[string]*lang.FuncDecl{}
+		for name, fn := range funcs {
+			if name != "main" && isInlineCandidate(fn) {
+				candidates[name] = fn
+			}
+		}
+		if len(candidates) == 0 {
+			return
+		}
+		changed := false
+		for _, fn := range funcs {
+			if rewriteStmtCalls(fn.Body, fn.Name, candidates) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// isInlineCandidate reports whether fn is a single-return, call-free,
+// small-bodied function.
+func isInlineCandidate(fn *lang.FuncDecl) bool {
+	if len(fn.Body.Stmts) != 1 {
+		return false
+	}
+	ret, ok := fn.Body.Stmts[0].(*lang.ReturnStmt)
+	if !ok || ret.X == nil {
+		return false
+	}
+	size := 0
+	callFree := true
+	walkExpr(ret.X, func(e lang.Expr) {
+		size++
+		if _, isCall := e.(*lang.CallExpr); isCall {
+			callFree = false
+		}
+	})
+	return callFree && size <= inlineBudget
+}
+
+// pureSimpleArg reports whether evaluating e is side-effect-free and
+// trap-free: safe to substitute at any number of use sites.
+func pureSimpleArg(e lang.Expr) bool {
+	switch x := e.(type) {
+	case *lang.IntLit, *lang.StrLit, *lang.Ident:
+		return true
+	case *lang.UnaryExpr:
+		return pureSimpleArg(x.X)
+	case *lang.BinaryExpr:
+		switch x.Op {
+		case lang.SLASH, lang.PERCENT:
+			return false // can trap; a zero-use parameter would untrap it
+		}
+		return pureSimpleArg(x.X) && pureSimpleArg(x.Y)
+	}
+	return false // calls, indexing (can trap), anything else
+}
+
+// substitute returns a deep copy of e with parameter references replaced by
+// the given argument expressions.
+func substitute(e lang.Expr, params map[string]lang.Expr) lang.Expr {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		c := *x
+		return &c
+	case *lang.StrLit:
+		c := *x
+		return &c
+	case *lang.Ident:
+		if arg, ok := params[x.Name]; ok {
+			return arg // pure-simple: sharing the node is safe
+		}
+		c := *x
+		return &c
+	case *lang.IndexExpr:
+		return &lang.IndexExpr{
+			Base:  substitute(x.Base, params),
+			Index: substitute(x.Index, params),
+			Line:  x.Line,
+		}
+	case *lang.UnaryExpr:
+		return &lang.UnaryExpr{Op: x.Op, X: substitute(x.X, params), Line: x.Line}
+	case *lang.BinaryExpr:
+		return &lang.BinaryExpr{
+			Op:   x.Op,
+			X:    substitute(x.X, params),
+			Y:    substitute(x.Y, params),
+			Line: x.Line,
+		}
+	case *lang.CallExpr:
+		c := &lang.CallExpr{Name: x.Name, Line: x.Line}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, substitute(a, params))
+		}
+		return c
+	}
+	return e
+}
+
+// tryInline rewrites one call expression, returning the replacement and
+// whether it changed.
+func tryInline(call *lang.CallExpr, caller string, candidates map[string]*lang.FuncDecl) (lang.Expr, bool) {
+	fn, ok := candidates[call.Name]
+	if !ok || call.Name == caller {
+		return call, false // unknown, or direct recursion
+	}
+	if len(call.Args) != len(fn.Params) {
+		return call, false // arity error surfaces in codegen
+	}
+	for _, a := range call.Args {
+		if !pureSimpleArg(a) {
+			return call, false
+		}
+	}
+	params := map[string]lang.Expr{}
+	for i, p := range fn.Params {
+		params[p] = call.Args[i]
+	}
+	body := fn.Body.Stmts[0].(*lang.ReturnStmt).X
+	return substitute(body, params), true
+}
+
+// rewriteExpr rewrites calls inside e bottom-up; returns the (possibly new)
+// expression and whether anything changed.
+func rewriteExpr(e lang.Expr, caller string, candidates map[string]*lang.FuncDecl) (lang.Expr, bool) {
+	changed := false
+	switch x := e.(type) {
+	case *lang.IndexExpr:
+		var c bool
+		x.Base, c = rewriteExpr(x.Base, caller, candidates)
+		changed = changed || c
+		x.Index, c = rewriteExpr(x.Index, caller, candidates)
+		changed = changed || c
+	case *lang.UnaryExpr:
+		var c bool
+		x.X, c = rewriteExpr(x.X, caller, candidates)
+		changed = changed || c
+	case *lang.BinaryExpr:
+		var c bool
+		x.X, c = rewriteExpr(x.X, caller, candidates)
+		changed = changed || c
+		x.Y, c = rewriteExpr(x.Y, caller, candidates)
+		changed = changed || c
+	case *lang.CallExpr:
+		for i := range x.Args {
+			var c bool
+			x.Args[i], c = rewriteExpr(x.Args[i], caller, candidates)
+			changed = changed || c
+		}
+		if repl, ok := tryInline(x, caller, candidates); ok {
+			return repl, true
+		}
+	}
+	return e, changed
+}
+
+// rewriteStmtCalls rewrites calls in every expression of a statement tree.
+func rewriteStmtCalls(s lang.Stmt, caller string, candidates map[string]*lang.FuncDecl) bool {
+	changed := false
+	re := func(e lang.Expr) lang.Expr {
+		if e == nil {
+			return nil
+		}
+		out, c := rewriteExpr(e, caller, candidates)
+		changed = changed || c
+		return out
+	}
+	switch st := s.(type) {
+	case nil:
+	case *lang.Block:
+		for _, x := range st.Stmts {
+			if rewriteStmtCalls(x, caller, candidates) {
+				changed = true
+			}
+		}
+	case *lang.LocalDecl:
+		st.Init = re(st.Init)
+	case *lang.AssignStmt:
+		st.LHS = re(st.LHS)
+		st.RHS = re(st.RHS)
+	case *lang.ExprStmt:
+		st.X = re(st.X)
+	case *lang.IfStmt:
+		st.Cond = re(st.Cond)
+		if rewriteStmtCalls(st.Then, caller, candidates) {
+			changed = true
+		}
+		if rewriteStmtCalls(st.Else, caller, candidates) {
+			changed = true
+		}
+	case *lang.WhileStmt:
+		st.Cond = re(st.Cond)
+		if rewriteStmtCalls(st.Body, caller, candidates) {
+			changed = true
+		}
+	case *lang.DoWhileStmt:
+		if rewriteStmtCalls(st.Body, caller, candidates) {
+			changed = true
+		}
+		st.Cond = re(st.Cond)
+	case *lang.ForStmt:
+		if rewriteStmtCalls(st.Init, caller, candidates) {
+			changed = true
+		}
+		st.Cond = re(st.Cond)
+		if rewriteStmtCalls(st.Post, caller, candidates) {
+			changed = true
+		}
+		if rewriteStmtCalls(st.Body, caller, candidates) {
+			changed = true
+		}
+	case *lang.SwitchStmt:
+		st.Tag = re(st.Tag)
+		for _, c := range st.Cases {
+			for _, x := range c.Body {
+				if rewriteStmtCalls(x, caller, candidates) {
+					changed = true
+				}
+			}
+		}
+	case *lang.ReturnStmt:
+		st.X = re(st.X)
+	}
+	return changed
+}
+
+// walkExpr visits e and all subexpressions.
+func walkExpr(e lang.Expr, f func(lang.Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch x := e.(type) {
+	case *lang.IndexExpr:
+		walkExpr(x.Base, f)
+		walkExpr(x.Index, f)
+	case *lang.UnaryExpr:
+		walkExpr(x.X, f)
+	case *lang.BinaryExpr:
+		walkExpr(x.X, f)
+		walkExpr(x.Y, f)
+	case *lang.CallExpr:
+		for _, a := range x.Args {
+			walkExpr(a, f)
+		}
+	}
+}

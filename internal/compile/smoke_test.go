@@ -1,0 +1,305 @@
+package compile_test
+
+import (
+	"testing"
+
+	"branchcost/internal/compile"
+	"branchcost/internal/vm"
+)
+
+// run compiles src, executes it on input, and returns the output string.
+func run(t *testing.T, src, input string) string {
+	t.Helper()
+	prog, err := compile.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := vm.Run(prog, []byte(input), nil, vm.Config{})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, prog.Disassemble())
+	}
+	return string(res.Output)
+}
+
+func TestEcho(t *testing.T) {
+	src := `
+func main() {
+	var c;
+	c = getc();
+	while (c != -1) {
+		putc(c);
+		c = getc();
+	}
+}`
+	if got := run(t, src, "hello"); got != "hello" {
+		t.Fatalf("echo: got %q", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+func main() {
+	putc('0' + (2+3*4-5)/3 % 10);     // (2+12-5)/3 = 3
+	putc('0' + (10 & 6) + (1 | 4));   // 2 + 5 = 7
+	putc('0' + (5 ^ 3));              // 6
+	putc('0' + (1 << 3) - (16 >> 2)); // 8-4 = 4
+	putc('0' + -3 + 5);               // 2
+	putc('0' + ~0 + 2);               // 1
+	putc('0' + !5 + !0);              // 0+1
+}`
+	if got := run(t, src, ""); got != "3764211" {
+		t.Fatalf("arith: got %q", got)
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	src := `
+func main() {
+	putc('0' + (3 < 5) + (5 < 3));   // 1
+	putc('0' + (3 <= 3) + (4 <= 3)); // 1
+	putc('0' + (5 > 3)*2);           // 2
+	putc('0' + (3 >= 4));            // 0
+	putc('0' + (3 == 3) + (3 != 3)); // 1
+	if (1 && 2) { putc('a'); }
+	if (1 && 0) { putc('b'); }
+	if (0 || 3) { putc('c'); }
+	if (0 || 0) { putc('d'); }
+	var x; x = (2 > 1) && (3 > 2);
+	putc('0' + x);
+}`
+	if got := run(t, src, ""); got != "11201ac1" {
+		t.Fatalf("logic: got %q", got)
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	src := `
+var n;
+func bump() { n += 1; return 1; }
+func main() {
+	n = 0;
+	if (0 && bump()) {}
+	putc('0' + n); // 0: rhs not evaluated
+	if (1 || bump()) {}
+	putc('0' + n); // 0
+	if (1 && bump()) {}
+	putc('0' + n); // 1
+	if (0 || bump()) {}
+	putc('0' + n); // 2
+}`
+	if got := run(t, src, ""); got != "0012" {
+		t.Fatalf("short-circuit: got %q", got)
+	}
+}
+
+func TestLoopsAndControl(t *testing.T) {
+	src := `
+func main() {
+	var i; var s;
+	s = 0;
+	for (i = 1; i <= 10; i += 1) { s += i; }
+	putc('0' + s / 10); putc('0' + s % 10); // 55
+	s = 0; i = 0;
+	while (i < 20) {
+		i += 1;
+		if (i % 2 == 0) { continue; }
+		if (i > 9) { break; }
+		s += 1;
+	}
+	putc('0' + s); // odds 1..9 = 5
+	i = 0;
+	do { i += 1; } while (i < 3);
+	putc('0' + i); // 3
+}`
+	if got := run(t, src, ""); got != "5553" {
+		t.Fatalf("loops: got %q", got)
+	}
+}
+
+func TestGlobalsArraysStrings(t *testing.T) {
+	src := `
+var a[10];
+var msg = "hi!";
+var init = {3, 1, 4, 1, 5};
+var g = 7;
+func main() {
+	var i;
+	for (i = 0; i < 10; i += 1) { a[i] = i * i; }
+	putc('0' + a[3]); // 9
+	for (i = 0; msg[i] != 0; i += 1) { putc(msg[i]); }
+	putc('0' + init[2]); // 4
+	putc('0' + g);       // 7
+	g = 2;
+	putc('0' + g);       // 2
+	i = 1;
+	a[i+1] += 40;
+	putc('0' + a[2] - 40); // 4
+}`
+	if got := run(t, src, ""); got != "9hi!4724" {
+		t.Fatalf("globals: got %q", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+func add(a, b) { return a + b; }
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+func fact(n) {
+	if (n <= 1) { return 1; }
+	return n * fact(n-1);
+}
+func main() {
+	putc('0' + add(2, 3));           // 5
+	putc('0' + fib(10) / 10 % 10);   // fib(10)=55 -> 5
+	putc('0' + fib(10) % 10);        // 5
+	putc('0' + fact(4) / 10);        // 24 -> 2
+	putc('0' + fact(4) % 10);        // 4
+	putc('0' + add(add(1,2), add(3,4))); // nested calls: 10... putc('0'+10)=':'
+}`
+	if got := run(t, src, ""); got != "55524:" {
+		t.Fatalf("functions: got %q", got)
+	}
+}
+
+func TestCallSpillsLiveRegisters(t *testing.T) {
+	// The left operand must survive the nested call on the right.
+	src := `
+func id(x) { return x; }
+func two() { return 2; }
+func main() {
+	putc('0' + (3 + two()));       // 5
+	putc('0' + (id(1) + id(2) + id(3))); // 6
+	putc('0' + id(id(id(7))));     // 7
+}`
+	if got := run(t, src, ""); got != "567" {
+		t.Fatalf("spills: got %q", got)
+	}
+}
+
+func TestSwitchDense(t *testing.T) {
+	src := `
+func classify(c) {
+	switch (c) {
+	case 0: return 'z';
+	case 1:
+	case 2: return 'a';
+	case 3: return 'b';
+	case 5: return 'c';
+	default: return 'd';
+	}
+}
+func main() {
+	putc(classify(0));
+	putc(classify(1));
+	putc(classify(2));
+	putc(classify(3));
+	putc(classify(4)); // hole -> default
+	putc(classify(5));
+	putc(classify(9)); // out of range -> default
+	putc(classify(-1));
+}`
+	if got := run(t, src, ""); got != "zaabdcdd" {
+		t.Fatalf("switch dense: got %q", got)
+	}
+}
+
+func TestSwitchSparseAndFallthrough(t *testing.T) {
+	src := `
+func main() {
+	var i;
+	for (i = 0; i < 4; i += 1) {
+		switch (i * 1000) {
+		case 0:
+			putc('A');
+			// fall through
+		case 1000:
+			putc('B');
+			break;
+		case 2000:
+			putc('C');
+			break;
+		default:
+			putc('D');
+		}
+	}
+}`
+	if got := run(t, src, ""); got != "ABBCD" {
+		t.Fatalf("switch sparse: got %q", got)
+	}
+}
+
+func TestCompoundAssignIndexOnce(t *testing.T) {
+	// The index expression of a compound assignment must evaluate once.
+	src := `
+var a[8];
+var n;
+func next() { n += 1; return n; }
+func main() {
+	n = 0;
+	a[3] = 10;
+	a[next()+2] += 5; // a[3] = 15, next() called once
+	putc('0' + n);          // 1
+	putc('0' + a[3] - 10);  // 5
+}`
+	if got := run(t, src, ""); got != "15" {
+		t.Fatalf("compound: got %q", got)
+	}
+}
+
+func TestDivModByZeroTraps(t *testing.T) {
+	src := `func main() { var x; x = getc(); putc(1 / x); }`
+	prog, err := compile.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := vm.Run(prog, []byte{0}, nil, vm.Config{}); err == nil {
+		t.Fatal("expected divide-by-zero trap")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no main", `func f() {}`},
+		{"main params", `func main(x) {}`},
+		{"undefined var", `func main() { x = 1; }`},
+		{"undefined func", `func main() { f(); }`},
+		{"redeclared local", `func main() { var x; var x; }`},
+		{"redeclared global", "var g;\nvar g;\nfunc main() {}"},
+		{"redeclared func", `func f() {} func f() {} func main() {}`},
+		{"arity", `func f(a) { return a; } func main() { f(1, 2); }`},
+		{"assign to array", `var a[4]; func main() { a = 1; }`},
+		{"break outside", `func main() { break; }`},
+		{"continue outside", `func main() { continue; }`},
+		{"getc arity", `func main() { getc(1); }`},
+		{"putc arity", `func main() { putc(); }`},
+		{"shadow builtin", `func getc() {} func main() {}`},
+		{"parse error", `func main() { if }`},
+		{"assign to literal", `func main() { 3 = 4; }`},
+		{"dup case", `func main() { switch (1) { case 1: break; case 1: break; } }`},
+	}
+	for _, c := range cases {
+		if _, err := compile.Compile(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestValidateGeneratedPrograms(t *testing.T) {
+	srcs := []string{
+		`func main() {}`,
+		`func main() { var i; for (i=0;i<3;i+=1) { putc('x'); } }`,
+		`func f(a,b,c) { return a*b+c; } func main() { putc('0'+f(1,2,3)); }`,
+	}
+	for i, src := range srcs {
+		prog, err := compile.Compile(src)
+		if err != nil {
+			t.Fatalf("src %d: %v", i, err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Errorf("src %d: validate: %v", i, err)
+		}
+	}
+}

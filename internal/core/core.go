@@ -1,0 +1,224 @@
+// Package core orchestrates the paper's measurement pipeline: compile a
+// benchmark, profile it over its input suite, evaluate the two hardware
+// schemes (SBTB, CBTB) on the original binary, apply the Forward Semantic
+// transform, and evaluate the software scheme on the transformed binary.
+// The root branchcost package re-exports this API.
+package core
+
+import (
+	"fmt"
+
+	"branchcost/internal/btb"
+	"branchcost/internal/fs"
+	"branchcost/internal/isa"
+	"branchcost/internal/pipeline"
+	"branchcost/internal/predict"
+	"branchcost/internal/profile"
+	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
+)
+
+// Config selects the hardware configuration of the two BTB schemes and the
+// slot depth used when materializing the Forward Semantic binary. The zero
+// value is replaced by the paper's configuration (256-entry fully
+// associative buffers; 2-bit counters with threshold 2; k+ℓ = 2 slots).
+type Config struct {
+	SBTBEntries int
+	SBTBAssoc   int
+
+	CBTBEntries      int
+	CBTBAssoc        int
+	CounterBits      int
+	CounterThreshold uint8
+
+	// EvalSlots is the k+ℓ used for the measured FS binary. The measured
+	// accuracy is independent of it (slots never execute), but the binary's
+	// layout and code growth depend on it.
+	EvalSlots int
+
+	// FlushEvery, when positive, resets the hardware predictors every N
+	// branches (the context-switch ablation of the paper's §3 discussion).
+	FlushEvery int64
+
+	// CycleSim, when non-nil, runs the cycle-level pipeline simulator
+	// alongside each scheme's evaluation (one simulator instance per
+	// scheme, configured with these stage depths).
+	CycleSim *pipeline.CycleSim
+}
+
+// Paper is the configuration used throughout the paper's evaluation.
+var Paper = Config{
+	SBTBEntries: 256, SBTBAssoc: 256,
+	CBTBEntries: 256, CBTBAssoc: 256,
+	CounterBits: 2, CounterThreshold: 2,
+	EvalSlots: 2,
+}
+
+func (c Config) withDefaults() Config {
+	d := Paper
+	if c.SBTBEntries != 0 {
+		d.SBTBEntries = c.SBTBEntries
+	}
+	if c.SBTBAssoc != 0 {
+		d.SBTBAssoc = c.SBTBAssoc
+	}
+	if c.CBTBEntries != 0 {
+		d.CBTBEntries = c.CBTBEntries
+	}
+	if c.CBTBAssoc != 0 {
+		d.CBTBAssoc = c.CBTBAssoc
+	}
+	if c.CounterBits != 0 {
+		d.CounterBits = c.CounterBits
+	}
+	if c.CounterThreshold != 0 {
+		d.CounterThreshold = c.CounterThreshold
+	}
+	if c.EvalSlots != 0 {
+		d.EvalSlots = c.EvalSlots
+	}
+	d.FlushEvery = c.FlushEvery
+	d.CycleSim = c.CycleSim
+	return d
+}
+
+// SchemeResult is one scheme's score on one benchmark.
+type SchemeResult struct {
+	Stats predict.Stats
+	Cycle *pipeline.CycleSim // nil unless Config.CycleSim was set
+}
+
+// Eval is the complete measurement of one benchmark.
+type Eval struct {
+	Name    string
+	Program *isa.Program
+	Profile *profile.Profile
+	Summary profile.Summary
+
+	SBTB SchemeResult
+	CBTB SchemeResult
+	FS   SchemeResult
+
+	// FSResult is the transform used for the FS measurement (layout, code
+	// growth at Config.EvalSlots, trace statistics).
+	FSResult *fs.Result
+
+	// AnalyticFS is A_FS computed from the profile alone; it must equal
+	// FS.Stats.Accuracy() when evaluation inputs equal profiling inputs.
+	AnalyticFS float64
+}
+
+// cloneSim returns a fresh simulator with the same stage depths.
+func cloneSim(cs *pipeline.CycleSim) *pipeline.CycleSim {
+	if cs == nil {
+		return nil
+	}
+	return &pipeline.CycleSim{K: cs.K, L: cs.L, M: cs.M}
+}
+
+// EvaluateBenchmark runs the full pipeline for one benchmark: a single
+// profiling+hardware-evaluation pass over the original binary (all inputs),
+// then the Forward Semantic transform and a measurement pass over the
+// transformed binary.
+func EvaluateBenchmark(b *workloads.Benchmark, cfg Config) (*Eval, error) {
+	cfg = cfg.withDefaults()
+	prog, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	inputs := b.Inputs()
+	return Evaluate(b.Name, prog, inputs, inputs, cfg)
+}
+
+// Evaluate runs the measurement pipeline for an arbitrary program:
+// profiling on profInputs, scheme evaluation on evalInputs. Passing the
+// same slice for both reproduces the paper's methodology (§4: "the exact
+// same benchmarks with the same inputs were used").
+func Evaluate(name string, prog *isa.Program, profInputs, evalInputs [][]byte, cfg Config) (*Eval, error) {
+	cfg = cfg.withDefaults()
+	e := &Eval{Name: name, Program: prog, Profile: profile.New()}
+
+	// Pass 1: profile the original binary.
+	col := &profile.Collector{P: e.Profile}
+	hook := col.Hook()
+	for i, in := range profInputs {
+		res, err := vm.Run(prog, in, hook, vm.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: profiling run %d: %w", name, i, err)
+		}
+		e.Profile.Steps += res.Steps
+		e.Profile.Runs++
+	}
+	e.Summary = e.Profile.Summarize()
+	e.AnalyticFS = e.Profile.StaticAccuracy()
+
+	// Pass 2: hardware schemes on the original binary (one multiplexed
+	// pass; both predictors observe the identical branch stream).
+	sbtbEval := &predict.Evaluator{
+		P:          btb.NewSBTB(cfg.SBTBEntries, cfg.SBTBAssoc),
+		FlushEvery: cfg.FlushEvery,
+	}
+	cbtbEval := &predict.Evaluator{
+		P:          btb.NewCBTB(cfg.CBTBEntries, cfg.CBTBAssoc, cfg.CounterBits, cfg.CounterThreshold),
+		FlushEvery: cfg.FlushEvery,
+	}
+	e.SBTB.Cycle = cloneSim(cfg.CycleSim)
+	e.CBTB.Cycle = cloneSim(cfg.CycleSim)
+	if e.SBTB.Cycle != nil {
+		sbtbEval.OnResult = func(ev vm.BranchEvent, correct bool) {
+			e.SBTB.Cycle.OnBranch(correct, ev.Op.IsCondBranch())
+		}
+		cbtbEval.OnResult = func(ev vm.BranchEvent, correct bool) {
+			e.CBTB.Cycle.OnBranch(correct, ev.Op.IsCondBranch())
+		}
+	}
+	hw := func(ev vm.BranchEvent) {
+		sbtbEval.Observe(ev)
+		cbtbEval.Observe(ev)
+	}
+	for i, in := range evalInputs {
+		if _, err := vm.Run(prog, in, hw, vm.Config{}); err != nil {
+			return nil, fmt.Errorf("core: %s: hardware evaluation run %d: %w", name, i, err)
+		}
+	}
+	e.SBTB.Stats = sbtbEval.S
+	e.CBTB.Stats = cbtbEval.S
+
+	// Pass 3: Forward Semantic on the transformed binary. Synthetic fixup
+	// jumps are excluded so all three schemes score the same branch set.
+	fsRes, err := fs.Transform(prog, e.Profile, cfg.EvalSlots)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: transform: %w", name, err)
+	}
+	e.FSResult = fsRes
+	fsEval := &predict.Evaluator{
+		P: predict.LikelyBit{Targets: predict.ProgramTargets{Prog: fsRes.Prog}},
+	}
+	e.FS.Cycle = cloneSim(cfg.CycleSim)
+	if e.FS.Cycle != nil {
+		fsEval.OnResult = func(ev vm.BranchEvent, correct bool) {
+			e.FS.Cycle.OnBranch(correct, ev.Op.IsCondBranch())
+		}
+	}
+	fsHook := func(ev vm.BranchEvent) {
+		if fsRes.SyntheticID(ev.ID) {
+			return
+		}
+		fsEval.Observe(ev)
+	}
+	for i, in := range evalInputs {
+		if _, err := vm.Run(fsRes.Prog, in, fsHook, vm.Config{}); err != nil {
+			return nil, fmt.Errorf("core: %s: FS evaluation run %d: %w", name, i, err)
+		}
+	}
+	e.FS.Stats = fsEval.S
+	return e, nil
+}
+
+// Cost evaluates the paper's cost model for each scheme at the given
+// pipeline operating point, returning SBTB, CBTB and FS costs.
+func (e *Eval) Cost(p pipeline.Config) (sbtb, cbtb, fsc float64) {
+	return p.Cost(e.SBTB.Stats.Accuracy()),
+		p.Cost(e.CBTB.Stats.Accuracy()),
+		p.Cost(e.FS.Stats.Accuracy())
+}

@@ -1,0 +1,195 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"branchcost/internal/compile"
+	"branchcost/internal/core"
+	"branchcost/internal/pipeline"
+	"branchcost/internal/workloads"
+)
+
+const testSrc = `
+var hist[4];
+func main() {
+	var c;
+	c = getc();
+	while (c != -1) {
+		if (c >= 'a') { hist[0] += 1; }
+		else if (c >= 'A') { hist[1] += 1; }
+		else if (c >= '0') { hist[2] += 1; }
+		else { hist[3] += 1; }
+		c = getc();
+	}
+	putc('0' + hist[0] % 10);
+	putc('0' + hist[1] % 10);
+	putc('0' + hist[2] % 10);
+	putc('0' + hist[3] % 10);
+}`
+
+var testInputs = [][]byte{
+	[]byte("hello WORLD 123!"),
+	[]byte("aAbB12..."),
+	[]byte(""),
+}
+
+func TestEvaluateBasic(t *testing.T) {
+	prog, err := compile.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.Evaluate("t", prog, testInputs, testInputs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Profile.Runs != len(testInputs) {
+		t.Fatalf("runs = %d", e.Profile.Runs)
+	}
+	if e.Summary.Branches == 0 || e.Summary.Steps == 0 {
+		t.Fatal("empty summary")
+	}
+	// All three schemes evaluated the same branch count.
+	if e.SBTB.Stats.Branches != e.CBTB.Stats.Branches ||
+		e.SBTB.Stats.Branches != e.FS.Stats.Branches {
+		t.Fatalf("branch streams differ: %d / %d / %d",
+			e.SBTB.Stats.Branches, e.CBTB.Stats.Branches, e.FS.Stats.Branches)
+	}
+	// Measured A_FS equals the analytic value on self-profiled inputs.
+	if d := e.FS.Stats.Accuracy() - e.AnalyticFS; math.Abs(d) > 1e-12 {
+		t.Fatalf("A_FS measured %v != analytic %v", e.FS.Stats.Accuracy(), e.AnalyticFS)
+	}
+	if e.FSResult == nil || e.FSResult.SlotCount != 2 {
+		t.Fatalf("default slot count wrong: %+v", e.FSResult)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	prog, err := compile.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A partial config keeps paper defaults for the rest.
+	e, err := core.Evaluate("t", prog, testInputs, testInputs, core.Config{EvalSlots: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.FSResult.SlotCount != 5 {
+		t.Fatalf("slot override ignored: %d", e.FSResult.SlotCount)
+	}
+}
+
+func TestCostHelper(t *testing.T) {
+	prog, err := compile.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.Evaluate("t", prog, testInputs, testInputs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pipeline.Config{K: 1, LBar: 1, MBar: 1}
+	s, c, f := e.Cost(p)
+	for _, v := range []float64{s, c, f} {
+		if v < 1 || v > p.Penalty() {
+			t.Fatalf("cost %v outside [1, penalty]", v)
+		}
+	}
+	if got := p.Cost(e.FS.Stats.Accuracy()); got != f {
+		t.Fatalf("Cost helper inconsistent: %v != %v", got, f)
+	}
+}
+
+func TestCycleSimAttachment(t *testing.T) {
+	prog, err := compile.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := &pipeline.CycleSim{K: 1, L: 1, M: 2}
+	e, err := core.Evaluate("t", prog, testInputs, testInputs, core.Config{CycleSim: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []core.SchemeResult{e.SBTB, e.CBTB, e.FS} {
+		if sc.Cycle == nil {
+			t.Fatal("cycle sim not attached")
+		}
+		if sc.Cycle.Branches != sc.Stats.Branches {
+			t.Fatalf("cycle sim branches %d != stats %d", sc.Cycle.Branches, sc.Stats.Branches)
+		}
+		// Exact analytic agreement.
+		sim, model := sc.Cycle.CostPerBranch(), sc.Cycle.EffectiveConfig().Cost(sc.Stats.Accuracy())
+		if math.Abs(sim-model) > 1e-9 {
+			t.Fatalf("cycle %v != model %v", sim, model)
+		}
+	}
+	// The template simulator itself must stay untouched.
+	if sim.Branches != 0 {
+		t.Fatal("config template mutated")
+	}
+}
+
+func TestFlushEveryDegradesHardwareOnly(t *testing.T) {
+	b, err := workloads.ByName("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.EvaluateBenchmark(b, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed, err := core.EvaluateBenchmark(b, core.Config{FlushEvery: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushed.SBTB.Stats.Accuracy() >= base.SBTB.Stats.Accuracy() {
+		t.Errorf("SBTB did not degrade under flushing: %.4f >= %.4f",
+			flushed.SBTB.Stats.Accuracy(), base.SBTB.Stats.Accuracy())
+	}
+	if flushed.FS.Stats.Accuracy() != base.FS.Stats.Accuracy() {
+		t.Errorf("FS changed under flushing: %.6f != %.6f",
+			flushed.FS.Stats.Accuracy(), base.FS.Stats.Accuracy())
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	prog, err := compile.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := [][]byte{[]byte("aaaa bbb 11")}
+	test := [][]byte{[]byte("ZZZZ !!! ??")}
+	e, err := core.Evaluate("t", prog, train, test, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The profile reflects training inputs only.
+	if e.Profile.Runs != 1 {
+		t.Fatalf("profile runs = %d", e.Profile.Runs)
+	}
+	// Accuracy is measured on test inputs, where training-derived likely
+	// bits can be wrong — the measured value may differ from the analytic
+	// self-accuracy.
+	if e.FS.Stats.Branches == 0 {
+		t.Fatal("no test-run branches scored")
+	}
+}
+
+func TestEvaluateBenchmarkCached(t *testing.T) {
+	b, err := workloads.ByName("tee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := core.EvaluateBenchmark(b, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := core.EvaluateBenchmark(b, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Determinism end to end.
+	if e1.FS.Stats != e2.FS.Stats || e1.SBTB.Stats != e2.SBTB.Stats {
+		t.Fatal("evaluation is nondeterministic")
+	}
+}

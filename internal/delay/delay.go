@@ -1,0 +1,282 @@
+// Package delay models the delayed-branch-with-squashing scheme of
+// McFarling and Hennessy ("Reducing the cost of branches", ISCA 1986) — the
+// scheme the paper's §2.2 explicitly contrasts the Forward Semantic with.
+//
+// A machine with d delay slots executes the d instructions after each
+// branch regardless of its outcome. The compiler fills each slot either
+// with an instruction moved from *before* the branch (always useful, no
+// squash risk) or with an instruction from the predicted path (squashed on
+// a misprediction). Slots it cannot fill hold NO-OPs.
+//
+// McFarling and Hennessy report the compiler fills the first slot from
+// before the branch ~70% of the time and a second slot only ~25% of the
+// time, which is why delayed branches stop scaling for deeper fetch
+// pipelines — the motivation for the Forward Semantic, whose slots always
+// hold target-path instructions and never need to come from before the
+// branch. This package measures those fill rates on real compiled code via
+// dependence analysis, and derives the scheme's branch cost.
+package delay
+
+import (
+	"branchcost/internal/isa"
+	"branchcost/internal/profile"
+)
+
+// FillStats reports how the compiler could fill d delay slots for every
+// static branch of a program.
+type FillStats struct {
+	Slots    int // d
+	Branches int // static branches considered
+
+	// FromBefore[i] counts branches whose (i+1)-th slot is fillable by an
+	// instruction moved from before the branch.
+	FromBefore []int
+	// FromTarget[i] counts slots fillable only from the predicted path
+	// (squashed on misprediction).
+	FromTarget []int
+	// Nops[i] counts slots left as NO-OPs.
+	Nops []int
+
+	// Dynamic variants weight each branch by its execution count.
+	DynBranches   int64
+	DynFromBefore []int64
+	DynFromTarget []int64
+	DynNops       []int64
+}
+
+// BeforeFillRate returns the fraction of branches whose slot i (0-based)
+// can be filled from before the branch, statically.
+func (s FillStats) BeforeFillRate(i int) float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.FromBefore[i]) / float64(s.Branches)
+}
+
+// DynBeforeFillRate is the dynamic (execution-weighted) fill rate.
+func (s FillStats) DynBeforeFillRate(i int) float64 {
+	if s.DynBranches == 0 {
+		return 0
+	}
+	return float64(s.DynFromBefore[i]) / float64(s.DynBranches)
+}
+
+// regsRead returns the registers an instruction reads.
+func regsRead(in isa.Inst) []uint8 {
+	switch in.Op {
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.SLT, isa.SLE, isa.SEQ, isa.SNE:
+		return []uint8{in.Rs, in.Rt}
+	case isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.SHLI, isa.SHRI, isa.SLTI, isa.MOV:
+		return []uint8{in.Rs}
+	case isa.LD:
+		return []uint8{in.Rs}
+	case isa.ST:
+		return []uint8{in.Rs, in.Rt}
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLE, isa.BGT:
+		return []uint8{in.Rs, in.Rt}
+	case isa.JMPI:
+		return []uint8{in.Rs}
+	case isa.OUT:
+		return []uint8{in.Rs}
+	case isa.RET:
+		return []uint8{isa.RA}
+	}
+	return nil
+}
+
+// regWritten returns the register an instruction writes, or -1.
+func regWritten(in isa.Inst) int {
+	switch in.Op {
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.SLT, isa.SLE, isa.SEQ, isa.SNE,
+		isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.SHLI, isa.SHRI,
+		isa.SLTI, isa.LDI, isa.MOV, isa.LD, isa.IN:
+		return int(in.Rd)
+	case isa.CALL:
+		return isa.RA
+	}
+	return -1
+}
+
+// movable reports whether an instruction may move into a delay slot at all:
+// control transfers and I/O (whose order is observable) may not.
+func movable(in isa.Inst) bool {
+	if in.Op.IsControl() {
+		return false
+	}
+	switch in.Op {
+	case isa.IN, isa.OUT:
+		return false
+	}
+	return true
+}
+
+// Analyze computes delay-slot fill statistics for every counted branch in
+// p, with d slots per branch. prof (optional) supplies dynamic weights.
+//
+// A slot is fillable "from before" when some instruction in the branch's
+// basic block, above the branch, can move below it: it must be movable, it
+// must not write a register the branch (or any instruction between it and
+// the branch, or an already-moved instruction) reads, and for simplicity
+// loads/stores do not move past each other. This is the scheduling the
+// 1986 paper's compiler performs.
+func Analyze(p *isa.Program, prof *profile.Profile, d int) FillStats {
+	s := FillStats{
+		Slots:         d,
+		FromBefore:    make([]int, d),
+		FromTarget:    make([]int, d),
+		Nops:          make([]int, d),
+		DynFromBefore: make([]int64, d),
+		DynFromTarget: make([]int64, d),
+		DynNops:       make([]int64, d),
+	}
+
+	// Block leader set (so the scan does not cross a label).
+	leader := make([]bool, len(p.Code))
+	leader[0] = true
+	for i, in := range p.Code {
+		switch {
+		case in.Op.IsCondBranch():
+			mark(leader, in.Target)
+			mark(leader, in.Fall)
+		case in.Op == isa.JMP || in.Op == isa.CALL:
+			mark(leader, in.Target)
+			if in.Op == isa.JMP && i+1 < len(p.Code) {
+				leader[i+1] = true
+			}
+		case in.Op == isa.JMPI:
+			for _, t := range in.Table {
+				mark(leader, t)
+			}
+			if i+1 < len(p.Code) {
+				leader[i+1] = true
+			}
+		case in.Op == isa.RET || in.Op == isa.HALT:
+			if i+1 < len(p.Code) {
+				leader[i+1] = true
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		mark(leader, f.Entry)
+	}
+
+	for pos, in := range p.Code {
+		if !in.Op.IsBranch() || in.IsSlot {
+			continue
+		}
+		var weight int64
+		if prof != nil {
+			if b := prof.Branches[in.ID]; b != nil {
+				weight = b.Exec
+			}
+		}
+		s.Branches++
+		s.DynBranches += weight
+
+		// Registers that must not be overwritten by a moved instruction:
+		// those the branch reads, plus (conservatively) those read by
+		// instructions between the moved instruction and the branch — we
+		// scan upward, extending this set as we pass instructions.
+		live := map[uint8]bool{}
+		for _, r := range regsRead(in) {
+			live[r] = true
+		}
+		memBarrier := false
+		filled := 0
+		for j := pos - 1; j >= 0 && filled < d; j-- {
+			cand := p.Code[j]
+			if ok, _ := canMove(cand, live, memBarrier); ok {
+				filled++
+				s.FromBefore[filled-1]++
+				s.DynFromBefore[filled-1] += weight
+				// Later-found candidates sit above this one in program
+				// order but land after it in the slots; protect this
+				// one's operands and result from such reordering.
+				for _, r := range regsRead(cand) {
+					live[r] = true
+				}
+				if w := regWritten(cand); w >= 0 {
+					live[uint8(w)] = true
+				}
+			} else {
+				// Not movable: its reads and write join the live set
+				// (nothing above may clobber them by moving below), and
+				// memory ops above may not move past a memory op here.
+				for _, r := range regsRead(cand) {
+					live[r] = true
+				}
+				if w := regWritten(cand); w >= 0 {
+					live[uint8(w)] = true
+				}
+				if isMemOp(cand) {
+					memBarrier = true
+				}
+			}
+			if leader[j] {
+				// Reached the top of the basic block: nothing above it may
+				// move past the label.
+				break
+			}
+		}
+		// Remaining slots: fillable from the predicted target path when the
+		// branch has a static target (squashed on mispredict); NO-OP for
+		// indirect jumps.
+		for i := filled; i < d; i++ {
+			if in.Op == isa.JMPI {
+				s.Nops[i]++
+				s.DynNops[i] += weight
+			} else {
+				s.FromTarget[i]++
+				s.DynFromTarget[i] += weight
+			}
+		}
+	}
+	return s
+}
+
+func mark(leader []bool, id int32) {
+	if id >= 0 && int(id) < len(leader) {
+		leader[id] = true
+	}
+}
+
+func isMemOp(in isa.Inst) bool { return in.Op == isa.LD || in.Op == isa.ST }
+
+// canMove reports whether cand may move below the branch given the live
+// register set and whether a memory barrier was crossed.
+func canMove(cand isa.Inst, live map[uint8]bool, memBarrier bool) (ok, isMem bool) {
+	if !movable(cand) {
+		return false, false
+	}
+	if isMemOp(cand) && memBarrier {
+		return false, true
+	}
+	if w := regWritten(cand); w >= 0 && live[uint8(w)] {
+		return false, isMemOp(cand)
+	}
+	return true, isMemOp(cand)
+}
+
+// Cost evaluates the delayed-branch-with-squashing branch cost under the
+// paper's pipeline model, for a machine with d = k+ℓ delay slots:
+//
+//   - slots filled from before the branch cost nothing in any outcome;
+//   - slots filled from the predicted path are useful when the prediction
+//     (accuracy a) is right and squashed when it is wrong;
+//   - NO-OP slots are always wasted;
+//   - a misprediction additionally flushes the back end (m̄).
+//
+// cost = 1 + wastedPerBranch + (1-a)·(targetSlotsPerBranch + m̄)
+func (s FillStats) Cost(a float64, mbar float64) float64 {
+	if s.DynBranches == 0 {
+		return 1
+	}
+	var nops, target float64
+	for i := 0; i < s.Slots; i++ {
+		nops += float64(s.DynNops[i]) / float64(s.DynBranches)
+		target += float64(s.DynFromTarget[i]) / float64(s.DynBranches)
+	}
+	return 1 + nops + (1-a)*(target+mbar)
+}

@@ -1,0 +1,130 @@
+package delay_test
+
+import (
+	"math"
+	"testing"
+
+	"branchcost/internal/compile"
+	"branchcost/internal/delay"
+	"branchcost/internal/profile"
+	"branchcost/internal/vm"
+)
+
+func TestFillStatsBasic(t *testing.T) {
+	src := `
+var a[16];
+func main() {
+	var i; var x; var y;
+	x = 0; y = 0;
+	for (i = 0; i < 100; i += 1) {
+		x = i * 3;      // movable work before the loop branch
+		y = y + x;
+		a[i % 16] = y;
+	}
+	putc('0' + y % 10);
+}`
+	p, err := compile.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.New()
+	col := &profile.Collector{P: prof}
+	if _, err := vm.Run(p, nil, col.Hook(), vm.Config{}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := delay.Analyze(p, prof, 2)
+	if s.Branches == 0 {
+		t.Fatal("no branches analyzed")
+	}
+	// Partition: before + target + nop must cover every (branch, slot).
+	for i := 0; i < 2; i++ {
+		if s.FromBefore[i]+s.FromTarget[i]+s.Nops[i] != s.Branches {
+			t.Fatalf("slot %d partition broken: %d+%d+%d != %d",
+				i, s.FromBefore[i], s.FromTarget[i], s.Nops[i], s.Branches)
+		}
+		if s.DynFromBefore[i]+s.DynFromTarget[i]+s.DynNops[i] != s.DynBranches {
+			t.Fatalf("slot %d dynamic partition broken", i)
+		}
+	}
+	// The second slot must never be easier to fill than the first.
+	if s.FromBefore[1] > s.FromBefore[0] {
+		t.Fatalf("slot 2 filled more often than slot 1: %d > %d",
+			s.FromBefore[1], s.FromBefore[0])
+	}
+	if s.BeforeFillRate(0) <= 0 {
+		t.Fatal("no slots filled from before despite movable work")
+	}
+}
+
+// TestFillRateShape reproduces the McFarling–Hennessy observation on the
+// benchmark suite: the first slot fills from before the branch far more
+// often than the second.
+func TestFillRateShape(t *testing.T) {
+	src := `
+var buf[64];
+func weigh(v, w) { return v * w + (v >> 2); }
+func main() {
+	var i; var acc; var t1; var t2;
+	acc = 0;
+	for (i = 0; i < 200; i += 1) {
+		t1 = weigh(i, 3);
+		t2 = t1 + i * 7;
+		buf[i % 64] = t2;
+		if (t2 % 13 == 0) { acc += 1; }
+		if (t2 % 7 == 0) { acc += 2; }
+	}
+	putc('0' + acc % 10);
+}`
+	p, err := compile.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.New()
+	col := &profile.Collector{P: prof}
+	if _, err := vm.Run(p, nil, col.Hook(), vm.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	s := delay.Analyze(p, prof, 2)
+	r0, r1 := s.DynBeforeFillRate(0), s.DynBeforeFillRate(1)
+	if r0 <= r1 {
+		t.Fatalf("fill rates not decreasing: slot1 %.2f, slot2 %.2f", r0, r1)
+	}
+	t.Logf("dynamic fill-from-before rates: slot1 %.2f (MH86: ~0.70), slot2 %.2f (MH86: ~0.25)", r0, r1)
+}
+
+func TestCostModel(t *testing.T) {
+	s := delay.FillStats{
+		Slots:         2,
+		DynBranches:   100,
+		DynFromBefore: []int64{70, 25},
+		DynFromTarget: []int64{25, 60},
+		DynNops:       []int64{5, 15},
+	}
+	// nops/branch = 0.2, target slots/branch = 0.85.
+	// a=1: cost = 1 + 0.2. a=0: cost = 1 + 0.2 + 0.85 + mbar.
+	if got := s.Cost(1, 1); math.Abs(got-1.2) > 1e-12 {
+		t.Fatalf("perfect-accuracy cost = %v", got)
+	}
+	if got := s.Cost(0, 1); math.Abs(got-3.05) > 1e-12 {
+		t.Fatalf("zero-accuracy cost = %v", got)
+	}
+	var empty delay.FillStats
+	if empty.Cost(0.9, 1) != 1 {
+		t.Fatal("empty stats must cost 1")
+	}
+}
+
+func TestAnalyzeWithoutProfile(t *testing.T) {
+	p, err := compile.Compile(`func main() { var i; for (i=0;i<3;i+=1) { putc('x'); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := delay.Analyze(p, nil, 1)
+	if s.Branches == 0 {
+		t.Fatal("static analysis must work without a profile")
+	}
+	if s.DynBranches != 0 {
+		t.Fatal("no dynamic weight expected")
+	}
+}

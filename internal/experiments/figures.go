@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"branchcost/internal/pipeline"
+	"branchcost/internal/stats"
+)
+
+// FigurePoint is one point of a cost curve.
+type FigurePoint struct {
+	LM   float64 // ℓ̄ + m̄
+	Cost float64
+}
+
+// FigureSeries is one scheme's cost curve at a fixed k.
+type FigureSeries struct {
+	Scheme string
+	K      int
+	Points []FigurePoint
+}
+
+// Figure reproduces one panel of the paper's Figures 3 and 4: branch cost
+// versus ℓ̄+m̄ ∈ [0, lmMax] for the given fetch depth k, using the
+// suite-average accuracies (as the paper does).
+func Figure(s *Suite, k int, lmMax int) ([]FigureSeries, string, error) {
+	aS, aC, aF, err := s.AverageAccuracies()
+	if err != nil {
+		return nil, "", err
+	}
+	schemes := []struct {
+		name string
+		a    float64
+	}{{"SBTB", aS}, {"CBTB", aC}, {"FS", aF}}
+
+	var series []FigureSeries
+	t := stats.NewTable(fmt.Sprintf("Branch cost vs l+m for k=%d (suite-average accuracies)", k),
+		"l+m", "SBTB", "CBTB", "FS", "best")
+	for _, sc := range schemes {
+		fsr := FigureSeries{Scheme: sc.name, K: k}
+		for lm := 0; lm <= lmMax; lm++ {
+			cfg := pipeline.Config{K: k, LBar: float64(lm), MBar: 0}
+			fsr.Points = append(fsr.Points, FigurePoint{LM: float64(lm), Cost: cfg.Cost(sc.a)})
+		}
+		series = append(series, fsr)
+	}
+	for i := 0; i <= lmMax; i++ {
+		cs, cc, cf := series[0].Points[i].Cost, series[1].Points[i].Cost, series[2].Points[i].Cost
+		best := "FS"
+		switch {
+		case cs <= cc && cs <= cf:
+			best = "SBTB"
+		case cc <= cs && cc <= cf:
+			best = "CBTB"
+		}
+		t.AddRow(fmt.Sprintf("%d", i), stats.F3(cs), stats.F3(cc), stats.F3(cf), best)
+	}
+	text := t.String() + "\n" + asciiChart(series)
+	return series, text, nil
+}
+
+// Figure34 renders all four panels of the paper's Figures 3 (k = 1, 2) and
+// 4 (k = 4, 8).
+func Figure34(s *Suite) (string, error) {
+	var b strings.Builder
+	for _, k := range []int{1, 2, 4, 8} {
+		_, text, err := Figure(s, k, 8)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(text)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// asciiChart renders the three curves of one panel as a rough character
+// plot: rows are cost levels, columns are ℓ̄+m̄ values.
+func asciiChart(series []FigureSeries) string {
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		return ""
+	}
+	maxCost := 1.0
+	for _, sr := range series {
+		for _, p := range sr.Points {
+			if p.Cost > maxCost {
+				maxCost = p.Cost
+			}
+		}
+	}
+	const height = 12
+	width := len(series[0].Points)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width*4))
+	}
+	marks := []byte{'S', 'C', 'F'} // SBTB solid, CBTB dashed, FS dotted in the paper
+	for si, sr := range series {
+		for xi, p := range sr.Points {
+			y := int((p.Cost - 1) / (maxCost - 1 + 1e-9) * float64(height-1))
+			row := height - 1 - y
+			col := xi * 4
+			if grid[row][col] == ' ' {
+				grid[row][col] = marks[si]
+			} else {
+				grid[row][col+1] = marks[si] // overlap: draw beside
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  cost %.2f\n", maxCost)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width*4) + "  (cost 1.0)\n")
+	b.WriteString("   l+m = 0")
+	if pad := width*4 - 12; pad > 0 {
+		b.WriteString(strings.Repeat(" ", pad))
+	}
+	fmt.Fprintf(&b, "%d\n", width-1)
+	b.WriteString("   S=SBTB  C=CBTB  F=Forward Semantic\n")
+	return b.String()
+}
+
+// HeadlineRow is one operating point of the introduction's comparison.
+type HeadlineRow struct {
+	Label   string
+	Penalty float64
+	SBTB    float64
+	CBTB    float64
+	FS      float64
+}
+
+// Headline reproduces the paper's introduction numbers: cycles/branch for a
+// moderately pipelined (5-stage, flush penalty 4) and a highly pipelined
+// (11-stage, flush penalty 11) processor. The paper reports 1.19 (FS) vs
+// 1.23 (best hardware) and 1.65 vs 1.68 respectively.
+func Headline(s *Suite) ([]HeadlineRow, *stats.Table, error) {
+	aS, aC, aF, err := s.AverageAccuracies()
+	if err != nil {
+		return nil, nil, err
+	}
+	points := []struct {
+		label string
+		cfg   pipeline.Config
+	}{
+		{"5-stage (k=1, l=1, m=2)", pipeline.Config{K: 1, LBar: 1, MBar: 2}},
+		{"11-stage (k=4, l=3, m=4)", pipeline.Config{K: 4, LBar: 3, MBar: 4}},
+	}
+	t := stats.NewTable("Headline: cycles/branch (suite-average accuracies)",
+		"Pipeline", "Penalty", "SBTB", "CBTB", "FS", "winner")
+	var rows []HeadlineRow
+	for _, p := range points {
+		r := HeadlineRow{
+			Label:   p.label,
+			Penalty: p.cfg.Penalty(),
+			SBTB:    p.cfg.Cost(aS),
+			CBTB:    p.cfg.Cost(aC),
+			FS:      p.cfg.Cost(aF),
+		}
+		rows = append(rows, r)
+		winner := "FS"
+		if r.SBTB < r.FS && r.SBTB <= r.CBTB {
+			winner = "SBTB"
+		} else if r.CBTB < r.FS {
+			winner = "CBTB"
+		}
+		t.AddRow(r.Label, stats.F2(r.Penalty), stats.F2(r.SBTB), stats.F2(r.CBTB),
+			stats.F2(r.FS), winner)
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,61 @@
+package experiments_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"branchcost/internal/experiments"
+	"branchcost/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden table snapshots")
+
+// TestTableGoldens locks in the exact rendered output of every table: the
+// whole pipeline (input generation, compilation, optimization, execution,
+// prediction, cost model, formatting) is deterministic, so any diff is a
+// behaviour change. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestTableGoldens -update
+func TestTableGoldens(t *testing.T) {
+	tables := []struct {
+		name string
+		gen  func() (*stats.Table, error)
+	}{
+		{"table1", func() (*stats.Table, error) { _, tbl, err := experiments.Table1(suite); return tbl, err }},
+		{"table2", func() (*stats.Table, error) { _, tbl, err := experiments.Table2(suite); return tbl, err }},
+		{"table3", func() (*stats.Table, error) { _, tbl, err := experiments.Table3(suite); return tbl, err }},
+		{"table4", func() (*stats.Table, error) { _, tbl, err := experiments.Table4(suite); return tbl, err }},
+		{"table5", func() (*stats.Table, error) { _, tbl, err := experiments.Table5(suite); return tbl, err }},
+		{"headline", func() (*stats.Table, error) { _, tbl, err := experiments.Headline(suite); return tbl, err }},
+	}
+	for _, tc := range tables {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tbl, err := tc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tbl.String()
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from its golden.\n-- got --\n%s\n-- want --\n%s",
+					tc.name, got, want)
+			}
+		})
+	}
+}

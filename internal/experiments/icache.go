@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"branchcost/internal/fs"
+	"branchcost/internal/icache"
+	"branchcost/internal/isa"
+	"branchcost/internal/stats"
+	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
+)
+
+// ICacheRow quantifies the paper's spatial-locality claim for one benchmark
+// and slot depth: code grows by Growth, but the I-cache miss ratio moves
+// only from MissOrig to MissFS.
+type ICacheRow struct {
+	Benchmark string
+	Slots     int
+	Growth    float64
+	MissOrig  float64
+	MissFS    float64
+}
+
+// fetchModel replays the functional execution trace as the hardware fetch
+// stream: after a predicted-taken branch with forward slots, the machine
+// fetches the slot copies (sequential, right after the branch) instead of
+// the first instructions at the target; fetch resumes at target+slots.
+// The functional VM executes the canonical target instructions, so the
+// model substitutes their addresses.
+type fetchModel struct {
+	prog *isa.Program
+	c    *icache.Sim
+
+	// Pending substitution state.
+	want     int32 // canonical target position that confirms "taken"
+	slotBase int32 // first slot address (branch position + 1)
+	slots    int
+
+	subRemaining int
+	subNext      int32 // next substituted fetch address
+	seqCheck     int32 // expected functional position while substituting
+}
+
+func (f *fetchModel) trace(pos int32) {
+	if f.subRemaining > 0 {
+		if pos == f.seqCheck {
+			f.c.Access(f.subNext)
+			f.subNext++
+			f.seqCheck++
+			f.subRemaining--
+			return
+		}
+		f.subRemaining = 0 // control diverted inside the slot region
+	}
+	if f.slots > 0 && pos == f.want {
+		// The branch was taken: the hardware fetched the slot copies.
+		f.c.Access(f.slotBase)
+		f.subNext = f.slotBase + 1
+		f.subRemaining = f.slots - 1
+		f.seqCheck = pos + 1
+		f.slots = 0
+		return
+	}
+	f.slots = 0
+	f.c.Access(pos)
+	in := &f.prog.Code[pos]
+	if in.Slots > 0 && (in.Op.IsCondBranch() || in.Op == isa.JMP) {
+		f.want = f.prog.Canonical(in.Target)
+		f.slotBase = pos + 1
+		f.slots = int(in.Slots)
+	}
+}
+
+// ICacheConfig is the cache geometry used by the locality experiment:
+// deliberately small relative to the benchmarks so that layout matters.
+var ICacheConfig = struct{ Lines, Assoc, LineWords int }{32, 2, 8}
+
+// ICache measures instruction-cache miss ratios of the original and the
+// FS-transformed binaries over the same runs, for each slot depth.
+func ICache(s *Suite, names []string, slotDepths []int) ([]ICacheRow, *stats.Table, error) {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: I-cache miss ratio vs code expansion (%d lines x %d words, %d-way)",
+			ICacheConfig.Lines, ICacheConfig.LineWords, ICacheConfig.Assoc),
+		"Benchmark", "k+l", "Code growth", "Miss orig", "Miss FS", "Miss growth")
+	var rows []ICacheRow
+	for _, name := range names {
+		e, err := s.Eval(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := workloads.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Original binary miss ratio (measured once).
+		orig := icache.New(ICacheConfig.Lines, ICacheConfig.Assoc, ICacheConfig.LineWords)
+		cfg := vm.Config{Trace: func(pos int32) { orig.Access(pos) }}
+		for run := 0; run < b.Runs; run++ {
+			if _, err := vm.Run(e.Program, b.Input(run), nil, cfg); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, slots := range slotDepths {
+			res, err := fs.Transform(e.Program, e.Profile, slots)
+			if err != nil {
+				return nil, nil, err
+			}
+			sim := icache.New(ICacheConfig.Lines, ICacheConfig.Assoc, ICacheConfig.LineWords)
+			fm := &fetchModel{prog: res.Prog, c: sim}
+			tcfg := vm.Config{Trace: fm.trace}
+			for run := 0; run < b.Runs; run++ {
+				if _, err := vm.Run(res.Prog, b.Input(run), nil, tcfg); err != nil {
+					return nil, nil, err
+				}
+			}
+			r := ICacheRow{
+				Benchmark: name,
+				Slots:     slots,
+				Growth:    res.CodeGrowth(),
+				MissOrig:  orig.MissRatio(),
+				MissFS:    sim.MissRatio(),
+			}
+			rows = append(rows, r)
+			missGrowth := 0.0
+			if r.MissOrig > 0 {
+				missGrowth = r.MissFS/r.MissOrig - 1
+			}
+			t.AddRow(name, fmt.Sprintf("%d", slots), stats.Pct(r.Growth),
+				fmt.Sprintf("%.4f", r.MissOrig), fmt.Sprintf("%.4f", r.MissFS),
+				stats.Pct(missGrowth))
+		}
+	}
+	return rows, t, nil
+}

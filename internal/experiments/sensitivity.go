@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"branchcost/internal/core"
+	"branchcost/internal/stats"
+	"branchcost/internal/workloads"
+)
+
+// SensitivityRow reports one benchmark's accuracy spread across independent
+// input suites.
+type SensitivityRow struct {
+	Benchmark string
+	AFS       []float64 // per suite
+	ACBTB     []float64
+	SpreadFS  float64 // max - min
+	SpreadCB  float64
+}
+
+// Sensitivity re-draws each benchmark's input suite from its generator
+// (disjoint run-index ranges are independent samples of the same input
+// distribution) and measures how much the headline accuracies move — the
+// robustness check a reviewer would ask of the paper: do the conclusions
+// depend on the particular inputs profiled?
+func Sensitivity(names []string, suites int) ([]SensitivityRow, *stats.Table, error) {
+	if suites < 2 {
+		suites = 2
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Extension: input-suite sensitivity (%d independent suites per benchmark)", suites),
+		"Benchmark", "A_FS per suite", "spread", "A_CBTB per suite", "spread")
+	var rows []SensitivityRow
+	for _, name := range names {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err := b.Program()
+		if err != nil {
+			return nil, nil, err
+		}
+		r := SensitivityRow{Benchmark: name}
+		for s := 0; s < suites; s++ {
+			inputs := make([][]byte, b.Runs)
+			for run := 0; run < b.Runs; run++ {
+				// Runs [1000s, 1000s+Runs) are fresh draws from the same
+				// generator distribution.
+				inputs[run] = b.Input(s*1000 + run)
+			}
+			e, err := core.Evaluate(name, prog, inputs, inputs, core.Config{})
+			if err != nil {
+				return nil, nil, err
+			}
+			r.AFS = append(r.AFS, e.FS.Stats.Accuracy())
+			r.ACBTB = append(r.ACBTB, e.CBTB.Stats.Accuracy())
+		}
+		r.SpreadFS = spread(r.AFS)
+		r.SpreadCB = spread(r.ACBTB)
+		rows = append(rows, r)
+		t.AddRow(name, pctList(r.AFS), fmt.Sprintf("%.2fpt", 100*r.SpreadFS),
+			pctList(r.ACBTB), fmt.Sprintf("%.2fpt", 100*r.SpreadCB))
+	}
+	return rows, t, nil
+}
+
+func spread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}
+
+func pctList(xs []float64) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.1f%%", 100*x)
+	}
+	return out
+}

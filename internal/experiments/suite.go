@@ -1,0 +1,112 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Tables 1–5, Figures 3–4, and the introduction's
+// headline comparison), plus the ablations DESIGN.md calls out. Each
+// experiment returns typed rows for tests and renders to plain text for the
+// cmd/branchsim harness and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"branchcost/internal/core"
+	"branchcost/internal/predict"
+	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
+)
+
+// Suite caches per-benchmark evaluations so that the tables sharing data
+// (3 and 4, the figures, the headline) measure once.
+type Suite struct {
+	Cfg core.Config
+
+	mu    sync.Mutex
+	evals map[string]*core.Eval
+}
+
+// NewSuite returns a suite with the given configuration (zero = paper).
+func NewSuite(cfg core.Config) *Suite {
+	return &Suite{Cfg: cfg, evals: map[string]*core.Eval{}}
+}
+
+// Eval returns the (cached) evaluation of the named benchmark.
+func (s *Suite) Eval(name string) (*core.Eval, error) {
+	s.mu.Lock()
+	e, ok := s.evals[name]
+	s.mu.Unlock()
+	if ok {
+		return e, nil
+	}
+	b, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	e, err = core.EvaluateBenchmark(b, s.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.evals[name] = e
+	s.mu.Unlock()
+	return e, nil
+}
+
+// EvalPrimary evaluates the ten primary benchmarks (in parallel) and
+// returns them in the paper's table order.
+func (s *Suite) EvalPrimary() ([]*core.Eval, error) {
+	prim := workloads.Primary()
+	out := make([]*core.Eval, len(prim))
+	errs := make([]error, len(prim))
+	var wg sync.WaitGroup
+	for i, b := range prim {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			out[i], errs[i] = s.Eval(name)
+		}(i, b.Name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AverageAccuracies returns the suite-average A_SBTB, A_CBTB and A_FS used
+// by the figures and the headline (matching the paper's use of Table 3
+// averages).
+func (s *Suite) AverageAccuracies() (aSBTB, aCBTB, aFS float64, err error) {
+	evals, err := s.EvalPrimary()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	n := float64(len(evals))
+	for _, e := range evals {
+		aSBTB += e.SBTB.Stats.Accuracy()
+		aCBTB += e.CBTB.Stats.Accuracy()
+		aFS += e.FS.Stats.Accuracy()
+	}
+	return aSBTB / n, aCBTB / n, aFS / n, nil
+}
+
+// runPredictors evaluates a set of predictor evaluators over a benchmark's
+// input suite in a single multiplexed pass per input.
+func runPredictors(b *workloads.Benchmark, evs []*predict.Evaluator) error {
+	prog, err := b.Program()
+	if err != nil {
+		return err
+	}
+	hook := func(ev vm.BranchEvent) {
+		for _, e := range evs {
+			e.Observe(ev)
+		}
+	}
+	for run := 0; run < b.Runs; run++ {
+		if _, err := vm.Run(prog, b.Input(run), hook, vm.Config{}); err != nil {
+			return fmt.Errorf("experiments: %s run %d: %w", b.Name, run, err)
+		}
+	}
+	return nil
+}

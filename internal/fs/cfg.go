@@ -1,0 +1,238 @@
+// Package fs implements the Forward Semantic, the paper's software scheme:
+// profile-guided likely bits, Hwu–Chang trace selection, trace layout with
+// branch inversion, and the forward-slot filling algorithm of §2.2,
+// including the absorption of unlikely branches into slots and NO-OP padding
+// of short copies. It also provides the code-expansion accounting behind the
+// paper's Table 5.
+package fs
+
+import (
+	"fmt"
+	"sort"
+
+	"branchcost/internal/isa"
+	"branchcost/internal/profile"
+)
+
+// ArcKind classifies a control-flow edge.
+type ArcKind uint8
+
+// Arc kinds.
+const (
+	ArcFall  ArcKind = iota // plain fall-through (no terminator)
+	ArcNot                  // conditional branch not taken
+	ArcTaken                // conditional branch taken
+	ArcJump                 // direct jump
+	ArcIndirect
+)
+
+// Arc is a weighted control-flow edge between blocks.
+type Arc struct {
+	Src, Dst int // block indices
+	Weight   int64
+	Kind     ArcKind
+}
+
+// Block is a basic block: a maximal straight-line range of instructions
+// [Start, End) by instruction ID.
+type Block struct {
+	Index      int
+	Start, End int32
+	Weight     int64
+	Succs      []*Arc
+	Preds      []*Arc
+	FuncEntry  bool
+}
+
+// Terminator returns the ID of the block's last instruction.
+func (b *Block) Terminator() int32 { return b.End - 1 }
+
+// CFG is the control-flow graph of a program with profile weights.
+type CFG struct {
+	Prog    *isa.Program
+	Blocks  []*Block
+	byStart map[int32]*Block
+}
+
+// BlockAt returns the block starting at instruction ID id, or nil.
+func (g *CFG) BlockAt(id int32) *Block { return g.byStart[id] }
+
+// BuildCFG partitions the untransformed program p into basic blocks and
+// weights the arcs with prof (which may be empty: all weights zero). It
+// returns an error if p has been transformed already.
+func BuildCFG(p *isa.Program, prof *profile.Profile) (*CFG, error) {
+	if p.Loc != nil {
+		return nil, fmt.Errorf("fs: program already transformed")
+	}
+	n := int32(len(p.Code))
+
+	leaders := map[int32]bool{0: true}
+	mark := func(id int32) {
+		if id >= 0 && id < n {
+			leaders[id] = true
+		}
+	}
+	for _, f := range p.Funcs {
+		mark(f.Entry)
+	}
+	for i, in := range p.Code {
+		switch {
+		case in.Op.IsCondBranch():
+			mark(in.Target)
+			mark(in.Fall)
+		case in.Op == isa.JMP:
+			mark(in.Target)
+			mark(int32(i) + 1)
+		case in.Op == isa.JMPI:
+			for _, t := range in.Table {
+				mark(t)
+			}
+			mark(int32(i) + 1)
+		case in.Op == isa.RET || in.Op == isa.HALT:
+			mark(int32(i) + 1)
+		case in.Op == isa.CALL:
+			mark(in.Target)
+			// CALL does not end a block: control returns to the next
+			// instruction, so the trace may flow through it.
+		}
+	}
+
+	starts := make([]int32, 0, len(leaders))
+	for id := range leaders {
+		starts = append(starts, id)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	g := &CFG{Prog: p, byStart: map[int32]*Block{}}
+	entrySet := map[int32]bool{}
+	for _, f := range p.Funcs {
+		entrySet[f.Entry] = true
+	}
+	for i, s := range starts {
+		end := n
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		b := &Block{Index: i, Start: s, End: end, FuncEntry: entrySet[s] || s == 0}
+		g.Blocks = append(g.Blocks, b)
+		g.byStart[s] = b
+	}
+
+	// Arcs with profile weights.
+	stat := func(id int32) *profile.BranchStat {
+		if prof == nil {
+			return nil
+		}
+		return prof.Branches[id]
+	}
+	addArc := func(src *Block, dstID int32, w int64, kind ArcKind) error {
+		dst, ok := g.byStart[dstID]
+		if !ok {
+			return fmt.Errorf("fs: arc target %d is not a block leader", dstID)
+		}
+		a := &Arc{Src: src.Index, Dst: dst.Index, Weight: w, Kind: kind}
+		src.Succs = append(src.Succs, a)
+		dst.Preds = append(dst.Preds, a)
+		return nil
+	}
+	for _, b := range g.Blocks {
+		term := p.Code[b.Terminator()]
+		switch {
+		case term.Op.IsCondBranch():
+			var taken, not int64
+			if s := stat(b.Terminator()); s != nil {
+				taken, not = s.Taken, s.NotTaken()
+			}
+			if err := addArc(b, term.Target, taken, ArcTaken); err != nil {
+				return nil, err
+			}
+			if err := addArc(b, term.Fall, not, ArcNot); err != nil {
+				return nil, err
+			}
+		case term.Op == isa.JMP:
+			var w int64
+			if s := stat(b.Terminator()); s != nil {
+				w = s.Exec
+			}
+			if err := addArc(b, term.Target, w, ArcJump); err != nil {
+				return nil, err
+			}
+		case term.Op == isa.JMPI:
+			s := stat(b.Terminator())
+			seen := map[int32]bool{}
+			for _, t := range term.Table {
+				if seen[t] {
+					continue
+				}
+				seen[t] = true
+				var w int64
+				if s != nil {
+					w = s.Targets[t]
+				}
+				if err := addArc(b, t, w, ArcIndirect); err != nil {
+					return nil, err
+				}
+			}
+		case term.Op == isa.RET || term.Op == isa.HALT:
+			// No successors.
+		default:
+			// Plain fall-through into the next block; its weight is the
+			// block's own weight, resolved below.
+			if b.End < n {
+				if err := addArc(b, b.End, -1, ArcFall); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Block weights: sum of incoming arc weights, plus call counts for
+	// function entries. Plain-fall arcs (weight -1 so far) inherit the
+	// predecessor's weight; they always point forward, so one ascending
+	// pass resolves them.
+	for _, b := range g.Blocks {
+		var w int64
+		if b.FuncEntry && prof != nil {
+			w += prof.Calls[b.Start]
+		}
+		if b.Start == 0 && prof != nil {
+			w += int64(prof.Runs) // the entry stub runs once per run
+		}
+		for _, a := range b.Preds {
+			if a.Kind == ArcFall {
+				w += g.Blocks[a.Src].Weight
+			} else {
+				w += a.Weight
+			}
+		}
+		b.Weight = w
+		for _, a := range b.Succs {
+			if a.Kind == ArcFall {
+				a.Weight = w
+			}
+		}
+	}
+	return g, nil
+}
+
+// bestSucc returns the heaviest outgoing arc of b, or nil.
+func bestSucc(b *Block) *Arc {
+	var best *Arc
+	for _, a := range b.Succs {
+		if best == nil || a.Weight > best.Weight {
+			best = a
+		}
+	}
+	return best
+}
+
+// bestPred returns the heaviest incoming arc of b, or nil.
+func bestPred(b *Block) *Arc {
+	var best *Arc
+	for _, a := range b.Preds {
+		if best == nil || a.Weight > best.Weight {
+			best = a
+		}
+	}
+	return best
+}

@@ -1,0 +1,157 @@
+package fs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"branchcost/internal/asm"
+	"branchcost/internal/fs"
+	"branchcost/internal/isa"
+	"branchcost/internal/profile"
+	"branchcost/internal/vm"
+)
+
+// The paper's Figure 2 illustrates the Forward Semantic's key mechanic: the
+// forward slots of a likely-taken branch receive copies of the first k+ℓ
+// target-path instructions, and an *unlikely branch* in that prefix is
+// absorbed into the slots with its own target unaltered. This test builds a
+// loop whose likely backedge targets a block that begins with an unlikely
+// exit branch, transforms it with k+ℓ = 2, and checks the laid-out code
+// exhibits exactly that structure — then proves the transformed binary
+// still computes the same thing.
+const figure2Kernel = `
+; count to 100, emitting a byte every 10 iterations
+func main
+L0:
+	ldi  r5, 100
+	ldi  r6, 10
+	ldi  r4, 0
+L3:
+	beq  r4, r5, L12   ; unlikely exit (taken once)
+	addi r4, r4, 1
+	mod  r7, r4, r6
+	bne  r7, r0, L9
+	out  r4
+L9:
+	ldi  r8, 1000
+	blt  r4, r8, L3    ; likely backedge (taken 99 times)
+L12:
+	halt
+end
+`
+
+func TestFigure2Absorption(t *testing.T) {
+	prog, err := asm.Parse(figure2Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.New()
+	col := &profile.Collector{P: prof}
+	want, err := vm.Run(prog, nil, col.Hook(), vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Runs = 1
+	prof.Steps = want.Steps
+
+	res, err := fs.Transform(prog, prof, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := res.Prog.Code
+
+	// Find the backedge (the blt) in the laid-out code.
+	backedge := -1
+	for i, in := range code {
+		if in.Op == isa.BLT && !in.IsSlot {
+			backedge = i
+		}
+	}
+	if backedge < 0 {
+		t.Fatalf("backedge not found:\n%s", res.Prog.Disassemble())
+	}
+	b := code[backedge]
+	if !b.Likely {
+		t.Fatalf("backedge not marked likely:\n%s", res.Prog.Disassemble())
+	}
+	if b.Slots != 2 {
+		t.Fatalf("backedge has %d slots, want 2:\n%s", b.Slots, res.Prog.Disassemble())
+	}
+
+	// Slot 1 must be the absorbed *unlikely branch* (the loop's exit
+	// check), copied verbatim: same opcode, same target ID — "the target
+	// for this branch is not altered when it is absorbed" (paper §2.2).
+	s1, s2 := code[backedge+1], code[backedge+2]
+	if !s1.IsSlot || !s2.IsSlot {
+		t.Fatalf("slots not marked:\n%s", res.Prog.Disassemble())
+	}
+	if s1.Op != isa.BEQ {
+		t.Fatalf("slot 1 is %v, want the absorbed beq:\n%s", s1.Op, res.Prog.Disassemble())
+	}
+	target := code[res.Prog.Canonical(b.Target)]
+	if target.Op != isa.BEQ || s1.Target != target.Target || s1.ID != target.ID {
+		t.Fatalf("absorbed branch differs from its original: slot %+v vs target %+v", s1, target)
+	}
+	if s1.Likely {
+		t.Fatal("absorbed exit branch must stay unlikely")
+	}
+	// Slot 2 is the copy of the next target-path instruction (the addi).
+	if s2.Op != isa.ADDI {
+		t.Fatalf("slot 2 is %v, want addi:\n%s", s2.Op, res.Prog.Disassemble())
+	}
+
+	// Code accounting: exactly one likely branch got slots here (plus any
+	// trace-ending jumps), and size grew by the slot copies + fixups.
+	if res.SlotInsts+res.NopPadding+res.FixupJumps != res.NewSize-res.OrigSize {
+		t.Fatalf("size accounting broken: %+v", res)
+	}
+
+	// Behaviour: identical output.
+	got, err := vm.Run(res.Prog, nil, nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Output, got.Output) {
+		t.Fatalf("output diverged: %v vs %v", got.Output, want.Output)
+	}
+}
+
+// TestFigure2NopPadding checks the other half of the paper's algorithm:
+// when the target trace is shorter than k+ℓ, the remaining slots fill with
+// NO-OPs.
+func TestFigure2NopPadding(t *testing.T) {
+	// The likely backedge targets its own two-instruction trace, so with
+	// k+ℓ = 3 the third slot must pad with a NO-OP.
+	src := `
+func main
+	ldi  r5, 50
+L1:
+	addi r4, r4, 1
+	blt  r4, r5, L1
+	halt
+end
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.New()
+	col := &profile.Collector{P: prof}
+	if _, err := vm.Run(prog, nil, col.Hook(), vm.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	prof.Runs = 1
+
+	res, err := fs.Transform(prog, prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NopPadding == 0 {
+		t.Fatalf("expected NO-OP padding for a short target trace:\n%s", res.Prog.Disassemble())
+	}
+	for i, in := range res.Prog.Code {
+		if in.Op == isa.NOP && !in.IsSlot {
+			t.Fatalf("padding NOP at %d not marked as slot", i)
+		}
+	}
+}

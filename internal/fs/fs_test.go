@@ -1,0 +1,499 @@
+package fs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"branchcost/internal/compile"
+	"branchcost/internal/fs"
+	"branchcost/internal/isa"
+	"branchcost/internal/predict"
+	"branchcost/internal/profile"
+	"branchcost/internal/vm"
+)
+
+// testPrograms are small MC programs exercising distinct control shapes.
+var testPrograms = []struct {
+	name, src string
+	inputs    []string
+}{
+	{
+		name: "counting loop",
+		src: `
+func main() {
+	var i; var s;
+	s = 0;
+	for (i = 0; i < 100; i += 1) { s += i; }
+	putc('0' + s % 10);
+}`,
+		inputs: []string{""},
+	},
+	{
+		name: "input echo with classes",
+		src: `
+func main() {
+	var c;
+	c = getc();
+	while (c != -1) {
+		if (c >= 'a' && c <= 'z') { putc(c - 32); }
+		else if (c >= '0' && c <= '9') { putc('#'); }
+		else { putc(c); }
+		c = getc();
+	}
+}`,
+		inputs: []string{"", "hello World 42!", "aA0zZ9"},
+	},
+	{
+		name: "switch dispatch",
+		src: `
+func main() {
+	var c; var n;
+	n = 0;
+	c = getc();
+	while (c != -1) {
+		switch (c) {
+		case 'a': n += 1; break;
+		case 'b': n += 2; break;
+		case 'c':
+		case 'd': n += 3; break;
+		default: n += 10;
+		}
+		c = getc();
+	}
+	while (n > 0) { putc('0' + n % 10); n /= 10; }
+}`,
+		inputs: []string{"abcd", "xyz", "aaaaabbbb"},
+	},
+	{
+		name: "functions and recursion",
+		src: `
+func gcd(a, b) {
+	while (b != 0) { var t; t = b; b = a % b; a = t; }
+	return a;
+}
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+func main() {
+	putc('0' + gcd(48, 36) / 10);
+	putc('0' + fib(12) % 10);
+	putc('0' + gcd(17, 5));
+}`,
+		inputs: []string{""},
+	},
+	{
+		name: "nested loops",
+		src: `
+var grid[64];
+func main() {
+	var i; var j; var s;
+	for (i = 0; i < 8; i += 1) {
+		for (j = 0; j < 8; j += 1) {
+			grid[i*8+j] = (i*j) % 5;
+		}
+	}
+	s = 0;
+	for (i = 0; i < 64; i += 1) { s += grid[i]; }
+	putc('A' + s % 26);
+}`,
+		inputs: []string{""},
+	},
+	{
+		name: "do-while and breaks",
+		src: `
+func main() {
+	var c; var run;
+	run = 0;
+	do {
+		c = getc();
+		if (c == -1) { break; }
+		if (c == ' ') { continue; }
+		run += 1;
+	} while (1);
+	putc('0' + run % 10);
+}`,
+		inputs: []string{"a b c d", "", "nospace"},
+	},
+}
+
+func compileOrDie(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := compile.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func profileProgram(t *testing.T, p *isa.Program, inputs []string) *profile.Profile {
+	t.Helper()
+	prof := profile.New()
+	col := &profile.Collector{P: prof}
+	for _, in := range inputs {
+		res, err := vm.Run(p, []byte(in), col.Hook(), vm.Config{})
+		if err != nil {
+			t.Fatalf("profile run: %v", err)
+		}
+		prof.Steps += res.Steps
+		prof.Runs++
+	}
+	return prof
+}
+
+// TestTransformPreservesSemantics is the central integration property: the
+// transformed program must produce byte-identical output on every input,
+// for every slot count.
+func TestTransformPreservesSemantics(t *testing.T) {
+	for _, tc := range testPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			p := compileOrDie(t, tc.src)
+			prof := profileProgram(t, p, tc.inputs)
+			for _, slots := range []int{0, 1, 2, 4, 8} {
+				res, err := fs.Transform(p, prof, slots)
+				if err != nil {
+					t.Fatalf("slots=%d: %v", slots, err)
+				}
+				for _, in := range tc.inputs {
+					want, err := vm.Run(p, []byte(in), nil, vm.Config{})
+					if err != nil {
+						t.Fatalf("orig run: %v", err)
+					}
+					got, err := vm.Run(res.Prog, []byte(in), nil, vm.Config{})
+					if err != nil {
+						t.Fatalf("slots=%d transformed run: %v", slots, err)
+					}
+					if !bytes.Equal(want.Output, got.Output) {
+						t.Fatalf("slots=%d input=%q: output %q != original %q",
+							slots, in, got.Output, want.Output)
+					}
+					if want.Branches != got.Branches+0 && res.FixupJumps == 0 {
+						t.Fatalf("branch count changed with no fixup jumps: %d -> %d",
+							want.Branches, got.Branches)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTransformOnUnprofiledProgram checks the transform degrades gracefully
+// with an empty profile (all likely bits off, layout still valid).
+func TestTransformOnUnprofiledProgram(t *testing.T) {
+	p := compileOrDie(t, testPrograms[1].src)
+	res, err := fs.Transform(p, profile.New(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := vm.Run(p, []byte("mixed Case 123"), nil, vm.Config{})
+	got, err := vm.Run(res.Prog, []byte("mixed Case 123"), nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Output, got.Output) {
+		t.Fatalf("output mismatch: %q != %q", got.Output, want.Output)
+	}
+}
+
+// TestMeasuredAccuracyMatchesAnalytic cross-checks the two A_FS paths: the
+// likely-bit accuracy measured on the transformed binary must equal the
+// analytic accuracy computed from the profile, because evaluation inputs
+// equal profiling inputs and synthetic jumps are excluded.
+func TestMeasuredAccuracyMatchesAnalytic(t *testing.T) {
+	for _, tc := range testPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			p := compileOrDie(t, tc.src)
+			prof := profileProgram(t, p, tc.inputs)
+			res, err := fs.Transform(p, prof, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev := &predict.Evaluator{P: predict.LikelyBit{Targets: predict.ProgramTargets{Prog: res.Prog}}}
+			hook := func(e vm.BranchEvent) {
+				if res.SyntheticID(e.ID) {
+					return
+				}
+				ev.Observe(e)
+			}
+			for _, in := range tc.inputs {
+				if _, err := vm.Run(res.Prog, []byte(in), hook, vm.Config{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			analytic := prof.StaticAccuracy()
+			measured := ev.S.Accuracy()
+			if diff := measured - analytic; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("measured %v != analytic %v (branches %d)",
+					measured, analytic, ev.S.Branches)
+			}
+		})
+	}
+}
+
+// TestTracePartition checks that trace selection is a partition: every block
+// in exactly one trace.
+func TestTracePartition(t *testing.T) {
+	for _, tc := range testPrograms {
+		p := compileOrDie(t, tc.src)
+		prof := profileProgram(t, p, tc.inputs)
+		g, err := fs.BuildCFG(p, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces := fs.SelectTraces(g)
+		seen := map[int]bool{}
+		total := 0
+		for _, tr := range traces {
+			for _, b := range tr.Blocks {
+				if seen[b.Index] {
+					t.Fatalf("%s: block %d in two traces", tc.name, b.Index)
+				}
+				seen[b.Index] = true
+				total++
+			}
+		}
+		if total != len(g.Blocks) {
+			t.Fatalf("%s: %d blocks in traces, CFG has %d", tc.name, total, len(g.Blocks))
+		}
+		// Consecutive trace blocks must be connected by an arc.
+		for _, tr := range traces {
+			for i := 0; i+1 < len(tr.Blocks); i++ {
+				ok := false
+				for _, a := range tr.Blocks[i].Succs {
+					if a.Dst == tr.Blocks[i+1].Index {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("%s: trace blocks %d->%d not connected",
+						tc.name, tr.Blocks[i].Index, tr.Blocks[i+1].Index)
+				}
+			}
+		}
+	}
+}
+
+// TestCFGCoversAllInstructions checks blocks tile the code exactly.
+func TestCFGCoversAllInstructions(t *testing.T) {
+	for _, tc := range testPrograms {
+		p := compileOrDie(t, tc.src)
+		g, err := fs.BuildCFG(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var at int32
+		for _, b := range g.Blocks {
+			if b.Start != at {
+				t.Fatalf("%s: gap before block at %d (expected %d)", tc.name, b.Start, at)
+			}
+			if b.End <= b.Start {
+				t.Fatalf("%s: empty block at %d", tc.name, b.Start)
+			}
+			at = b.End
+		}
+		if at != int32(len(p.Code)) {
+			t.Fatalf("%s: blocks end at %d, code has %d", tc.name, at, len(p.Code))
+		}
+	}
+}
+
+// TestCodeGrowthMonotone checks Table 5's shape: code growth is
+// nondecreasing in the slot count and zero at slots=0.
+func TestCodeGrowthMonotone(t *testing.T) {
+	for _, tc := range testPrograms {
+		p := compileOrDie(t, tc.src)
+		prof := profileProgram(t, p, tc.inputs)
+		prev := -1.0
+		for _, slots := range []int{0, 1, 2, 4, 8} {
+			res, err := fs.Transform(p, prof, slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			growth := res.CodeGrowth()
+			if slots == 0 && res.SlotInsts != 0 {
+				t.Fatalf("%s: slots inserted at slot count 0", tc.name)
+			}
+			if growth < prev {
+				t.Fatalf("%s: growth decreased at slots=%d: %v < %v", tc.name, slots, growth, prev)
+			}
+			prev = growth
+		}
+	}
+}
+
+// TestSlotGroupsWellFormed inspects the laid-out code: each likely branch
+// with Slots=s is followed by exactly s slot instructions, and slot
+// instructions appear nowhere else.
+func TestSlotGroupsWellFormed(t *testing.T) {
+	for _, tc := range testPrograms {
+		p := compileOrDie(t, tc.src)
+		prof := profileProgram(t, p, tc.inputs)
+		res, err := fs.Transform(p, prof, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := res.Prog.Code
+		for i := 0; i < len(code); i++ {
+			if code[i].IsSlot {
+				t.Fatalf("%s: slot instruction at %d not owned by a branch", tc.name, i)
+			}
+			s := int(code[i].Slots)
+			if s == 0 {
+				continue
+			}
+			if s != 3 {
+				t.Fatalf("%s: branch at %d has %d slots, want 3", tc.name, i, s)
+			}
+			for j := 1; j <= s; j++ {
+				if i+j >= len(code) || !code[i+j].IsSlot {
+					t.Fatalf("%s: missing slot %d after branch at %d", tc.name, j, i)
+				}
+			}
+			i += s
+		}
+	}
+}
+
+// TestPositionalFallThrough verifies the hardware-level layout invariant:
+// for every canonical conditional branch, the instruction after its slots
+// is either the canonical fall-through or a jump to it.
+func TestPositionalFallThrough(t *testing.T) {
+	for _, tc := range testPrograms {
+		p := compileOrDie(t, tc.src)
+		prof := profileProgram(t, p, tc.inputs)
+		for _, slots := range []int{0, 2, 5} {
+			res, err := fs.Transform(p, prof, slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			code := res.Prog.Code
+			for i, in := range code {
+				if !in.Op.IsCondBranch() || in.IsSlot {
+					continue
+				}
+				next := i + 1 + int(in.Slots)
+				fallPos := int(res.Prog.Canonical(in.Fall))
+				if next == fallPos {
+					continue
+				}
+				if next < len(code) && code[next].Op == isa.JMP &&
+					res.Prog.Canonical(code[next].Target) == int32(fallPos) {
+					continue
+				}
+				t.Fatalf("%s slots=%d: branch at %d: positional fall %d, canonical fall %d",
+					tc.name, slots, i, next, fallPos)
+			}
+		}
+	}
+}
+
+// TestLikelyBranchesEndTraces checks the paper's structural claim: after
+// layout, every likely conditional branch is followed by its slots and then
+// (positionally) leaves the trace — no likely conditional sits mid-trace
+// with its fall-through target immediately after it unless slots intervene.
+func TestLikelyBitsConsistentWithProfile(t *testing.T) {
+	for _, tc := range testPrograms {
+		p := compileOrDie(t, tc.src)
+		prof := profileProgram(t, p, tc.inputs)
+		res, err := fs.Transform(p, prof, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-profile the transformed program; every likely branch must be
+		// taken in the majority of its executions and vice versa.
+		prof2 := profile.New()
+		col := &profile.Collector{P: prof2}
+		for _, in := range tc.inputs {
+			if _, err := vm.Run(res.Prog, []byte(in), col.Hook(), vm.Config{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, in := range res.Prog.Code {
+			if !in.Op.IsCondBranch() || in.IsSlot {
+				continue
+			}
+			s := prof2.Branches[in.ID]
+			if s == nil || s.Exec == 0 {
+				continue
+			}
+			if got := s.LikelyTaken(); got != in.Likely {
+				t.Fatalf("%s: branch at %d (id %d): likely=%v but majority-taken=%v (%d/%d)",
+					tc.name, i, in.ID, in.Likely, got, s.Taken, s.Exec)
+			}
+		}
+	}
+}
+
+func ExampleTransform() {
+	src := `
+func main() {
+	var i;
+	for (i = 0; i < 10; i += 1) { putc('a'); }
+}`
+	p, _ := compile.Compile(src)
+	prof := profile.New()
+	col := &profile.Collector{P: prof}
+	res, _ := vm.Run(p, nil, col.Hook(), vm.Config{})
+	prof.Steps += res.Steps
+	prof.Runs++
+	out, _ := fs.Transform(p, prof, 2)
+	fmt.Println("grew:", out.NewSize > out.OrigSize)
+	// Output: grew: true
+}
+
+// TestTransformUnderArbitraryProfiles property-checks the transform: for
+// randomized (even nonsensical) profile contents, the transform must
+// produce a valid program with identical behaviour — likely bits only ever
+// affect layout and prediction, never semantics.
+func TestTransformUnderArbitraryProfiles(t *testing.T) {
+	p := compileOrDie(t, testPrograms[2].src) // switch dispatch program
+	branches := p.StaticBranches()
+	check := func(seed uint64, slots8 uint8) bool {
+		slots := int(slots8 % 6)
+		prof := profile.New()
+		s := seed
+		next := func() uint64 {
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			return z ^ (z >> 31)
+		}
+		for _, pos := range branches {
+			exec := int64(next() % 1000)
+			taken := int64(0)
+			if exec > 0 {
+				taken = int64(next()) % exec
+				if taken < 0 {
+					taken = -taken
+				}
+			}
+			prof.Branches[pos] = &profile.BranchStat{
+				Op: p.Code[pos].Op, Exec: exec, Taken: taken,
+			}
+		}
+		prof.Runs = 1
+		res, err := fs.Transform(p, prof, slots)
+		if err != nil {
+			t.Logf("transform failed: %v", err)
+			return false
+		}
+		if err := res.Prog.Validate(); err != nil {
+			t.Logf("invalid program: %v", err)
+			return false
+		}
+		for _, in := range []string{"", "abcd", "zzz"} {
+			want, err1 := vm.Run(p, []byte(in), nil, vm.Config{})
+			got, err2 := vm.Run(res.Prog, []byte(in), nil, vm.Config{})
+			if err1 != nil || err2 != nil || !bytes.Equal(want.Output, got.Output) {
+				t.Logf("behaviour diverged on %q", in)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

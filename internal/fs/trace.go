@@ -1,0 +1,118 @@
+package fs
+
+import "sort"
+
+// Trace is an ordered list of basic blocks that execute together, per the
+// Hwu–Chang trace-selection algorithm the paper builds on [11].
+type Trace struct {
+	Blocks []*Block
+	Weight int64
+}
+
+// SelectOptions tunes trace growing. The zero value is the default used
+// throughout the paper reproduction.
+type SelectOptions struct {
+	// MinArcProb stops growth across arcs carrying less than this fraction
+	// of their source block's weight (the threshold of the Hwu–Chang trace
+	// selection paper; 0 disables the test).
+	MinArcProb float64
+	// NoMutualBest disables the requirement that the destination's best
+	// predecessor be the current block (an ablation knob; the default
+	// mutual-best test is what keeps traces from stealing each other's
+	// entry points).
+	NoMutualBest bool
+}
+
+// SelectTraces partitions the CFG's blocks into traces with default
+// options; see SelectTracesOpts.
+func SelectTraces(g *CFG) []*Trace { return SelectTracesOpts(g, SelectOptions{}) }
+
+// SelectTracesOpts partitions the CFG's blocks into traces. Starting from
+// the heaviest unvisited block, each trace grows forward along the heaviest
+// outgoing arc (when its destination's heaviest incoming arc agrees) and
+// backward along the heaviest incoming arc (when its source's heaviest
+// outgoing arc agrees); growth stops at visited blocks, function
+// boundaries, zero-weight arcs, and arcs below the probability threshold.
+// The result is a partition: every block appears in exactly one trace.
+// Traces are returned ordered by descending weight, which is also the
+// memory layout order.
+func SelectTracesOpts(g *CFG, opts SelectOptions) []*Trace {
+	order := make([]*Block, len(g.Blocks))
+	copy(order, g.Blocks)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Weight != order[j].Weight {
+			return order[i].Weight > order[j].Weight
+		}
+		return order[i].Start < order[j].Start // deterministic tie-break
+	})
+
+	visited := make([]bool, len(g.Blocks))
+	var traces []*Trace
+	for _, seed := range order {
+		if visited[seed.Index] {
+			continue
+		}
+		visited[seed.Index] = true
+		blocks := []*Block{seed}
+
+		// Grow forward.
+		for cur := seed; ; {
+			a := bestSucc(cur)
+			if a == nil || a.Weight <= 0 {
+				break
+			}
+			if opts.MinArcProb > 0 && cur.Weight > 0 &&
+				float64(a.Weight) < opts.MinArcProb*float64(cur.Weight) {
+				break
+			}
+			next := g.Blocks[a.Dst]
+			if visited[next.Index] || next.FuncEntry {
+				break
+			}
+			if bp := bestPred(next); !opts.NoMutualBest && (bp == nil || bp.Src != cur.Index) {
+				break
+			}
+			visited[next.Index] = true
+			blocks = append(blocks, next)
+			cur = next
+		}
+
+		// Grow backward (not across function entries: their predecessors
+		// are call sites, which have no arcs, so entry blocks simply have
+		// no incoming arcs to follow).
+		for cur := seed; ; {
+			a := bestPred(cur)
+			if a == nil || a.Weight <= 0 {
+				break
+			}
+			if opts.MinArcProb > 0 && cur.Weight > 0 &&
+				float64(a.Weight) < opts.MinArcProb*float64(cur.Weight) {
+				break
+			}
+			prev := g.Blocks[a.Src]
+			if visited[prev.Index] {
+				break
+			}
+			if bs := bestSucc(prev); !opts.NoMutualBest && (bs == nil || bs.Dst != cur.Index) {
+				break
+			}
+			visited[prev.Index] = true
+			blocks = append([]*Block{prev}, blocks...)
+			cur = prev
+		}
+
+		t := &Trace{Blocks: blocks}
+		for _, b := range blocks {
+			t.Weight += b.Weight
+		}
+		traces = append(traces, t)
+	}
+
+	sort.SliceStable(traces, func(i, j int) bool {
+		if traces[i].Weight != traces[j].Weight {
+			return traces[i].Weight > traces[j].Weight
+		}
+		return traces[i].Blocks[0].Start < traces[j].Blocks[0].Start
+	})
+	return traces
+}

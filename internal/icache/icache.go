@@ -1,0 +1,97 @@
+// Package icache simulates a simple instruction cache over the fetch
+// stream. It exists to test the claim at the heart of the paper's Table 5
+// discussion: "Because copying instructions into forward slots increases
+// the spatial locality of the program, the expanded static code size does
+// not translate linearly into increased miss ratios of instruction caches."
+package icache
+
+import "fmt"
+
+// Sim is a set-associative instruction cache with LRU replacement.
+// Addresses are instruction indices; LineWords instructions share a line.
+type Sim struct {
+	lineWords int
+	sets      int
+	assoc     int
+
+	tags  [][]int64 // -1 = invalid
+	lru   [][]uint64
+	clock uint64
+
+	Accesses int64
+	Misses   int64
+}
+
+// New returns a cache of `lines` total lines, `assoc` ways, with lineWords
+// instructions per line. lines must be a positive multiple of assoc and
+// lineWords a power of two.
+func New(lines, assoc, lineWords int) *Sim {
+	if lines <= 0 || assoc <= 0 || lines%assoc != 0 {
+		panic(fmt.Sprintf("icache: bad geometry %d lines / %d-way", lines, assoc))
+	}
+	if lineWords <= 0 || lineWords&(lineWords-1) != 0 {
+		panic(fmt.Sprintf("icache: line size %d not a power of two", lineWords))
+	}
+	s := &Sim{lineWords: lineWords, sets: lines / assoc, assoc: assoc}
+	s.tags = make([][]int64, s.sets)
+	s.lru = make([][]uint64, s.sets)
+	for i := range s.tags {
+		s.tags[i] = make([]int64, assoc)
+		s.lru[i] = make([]uint64, assoc)
+		for w := range s.tags[i] {
+			s.tags[i][w] = -1
+		}
+	}
+	return s
+}
+
+// Access simulates fetching the instruction at addr.
+func (s *Sim) Access(addr int32) {
+	s.Accesses++
+	s.clock++
+	line := int64(addr) / int64(s.lineWords)
+	set := int(line % int64(s.sets))
+	tags := s.tags[set]
+	for w := range tags {
+		if tags[w] == line {
+			s.lru[set][w] = s.clock
+			return
+		}
+	}
+	s.Misses++
+	victim := 0
+	for w := 1; w < s.assoc; w++ {
+		if tags[w] == -1 {
+			victim = w
+			break
+		}
+		if s.lru[set][w] < s.lru[set][victim] {
+			victim = w
+		}
+	}
+	if tags[0] == -1 {
+		victim = 0
+	}
+	tags[victim] = line
+	s.lru[set][victim] = s.clock
+}
+
+// MissRatio returns misses/accesses.
+func (s *Sim) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Reset clears the cache contents and counters.
+func (s *Sim) Reset() {
+	for i := range s.tags {
+		for w := range s.tags[i] {
+			s.tags[i][w] = -1
+			s.lru[i][w] = 0
+		}
+	}
+	s.Accesses, s.Misses = 0, 0
+	s.clock = 0
+}

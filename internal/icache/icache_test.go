@@ -1,0 +1,121 @@
+package icache_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"branchcost/internal/icache"
+)
+
+func TestGeometryPanics(t *testing.T) {
+	bad := []struct{ lines, assoc, words int }{
+		{0, 1, 4}, {4, 0, 4}, {5, 2, 4}, {4, 2, 3}, {4, 2, 0},
+	}
+	for _, g := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%+v did not panic", g)
+				}
+			}()
+			icache.New(g.lines, g.assoc, g.words)
+		}()
+	}
+}
+
+func TestColdMissesAndHits(t *testing.T) {
+	c := icache.New(4, 1, 4)
+	// First touch of a line misses; the rest of the line hits.
+	for a := int32(0); a < 4; a++ {
+		c.Access(a)
+	}
+	if c.Misses != 1 || c.Accesses != 4 {
+		t.Fatalf("misses=%d accesses=%d", c.Misses, c.Accesses)
+	}
+	if got := c.MissRatio(); got != 0.25 {
+		t.Fatalf("ratio=%v", got)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// 4 direct-mapped lines of 4 words: addresses 0 and 64 map to set 0.
+	c := icache.New(4, 1, 4)
+	c.Access(0)
+	c.Access(64)
+	c.Access(0) // conflict miss
+	if c.Misses != 3 {
+		t.Fatalf("misses=%d, want 3 (thrash)", c.Misses)
+	}
+	// 2-way tolerates the same pair.
+	c2 := icache.New(4, 2, 4)
+	c2.Access(0)
+	c2.Access(32) // same set in a 2-set cache
+	c2.Access(0)
+	if c2.Misses != 2 {
+		t.Fatalf("2-way misses=%d, want 2", c2.Misses)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// Fully associative, 2 lines: access A, B, A, C -> evicts B.
+	c := icache.New(2, 2, 4)
+	c.Access(0)  // A
+	c.Access(8)  // B
+	c.Access(0)  // A (refresh)
+	c.Access(16) // C -> evicts B
+	c.Access(0)  // hit
+	c.Access(8)  // miss (B evicted)
+	if c.Misses != 4 {
+		t.Fatalf("misses=%d, want 4", c.Misses)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := icache.New(4, 2, 4)
+	c.Access(0)
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 || c.MissRatio() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	c.Access(0)
+	if c.Misses != 1 {
+		t.Fatal("contents survived reset")
+	}
+}
+
+// TestSequentialLocality: a sequential sweep has miss ratio exactly
+// 1/lineWords once the stream exceeds the cache.
+func TestSequentialLocality(t *testing.T) {
+	c := icache.New(8, 2, 8)
+	for a := int32(0); a < 8*8*4; a++ {
+		c.Access(a)
+	}
+	if got := c.MissRatio(); got != 1.0/8 {
+		t.Fatalf("sequential miss ratio = %v, want 0.125", got)
+	}
+}
+
+// TestMissesBounded: misses never exceed accesses, and a working set that
+// fits the cache converges to zero additional misses.
+func TestMissesBounded(t *testing.T) {
+	check := func(addrs []uint8) bool {
+		c := icache.New(16, 4, 4)
+		for _, a := range addrs {
+			c.Access(int32(a)) // 256 addresses = 64 lines > 16 lines: real pressure
+		}
+		if c.Misses > c.Accesses {
+			return false
+		}
+		// Re-touch a tiny working set; after the first round it must all hit.
+		c.Reset()
+		for round := 0; round < 4; round++ {
+			for a := int32(0); a < 16; a++ {
+				c.Access(a)
+			}
+		}
+		return c.Misses == 4 // 4 lines, cold misses only
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,349 @@
+// Package isa defines the instruction set of the evaluation machine.
+//
+// The ISA follows the pipelined microarchitecture model of Hwu, Conte and
+// Chang (ISCA 1989): a load/store register machine whose conditional
+// branches include the comparison in their semantics (no condition codes,
+// per the paper's §2.1), direct unconditional jumps with statically known
+// targets, and indirect jumps (switch tables) whose targets are run-time
+// data. Procedure calls and returns exist but are accounted separately from
+// "branches" (see DESIGN.md).
+package isa
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. Three-register ALU operations compute Rd = Rs op Rt; the
+// immediate forms compute Rd = Rs op Imm.
+const (
+	NOP Op = iota // no operation (also used as forward-slot padding)
+	HALT
+
+	// ALU register-register.
+	ADD
+	SUB
+	MUL
+	DIV // traps on divide by zero
+	MOD
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	SLT // Rd = (Rs < Rt) ? 1 : 0
+	SLE
+	SEQ
+	SNE
+
+	// ALU register-immediate.
+	ADDI
+	MULI
+	ANDI
+	ORI
+	SHLI
+	SHRI
+	SLTI
+
+	LDI // Rd = Imm
+	MOV // Rd = Rs
+
+	// Memory. Addresses are word indices into the data memory.
+	LD // Rd = mem[Rs + Imm]
+	ST // mem[Rs + Imm] = Rt
+
+	// Conditional branches: compare R[Rs] with R[Rt]; taken => control
+	// moves to Target, otherwise to Fall.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLE
+	BGT
+
+	// Unconditional control.
+	JMP  // direct jump, target statically known
+	JMPI // indirect jump: pc = Table[R[Rs]] (switch dispatch, unknown target)
+	CALL // R[RA] = return address; pc = Target
+	RET  // pc = R[RA]
+
+	// I/O.
+	IN  // Rd = next input byte, or -1 at end of input
+	OUT // append low byte of R[Rs] to the output stream
+
+	numOps
+)
+
+var opNames = [...]string{
+	NOP: "nop", HALT: "halt",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", MOD: "mod",
+	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr",
+	SLT: "slt", SLE: "sle", SEQ: "seq", SNE: "sne",
+	ADDI: "addi", MULI: "muli", ANDI: "andi", ORI: "ori",
+	SHLI: "shli", SHRI: "shri", SLTI: "slti",
+	LDI: "ldi", MOV: "mov", LD: "ld", ST: "st",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLE: "ble", BGT: "bgt",
+	JMP: "jmp", JMPI: "jmpi", CALL: "call", RET: "ret",
+	IN: "in", OUT: "out",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// IsCondBranch reports whether o is a conditional branch.
+func (o Op) IsCondBranch() bool { return o >= BEQ && o <= BGT }
+
+// IsBranch reports whether o is a counted branch in the paper's sense:
+// a conditional branch, a direct unconditional jump, or an indirect jump.
+// CALL and RET are control transfers but are not counted as branches.
+func (o Op) IsBranch() bool { return o.IsCondBranch() || o == JMP || o == JMPI }
+
+// IsControl reports whether o transfers control at all.
+func (o Op) IsControl() bool { return o.IsBranch() || o == CALL || o == RET || o == HALT }
+
+// Invert returns the opcode computing the negated condition (BEQ<->BNE,
+// BLT<->BGE, BLE<->BGT). It panics if o is not a conditional branch.
+func (o Op) Invert() Op {
+	switch o {
+	case BEQ:
+		return BNE
+	case BNE:
+		return BEQ
+	case BLT:
+		return BGE
+	case BGE:
+		return BLT
+	case BLE:
+		return BGT
+	case BGT:
+		return BLE
+	}
+	panic("isa: Invert of non-conditional opcode " + o.String())
+}
+
+// Register conventions used by the compiler and VM.
+const (
+	RZ       = 0  // hardwired zero
+	SP       = 1  // stack pointer (word index into data memory, grows down)
+	RA       = 2  // return address (instruction index)
+	RV       = 3  // return value
+	EvalBase = 4  // first expression-evaluation register
+	NumRegs  = 32 // total architectural registers
+)
+
+// EvalRegs is the number of registers available to the expression evaluator.
+const EvalRegs = NumRegs - EvalBase
+
+// Inst is a single machine instruction.
+//
+// Control-flow targets are stored as *instruction IDs*: indices into the
+// program's original instruction sequence. The Forward Semantic transform
+// rearranges and duplicates instructions, so IDs (not positions) are the
+// stable names of instructions; the VM resolves IDs through the program's
+// canonical-location table. In an untransformed program, ID i lives at
+// position i, so targets read as absolute addresses.
+type Inst struct {
+	Op Op
+
+	Rd, Rs, Rt uint8 // register operands
+	Imm        int64 // immediate / memory displacement
+
+	Target int32 // taken-path instruction ID (branches, JMP, CALL)
+	Fall   int32 // fall-through instruction ID (conditional branches)
+
+	Table []int32 // jump table of instruction IDs (JMPI only)
+
+	// ID is the instruction's index in the original (untransformed)
+	// program: its stable name. Forward-slot copies carry the ID of the
+	// instruction they duplicate. Branch statistics are keyed by the ID of
+	// the branch instruction.
+	ID int32
+
+	Likely bool  // compiler "likely-taken" bit (Forward Semantic)
+	Slots  uint8 // number of forward-slot instructions following (layout info)
+	IsSlot bool  // true if this instruction is a forward-slot copy
+	Line   int32 // source line, 0 if unknown
+}
+
+// String renders the instruction in assembler-like form.
+func (in Inst) String() string {
+	switch in.Op {
+	case NOP, HALT, RET:
+		return in.Op.String()
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, SLT, SLE, SEQ, SNE:
+		return fmt.Sprintf("%-5s r%d, r%d, r%d", in.Op, in.Rd, in.Rs, in.Rt)
+	case ADDI, MULI, ANDI, ORI, SHLI, SHRI, SLTI:
+		return fmt.Sprintf("%-5s r%d, r%d, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case LDI:
+		return fmt.Sprintf("%-5s r%d, %d", in.Op, in.Rd, in.Imm)
+	case MOV:
+		return fmt.Sprintf("%-5s r%d, r%d", in.Op, in.Rd, in.Rs)
+	case LD:
+		return fmt.Sprintf("%-5s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs)
+	case ST:
+		return fmt.Sprintf("%-5s %d(r%d), r%d", in.Op, in.Imm, in.Rs, in.Rt)
+	case BEQ, BNE, BLT, BGE, BLE, BGT:
+		lk := ""
+		if in.Likely {
+			lk = " (likely)"
+		}
+		return fmt.Sprintf("%-5s r%d, r%d, @%d%s", in.Op, in.Rs, in.Rt, in.Target, lk)
+	case JMP, CALL:
+		return fmt.Sprintf("%-5s @%d", in.Op, in.Target)
+	case JMPI:
+		return fmt.Sprintf("%-5s r%d, table[%d]", in.Op, in.Rs, len(in.Table))
+	case IN:
+		return fmt.Sprintf("%-5s r%d", in.Op, in.Rd)
+	case OUT:
+		return fmt.Sprintf("%-5s r%d", in.Op, in.Rs)
+	}
+	return in.Op.String()
+}
+
+// FuncInfo records the extent of one compiled function.
+type FuncInfo struct {
+	Name  string
+	Entry int32 // instruction ID of the entry point
+	End   int32 // one past the last instruction ID
+}
+
+// Program is a complete executable image.
+type Program struct {
+	Code  []Inst
+	Data  []int64 // initialized data segment (globals, string constants)
+	Words int     // total data memory words required (>= len(Data))
+	Funcs []FuncInfo
+	Entry int32 // instruction ID where execution starts
+
+	// Loc maps instruction ID -> position of its canonical (non-slot)
+	// occurrence in Code. Nil means the identity mapping (untransformed
+	// programs). The Forward Semantic transform sets it.
+	Loc []int32
+
+	SourceLines int // number of source lines the program was compiled from
+}
+
+// NumIDs returns the number of instruction IDs in the original program.
+func (p *Program) NumIDs() int {
+	if p.Loc == nil {
+		return len(p.Code)
+	}
+	return len(p.Loc)
+}
+
+// Canonical returns the code position of instruction ID id.
+func (p *Program) Canonical(id int32) int32 {
+	if p.Loc == nil {
+		return id
+	}
+	return p.Loc[id]
+}
+
+// Validate checks structural invariants of the program: opcodes are defined,
+// registers are in range, control targets resolve to valid positions, and
+// branch IDs are dense. It returns the first violation found.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("isa: empty program")
+	}
+	if p.Loc != nil {
+		for id, pos := range p.Loc {
+			if pos < 0 || int(pos) >= len(p.Code) {
+				return fmt.Errorf("isa: Loc[%d]=%d out of range", id, pos)
+			}
+		}
+	}
+	n := p.NumIDs()
+	checkID := func(pos int, id int32, what string) error {
+		if id < 0 || int(id) >= n {
+			return fmt.Errorf("isa: code[%d] %s id %d out of range", pos, what, id)
+		}
+		return nil
+	}
+	for i, in := range p.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("isa: code[%d] invalid opcode %d", i, uint8(in.Op))
+		}
+		if in.Rd >= NumRegs || in.Rs >= NumRegs || in.Rt >= NumRegs {
+			return fmt.Errorf("isa: code[%d] register out of range: %s", i, in)
+		}
+		switch {
+		case in.Op.IsCondBranch():
+			if err := checkID(i, in.Target, "target"); err != nil {
+				return err
+			}
+			if err := checkID(i, in.Fall, "fall"); err != nil {
+				return err
+			}
+		case in.Op == JMP || in.Op == CALL:
+			if err := checkID(i, in.Target, "target"); err != nil {
+				return err
+			}
+		case in.Op == JMPI:
+			if len(in.Table) == 0 {
+				return fmt.Errorf("isa: code[%d] jmpi with empty table", i)
+			}
+			for _, t := range in.Table {
+				if err := checkID(i, t, "table entry"); err != nil {
+					return err
+				}
+			}
+		}
+		if err := checkID(i, in.ID, "self"); err != nil {
+			return err
+		}
+		if !in.IsSlot {
+			if got := p.Canonical(in.ID); got != int32(i) {
+				return fmt.Errorf("isa: code[%d] canonical location of id %d is %d, want %d", i, in.ID, got, i)
+			}
+		}
+	}
+	if p.Entry < 0 || int(p.Entry) >= n {
+		return fmt.Errorf("isa: entry id %d out of range", p.Entry)
+	}
+	if p.Words < len(p.Data) {
+		return fmt.Errorf("isa: Words=%d smaller than initialized data %d", p.Words, len(p.Data))
+	}
+	return nil
+}
+
+// StaticBranches returns the positions of all canonical (non-slot) branch
+// instructions in the program, ordered by position.
+func (p *Program) StaticBranches() []int32 {
+	var out []int32
+	for i, in := range p.Code {
+		if in.Op.IsBranch() && !in.IsSlot {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Disassemble renders the whole program, one instruction per line, with
+// positions and function boundaries.
+func (p *Program) Disassemble() string {
+	funcAt := make(map[int32]string)
+	for _, f := range p.Funcs {
+		funcAt[p.Canonical(f.Entry)] = f.Name
+	}
+	var b []byte
+	for i, in := range p.Code {
+		if name, ok := funcAt[int32(i)]; ok {
+			b = append(b, fmt.Sprintf("%s:\n", name)...)
+		}
+		slot := "  "
+		if in.IsSlot {
+			slot = " ~"
+		}
+		b = append(b, fmt.Sprintf("%6d%s %s\n", i, slot, in)...)
+	}
+	return string(b)
+}

@@ -1,0 +1,221 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := NOP; op < numOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", uint8(op))
+		}
+	}
+	if got := Op(200).String(); !strings.HasPrefix(got, "op(") {
+		t.Errorf("invalid opcode should render numerically, got %q", got)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	conds := []Op{BEQ, BNE, BLT, BGE, BLE, BGT}
+	for _, op := range conds {
+		if !op.IsCondBranch() || !op.IsBranch() || !op.IsControl() {
+			t.Errorf("%v misclassified", op)
+		}
+	}
+	if !JMP.IsBranch() || !JMPI.IsBranch() {
+		t.Error("jumps must be counted branches")
+	}
+	if JMP.IsCondBranch() || JMPI.IsCondBranch() {
+		t.Error("jumps are not conditional")
+	}
+	// CALL and RET are control but not counted branches (paper accounting).
+	for _, op := range []Op{CALL, RET, HALT} {
+		if op.IsBranch() {
+			t.Errorf("%v must not be a counted branch", op)
+		}
+		if !op.IsControl() {
+			t.Errorf("%v must be control", op)
+		}
+	}
+	for _, op := range []Op{ADD, LD, ST, LDI, IN, OUT, NOP} {
+		if op.IsBranch() || op.IsControl() {
+			t.Errorf("%v misclassified as control", op)
+		}
+	}
+}
+
+func TestInvertInvolution(t *testing.T) {
+	pairs := map[Op]Op{BEQ: BNE, BLT: BGE, BLE: BGT}
+	for a, b := range pairs {
+		if a.Invert() != b || b.Invert() != a {
+			t.Errorf("%v/%v inversion wrong", a, b)
+		}
+	}
+	for op := BEQ; op <= BGT; op++ {
+		if op.Invert().Invert() != op {
+			t.Errorf("Invert not an involution for %v", op)
+		}
+	}
+}
+
+func TestInvertPanicsOnNonCond(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	JMP.Invert()
+}
+
+// TestInvertSemantics checks (via quick) that an inverted opcode computes
+// the negated predicate for all operand pairs.
+func TestInvertSemantics(t *testing.T) {
+	eval := func(op Op, a, b int64) bool {
+		switch op {
+		case BEQ:
+			return a == b
+		case BNE:
+			return a != b
+		case BLT:
+			return a < b
+		case BGE:
+			return a >= b
+		case BLE:
+			return a <= b
+		case BGT:
+			return a > b
+		}
+		panic("bad op")
+	}
+	for op := BEQ; op <= BGT; op++ {
+		op := op
+		f := func(a, b int64) bool {
+			return eval(op, a, b) == !eval(op.Invert(), a, b)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v: %v", op, err)
+		}
+	}
+}
+
+func validProgram() *Program {
+	return &Program{
+		Code: []Inst{
+			{Op: LDI, Rd: 4, Imm: 3, ID: 0},
+			{Op: BEQ, Rs: 4, Rt: 0, Target: 3, Fall: 2, ID: 1},
+			{Op: OUT, Rs: 4, ID: 2},
+			{Op: HALT, ID: 3},
+		},
+		Words: 8,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(p *Program)
+	}{
+		{"empty", func(p *Program) { p.Code = nil }},
+		{"bad opcode", func(p *Program) { p.Code[0].Op = numOps }},
+		{"bad register", func(p *Program) { p.Code[0].Rd = NumRegs }},
+		{"bad target", func(p *Program) { p.Code[1].Target = 99 }},
+		{"negative target", func(p *Program) { p.Code[1].Target = -1 }},
+		{"bad fall", func(p *Program) { p.Code[1].Fall = 99 }},
+		{"bad entry", func(p *Program) { p.Entry = 99 }},
+		{"words too small", func(p *Program) { p.Data = make([]int64, 9) }},
+		{"bad self id", func(p *Program) { p.Code[2].ID = 0 }},
+		{"empty jmpi table", func(p *Program) { p.Code[0] = Inst{Op: JMPI, ID: 0} }},
+		{"bad table entry", func(p *Program) { p.Code[0] = Inst{Op: JMPI, Table: []int32{77}, ID: 0} }},
+		{"bad loc", func(p *Program) {
+			p.Loc = []int32{0, 1, 2, 9}
+		}},
+	}
+	for _, c := range cases {
+		p := validProgram()
+		c.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: validation passed unexpectedly", c.name)
+		}
+	}
+}
+
+func TestCanonicalIdentityAndMapped(t *testing.T) {
+	p := validProgram()
+	if p.Canonical(2) != 2 {
+		t.Error("identity mapping broken")
+	}
+	if p.NumIDs() != 4 {
+		t.Errorf("NumIDs = %d", p.NumIDs())
+	}
+	p.Loc = []int32{3, 2, 1, 0}
+	if p.Canonical(0) != 3 || p.Canonical(3) != 0 {
+		t.Error("explicit mapping broken")
+	}
+	if p.NumIDs() != 4 {
+		t.Errorf("NumIDs with Loc = %d", p.NumIDs())
+	}
+}
+
+func TestStaticBranches(t *testing.T) {
+	p := validProgram()
+	got := p.StaticBranches()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("StaticBranches = %v", got)
+	}
+	// Slot copies must not count.
+	p.Code = append(p.Code, Inst{Op: BEQ, Target: 0, Fall: 1, ID: 1, IsSlot: true})
+	if n := len(p.StaticBranches()); n != 1 {
+		t.Fatalf("slot copy counted: %d", n)
+	}
+}
+
+func TestDisassembleShapes(t *testing.T) {
+	ins := []Inst{
+		{Op: ADD, Rd: 4, Rs: 5, Rt: 6},
+		{Op: ADDI, Rd: 4, Rs: 5, Imm: -7},
+		{Op: LDI, Rd: 4, Imm: 42},
+		{Op: MOV, Rd: 4, Rs: 5},
+		{Op: LD, Rd: 4, Rs: 1, Imm: 3},
+		{Op: ST, Rs: 1, Imm: 3, Rt: 4},
+		{Op: BEQ, Rs: 4, Rt: 0, Target: 9, Likely: true},
+		{Op: JMP, Target: 2},
+		{Op: JMPI, Rs: 4, Table: []int32{1, 2}},
+		{Op: CALL, Target: 0},
+		{Op: RET},
+		{Op: IN, Rd: 4},
+		{Op: OUT, Rs: 4},
+		{Op: NOP},
+		{Op: HALT},
+	}
+	want := []string{
+		"add", "addi", "ldi", "mov", "ld", "st", "beq", "jmp", "jmpi",
+		"call", "ret", "in", "out", "nop", "halt",
+	}
+	for i, in := range ins {
+		s := in.String()
+		if !strings.HasPrefix(s, want[i]) {
+			t.Errorf("inst %d: %q does not start with %q", i, s, want[i])
+		}
+	}
+	if !strings.Contains(ins[6].String(), "(likely)") {
+		t.Error("likely bit not rendered")
+	}
+	p := validProgram()
+	p.Funcs = []FuncInfo{{Name: "main", Entry: 0, End: 4}}
+	dis := p.Disassemble()
+	if !strings.Contains(dis, "main:") {
+		t.Errorf("function label missing in disassembly:\n%s", dis)
+	}
+	if strings.Count(dis, "\n") != 5 {
+		t.Errorf("unexpected disassembly line count:\n%s", dis)
+	}
+}

@@ -1,0 +1,185 @@
+package lang
+
+// File is a parsed MC compilation unit.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+	Lines   int // number of source lines
+}
+
+// GlobalDecl declares a global scalar or array.
+type GlobalDecl struct {
+	Name string
+	Size int64   // 1 for scalars, element count for arrays
+	Init []int64 // initial values (len <= Size); string initializers decode here
+	Line int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Line   int
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprNode() }
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// LocalDecl declares a function-local scalar, optionally initialized.
+type LocalDecl struct {
+	Name string
+	Init Expr // may be nil
+	Line int
+}
+
+// AssignStmt stores the value of RHS into an lvalue. Op is ASSIGN for plain
+// assignment or one of ADDA..MODA for compound assignment.
+type AssignStmt struct {
+	LHS  Expr // *Ident or *IndexExpr
+	Op   Kind
+	RHS  Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+// DoWhileStmt is a do { } while loop.
+type DoWhileStmt struct {
+	Body Stmt
+	Cond Expr
+	Line int
+}
+
+// ForStmt is a for(init; cond; post) loop; any part may be nil.
+type ForStmt struct {
+	Init Stmt // LocalDecl-free simple statement or nil
+	Cond Expr // nil means true
+	Post Stmt
+	Body Stmt
+	Line int
+}
+
+// SwitchCase is one case (or default) arm of a switch, with C fallthrough.
+type SwitchCase struct {
+	Values    []int64 // constant labels; multiple "case" labels may share a body
+	IsDefault bool
+	Body      []Stmt
+	Line      int
+}
+
+// SwitchStmt is a C-style switch with fallthrough semantics.
+type SwitchStmt struct {
+	Tag   Expr
+	Cases []*SwitchCase
+	Line  int
+}
+
+// BreakStmt exits the innermost loop or switch.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// ReturnStmt returns from the current function, optionally with a value.
+type ReturnStmt struct {
+	X    Expr // may be nil
+	Line int
+}
+
+func (*Block) stmtNode()        {}
+func (*LocalDecl) stmtNode()    {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+
+// IntLit is an integer or character constant.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// StrLit is a string constant; its value is the data address of the
+// zero-terminated character sequence (one word per character).
+type StrLit struct {
+	Val  string
+	Line int
+}
+
+// Ident references a variable. A global array name evaluates to its base
+// address; scalars evaluate to their value.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IndexExpr is e1[e2]: the word at data address value(e1)+value(e2).
+type IndexExpr struct {
+	Base  Expr
+	Index Expr
+	Line  int
+}
+
+// CallExpr calls a function or builtin (getc, putc).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// UnaryExpr is !x, -x or ~x.
+type UnaryExpr struct {
+	Op   Kind // NOT, MINUS, TILDE
+	X    Expr
+	Line int
+}
+
+// BinaryExpr is a binary operation; ANDAND and OROR short-circuit.
+type BinaryExpr struct {
+	Op   Kind
+	X, Y Expr
+	Line int
+}
+
+func (*IntLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}

@@ -1,0 +1,64 @@
+package lang
+
+import "testing"
+
+// FuzzParse checks the front end never panics and that accepted inputs
+// re-parse consistently. Run with `go test -fuzz=FuzzParse ./internal/lang`;
+// in normal test runs only the seed corpus executes.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"var x;",
+		"func main() {}",
+		`func main() { putc('a'); }`,
+		`var a[8]; func f(x) { return a[x & 7]; } func main() { putc(f(3)); }`,
+		`func main() { if (1 < 2) { putc('y'); } else { putc('n'); } }`,
+		`func main() { var i; for (i = 0; i < 3; i += 1) { putc('0'+i); } }`,
+		`func main() { switch (2) { case 1: case 2: putc('x'); default: putc('d'); } }`,
+		`func main() { while (getc() != -1) {} }`,
+		`var s = "str\n"; func main() { putc(s[0]); }`,
+		"func main() { /* comment */ // line\n }",
+		"var x = 0x1F;",
+		"func main() { putc(1 && 0 || !2); }",
+		"func f( {", // malformed
+		"var a[",
+		"'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must re-parse to the same token stream.
+		toks1, err1 := Tokenize(src)
+		toks2, err2 := Tokenize(src)
+		if (err1 == nil) != (err2 == nil) || len(toks1) != len(toks2) {
+			t.Fatalf("tokenizer nondeterministic on %q", src)
+		}
+		_ = file
+	})
+}
+
+// FuzzInterp feeds accepted programs to the reference interpreter with a
+// tight step budget; it must never panic regardless of program shape.
+func FuzzInterp(f *testing.F) {
+	f.Add(`func main() { putc('a'); }`, []byte("in"))
+	f.Add(`func main() { var i; for (i=0;i<3;i+=1) { putc(getc()); } }`, []byte("xyz"))
+	f.Add(`var a[4]; func main() { a[0] = getc(); putc(a[0]); }`, []byte{9})
+	f.Add(`func r(n) { if (n <= 0) { return 0; } return r(n - 1); } func main() { r(3); putc('d'); }`, []byte{})
+	f.Fuzz(func(t *testing.T, src string, input []byte) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		ip, err := NewInterp(file)
+		if err != nil {
+			return
+		}
+		// Errors (traps, step limits) are fine; panics are the failure mode.
+		_, _ = ip.Run(input, 100000)
+	})
+}

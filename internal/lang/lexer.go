@@ -1,0 +1,340 @@
+package lang
+
+import "fmt"
+
+// Lexer tokenizes MC source text.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+// Tokenize scans the entire source and returns its tokens (excluding EOF).
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) at(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.at(1) == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.at(1) == '*':
+			start := lx.line
+			lx.pos += 2
+			for {
+				if lx.pos >= len(lx.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				if lx.src[lx.pos] == '*' && lx.at(1) == '/' {
+					lx.pos += 2
+					break
+				}
+				lx.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdent(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: EOF, Line: lx.line}, nil
+	}
+	line := lx.line
+	c := lx.src[lx.pos]
+
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdent(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Line: line}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Line: line}, nil
+
+	case isDigit(c):
+		return lx.lexNumber(line)
+
+	case c == '\'':
+		return lx.lexChar(line)
+
+	case c == '"':
+		return lx.lexString(line)
+	}
+
+	// Operators and punctuation.
+	two := func(k Kind, text string) (Token, error) {
+		lx.pos += 2
+		return Token{Kind: k, Text: text, Line: line}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		lx.pos++
+		return Token{Kind: k, Text: string(c), Line: line}, nil
+	}
+	switch c {
+	case '(':
+		return one(LPAREN)
+	case ')':
+		return one(RPAREN)
+	case '{':
+		return one(LBRACE)
+	case '}':
+		return one(RBRACE)
+	case '[':
+		return one(LBRACK)
+	case ']':
+		return one(RBRACK)
+	case ',':
+		return one(COMMA)
+	case ';':
+		return one(SEMI)
+	case ':':
+		return one(COLON)
+	case '~':
+		return one(TILDE)
+	case '^':
+		if lx.at(1) == '=' {
+			return two(XORA, "^=")
+		}
+		return one(XOR)
+	case '+':
+		if lx.at(1) == '=' {
+			return two(ADDA, "+=")
+		}
+		return one(PLUS)
+	case '-':
+		if lx.at(1) == '=' {
+			return two(SUBA, "-=")
+		}
+		return one(MINUS)
+	case '*':
+		if lx.at(1) == '=' {
+			return two(MULA, "*=")
+		}
+		return one(STAR)
+	case '/':
+		if lx.at(1) == '=' {
+			return two(DIVA, "/=")
+		}
+		return one(SLASH)
+	case '%':
+		if lx.at(1) == '=' {
+			return two(MODA, "%=")
+		}
+		return one(PERCENT)
+	case '=':
+		if lx.at(1) == '=' {
+			return two(EQ, "==")
+		}
+		return one(ASSIGN)
+	case '!':
+		if lx.at(1) == '=' {
+			return two(NE, "!=")
+		}
+		return one(NOT)
+	case '<':
+		if lx.at(1) == '=' {
+			return two(LE, "<=")
+		}
+		if lx.at(1) == '<' {
+			return two(SHL, "<<")
+		}
+		return one(LT)
+	case '>':
+		if lx.at(1) == '=' {
+			return two(GE, ">=")
+		}
+		if lx.at(1) == '>' {
+			return two(SHR, ">>")
+		}
+		return one(GT)
+	case '&':
+		if lx.at(1) == '&' {
+			return two(ANDAND, "&&")
+		}
+		if lx.at(1) == '=' {
+			return two(ANDA, "&=")
+		}
+		return one(AND)
+	case '|':
+		if lx.at(1) == '|' {
+			return two(OROR, "||")
+		}
+		if lx.at(1) == '=' {
+			return two(ORA, "|=")
+		}
+		return one(OR)
+	}
+	return Token{}, errf(line, "unexpected character %q", string(c))
+}
+
+func (lx *Lexer) lexNumber(line int) (Token, error) {
+	start := lx.pos
+	if lx.peekByte() == '0' && (lx.at(1) == 'x' || lx.at(1) == 'X') {
+		lx.pos += 2
+		var v int64
+		n := 0
+		for lx.pos < len(lx.src) {
+			c := lx.src[lx.pos]
+			var d int64
+			switch {
+			case isDigit(c):
+				d = int64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = int64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = int64(c-'A') + 10
+			default:
+				goto done
+			}
+			v = v<<4 | d
+			n++
+			lx.pos++
+		}
+	done:
+		if n == 0 {
+			return Token{}, errf(line, "malformed hex literal")
+		}
+		return Token{Kind: INT, Text: lx.src[start:lx.pos], Val: v, Line: line}, nil
+	}
+	var v int64
+	for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+		v = v*10 + int64(lx.src[lx.pos]-'0')
+		lx.pos++
+	}
+	if lx.pos < len(lx.src) && isIdentStart(lx.src[lx.pos]) {
+		return Token{}, errf(line, "malformed number %q", lx.src[start:lx.pos+1])
+	}
+	return Token{Kind: INT, Text: lx.src[start:lx.pos], Val: v, Line: line}, nil
+}
+
+func (lx *Lexer) escape(line int) (byte, error) {
+	if lx.pos >= len(lx.src) {
+		return 0, errf(line, "unterminated escape")
+	}
+	c := lx.src[lx.pos]
+	lx.pos++
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	}
+	return 0, errf(line, "unknown escape \\%s", string(c))
+}
+
+func (lx *Lexer) lexChar(line int) (Token, error) {
+	lx.pos++ // consume '
+	if lx.pos >= len(lx.src) {
+		return Token{}, errf(line, "unterminated character literal")
+	}
+	var v byte
+	var err error
+	if lx.src[lx.pos] == '\\' {
+		lx.pos++
+		v, err = lx.escape(line)
+		if err != nil {
+			return Token{}, err
+		}
+	} else {
+		v = lx.src[lx.pos]
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) || lx.src[lx.pos] != '\'' {
+		return Token{}, errf(line, "unterminated character literal")
+	}
+	lx.pos++
+	return Token{Kind: INT, Text: fmt.Sprintf("'%c'", v), Val: int64(v), Line: line}, nil
+}
+
+func (lx *Lexer) lexString(line int) (Token, error) {
+	lx.pos++ // consume "
+	var buf []byte
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{}, errf(line, "unterminated string literal")
+		}
+		c := lx.src[lx.pos]
+		if c == '"' {
+			lx.pos++
+			return Token{Kind: STR, Str: string(buf), Line: line}, nil
+		}
+		if c == '\n' {
+			return Token{}, errf(line, "newline in string literal")
+		}
+		if c == '\\' {
+			lx.pos++
+			e, err := lx.escape(line)
+			if err != nil {
+				return Token{}, err
+			}
+			buf = append(buf, e)
+			continue
+		}
+		buf = append(buf, c)
+		lx.pos++
+	}
+}

@@ -1,0 +1,195 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("tokenize %q: %v", src, err)
+	}
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	got := kinds(t, "var x; func f(a) { return a + 1; }")
+	want := []Kind{KVAR, IDENT, SEMI, KFUNC, IDENT, LPAREN, IDENT, RPAREN,
+		LBRACE, KRETURN, IDENT, PLUS, INT, SEMI, RBRACE}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "|| && | ^ & == != < <= > >= << >> + - * / % ! ~ = += -= *= /= %= &= |= ^="
+	want := []Kind{OROR, ANDAND, OR, XOR, AND, EQ, NE, LT, LE, GT, GE,
+		SHL, SHR, PLUS, MINUS, STAR, SLASH, PERCENT, NOT, TILDE,
+		ASSIGN, ADDA, SUBA, MULA, DIVA, MODA, ANDA, ORA, XORA}
+	got := kinds(t, src)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Tokenize("0 42 0x1F 0XaB 123456789")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 42, 31, 171, 123456789}
+	for i, w := range want {
+		if toks[i].Kind != INT || toks[i].Val != w {
+			t.Errorf("token %d: %+v, want %d", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexCharLiterals(t *testing.T) {
+	toks, err := Tokenize(`'a' '\n' '\t' '\\' '\'' '\0' ' '`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{'a', '\n', '\t', '\\', '\'', 0, ' '}
+	for i, w := range want {
+		if toks[i].Val != w {
+			t.Errorf("char %d = %d, want %d", i, toks[i].Val, w)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Tokenize(`"hello" "a\nb" "q\"q" ""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"hello", "a\nb", `q"q`, ""}
+	for i, w := range want {
+		if toks[i].Kind != STR || toks[i].Str != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Str, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment with var keywords
+x /* block
+spanning lines */ y
+/* nested-ish ** stars */ z`
+	got := kinds(t, src)
+	want := []Kind{IDENT, IDENT, IDENT}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, err := Tokenize("a\nb\n\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []int{1, 2, 4}
+	for i, w := range lines {
+		if toks[i].Line != w {
+			t.Errorf("token %d on line %d, want %d", i, toks[i].Line, w)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		"@",
+		"'a",
+		"'",
+		`"unterminated`,
+		"\"newline\nin string\"",
+		"/* unterminated",
+		`'\q'`,
+		"0xZZ",
+		"123abc",
+		`"bad \q escape"`,
+	}
+	for _, src := range bad {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestErrorType(t *testing.T) {
+	_, err := Tokenize("\n\n@")
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if e.Line != 3 {
+		t.Fatalf("error line = %d", e.Line)
+	}
+	if !strings.Contains(e.Error(), "line 3") {
+		t.Fatalf("error text %q", e.Error())
+	}
+}
+
+func TestKeywordsAreNotIdents(t *testing.T) {
+	for word, kind := range keywords {
+		toks, err := Tokenize(word)
+		if err != nil || len(toks) != 1 || toks[0].Kind != kind {
+			t.Errorf("keyword %q mis-lexed: %v %v", word, toks, err)
+		}
+		// A keyword prefix inside a longer identifier stays an identifier.
+		toks, err = Tokenize(word + "x")
+		if err != nil || len(toks) != 1 || toks[0].Kind != IDENT {
+			t.Errorf("%q: %v %v", word+"x", toks, err)
+		}
+	}
+}
+
+// TestLexDecimalRoundTrip: any non-negative int64 literal lexes back to its
+// value.
+func TestLexDecimalRoundTrip(t *testing.T) {
+	check := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		if v < 0 { // MinInt64
+			return true
+		}
+		toks, err := Tokenize(fmt.Sprintf("%d", v))
+		return err == nil && len(toks) == 1 && toks[0].Val == v
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexIdentRoundTrip: generated identifiers survive lexing with
+// arbitrary whitespace around them.
+func TestLexIdentRoundTrip(t *testing.T) {
+	check := func(seed uint32, pad uint8) bool {
+		name := "v" + fmt.Sprintf("%x", seed)
+		src := strings.Repeat(" ", int(pad%7)) + name + "\t\n"
+		toks, err := Tokenize(src)
+		return err == nil && len(toks) == 1 && toks[0].Kind == IDENT && toks[0].Text == name
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ASSIGN.String() != "'='" || EOF.String() != "end of file" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.HasPrefix(Kind(250).String(), "kind(") {
+		t.Fatal("unknown kind should render numerically")
+	}
+}

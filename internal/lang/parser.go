@@ -1,0 +1,618 @@
+package lang
+
+import "strings"
+
+// Parser is a recursive-descent parser for MC.
+type Parser struct {
+	toks []Token
+	pos  int
+	eof  Token
+}
+
+// Parse parses a complete MC compilation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	lastLine := 1
+	if n := len(toks); n > 0 {
+		lastLine = toks[n-1].Line
+	}
+	p := &Parser{toks: toks, eof: Token{Kind: EOF, Line: lastLine}}
+	f := &File{Lines: strings.Count(src, "\n") + 1}
+	for p.peek().Kind != EOF {
+		switch p.peek().Kind {
+		case KVAR:
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case KFUNC:
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, errf(p.peek().Line, "expected 'var' or 'func', got %v", p.peek().Kind)
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) peek() Token {
+	if p.pos >= len(p.toks) {
+		return p.eof
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peek2() Token {
+	if p.pos+1 >= len(p.toks) {
+		return p.eof
+	}
+	return p.toks[p.pos+1]
+}
+
+func (p *Parser) next() Token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.peek().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, errf(t.Line, "expected %v, got %v", k, t.Kind)
+	}
+	p.pos++
+	return t, nil
+}
+
+// globalDecl := "var" ident ("[" INT "]")? ("=" init)? ";"
+// init := INT | STR | "{" INT ("," INT)* "}"
+func (p *Parser) globalDecl() (*GlobalDecl, error) {
+	kw, _ := p.expect(KVAR)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name.Text, Size: 1, Line: kw.Line}
+	if p.accept(LBRACK) {
+		sz, err := p.expect(INT)
+		if err != nil {
+			return nil, err
+		}
+		if sz.Val <= 0 {
+			return nil, errf(sz.Line, "array size must be positive")
+		}
+		g.Size = sz.Val
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(ASSIGN) {
+		switch t := p.peek(); t.Kind {
+		case INT, MINUS:
+			v, err := p.constInt()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = []int64{v}
+		case STR:
+			p.next()
+			for _, c := range []byte(t.Str) {
+				g.Init = append(g.Init, int64(c))
+			}
+			g.Init = append(g.Init, 0) // zero terminator
+			if g.Size == 1 {
+				g.Size = int64(len(g.Init))
+			}
+		case LBRACE:
+			p.next()
+			for {
+				v, err := p.constInt()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, v)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			if _, err := p.expect(RBRACE); err != nil {
+				return nil, err
+			}
+			if g.Size == 1 {
+				g.Size = int64(len(g.Init))
+			}
+		default:
+			return nil, errf(t.Line, "expected initializer, got %v", t.Kind)
+		}
+	}
+	if int64(len(g.Init)) > g.Size {
+		return nil, errf(g.Line, "initializer longer than array %s", g.Name)
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// constInt parses an optionally negated integer literal.
+func (p *Parser) constInt() (int64, error) {
+	neg := p.accept(MINUS)
+	t, err := p.expect(INT)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -t.Val, nil
+	}
+	return t.Val, nil
+}
+
+func (p *Parser) funcDecl() (*FuncDecl, error) {
+	kw, _ := p.expect(KFUNC)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Line: kw.Line}
+	if p.peek().Kind != RPAREN {
+		for {
+			id, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, id.Text)
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) block() (*Block, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Line: lb.Line}
+	for p.peek().Kind != RBRACE {
+		if p.peek().Kind == EOF {
+			return nil, errf(lb.Line, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.next() // consume }
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case SEMI:
+		p.next()
+		return nil, nil
+	case LBRACE:
+		return p.block()
+	case KVAR:
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d := &LocalDecl{Name: name.Text, Line: t.Line}
+		if p.accept(ASSIGN) {
+			d.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case KIF:
+		p.next()
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: orEmpty(then), Line: t.Line}
+		if p.accept(KELSE) {
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case KWHILE:
+		p.next()
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: orEmpty(body), Line: t.Line}, nil
+	case KDO:
+		p.next()
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWHILE); err != nil {
+			return nil, err
+		}
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: orEmpty(body), Cond: cond, Line: t.Line}, nil
+	case KFOR:
+		return p.forStmt()
+	case KSWITCH:
+		return p.switchStmt()
+	case KBREAK:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+	case KCONTINUE:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+	case KRETURN:
+		p.next()
+		st := &ReturnStmt{Line: t.Line}
+		if p.peek().Kind != SEMI {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = x
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func orEmpty(s Stmt) Stmt {
+	if s == nil {
+		return &Block{}
+	}
+	return s
+}
+
+// simpleStmt := lvalue assignop expr | expr
+func (p *Parser) simpleStmt() (Stmt, error) {
+	line := p.peek().Line
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.peek().Kind; k {
+	case ASSIGN, ADDA, SUBA, MULA, DIVA, MODA, ANDA, ORA, XORA:
+		p.next()
+		if !isLvalue(x) {
+			return nil, errf(line, "left side of assignment is not assignable")
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: x, Op: k, RHS: rhs, Line: line}, nil
+	}
+	return &ExprStmt{X: x, Line: line}, nil
+}
+
+func isLvalue(x Expr) bool {
+	switch x.(type) {
+	case *Ident, *IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Line: t.Line}
+	var err error
+	if p.peek().Kind != SEMI {
+		st.Init, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != SEMI {
+		st.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != RPAREN {
+		st.Post, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = orEmpty(body)
+	return st, nil
+}
+
+func (p *Parser) switchStmt() (Stmt, error) {
+	t := p.next() // switch
+	tag, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{Tag: tag, Line: t.Line}
+	seen := map[int64]bool{}
+	seenDefault := false
+	for p.peek().Kind != RBRACE {
+		ct := p.peek()
+		c := &SwitchCase{Line: ct.Line}
+		switch ct.Kind {
+		case KCASE:
+			// One body may carry several consecutive case labels.
+			for p.peek().Kind == KCASE {
+				p.next()
+				v, err := p.constInt()
+				if err != nil {
+					return nil, err
+				}
+				if seen[v] {
+					return nil, errf(ct.Line, "duplicate case value %d", v)
+				}
+				seen[v] = true
+				c.Values = append(c.Values, v)
+				if _, err := p.expect(COLON); err != nil {
+					return nil, err
+				}
+			}
+			if p.peek().Kind == KDEFAULT {
+				p.next()
+				if _, err := p.expect(COLON); err != nil {
+					return nil, err
+				}
+				if seenDefault {
+					return nil, errf(ct.Line, "duplicate default case")
+				}
+				seenDefault = true
+				c.IsDefault = true
+			}
+		case KDEFAULT:
+			p.next()
+			if _, err := p.expect(COLON); err != nil {
+				return nil, err
+			}
+			if seenDefault {
+				return nil, errf(ct.Line, "duplicate default case")
+			}
+			seenDefault = true
+			c.IsDefault = true
+		default:
+			return nil, errf(ct.Line, "expected 'case' or 'default', got %v", ct.Kind)
+		}
+		for {
+			k := p.peek().Kind
+			if k == KCASE || k == KDEFAULT || k == RBRACE || k == EOF {
+				break
+			}
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				c.Body = append(c.Body, s)
+			}
+		}
+		st.Cases = append(st.Cases, c)
+	}
+	p.next() // consume }
+	return st, nil
+}
+
+func (p *Parser) parenExpr() (Expr, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Binary operator precedence, loosest first (C-like).
+var precedence = map[Kind]int{
+	OROR:   1,
+	ANDAND: 2,
+	OR:     3,
+	XOR:    4,
+	AND:    5,
+	EQ:     6, NE: 6,
+	LT: 7, LE: 7, GT: 7, GE: 7,
+	SHL: 8, SHR: 8,
+	PLUS: 9, MINUS: 9,
+	STAR: 10, SLASH: 10, PERCENT: 10,
+}
+
+func (p *Parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *Parser) binary(minPrec int) (Expr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		prec, ok := precedence[t.Kind]
+		if !ok || prec < minPrec {
+			return x, nil
+		}
+		p.next()
+		y, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: t.Kind, X: x, Y: y, Line: t.Line}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case NOT, MINUS, TILDE:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// Constant-fold negated literals so -1 parses as a literal.
+		if lit, ok := x.(*IntLit); ok && t.Kind == MINUS {
+			return &IntLit{Val: -lit.Val, Line: t.Line}, nil
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Line: t.Line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case LBRACK:
+			lb := p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Base: x, Index: idx, Line: lb.Line}
+		case LPAREN:
+			id, ok := x.(*Ident)
+			if !ok {
+				return nil, errf(p.peek().Line, "call of non-function expression")
+			}
+			p.next()
+			call := &CallExpr{Name: id.Name, Line: id.Line}
+			if p.peek().Kind != RPAREN {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(COMMA) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			x = call
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case INT:
+		p.next()
+		return &IntLit{Val: t.Val, Line: t.Line}, nil
+	case STR:
+		p.next()
+		return &StrLit{Val: t.Str, Line: t.Line}, nil
+	case IDENT:
+		p.next()
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	case LPAREN:
+		return p.parenExpr()
+	}
+	return nil, errf(t.Line, "expected expression, got %v", t.Kind)
+}

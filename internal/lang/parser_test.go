@@ -1,0 +1,274 @@
+package lang
+
+import (
+	"testing"
+)
+
+func parse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestParseGlobals(t *testing.T) {
+	f := parse(t, `
+var a;
+var b = 5;
+var c = -3;
+var arr[10];
+var arr2[4] = {1, 2, -3, 4};
+var s = "hi";
+var auto = {9, 8, 7};
+`)
+	if len(f.Globals) != 7 {
+		t.Fatalf("globals = %d", len(f.Globals))
+	}
+	g := f.Globals
+	if g[0].Size != 1 || g[0].Init != nil {
+		t.Errorf("a: %+v", g[0])
+	}
+	if g[1].Init[0] != 5 || g[2].Init[0] != -3 {
+		t.Errorf("scalar inits wrong")
+	}
+	if g[3].Size != 10 {
+		t.Errorf("arr size %d", g[3].Size)
+	}
+	if g[4].Size != 4 || len(g[4].Init) != 4 || g[4].Init[2] != -3 {
+		t.Errorf("arr2: %+v", g[4])
+	}
+	// String initializer: chars + terminator, size inferred.
+	if g[5].Size != 3 || g[5].Init[0] != 'h' || g[5].Init[2] != 0 {
+		t.Errorf("s: %+v", g[5])
+	}
+	if g[6].Size != 3 {
+		t.Errorf("auto size: %+v", g[6])
+	}
+}
+
+func TestParseFunctions(t *testing.T) {
+	f := parse(t, `
+func f() {}
+func g(a, b, c) { return a; }
+`)
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	if len(f.Funcs[0].Params) != 0 || len(f.Funcs[1].Params) != 3 {
+		t.Fatal("params wrong")
+	}
+	if f.Funcs[1].Params[1] != "b" {
+		t.Fatal("param names wrong")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := parse(t, `func f() { return 1 + 2 * 3; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	add, ok := ret.X.(*BinaryExpr)
+	if !ok || add.Op != PLUS {
+		t.Fatalf("root is %T", ret.X)
+	}
+	mul, ok := add.Y.(*BinaryExpr)
+	if !ok || mul.Op != STAR {
+		t.Fatalf("rhs is %T", add.Y)
+	}
+}
+
+func TestParsePrecedenceFull(t *testing.T) {
+	// a || b && c | d ^ e & f == g < h << i + j * k
+	// must nest right-to-left by precedence level.
+	f := parse(t, `func f(a,b,c,d,e,g,h,i,j,k,m) { return a || b && c | d ^ e & g == h < i << j + k * m; }`)
+	x := f.Funcs[0].Body.Stmts[0].(*ReturnStmt).X
+	order := []Kind{OROR, ANDAND, OR, XOR, AND, EQ, LT, SHL, PLUS, STAR}
+	for _, want := range order {
+		bin, ok := x.(*BinaryExpr)
+		if !ok {
+			t.Fatalf("expected binary for %v, got %T", want, x)
+		}
+		if bin.Op != want {
+			t.Fatalf("got %v, want %v", bin.Op, want)
+		}
+		x = bin.Y
+	}
+}
+
+func TestParseAssociativity(t *testing.T) {
+	// Left-associative: a - b - c = (a-b) - c.
+	f := parse(t, `func f(a,b,c) { return a - b - c; }`)
+	x := f.Funcs[0].Body.Stmts[0].(*ReturnStmt).X.(*BinaryExpr)
+	inner, ok := x.X.(*BinaryExpr)
+	if !ok || inner.Op != MINUS {
+		t.Fatal("subtraction not left-associative")
+	}
+	if _, ok := x.Y.(*Ident); !ok {
+		t.Fatal("rhs should be c")
+	}
+}
+
+func TestParseUnaryAndPostfix(t *testing.T) {
+	f := parse(t, `
+var a[4];
+func f(p) {
+	a[1] = !p;
+	a[p+1] = -p;
+	a[a[0]] = ~p;
+	f(f(1));
+}`)
+	body := f.Funcs[0].Body.Stmts
+	as := body[0].(*AssignStmt)
+	if _, ok := as.LHS.(*IndexExpr); !ok {
+		t.Fatal("lhs not index")
+	}
+	if u := as.RHS.(*UnaryExpr); u.Op != NOT {
+		t.Fatal("not unary !")
+	}
+	nested := body[2].(*AssignStmt).LHS.(*IndexExpr)
+	if _, ok := nested.Index.(*IndexExpr); !ok {
+		t.Fatal("nested index not parsed")
+	}
+	call := body[3].(*ExprStmt).X.(*CallExpr)
+	if len(call.Args) != 1 {
+		t.Fatal("call args")
+	}
+	if _, ok := call.Args[0].(*CallExpr); !ok {
+		t.Fatal("nested call not parsed")
+	}
+}
+
+func TestParseNegativeLiteralFolding(t *testing.T) {
+	f := parse(t, `func f() { return -5; }`)
+	lit, ok := f.Funcs[0].Body.Stmts[0].(*ReturnStmt).X.(*IntLit)
+	if !ok || lit.Val != -5 {
+		t.Fatalf("got %#v", f.Funcs[0].Body.Stmts[0].(*ReturnStmt).X)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	f := parse(t, `
+func f(n) {
+	var x = 1;
+	if (n) { x = 2; } else if (x) { x = 3; } else { x = 4; }
+	while (n > 0) { n -= 1; continue; }
+	do { n += 1; } while (n < 0);
+	for (x = 0; x < 10; x += 1) { break; }
+	for (;;) { break; }
+	;
+	return;
+}`)
+	body := f.Funcs[0].Body.Stmts
+	if len(body) != 7 {
+		t.Fatalf("stmt count = %d", len(body))
+	}
+	if d := body[0].(*LocalDecl); d.Name != "x" || d.Init == nil {
+		t.Fatal("local decl")
+	}
+	ifst := body[1].(*IfStmt)
+	if ifst.Else == nil {
+		t.Fatal("else missing")
+	}
+	if _, ok := ifst.Else.(*IfStmt); !ok {
+		t.Fatal("else-if chain broken")
+	}
+	forst := body[4].(*ForStmt)
+	if forst.Init == nil || forst.Cond == nil || forst.Post == nil {
+		t.Fatal("for parts missing")
+	}
+	forever := body[5].(*ForStmt)
+	if forever.Init != nil || forever.Cond != nil || forever.Post != nil {
+		t.Fatal("empty for parts should be nil")
+	}
+	ret := body[6].(*ReturnStmt)
+	if ret.X != nil {
+		t.Fatal("bare return must have nil expr")
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	f := parse(t, `
+func f(n) {
+	switch (n * 2) {
+	case 1:
+	case 2:
+		n = 1;
+		break;
+	case -3:
+		n = 2;
+	default:
+		n = 3;
+	}
+}`)
+	sw := f.Funcs[0].Body.Stmts[0].(*SwitchStmt)
+	if len(sw.Cases) != 3 {
+		t.Fatalf("cases = %d", len(sw.Cases))
+	}
+	if len(sw.Cases[0].Values) != 2 {
+		t.Fatalf("shared labels = %v", sw.Cases[0].Values)
+	}
+	if sw.Cases[1].Values[0] != -3 {
+		t.Fatal("negative case label")
+	}
+	if !sw.Cases[2].IsDefault {
+		t.Fatal("default")
+	}
+}
+
+func TestParseSwitchCaseThenDefaultShared(t *testing.T) {
+	f := parse(t, `func f(n) { switch (n) { case 1: default: n = 0; } }`)
+	sw := f.Funcs[0].Body.Stmts[0].(*SwitchStmt)
+	if len(sw.Cases) != 1 || !sw.Cases[0].IsDefault || len(sw.Cases[0].Values) != 1 {
+		t.Fatalf("shared case/default: %+v", sw.Cases[0])
+	}
+}
+
+func TestParseCompoundAssign(t *testing.T) {
+	ops := map[string]Kind{
+		"+=": ADDA, "-=": SUBA, "*=": MULA, "/=": DIVA, "%=": MODA,
+		"&=": ANDA, "|=": ORA, "^=": XORA, "=": ASSIGN,
+	}
+	for text, kind := range ops {
+		f := parse(t, "func f(x) { x "+text+" 2; }")
+		as := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+		if as.Op != kind {
+			t.Errorf("%s parsed as %v", text, as.Op)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"var;",
+		"var x",
+		"var a[0];",
+		"var a[-1];",
+		"var a[2] = {1,2,3};",
+		"func f( {}",
+		"func f() { if (1) }",     // missing stmt... actually if(1)} -> stmt is }? -> error
+		"func f() { while 1 {} }", // missing parens
+		"func f() { do {} while 1; }",
+		"func f() { switch (1) { foo } }",
+		"func f() { switch (1) { case 1: break; default: default: } }",
+		"func f() { 1 +; }",
+		"func f() { (1; }",
+		"func f() { a[1; }",
+		"func f() { f(1,; }",
+		"func f() { 3(); }",
+		"garbage",
+		"func f() {",
+		"var s = ;",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseLinesCounted(t *testing.T) {
+	f := parse(t, "var a;\nvar b;\nfunc f() {}\n")
+	if f.Lines != 4 {
+		t.Fatalf("lines = %d", f.Lines)
+	}
+}

@@ -1,0 +1,130 @@
+// Package lang implements the front end of MC ("mini C"), the source
+// language the benchmark programs are written in. MC is an untyped C subset:
+// every value is a 64-bit word, globals may be arrays, and the usual C
+// statement forms (if/else, while, do-while, for, switch with fallthrough,
+// break, continue, return) and operators are available. The package provides
+// a lexer, a recursive-descent parser, and the AST consumed by
+// internal/compile.
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT // integer, character literal
+	STR // string literal
+
+	// Keywords.
+	KVAR
+	KFUNC
+	KIF
+	KELSE
+	KWHILE
+	KDO
+	KFOR
+	KSWITCH
+	KCASE
+	KDEFAULT
+	KBREAK
+	KCONTINUE
+	KRETURN
+
+	// Punctuation and operators.
+	LPAREN
+	RPAREN
+	LBRACE
+	RBRACE
+	LBRACK
+	RBRACK
+	COMMA
+	SEMI
+	COLON
+
+	ASSIGN // =
+	ADDA   // +=
+	SUBA   // -=
+	MULA   // *=
+	DIVA   // /=
+	MODA   // %=
+	ANDA   // &=
+	ORA    // |=
+	XORA   // ^=
+
+	OROR   // ||
+	ANDAND // &&
+	OR     // |
+	XOR    // ^
+	AND    // &
+	EQ     // ==
+	NE     // !=
+	LT     // <
+	LE     // <=
+	GT     // >
+	GE     // >=
+	SHL    // <<
+	SHR    // >>
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	PERCENT
+	NOT   // !
+	TILDE // ~
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INT: "integer", STR: "string",
+	KVAR: "'var'", KFUNC: "'func'", KIF: "'if'", KELSE: "'else'",
+	KWHILE: "'while'", KDO: "'do'", KFOR: "'for'", KSWITCH: "'switch'",
+	KCASE: "'case'", KDEFAULT: "'default'", KBREAK: "'break'",
+	KCONTINUE: "'continue'", KRETURN: "'return'",
+	LPAREN: "'('", RPAREN: "')'", LBRACE: "'{'", RBRACE: "'}'",
+	LBRACK: "'['", RBRACK: "']'", COMMA: "','", SEMI: "';'", COLON: "':'",
+	ASSIGN: "'='", ADDA: "'+='", SUBA: "'-='", MULA: "'*='", DIVA: "'/='", MODA: "'%='",
+	ANDA: "'&='", ORA: "'|='", XORA: "'^='",
+	OROR: "'||'", ANDAND: "'&&'", OR: "'|'", XOR: "'^'", AND: "'&'",
+	EQ: "'=='", NE: "'!='", LT: "'<'", LE: "'<='", GT: "'>'", GE: "'>='",
+	SHL: "'<<'", SHR: "'>>'", PLUS: "'+'", MINUS: "'-'", STAR: "'*'",
+	SLASH: "'/'", PERCENT: "'%'", NOT: "'!'", TILDE: "'~'",
+}
+
+// String returns a human-readable description of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"var": KVAR, "func": KFUNC, "if": KIF, "else": KELSE, "while": KWHILE,
+	"do": KDO, "for": KFOR, "switch": KSWITCH, "case": KCASE,
+	"default": KDEFAULT, "break": KBREAK, "continue": KCONTINUE,
+	"return": KRETURN,
+}
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	Text string // identifier name or raw text
+	Val  int64  // value for INT tokens
+	Str  string // decoded value for STR tokens
+	Line int
+}
+
+// Error is a front-end diagnostic carrying a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

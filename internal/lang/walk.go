@@ -1,0 +1,68 @@
+package lang
+
+// VisitExprs calls f for every expression in the statement, in a fixed
+// left-to-right, outside-in order. The compiler and the reference
+// interpreter both rely on this order to intern string literals
+// identically, so the two memory layouts coincide.
+func VisitExprs(s Stmt, f func(Expr)) {
+	switch st := s.(type) {
+	case nil:
+	case *Block:
+		for _, x := range st.Stmts {
+			VisitExprs(x, f)
+		}
+	case *LocalDecl:
+		visitExpr(st.Init, f)
+	case *AssignStmt:
+		visitExpr(st.LHS, f)
+		visitExpr(st.RHS, f)
+	case *ExprStmt:
+		visitExpr(st.X, f)
+	case *IfStmt:
+		visitExpr(st.Cond, f)
+		VisitExprs(st.Then, f)
+		VisitExprs(st.Else, f)
+	case *WhileStmt:
+		visitExpr(st.Cond, f)
+		VisitExprs(st.Body, f)
+	case *DoWhileStmt:
+		VisitExprs(st.Body, f)
+		visitExpr(st.Cond, f)
+	case *ForStmt:
+		VisitExprs(st.Init, f)
+		visitExpr(st.Cond, f)
+		VisitExprs(st.Post, f)
+		VisitExprs(st.Body, f)
+	case *SwitchStmt:
+		visitExpr(st.Tag, f)
+		for _, c := range st.Cases {
+			for _, x := range c.Body {
+				VisitExprs(x, f)
+			}
+		}
+	case *ReturnStmt:
+		visitExpr(st.X, f)
+	case *BreakStmt, *ContinueStmt:
+	}
+}
+
+func visitExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch x := e.(type) {
+	case *IndexExpr:
+		visitExpr(x.Base, f)
+		visitExpr(x.Index, f)
+	case *CallExpr:
+		for _, a := range x.Args {
+			visitExpr(a, f)
+		}
+	case *UnaryExpr:
+		visitExpr(x.X, f)
+	case *BinaryExpr:
+		visitExpr(x.X, f)
+		visitExpr(x.Y, f)
+	}
+}

@@ -1,0 +1,577 @@
+// Package opt is the optimizer of the MC compiler: block-local constant
+// folding, copy/constant propagation, dead-write elimination and redundant
+// local-load elimination, followed by a rebuild that renumbers instruction
+// IDs and remaps every control target.
+//
+// The paper's IMPACT compiler is "an optimizing, profiling compiler"; this
+// pass brings the generated code's density (instructions per branch) close
+// to the paper's reported ~4 by removing the naive code generator's
+// redundant loads and moves. All passes are conservative: calls invalidate
+// everything, stores through non-frame pointers invalidate tracked memory,
+// and instructions with side effects (memory, I/O, control) are never
+// deleted.
+package opt
+
+import (
+	"fmt"
+
+	"branchcost/internal/isa"
+)
+
+// Optimize returns an optimized copy of p. The input program must be
+// untransformed (no forward slots); optimize before profiling and before
+// the Forward Semantic transform.
+func Optimize(p *isa.Program) (*isa.Program, error) {
+	if p.Loc != nil {
+		return nil, fmt.Errorf("opt: program already transformed")
+	}
+	code := make([]isa.Inst, len(p.Code))
+	copy(code, p.Code)
+
+	leaders := findLeaders(code, p.Funcs)
+
+	// Iterate the local passes to a fixpoint (propagation exposes dead
+	// writes, whose removal exposes more propagation); bounded for safety.
+	for round := 0; round < 4; round++ {
+		changed := propagate(code, leaders)
+		if !changed {
+			break
+		}
+	}
+	dead := findDeadWrites(code, leaders)
+	return rebuild(p, code, dead)
+}
+
+// findLeaders marks basic-block leader positions.
+func findLeaders(code []isa.Inst, funcs []isa.FuncInfo) []bool {
+	leaders := make([]bool, len(code))
+	if len(code) > 0 {
+		leaders[0] = true
+	}
+	mark := func(id int32) {
+		if id >= 0 && int(id) < len(code) {
+			leaders[id] = true
+		}
+	}
+	for i, in := range code {
+		switch {
+		case in.Op.IsCondBranch():
+			mark(in.Target)
+			mark(in.Fall)
+		case in.Op == isa.JMP:
+			mark(in.Target)
+			mark(int32(i) + 1)
+		case in.Op == isa.CALL:
+			mark(in.Target)
+		case in.Op == isa.JMPI:
+			for _, t := range in.Table {
+				mark(t)
+			}
+			mark(int32(i) + 1)
+		case in.Op == isa.RET || in.Op == isa.HALT:
+			mark(int32(i) + 1)
+		}
+	}
+	for _, f := range funcs {
+		mark(f.Entry)
+	}
+	return leaders
+}
+
+// regState tracks what a register holds within a block.
+type regState struct {
+	kind int   // 0 unknown, 1 constant, 2 copy of another register
+	val  int64 // constant value
+	src  uint8 // copied-from register
+	gen  int   // generation of src at copy time
+}
+
+// memKey identifies a tracked frame slot: SP-relative displacement at a
+// given SP generation.
+type memKey struct {
+	disp   int64
+	spGen  int
+	global bool // true: absolute address (base r0)
+}
+
+type blockState struct {
+	regs   [isa.NumRegs]regState
+	regGen [isa.NumRegs]int
+	mem    map[memKey]uint8 // slot -> register known to hold its value
+	spGen  int
+}
+
+func (bs *blockState) reset() {
+	for i := range bs.regs {
+		bs.regs[i] = regState{}
+		bs.regGen[i]++
+	}
+	bs.mem = map[memKey]uint8{}
+	bs.spGen++
+	// r0 is architecturally zero.
+	bs.regs[isa.RZ] = regState{kind: 1, val: 0}
+}
+
+// setReg invalidates dependent state and records the new contents.
+func (bs *blockState) setReg(r uint8, st regState) {
+	if r == isa.RZ {
+		return // writes to r0 are ignored by the machine
+	}
+	bs.regGen[r]++
+	if r == isa.SP {
+		// The frame moved: every tracked slot is stale.
+		bs.spGen++
+		bs.mem = map[memKey]uint8{}
+		st = regState{}
+	}
+	bs.regs[r] = st
+	// Drop memory records pointing at the overwritten register.
+	for k, v := range bs.mem {
+		if v == r {
+			delete(bs.mem, k)
+		}
+	}
+}
+
+// constOf returns the constant a register holds, if known.
+func (bs *blockState) constOf(r uint8) (int64, bool) {
+	if r == isa.RZ {
+		return 0, true
+	}
+	st := bs.regs[r]
+	if st.kind == 1 {
+		return st.val, true
+	}
+	return 0, false
+}
+
+// resolveCopy returns the oldest equivalent register still holding the same
+// value, enabling operand substitution.
+func (bs *blockState) resolveCopy(r uint8) uint8 {
+	st := bs.regs[r]
+	if st.kind == 2 && bs.regGen[st.src] == st.gen {
+		return st.src
+	}
+	return r
+}
+
+// alu computes a register-register ALU result.
+func alu(op isa.Op, a, b int64) (int64, bool) {
+	switch op {
+	case isa.ADD:
+		return a + b, true
+	case isa.SUB:
+		return a - b, true
+	case isa.MUL:
+		return a * b, true
+	case isa.DIV:
+		if b == 0 {
+			return 0, false // preserve the trap
+		}
+		return a / b, true
+	case isa.MOD:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case isa.AND:
+		return a & b, true
+	case isa.OR:
+		return a | b, true
+	case isa.XOR:
+		return a ^ b, true
+	case isa.SHL:
+		return a << (uint64(b) & 63), true
+	case isa.SHR:
+		return a >> (uint64(b) & 63), true
+	case isa.SLT:
+		return b2i(a < b), true
+	case isa.SLE:
+		return b2i(a <= b), true
+	case isa.SEQ:
+		return b2i(a == b), true
+	case isa.SNE:
+		return b2i(a != b), true
+	}
+	return 0, false
+}
+
+func aluImm(op isa.Op, a, imm int64) (int64, bool) {
+	switch op {
+	case isa.ADDI:
+		return a + imm, true
+	case isa.MULI:
+		return a * imm, true
+	case isa.ANDI:
+		return a & imm, true
+	case isa.ORI:
+		return a | imm, true
+	case isa.SHLI:
+		return a << (uint64(imm) & 63), true
+	case isa.SHRI:
+		return a >> (uint64(imm) & 63), true
+	case isa.SLTI:
+		return b2i(a < imm), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// propagate performs one forward pass of constant folding, copy
+// propagation and redundant-load elimination over every block. It rewrites
+// instructions in place (never changing their count) and reports whether
+// anything changed.
+func propagate(code []isa.Inst, leaders []bool) bool {
+	changed := false
+	bs := &blockState{}
+	bs.reset()
+
+	// subst replaces a source operand with an equivalent older register.
+	subst := func(r *uint8) {
+		if n := bs.resolveCopy(*r); n != *r {
+			*r = n
+			changed = true
+		}
+	}
+
+	for i := range code {
+		if leaders[i] {
+			bs.reset()
+		}
+		in := &code[i]
+		switch in.Op {
+		case isa.NOP, isa.HALT:
+			// no effect
+
+		case isa.LDI:
+			bs.setReg(in.Rd, regState{kind: 1, val: in.Imm})
+
+		case isa.MOV:
+			subst(&in.Rs)
+			if v, ok := bs.constOf(in.Rs); ok {
+				*in = isa.Inst{Op: isa.LDI, Rd: in.Rd, Imm: v, ID: in.ID, Line: in.Line}
+				bs.setReg(in.Rd, regState{kind: 1, val: v})
+				changed = true
+				break
+			}
+			bs.setReg(in.Rd, regState{kind: 2, src: in.Rs, gen: bs.regGen[in.Rs]})
+
+		case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR,
+			isa.XOR, isa.SHL, isa.SHR, isa.SLT, isa.SLE, isa.SEQ, isa.SNE:
+			subst(&in.Rs)
+			subst(&in.Rt)
+			a, aok := bs.constOf(in.Rs)
+			b, bok := bs.constOf(in.Rt)
+			if aok && bok {
+				if v, ok := alu(in.Op, a, b); ok {
+					*in = isa.Inst{Op: isa.LDI, Rd: in.Rd, Imm: v, ID: in.ID, Line: in.Line}
+					bs.setReg(in.Rd, regState{kind: 1, val: v})
+					changed = true
+					break
+				}
+			}
+			// Strength reduction: op with a constant right operand becomes
+			// the immediate form when one exists.
+			if bok {
+				var imm isa.Op
+				switch in.Op {
+				case isa.ADD:
+					imm = isa.ADDI
+				case isa.SUB:
+					imm = isa.ADDI
+					b = -b
+				case isa.MUL:
+					imm = isa.MULI
+				case isa.AND:
+					imm = isa.ANDI
+				case isa.OR:
+					imm = isa.ORI
+				case isa.SLT:
+					imm = isa.SLTI
+				}
+				if imm != 0 {
+					*in = isa.Inst{Op: imm, Rd: in.Rd, Rs: in.Rs, Imm: b, ID: in.ID, Line: in.Line}
+					bs.setReg(in.Rd, regState{})
+					changed = true
+					break
+				}
+			}
+			bs.setReg(in.Rd, regState{})
+
+		case isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.SHLI, isa.SHRI, isa.SLTI:
+			subst(&in.Rs)
+			if a, ok := bs.constOf(in.Rs); ok {
+				if v, ok2 := aluImm(in.Op, a, in.Imm); ok2 {
+					*in = isa.Inst{Op: isa.LDI, Rd: in.Rd, Imm: v, ID: in.ID, Line: in.Line}
+					bs.setReg(in.Rd, regState{kind: 1, val: v})
+					changed = true
+					break
+				}
+			}
+			if in.Op == isa.ADDI && in.Imm == 0 && in.Rd == in.Rs {
+				// sp adjustments of zero appear around zero-arg calls.
+				*in = isa.Inst{Op: isa.NOP, ID: in.ID, Line: in.Line}
+				changed = true
+				break
+			}
+			bs.setReg(in.Rd, regState{})
+
+		case isa.LD:
+			subst(&in.Rs)
+			if key, ok := slotOf(bs, in.Rs, in.Imm); ok {
+				if src, have := bs.mem[key]; have {
+					if src == in.Rd {
+						// The register already holds the slot's value.
+						*in = isa.Inst{Op: isa.NOP, ID: in.ID, Line: in.Line}
+						changed = true
+						break
+					}
+					// The slot's value is in another register.
+					*in = isa.Inst{Op: isa.MOV, Rd: in.Rd, Rs: src, ID: in.ID, Line: in.Line}
+					bs.setReg(in.Rd, regState{kind: 2, src: src, gen: bs.regGen[src]})
+					bs.mem[key] = src
+					changed = true
+					break
+				}
+				bs.setReg(in.Rd, regState{})
+				bs.mem[key] = in.Rd
+				break
+			}
+			bs.setReg(in.Rd, regState{})
+
+		case isa.ST:
+			subst(&in.Rs)
+			subst(&in.Rt)
+			if key, ok := slotOf(bs, in.Rs, in.Imm); ok {
+				// A store through a known slot invalidates only conflicting
+				// records... conservatively: any store may alias any global
+				// or frame slot except the one it provably writes, UNLESS
+				// both are frame slots at the same SP generation (the frame
+				// is not aliased by construction of the code generator).
+				invalidateMem(bs, key)
+				bs.mem[key] = in.Rt
+			} else {
+				bs.mem = map[memKey]uint8{}
+			}
+
+		case isa.CALL:
+			// The callee clobbers registers and memory.
+			bs.reset()
+
+		case isa.IN:
+			bs.setReg(in.Rd, regState{})
+		case isa.OUT:
+			subst(&in.Rs)
+
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLE, isa.BGT:
+			subst(&in.Rs)
+			subst(&in.Rt)
+		case isa.JMPI:
+			subst(&in.Rs)
+		case isa.JMP, isa.RET:
+			// no register effects
+		}
+	}
+	return changed
+}
+
+// slotOf classifies an address as a trackable slot: frame (SP base) or
+// absolute (r0 base).
+func slotOf(bs *blockState, base uint8, disp int64) (memKey, bool) {
+	switch base {
+	case isa.SP:
+		return memKey{disp: disp, spGen: bs.spGen}, true
+	case isa.RZ:
+		return memKey{disp: disp, global: true}, true
+	}
+	return memKey{}, false
+}
+
+// invalidateMem drops records that may alias the written slot. Frame slots
+// at the current SP generation do not alias globals (the stack sits at the
+// top of memory, globals at the bottom, and the generator never takes the
+// address of a frame slot); distinct displacements within one generation do
+// not alias each other.
+func invalidateMem(bs *blockState, written memKey) {
+	for k := range bs.mem {
+		if k == written {
+			delete(bs.mem, k)
+			continue
+		}
+		sameClass := k.global == written.global && (!k.global && k.spGen == written.spGen || k.global)
+		if sameClass {
+			// Same class, different displacement: no alias.
+			if k.disp != written.disp {
+				continue
+			}
+			delete(bs.mem, k)
+			continue
+		}
+		// Cross-class (frame vs global, or unknown frame generation):
+		// conservatively drop.
+		delete(bs.mem, k)
+	}
+}
+
+// findDeadWrites marks pure register-writing instructions whose result is
+// overwritten before any read within the same block.
+func findDeadWrites(code []isa.Inst, leaders []bool) []bool {
+	dead := make([]bool, len(code))
+	// Walk each block backwards with a "will be overwritten before read"
+	// set; block boundaries and any control/call flush the set (registers
+	// are considered live out of the block).
+	overwritten := map[uint8]bool{}
+	for i := len(code) - 1; i >= 0; i-- {
+		in := code[i]
+		if isBlockEnd(in.Op) {
+			overwritten = map[uint8]bool{}
+			switch in.Op {
+			case isa.RET:
+				// The calling convention makes every register except the
+				// return value and the stack pointer dead across a return
+				// (RA is read by the RET itself and re-added below).
+				for r := uint8(0); r < isa.NumRegs; r++ {
+					if r != isa.RV && r != isa.SP {
+						overwritten[r] = true
+					}
+				}
+			case isa.HALT:
+				for r := uint8(0); r < isa.NumRegs; r++ {
+					overwritten[r] = true
+				}
+			}
+		}
+		w := writtenReg(in)
+		pure := isPure(in.Op)
+		if w >= 0 && pure && overwritten[uint8(w)] {
+			dead[i] = true
+			continue
+		}
+		if w >= 0 {
+			overwritten[uint8(w)] = true
+		}
+		for _, r := range readRegs(in) {
+			delete(overwritten, r)
+		}
+		if i < len(leaders) && leaders[i] {
+			// Leader: instructions above are a different block.
+			overwritten = map[uint8]bool{}
+		}
+	}
+	return dead
+}
+
+func isBlockEnd(op isa.Op) bool {
+	return op.IsControl() // branches, calls, ret, halt all end the window
+}
+
+// isPure reports whether deleting the instruction (when its result is
+// unread) is observationally safe. Loads are impure here only because they
+// can trap on wild addresses; frame/global loads cannot, so LD is treated
+// pure — its address operands are register+constant and the code generator
+// only emits in-range frame/global displacements. IN consumes input; CALL,
+// control and stores are obviously impure.
+func isPure(op isa.Op) bool {
+	switch op {
+	case isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.SLT, isa.SLE, isa.SEQ, isa.SNE,
+		isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.SHLI, isa.SHRI,
+		isa.SLTI, isa.LDI, isa.MOV, isa.LD:
+		return true
+	}
+	// DIV and MOD can trap on a zero divisor; they are never deleted.
+	return false
+}
+
+func writtenReg(in isa.Inst) int {
+	switch in.Op {
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.SLT, isa.SLE, isa.SEQ, isa.SNE,
+		isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.SHLI, isa.SHRI,
+		isa.SLTI, isa.LDI, isa.MOV, isa.LD, isa.IN:
+		return int(in.Rd)
+	case isa.CALL:
+		return isa.RA
+	}
+	return -1
+}
+
+func readRegs(in isa.Inst) []uint8 {
+	switch in.Op {
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.SLT, isa.SLE, isa.SEQ, isa.SNE:
+		return []uint8{in.Rs, in.Rt}
+	case isa.ADDI, isa.MULI, isa.ANDI, isa.ORI, isa.SHLI, isa.SHRI,
+		isa.SLTI, isa.MOV, isa.LD, isa.JMPI, isa.OUT:
+		return []uint8{in.Rs}
+	case isa.ST:
+		return []uint8{in.Rs, in.Rt}
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLE, isa.BGT:
+		return []uint8{in.Rs, in.Rt}
+	case isa.RET:
+		return []uint8{isa.RA}
+	}
+	return nil
+}
+
+// rebuild drops NOPs (created by folding) and dead writes, renumbers IDs,
+// and remaps every control target.
+func rebuild(p *isa.Program, code []isa.Inst, dead []bool) (*isa.Program, error) {
+	// Never drop an instruction that is a control target... targets are
+	// remapped to the next surviving instruction, which is correct because
+	// a removed instruction is a no-op at that point (dead write or NOP).
+	remap := make([]int32, len(code)+1)
+	var out []isa.Inst
+	for i := range code {
+		remap[i] = int32(len(out))
+		drop := dead[i] || (code[i].Op == isa.NOP && i != len(code)-1)
+		if !drop {
+			out = append(out, code[i])
+		}
+	}
+	remap[len(code)] = int32(len(out))
+	if len(out) == 0 {
+		return nil, fmt.Errorf("opt: optimized away the whole program")
+	}
+
+	for i := range out {
+		in := &out[i]
+		in.ID = int32(i)
+		switch {
+		case in.Op.IsCondBranch():
+			in.Target = remap[in.Target]
+			in.Fall = remap[in.Fall]
+		case in.Op == isa.JMP || in.Op == isa.CALL:
+			in.Target = remap[in.Target]
+		case in.Op == isa.JMPI:
+			tbl := make([]int32, len(in.Table))
+			for j, t := range in.Table {
+				tbl[j] = remap[t]
+			}
+			in.Table = tbl
+		}
+	}
+
+	funcs := make([]isa.FuncInfo, len(p.Funcs))
+	for i, f := range p.Funcs {
+		funcs[i] = isa.FuncInfo{Name: f.Name, Entry: remap[f.Entry], End: remap[f.End]}
+	}
+	np := &isa.Program{
+		Code:        out,
+		Data:        p.Data,
+		Words:       p.Words,
+		Funcs:       funcs,
+		Entry:       remap[p.Entry],
+		SourceLines: p.SourceLines,
+	}
+	if err := np.Validate(); err != nil {
+		return nil, fmt.Errorf("opt: internal error: produced invalid program: %w", err)
+	}
+	return np, nil
+}

@@ -1,0 +1,296 @@
+package opt_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"branchcost/internal/compile"
+	"branchcost/internal/fs"
+	"branchcost/internal/isa"
+	"branchcost/internal/opt"
+	"branchcost/internal/profile"
+	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
+)
+
+// TestOptimizePreservesBenchmarkSemantics is the heavyweight safety net:
+// every suite benchmark must produce byte-identical output after
+// optimization, on every input — and again after the Forward Semantic
+// transform of the optimized binary.
+func TestOptimizePreservesBenchmarkSemantics(t *testing.T) {
+	for _, b := range workloads.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := b.RawProgram()
+			if err != nil {
+				t.Fatal(err)
+			}
+			op, err := opt.Optimize(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(op.Code) >= len(prog.Code) {
+				t.Errorf("no shrink: %d -> %d", len(prog.Code), len(op.Code))
+			}
+			prof := profile.New()
+			col := &profile.Collector{P: prof}
+			var beforeSteps, afterSteps int64
+			for run := 0; run < b.Runs; run++ {
+				in := b.Input(run)
+				want, err := vm.Run(prog, in, nil, vm.Config{})
+				if err != nil {
+					t.Fatalf("run %d original: %v", run, err)
+				}
+				got, err := vm.Run(op, in, col.Hook(), vm.Config{})
+				if err != nil {
+					t.Fatalf("run %d optimized: %v", run, err)
+				}
+				if !bytes.Equal(want.Output, got.Output) {
+					t.Fatalf("run %d: output diverged", run)
+				}
+				if got.Steps > want.Steps {
+					t.Errorf("run %d: optimized binary executes MORE: %d -> %d steps",
+						run, want.Steps, got.Steps)
+				}
+				beforeSteps += want.Steps
+				afterSteps += got.Steps
+				prof.Steps += got.Steps
+				prof.Runs++
+			}
+			if afterSteps >= beforeSteps {
+				t.Errorf("no aggregate dynamic improvement: %d -> %d steps",
+					beforeSteps, afterSteps)
+			}
+			// The optimized binary must still transform correctly.
+			res, err := fs.Transform(op, prof, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for run := 0; run < b.Runs && run < 3; run++ {
+				in := b.Input(run)
+				want, _ := vm.Run(op, in, nil, vm.Config{})
+				got, err := vm.Run(res.Prog, in, nil, vm.Config{})
+				if err != nil {
+					t.Fatalf("run %d transformed: %v", run, err)
+				}
+				if !bytes.Equal(want.Output, got.Output) {
+					t.Fatalf("run %d: FS-transformed optimized binary diverged", run)
+				}
+			}
+		})
+	}
+}
+
+func mustCompile(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := compile.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func optimize(t *testing.T, p *isa.Program) *isa.Program {
+	t.Helper()
+	op, err := opt.Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Validate(); err != nil {
+		t.Fatalf("optimized program invalid: %v", err)
+	}
+	return op
+}
+
+func countOp(p *isa.Program, op isa.Op) int {
+	n := 0
+	for _, in := range p.Code {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestConstantFolding(t *testing.T) {
+	p := mustCompile(t, `func main() { putc(2 + 3 * 4 - 1); }`)
+	op := optimize(t, p)
+	// All the expression arithmetic folds into a single LDI 13 (the only
+	// surviving ADDI instructions adjust the stack pointer).
+	adds := countOp(op, isa.ADD) + countOp(op, isa.MUL) + countOp(op, isa.SUB) +
+		countOp(op, isa.MULI)
+	for _, in := range op.Code {
+		if in.Op == isa.ADDI && in.Rd != isa.SP {
+			adds++
+		}
+	}
+	if adds != 0 {
+		t.Fatalf("arithmetic not folded:\n%s", op.Disassemble())
+	}
+	res, err := vm.Run(op, nil, nil, vm.Config{})
+	if err != nil || len(res.Output) != 1 || res.Output[0] != 13 {
+		t.Fatalf("folded result wrong: %v %v", res.Output, err)
+	}
+}
+
+func TestRedundantLoadElimination(t *testing.T) {
+	// x is loaded for every use in the naive code; the optimizer must keep
+	// one load per block at most.
+	src := `
+func main() {
+	var x;
+	x = getc();
+	putc(x + 1);
+	putc(x + 2);
+	putc(x + 3);
+}`
+	p := mustCompile(t, src)
+	op := optimize(t, p)
+	if before, after := countOp(p, isa.LD), countOp(op, isa.LD); after >= before {
+		t.Fatalf("loads not reduced: %d -> %d\n%s", before, after, op.Disassemble())
+	}
+	want, _ := vm.Run(p, []byte{10}, nil, vm.Config{})
+	got, _ := vm.Run(op, []byte{10}, nil, vm.Config{})
+	if !bytes.Equal(want.Output, got.Output) {
+		t.Fatal("semantics changed")
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	src := `
+func main() {
+	var x;
+	x = getc() + 1;
+	putc(x);
+}`
+	p := mustCompile(t, src)
+	op := optimize(t, p)
+	// The store to x followed by the reload collapses: no LD needed in the
+	// straight-line body (the prologue/epilogue RA load remains).
+	if got := countOp(op, isa.LD); got > countOp(p, isa.LD)-1 {
+		t.Fatalf("store-load not forwarded: %d loads remain\n%s", got, op.Disassemble())
+	}
+	res, _ := vm.Run(op, []byte{'A'}, nil, vm.Config{})
+	if string(res.Output) != "B" {
+		t.Fatalf("output %q", res.Output)
+	}
+}
+
+func TestCallInvalidation(t *testing.T) {
+	// The callee mutates the global; the cached load must not survive the
+	// call.
+	src := `
+var g;
+func bump() { g += 1; return 0; }
+func main() {
+	g = 5;
+	putc('0' + g);
+	bump();
+	putc('0' + g);
+}`
+	p := mustCompile(t, src)
+	op := optimize(t, p)
+	res, err := vm.Run(op, nil, nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "56" {
+		t.Fatalf("call invalidation broken: %q", res.Output)
+	}
+}
+
+func TestPointerStoreInvalidation(t *testing.T) {
+	// Writing through a computed pointer must invalidate cached globals.
+	src := `
+var a[4];
+var idx;
+func main() {
+	a[0] = 7;
+	putc('0' + a[0]);
+	idx = getc() - '0';
+	a[idx] = 9;
+	putc('0' + a[0]);
+}`
+	p := mustCompile(t, src)
+	op := optimize(t, p)
+	res, err := vm.Run(op, []byte{'0'}, nil, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "79" {
+		t.Fatalf("aliased store not respected: %q", res.Output)
+	}
+}
+
+func TestDivideByZeroPreserved(t *testing.T) {
+	// 1/0 is constant but must still trap, and the dead-write pass must
+	// not delete the trapping DIV even though its result is unread.
+	src := `func main() { var x; x = 1 / (getc() - getc()); putc('a'); }`
+	p := mustCompile(t, src)
+	op := optimize(t, p)
+	if _, err := vm.Run(op, []byte{5, 5}, nil, vm.Config{}); err == nil {
+		t.Fatal("trap optimized away")
+	}
+}
+
+func TestBranchDensityImproves(t *testing.T) {
+	b, err := workloads.ByName("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := b.RawProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := optimize(t, prog)
+	density := func(p *isa.Program) float64 {
+		res, err := vm.Run(p, b.Input(0), nil, vm.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Branches) / float64(res.Steps)
+	}
+	before, after := density(prog), density(op)
+	if after <= before {
+		t.Fatalf("branch density did not improve: %.3f -> %.3f", before, after)
+	}
+	t.Logf("wc dynamic branch density: %.1f%% -> %.1f%% (paper: ~25%%)", 100*before, 100*after)
+}
+
+func TestOptimizeRejectsTransformed(t *testing.T) {
+	p := mustCompile(t, `func main() { putc('x'); }`)
+	p.Loc = []int32{0, 1, 2}
+	if _, err := opt.Optimize(p); err == nil {
+		t.Fatal("expected rejection of transformed program")
+	}
+}
+
+func TestIdempotence(t *testing.T) {
+	p := mustCompile(t, `
+var n;
+func main() {
+	var i;
+	for (i = 0; i < 10; i += 1) { n += i * 2; }
+	putc('0' + n % 10);
+}`)
+	once := optimize(t, p)
+	twice := optimize(t, once)
+	if len(twice.Code) < len(once.Code)-1 {
+		t.Fatalf("second optimization found %d more instructions to remove — first pass incomplete",
+			len(once.Code)-len(twice.Code))
+	}
+	a, _ := vm.Run(once, nil, nil, vm.Config{})
+	b, _ := vm.Run(twice, nil, nil, vm.Config{})
+	if !bytes.Equal(a.Output, b.Output) {
+		t.Fatal("idempotence broke semantics")
+	}
+}
+
+func ExampleOptimize() {
+	p, _ := compile.Compile(`func main() { putc('0' + 1 + 2); }`)
+	op, _ := opt.Optimize(p)
+	fmt.Println(len(op.Code) < len(p.Code))
+	// Output: true
+}

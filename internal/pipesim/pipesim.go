@@ -1,0 +1,205 @@
+// Package pipesim is a stage-level simulator of the paper's pipelined
+// microarchitecture, generalized to fetch width W (the paper's machine is
+// W = 1; the superscalar machines that followed it made branch cost
+// relatively worse, which this model quantifies).
+//
+// The pipeline is the paper's §2.1 structure: a next-address select stage,
+// K instruction-memory stages, L decode stages, M execute stages, and a
+// state-update stage, in order, with no structural or data hazards (the
+// paper folds data interlocks into the m̄ average). Fetch delivers up to W
+// sequential instructions per cycle; a fetch group ends early at any taken
+// control transfer (the redirect changes the fetch address — the classic
+// taken-branch fetch break). A mispredicted branch redirects fetch when it
+// resolves — end of decode for unconditional branches, end of execute for
+// conditional ones — and the wrong-path instructions fetched in between are
+// squashed. The redirect is forwarded during the resolving stage's final
+// cycle, so a mispredicted conditional branch costs exactly K+L+M cycles
+// end to end: the paper's penalty P, making the W = 1 simulation agree with
+// the analytic model cost = A + P(1−A) exactly.
+package pipesim
+
+import (
+	"fmt"
+
+	"branchcost/internal/isa"
+	"branchcost/internal/predict"
+	"branchcost/internal/vm"
+)
+
+// Sim accumulates cycle counts for one run. Drive it by passing its Hook
+// into vm.Run together with a predictor.
+type Sim struct {
+	Width   int // fetch width W (instructions per cycle), >= 1
+	K, L, M int
+
+	// Results.
+	Insts       int64 // right-path instructions fetched
+	Branches    int64
+	Mispredicts int64
+	Squashed    int64 // wrong-path fetch slots issued then discarded
+	GroupBreaks int64 // fetch groups ended early by a taken branch
+
+	pred predict.Predictor
+
+	// fetch state: cycle currently being filled and slots used in it.
+	curCycle  int64
+	slotsUsed int
+	// drainCycle is the cycle the last instruction leaves the pipe.
+	drainCycle int64
+}
+
+// New returns a simulator using the given predictor.
+func New(width, k, l, m int, pred predict.Predictor) *Sim {
+	if width < 1 {
+		panic(fmt.Sprintf("pipesim: width %d < 1", width))
+	}
+	return &Sim{Width: width, K: k, L: l, M: m, pred: pred, curCycle: 1}
+}
+
+// depth is the pipeline length after the select stage.
+func (s *Sim) depth() int64 { return int64(s.K + s.L + s.M) }
+
+// fetchOne accounts one right-path instruction entering the pipe and
+// returns the cycle it was fetched in.
+func (s *Sim) fetchOne() int64 {
+	if s.slotsUsed >= s.Width {
+		s.curCycle++
+		s.slotsUsed = 0
+	}
+	s.slotsUsed++
+	s.Insts++
+	if done := s.curCycle + 1 + s.depth(); done > s.drainCycle {
+		s.drainCycle = done
+	}
+	return s.curCycle
+}
+
+// redirect moves fetch to a new address at the given cycle: the current
+// group ends and the next instruction starts a fresh group.
+func (s *Sim) redirect(at int64) {
+	if at <= s.curCycle {
+		at = s.curCycle + 1
+	}
+	s.curCycle = at
+	s.slotsUsed = 0
+}
+
+// Hook returns the vm.BranchFunc driving the simulation. Non-branch
+// instructions are accounted through Step; wire both:
+//
+//	sim := pipesim.New(4, 1, 2, 2, pred)
+//	cfg := vm.Config{Trace: sim.Step}
+//	vm.Run(prog, input, sim.Hook(), cfg)
+func (s *Sim) Hook() vm.BranchFunc {
+	return func(ev vm.BranchEvent) {
+		if !ev.Op.IsBranch() {
+			return // CALL/RET redirect fetch too, but are not studied here
+		}
+		s.Branch(ev)
+	}
+}
+
+// Step accounts one executed instruction's fetch (called from the VM's
+// trace hook, which fires for every instruction including branches; the
+// branch hook then adds the branch-specific behaviour).
+func (s *Sim) Step(pos int32) {
+	s.fetchOne()
+}
+
+// Branch applies branch semantics for an instruction already counted by
+// Step: prediction, group breaks, and misprediction redirects.
+func (s *Sim) Branch(ev vm.BranchEvent) {
+	s.Branches++
+	p := s.pred.Predict(ev)
+	correct := p.Taken == ev.Taken && (!p.Taken || p.Target == ev.Target)
+	s.pred.Update(ev)
+
+	fetchCycle := s.curCycle // the group this branch was fetched in
+
+	if correct {
+		if ev.Taken {
+			// Correctly predicted taken: the target comes from the BTB or
+			// the forward slots, but the fetch address still changes — the
+			// group ends.
+			s.GroupBreaks++
+			s.redirect(fetchCycle + 1)
+		}
+		return
+	}
+
+	s.Mispredicts++
+	// Resolution: end of decode for unconditional, end of execute for
+	// conditional; the redirect forwards during the resolving stage's last
+	// cycle, so the next right-path fetch starts penalty cycles after the
+	// branch's own fetch cycle.
+	penalty := int64(s.K + s.L)
+	if ev.Op.IsCondBranch() {
+		penalty += int64(s.M)
+	}
+	// Wrong-path slots issued while waiting: full width for each cycle
+	// between the branch's group and the redirect, minus the slot the
+	// branch itself used.
+	wrongCycles := penalty - 1
+	if wrongCycles > 0 {
+		s.Squashed += wrongCycles*int64(s.Width) + int64(s.Width-s.slotsUsed)
+	}
+	s.redirect(fetchCycle + penalty)
+}
+
+// Cycles returns the total cycle count (through pipeline drain).
+func (s *Sim) Cycles() int64 {
+	if s.drainCycle > s.curCycle {
+		return s.drainCycle
+	}
+	return s.curCycle
+}
+
+// FetchCycles returns the cycles spent fetching (no drain), the
+// denominator for utilization.
+func (s *Sim) FetchCycles() int64 { return s.curCycle }
+
+// CPI is cycles per right-path instruction.
+func (s *Sim) CPI() float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return float64(s.Cycles()) / float64(s.Insts)
+}
+
+// IPC is the inverse of CPI.
+func (s *Sim) IPC() float64 {
+	c := s.CPI()
+	if c == 0 {
+		return 0
+	}
+	return 1 / c
+}
+
+// CostPerBranch is the branch cost in the paper's currency: the cycles
+// beyond the no-branch ideal (Insts/Width), per branch, plus the branch's
+// own issue share. At W = 1 it equals the analytic cost A + P(1−A) up to
+// the taken-branch group-break term (which is zero at W = 1).
+func (s *Sim) CostPerBranch() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	ideal := (s.Insts + int64(s.Width) - 1) / int64(s.Width)
+	extra := float64(s.FetchCycles() - ideal)
+	return 1 + extra/float64(s.Branches)
+}
+
+// FetchUtilization is the fraction of issued fetch slots holding useful
+// (right-path) instructions.
+func (s *Sim) FetchUtilization() float64 {
+	slots := s.FetchCycles() * int64(s.Width)
+	if slots == 0 {
+		return 0
+	}
+	u := float64(s.Insts) / float64(slots)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+var _ = isa.NOP // keep the isa import for documentation references

@@ -1,0 +1,143 @@
+// Package predict defines the predictor abstraction shared by the three
+// schemes of the paper (and the static baselines from its related-work
+// discussion), plus the evaluator that measures prediction accuracy over a
+// dynamic branch stream.
+//
+// A prediction is counted correct exactly when the fetch unit would have
+// fetched down the right path: the predicted direction must match the
+// outcome, and for predicted-taken branches the predicted target must match
+// the actual target. Predicting "not taken" needs no target.
+package predict
+
+import (
+	"branchcost/internal/vm"
+)
+
+// Prediction is a predictor's answer for one fetched branch.
+type Prediction struct {
+	Taken  bool
+	Target int32 // meaningful only when Taken
+	Hit    bool  // whether the predictor had state for this branch (BTB hit)
+}
+
+// Predictor models a branch prediction scheme.
+type Predictor interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Predict returns the scheme's prediction for the branch about to
+	// execute at ev.PC. Implementations must not use ev.Taken or ev.Target.
+	Predict(ev vm.BranchEvent) Prediction
+	// Update observes the actual outcome after prediction.
+	Update(ev vm.BranchEvent)
+	// Reset clears all dynamic state (used by the context-switch ablation).
+	Reset()
+}
+
+// Stats accumulates evaluator results.
+type Stats struct {
+	Branches int64 // dynamic branches seen
+	Correct  int64 // fully correct predictions (direction and target)
+	DirRight int64 // direction-correct predictions (target may differ)
+	Hits     int64 // predictor had state (BTB hit)
+	Misses   int64 // predictor had no state
+
+	CondBranches int64
+	CondCorrect  int64
+}
+
+// Accuracy is the fraction of fully correct predictions (the paper's A).
+func (s Stats) Accuracy() float64 {
+	if s.Branches == 0 {
+		return 1
+	}
+	return float64(s.Correct) / float64(s.Branches)
+}
+
+// MissRatio is the fraction of branches that missed in the predictor's
+// buffer (the paper's rho). For stateless predictors it is 0.
+func (s Stats) MissRatio() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Branches)
+}
+
+// CondAccuracy is the accuracy restricted to conditional branches.
+func (s Stats) CondAccuracy() float64 {
+	if s.CondBranches == 0 {
+		return 1
+	}
+	return float64(s.CondCorrect) / float64(s.CondBranches)
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other Stats) {
+	s.Branches += other.Branches
+	s.Correct += other.Correct
+	s.DirRight += other.DirRight
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.CondBranches += other.CondBranches
+	s.CondCorrect += other.CondCorrect
+}
+
+// Evaluator feeds a branch stream through a predictor and scores it.
+type Evaluator struct {
+	P Predictor
+	S Stats
+
+	// FlushEvery, when positive, calls P.Reset every FlushEvery branches,
+	// simulating context switches wiping hardware predictor state.
+	FlushEvery int64
+	sinceFlush int64
+
+	// OnResult, when non-nil, receives each branch with the correctness of
+	// its prediction (used by the cycle-level pipeline simulator).
+	OnResult func(ev vm.BranchEvent, correct bool)
+}
+
+// Hook returns a vm.BranchFunc that evaluates every executed branch.
+func (e *Evaluator) Hook() vm.BranchFunc {
+	return func(ev vm.BranchEvent) { e.Observe(ev) }
+}
+
+// Observe scores one branch event. Non-branch control events (CALL) pass
+// through unscored.
+func (e *Evaluator) Observe(ev vm.BranchEvent) {
+	if !ev.Op.IsBranch() {
+		return
+	}
+	if e.FlushEvery > 0 {
+		if e.sinceFlush >= e.FlushEvery {
+			e.P.Reset()
+			e.sinceFlush = 0
+		}
+		e.sinceFlush++
+	}
+	p := e.P.Predict(ev)
+	e.S.Branches++
+	cond := ev.Op.IsCondBranch()
+	if cond {
+		e.S.CondBranches++
+	}
+	if p.Hit {
+		e.S.Hits++
+	} else {
+		e.S.Misses++
+	}
+	dirRight := p.Taken == ev.Taken
+	correct := dirRight && (!p.Taken || p.Target == ev.Target)
+	if dirRight {
+		e.S.DirRight++
+	}
+	if correct {
+		e.S.Correct++
+		if cond {
+			e.S.CondCorrect++
+		}
+	}
+	e.P.Update(ev)
+	if e.OnResult != nil {
+		e.OnResult(ev, correct)
+	}
+}

@@ -1,0 +1,246 @@
+// Package profile collects branch-execution profiles, the information the
+// paper's profiling compiler gathers through basic-block probes: per static
+// branch, how often it executed, how often it was taken, and (for indirect
+// jumps) a histogram of targets. Profiles from several runs merge by
+// addition, mirroring the paper's accumulation across a benchmark's input
+// suite.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"branchcost/internal/isa"
+	"branchcost/internal/vm"
+)
+
+// BranchStat accumulates the dynamic behaviour of one static branch.
+type BranchStat struct {
+	Op    isa.Op
+	Exec  int64 // times executed
+	Taken int64 // times taken (== Exec for JMP/JMPI)
+
+	// Targets counts resolved target positions of indirect jumps.
+	Targets map[int32]int64
+}
+
+// NotTaken returns the not-taken count.
+func (b *BranchStat) NotTaken() int64 { return b.Exec - b.Taken }
+
+// LikelyTaken reports the profile's majority direction (ties predict
+// not-taken, the static default of the paper's pipeline).
+func (b *BranchStat) LikelyTaken() bool { return b.Taken*2 > b.Exec }
+
+// TopTarget returns the most frequent indirect target and its count.
+func (b *BranchStat) TopTarget() (int32, int64) {
+	var best int32 = -1
+	var bestN int64
+	for t, n := range b.Targets {
+		if n > bestN || (n == bestN && (best == -1 || t < best)) {
+			best, bestN = t, n
+		}
+	}
+	return best, bestN
+}
+
+// Profile holds merged branch statistics for one program, keyed by the
+// stable instruction IDs of its branches.
+type Profile struct {
+	Branches map[int32]*BranchStat
+	Calls    map[int32]int64 // function-entry ID -> dynamic call count
+	Steps    int64           // total dynamic instructions across profiled runs
+	Runs     int
+}
+
+// New returns an empty profile.
+func New() *Profile { return &Profile{Branches: map[int32]*BranchStat{}} }
+
+// Collector adapts a Profile to the VM's branch hook. A slice indexed by
+// instruction ID backs the hot path; entries are shared with the profile's
+// map.
+type Collector struct {
+	P     *Profile
+	byID  []*BranchStat
+	calls []int64
+}
+
+// Hook returns the vm.BranchFunc recording into the profile.
+func (c *Collector) Hook() vm.BranchFunc {
+	return func(ev vm.BranchEvent) {
+		if ev.Op == isa.CALL {
+			for int(ev.Target) >= len(c.calls) {
+				c.calls = append(c.calls, make([]int64, int(ev.Target)+64-len(c.calls))...)
+			}
+			if c.calls[ev.Target]++; c.calls[ev.Target] == 1 {
+				if c.P.Calls == nil {
+					c.P.Calls = map[int32]int64{}
+				}
+			}
+			c.P.Calls[ev.Target] = c.calls[ev.Target]
+			return
+		}
+		for int(ev.ID) >= len(c.byID) {
+			c.byID = append(c.byID, make([]*BranchStat, int(ev.ID)+64-len(c.byID))...)
+		}
+		b := c.byID[ev.ID]
+		if b == nil {
+			b = &BranchStat{Op: ev.Op}
+			c.byID[ev.ID] = b
+			c.P.Branches[ev.ID] = b
+		}
+		b.Exec++
+		if ev.Taken {
+			b.Taken++
+		}
+		if ev.Op == isa.JMPI {
+			if b.Targets == nil {
+				b.Targets = map[int32]int64{}
+			}
+			b.Targets[ev.Target]++
+		}
+	}
+}
+
+// Merge adds other into p.
+func (p *Profile) Merge(other *Profile) {
+	for id, ob := range other.Branches {
+		b := p.Branches[id]
+		if b == nil {
+			b = &BranchStat{Op: ob.Op}
+			p.Branches[id] = b
+		}
+		b.Exec += ob.Exec
+		b.Taken += ob.Taken
+		for t, n := range ob.Targets {
+			if b.Targets == nil {
+				b.Targets = map[int32]int64{}
+			}
+			b.Targets[t] += n
+		}
+	}
+	for t, n := range other.Calls {
+		if p.Calls == nil {
+			p.Calls = map[int32]int64{}
+		}
+		p.Calls[t] += n
+	}
+	p.Steps += other.Steps
+	p.Runs += other.Runs
+}
+
+// Summary aggregates a profile into the quantities reported in the paper's
+// Tables 1 and 2.
+type Summary struct {
+	Steps    int64 // dynamic instructions
+	Branches int64 // dynamic counted branches
+	Runs     int
+
+	CondExec     int64 // dynamic conditional branches
+	CondTaken    int64
+	UncondExec   int64 // dynamic unconditional branches (jmp + jmpi)
+	UncondKnown  int64 // with statically known target (jmp)
+	StaticCond   int   // static conditional branch sites
+	StaticUncond int
+}
+
+// ControlFraction is the fraction of dynamic instructions that are branches
+// (the paper's "Control" column).
+func (s Summary) ControlFraction() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.Branches) / float64(s.Steps)
+}
+
+// CondTakenFraction is the fraction of conditional branches that were taken.
+func (s Summary) CondTakenFraction() float64 {
+	if s.CondExec == 0 {
+		return 0
+	}
+	return float64(s.CondTaken) / float64(s.CondExec)
+}
+
+// KnownFraction is the fraction of unconditional branches whose target is
+// statically known.
+func (s Summary) KnownFraction() float64 {
+	if s.UncondExec == 0 {
+		return 1
+	}
+	return float64(s.UncondKnown) / float64(s.UncondExec)
+}
+
+// Summarize computes the aggregate view of the profile.
+func (p *Profile) Summarize() Summary {
+	s := Summary{Steps: p.Steps, Runs: p.Runs}
+	for _, b := range p.Branches {
+		s.Branches += b.Exec
+		if b.Op.IsCondBranch() {
+			s.StaticCond++
+			s.CondExec += b.Exec
+			s.CondTaken += b.Taken
+		} else {
+			s.StaticUncond++
+			s.UncondExec += b.Exec
+			if b.Op == isa.JMP {
+				s.UncondKnown += b.Exec
+			}
+		}
+	}
+	return s
+}
+
+// StaticAccuracy returns the accuracy a static likely-bit predictor derived
+// from this profile achieves on the profiled stream itself: each conditional
+// branch contributes its majority count, direct jumps are always correct,
+// and indirect jumps are never correct (the likely-bit format carries no
+// target for them). This is the analytic A_FS; internal/fs cross-checks it
+// by measurement.
+func (p *Profile) StaticAccuracy() float64 {
+	var correct, total int64
+	for _, b := range p.Branches {
+		total += b.Exec
+		switch {
+		case b.Op.IsCondBranch():
+			c := b.Taken
+			if !b.LikelyTaken() {
+				c = b.Exec - b.Taken
+			}
+			correct += c
+		case b.Op == isa.JMP:
+			correct += b.Exec
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(correct) / float64(total)
+}
+
+// String renders the profile ordered by execution count (top 20 branches).
+func (p *Profile) String() string {
+	type kv struct {
+		id int32
+		b  *BranchStat
+	}
+	var all []kv
+	for id, b := range p.Branches {
+		all = append(all, kv{id, b})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].b.Exec != all[j].b.Exec {
+			return all[i].b.Exec > all[j].b.Exec
+		}
+		return all[i].id < all[j].id
+	})
+	out := fmt.Sprintf("profile: %d runs, %d instructions, %d static branches\n",
+		p.Runs, p.Steps, len(p.Branches))
+	for i, e := range all {
+		if i == 20 {
+			out += fmt.Sprintf("  ... %d more\n", len(all)-20)
+			break
+		}
+		out += fmt.Sprintf("  @%-6d %-5v exec=%-10d taken=%-10d (%.1f%%)\n",
+			e.id, e.b.Op, e.b.Exec, e.b.Taken, 100*float64(e.b.Taken)/float64(e.b.Exec))
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package profile_test
+
+import (
+	"strings"
+	"testing"
+
+	"branchcost/internal/isa"
+	"branchcost/internal/profile"
+	"branchcost/internal/vm"
+)
+
+func ev(id int32, op isa.Op, taken bool, target int32) vm.BranchEvent {
+	return vm.BranchEvent{PC: id, ID: id, Op: op, Taken: taken, Target: target}
+}
+
+func collect(events ...vm.BranchEvent) *profile.Profile {
+	p := profile.New()
+	c := &profile.Collector{P: p}
+	h := c.Hook()
+	for _, e := range events {
+		h(e)
+	}
+	return p
+}
+
+func TestCollectorCounts(t *testing.T) {
+	p := collect(
+		ev(1, isa.BEQ, true, 5),
+		ev(1, isa.BEQ, false, 0),
+		ev(1, isa.BEQ, true, 5),
+		ev(2, isa.JMP, true, 9),
+	)
+	b := p.Branches[1]
+	if b == nil || b.Exec != 3 || b.Taken != 2 || b.NotTaken() != 1 {
+		t.Fatalf("branch 1: %+v", b)
+	}
+	if !b.LikelyTaken() {
+		t.Fatal("majority-taken branch not likely")
+	}
+	if j := p.Branches[2]; j == nil || j.Exec != 1 || j.Taken != 1 {
+		t.Fatalf("jmp: %+v", p.Branches[2])
+	}
+}
+
+func TestLikelyTakenTieBreak(t *testing.T) {
+	p := collect(ev(1, isa.BEQ, true, 5), ev(1, isa.BEQ, false, 0))
+	if p.Branches[1].LikelyTaken() {
+		t.Fatal("ties must predict not-taken (the pipeline default)")
+	}
+}
+
+func TestIndirectTargetHistogram(t *testing.T) {
+	p := collect(
+		ev(3, isa.JMPI, true, 10),
+		ev(3, isa.JMPI, true, 20),
+		ev(3, isa.JMPI, true, 10),
+	)
+	b := p.Branches[3]
+	if b.Targets[10] != 2 || b.Targets[20] != 1 {
+		t.Fatalf("histogram: %v", b.Targets)
+	}
+	target, n := b.TopTarget()
+	if target != 10 || n != 2 {
+		t.Fatalf("TopTarget = %d,%d", target, n)
+	}
+}
+
+func TestTopTargetEmpty(t *testing.T) {
+	b := &profile.BranchStat{Op: isa.JMPI}
+	if target, n := b.TopTarget(); target != -1 || n != 0 {
+		t.Fatalf("empty TopTarget = %d,%d", target, n)
+	}
+}
+
+func TestCallCounting(t *testing.T) {
+	p := collect(
+		vm.BranchEvent{PC: 1, ID: 1, Op: isa.CALL, Taken: true, Target: 50},
+		vm.BranchEvent{PC: 2, ID: 2, Op: isa.CALL, Taken: true, Target: 50},
+		vm.BranchEvent{PC: 3, ID: 3, Op: isa.CALL, Taken: true, Target: 70},
+	)
+	if p.Calls[50] != 2 || p.Calls[70] != 1 {
+		t.Fatalf("calls: %v", p.Calls)
+	}
+	if len(p.Branches) != 0 {
+		t.Fatal("calls must not be recorded as branches")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := collect(ev(1, isa.BEQ, true, 5), ev(3, isa.JMPI, true, 10))
+	a.Steps, a.Runs = 100, 1
+	b := collect(ev(1, isa.BEQ, false, 0), ev(2, isa.JMP, true, 9), ev(3, isa.JMPI, true, 20))
+	b.Steps, b.Runs = 50, 2
+	b.Calls = map[int32]int64{50: 3}
+
+	a.Merge(b)
+	if a.Steps != 150 || a.Runs != 3 {
+		t.Fatalf("steps/runs: %d/%d", a.Steps, a.Runs)
+	}
+	if s := a.Branches[1]; s.Exec != 2 || s.Taken != 1 {
+		t.Fatalf("merged branch 1: %+v", s)
+	}
+	if a.Branches[2] == nil {
+		t.Fatal("new branch not merged")
+	}
+	if a.Branches[3].Targets[10] != 1 || a.Branches[3].Targets[20] != 1 {
+		t.Fatalf("merged histogram: %v", a.Branches[3].Targets)
+	}
+	if a.Calls[50] != 3 {
+		t.Fatalf("merged calls: %v", a.Calls)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p := collect(
+		ev(1, isa.BEQ, true, 5),
+		ev(1, isa.BEQ, false, 0),
+		ev(2, isa.JMP, true, 9),
+		ev(3, isa.JMPI, true, 10),
+	)
+	p.Steps = 40
+	s := p.Summarize()
+	if s.Branches != 4 || s.CondExec != 2 || s.CondTaken != 1 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.UncondExec != 2 || s.UncondKnown != 1 {
+		t.Fatalf("uncond: %+v", s)
+	}
+	if s.StaticCond != 1 || s.StaticUncond != 2 {
+		t.Fatalf("static: %+v", s)
+	}
+	if got := s.ControlFraction(); got != 0.1 {
+		t.Fatalf("control fraction %v", got)
+	}
+	if got := s.CondTakenFraction(); got != 0.5 {
+		t.Fatalf("taken fraction %v", got)
+	}
+	if got := s.KnownFraction(); got != 0.5 {
+		t.Fatalf("known fraction %v", got)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s profile.Summary
+	if s.ControlFraction() != 0 || s.CondTakenFraction() != 0 || s.KnownFraction() != 1 {
+		t.Fatal("empty summary must be benign")
+	}
+}
+
+func TestStaticAccuracy(t *testing.T) {
+	// Branch 1: 3 taken / 1 not -> majority taken, 3 correct of 4.
+	// Branch 2 (jmp): 2 correct of 2.
+	// Branch 3 (jmpi): 0 correct of 1.
+	p := collect(
+		ev(1, isa.BEQ, true, 5), ev(1, isa.BEQ, true, 5),
+		ev(1, isa.BEQ, true, 5), ev(1, isa.BEQ, false, 0),
+		ev(2, isa.JMP, true, 9), ev(2, isa.JMP, true, 9),
+		ev(3, isa.JMPI, true, 10),
+	)
+	want := float64(3+2+0) / 7
+	if got := p.StaticAccuracy(); got != want {
+		t.Fatalf("static accuracy = %v, want %v", got, want)
+	}
+	if got := profile.New().StaticAccuracy(); got != 1 {
+		t.Fatalf("empty profile accuracy = %v", got)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := collect(ev(1, isa.BEQ, true, 5))
+	p.Runs = 1
+	s := p.String()
+	if !strings.Contains(s, "beq") || !strings.Contains(s, "1 static branches") {
+		t.Fatalf("String:\n%s", s)
+	}
+	// Many branches trigger the truncation marker.
+	big := profile.New()
+	c := &profile.Collector{P: big}
+	h := c.Hook()
+	for i := int32(0); i < 30; i++ {
+		h(ev(i, isa.BEQ, true, 5))
+	}
+	if !strings.Contains(big.String(), "more") {
+		t.Fatal("expected truncation marker")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := collect(
+		ev(1, isa.BEQ, true, 5), ev(1, isa.BEQ, false, 0),
+		ev(2, isa.JMP, true, 9),
+		ev(3, isa.JMPI, true, 10), ev(3, isa.JMPI, true, 20),
+		vm.BranchEvent{PC: 4, ID: 4, Op: isa.CALL, Taken: true, Target: 50},
+	)
+	p.Steps, p.Runs = 1234, 3
+
+	var buf strings.Builder
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := profile.Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Steps != p.Steps || back.Runs != p.Runs {
+		t.Fatalf("header lost: %d/%d", back.Steps, back.Runs)
+	}
+	if len(back.Branches) != len(p.Branches) {
+		t.Fatalf("branch count %d != %d", len(back.Branches), len(p.Branches))
+	}
+	for id, want := range p.Branches {
+		got := back.Branches[id]
+		if got == nil || got.Op != want.Op || got.Exec != want.Exec || got.Taken != want.Taken {
+			t.Fatalf("branch %d: %+v != %+v", id, got, want)
+		}
+		for tg, n := range want.Targets {
+			if got.Targets[tg] != n {
+				t.Fatalf("branch %d target %d count", id, tg)
+			}
+		}
+	}
+	if back.Calls[50] != 1 {
+		t.Fatalf("calls lost: %v", back.Calls)
+	}
+	// Accuracy derived from a reloaded profile must match exactly.
+	if back.StaticAccuracy() != p.StaticAccuracy() {
+		t.Fatal("static accuracy changed across serialization")
+	}
+	// Stable output: saving again produces identical bytes.
+	var buf2 strings.Builder
+	if err := back.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("serialization not canonical")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"version": 99}`,
+		`{"version": 1, "branches": [{"id": 1, "op": "zzz", "exec": 1, "taken": 1}]}`,
+		`{"version": 1, "branches": [{"id": 1, "op": "beq", "exec": 1, "taken": 5}]}`,
+		`{"version": 1, "branches": [{"id": 1, "op": "beq", "exec": -2, "taken": -3}]}`,
+	}
+	for i, c := range cases {
+		if _, err := profile.Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad input accepted", i)
+		}
+	}
+}

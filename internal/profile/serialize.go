@@ -1,0 +1,124 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"branchcost/internal/isa"
+)
+
+// The serialized profile format: a stable JSON document, so profiles can be
+// collected by one tool (bprof) and consumed by another (bcc's Forward
+// Semantic transform), mirroring the paper's two-phase
+// profile-then-recompile workflow.
+
+// serialized is the on-disk schema.
+type serialized struct {
+	Version  int                `json:"version"`
+	Steps    int64              `json:"steps"`
+	Runs     int                `json:"runs"`
+	Branches []serializedBranch `json:"branches"`
+	Calls    []serializedCall   `json:"calls,omitempty"`
+}
+
+type serializedBranch struct {
+	ID      int32             `json:"id"`
+	Op      string            `json:"op"`
+	Exec    int64             `json:"exec"`
+	Taken   int64             `json:"taken"`
+	Targets []serializedCount `json:"targets,omitempty"`
+}
+
+type serializedCall struct {
+	Entry int32 `json:"entry"`
+	Count int64 `json:"count"`
+}
+
+type serializedCount struct {
+	Target int32 `json:"target"`
+	Count  int64 `json:"count"`
+}
+
+const formatVersion = 1
+
+var opByName = func() map[string]isa.Op {
+	m := map[string]isa.Op{}
+	for op := isa.Op(0); op.Valid(); op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// Save writes the profile as JSON. Entries are sorted so output is stable.
+func (p *Profile) Save(w io.Writer) error {
+	s := serialized{Version: formatVersion, Steps: p.Steps, Runs: p.Runs}
+	ids := make([]int32, 0, len(p.Branches))
+	for id := range p.Branches {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b := p.Branches[id]
+		sb := serializedBranch{ID: id, Op: b.Op.String(), Exec: b.Exec, Taken: b.Taken}
+		tids := make([]int32, 0, len(b.Targets))
+		for t := range b.Targets {
+			tids = append(tids, t)
+		}
+		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+		for _, t := range tids {
+			sb.Targets = append(sb.Targets, serializedCount{Target: t, Count: b.Targets[t]})
+		}
+		s.Branches = append(s.Branches, sb)
+	}
+	ents := make([]int32, 0, len(p.Calls))
+	for e := range p.Calls {
+		ents = append(ents, e)
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i] < ents[j] })
+	for _, e := range ents {
+		s.Calls = append(s.Calls, serializedCall{Entry: e, Count: p.Calls[e]})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// Load reads a profile written by Save.
+func Load(r io.Reader) (*Profile, error) {
+	var s serialized
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if s.Version != formatVersion {
+		return nil, fmt.Errorf("profile: unsupported format version %d", s.Version)
+	}
+	p := New()
+	p.Steps = s.Steps
+	p.Runs = s.Runs
+	for _, sb := range s.Branches {
+		op, ok := opByName[sb.Op]
+		if !ok {
+			return nil, fmt.Errorf("profile: unknown opcode %q", sb.Op)
+		}
+		if sb.Exec < 0 || sb.Taken < 0 || sb.Taken > sb.Exec {
+			return nil, fmt.Errorf("profile: inconsistent counts for branch %d", sb.ID)
+		}
+		b := &BranchStat{Op: op, Exec: sb.Exec, Taken: sb.Taken}
+		for _, tc := range sb.Targets {
+			if b.Targets == nil {
+				b.Targets = map[int32]int64{}
+			}
+			b.Targets[tc.Target] = tc.Count
+		}
+		p.Branches[sb.ID] = b
+	}
+	for _, c := range s.Calls {
+		if p.Calls == nil {
+			p.Calls = map[int32]int64{}
+		}
+		p.Calls[c.Entry] = c.Count
+	}
+	return p, nil
+}

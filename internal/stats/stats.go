@@ -1,0 +1,220 @@
+// Package stats provides the small amount of descriptive statistics the
+// paper's tables report (means and sample standard deviations) and a plain
+// text table renderer used by the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// values).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// Table accumulates rows of strings and renders them with aligned columns.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	aligns  []bool // true = right-align
+	hasRule []bool // horizontal rule before this row
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	t := &Table{Title: title, header: headers, aligns: make([]bool, len(headers))}
+	for i := range t.aligns {
+		t.aligns[i] = true // numeric right-alignment by default
+	}
+	t.aligns[0] = false // first column is usually a name
+	return t
+}
+
+// AddRow appends a row of already formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+	t.hasRule = append(t.hasRule, false)
+}
+
+// AddRule draws a horizontal rule before the next row.
+func (t *Table) AddRule() {
+	if len(t.hasRule) < len(t.rows)+1 {
+		t.hasRule = append(t.hasRule, true)
+	} else {
+		t.hasRule[len(t.rows)] = true
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if i < len(t.aligns) && t.aligns[i] {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			} else {
+				b.WriteString(c)
+				if i < len(cells)-1 {
+					b.WriteString(strings.Repeat(" ", pad))
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	rule := strings.Repeat("-", total-2)
+	b.WriteString(rule)
+	b.WriteByte('\n')
+	for i, r := range t.rows {
+		if i < len(t.hasRule) && t.hasRule[i] {
+			b.WriteString(rule)
+			b.WriteByte('\n')
+		}
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// F2 formats a float with two decimals.
+func F2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// F3 formats a float with three decimals.
+func F3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// Count formats large counts with an M/K suffix as the paper's Table 1 does.
+func Count(n int64) string {
+	switch {
+	case n >= 100_000_000:
+		return fmt.Sprintf("%.0fM", float64(n)/1e6)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// CSV renders the table as comma-separated values (header row first, no
+// title, rules omitted). Cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table; the
+// title becomes a bold caption line.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	esc := func(c string) string { return strings.ReplaceAll(c, "|", "\\|") }
+	b.WriteByte('|')
+	for _, h := range t.header {
+		b.WriteString(" " + esc(h) + " |")
+	}
+	b.WriteByte('\n')
+	b.WriteByte('|')
+	for i := range t.header {
+		if i < len(t.aligns) && t.aligns[i] {
+			b.WriteString("---:|")
+		} else {
+			b.WriteString("---|")
+		}
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteByte('|')
+		for _, c := range r {
+			b.WriteString(" " + esc(c) + " |")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render dispatches on a format name: "text" (default), "csv" or "md".
+func (t *Table) Render(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return t.String(), nil
+	case "csv":
+		return t.CSV(), nil
+	case "md", "markdown":
+		return t.Markdown(), nil
+	}
+	return "", fmt.Errorf("stats: unknown format %q", format)
+}

@@ -1,0 +1,165 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"branchcost/internal/stats"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := stats.Mean(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := stats.StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %v", got)
+	}
+	if got := stats.StdDev([]float64{7}); got != 0 {
+		t.Errorf("StdDev(single) = %v", got)
+	}
+	// Sample std dev of {2,4,4,4,5,5,7,9} is sqrt(32/7).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := math.Sqrt(32.0 / 7.0)
+	if got := stats.StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+// TestStdDevProperties: nonnegative, zero for constant data, and
+// shift-invariant.
+func TestStdDevProperties(t *testing.T) {
+	check := func(xs []float64, shift float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological inputs
+			}
+		}
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e12 {
+			return true
+		}
+		sd := stats.StdDev(xs)
+		if sd < 0 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		scale := math.Max(1, math.Abs(shift))
+		return math.Abs(stats.StdDev(shifted)-sd) < 1e-6*scale
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := stats.Pct(0.1234); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := stats.F2(1.005); got != "1.00" && got != "1.01" {
+		t.Errorf("F2 = %q", got)
+	}
+	if got := stats.F3(2.0); got != "2.000" {
+		t.Errorf("F3 = %q", got)
+	}
+	counts := map[int64]string{
+		5:           "5",
+		999:         "999",
+		1500:        "1.5K",
+		2_300_000:   "2.3M",
+		150_000_000: "150M",
+	}
+	for n, want := range counts {
+		if got := stats.Count(n); got != want {
+			t.Errorf("Count(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := stats.NewTable("Title", "Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-longer", "22")
+	tb.AddRule()
+	tb.AddRow("avg", "11.5")
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, 2 rows, rule, avg row = 7 lines.
+	if len(lines) != 7 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Numeric column is right-aligned: "1" and "22" end at the same column.
+	if !strings.HasSuffix(lines[3], "1") || !strings.HasSuffix(lines[4], "22") {
+		t.Errorf("alignment broken:\n%s", out)
+	}
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows have different widths:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := stats.NewTable("", "A")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tb := stats.NewTable("T", "Name", "Value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("com,ma", `quo"te`)
+	got := tb.CSV()
+	want := "Name,Value\nplain,1\n\"com,ma\",\"quo\"\"te\"\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := stats.NewTable("Cap", "Name", "N")
+	tb.AddRow("a|b", "2")
+	got := tb.Markdown()
+	if !strings.HasPrefix(got, "**Cap**") {
+		t.Fatalf("caption missing:\n%s", got)
+	}
+	if !strings.Contains(got, `a\|b`) {
+		t.Fatalf("pipe not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, "---:|") {
+		t.Fatalf("numeric alignment missing:\n%s", got)
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	tb := stats.NewTable("", "A")
+	tb.AddRow("x")
+	for _, f := range []string{"", "text", "csv", "md", "markdown"} {
+		if _, err := tb.Render(f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+	}
+	if _, err := tb.Render("xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Package tracefile records and replays branch traces — the methodology of
+// the paper's era, when prediction studies ran from tape-archived address
+// traces rather than live execution. A trace file captures the exact branch
+// stream one program run produces; replaying it through
+// internal/predict.Evaluator reproduces any scheme's accuracy bit for bit,
+// without re-executing the program.
+//
+// Format (little-endian):
+//
+//	magic  "BCT1" (4 bytes)
+//	count  uint64 — number of events
+//	events: each 16 bytes:
+//	    pc     int32
+//	    id     int32
+//	    target int32
+//	    op     uint8
+//	    flags  uint8 (bit0 taken, bit1 likely)
+//	    pad    uint16
+//
+// Events are buffered through the provided io.Writer/Reader; callers wrap
+// files in bufio when writing to disk.
+package tracefile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"branchcost/internal/isa"
+	"branchcost/internal/vm"
+)
+
+var magic = [4]byte{'B', 'C', 'T', '1'}
+
+const eventSize = 16
+
+// ErrBadMagic reports a stream that is not a trace file.
+var ErrBadMagic = errors.New("tracefile: bad magic")
+
+// Writer streams branch events to w.
+type Writer struct {
+	w     io.WriteSeeker
+	buf   [eventSize]byte
+	count uint64
+	err   error
+}
+
+// NewWriter writes the header and returns a writer. The count field is
+// back-patched by Close, so w must support seeking.
+func NewWriter(w io.WriteSeeker) (*Writer, error) {
+	tw := &Writer{w: w}
+	var hdr [12]byte
+	copy(hdr[:4], magic[:])
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Hook returns a vm.BranchFunc recording every counted branch (CALL events
+// pass through unrecorded, matching the evaluator's view).
+func (tw *Writer) Hook() vm.BranchFunc {
+	return func(ev vm.BranchEvent) {
+		if !ev.Op.IsBranch() {
+			return
+		}
+		tw.Record(ev)
+	}
+}
+
+// Record appends one event.
+func (tw *Writer) Record(ev vm.BranchEvent) {
+	if tw.err != nil {
+		return
+	}
+	b := tw.buf[:]
+	binary.LittleEndian.PutUint32(b[0:], uint32(ev.PC))
+	binary.LittleEndian.PutUint32(b[4:], uint32(ev.ID))
+	binary.LittleEndian.PutUint32(b[8:], uint32(ev.Target))
+	b[12] = uint8(ev.Op)
+	var flags uint8
+	if ev.Taken {
+		flags |= 1
+	}
+	if ev.Likely {
+		flags |= 2
+	}
+	b[13] = flags
+	b[14], b[15] = 0, 0
+	if _, err := tw.w.Write(b); err != nil {
+		tw.err = err
+		return
+	}
+	tw.count++
+}
+
+// Close back-patches the event count. The underlying file remains open.
+func (tw *Writer) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if _, err := tw.w.Seek(4, io.SeekStart); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], tw.count)
+	if _, err := tw.w.Write(cnt[:]); err != nil {
+		return err
+	}
+	_, err := tw.w.Seek(0, io.SeekEnd)
+	return err
+}
+
+// Count returns the number of events recorded so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Reader replays a trace.
+type Reader struct {
+	r      io.Reader
+	buf    [eventSize]byte
+	remain uint64
+}
+
+// NewReader validates the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: short header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: r, remain: binary.LittleEndian.Uint64(hdr[4:])}, nil
+}
+
+// Remaining returns how many events are left.
+func (tr *Reader) Remaining() uint64 { return tr.remain }
+
+// Next returns the next event, or io.EOF when the trace is exhausted.
+func (tr *Reader) Next() (vm.BranchEvent, error) {
+	if tr.remain == 0 {
+		return vm.BranchEvent{}, io.EOF
+	}
+	if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
+		return vm.BranchEvent{}, fmt.Errorf("tracefile: truncated trace: %w", err)
+	}
+	tr.remain--
+	b := tr.buf[:]
+	ev := vm.BranchEvent{
+		PC:     int32(binary.LittleEndian.Uint32(b[0:])),
+		ID:     int32(binary.LittleEndian.Uint32(b[4:])),
+		Target: int32(binary.LittleEndian.Uint32(b[8:])),
+		Op:     isa.Op(b[12]),
+		Taken:  b[13]&1 != 0,
+		Likely: b[13]&2 != 0,
+	}
+	if !ev.Op.Valid() || !ev.Op.IsBranch() {
+		return vm.BranchEvent{}, fmt.Errorf("tracefile: corrupt event (op %d)", b[12])
+	}
+	return ev, nil
+}
+
+// Replay feeds every remaining event to hook.
+func (tr *Reader) Replay(hook vm.BranchFunc) error {
+	for {
+		ev, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		hook(ev)
+	}
+}

@@ -1,0 +1,613 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Make parses a makefile (rules, a timestamp section and goal lines) and
+// computes which targets must rebuild — string hashing, graph walking and
+// recursive out-of-date propagation.
+var Make = register(&Benchmark{
+	Name:        "make",
+	Description: "makefiles",
+	Runs:        20,
+	Sources: []string{`
+// make: input grammar
+//   rule line:       target: dep dep dep
+//   timestamp line:  @ name 12345          (missing names have time 0)
+//   goal line:       ! target
+// Output: "make <target>" lines in dependency (post-) order for every goal
+// whose target is out of date.
+var m_pool[16384];   // name pool
+var m_top;
+var m_name[512];     // node -> pool offset
+var m_time[512];     // node -> timestamp (0 = missing)
+var m_isrule[512];   // node has a rule
+var m_state[512];    // 0 unvisited, 1 visiting, 2 done
+var m_stale[512];    // computed out-of-date flag
+var m_dep[4096];     // edge list: dep node indices
+var m_dhead[512];    // node -> first edge index in m_dep
+var m_dcnt[512];     // node -> edge count
+var m_edges;
+var m_nodes;
+var nbuf[128];
+var pushback;
+
+func nextc() {
+	var c;
+	if (pushback != -2) { c = pushback; pushback = -2; return c; }
+	return getc();
+}
+func putback(c) { pushback = c; return 0; }
+
+// node interns a name (in nbuf) and returns its node index.
+func node(s) {
+	var i;
+	for (i = 0; i < m_nodes; i += 1) {
+		if (str_eq(m_pool + m_name[i], s)) { return i; }
+	}
+	m_name[m_nodes] = m_top;
+	i = 0;
+	while (s[i] != 0) { m_pool[m_top] = s[i]; m_top += 1; i += 1; }
+	m_pool[m_top] = 0;
+	m_top += 1;
+	m_nodes += 1;
+	return m_nodes - 1;
+}
+
+// read_name reads a whitespace-delimited name into nbuf; returns its length
+// and leaves the terminator character in pushback.
+func read_name() {
+	var c; var i;
+	c = nextc();
+	while (c == ' ' || c == '\t') { c = nextc(); }
+	i = 0;
+	while (c != -1 && !is_space(c) && c != ':') {
+		if (i < 126) { nbuf[i] = c; i += 1; }
+		c = nextc();
+	}
+	nbuf[i] = 0;
+	putback(c);
+	return i;
+}
+
+func skip_line() {
+	var c;
+	c = nextc();
+	while (c != -1 && c != '\n') { c = nextc(); }
+	return 0;
+}
+
+// stale computes (and memoizes) whether node t must rebuild. A target is
+// stale when missing, when any dependency is stale, or when any dependency
+// is newer. Emits "make <name>" in postorder the first time a stale target
+// with a rule is resolved.
+func stale(t) {
+	var i; var d; var s;
+	if (m_state[t] == 2) { return m_stale[t]; }
+	if (m_state[t] == 1) { return 0; } // dependency cycle: treat as up to date
+	m_state[t] = 1;
+	s = 0;
+	if (m_time[t] == 0) { s = 1; }
+	for (i = 0; i < m_dcnt[t]; i += 1) {
+		d = m_dep[m_dhead[t] + i];
+		if (stale(d)) { s = 1; }
+		if (m_time[d] > m_time[t]) { s = 1; }
+	}
+	m_state[t] = 2;
+	m_stale[t] = s;
+	if (s && m_isrule[t]) {
+		prints("make ");
+		prints(m_pool + m_name[t]);
+		putc('\n');
+	}
+	return s;
+}
+
+func main() {
+	var c; var t; var d; var ts;
+	pushback = -2;
+	m_top = 1;
+	m_nodes = 0; m_edges = 0;
+	while (1) {
+		c = nextc();
+		while (c == '\n' || c == ' ' || c == '\t') { c = nextc(); }
+		if (c == -1) { break; }
+		if (c == '#') { skip_line(); continue; }
+		if (c == '@') { // timestamp line
+			read_name();
+			t = node(nbuf);
+			ts = 0;
+			c = nextc();
+			while (c == ' ') { c = nextc(); }
+			while (c >= '0' && c <= '9') { ts = ts * 10 + c - '0'; c = nextc(); }
+			m_time[t] = ts;
+			putback(c);
+			skip_line();
+			continue;
+		}
+		if (c == '!') { // goal line
+			read_name();
+			t = node(nbuf);
+			stale(t);
+			skip_line();
+			continue;
+		}
+		// rule line: first name, ':', then deps to end of line
+		putback(c);
+		read_name();
+		t = node(nbuf);
+		m_isrule[t] = 1;
+		m_dhead[t] = m_edges;
+		c = nextc();
+		while (c == ' ' || c == '\t' || c == ':') { c = nextc(); }
+		putback(c);
+		while (1) {
+			c = nextc();
+			while (c == ' ' || c == '\t') { c = nextc(); }
+			if (c == '\n' || c == -1) { break; }
+			putback(c);
+			if (read_name() == 0) { break; }
+			d = node(nbuf);
+			m_dep[m_edges] = d;
+			m_edges += 1;
+			m_dcnt[t] += 1;
+		}
+	}
+	prints("nodes ");
+	printn(m_nodes);
+	putc('\n');
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("make", run)
+		n := r.rangen(15, 70)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("%s%d", r.word(2, 6), i)
+		}
+		var b bytes.Buffer
+		b.WriteString("# synthetic makefile\n")
+		// Rules: node i depends on some higher-indexed nodes (acyclic).
+		for i := 0; i < n; i++ {
+			if i == n-1 || r.chance(1, 5) {
+				continue // leaf: no rule (source file)
+			}
+			fmt.Fprintf(&b, "%s:", names[i])
+			deps := r.rangen(1, 4)
+			for d := 0; d < deps; d++ {
+				fmt.Fprintf(&b, " %s", names[r.rangen(i+1, n-1)])
+			}
+			b.WriteByte('\n')
+		}
+		for i := 0; i < n; i++ {
+			if r.chance(9, 10) {
+				fmt.Fprintf(&b, "@ %s %d\n", names[i], r.rangen(1, 100000))
+			}
+		}
+		goals := r.rangen(1, 5)
+		for g := 0; g < goals; g++ {
+			fmt.Fprintf(&b, "! %s\n", names[r.intn(n/2+1)])
+		}
+		return b.Bytes()
+	},
+})
+
+// Tar archives and extracts files in a simple header+data format with
+// checksums — block copying with per-byte checksum arithmetic.
+var Tar = register(&Benchmark{
+	Name:        "tar",
+	Description: "save/extract files",
+	Runs:        14,
+	Sources: []string{`
+// tar: first byte is the mode.
+//  'c' create:  input is a file list framed as <name> '\n' <size> '\n' <data>;
+//               output is an archive of "name size checksum" headers + data,
+//               each data section padded to a 16-byte block boundary.
+//  't' list:    input is an archive; output lists "name size ok/BAD".
+//  'x' extract: input is an archive; output is the concatenated file data.
+var t_name[128];
+
+func read_name() {
+	var c; var i;
+	i = 0;
+	c = getc();
+	while (c != -1 && c != '\n') {
+		if (i < 126) { t_name[i] = c; i += 1; }
+		c = getc();
+	}
+	t_name[i] = 0;
+	if (i == 0 && c == -1) { return -1; }
+	return i;
+}
+
+func read_num() {
+	var c; var n; var any;
+	n = 0; any = 0;
+	c = getc();
+	while (c == ' ') { c = getc(); }
+	while (c >= '0' && c <= '9') { n = n * 10 + c - '0'; c = getc(); any = 1; }
+	if (!any) { return -1; }
+	return n;
+}
+
+func create() {
+	var size; var i; var c; var sum; var pad;
+	while (1) {
+		if (read_name() == -1) { break; }
+		size = read_num();
+		if (size < 0) { break; }
+		// First pass is impossible on a stream, so the header checksum is
+		// computed over the name (data checksum trails the data block).
+		sum = 0;
+		for (i = 0; t_name[i] != 0; i += 1) { sum = (sum + t_name[i]) % 65536; }
+		prints(t_name); putc(' '); printn(size); putc(' '); printn(sum); putc('\n');
+		sum = 0;
+		for (i = 0; i < size; i += 1) {
+			c = getc();
+			if (c == -1) { c = 0; }
+			putc(c);
+			sum = (sum + c) % 65536;
+		}
+		pad = (16 - size % 16) % 16;
+		for (i = 0; i < pad; i += 1) { putc(0); }
+		printn(sum); putc('\n');
+	}
+}
+
+// read_header parses one archive entry header into t_name; returns the
+// size, or -1 at the end of the archive. The header checksum lands in
+// tar_hsum.
+var tar_hsum;
+func read_header() {
+	var c; var i;
+	i = 0;
+	c = getc();
+	while (c != -1 && c != ' ' && c != '\n') {
+		if (i < 126) { t_name[i] = c; i += 1; }
+		c = getc();
+	}
+	t_name[i] = 0;
+	if (i == 0) { return -1; }
+	i = read_num();
+	tar_hsum = read_num();
+	return i;
+}
+
+func name_sum() {
+	var i; var s;
+	s = 0;
+	for (i = 0; t_name[i] != 0; i += 1) { s = (s + t_name[i]) % 65536; }
+	return s;
+}
+
+// list prints each entry and verifies both checksums (tar t).
+func list() {
+	var size; var dsum; var i; var c; var pad; var want;
+	size = read_header();
+	while (size >= 0) {
+		want = name_sum();
+		dsum = 0;
+		for (i = 0; i < size; i += 1) {
+			c = getc();
+			if (c == -1) { c = 0; }
+			dsum = (dsum + c) % 65536;
+		}
+		pad = (16 - size % 16) % 16;
+		for (i = 0; i < pad; i += 1) { getc(); }
+		i = read_num(); // trailing data checksum
+		prints(t_name); putc(' '); printn(size); putc(' ');
+		if (want == tar_hsum && i == dsum) { prints("ok"); } else { prints("BAD"); }
+		putc('\n');
+		size = read_header();
+	}
+}
+
+// extract writes each entry's data to the output (tar x).
+func extract() {
+	var size; var dsum; var i; var c; var pad;
+	size = read_header();
+	while (size >= 0) {
+		dsum = 0;
+		for (i = 0; i < size; i += 1) {
+			c = getc();
+			if (c == -1) { c = 0; }
+			dsum = (dsum + c) % 65536;
+			putc(c);
+		}
+		pad = (16 - size % 16) % 16;
+		for (i = 0; i < pad; i += 1) { getc(); }
+		i = read_num();
+		if (i != dsum) { prints("! corrupt\n"); }
+		size = read_header();
+	}
+}
+
+func main() {
+	var mode;
+	mode = getc();
+	getc(); // newline after mode
+	if (mode == 'c') { create(); }
+	else if (mode == 't') { list(); }
+	else if (mode == 'x') { extract(); }
+	else { prints("bad mode\n"); }
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("tar", run)
+		nfiles := r.rangen(3, 10)
+		type file struct {
+			name string
+			data []byte
+		}
+		files := make([]file, nfiles)
+		for i := range files {
+			files[i] = file{
+				name: fmt.Sprintf("%s%d.txt", r.word(3, 8), i),
+				data: genTextFile(r, r.rangen(5, 60)),
+			}
+		}
+		mode := []byte{'c', 't', 'x'}[run%3]
+		var b bytes.Buffer
+		if mode == 'c' {
+			b.WriteString("c\n")
+			for _, f := range files {
+				fmt.Fprintf(&b, "%s\n%d\n", f.name, len(f.data))
+				b.Write(f.data)
+			}
+			return b.Bytes()
+		}
+		// Build the archive in Go (mirroring create()'s format) and feed it
+		// to list/extract.
+		fmt.Fprintf(&b, "%c\n", mode)
+		for _, f := range files {
+			hsum := 0
+			for _, c := range []byte(f.name) {
+				hsum = (hsum + int(c)) % 65536
+			}
+			fmt.Fprintf(&b, "%s %d %d\n", f.name, len(f.data), hsum)
+			dsum := 0
+			for _, c := range f.data {
+				dsum = (dsum + int(c)) % 65536
+			}
+			b.Write(f.data)
+			pad := (16 - len(f.data)%16) % 16
+			b.Write(make([]byte, pad))
+			fmt.Fprintf(&b, "%d\n", dsum)
+		}
+		return b.Bytes()
+	},
+})
+
+// Yacc performs the grammar analysis at the heart of parser generation:
+// it reads a context-free grammar, computes NULLABLE and FIRST sets to a
+// fixpoint, then shift-reduce-parses token streams with an operator
+// precedence table.
+var Yacc = register(&Benchmark{
+	Name:        "yacc",
+	Description: "grammar for C, etc.",
+	Runs:        8,
+	Sources: []string{`
+// yacc: input sections separated by '%' lines.
+//   Section 1: grammar rules "A : X Y Z ;" (nonterminals A-Z, terminals
+//              lowercase and symbols, 'e' alone means epsilon).
+//   Section 2: expression token streams, one per line, parsed with an
+//              operator-precedence shift-reduce parser (tokens: n for
+//              number, + - * / ^ ( ) ).
+// Output: NULLABLE and FIRST sets, then one reduction trace per expression.
+var g_lhs[256];      // rule -> nonterminal (0..25)
+var g_rhs[2048];     // symbols: 1..26 nonterminal A-Z, else char code
+var g_rstart[256];
+var g_rlen[256];
+var g_nrules;
+var nullable[26];
+var first[832];      // 26 x 32 bitsetish (one word per terminal slot)
+var nfirst[26];
+
+func sym_of(c) {
+	if (c >= 'A' && c <= 'Z') { return c - 'A' + 1; }
+	return -c; // terminals negative
+}
+
+// first_add adds terminal t to FIRST(nt); returns 1 if it was new.
+func first_add(nt, t) {
+	var i; var base;
+	base = nt * 32;
+	for (i = 0; i < nfirst[nt]; i += 1) {
+		if (first[base + i] == t) { return 0; }
+	}
+	if (nfirst[nt] < 32) {
+		first[base + nfirst[nt]] = t;
+		nfirst[nt] += 1;
+		return 1;
+	}
+	return 0;
+}
+
+func compute_sets() {
+	var changed; var r; var i; var s; var nt; var j; var base; var allnull;
+	changed = 1;
+	while (changed) {
+		changed = 0;
+		for (r = 0; r < g_nrules; r += 1) {
+			nt = g_lhs[r];
+			allnull = 1;
+			for (i = 0; i < g_rlen[r]; i += 1) {
+				s = g_rhs[g_rstart[r] + i];
+				if (s > 0) { // nonterminal
+					base = (s - 1) * 32;
+					for (j = 0; j < nfirst[s - 1]; j += 1) {
+						if (allnull) {
+							if (first_add(nt, first[base + j])) { changed = 1; }
+						}
+					}
+					if (!nullable[s - 1]) { allnull = 0; }
+				} else { // terminal
+					if (allnull) {
+						if (first_add(nt, s)) { changed = 1; }
+					}
+					allnull = 0;
+				}
+			}
+			if (allnull && !nullable[nt]) {
+				nullable[nt] = 1;
+				changed = 1;
+			}
+		}
+	}
+	return 0;
+}
+
+// prec returns the binding power of an operator token.
+func prec(c) {
+	switch (c) {
+	case '+': return 1;
+	case '-': return 1;
+	case '*': return 2;
+	case '/': return 2;
+	case '^': return 3;
+	default: return 0;
+	}
+}
+
+var p_ops[128];   // operator stack
+var p_nops;
+var p_vals;       // value-stack depth (counts reductions structurally)
+
+func reduce() {
+	var op;
+	op = p_ops[p_nops - 1];
+	p_nops -= 1;
+	putc('r'); putc(op);
+	p_vals -= 1;
+	return 0;
+}
+
+// parse_line shift-reduce-parses one expression line.
+func parse_line(c) {
+	var ok;
+	p_nops = 0; p_vals = 0; ok = 1;
+	while (c != '\n' && c != -1) {
+		if (c == 'n') {
+			putc('s');
+			p_vals += 1;
+		} else if (c == '(') {
+			p_ops[p_nops] = c; p_nops += 1;
+		} else if (c == ')') {
+			while (p_nops > 0 && p_ops[p_nops - 1] != '(') { reduce(); }
+			if (p_nops > 0) { p_nops -= 1; } else { ok = 0; }
+		} else if (prec(c) > 0) {
+			while (p_nops > 0 && p_ops[p_nops - 1] != '(' && prec(p_ops[p_nops - 1]) >= prec(c) && c != '^') {
+				reduce();
+			}
+			p_ops[p_nops] = c; p_nops += 1;
+		} else if (c != ' ') {
+			ok = 0;
+		}
+		c = getc();
+	}
+	while (p_nops > 0) {
+		if (p_ops[p_nops - 1] == '(') { ok = 0; p_nops -= 1; }
+		else { reduce(); }
+	}
+	if (ok && p_vals == 1) { prints(" ok\n"); } else { prints(" ERR\n"); }
+	return c;
+}
+
+func main() {
+	var c; var nt; var r; var i;
+	g_nrules = 0;
+	// --- read grammar until '%' line ---
+	c = getc();
+	while (c != -1 && c != '%') {
+		while (c == '\n' || c == ' ' || c == '\t') { c = getc(); }
+		if (c == -1 || c == '%') { break; }
+		nt = sym_of(c) - 1;
+		g_lhs[g_nrules] = nt;
+		g_rstart[g_nrules] = 0;
+		if (g_nrules > 0) {
+			g_rstart[g_nrules] = g_rstart[g_nrules - 1] + g_rlen[g_nrules - 1];
+		}
+		g_rlen[g_nrules] = 0;
+		c = getc();
+		while (c == ' ' || c == ':') { c = getc(); }
+		while (c != ';' && c != '\n' && c != -1) {
+			if (c != ' ') {
+				if (!(c == 'e' && g_rlen[g_nrules] == 0)) { // bare 'e' = epsilon
+					g_rhs[g_rstart[g_nrules] + g_rlen[g_nrules]] = sym_of(c);
+					g_rlen[g_nrules] += 1;
+				}
+			}
+			c = getc();
+		}
+		g_nrules += 1;
+		while (c != '\n' && c != -1) { c = getc(); }
+		if (c == '\n') { c = getc(); }
+	}
+	compute_sets();
+	prints("rules "); printn(g_nrules); putc('\n');
+	for (nt = 0; nt < 26; nt += 1) {
+		if (nfirst[nt] == 0 && !nullable[nt]) { continue; }
+		putc('A' + nt); putc(':');
+		if (nullable[nt]) { putc('e'); }
+		for (i = 0; i < nfirst[nt]; i += 1) {
+			putc(-first[nt * 32 + i]);
+		}
+		putc('\n');
+	}
+	// --- skip the rest of the '%' line, then parse expressions ---
+	while (c != '\n' && c != -1) { c = getc(); }
+	c = getc();
+	while (c != -1) {
+		c = parse_line(c);
+		if (c == '\n') { c = getc(); }
+	}
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("yacc", run)
+		var b bytes.Buffer
+		// A small expression-like grammar with some variation per run.
+		b.WriteString("E : E + T ;\nE : T ;\nT : T * F ;\nT : F ;\nF : ( E ) ;\nF : n ;\n")
+		extra := r.rangen(2, 10)
+		for i := 0; i < extra; i++ {
+			nt := byte('G' + r.intn(8))
+			switch r.intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "%c : e ;\n", nt)
+			case 1:
+				fmt.Fprintf(&b, "%c : %c %c ;\n", nt, byte('a'+r.intn(26)), byte('G'+r.intn(8)))
+			default:
+				fmt.Fprintf(&b, "%c : %c ;\n", nt, byte('a'+r.intn(26)))
+			}
+		}
+		b.WriteString("%\n")
+		// Expression streams.
+		exprs := r.rangen(40, 160)
+		for i := 0; i < exprs; i++ {
+			depth := 0
+			terms := r.rangen(1, 12)
+			for tIdx := 0; tIdx < terms; tIdx++ {
+				if tIdx > 0 {
+					b.WriteByte("+-*/^"[r.intn(5)])
+				}
+				if r.chance(1, 4) && depth < 3 {
+					b.WriteByte('(')
+					depth++
+				}
+				b.WriteByte('n')
+				if depth > 0 && r.chance(1, 3) {
+					b.WriteByte(')')
+					depth--
+				}
+			}
+			for depth > 0 {
+				b.WriteByte(')')
+				depth--
+			}
+			b.WriteByte('\n')
+		}
+		return b.Bytes()
+	},
+})

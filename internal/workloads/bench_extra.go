@@ -1,0 +1,325 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Eqn is a miniature equation formatter in the spirit of eqn(1): a
+// recursive-descent parser over math text ({} grouping, sup/sub/over/sqrt
+// operators) that emits a box-annotated rendering with nesting depths.
+var Eqn = register(&Benchmark{
+	Name:        "eqn",
+	Description: "equation source text",
+	Runs:        12,
+	Table5Only:  true,
+	Sources: []string{`
+// eqn: parse equations (one per line) and print box-structure output.
+// Grammar:  expr  := box { ('sup'|'sub'|'over') box }
+//           box   := word | number | '{' expr* '}' | 'sqrt' box
+var tok[64];      // current token text
+var tk;           // token kind: 0 eof, 1 word, 2 number, 3 '{', 4 '}', 5 newline
+var pushback;
+var depth;
+var s_sup  = "sup";
+var s_sub  = "sub";
+var s_over = "over";
+var s_sqrt = "sqrt";
+
+func nextc() {
+	var c;
+	if (pushback != -2) { c = pushback; pushback = -2; return c; }
+	return getc();
+}
+func putback(c) { pushback = c; return 0; }
+
+// lex_next scans the next token into tok/tk.
+func lex_next() {
+	var c; var i;
+	c = nextc();
+	while (c == ' ' || c == '\t') { c = nextc(); }
+	if (c == -1) { tk = 0; return 0; }
+	if (c == '\n') { tk = 5; return 0; }
+	if (c == '{') { tk = 3; return 0; }
+	if (c == '}') { tk = 4; return 0; }
+	i = 0;
+	if (is_digit(c)) {
+		while (is_digit(c)) {
+			if (i < 62) { tok[i] = c; i += 1; }
+			c = nextc();
+		}
+		tok[i] = 0;
+		putback(c);
+		tk = 2;
+		return 0;
+	}
+	while (c != -1 && !is_space(c) && c != '{' && c != '}') {
+		if (i < 62) { tok[i] = c; i += 1; }
+		c = nextc();
+	}
+	tok[i] = 0;
+	putback(c);
+	tk = 1;
+	return 0;
+}
+
+func emit_open(kind) {
+	putc('[');
+	putc(kind);
+	printn(depth);
+	return 0;
+}
+func emit_close() { putc(']'); return 0; }
+
+// box parses one box; returns 1 if a box was parsed.
+func box() {
+	if (tk == 2) {
+		emit_open('N'); prints(tok); emit_close();
+		lex_next();
+		return 1;
+	}
+	if (tk == 3) { // { expr* }
+		depth += 1;
+		emit_open('G');
+		lex_next();
+		while (tk != 4 && tk != 5 && tk != 0) {
+			if (!expr()) { break; }
+		}
+		if (tk == 4) { lex_next(); }
+		emit_close();
+		depth -= 1;
+		return 1;
+	}
+	if (tk == 1) {
+		if (str_eq(tok, s_sqrt)) {
+			depth += 1;
+			emit_open('R');
+			lex_next();
+			box();
+			emit_close();
+			depth -= 1;
+			return 1;
+		}
+		emit_open('W'); prints(tok); emit_close();
+		lex_next();
+		return 1;
+	}
+	return 0;
+}
+
+// expr parses box (sup|sub|over box)*.
+func expr() {
+	var any;
+	any = box();
+	if (!any) { return 0; }
+	while (tk == 1) {
+		var kind;
+		kind = 0;
+		if (str_eq(tok, s_sup)) { kind = '^'; }
+		else if (str_eq(tok, s_sub)) { kind = '_'; }
+		else if (str_eq(tok, s_over)) { kind = '/'; }
+		if (kind == 0) { break; }
+		depth += 1;
+		putc(kind);
+		lex_next();
+		box();
+		depth -= 1;
+	}
+	return 1;
+}
+
+func main() {
+	pushback = -2;
+	depth = 0;
+	lex_next();
+	while (tk != 0) {
+		if (tk == 5) {
+			putc('\n');
+			lex_next();
+			continue;
+		}
+		if (!expr()) { lex_next(); }
+	}
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("eqn", run)
+		var b bytes.Buffer
+		eqns := r.rangen(60, 240)
+		vars := []string{"x", "y", "alpha", "beta", "sum", "pi", "theta", "dx"}
+		var gen func(depth int)
+		gen = func(depth int) {
+			switch {
+			case depth > 2 || r.chance(1, 2):
+				if r.chance(1, 3) {
+					fmt.Fprintf(&b, "%d ", r.intn(100))
+				} else {
+					b.WriteString(pick(r, vars) + " ")
+				}
+			case r.chance(1, 4):
+				b.WriteString("sqrt ")
+				gen(depth + 1)
+			default:
+				b.WriteString("{ ")
+				n := r.rangen(1, 3)
+				for i := 0; i < n; i++ {
+					gen(depth + 1)
+				}
+				b.WriteString("} ")
+			}
+		}
+		for i := 0; i < eqns; i++ {
+			terms := r.rangen(1, 4)
+			for j := 0; j < terms; j++ {
+				gen(0)
+				if j+1 < terms {
+					b.WriteString([]string{"sup ", "sub ", "over "}[r.intn(3)])
+				}
+			}
+			b.WriteByte('\n')
+		}
+		return b.Bytes()
+	},
+})
+
+// Espresso is a miniature two-level boolean minimizer: iterative pairwise
+// cube merging (the distance-1 consensus step of the real espresso's
+// EXPAND/REDUCE loop) with covered-cube elimination — O(n²) compare loops.
+var Espresso = register(&Benchmark{
+	Name:        "espresso",
+	Description: "boolean cube lists",
+	Runs:        10,
+	Table5Only:  true,
+	Sources: []string{`
+// espresso: input is a header line "v <nvars>" followed by one cube per
+// line over {0,1,-}. Minimize by repeated distance-1 merging and covered-
+// cube removal; print the surviving cubes.
+var cubes[16384];    // nvars words per cube: 0, 1, or 2 (= don't care)
+var alive[1024];
+var ncubes; var nvars;
+
+func read_cubes() {
+	var c; var i;
+	c = getc();
+	// header: v <n>
+	while (c != -1 && !is_digit(c)) { c = getc(); }
+	nvars = 0;
+	while (is_digit(c)) { nvars = nvars * 10 + c - '0'; c = getc(); }
+	ncubes = 0;
+	while (c != -1) {
+		while (c == '\n' || c == ' ') { c = getc(); }
+		if (c == -1) { break; }
+		i = 0;
+		while (c == '0' || c == '1' || c == '-') {
+			if (i < nvars) {
+				if (c == '0') { cubes[ncubes * nvars + i] = 0; }
+				else if (c == '1') { cubes[ncubes * nvars + i] = 1; }
+				else { cubes[ncubes * nvars + i] = 2; }
+			}
+			i += 1;
+			c = getc();
+		}
+		if (i >= nvars && ncubes < 1024 - 1) {
+			alive[ncubes] = 1;
+			ncubes += 1;
+		}
+		while (c != -1 && c != '\n') { c = getc(); }
+	}
+	return 0;
+}
+
+// distance returns the merge distance of cubes a and b: the number of
+// variables where they conflict (0 vs 1), or -1 when their literal sets
+// differ in dash positions (not mergeable by consensus).
+func distance(a, b) {
+	var i; var d; var va; var vb;
+	d = 0;
+	for (i = 0; i < nvars; i += 1) {
+		va = cubes[a * nvars + i];
+		vb = cubes[b * nvars + i];
+		if (va == vb) { continue; }
+		if (va == 2 || vb == 2) { return -1; }
+		d += 1;
+	}
+	return d;
+}
+
+// covers reports whether cube a covers cube b.
+func covers(a, b) {
+	var i; var va;
+	for (i = 0; i < nvars; i += 1) {
+		va = cubes[a * nvars + i];
+		if (va == 2) { continue; }
+		if (va != cubes[b * nvars + i]) { return 0; }
+	}
+	return 1;
+}
+
+func main() {
+	var changed; var a; var b; var i; var passes; var survivors;
+	read_cubes();
+	passes = 0;
+	changed = 1;
+	while (changed && passes < 20) {
+		changed = 0;
+		passes += 1;
+		// Distance-1 merge: replace a with the merged cube, kill b.
+		for (a = 0; a < ncubes; a += 1) {
+			if (!alive[a]) { continue; }
+			for (b = a + 1; b < ncubes; b += 1) {
+				if (!alive[b]) { continue; }
+				if (distance(a, b) == 1) {
+					for (i = 0; i < nvars; i += 1) {
+						if (cubes[a * nvars + i] != cubes[b * nvars + i]) {
+							cubes[a * nvars + i] = 2;
+						}
+					}
+					alive[b] = 0;
+					changed = 1;
+				}
+			}
+		}
+		// Covered-cube removal.
+		for (a = 0; a < ncubes; a += 1) {
+			if (!alive[a]) { continue; }
+			for (b = 0; b < ncubes; b += 1) {
+				if (a == b || !alive[b]) { continue; }
+				if (covers(a, b)) {
+					alive[b] = 0;
+					changed = 1;
+				}
+			}
+		}
+	}
+	survivors = 0;
+	for (a = 0; a < ncubes; a += 1) {
+		if (!alive[a]) { continue; }
+		survivors += 1;
+		for (i = 0; i < nvars; i += 1) {
+			var v;
+			v = cubes[a * nvars + i];
+			if (v == 0) { putc('0'); }
+			else if (v == 1) { putc('1'); }
+			else { putc('-'); }
+		}
+		putc('\n');
+	}
+	prints("cubes "); printn(survivors);
+	prints(" passes "); printn(passes); putc('\n');
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("espresso", run)
+		nvars := r.rangen(6, 12)
+		ncubes := r.rangen(40, 160)
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "v %d\n", nvars)
+		for i := 0; i < ncubes; i++ {
+			for v := 0; v < nvars; v++ {
+				b.WriteByte("01-"[r.intn(3)])
+			}
+			b.WriteByte('\n')
+		}
+		return b.Bytes()
+	},
+})

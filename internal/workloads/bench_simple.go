@@ -1,0 +1,158 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// WC counts lines, words and characters — the classic in-word/out-of-word
+// state machine whose branches are moderately biased.
+var WC = register(&Benchmark{
+	Name:        "wc",
+	Description: "same input as cccp",
+	Runs:        20,
+	Sources: []string{`
+// wc: count lines, words and characters of the input.
+func main() {
+	var c; var lines; var words; var chars; var inword;
+	lines = 0; words = 0; chars = 0; inword = 0;
+	c = getc();
+	while (c != -1) {
+		chars += 1;
+		if (c == '\n') { lines += 1; }
+		if (is_space(c)) {
+			inword = 0;
+		} else {
+			if (!inword) { words += 1; }
+			inword = 1;
+		}
+		c = getc();
+	}
+	printn(lines); putc(' ');
+	printn(words); putc(' ');
+	printn(chars); putc('\n');
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("wc", run)
+		return genCProgram(r, r.rangen(100, 600))
+	},
+})
+
+// Tee copies its input to n sinks while counting bytes and lines — a tight
+// byte loop with a very high branch density (the paper reports 40% control
+// for tee).
+var Tee = register(&Benchmark{
+	Name:        "tee",
+	Description: "text files (100-3000 lines)",
+	Runs:        18,
+	Sources: []string{`
+// tee: copy the input to two sinks (stdout plus one file, the common
+// invocation) byte by byte, counting bytes and lines.
+func main() {
+	var c; var n; var bytes; var lines; var i;
+	n = 2;
+	bytes = 0; lines = 0;
+	c = getc();
+	while (c != -1) {
+		for (i = 0; i < n; i += 1) { putc(c); }
+		bytes += 1;
+		if (c == '\n') { lines += 1; }
+		c = getc();
+	}
+	printn(bytes); putc(' '); printn(lines); putc('\n');
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("tee", run)
+		return genTextFile(r, r.rangen(60, 400))
+	},
+})
+
+// Cmp compares two byte streams. The input frames the first file with a
+// decimal length header; the second file follows to EOF.
+var Cmp = register(&Benchmark{
+	Name:        "cmp",
+	Description: "similar/disimilar text files",
+	Runs:        16,
+	Sources: []string{`
+// cmp: compare two files.
+//   input: <mode byte> <len1 digits> '\n' <file1 bytes> <file2 bytes to EOF>
+//   mode 's': silent (status only), 'l': list every difference,
+//   anything else: report the first difference and stop, like cmp(1).
+var cmp_buf[65536];
+func main() {
+	var mode; var len1; var c; var i; var pos; var diffs; var line;
+	mode = getc();
+	len1 = 0;
+	c = getc();
+	while (c >= '0' && c <= '9') {
+		len1 = len1 * 10 + c - '0';
+		c = getc();
+	}
+	if (len1 > 65536) { len1 = 65536; }
+	for (i = 0; i < len1; i += 1) { cmp_buf[i] = getc(); }
+
+	pos = 0; diffs = 0; line = 1;
+	c = getc();
+	while (c != -1 && pos < len1) {
+		if (c != cmp_buf[pos]) {
+			diffs += 1;
+			if (mode == 'l') {
+				printn(pos + 1); putc(' ');
+				printn(cmp_buf[pos]); putc(' ');
+				printn(c); putc('\n');
+			} else if (mode != 's') {
+				prints("differ: char "); printn(pos + 1);
+				prints(" line "); printn(line); putc('\n');
+				break;
+			} else {
+				break;
+			}
+		}
+		if (cmp_buf[pos] == '\n') { line += 1; }
+		pos += 1;
+		c = getc();
+	}
+	if (diffs == 0) {
+		if (pos < len1) {
+			prints("EOF on second file\n");
+		} else if (c != -1) {
+			prints("EOF on first file\n");
+		} else {
+			prints("equal\n");
+		}
+	} else if (mode == 'l') {
+		printn(diffs); prints(" differences\n");
+	} else if (mode == 's') {
+		prints("status 1\n");
+	}
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("cmp", run)
+		f1 := genTextFile(r, r.rangen(40, 300))
+		var f2 []byte
+		var mode byte
+		switch run % 4 {
+		case 0:
+			f2 = append([]byte(nil), f1...) // identical
+			mode = 'd'
+		case 1:
+			f2 = mutate(r, f1, 400) // near-identical; -l lists the few diffs
+			mode = 'l'
+		case 2:
+			f2 = append([]byte(nil), f1...) // identical, silent mode
+			mode = 's'
+		default:
+			f2 = genTextFile(r, r.rangen(40, 300)) // unrelated: stops at diff 1
+			mode = 'd'
+		}
+		var b bytes.Buffer
+		b.WriteByte(mode)
+		fmt.Fprintf(&b, "%d\n", len(f1))
+		b.Write(f1)
+		b.Write(f2)
+		return b.Bytes()
+	},
+})

@@ -1,0 +1,773 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Cccp is a miniature C preprocessor: object-like #define/#undef, nestable
+// #ifdef/#ifndef/#else/#endif, #include markers, comment stripping and
+// single-level macro substitution, dispatched through a dense
+// character-class switch (the indirect-jump source that gives the real
+// cccp its 19% unknown-target unconditionals in the paper's Table 2).
+var Cccp = register(&Benchmark{
+	Name:        "cccp",
+	Description: "C progs (100-3000 lines)",
+	Runs:        20,
+	Sources: []string{`
+// cccp: a miniature C preprocessor.
+var pool[16384];      // string pool (zero-terminated strings)
+var pool_top;
+var ht_name[512];     // hash table: pool offset of name (0 = empty slot)
+var ht_val[512];      // pool offset of replacement text
+var ident[128];       // scratch identifier buffer
+var dirw[32];         // scratch directive word buffer
+var s_define  = "define";
+var s_undef   = "undef";
+var s_ifdef   = "ifdef";
+var s_ifndef  = "ifndef";
+var s_else    = "else";
+var s_endif   = "endif";
+var s_include = "include";
+var pushback;
+
+func nextc() {
+	var c;
+	if (pushback != -2) {
+		c = pushback;
+		pushback = -2;
+		return c;
+	}
+	return getc();
+}
+func putback(c) { pushback = c; return 0; }
+
+// intern copies the zero-terminated string at addr s into the pool and
+// returns its offset.
+func intern(s) {
+	var off; var i;
+	off = pool_top;
+	i = 0;
+	while (s[i] != 0) {
+		pool[pool_top] = s[i];
+		pool_top += 1;
+		i += 1;
+	}
+	pool[pool_top] = 0;
+	pool_top += 1;
+	return off;
+}
+
+// ht_find returns the hash slot for name s (its slot if present, else the
+// first empty slot of its probe chain). Slots holding -1 are tombstones
+// left by #undef.
+func ht_find(s) {
+	var h;
+	h = str_hash(s, 512);
+	while (ht_name[h] != 0) {
+		if (ht_name[h] != -1) {
+			if (str_eq(pool + ht_name[h], s)) { return h; }
+		}
+		h = (h + 1) % 512;
+	}
+	return h;
+}
+
+func defined(s) { return ht_name[ht_find(s)] != 0; }
+
+func define(name, val) {
+	var h;
+	h = ht_find(name);
+	if (ht_name[h] == 0) { ht_name[h] = intern(name); }
+	ht_val[h] = intern(val);
+	return 0;
+}
+
+func undef(name) {
+	var h;
+	h = ht_find(name);
+	if (ht_name[h] != 0) { ht_val[h] = 0; ht_name[h] = -1; }
+	return 0;
+}
+
+// read_ident reads an identifier into buf; the first character c is given.
+// Returns the next unconsumed character.
+func read_ident(buf, c) {
+	var i;
+	i = 0;
+	while (is_alnum(c)) {
+		if (i < 126) { buf[i] = c; i += 1; }
+		c = nextc();
+	}
+	buf[i] = 0;
+	return c;
+}
+
+// skip_space skips blanks/tabs and returns the next character.
+func skip_space(c) {
+	while (c == ' ' || c == '\t') { c = nextc(); }
+	return c;
+}
+
+var depth;      // #if nesting depth
+var skipdepth;  // depth at which skipping began (0 = emitting)
+
+func directive() {
+	var c; var i;
+	c = skip_space(nextc());
+	c = read_ident(dirw, c);
+	if (str_eq(dirw, s_ifdef) || str_eq(dirw, s_ifndef)) {
+		var want; var have;
+		want = str_eq(dirw, s_ifdef);
+		c = skip_space(c);
+		c = read_ident(ident, c);
+		depth += 1;
+		if (skipdepth == 0) {
+			have = defined(ident);
+			if (have != want) { skipdepth = depth; }
+		}
+	} else if (str_eq(dirw, s_else)) {
+		if (skipdepth == depth) { skipdepth = 0; }
+		else if (skipdepth == 0) { skipdepth = depth; }
+	} else if (str_eq(dirw, s_endif)) {
+		if (skipdepth == depth) { skipdepth = 0; }
+		if (depth > 0) { depth -= 1; }
+	} else if (skipdepth == 0) {
+		if (str_eq(dirw, s_define)) {
+			c = skip_space(c);
+			c = read_ident(ident, c);
+			c = skip_space(c);
+			// Collect the replacement text to end of line.
+			i = 0;
+			while (c != '\n' && c != -1) {
+				if (i < 126) { dirw[i] = c; i += 1; }
+				c = nextc();
+			}
+			// dirw doubles as the value buffer here (length <= 126).
+			dirw[i] = 0;
+			define(ident, dirw);
+			putback(c);
+			return 0;
+		} else if (str_eq(dirw, s_undef)) {
+			c = skip_space(c);
+			c = read_ident(ident, c);
+			undef(ident);
+		} else if (str_eq(dirw, s_include)) {
+			prints("/* include */");
+		}
+	}
+	// Discard the rest of the directive line.
+	while (c != '\n' && c != -1) { c = nextc(); }
+	putback(c);
+	return 0;
+}
+
+// cclass maps a character to a small dense class code for the main
+// dispatch switch (0..9).
+func cclass(c) {
+	if (is_alpha(c)) { return 1; }
+	if (is_digit(c)) { return 2; }
+	if (c == '/') { return 3; }
+	if (c == '"') { return 4; }
+	if (c == 39) { return 5; }     // single quote
+	if (c == '#') { return 6; }
+	if (c == '\n') { return 7; }
+	if (c == ' ' || c == '\t') { return 8; }
+	if (c == -1) { return 9; }
+	return 0;
+}
+
+func main() {
+	var c; var atbol; var h; var k;
+	pushback = -2;
+	pool_top = 1; // offset 0 reserved as "empty"
+	depth = 0; skipdepth = 0;
+	atbol = 1;
+	c = nextc();
+	while (c != -1) {
+		switch (cclass(c)) {
+		case 1: // identifier: substitute if defined
+			c = read_ident(ident, c);
+			putback(c);
+			if (skipdepth == 0) {
+				h = ht_find(ident);
+				if (ht_name[h] != 0) {
+					prints(pool + ht_val[h]);
+				} else {
+					prints(ident);
+				}
+			}
+			atbol = 0;
+			break;
+		case 2: // number: copy digits
+			while (is_alnum(c)) {
+				if (skipdepth == 0) { putc(c); }
+				c = nextc();
+			}
+			putback(c);
+			atbol = 0;
+			break;
+		case 3: // comment or slash
+			c = nextc();
+			if (c == '/') {
+				while (c != '\n' && c != -1) { c = nextc(); }
+				putback(c);
+			} else if (c == '*') {
+				k = 0;
+				while (1) {
+					c = nextc();
+					if (c == -1) { break; }
+					if (k == '*' && c == '/') { break; }
+					k = c;
+				}
+				if (skipdepth == 0) { putc(' '); }
+			} else {
+				if (skipdepth == 0) { putc('/'); }
+				putback(c);
+			}
+			atbol = 0;
+			break;
+		case 4: // string literal
+			if (skipdepth == 0) { putc(c); }
+			c = nextc();
+			while (c != '"' && c != '\n' && c != -1) {
+				if (c == 92) { // backslash: keep escape pair
+					if (skipdepth == 0) { putc(c); }
+					c = nextc();
+					if (c == -1) { break; }
+				}
+				if (skipdepth == 0) { putc(c); }
+				c = nextc();
+			}
+			if (c == '"' && skipdepth == 0) { putc(c); }
+			atbol = 0;
+			break;
+		case 5: // character literal
+			if (skipdepth == 0) { putc(c); }
+			c = nextc();
+			while (c != 39 && c != '\n' && c != -1) {
+				if (skipdepth == 0) { putc(c); }
+				if (c == 92) {
+					c = nextc();
+					if (c != -1 && skipdepth == 0) { putc(c); }
+				}
+				c = nextc();
+			}
+			if (c == 39 && skipdepth == 0) { putc(c); }
+			atbol = 0;
+			break;
+		case 6: // directive (only at beginning of line)
+			if (atbol) {
+				directive();
+			} else if (skipdepth == 0) {
+				putc(c);
+			}
+			break;
+		case 7: // newline
+			if (skipdepth == 0) { putc(c); }
+			atbol = 1;
+			break;
+		case 8: // blank
+			if (skipdepth == 0) { putc(c); }
+			break;
+		default:
+			if (skipdepth == 0) { putc(c); }
+			atbol = 0;
+		}
+		c = nextc();
+	}
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("cccp", run)
+		return genCProgram(r, r.rangen(100, 1200))
+	},
+})
+
+// Compress is 12-bit LZW compression, the algorithm of Unix compress(1):
+// a dictionary probe loop over an open-addressed hash table.
+var Compress = register(&Benchmark{
+	Name:        "compress",
+	Description: "same as cccp",
+	Runs:        20,
+	Sources: []string{`
+// compress: LZW with 12-bit codes. Codes are emitted as two bytes (hi, lo);
+// the dictionary resets when full, as compress(1) does on a CLEAR code.
+var h_key[8192];   // prefix*256 + char + 1 (0 = empty)
+var h_code[8192];
+var next_code;
+
+func h_slot(key) {
+	var h;
+	h = (key * 40503) % 8192;
+	while (h_key[h] != 0 && h_key[h] != key) {
+		h = (h + 1) % 8192;
+	}
+	return h;
+}
+
+func reset_dict() {
+	var i;
+	for (i = 0; i < 8192; i += 1) { h_key[i] = 0; }
+	next_code = 256;
+	return 0;
+}
+
+func emit(code) {
+	putc(code / 256);
+	putc(code % 256);
+	return 0;
+}
+
+func main() {
+	var w; var c; var key; var h; var in_n; var out_n;
+	reset_dict();
+	in_n = 0; out_n = 0;
+	w = getc();
+	if (w == -1) { return 0; }
+	in_n = 1;
+	c = getc();
+	while (c != -1) {
+		in_n += 1;
+		key = w * 256 + c + 1;
+		h = h_slot(key);
+		if (h_key[h] != 0) {
+			w = h_code[h];
+		} else {
+			emit(w);
+			out_n += 2;
+			if (next_code < 4096) {
+				h_key[h] = key;
+				h_code[h] = next_code;
+				next_code += 1;
+			} else {
+				emit(256); // CLEAR
+				out_n += 2;
+				reset_dict();
+			}
+			w = c;
+		}
+		c = getc();
+	}
+	emit(w);
+	out_n += 2;
+	putc('\n');
+	printn(in_n); prints(" -> "); printn(out_n); putc('\n');
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("compress", run)
+		return genCProgram(r, r.rangen(100, 900))
+	},
+})
+
+// Grep matches a pattern (with ^ $ . * and [] classes) against input lines,
+// with -v, -c and -n style options — a backtracking matcher whose branch
+// bias depends heavily on the pattern ("exercised various options").
+var Grep = register(&Benchmark{
+	Name:        "grep",
+	Description: "exercised various options",
+	Runs:        20,
+	Sources: []string{`
+// grep: input = options line, pattern line, then text.
+// Options: v (invert), c (count only), n (line numbers).
+var pat[512];
+var lbuf[4096];
+var opt_v; var opt_c; var opt_n;
+
+// get_line reads one line into buf (zero-terminated, no newline).
+// Returns length, or -1 at end of input with nothing read.
+func get_line(buf, max) {
+	var c; var i;
+	i = 0;
+	c = getc();
+	if (c == -1) { return -1; }
+	while (c != -1 && c != '\n') {
+		if (i < max - 1) { buf[i] = c; i += 1; }
+		c = getc();
+	}
+	buf[i] = 0;
+	return i;
+}
+
+// elem_len returns the length of the pattern element at p ('[class]' or a
+// single character).
+func elem_len(p) {
+	var n;
+	if (pat[p] != '[') { return 1; }
+	n = 1;
+	if (pat[p+n] == '^') { n += 1; }
+	if (pat[p+n] == ']') { n += 1; } // literal ] first
+	while (pat[p+n] != 0 && pat[p+n] != ']') { n += 1; }
+	return n + 1;
+}
+
+// match_one reports whether the element at pattern position p matches
+// character c.
+func match_one(p, c) {
+	var neg; var q; var ok;
+	if (c == 0) { return 0; }
+	if (pat[p] == '.') { return 1; }
+	if (pat[p] != '[') { return pat[p] == c; }
+	q = p + 1;
+	neg = 0;
+	if (pat[q] == '^') { neg = 1; q += 1; }
+	ok = 0;
+	while (pat[q] != 0 && pat[q] != ']') {
+		if (pat[q+1] == '-' && pat[q+2] != ']' && pat[q+2] != 0) {
+			if (c >= pat[q] && c <= pat[q+2]) { ok = 1; }
+			q += 3;
+		} else {
+			if (pat[q] == c) { ok = 1; }
+			q += 1;
+		}
+	}
+	if (neg) { return !ok; }
+	return ok;
+}
+
+func match_star(p, el, s) {
+	var i;
+	i = s;
+	while (1) {
+		if (match_here(p + el + 1, i)) { return 1; }
+		if (lbuf[i] == 0) { return 0; }
+		if (!match_one(p, lbuf[i])) { return 0; }
+		i += 1;
+	}
+	return 0;
+}
+
+func match_here(p, s) {
+	var el;
+	while (1) {
+		if (pat[p] == 0) { return 1; }
+		if (pat[p] == '$' && pat[p+1] == 0) { return lbuf[s] == 0; }
+		el = elem_len(p);
+		if (pat[p+el] == '*') { return match_star(p, el, s); }
+		if (lbuf[s] != 0 && match_one(p, lbuf[s])) {
+			p += el;
+			s += 1;
+		} else {
+			return 0;
+		}
+	}
+	return 0;
+}
+
+func match_line() {
+	var s;
+	if (pat[0] == '^') { return match_here(1, 0); }
+	s = 0;
+	while (1) {
+		if (match_here(0, s)) { return 1; }
+		if (lbuf[s] == 0) { return 0; }
+		s += 1;
+	}
+	return 0;
+}
+
+func main() {
+	var n; var i; var hits; var lineno; var m;
+	opt_v = 0; opt_c = 0; opt_n = 0;
+	n = get_line(lbuf, 4096);
+	for (i = 0; i < n; i += 1) {
+		if (lbuf[i] == 'v') { opt_v = 1; }
+		if (lbuf[i] == 'c') { opt_c = 1; }
+		if (lbuf[i] == 'n') { opt_n = 1; }
+	}
+	n = get_line(pat, 512);
+	hits = 0; lineno = 0;
+	while (1) {
+		n = get_line(lbuf, 4096);
+		if (n == -1) { break; }
+		lineno += 1;
+		m = match_line();
+		if (opt_v) { m = !m; }
+		if (m) {
+			hits += 1;
+			if (!opt_c) {
+				if (opt_n) { printn(lineno); putc(':'); }
+				prints(lbuf);
+				putc('\n');
+			}
+		}
+	}
+	if (opt_c) { printn(hits); putc('\n'); }
+	else { prints("-- "); printn(hits); prints(" of "); printn(lineno); putc('\n'); }
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("grep", run)
+		opts := []string{"", "v", "c", "n", "cn", "vc", "", ""}[run%8]
+		pats := []string{
+			"the", "^a", "ing$", "[0-9][0-9]*", "a.c", "qu*x",
+			"[a-m]z", "^[^x]*x",
+		}
+		pat := pats[run%len(pats)]
+		text := genTextFile(r, r.rangen(100, 800))
+		return []byte(opts + "\n" + pat + "\n" + string(text))
+	},
+})
+
+// Lex is the lexer *generator* (as in the paper, whose inputs are lexer
+// specifications for C, Lisp, awk and pic): it parses token regexes, builds
+// a Thompson NFA, and runs subset construction with bitset fixpoints — long,
+// highly biased loops, which is why the paper reports ~98% accuracy for lex.
+var Lex = register(&Benchmark{
+	Name:        "lex",
+	Description: "lexers (C, Lisp, awk, pic)",
+	Runs:        4,
+	Sources: []string{`
+// lex: read token specifications (one regex per line; syntax: literal
+// characters, '.', character classes [a-z...], postfix '*'), build an NFA,
+// subset-construct the DFA over a 16-class alphabet, and report the DFA.
+var cls[256];       // char -> alphabet class 0..15
+func init_cls() {
+	var i;
+	for (i = 0; i < 256; i += 1) { cls[i] = 0; }
+	for (i = 'a'; i <= 'm'; i += 1) { cls[i] = 1; }
+	for (i = 'n'; i <= 'z'; i += 1) { cls[i] = 2; }
+	for (i = 'A'; i <= 'Z'; i += 1) { cls[i] = 3; }
+	for (i = '0'; i <= '9'; i += 1) { cls[i] = 4; }
+	cls['_'] = 5; cls[' '] = 6; cls['\t'] = 6;
+	cls['('] = 7; cls[')'] = 7; cls['{'] = 8; cls['}'] = 8;
+	cls['+'] = 9; cls['-'] = 9; cls['*'] = 10; cls['/'] = 10;
+	cls['='] = 11; cls['<'] = 11; cls['>'] = 11; cls['!'] = 11;
+	cls['"'] = 12; cls[39] = 12;
+	cls[';'] = 13; cls[','] = 13; cls['.'] = 13;
+	cls['\n'] = 14;
+	return 0;
+}
+
+// NFA: each state matches a class mask and moves to state+1; starred states
+// also have an epsilon edge over themselves. Chains start at chain_start[t]
+// for token t and accept after their last state.
+var n_mask[512];    // class bitmask the state consumes
+var n_star[512];    // starred element?
+var n_last[512];    // last state of its chain?
+var n_token[512];   // token id of the chain
+var n_states;
+var chain_start[64];
+var n_tokens;
+
+// read one spec line into the NFA; c is the first character.
+// Returns the next character after the line.
+func read_spec(c) {
+	var mask; var first; var neg; var lo; var hi; var i;
+	first = n_states;
+	while (c != '\n' && c != -1) {
+		mask = 0;
+		if (c == '[') {
+			c = getc();
+			neg = 0;
+			if (c == '^') { neg = 1; c = getc(); }
+			while (c != ']' && c != '\n' && c != -1) {
+				lo = c;
+				c = getc();
+				if (c == '-') {
+					c = getc();
+					hi = c;
+					if (hi == ']' || hi == -1) { hi = lo; }
+					else { c = getc(); }
+				} else {
+					hi = lo;
+				}
+				for (i = lo; i <= hi; i += 1) {
+					mask |= 1 << cls[i];
+				}
+			}
+			if (c == ']') { c = getc(); }
+			if (neg) { mask = (~mask) & 65535; }
+		} else if (c == '.') {
+			mask = 65535;
+			c = getc();
+		} else {
+			mask = 1 << cls[c];
+			c = getc();
+		}
+		if (n_states < 512) {
+			n_mask[n_states] = mask;
+			n_star[n_states] = 0;
+			n_last[n_states] = 0;
+			n_token[n_states] = n_tokens;
+			if (c == '*') {
+				n_star[n_states] = 1;
+				c = getc();
+			}
+			n_states += 1;
+		}
+	}
+	if (n_states > first) {
+		n_last[n_states - 1] = 1;
+		chain_start[n_tokens] = first;
+		n_tokens += 1;
+	}
+	return c;
+}
+
+// DFA states are bitsets of NFA states: 8 words of 64 bits.
+var d_set[8192];    // 1024 states x 8 words
+var d_accept[1024];
+var d_trans[16384]; // 1024 states x 16 classes
+var d_nstates;
+var work[8];        // scratch bitset
+
+func bit_set(base, i) {
+	d_set[base + i / 64] |= 1 << (i % 64);
+	return 0;
+}
+func work_set(i) { work[i / 64] |= 1 << (i % 64); return 0; }
+func work_get(i) { return (work[i / 64] >> (i % 64)) & 1; }
+
+// closure expands work with epsilon edges: a starred state reaches the next
+// state of its chain without consuming input. Iterates to a fixpoint.
+func closure() {
+	var changed; var i;
+	changed = 1;
+	while (changed) {
+		changed = 0;
+		for (i = 0; i < n_states; i += 1) {
+			if (n_star[i] && work_get(i) && !n_last[i]) {
+				if (!work_get(i + 1)) {
+					work_set(i + 1);
+					changed = 1;
+				}
+			}
+		}
+	}
+	return 0;
+}
+
+// find_or_add dedupes work against the existing DFA states; returns the
+// state index.
+func find_or_add() {
+	var s; var w; var same; var acc; var i;
+	for (s = 0; s < d_nstates; s += 1) {
+		same = 1;
+		for (w = 0; w < 8; w += 1) {
+			if (d_set[s * 8 + w] != work[w]) { same = 0; break; }
+		}
+		if (same) { return s; }
+	}
+	if (d_nstates >= 1024) { return 0; }
+	s = d_nstates;
+	d_nstates += 1;
+	acc = -1;
+	for (w = 0; w < 8; w += 1) { d_set[s * 8 + w] = work[w]; }
+	for (i = 0; i < n_states; i += 1) {
+		if (work_get(i) && n_last[i]) {
+			// Accept the lowest-numbered token (lex's longest-match ties
+			// break by rule order).
+			if (acc == -1 || n_token[i] < acc) { acc = n_token[i]; }
+		}
+	}
+	d_accept[s] = acc;
+	return s;
+}
+
+func main() {
+	var c; var t; var s; var k; var i; var w; var any; var sum;
+	init_cls();
+	n_states = 0; n_tokens = 0;
+	c = getc();
+	while (c != -1) {
+		if (c == '\n') { c = getc(); continue; }
+		c = read_spec(c);
+		if (c == '\n') { c = getc(); }
+	}
+
+	// Start state: the set of all chain starts (plus epsilon closure).
+	for (w = 0; w < 8; w += 1) { work[w] = 0; }
+	for (t = 0; t < n_tokens; t += 1) { work_set(chain_start[t]); }
+	closure();
+	d_nstates = 0;
+	find_or_add();
+
+	// Subset construction (the worklist is just the growing state array).
+	for (s = 0; s < d_nstates; s += 1) {
+		for (k = 0; k < 16; k += 1) {
+			for (w = 0; w < 8; w += 1) { work[w] = 0; }
+			any = 0;
+			for (i = 0; i < n_states; i += 1) {
+				if ((d_set[s * 8 + i / 64] >> (i % 64)) & 1) {
+					if ((n_mask[i] >> k) & 1) {
+						// Consuming input: a starred state loops, and
+						// also falls through; others advance.
+						if (n_star[i]) {
+							work_set(i);
+							if (!n_last[i]) { work_set(i + 1); }
+						} else if (!n_last[i]) {
+							work_set(i + 1);
+						} else {
+							work_set(i); // stay accepting on trailing char
+						}
+						any = 1;
+					}
+				}
+			}
+			if (any) {
+				closure();
+				d_trans[s * 16 + k] = find_or_add();
+			} else {
+				d_trans[s * 16 + k] = -1;
+			}
+		}
+	}
+
+	// Report: sizes and a transition-table checksum.
+	prints("tokens "); printn(n_tokens);
+	prints(" nfa "); printn(n_states);
+	prints(" dfa "); printn(d_nstates);
+	putc('\n');
+	sum = 0;
+	for (s = 0; s < d_nstates; s += 1) {
+		if (d_accept[s] >= 0) { sum += d_accept[s] + 1; }
+		for (k = 0; k < 16; k += 1) {
+			sum = (sum * 31 + d_trans[s * 16 + k] + 2) % 1000000007;
+		}
+	}
+	prints("check "); printn(sum); putc('\n');
+}
+`},
+	Input: func(run int) []byte {
+		r := newRNG("lex", run)
+		var b bytes.Buffer
+		// Keyword sets per language family (C, Lisp, awk, pic).
+		keywords := [][]string{
+			{"if", "else", "while", "for", "return", "switch", "case", "break", "struct", "int", "char", "long"},
+			{"defun", "lambda", "let", "cond", "car", "cdr", "cons", "quote", "setq"},
+			{"BEGIN", "END", "print", "printf", "next", "getline", "function"},
+			{"line", "box", "circle", "arrow", "move", "right", "left", "up", "down"},
+		}[run%4]
+		for _, kw := range keywords {
+			fmt.Fprintf(&b, "%s\n", kw)
+		}
+		// Generic token classes.
+		b.WriteString("[a-zA-Z_][a-zA-Z0-9_]*\n")
+		b.WriteString("[0-9][0-9]*\n")
+		b.WriteString("[ \t][ \t]*\n")
+		// Random extra specs to vary the automaton per run.
+		extra := r.rangen(6, 16)
+		for i := 0; i < extra; i++ {
+			n := r.rangen(1, 5)
+			for j := 0; j < n; j++ {
+				switch r.intn(4) {
+				case 0:
+					fmt.Fprintf(&b, "[%c-%c]", byte('a'+r.intn(13)), byte('n'+r.intn(13)))
+				case 1:
+					b.WriteString(r.word(1, 3))
+				case 2:
+					b.WriteByte('.')
+				default:
+					fmt.Fprintf(&b, "[%s]", r.word(2, 5))
+				}
+				if r.chance(1, 3) {
+					b.WriteByte('*')
+				}
+			}
+			b.WriteByte('\n')
+		}
+		return b.Bytes()
+	},
+})

@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// genCProgram produces a synthetic C-like source file of roughly the given
+// number of lines, with macro definitions, conditionals, comments and code —
+// the input class the paper feeds to cccp, compress and wc ("C progs
+// (100-3000 lines)").
+func genCProgram(r *rng, lines int) []byte {
+	var b bytes.Buffer
+	macros := []string{}
+	nMacros := r.rangen(4, 12)
+	for i := 0; i < nMacros; i++ {
+		name := "CFG_" + r.word(3, 8)
+		macros = append(macros, name)
+		fmt.Fprintf(&b, "#define %s %d\n", name, r.intn(1000))
+	}
+	fmt.Fprintf(&b, "#include <stdio.h>\n")
+
+	vars := []string{"i", "j", "k", "n", "sum", "tmp", "len", "count"}
+	ops := []string{"+", "-", "*", "/", "%", "&", "|"}
+	cmps := []string{"<", ">", "<=", ">=", "==", "!="}
+
+	expr := func() string {
+		v := pick(r, vars)
+		if r.chance(1, 4) && len(macros) > 0 {
+			v = pick(r, macros)
+		}
+		if r.chance(1, 3) {
+			return fmt.Sprintf("%s %s %d", v, pick(r, ops), r.rangen(1, 99))
+		}
+		return fmt.Sprintf("%s %s %s", v, pick(r, ops), pick(r, vars))
+	}
+
+	written := b.Len()
+	_ = written
+	emitted := nMacros + 1
+	depth := 0
+	inIfdef := 0
+	for emitted < lines {
+		switch r.intn(12) {
+		case 0:
+			fmt.Fprintf(&b, "/* %s %s */\n", r.word(3, 9), r.word(3, 9))
+		case 1:
+			fmt.Fprintf(&b, "// %s\n", r.word(4, 12))
+		case 2:
+			if len(macros) > 0 && inIfdef < 3 {
+				fmt.Fprintf(&b, "#ifdef %s\n", pick(r, macros))
+				inIfdef++
+			}
+		case 3:
+			if inIfdef > 0 {
+				if r.chance(1, 3) {
+					fmt.Fprintf(&b, "#else\n")
+				}
+				fmt.Fprintf(&b, "#endif\n")
+				inIfdef--
+			}
+		case 4:
+			if depth < 3 {
+				fmt.Fprintf(&b, "%sif (%s %s %s) {\n", indent(depth), pick(r, vars), pick(r, cmps), expr())
+				depth++
+			}
+		case 5:
+			if depth < 3 {
+				fmt.Fprintf(&b, "%sfor (%s = 0; %s < %d; %s++) {\n",
+					indent(depth), pick(r, vars), pick(r, vars), r.rangen(2, 60), pick(r, vars))
+				depth++
+			}
+		case 6, 7:
+			if depth > 0 {
+				depth--
+				fmt.Fprintf(&b, "%s}\n", indent(depth))
+			} else {
+				fmt.Fprintf(&b, "int %s_%s;\n", r.word(2, 6), r.word(2, 6))
+			}
+		default:
+			fmt.Fprintf(&b, "%s%s = %s;\n", indent(depth), pick(r, vars), expr())
+		}
+		emitted++
+	}
+	for depth > 0 {
+		depth--
+		fmt.Fprintf(&b, "%s}\n", indent(depth))
+	}
+	for inIfdef > 0 {
+		fmt.Fprintf(&b, "#endif\n")
+		inIfdef--
+	}
+	return b.Bytes()
+}
+
+func indent(depth int) string {
+	return "\t\t\t"[:depth]
+}
+
+// genTextFile produces plain prose-like text of roughly the given number of
+// lines ("text files (100-3000 lines)").
+func genTextFile(r *rng, lines int) []byte {
+	var b bytes.Buffer
+	for i := 0; i < lines; i++ {
+		words := r.rangen(1, 12)
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			if r.chance(1, 10) {
+				fmt.Fprintf(&b, "%d", r.intn(10000))
+			} else {
+				b.WriteString(r.word(1, 10))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// genLispProgram produces Lisp-flavoured source for the lex benchmark.
+func genLispProgram(r *rng, lines int) []byte {
+	var b bytes.Buffer
+	atoms := []string{"car", "cdr", "cons", "lambda", "defun", "let", "if", "quote"}
+	for i := 0; i < lines; i++ {
+		depth := r.rangen(1, 4)
+		for d := 0; d < depth; d++ {
+			b.WriteByte('(')
+			b.WriteString(pick(r, atoms))
+			b.WriteByte(' ')
+			if r.chance(1, 2) {
+				b.WriteString(r.word(2, 7))
+			} else {
+				fmt.Fprintf(&b, "%d", r.intn(100))
+			}
+			b.WriteByte(' ')
+		}
+		for d := 0; d < depth; d++ {
+			b.WriteByte(')')
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// genAwkProgram produces awk-flavoured source for the lex benchmark.
+func genAwkProgram(r *rng, lines int) []byte {
+	var b bytes.Buffer
+	for i := 0; i < lines; i++ {
+		switch r.intn(4) {
+		case 0:
+			fmt.Fprintf(&b, "/%s/ { print $%d }\n", r.word(2, 6), r.rangen(0, 9))
+		case 1:
+			fmt.Fprintf(&b, "BEGIN { %s = %d; }\n", r.word(1, 5), r.intn(100))
+		case 2:
+			fmt.Fprintf(&b, "{ %s += $%d * %d }\n", r.word(1, 5), r.rangen(1, 5), r.rangen(1, 9))
+		default:
+			fmt.Fprintf(&b, "END { printf \"%s %%d\\n\", %s }\n", r.word(2, 6), r.word(1, 5))
+		}
+	}
+	return b.Bytes()
+}
+
+// mutate returns a copy of text with roughly one byte in `rate` flipped,
+// used to build the similar/dissimilar file pairs for cmp.
+func mutate(r *rng, text []byte, rate int) []byte {
+	out := append([]byte(nil), text...)
+	for i := range out {
+		if r.chance(1, rate) {
+			out[i] = byte('a' + r.intn(26))
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The input generators are part of the experiment definition; these tests
+// pin their structural properties.
+
+func TestGenCProgramShape(t *testing.T) {
+	r := newRNG("gen-test", 1)
+	src := string(genCProgram(r, 400))
+	lines := strings.Count(src, "\n")
+	if lines < 300 || lines > 600 {
+		t.Fatalf("line count %d far from requested 400", lines)
+	}
+	for _, want := range []string{"#define", "#include", "/*", "//"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("C program lacks %q", want)
+		}
+	}
+	// Braces balance (the generator closes every block).
+	if o, c := strings.Count(src, "{"), strings.Count(src, "}"); o != c {
+		t.Errorf("unbalanced braces: %d vs %d", o, c)
+	}
+	// Conditional nesting closes: #ifdef count >= #endif count means leaks.
+	ifdefs := strings.Count(src, "#ifdef")
+	endifs := strings.Count(src, "#endif")
+	if ifdefs != endifs {
+		t.Errorf("#ifdef/#endif unbalanced: %d vs %d", ifdefs, endifs)
+	}
+}
+
+func TestGenTextFileShape(t *testing.T) {
+	r := newRNG("gen-test", 2)
+	text := genTextFile(r, 200)
+	lines := bytes.Count(text, []byte{'\n'})
+	if lines != 200 {
+		t.Fatalf("lines = %d, want 200", lines)
+	}
+	for _, b := range text {
+		if b != '\n' && b != ' ' && !(b >= 'a' && b <= 'z') && !(b >= '0' && b <= '9') {
+			t.Fatalf("unexpected byte %q in text file", b)
+		}
+	}
+}
+
+func TestGenLispAndAwkNonEmpty(t *testing.T) {
+	r := newRNG("gen-test", 3)
+	lisp := string(genLispProgram(r, 50))
+	if strings.Count(lisp, "(") != strings.Count(lisp, ")") {
+		t.Error("unbalanced parens in lisp generator")
+	}
+	awk := string(genAwkProgram(r, 50))
+	if !strings.Contains(awk, "BEGIN") && !strings.Contains(awk, "print") {
+		t.Error("awk generator lacks awk-isms")
+	}
+}
+
+func TestMutateRate(t *testing.T) {
+	r := newRNG("gen-test", 4)
+	orig := bytes.Repeat([]byte("abcdefgh"), 2000)
+	mut := mutate(r, orig, 100) // ~1% of bytes
+	if len(mut) != len(orig) {
+		t.Fatal("length changed")
+	}
+	diffs := 0
+	for i := range orig {
+		if orig[i] != mut[i] {
+			diffs++
+		}
+	}
+	rate := float64(diffs) / float64(len(orig))
+	if rate < 0.002 || rate > 0.03 {
+		t.Fatalf("mutation rate %.4f far from 1%%", rate)
+	}
+	// The original must be untouched.
+	if !bytes.Equal(orig, bytes.Repeat([]byte("abcdefgh"), 2000)) {
+		t.Fatal("mutate modified its input")
+	}
+}
+
+func TestRNGDistribution(t *testing.T) {
+	r := newRNG("dist", 0)
+	buckets := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[r.intn(10)]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if frac < 0.08 || frac > 0.12 {
+			t.Errorf("bucket %d has fraction %.3f, want ~0.1", i, frac)
+		}
+	}
+	// rangen bounds are inclusive.
+	lo, hi := 1000, -1000
+	for i := 0; i < 10000; i++ {
+		v := r.rangen(3, 7)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo != 3 || hi != 7 {
+		t.Fatalf("rangen bounds [%d,%d], want [3,7]", lo, hi)
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	a := newRNG("bench-a", 0)
+	b := newRNG("bench-b", 0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.next() == b.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for different benchmarks correlate: %d/100 equal", same)
+	}
+}
+
+func TestWordShape(t *testing.T) {
+	r := newRNG("word", 0)
+	for i := 0; i < 200; i++ {
+		w := r.word(2, 6)
+		if len(w) < 2 || len(w) > 6 {
+			t.Fatalf("word length %d outside [2,6]", len(w))
+		}
+		for _, c := range w {
+			if c < 'a' || c > 'z' {
+				t.Fatalf("word %q has non-lowercase character", w)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package workloads_test
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
+)
+
+// goldens lock in end-to-end determinism: the FNV-64a hash of the
+// concatenated outputs over every profiling run, and the total dynamic
+// instruction count, per benchmark. Any change to input generation, MC
+// semantics, the compiler, or the optimizer that alters observable
+// behaviour shows up here — deliberate changes update the table.
+var goldens = map[string]struct {
+	outputHash uint64
+	steps      int64
+}{
+	"cccp":     {outputHash: 0x852d28a0cc0496ec, steps: 16511016},
+	"cmp":      {outputHash: 0x71fcb67b57598608, steps: 4186140},
+	"compress": {outputHash: 0xabd4a2a38812f3cd, steps: 13555832},
+	"grep":     {outputHash: 0x5ad039fdcc00e711, steps: 56790600},
+	"lex":      {outputHash: 0x75dea574dfee581a, steps: 29892805},
+	"make":     {outputHash: 0x303781a3093acea7, steps: 7454880},
+	"tee":      {outputHash: 0x4c99ba26f2b65097, steps: 6051786},
+	"tar":      {outputHash: 0xe1d4eb3b760a69b1, steps: 2367459},
+	"wc":       {outputHash: 0x11ccf8728cfc103e, steps: 2698872},
+	"yacc":     {outputHash: 0x759d497b866e689b, steps: 935889},
+	"eqn":      {outputHash: 0xbfe03c269010343f, steps: 7497096},
+	"espresso": {outputHash: 0x8b8b52c2d0bd96d0, steps: 22304316},
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, b := range workloads.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			want, ok := goldens[b.Name]
+			if !ok {
+				t.Fatalf("no golden for %s — add one", b.Name)
+			}
+			prog, err := b.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := fnv.New64a()
+			var steps int64
+			for run := 0; run < b.Runs; run++ {
+				res, err := vm.Run(prog, b.Input(run), nil, vm.Config{})
+				if err != nil {
+					t.Fatalf("run %d: %v", run, err)
+				}
+				h.Write(res.Output)
+				steps += res.Steps
+			}
+			if got := h.Sum64(); got != want.outputHash {
+				t.Errorf("output hash 0x%x, golden 0x%x", got, want.outputHash)
+			}
+			if steps != want.steps {
+				t.Errorf("steps %d, golden %d", steps, want.steps)
+			}
+		})
+	}
+}

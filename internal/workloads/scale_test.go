@@ -1,0 +1,29 @@
+package workloads_test
+
+import (
+	"fmt"
+	"testing"
+
+	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
+)
+
+func TestScaleReport(t *testing.T) {
+	for _, b := range workloads.All() {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var steps, branches int64
+		for run := 0; run < b.Runs; run++ {
+			res, err := vm.Run(prog, b.Input(run), nil, vm.Config{})
+			if err != nil {
+				t.Fatalf("%s run %d: %v", b.Name, run, err)
+			}
+			steps += res.Steps
+			branches += res.Branches
+		}
+		fmt.Printf("%-10s runs=%-3d code=%-6d steps=%-12d branches=%-10d ctl=%.1f%%\n",
+			b.Name, b.Runs, len(prog.Code), steps, branches, 100*float64(branches)/float64(steps))
+	}
+}

@@ -1,0 +1,143 @@
+package workloads_test
+
+import (
+	"bytes"
+	"testing"
+
+	"branchcost/internal/profile"
+	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := workloads.All()
+	if len(all) != 12 {
+		t.Fatalf("expected 12 benchmarks, got %d", len(all))
+	}
+	prim := workloads.Primary()
+	if len(prim) != 10 {
+		t.Fatalf("expected 10 primary benchmarks, got %d", len(prim))
+	}
+	want := []string{"cccp", "cmp", "compress", "grep", "lex", "make", "tee", "tar", "wc", "yacc"}
+	for i, b := range prim {
+		if b.Name != want[i] {
+			t.Errorf("primary[%d] = %s, want %s", i, b.Name, want[i])
+		}
+	}
+}
+
+func TestBenchmarksCompileAndRun(t *testing.T) {
+	for _, b := range workloads.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := b.Program()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			if b.Runs < 1 {
+				t.Fatal("no runs")
+			}
+			var totalSteps, totalBranches int64
+			for run := 0; run < b.Runs; run++ {
+				in := b.Input(run)
+				res, err := vm.Run(prog, in, nil, vm.Config{})
+				if err != nil {
+					t.Fatalf("run %d: %v", run, err)
+				}
+				if len(res.Output) == 0 {
+					t.Fatalf("run %d: no output", run)
+				}
+				totalSteps += res.Steps
+				totalBranches += res.Branches
+			}
+			if totalSteps < 10_000 {
+				t.Errorf("suspiciously small workload: %d dynamic instructions", totalSteps)
+			}
+			ctl := float64(totalBranches) / float64(totalSteps)
+			if ctl < 0.05 || ctl > 0.60 {
+				t.Errorf("control fraction %.2f out of the plausible range", ctl)
+			}
+		})
+	}
+}
+
+func TestInputsDeterministic(t *testing.T) {
+	for _, b := range workloads.All() {
+		a := b.Input(0)
+		c := b.Input(0)
+		if !bytes.Equal(a, c) {
+			t.Errorf("%s: input generation is not deterministic", b.Name)
+		}
+		if b.Runs > 1 {
+			d := b.Input(1)
+			if bytes.Equal(a, d) {
+				t.Errorf("%s: runs 0 and 1 produced identical inputs", b.Name)
+			}
+		}
+	}
+}
+
+func TestOutputsDeterministic(t *testing.T) {
+	for _, b := range workloads.All() {
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		in := b.Input(0)
+		r1, err := vm.Run(prog, in, nil, vm.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		r2, err := vm.Run(prog, in, nil, vm.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if !bytes.Equal(r1.Output, r2.Output) || r1.Steps != r2.Steps {
+			t.Errorf("%s: nondeterministic execution", b.Name)
+		}
+	}
+}
+
+// TestBranchFingerprints sanity-checks the per-benchmark branch statistics
+// against the program-class expectations from the paper's Table 2.
+func TestBranchFingerprints(t *testing.T) {
+	// cccp must have indirect jumps (its switch dispatch); lex must be
+	// highly biased (its inner loop): these are the signatures the paper
+	// reports (cccp 19% unknown targets; lex 98% accuracy).
+	check := func(name string, f func(s profile.Summary, p *profile.Profile)) {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := profile.New()
+		col := &profile.Collector{P: prof}
+		for run := 0; run < b.Runs; run++ {
+			res, err := vm.Run(prog, b.Input(run), col.Hook(), vm.Config{})
+			if err != nil {
+				t.Fatalf("%s run %d: %v", name, run, err)
+			}
+			prof.Steps += res.Steps
+			prof.Runs++
+		}
+		f(prof.Summarize(), prof)
+	}
+	check("cccp", func(s profile.Summary, p *profile.Profile) {
+		if s.UncondExec == 0 || s.UncondKnown == s.UncondExec {
+			t.Errorf("cccp: expected unknown-target unconditionals, got %d/%d known",
+				s.UncondKnown, s.UncondExec)
+		}
+	})
+	check("lex", func(s profile.Summary, p *profile.Profile) {
+		if a := p.StaticAccuracy(); a < 0.90 {
+			t.Errorf("lex: static accuracy %.3f, expected highly biased (>0.90)", a)
+		}
+	})
+}
