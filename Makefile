@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench repro tables figures ablations fuzz goldens clean
+.PHONY: all build test vet race bench repro tables figures ablations fuzz goldens clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The replay engine shares each recorded trace across concurrent scorers;
+# the race detector guards that read-only contract.
+race:
+	$(GO) test -race -short ./...
 
 # Short mode trims the differential fuzzer's program count.
 test-short:

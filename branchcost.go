@@ -32,6 +32,7 @@ import (
 	"branchcost/internal/pipeline"
 	"branchcost/internal/predict"
 	"branchcost/internal/profile"
+	"branchcost/internal/tracefile"
 	"branchcost/internal/vm"
 	"branchcost/internal/workloads"
 )
@@ -113,6 +114,30 @@ func NewLikelyBit(p *Program) Predictor {
 	return predict.LikelyBit{Targets: predict.ProgramTargets{Prog: p}}
 }
 
+// Scheme describes one named prediction scheme in the open registry; its
+// constructor receives the evaluation's program, profile and hardware
+// parameters. Every built-in scheme ("sbtb", "cbtb", "fs", the static
+// baselines) is pre-registered; user schemes join with RegisterScheme.
+type Scheme = predict.Scheme
+
+// SchemeContext is what a Scheme constructor sees.
+type SchemeContext = predict.SchemeContext
+
+// SchemeParams are the resolved hardware parameters handed to scheme
+// constructors (the zero value resolves to the paper's configuration via
+// OrPaper).
+type SchemeParams = predict.Params
+
+// RegisterScheme adds a scheme to the global registry. It panics on a
+// duplicate or invalid registration, mirroring database/sql.Register.
+func RegisterScheme(s Scheme) { predict.Register(s) }
+
+// Schemes lists every registered scheme name in registration order.
+func Schemes() []string { return predict.Names() }
+
+// DefaultSchemes is the paper's evaluation set: sbtb, cbtb, fs.
+func DefaultSchemes() []string { return core.DefaultSchemes() }
+
 // TransformResult is the outcome of the Forward Semantic transform.
 type TransformResult = fs.Result
 
@@ -127,13 +152,26 @@ func Transform(p *Program, prof *Profile, slotCount int) (*TransformResult, erro
 // model: cost = A + (k+ℓ̄+m̄)(1−A) cycles per branch.
 type PipelineConfig = pipeline.Config
 
-// Config selects hardware parameters for a full evaluation; the zero value
-// is the paper's configuration.
+// Config selects hardware parameters and the scheme list for a full
+// evaluation; the zero value is the paper's configuration. Pointer fields
+// (CounterThreshold, EvalSlots) distinguish "unset" from an explicit zero —
+// build them with Ptr.
 type Config = core.Config
 
-// Eval is the complete measurement of one benchmark under all three
-// schemes.
+// Ptr returns a pointer to v, for Config's pointer-valued fields.
+func Ptr[T any](v T) *T { return core.Ptr(v) }
+
+// Eval is the complete measurement of one benchmark: the shared profile and
+// recorded trace, plus one SchemeResult per evaluated scheme (SBTB/CBTB/FS
+// accessors cover the paper's three).
 type Eval = core.Eval
+
+// SchemeResult is one scheme's score within an Eval.
+type SchemeResult = core.SchemeResult
+
+// Trace is the recorded branch-event stream an evaluation replays; it can
+// be replayed again (Replay, ScoreParallel) or serialized (Dump).
+type Trace = tracefile.Trace
 
 // Evaluate measures all three schemes on a program: profiling on
 // profInputs, scoring on evalInputs (pass the same suite for the paper's

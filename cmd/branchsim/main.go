@@ -50,8 +50,8 @@ func main() {
 	cfg := core.Config{
 		SBTBEntries: *entries, SBTBAssoc: *assoc,
 		CBTBEntries: *entries, CBTBAssoc: *assoc,
-		CounterBits: *bits, CounterThreshold: uint8(*threshold),
-		EvalSlots: *slots,
+		CounterBits: *bits, CounterThreshold: core.Ptr(uint8(*threshold)),
+		EvalSlots: slots,
 	}
 	suite := experiments.NewSuite(cfg)
 
@@ -116,14 +116,14 @@ func main() {
 	}
 
 	ablations := map[string]func() (string, error){
-		"counter": func() (string, error) { _, t, err := experiments.CounterSweep(names); return render(t, err) },
-		"btbsize": func() (string, error) { _, t, err := experiments.SizeSweep(names); return render(t, err) },
-		"assoc":   func() (string, error) { _, t, err := experiments.AssocSweep(names); return render(t, err) },
+		"counter": func() (string, error) { _, t, err := experiments.CounterSweep(suite, names); return render(t, err) },
+		"btbsize": func() (string, error) { _, t, err := experiments.SizeSweep(suite, names); return render(t, err) },
+		"assoc":   func() (string, error) { _, t, err := experiments.AssocSweep(suite, names); return render(t, err) },
 		"ctxswitch": func() (string, error) {
-			_, t, err := experiments.ContextSwitch(names)
+			_, t, err := experiments.ContextSwitch(suite, names)
 			return render(t, err)
 		},
-		"static": func() (string, error) { _, t, err := experiments.StaticSchemes(names); return render(t, err) },
+		"static": func() (string, error) { _, t, err := experiments.StaticSchemes(suite, names); return render(t, err) },
 		"cycle":  func() (string, error) { _, t, err := experiments.CycleCheck(names); return render(t, err) },
 		"scaling": func() (string, error) {
 			_, t, err := experiments.Scaling(suite)

@@ -5,8 +5,12 @@
 //
 //	btrace -record -bench grep -o grep.bt     # record a benchmark's trace
 //	btrace -record -o prog.bt prog.mc         # record an MC program (empty input)
-//	btrace grep.bt                             # replay through all schemes
+//	btrace grep.bt                             # replay through every context-free scheme
 //	btrace -scheme cbtb -entries 64 grep.bt    # one scheme, custom geometry
+//
+// Replay draws its schemes from the registry: every registered scheme that
+// needs neither the program (for static targets) nor a transformed binary
+// can score a standalone trace.
 package main
 
 import (
@@ -16,10 +20,11 @@ import (
 	"os"
 
 	"branchcost"
-	"branchcost/internal/btb"
 	"branchcost/internal/predict"
 	"branchcost/internal/tracefile"
 	"branchcost/internal/vm"
+
+	_ "branchcost/internal/btb" // register sbtb/cbtb
 )
 
 func main() {
@@ -27,7 +32,7 @@ func main() {
 		record  = flag.Bool("record", false, "record a trace instead of replaying")
 		bench   = flag.String("bench", "", "benchmark to record")
 		out     = flag.String("o", "trace.bt", "output path when recording")
-		scheme  = flag.String("scheme", "", "replay one scheme: sbtb|cbtb|taken|nottaken|btfnt (default: all)")
+		scheme  = flag.String("scheme", "", "replay one registered scheme (default: all context-free schemes)")
 		entries = flag.Int("entries", 256, "BTB entries")
 		assoc   = flag.Int("assoc", 256, "BTB associativity")
 		bits    = flag.Int("bits", 2, "CBTB counter bits")
@@ -103,21 +108,37 @@ func doRecord(bench, out string, srcPaths []string) {
 		tw.Count(), steps, len(inputs), out)
 }
 
+// replayable returns the registered schemes a standalone trace can score:
+// those needing neither program context nor a transformed binary.
+func replayable() []string {
+	var names []string
+	for _, n := range predict.Names() {
+		sc := predict.MustLookup(n)
+		if sc.NeedsContext || sc.Transformed {
+			continue
+		}
+		names = append(names, n)
+	}
+	return names
+}
+
 func doReplay(path, scheme string, entries, assoc, bits int, thresh uint8) {
-	newPredictors := func() map[string]predict.Predictor {
-		all := map[string]predict.Predictor{
-			"sbtb":     btb.NewSBTB(entries, assoc),
-			"cbtb":     btb.NewCBTB(entries, assoc, bits, thresh),
-			"nottaken": predict.AlwaysNotTaken{},
+	params := predict.Params{
+		SBTBEntries: entries, SBTBAssoc: assoc,
+		CBTBEntries: entries, CBTBAssoc: assoc,
+		CounterBits: bits, CounterThreshold: thresh,
+	}
+	names := replayable()
+	if scheme != "" {
+		sc, ok := predict.Lookup(scheme)
+		if !ok {
+			fail(fmt.Errorf("unknown scheme %q (registered: %v)", scheme, predict.SortedNames()))
 		}
-		if scheme != "" {
-			p, ok := all[scheme]
-			if !ok {
-				fail(fmt.Errorf("unknown scheme %q (trace replay has no program context for taken/btfnt targets)", scheme))
-			}
-			return map[string]predict.Predictor{scheme: p}
+		if sc.NeedsContext || sc.Transformed {
+			fail(fmt.Errorf("scheme %q needs program context; a standalone trace can replay: %v",
+				scheme, replayable()))
 		}
-		return all
+		names = []string{scheme}
 	}
 
 	f, err := os.Open(path)
@@ -125,30 +146,21 @@ func doReplay(path, scheme string, entries, assoc, bits int, thresh uint8) {
 		fail(err)
 	}
 	defer f.Close()
-	tr, err := tracefile.NewReader(bufio.NewReaderSize(f, 1<<20))
+	tr, err := tracefile.ReadTrace(bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
 		fail(err)
 	}
-	preds := newPredictors()
-	evals := map[string]*predict.Evaluator{}
-	for name, p := range preds {
-		evals[name] = &predict.Evaluator{P: p}
+	evals := make([]*predict.Evaluator, len(names))
+	hooks := make([]vm.BranchFunc, len(names))
+	for i, n := range names {
+		evals[i] = &predict.Evaluator{P: predict.MustLookup(n).New(predict.SchemeContext{Params: params})}
+		hooks[i] = evals[i].Hook()
 	}
-	err = tr.Replay(func(ev vm.BranchEvent) {
-		for _, e := range evals {
-			e.Observe(ev)
-		}
-	})
-	if err != nil {
-		fail(err)
-	}
-	for _, name := range []string{"sbtb", "cbtb", "nottaken"} {
-		e, ok := evals[name]
-		if !ok {
-			continue
-		}
-		fmt.Printf("%-9s accuracy %7.3f%%  miss ratio %.4f  (%d branches)\n",
-			name, 100*e.S.Accuracy(), e.S.MissRatio(), e.S.Branches)
+	tr.ScoreParallel(hooks...)
+	for i, n := range names {
+		e := evals[i]
+		fmt.Printf("%-16s accuracy %7.3f%%  miss ratio %.4f  (%d branches)\n",
+			n, 100*e.S.Accuracy(), e.S.MissRatio(), e.S.Branches)
 	}
 }
 

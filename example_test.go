@@ -33,7 +33,7 @@ func main() {
 	}
 	p := branchcost.PipelineConfig{K: 1, LBar: 1, MBar: 1}
 	s, c, f := eval.Cost(p)
-	fmt.Printf("branches evaluated: %d\n", eval.FS.Stats.Branches)
+	fmt.Printf("branches evaluated: %d\n", eval.FS().Stats.Branches)
 	fmt.Printf("FS at least as cheap as SBTB: %v\n", f <= s)
 	fmt.Printf("costs within model bounds: %v\n",
 		s >= 1 && s <= p.Penalty() && c >= 1 && f >= 1)

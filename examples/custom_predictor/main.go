@@ -1,11 +1,14 @@
-// Custom predictor: plug a user-defined scheme into the evaluator and race
-// it against the paper's three schemes on a suite benchmark.
+// Custom predictor: register a user-defined scheme and race it against the
+// paper's three schemes on a suite benchmark.
 //
 // The custom scheme here is a two-level adaptive predictor (a per-branch
 // history register indexing a table of 2-bit counters — the direction of
 // research that followed the paper by a few years), bolted onto a BTB for
-// targets. It illustrates the Predictor interface: Name / Predict / Update /
-// Reset.
+// targets. It illustrates both halves of the extension API: the Predictor
+// interface (Name / Predict / Update / Reset) and the scheme registry
+// (RegisterScheme + Config.Schemes). Registered schemes ride the engine's
+// record-once/replay-many pipeline: the benchmark executes once, and every
+// scheme — built-in and custom — scores by replaying the recorded trace.
 package main
 
 import (
@@ -77,6 +80,20 @@ func (p *TwoLevel) Reset() {
 }
 
 func main() {
+	// Register one scheme per history width. The constructor runs once per
+	// evaluation, so every benchmark gets a fresh predictor.
+	custom := []string{}
+	for _, bits := range []int{2, 4, 8} {
+		bits := bits
+		name := fmt.Sprintf("two-level-%d", bits)
+		custom = append(custom, name)
+		branchcost.RegisterScheme(branchcost.Scheme{
+			Name:        name,
+			Description: fmt.Sprintf("local-history two-level adaptive predictor, %d history bits", bits),
+			New:         func(branchcost.SchemeContext) branchcost.Predictor { return NewTwoLevel(bits) },
+		})
+	}
+
 	bench, err := branchcost.BenchmarkByName("yacc")
 	if err != nil {
 		log.Fatal(err)
@@ -87,36 +104,19 @@ func main() {
 	}
 	inputs := bench.Inputs()
 
-	// The paper's three schemes via the standard pipeline.
-	eval, err := branchcost.Evaluate(bench.Name, prog, inputs, inputs, branchcost.Config{})
+	// One evaluation scores the paper's schemes and the custom ones over
+	// the same recorded branch stream.
+	eval, err := branchcost.Evaluate(bench.Name, prog, inputs, inputs, branchcost.Config{
+		Schemes: append(branchcost.DefaultSchemes(), custom...),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The custom predictors, scored over the same branch stream.
-	candidates := []*TwoLevel{NewTwoLevel(2), NewTwoLevel(4), NewTwoLevel(8)}
-	evs := make([]*branchcost.Evaluator, len(candidates))
-	for i, c := range candidates {
-		evs[i] = &branchcost.Evaluator{P: c}
-	}
-	hook := func(ev branchcost.BranchEvent) {
-		for _, e := range evs {
-			e.Observe(ev)
-		}
-	}
-	for _, in := range inputs {
-		if _, err := branchcost.Run(prog, in, hook, branchcost.RunConfig{}); err != nil {
-			log.Fatal(err)
-		}
-	}
-
 	fmt.Printf("benchmark %s: %d dynamic branches\n\n", bench.Name, eval.Summary.Branches)
 	fmt.Printf("%-16s %9s\n", "scheme", "accuracy")
-	fmt.Printf("%-16s %8.2f%%\n", "SBTB", 100*eval.SBTB.Stats.Accuracy())
-	fmt.Printf("%-16s %8.2f%%\n", "CBTB", 100*eval.CBTB.Stats.Accuracy())
-	fmt.Printf("%-16s %8.2f%%\n", "Forward Semantic", 100*eval.FS.Stats.Accuracy())
-	for i, c := range candidates {
-		fmt.Printf("%-16s %8.2f%%\n", c.Name(), 100*evs[i].S.Accuracy())
+	for _, name := range eval.Order {
+		fmt.Printf("%-16s %8.2f%%\n", name, 100*eval.Scheme(name).Stats.Accuracy())
 	}
 	fmt.Println("\n(History-based prediction beating all three schemes is exactly the")
 	fmt.Println("trajectory branch prediction research took after 1989.)")

@@ -25,11 +25,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		aSBTB += eval.SBTB.Stats.Accuracy()
-		aCBTB += eval.CBTB.Stats.Accuracy()
-		aFS += eval.FS.Stats.Accuracy()
+		aSBTB += eval.SBTB().Stats.Accuracy()
+		aCBTB += eval.CBTB().Stats.Accuracy()
+		aFS += eval.FS().Stats.Accuracy()
 		fmt.Printf("measured %-9s A_SBTB=%.3f A_CBTB=%.3f A_FS=%.3f\n", name,
-			eval.SBTB.Stats.Accuracy(), eval.CBTB.Stats.Accuracy(), eval.FS.Stats.Accuracy())
+			eval.SBTB().Stats.Accuracy(), eval.CBTB().Stats.Accuracy(), eval.FS().Stats.Accuracy())
 	}
 	n := float64(len(names))
 	aSBTB /= n

@@ -67,11 +67,11 @@ func main() {
 
 	fmt.Printf("%-18s %-10s %-10s\n", "scheme", "accuracy", "miss ratio")
 	fmt.Printf("%-18s %9.2f%% %10.4f\n", "SBTB (256, full)",
-		100*eval.SBTB.Stats.Accuracy(), eval.SBTB.Stats.MissRatio())
+		100*eval.SBTB().Stats.Accuracy(), eval.SBTB().Stats.MissRatio())
 	fmt.Printf("%-18s %9.2f%% %10.4f\n", "CBTB (2-bit, T=2)",
-		100*eval.CBTB.Stats.Accuracy(), eval.CBTB.Stats.MissRatio())
+		100*eval.CBTB().Stats.Accuracy(), eval.CBTB().Stats.MissRatio())
 	fmt.Printf("%-18s %9.2f%% %10s\n", "Forward Semantic",
-		100*eval.FS.Stats.Accuracy(), "n/a")
+		100*eval.FS().Stats.Accuracy(), "n/a")
 
 	fmt.Printf("\nForward Semantic code growth at k+l=2: %.2f%% (%d -> %d instructions)\n",
 		100*eval.FSResult.CodeGrowth(), eval.FSResult.OrigSize, eval.FSResult.NewSize)

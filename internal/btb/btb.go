@@ -25,8 +25,18 @@ type Entry struct {
 
 // Buffer is an associative cache of branch entries with LRU replacement.
 // Assoc == Entries gives the paper's fully-associative organization.
+//
+// Membership is tracked in a pc -> slot index so Lookup and Delete cost
+// O(1) regardless of associativity (a 1024-entry fully-associative lookup
+// per branch event would otherwise dominate every sweep); only choosing an
+// eviction victim scans the set, and only when the set is full. The index
+// is a dense slice — branch PCs are small nonnegative program positions, so
+// direct indexing beats hashing on the simulator's hottest operation.
 type Buffer struct {
 	sets  [][]Entry
+	free  [][]int32 // per-set stack of invalid slots
+	index []int32   // pc -> slot+1 within its set; 0 = absent
+	count int       // valid entries
 	assoc int
 	clock uint64
 
@@ -42,11 +52,24 @@ func NewBuffer(entries, assoc int) *Buffer {
 		panic(fmt.Sprintf("btb: bad geometry %d entries / %d-way", entries, assoc))
 	}
 	nsets := entries / assoc
-	b := &Buffer{sets: make([][]Entry, nsets), assoc: assoc}
+	b := &Buffer{
+		sets:  make([][]Entry, nsets),
+		free:  make([][]int32, nsets),
+		assoc: assoc,
+	}
 	for i := range b.sets {
 		b.sets[i] = make([]Entry, assoc)
+		b.free[i] = freeStack(make([]int32, 0, assoc), assoc)
 	}
 	return b
+}
+
+// freeStack fills f with every slot, popping order low-to-high.
+func freeStack(f []int32, assoc int) []int32 {
+	for j := assoc - 1; j >= 0; j-- {
+		f = append(f, int32(j))
+	}
+	return f
 }
 
 // Entries returns the total capacity.
@@ -58,18 +81,18 @@ func (b *Buffer) Assoc() int { return b.assoc }
 // Evictions returns how many valid entries were replaced.
 func (b *Buffer) Evictions() int64 { return b.evicts }
 
-func (b *Buffer) set(pc int32) []Entry {
-	return b.sets[uint32(pc)%uint32(len(b.sets))]
+func (b *Buffer) setIdx(pc int32) uint32 {
+	return uint32(pc) % uint32(len(b.sets))
 }
 
 // Lookup finds the entry for pc, updating its LRU stamp on hit.
 func (b *Buffer) Lookup(pc int32) (*Entry, bool) {
 	b.clock++
-	set := b.set(pc)
-	for i := range set {
-		if set[i].valid && set[i].PC == pc {
-			set[i].lru = b.clock
-			return &set[i], true
+	if int(pc) < len(b.index) {
+		if s := b.index[pc]; s != 0 {
+			e := &b.sets[b.setIdx(pc)][s-1]
+			e.lru = b.clock
+			return e, true
 		}
 	}
 	return nil, false
@@ -80,64 +103,72 @@ func (b *Buffer) Lookup(pc int32) (*Entry, bool) {
 // LRU stamp refreshed; newly allocated entries are zeroed.
 func (b *Buffer) Insert(pc int32) *Entry {
 	b.clock++
-	set := b.set(pc)
-	var victim *Entry
-	for i := range set {
-		e := &set[i]
-		if e.valid && e.PC == pc {
-			e.lru = b.clock
-			return e
-		}
-		if !e.valid {
-			if victim == nil || victim.valid {
-				victim = e
-			}
-			continue
-		}
-		if victim == nil || (victim.valid && e.lru < victim.lru) {
-			victim = e
-		}
+	si := b.setIdx(pc)
+	set := b.sets[si]
+	if int(pc) >= len(b.index) {
+		grown := make([]int32, int(pc)+64)
+		copy(grown, b.index)
+		b.index = grown
+	} else if s := b.index[pc]; s != 0 {
+		e := &set[s-1]
+		e.lru = b.clock
+		return e
 	}
-	if victim.valid {
+	var slot int32
+	if f := b.free[si]; len(f) > 0 {
+		slot = f[len(f)-1]
+		b.free[si] = f[:len(f)-1]
+	} else {
+		// Set full: evict the least recently used line. Stamps are unique
+		// (the clock advances on every access), so the victim is unique.
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[slot].lru {
+				slot = int32(i)
+			}
+		}
+		b.index[set[slot].PC] = 0
 		b.evicts++
+		b.count--
 	}
 	b.inserts++
-	*victim = Entry{PC: pc, valid: true, lru: b.clock}
-	return victim
+	b.count++
+	set[slot] = Entry{PC: pc, valid: true, lru: b.clock}
+	b.index[pc] = slot + 1
+	return &set[slot]
 }
 
 // Delete invalidates the entry for pc if present.
 func (b *Buffer) Delete(pc int32) {
-	set := b.set(pc)
-	for i := range set {
-		if set[i].valid && set[i].PC == pc {
-			set[i] = Entry{}
-			return
-		}
+	if int(pc) >= len(b.index) {
+		return
 	}
+	s := b.index[pc]
+	if s == 0 {
+		return
+	}
+	si := b.setIdx(pc)
+	b.sets[si][s-1] = Entry{}
+	b.index[pc] = 0
+	b.count--
+	b.free[si] = append(b.free[si], s-1)
 }
 
 // Reset invalidates every entry (context-switch simulation).
 func (b *Buffer) Reset() {
-	for _, set := range b.sets {
+	for si, set := range b.sets {
 		for i := range set {
 			set[i] = Entry{}
 		}
+		b.free[si] = freeStack(b.free[si][:0], b.assoc)
 	}
+	for i := range b.index {
+		b.index[i] = 0
+	}
+	b.count = 0
 }
 
 // Len returns the number of valid entries.
-func (b *Buffer) Len() int {
-	n := 0
-	for _, set := range b.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
-		}
-	}
-	return n
-}
+func (b *Buffer) Len() int { return b.count }
 
 // SBTB is the Simple Branch Target Buffer: it remembers taken branches; a
 // hit predicts taken, a miss predicts not-taken, and a hit whose branch

@@ -1,0 +1,26 @@
+package btb
+
+import "branchcost/internal/predict"
+
+// The hardware schemes register here rather than in package predict because
+// the dependency points btb -> predict; linking btb (core always does, and
+// cmd/btrace imports it explicitly) makes "sbtb" and "cbtb" available to
+// every registry consumer.
+func init() {
+	predict.Register(predict.Scheme{
+		Name:        "sbtb",
+		Description: "Simple Branch Target Buffer: caches taken branches, hit predicts taken",
+		New: func(ctx predict.SchemeContext) predict.Predictor {
+			p := ctx.Params.OrPaper()
+			return NewSBTB(p.SBTBEntries, p.SBTBAssoc)
+		},
+	})
+	predict.Register(predict.Scheme{
+		Name:        "cbtb",
+		Description: "Counter-based BTB: n-bit saturating counter per entry (J. E. Smith)",
+		New: func(ctx predict.SchemeContext) predict.Predictor {
+			p := ctx.Params.OrPaper()
+			return NewCBTB(p.CBTBEntries, p.CBTBAssoc, p.CounterBits, p.CounterThreshold)
+		},
+	})
+}

@@ -1,85 +1,118 @@
-// Package core orchestrates the paper's measurement pipeline: compile a
-// benchmark, profile it over its input suite, evaluate the two hardware
-// schemes (SBTB, CBTB) on the original binary, apply the Forward Semantic
-// transform, and evaluate the software scheme on the transformed binary.
-// The root branchcost package re-exports this API.
+// Package core orchestrates the paper's measurement pipeline as a
+// record-once/replay-many engine: compile a benchmark, run one instrumented
+// VM pass over its input suite that produces both the profile and an
+// in-memory branch trace, then score every requested prediction scheme by
+// replaying that trace in parallel. Schemes come from the predict.Scheme
+// registry; transformed schemes (the Forward Semantic) additionally get one
+// VM pass over the transformed binary, whose stream depends on the slot
+// depth. The root branchcost package re-exports this API.
 package core
 
 import (
+	"bytes"
 	"fmt"
 
-	"branchcost/internal/btb"
+	_ "branchcost/internal/btb" // registers the sbtb/cbtb schemes
 	"branchcost/internal/fs"
 	"branchcost/internal/isa"
 	"branchcost/internal/pipeline"
 	"branchcost/internal/predict"
 	"branchcost/internal/profile"
+	"branchcost/internal/tracefile"
 	"branchcost/internal/vm"
 	"branchcost/internal/workloads"
 )
 
-// Config selects the hardware configuration of the two BTB schemes and the
-// slot depth used when materializing the Forward Semantic binary. The zero
-// value is replaced by the paper's configuration (256-entry fully
-// associative buffers; 2-bit counters with threshold 2; k+ℓ = 2 slots).
+// Config selects the hardware configuration of the BTB schemes, the slot
+// depth used when materializing the Forward Semantic binary, and which
+// registered schemes to score.
+//
+// Default rule: fields whose zero value is never valid (buffer geometry,
+// counter width) are plain ints where 0 means "paper configuration".
+// Sweepable fields whose zero value is meaningful — CounterThreshold: 0 is
+// a real threshold, EvalSlots: 0 a real (degenerate) transform — are
+// pointers where nil means "paper configuration"; build them with Ptr.
 type Config struct {
 	SBTBEntries int
 	SBTBAssoc   int
 
-	CBTBEntries      int
-	CBTBAssoc        int
-	CounterBits      int
-	CounterThreshold uint8
+	CBTBEntries int
+	CBTBAssoc   int
+	CounterBits int
 
-	// EvalSlots is the k+ℓ used for the measured FS binary. The measured
-	// accuracy is independent of it (slots never execute), but the binary's
-	// layout and code growth depend on it.
-	EvalSlots int
+	// CounterThreshold is the CBTB taken threshold; nil means the paper's 2.
+	CounterThreshold *uint8
 
-	// FlushEvery, when positive, resets the hardware predictors every N
-	// branches (the context-switch ablation of the paper's §3 discussion).
+	// EvalSlots is the k+ℓ used for the measured FS binary; nil means the
+	// paper's 2. The measured accuracy is independent of it (slots never
+	// execute), but the binary's layout and code growth depend on it.
+	EvalSlots *int
+
+	// FlushEvery, when positive, resets the predictors every N branches
+	// (the context-switch ablation of the paper's §3 discussion). Stateless
+	// schemes are unaffected — their Reset is a no-op.
 	FlushEvery int64
 
 	// CycleSim, when non-nil, runs the cycle-level pipeline simulator
 	// alongside each scheme's evaluation (one simulator instance per
 	// scheme, configured with these stage depths).
 	CycleSim *pipeline.CycleSim
+
+	// Schemes lists the registered predict.Scheme names to score, in report
+	// order; nil means DefaultSchemes (the paper's three).
+	Schemes []string
 }
+
+// Ptr returns a pointer to v, for the Config fields with pointer-or-nil
+// default semantics: core.Config{CounterThreshold: core.Ptr[uint8](0)}.
+func Ptr[T any](v T) *T { return &v }
 
 // Paper is the configuration used throughout the paper's evaluation.
 var Paper = Config{
 	SBTBEntries: 256, SBTBAssoc: 256,
 	CBTBEntries: 256, CBTBAssoc: 256,
-	CounterBits: 2, CounterThreshold: 2,
-	EvalSlots: 2,
+	CounterBits: 2, CounterThreshold: Ptr[uint8](2),
+	EvalSlots: Ptr(2),
 }
 
+// DefaultSchemes returns the paper's three schemes in its tables' order.
+func DefaultSchemes() []string { return []string{"sbtb", "cbtb", "fs"} }
+
 func (c Config) withDefaults() Config {
-	d := Paper
-	if c.SBTBEntries != 0 {
-		d.SBTBEntries = c.SBTBEntries
+	d := c
+	if d.SBTBEntries == 0 {
+		d.SBTBEntries = Paper.SBTBEntries
 	}
-	if c.SBTBAssoc != 0 {
-		d.SBTBAssoc = c.SBTBAssoc
+	if d.SBTBAssoc == 0 {
+		d.SBTBAssoc = Paper.SBTBAssoc
 	}
-	if c.CBTBEntries != 0 {
-		d.CBTBEntries = c.CBTBEntries
+	if d.CBTBEntries == 0 {
+		d.CBTBEntries = Paper.CBTBEntries
 	}
-	if c.CBTBAssoc != 0 {
-		d.CBTBAssoc = c.CBTBAssoc
+	if d.CBTBAssoc == 0 {
+		d.CBTBAssoc = Paper.CBTBAssoc
 	}
-	if c.CounterBits != 0 {
-		d.CounterBits = c.CounterBits
+	if d.CounterBits == 0 {
+		d.CounterBits = Paper.CounterBits
 	}
-	if c.CounterThreshold != 0 {
-		d.CounterThreshold = c.CounterThreshold
+	if d.CounterThreshold == nil {
+		d.CounterThreshold = Paper.CounterThreshold
 	}
-	if c.EvalSlots != 0 {
-		d.EvalSlots = c.EvalSlots
+	if d.EvalSlots == nil {
+		d.EvalSlots = Paper.EvalSlots
 	}
-	d.FlushEvery = c.FlushEvery
-	d.CycleSim = c.CycleSim
 	return d
+}
+
+// Params returns the resolved hardware parameters as the registry's
+// constructor input.
+func (c Config) Params() predict.Params {
+	d := c.withDefaults()
+	return predict.Params{
+		SBTBEntries: d.SBTBEntries, SBTBAssoc: d.SBTBAssoc,
+		CBTBEntries: d.CBTBEntries, CBTBAssoc: d.CBTBAssoc,
+		CounterBits: d.CounterBits, CounterThreshold: *d.CounterThreshold,
+	}
 }
 
 // SchemeResult is one scheme's score on one benchmark.
@@ -95,18 +128,38 @@ type Eval struct {
 	Profile *profile.Profile
 	Summary profile.Summary
 
-	SBTB SchemeResult
-	CBTB SchemeResult
-	FS   SchemeResult
+	// Order lists the scored scheme names in configuration order; Schemes
+	// holds each one's result. The SBTB/CBTB/FS accessors cover the paper's
+	// three.
+	Order   []string
+	Schemes map[string]SchemeResult
+
+	// Trace is the recorded counted-branch stream of the original binary
+	// over the evaluation inputs. Sweeps replay it (see Trace.ScoreParallel)
+	// instead of re-running the VM per configuration point.
+	Trace *tracefile.Trace
 
 	// FSResult is the transform used for the FS measurement (layout, code
-	// growth at Config.EvalSlots, trace statistics).
+	// growth at Config.EvalSlots, trace statistics). Nil when no transformed
+	// scheme was scored.
 	FSResult *fs.Result
 
 	// AnalyticFS is A_FS computed from the profile alone; it must equal
-	// FS.Stats.Accuracy() when evaluation inputs equal profiling inputs.
+	// FS().Stats.Accuracy() when evaluation inputs equal profiling inputs.
 	AnalyticFS float64
 }
+
+// Scheme returns the named scheme's result (zero value when not scored).
+func (e *Eval) Scheme(name string) SchemeResult { return e.Schemes[name] }
+
+// SBTB returns the Simple BTB result.
+func (e *Eval) SBTB() SchemeResult { return e.Schemes["sbtb"] }
+
+// CBTB returns the Counter-based BTB result.
+func (e *Eval) CBTB() SchemeResult { return e.Schemes["cbtb"] }
+
+// FS returns the Forward Semantic result.
+func (e *Eval) FS() SchemeResult { return e.Schemes["fs"] }
 
 // cloneSim returns a fresh simulator with the same stage depths.
 func cloneSim(cs *pipeline.CycleSim) *pipeline.CycleSim {
@@ -117,11 +170,10 @@ func cloneSim(cs *pipeline.CycleSim) *pipeline.CycleSim {
 }
 
 // EvaluateBenchmark runs the full pipeline for one benchmark: a single
-// profiling+hardware-evaluation pass over the original binary (all inputs),
-// then the Forward Semantic transform and a measurement pass over the
-// transformed binary.
+// profiling+recording pass over the original binary (all inputs), trace
+// replay for every non-transformed scheme, and — for the Forward Semantic —
+// the transform plus one measurement pass over the transformed binary.
 func EvaluateBenchmark(b *workloads.Benchmark, cfg Config) (*Eval, error) {
-	cfg = cfg.withDefaults()
 	prog, err := b.Program()
 	if err != nil {
 		return nil, err
@@ -130,17 +182,64 @@ func EvaluateBenchmark(b *workloads.Benchmark, cfg Config) (*Eval, error) {
 	return Evaluate(b.Name, prog, inputs, inputs, cfg)
 }
 
+// sameInputs reports whether the two suites are content-identical, in which
+// case profiling and recording share one VM pass.
+func sameInputs(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Evaluate runs the measurement pipeline for an arbitrary program:
-// profiling on profInputs, scheme evaluation on evalInputs. Passing the
-// same slice for both reproduces the paper's methodology (§4: "the exact
-// same benchmarks with the same inputs were used").
+// profiling on profInputs, scheme scoring on evalInputs. Passing the same
+// slice for both reproduces the paper's methodology (§4: "the exact same
+// benchmarks with the same inputs were used") and collapses profiling and
+// trace recording into one pass.
 func Evaluate(name string, prog *isa.Program, profInputs, evalInputs [][]byte, cfg Config) (*Eval, error) {
 	cfg = cfg.withDefaults()
-	e := &Eval{Name: name, Program: prog, Profile: profile.New()}
+	names := cfg.Schemes
+	if len(names) == 0 {
+		names = DefaultSchemes()
+	}
+	schemes := make([]predict.Scheme, len(names))
+	anyTransformed := false
+	for i, n := range names {
+		sc, ok := predict.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("core: %s: unknown scheme %q (registered: %v)",
+				name, n, predict.SortedNames())
+		}
+		for _, prev := range names[:i] {
+			if prev == n {
+				return nil, fmt.Errorf("core: %s: scheme %q listed twice", name, n)
+			}
+		}
+		schemes[i] = sc
+		anyTransformed = anyTransformed || sc.Transformed
+	}
+	e := &Eval{Name: name, Program: prog, Profile: profile.New(),
+		Order: names, Schemes: make(map[string]SchemeResult, len(names))}
 
-	// Pass 1: profile the original binary.
+	// Pass 1: profile the original binary. When the evaluation suite equals
+	// the profiling suite, the same pass records the replay trace.
+	tr := &tracefile.Trace{}
 	col := &profile.Collector{P: e.Profile}
-	hook := col.Hook()
+	phook := col.Hook()
+	rec := tr.Hook()
+	same := sameInputs(profInputs, evalInputs)
+	hook := phook
+	if same {
+		hook = func(ev vm.BranchEvent) {
+			phook(ev)
+			rec(ev)
+		}
+	}
 	for i, in := range profInputs {
 		res, err := vm.Run(prog, in, hook, vm.Config{})
 		if err != nil {
@@ -151,74 +250,95 @@ func Evaluate(name string, prog *isa.Program, profInputs, evalInputs [][]byte, c
 	}
 	e.Summary = e.Profile.Summarize()
 	e.AnalyticFS = e.Profile.StaticAccuracy()
+	if same {
+		tr.Steps, tr.Runs = e.Profile.Steps, e.Profile.Runs
+	} else {
+		// Distinct evaluation suite: one recording pass over it.
+		for i, in := range evalInputs {
+			res, err := vm.Run(prog, in, rec, vm.Config{})
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: recording run %d: %w", name, i, err)
+			}
+			tr.Steps += res.Steps
+			tr.Runs++
+		}
+	}
+	e.Trace = tr
 
-	// Pass 2: hardware schemes on the original binary (one multiplexed
-	// pass; both predictors observe the identical branch stream).
-	sbtbEval := &predict.Evaluator{
-		P:          btb.NewSBTB(cfg.SBTBEntries, cfg.SBTBAssoc),
-		FlushEvery: cfg.FlushEvery,
-	}
-	cbtbEval := &predict.Evaluator{
-		P:          btb.NewCBTB(cfg.CBTBEntries, cfg.CBTBAssoc, cfg.CounterBits, cfg.CounterThreshold),
-		FlushEvery: cfg.FlushEvery,
-	}
-	e.SBTB.Cycle = cloneSim(cfg.CycleSim)
-	e.CBTB.Cycle = cloneSim(cfg.CycleSim)
-	if e.SBTB.Cycle != nil {
-		sbtbEval.OnResult = func(ev vm.BranchEvent, correct bool) {
-			e.SBTB.Cycle.OnBranch(correct, ev.Op.IsCondBranch())
+	// The transform is shared by every transformed scheme.
+	var fsRes *fs.Result
+	if anyTransformed {
+		var err error
+		fsRes, err = fs.Transform(prog, e.Profile, *cfg.EvalSlots)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: transform: %w", name, err)
 		}
-		cbtbEval.OnResult = func(ev vm.BranchEvent, correct bool) {
-			e.CBTB.Cycle.OnBranch(correct, ev.Op.IsCondBranch())
-		}
+		e.FSResult = fsRes
 	}
-	hw := func(ev vm.BranchEvent) {
-		sbtbEval.Observe(ev)
-		cbtbEval.Observe(ev)
-	}
-	for i, in := range evalInputs {
-		if _, err := vm.Run(prog, in, hw, vm.Config{}); err != nil {
-			return nil, fmt.Errorf("core: %s: hardware evaluation run %d: %w", name, i, err)
-		}
-	}
-	e.SBTB.Stats = sbtbEval.S
-	e.CBTB.Stats = cbtbEval.S
 
-	// Pass 3: Forward Semantic on the transformed binary. Synthetic fixup
-	// jumps are excluded so all three schemes score the same branch set.
-	fsRes, err := fs.Transform(prog, e.Profile, cfg.EvalSlots)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s: transform: %w", name, err)
+	// Build one evaluator (and cycle simulator) per scheme, then score:
+	// non-transformed schemes replay the recorded trace concurrently;
+	// transformed schemes share one multiplexed pass over the transformed
+	// binary, with synthetic fixup jumps excluded so every scheme scores
+	// the same branch set.
+	type job struct {
+		name  string
+		ev    *predict.Evaluator
+		cycle *pipeline.CycleSim
 	}
-	e.FSResult = fsRes
-	fsEval := &predict.Evaluator{
-		P: predict.LikelyBit{Targets: predict.ProgramTargets{Prog: fsRes.Prog}},
-	}
-	e.FS.Cycle = cloneSim(cfg.CycleSim)
-	if e.FS.Cycle != nil {
-		fsEval.OnResult = func(ev vm.BranchEvent, correct bool) {
-			e.FS.Cycle.OnBranch(correct, ev.Op.IsCondBranch())
+	params := cfg.Params()
+	jobs := make([]*job, len(schemes))
+	var replayHooks []vm.BranchFunc
+	var transformed []*job
+	for i, sc := range schemes {
+		ctx := predict.SchemeContext{Prog: prog, Profile: e.Profile, Params: params}
+		if sc.Transformed {
+			ctx.Prog = fsRes.Prog
+		}
+		j := &job{
+			name:  names[i],
+			ev:    &predict.Evaluator{P: sc.New(ctx), FlushEvery: cfg.FlushEvery},
+			cycle: cloneSim(cfg.CycleSim),
+		}
+		if j.cycle != nil {
+			cyc := j.cycle
+			j.ev.OnResult = func(ev vm.BranchEvent, correct bool) {
+				cyc.OnBranch(correct, ev.Op.IsCondBranch())
+			}
+		}
+		jobs[i] = j
+		if sc.Transformed {
+			transformed = append(transformed, j)
+		} else {
+			replayHooks = append(replayHooks, j.ev.Hook())
 		}
 	}
-	fsHook := func(ev vm.BranchEvent) {
-		if fsRes.SyntheticID(ev.ID) {
-			return
+	tr.ScoreParallel(replayHooks...)
+	if len(transformed) > 0 {
+		fsHook := func(ev vm.BranchEvent) {
+			if fsRes.SyntheticID(ev.ID) {
+				return
+			}
+			for _, j := range transformed {
+				j.ev.Observe(ev)
+			}
 		}
-		fsEval.Observe(ev)
-	}
-	for i, in := range evalInputs {
-		if _, err := vm.Run(fsRes.Prog, in, fsHook, vm.Config{}); err != nil {
-			return nil, fmt.Errorf("core: %s: FS evaluation run %d: %w", name, i, err)
+		for i, in := range evalInputs {
+			if _, err := vm.Run(fsRes.Prog, in, fsHook, vm.Config{}); err != nil {
+				return nil, fmt.Errorf("core: %s: FS evaluation run %d: %w", name, i, err)
+			}
 		}
 	}
-	e.FS.Stats = fsEval.S
+	for _, j := range jobs {
+		e.Schemes[j.name] = SchemeResult{Stats: j.ev.S, Cycle: j.cycle}
+	}
 	return e, nil
 }
 
 // Cost evaluates the paper's cost model for each scheme at the given
 // pipeline operating point, returning SBTB, CBTB and FS costs.
 func (e *Eval) Cost(p pipeline.Config) (sbtb, cbtb, fsc float64) {
-	return p.Cost(e.SBTB.Stats.Accuracy()),
-		p.Cost(e.CBTB.Stats.Accuracy()),
-		p.Cost(e.FS.Stats.Accuracy())
+	return p.Cost(e.SBTB().Stats.Accuracy()),
+		p.Cost(e.CBTB().Stats.Accuracy()),
+		p.Cost(e.FS().Stats.Accuracy())
 }

@@ -50,14 +50,18 @@ func TestEvaluateBasic(t *testing.T) {
 		t.Fatal("empty summary")
 	}
 	// All three schemes evaluated the same branch count.
-	if e.SBTB.Stats.Branches != e.CBTB.Stats.Branches ||
-		e.SBTB.Stats.Branches != e.FS.Stats.Branches {
+	if e.SBTB().Stats.Branches != e.CBTB().Stats.Branches ||
+		e.SBTB().Stats.Branches != e.FS().Stats.Branches {
 		t.Fatalf("branch streams differ: %d / %d / %d",
-			e.SBTB.Stats.Branches, e.CBTB.Stats.Branches, e.FS.Stats.Branches)
+			e.SBTB().Stats.Branches, e.CBTB().Stats.Branches, e.FS().Stats.Branches)
 	}
 	// Measured A_FS equals the analytic value on self-profiled inputs.
-	if d := e.FS.Stats.Accuracy() - e.AnalyticFS; math.Abs(d) > 1e-12 {
-		t.Fatalf("A_FS measured %v != analytic %v", e.FS.Stats.Accuracy(), e.AnalyticFS)
+	if d := e.FS().Stats.Accuracy() - e.AnalyticFS; math.Abs(d) > 1e-12 {
+		t.Fatalf("A_FS measured %v != analytic %v", e.FS().Stats.Accuracy(), e.AnalyticFS)
+	}
+	// The recorded trace matches the scored stream.
+	if e.Trace == nil || int64(e.Trace.Len()) != e.SBTB().Stats.Branches {
+		t.Fatalf("trace length mismatch: %+v vs %d branches", e.Trace, e.SBTB().Stats.Branches)
 	}
 	if e.FSResult == nil || e.FSResult.SlotCount != 2 {
 		t.Fatalf("default slot count wrong: %+v", e.FSResult)
@@ -70,12 +74,72 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A partial config keeps paper defaults for the rest.
-	e, err := core.Evaluate("t", prog, testInputs, testInputs, core.Config{EvalSlots: 5})
+	e, err := core.Evaluate("t", prog, testInputs, testInputs, core.Config{EvalSlots: core.Ptr(5)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e.FSResult.SlotCount != 5 {
 		t.Fatalf("slot override ignored: %d", e.FSResult.SlotCount)
+	}
+}
+
+func TestZeroCounterThresholdExpressible(t *testing.T) {
+	prog, err := compile.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 0 (predict taken for any cached branch) is a meaningful
+	// sweep point; the nil/pointer rule must distinguish it from "unset".
+	zero, err := core.Evaluate("t", prog, testInputs, testInputs,
+		core.Config{CounterThreshold: core.Ptr[uint8](0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dflt, err := core.Evaluate("t", prog, testInputs, testInputs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.CBTB().Stats == dflt.CBTB().Stats {
+		t.Fatal("CounterThreshold: 0 was silently replaced by the default")
+	}
+	if p := (core.Config{}).Params(); p.CounterThreshold != 2 {
+		t.Fatalf("default threshold = %d, want 2", p.CounterThreshold)
+	}
+	cfg := core.Config{CounterThreshold: core.Ptr[uint8](0)}
+	if p := cfg.Params(); p.CounterThreshold != 0 {
+		t.Fatalf("explicit zero threshold resolved to %d", p.CounterThreshold)
+	}
+}
+
+func TestSchemeListAndRegistry(t *testing.T) {
+	prog, err := compile.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.Evaluate("t", prog, testInputs, testInputs,
+		core.Config{Schemes: []string{"always-not-taken", "btfnt", "sbtb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"always-not-taken", "btfnt", "sbtb"}; len(e.Order) != 3 ||
+		e.Order[0] != want[0] || e.Order[1] != want[1] || e.Order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", e.Order, want)
+	}
+	if e.FSResult != nil {
+		t.Fatal("transform ran without a transformed scheme")
+	}
+	for _, n := range e.Order {
+		if e.Scheme(n).Stats.Branches == 0 {
+			t.Fatalf("scheme %s scored no branches", n)
+		}
+	}
+	if _, err := core.Evaluate("t", prog, testInputs, testInputs,
+		core.Config{Schemes: []string{"no-such-scheme"}}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := core.Evaluate("t", prog, testInputs, testInputs,
+		core.Config{Schemes: []string{"sbtb", "sbtb"}}); err == nil {
+		t.Fatal("duplicate scheme accepted")
 	}
 }
 
@@ -95,7 +159,7 @@ func TestCostHelper(t *testing.T) {
 			t.Fatalf("cost %v outside [1, penalty]", v)
 		}
 	}
-	if got := p.Cost(e.FS.Stats.Accuracy()); got != f {
+	if got := p.Cost(e.FS().Stats.Accuracy()); got != f {
 		t.Fatalf("Cost helper inconsistent: %v != %v", got, f)
 	}
 }
@@ -110,7 +174,7 @@ func TestCycleSimAttachment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, sc := range []core.SchemeResult{e.SBTB, e.CBTB, e.FS} {
+	for _, sc := range []core.SchemeResult{e.SBTB(), e.CBTB(), e.FS()} {
 		if sc.Cycle == nil {
 			t.Fatal("cycle sim not attached")
 		}
@@ -142,13 +206,13 @@ func TestFlushEveryDegradesHardwareOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if flushed.SBTB.Stats.Accuracy() >= base.SBTB.Stats.Accuracy() {
+	if flushed.SBTB().Stats.Accuracy() >= base.SBTB().Stats.Accuracy() {
 		t.Errorf("SBTB did not degrade under flushing: %.4f >= %.4f",
-			flushed.SBTB.Stats.Accuracy(), base.SBTB.Stats.Accuracy())
+			flushed.SBTB().Stats.Accuracy(), base.SBTB().Stats.Accuracy())
 	}
-	if flushed.FS.Stats.Accuracy() != base.FS.Stats.Accuracy() {
+	if flushed.FS().Stats.Accuracy() != base.FS().Stats.Accuracy() {
 		t.Errorf("FS changed under flushing: %.6f != %.6f",
-			flushed.FS.Stats.Accuracy(), base.FS.Stats.Accuracy())
+			flushed.FS().Stats.Accuracy(), base.FS().Stats.Accuracy())
 	}
 }
 
@@ -170,7 +234,7 @@ func TestTrainTestSplit(t *testing.T) {
 	// Accuracy is measured on test inputs, where training-derived likely
 	// bits can be wrong — the measured value may differ from the analytic
 	// self-accuracy.
-	if e.FS.Stats.Branches == 0 {
+	if e.FS().Stats.Branches == 0 {
 		t.Fatal("no test-run branches scored")
 	}
 }
@@ -189,7 +253,7 @@ func TestEvaluateBenchmarkCached(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Determinism end to end.
-	if e1.FS.Stats != e2.FS.Stats || e1.SBTB.Stats != e2.SBTB.Stats {
+	if e1.FS().Stats != e2.FS().Stats || e1.SBTB().Stats != e2.SBTB().Stats {
 		t.Fatal("evaluation is nondeterministic")
 	}
 }

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"branchcost/internal/btb"
 	"branchcost/internal/core"
 	"branchcost/internal/fs"
 	"branchcost/internal/pipeline"
@@ -22,23 +21,22 @@ type CounterSweepRow struct {
 
 // CounterSweep varies the CBTB counter width (threshold at half range),
 // testing J. E. Smith's observation — cited by the paper — that counters
-// longer than 2 bits gain little and can lose accuracy to "inertia".
-func CounterSweep(names []string) ([]CounterSweepRow, *stats.Table, error) {
+// longer than 2 bits gain little and can lose accuracy to "inertia". Every
+// configuration replays the suite's cached trace; no VM re-execution.
+func CounterSweep(s *Suite, names []string) ([]CounterSweepRow, *stats.Table, error) {
 	bitsList := []int{1, 2, 3, 4, 5}
 	sums := make([]float64, len(bitsList))
 	for _, name := range names {
-		b, err := workloads.ByName(name)
+		e, err := s.Eval(name)
 		if err != nil {
 			return nil, nil, err
 		}
 		evs := make([]*predict.Evaluator, len(bitsList))
 		for i, bits := range bitsList {
 			th := uint8(1) << (bits - 1)
-			evs[i] = &predict.Evaluator{P: btb.NewCBTB(256, 256, bits, th)}
+			evs[i] = &predict.Evaluator{P: newScheme("cbtb", e, geometry(256, 256, bits, th))}
 		}
-		if err := runPredictors(b, evs); err != nil {
-			return nil, nil, err
-		}
+		replayEvaluators(e.Trace, evs)
 		for i := range bitsList {
 			sums[i] += evs[i].S.Accuracy()
 		}
@@ -65,25 +63,24 @@ type SizeSweepRow struct {
 }
 
 // SizeSweep varies the BTB capacity (fully associative), showing how many
-// entries the paper's 256 actually buys.
-func SizeSweep(names []string) ([]SizeSweepRow, *stats.Table, error) {
+// entries the paper's 256 actually buys. All fourteen configurations score
+// in one parallel replay of each benchmark's cached trace.
+func SizeSweep(s *Suite, names []string) ([]SizeSweepRow, *stats.Table, error) {
 	sizes := []int{16, 32, 64, 128, 256, 512, 1024}
 	type acc struct{ sa, ca, sm, cm float64 }
 	sums := make([]acc, len(sizes))
 	for _, name := range names {
-		b, err := workloads.ByName(name)
+		e, err := s.Eval(name)
 		if err != nil {
 			return nil, nil, err
 		}
 		var evs []*predict.Evaluator
 		for _, n := range sizes {
 			evs = append(evs,
-				&predict.Evaluator{P: btb.NewSBTB(n, n)},
-				&predict.Evaluator{P: btb.NewCBTB(n, n, 2, 2)})
+				&predict.Evaluator{P: newScheme("sbtb", e, geometry(n, n, 2, 2))},
+				&predict.Evaluator{P: newScheme("cbtb", e, geometry(n, n, 2, 2))})
 		}
-		if err := runPredictors(b, evs); err != nil {
-			return nil, nil, err
-		}
+		replayEvaluators(e.Trace, evs)
 		for i := range sizes {
 			sums[i].sa += evs[2*i].S.Accuracy()
 			sums[i].sm += evs[2*i].S.MissRatio()
@@ -117,24 +114,22 @@ type AssocSweepRow struct {
 // associativity "may not be feasible to implement" and that its results are
 // therefore "biased slightly in favor of the two hardware approaches"; this
 // sweep quantifies the bias.
-func AssocSweep(names []string) ([]AssocSweepRow, *stats.Table, error) {
+func AssocSweep(s *Suite, names []string) ([]AssocSweepRow, *stats.Table, error) {
 	asss := []int{1, 2, 4, 8, 256}
 	type acc struct{ sa, ca float64 }
 	sums := make([]acc, len(asss))
 	for _, name := range names {
-		b, err := workloads.ByName(name)
+		e, err := s.Eval(name)
 		if err != nil {
 			return nil, nil, err
 		}
 		var evs []*predict.Evaluator
 		for _, a := range asss {
 			evs = append(evs,
-				&predict.Evaluator{P: btb.NewSBTB(256, a)},
-				&predict.Evaluator{P: btb.NewCBTB(256, a, 2, 2)})
+				&predict.Evaluator{P: newScheme("sbtb", e, geometry(256, a, 2, 2))},
+				&predict.Evaluator{P: newScheme("cbtb", e, geometry(256, a, 2, 2))})
 		}
-		if err := runPredictors(b, evs); err != nil {
-			return nil, nil, err
-		}
+		replayEvaluators(e.Trace, evs)
 		for i := range asss {
 			sums[i].sa += evs[2*i].S.Accuracy()
 			sums[i].ca += evs[2*i+1].S.Accuracy()
@@ -166,21 +161,34 @@ type CtxSwitchRow struct {
 
 // ContextSwitch simulates context switching by flushing the hardware
 // predictors every N branches. The paper's §3 predicts the hardware schemes
-// degrade while the Forward Semantic is unaffected.
-func ContextSwitch(names []string) ([]CtxSwitchRow, *stats.Table, error) {
+// degrade while the Forward Semantic is unaffected. Each flush period
+// replays the cached trace with fresh BTB instances; the Forward Semantic
+// predictor is stateless (Reset is a no-op), so its accuracy is taken from
+// the base evaluation — flushing cannot change it.
+func ContextSwitch(s *Suite, names []string) ([]CtxSwitchRow, *stats.Table, error) {
 	periods := []int64{0, 100000, 10000, 1000}
 	rows := make([]CtxSwitchRow, len(periods))
+	params := s.Cfg.Params()
 	for i, p := range periods {
 		rows[i].FlushEvery = p
-		suite := NewSuite(core.Config{FlushEvery: p})
 		for _, name := range names {
-			e, err := suite.Eval(name)
+			e, err := s.Eval(name)
 			if err != nil {
 				return nil, nil, err
 			}
-			rows[i].SBTBAcc += e.SBTB.Stats.Accuracy()
-			rows[i].CBTBAcc += e.CBTB.Stats.Accuracy()
-			rows[i].FSAcc += e.FS.Stats.Accuracy()
+			rows[i].FSAcc += e.FS().Stats.Accuracy()
+			if p == 0 {
+				rows[i].SBTBAcc += e.SBTB().Stats.Accuracy()
+				rows[i].CBTBAcc += e.CBTB().Stats.Accuracy()
+				continue
+			}
+			evs := []*predict.Evaluator{
+				{P: newScheme("sbtb", e, params), FlushEvery: p},
+				{P: newScheme("cbtb", e, params), FlushEvery: p},
+			}
+			replayEvaluators(e.Trace, evs)
+			rows[i].SBTBAcc += evs[0].S.Accuracy()
+			rows[i].CBTBAcc += evs[1].S.Accuracy()
 		}
 		n := float64(len(names))
 		rows[i].SBTBAcc /= n
@@ -207,35 +215,24 @@ type StaticRow struct {
 
 // StaticSchemes measures the related-work baselines the paper discusses:
 // always-taken (63–77% in the literature), always-not-taken, and
-// backward-taken/forward-not-taken (76.5% in J. E. Smith's study).
-func StaticSchemes(names []string) ([]StaticRow, *stats.Table, error) {
+// backward-taken/forward-not-taken (76.5% in J. E. Smith's study). All four
+// baselines come from the scheme registry and replay the cached trace (the
+// opcode-bias scheme's constructor consumes the cached profile, matching
+// its original form: directions derived from performance studies).
+func StaticSchemes(s *Suite, names []string) ([]StaticRow, *stats.Table, error) {
 	labels := []string{"always-taken", "always-not-taken", "btfnt", "opcode-bias"}
 	sums := make([]float64, len(labels))
+	params := s.Cfg.Params()
 	for _, name := range names {
-		b, err := workloads.ByName(name)
+		e, err := s.Eval(name)
 		if err != nil {
 			return nil, nil, err
 		}
-		prog, err := b.Program()
-		if err != nil {
-			return nil, nil, err
+		evs := make([]*predict.Evaluator, len(labels))
+		for i, l := range labels {
+			evs[i] = &predict.Evaluator{P: newScheme(l, e, params)}
 		}
-		// The opcode-bias scheme needs aggregate profiling, as in its
-		// original form (directions derived from performance studies).
-		e, err := core.EvaluateBenchmark(b, core.Config{})
-		if err != nil {
-			return nil, nil, err
-		}
-		pt := predict.ProgramTargets{Prog: prog}
-		evs := []*predict.Evaluator{
-			{P: predict.AlwaysTaken{Targets: pt}},
-			{P: predict.AlwaysNotTaken{}},
-			{P: predict.BTFNT{Targets: pt}},
-			{P: predict.NewOpcodeBias(e.Profile, pt)},
-		}
-		if err := runPredictors(b, evs); err != nil {
-			return nil, nil, err
-		}
+		replayEvaluators(e.Trace, evs)
 		for i := range labels {
 			sums[i] += evs[i].S.Accuracy()
 		}
@@ -277,7 +274,7 @@ func CycleCheck(names []string) ([]CycleRow, *stats.Table, error) {
 		for _, sc := range []struct {
 			label string
 			res   core.SchemeResult
-		}{{"SBTB", e.SBTB}, {"CBTB", e.CBTB}, {"FS", e.FS}} {
+		}{{"SBTB", e.SBTB()}, {"CBTB", e.CBTB()}, {"FS", e.FS()}} {
 			cs := sc.res.Cycle
 			a := sc.res.Stats.Accuracy()
 			model := cs.EffectiveConfig().Cost(a)

@@ -60,10 +60,10 @@ func CrossVal(names []string) ([]CrossValRow, *stats.Table, error) {
 		}
 		r := CrossValRow{
 			Benchmark: name,
-			SelfAFS:   self.FS.Stats.Accuracy(),
-			CrossAFS:  cross.FS.Stats.Accuracy(),
-			CrossSBTB: cross.SBTB.Stats.Accuracy(),
-			CrossCBTB: cross.CBTB.Stats.Accuracy(),
+			SelfAFS:   self.FS().Stats.Accuracy(),
+			CrossAFS:  cross.FS().Stats.Accuracy(),
+			CrossSBTB: cross.SBTB().Stats.Accuracy(),
+			CrossCBTB: cross.CBTB().Stats.Accuracy(),
 		}
 		rows = append(rows, r)
 		t.AddRow(name, stats.Pct(r.SelfAFS), stats.Pct(r.CrossAFS),
@@ -96,7 +96,7 @@ func DelayedBranch(s *Suite, names []string, d int, mbar float64) ([]DelayRow, *
 			return nil, nil, err
 		}
 		fillStats := delay.Analyze(e.Program, e.Profile, d)
-		a := e.FS.Stats.Accuracy() // both schemes predict with the likely bit
+		a := e.FS().Stats.Accuracy() // both schemes predict with the likely bit
 		cost := fillStats.Cost(a, mbar)
 		fsCfg := pipeline.Config{K: 1, LBar: float64(d - 1), MBar: mbar}
 		fsCost := fsCfg.Cost(a)

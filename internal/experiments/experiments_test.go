@@ -154,10 +154,10 @@ func TestAnalyticMatchesMeasuredFS(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range evals {
-		diff := e.FS.Stats.Accuracy() - e.AnalyticFS
+		diff := e.FS().Stats.Accuracy() - e.AnalyticFS
 		if diff > 1e-9 || diff < -1e-9 {
 			t.Errorf("%s: measured A_FS %.6f != analytic %.6f", e.Name,
-				e.FS.Stats.Accuracy(), e.AnalyticFS)
+				e.FS().Stats.Accuracy(), e.AnalyticFS)
 		}
 	}
 }
@@ -256,7 +256,7 @@ func TestICacheLocalityClaim(t *testing.T) {
 var ablNames = []string{"wc", "compress"}
 
 func TestCounterSweepShape(t *testing.T) {
-	rows, tbl, err := experiments.CounterSweep(ablNames)
+	rows, tbl, err := experiments.CounterSweep(suite, ablNames)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestCounterSweepShape(t *testing.T) {
 }
 
 func TestSizeSweepShape(t *testing.T) {
-	rows, tbl, err := experiments.SizeSweep(ablNames)
+	rows, tbl, err := experiments.SizeSweep(suite, ablNames)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +293,7 @@ func TestSizeSweepShape(t *testing.T) {
 }
 
 func TestAssocSweepShape(t *testing.T) {
-	rows, tbl, err := experiments.AssocSweep(ablNames)
+	rows, tbl, err := experiments.AssocSweep(suite, ablNames)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func TestAssocSweepShape(t *testing.T) {
 }
 
 func TestStaticSchemesShape(t *testing.T) {
-	rows, tbl, err := experiments.StaticSchemes(ablNames)
+	rows, tbl, err := experiments.StaticSchemes(suite, ablNames)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestStaticSchemesShape(t *testing.T) {
 }
 
 func TestContextSwitchShape(t *testing.T) {
-	rows, tbl, err := experiments.ContextSwitch(ablNames)
+	rows, tbl, err := experiments.ContextSwitch(suite, ablNames)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,8 +52,8 @@ func Sensitivity(names []string, suites int) ([]SensitivityRow, *stats.Table, er
 			if err != nil {
 				return nil, nil, err
 			}
-			r.AFS = append(r.AFS, e.FS.Stats.Accuracy())
-			r.ACBTB = append(r.ACBTB, e.CBTB.Stats.Accuracy())
+			r.AFS = append(r.AFS, e.FS().Stats.Accuracy())
+			r.ACBTB = append(r.ACBTB, e.CBTB().Stats.Accuracy())
 		}
 		r.SpreadFS = spread(r.AFS)
 		r.SpreadCB = spread(r.ACBTB)

@@ -6,11 +6,11 @@
 package experiments
 
 import (
-	"fmt"
 	"sync"
 
 	"branchcost/internal/core"
 	"branchcost/internal/predict"
+	"branchcost/internal/tracefile"
 	"branchcost/internal/vm"
 	"branchcost/internal/workloads"
 )
@@ -84,29 +84,37 @@ func (s *Suite) AverageAccuracies() (aSBTB, aCBTB, aFS float64, err error) {
 	}
 	n := float64(len(evals))
 	for _, e := range evals {
-		aSBTB += e.SBTB.Stats.Accuracy()
-		aCBTB += e.CBTB.Stats.Accuracy()
-		aFS += e.FS.Stats.Accuracy()
+		aSBTB += e.SBTB().Stats.Accuracy()
+		aCBTB += e.CBTB().Stats.Accuracy()
+		aFS += e.FS().Stats.Accuracy()
 	}
 	return aSBTB / n, aCBTB / n, aFS / n, nil
 }
 
-// runPredictors evaluates a set of predictor evaluators over a benchmark's
-// input suite in a single multiplexed pass per input.
-func runPredictors(b *workloads.Benchmark, evs []*predict.Evaluator) error {
-	prog, err := b.Program()
-	if err != nil {
-		return err
+// newScheme constructs a registered scheme's predictor against one cached
+// evaluation's program and profile.
+func newScheme(name string, e *core.Eval, params predict.Params) predict.Predictor {
+	return predict.MustLookup(name).New(predict.SchemeContext{
+		Prog: e.Program, Profile: e.Profile, Params: params,
+	})
+}
+
+// geometry builds the registry parameters for a swept BTB configuration
+// (same geometry for both buffers, as the ablation tables use).
+func geometry(entries, assoc, bits int, threshold uint8) predict.Params {
+	return predict.Params{
+		SBTBEntries: entries, SBTBAssoc: assoc,
+		CBTBEntries: entries, CBTBAssoc: assoc,
+		CounterBits: bits, CounterThreshold: threshold,
 	}
-	hook := func(ev vm.BranchEvent) {
-		for _, e := range evs {
-			e.Observe(ev)
-		}
+}
+
+// replayEvaluators scores the evaluators over a recorded trace in parallel
+// — the sweeps' hot path: no VM re-execution per configuration point.
+func replayEvaluators(tr *tracefile.Trace, evs []*predict.Evaluator) {
+	hooks := make([]vm.BranchFunc, len(evs))
+	for i, ev := range evs {
+		hooks[i] = ev.Hook()
 	}
-	for run := 0; run < b.Runs; run++ {
-		if _, err := vm.Run(prog, b.Input(run), hook, vm.Config{}); err != nil {
-			return fmt.Errorf("experiments: %s run %d: %w", b.Name, run, err)
-		}
-	}
-	return nil
+	tr.ScoreParallel(hooks...)
 }

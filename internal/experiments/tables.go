@@ -108,11 +108,11 @@ func Table3(s *Suite) ([]Table3Row, *stats.Table, error) {
 	for _, e := range evals {
 		r := Table3Row{
 			Benchmark: e.Name,
-			RhoSBTB:   e.SBTB.Stats.MissRatio(),
-			ASBTB:     e.SBTB.Stats.Accuracy(),
-			RhoCBTB:   e.CBTB.Stats.MissRatio(),
-			ACBTB:     e.CBTB.Stats.Accuracy(),
-			AFS:       e.FS.Stats.Accuracy(),
+			RhoSBTB:   e.SBTB().Stats.MissRatio(),
+			ASBTB:     e.SBTB().Stats.Accuracy(),
+			RhoCBTB:   e.CBTB().Stats.MissRatio(),
+			ACBTB:     e.CBTB().Stats.Accuracy(),
+			AFS:       e.FS().Stats.Accuracy(),
 		}
 		rows = append(rows, r)
 		for i, v := range []float64{r.RhoSBTB, r.ASBTB, r.RhoCBTB, r.ACBTB, r.AFS} {

@@ -98,7 +98,7 @@ type Evaluator struct {
 
 // Hook returns a vm.BranchFunc that evaluates every executed branch.
 func (e *Evaluator) Hook() vm.BranchFunc {
-	return func(ev vm.BranchEvent) { e.Observe(ev) }
+	return e.Observe
 }
 
 // Observe scores one branch event. Non-branch control events (CALL) pass

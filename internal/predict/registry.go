@@ -1,0 +1,172 @@
+package predict
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"branchcost/internal/isa"
+	"branchcost/internal/profile"
+)
+
+// Params carries the hardware-configuration knobs a registered scheme's
+// constructor may consult. The zero value means "use the paper's
+// configuration" (see PaperParams); resolve it with OrPaper.
+type Params struct {
+	SBTBEntries int
+	SBTBAssoc   int
+	CBTBEntries int
+	CBTBAssoc   int
+	CounterBits int
+	// CounterThreshold is interpreted only when Params is non-zero as a
+	// whole: a caller sweeping thresholds sets the geometry fields too.
+	CounterThreshold uint8
+}
+
+// PaperParams is the configuration used throughout the paper's evaluation:
+// 256-entry fully associative buffers, 2-bit counters with threshold 2.
+var PaperParams = Params{
+	SBTBEntries: 256, SBTBAssoc: 256,
+	CBTBEntries: 256, CBTBAssoc: 256,
+	CounterBits: 2, CounterThreshold: 2,
+}
+
+// OrPaper resolves the zero value to PaperParams.
+func (p Params) OrPaper() Params {
+	if p == (Params{}) {
+		return PaperParams
+	}
+	return p
+}
+
+// SchemeContext is everything a scheme constructor may need. Context-free
+// schemes (pure hardware predictors, trivial statics) ignore Prog and
+// Profile, which lets them replay bare trace files.
+type SchemeContext struct {
+	// Prog is the binary whose branch stream is scored. For schemes with
+	// Transformed set it is the Forward-Semantic-transformed binary.
+	Prog *isa.Program
+	// Profile is the aggregate profile of the original binary (nil when the
+	// caller has none; schemes that require it set NeedsContext).
+	Profile *profile.Profile
+	// Params configures hardware geometry; the zero value means PaperParams.
+	Params Params
+}
+
+// Scheme is one registered prediction scheme: a name the evaluation
+// pipeline, the cmd tools and the tables refer to, plus a constructor.
+type Scheme struct {
+	Name        string
+	Description string
+
+	// Transformed schemes score the branch stream of the Forward-Semantic-
+	// transformed binary (one extra VM pass per slot depth) rather than the
+	// recorded original-binary trace.
+	Transformed bool
+
+	// NeedsContext schemes require ctx.Prog (and possibly ctx.Profile) and
+	// therefore cannot replay a bare trace file without program context.
+	NeedsContext bool
+
+	// New constructs a fresh predictor instance.
+	New func(ctx SchemeContext) Predictor
+}
+
+var registry = struct {
+	sync.RWMutex
+	byName map[string]Scheme
+	order  []string
+}{byName: map[string]Scheme{}}
+
+// Register adds a scheme to the registry. It panics on an empty name, a nil
+// constructor, or a duplicate registration — all programming errors.
+func Register(s Scheme) {
+	if s.Name == "" || s.New == nil {
+		panic("predict: Register needs a name and a constructor")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[s.Name]; dup {
+		panic(fmt.Sprintf("predict: scheme %q registered twice", s.Name))
+	}
+	registry.byName[s.Name] = s
+	registry.order = append(registry.order, s.Name)
+}
+
+// Lookup returns the scheme registered under name.
+func Lookup(name string) (Scheme, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	s, ok := registry.byName[name]
+	return s, ok
+}
+
+// MustLookup is Lookup for names that are known to be registered.
+func MustLookup(name string) Scheme {
+	s, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("predict: unknown scheme %q (registered: %v)", name, Names()))
+	}
+	return s
+}
+
+// Names returns all registered scheme names in registration order.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return append([]string(nil), registry.order...)
+}
+
+// SortedNames returns all registered scheme names sorted alphabetically
+// (for help text and error messages).
+func SortedNames() []string {
+	names := Names()
+	sort.Strings(names)
+	return names
+}
+
+// The built-in software schemes and static baselines. The two hardware
+// schemes register from internal/btb (the dependency points that way), so
+// any program that links btb — core does — sees the full set.
+func init() {
+	Register(Scheme{
+		Name:         "always-taken",
+		Description:  "static: every branch taken, to its static target",
+		NeedsContext: true,
+		New: func(ctx SchemeContext) Predictor {
+			return AlwaysTaken{Targets: ProgramTargets{Prog: ctx.Prog}}
+		},
+	})
+	Register(Scheme{
+		Name:        "always-not-taken",
+		Description: "static: every branch not taken (the bare pipeline)",
+		New: func(SchemeContext) Predictor {
+			return AlwaysNotTaken{}
+		},
+	})
+	Register(Scheme{
+		Name:         "btfnt",
+		Description:  "static: backward taken, forward not taken (J. E. Smith)",
+		NeedsContext: true,
+		New: func(ctx SchemeContext) Predictor {
+			return BTFNT{Targets: ProgramTargets{Prog: ctx.Prog}}
+		},
+	})
+	Register(Scheme{
+		Name:         "opcode-bias",
+		Description:  "static: per-opcode direction derived from aggregate profiling",
+		NeedsContext: true,
+		New: func(ctx SchemeContext) Predictor {
+			return NewOpcodeBias(ctx.Profile, ProgramTargets{Prog: ctx.Prog})
+		},
+	})
+	Register(Scheme{
+		Name:         "fs",
+		Description:  "Forward Semantic: compiler likely bits on the transformed binary",
+		Transformed:  true,
+		NeedsContext: true,
+		New: func(ctx SchemeContext) Predictor {
+			return LikelyBit{Targets: ProgramTargets{Prog: ctx.Prog}}
+		},
+	})
+}

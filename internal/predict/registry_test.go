@@ -1,0 +1,76 @@
+package predict_test
+
+import (
+	"testing"
+
+	_ "branchcost/internal/btb" // registers sbtb/cbtb
+	"branchcost/internal/predict"
+	"branchcost/internal/vm"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := predict.Names()
+	want := map[string]bool{
+		"always-taken": true, "always-not-taken": true, "btfnt": true,
+		"opcode-bias": true, "fs": true, "sbtb": true, "cbtb": true,
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for n := range want {
+		if !seen[n] {
+			t.Errorf("built-in scheme %q not registered (have %v)", n, names)
+		}
+	}
+	fs := predict.MustLookup("fs")
+	if !fs.Transformed || !fs.NeedsContext {
+		t.Errorf("fs flags wrong: %+v", fs)
+	}
+	for _, n := range []string{"sbtb", "cbtb", "always-not-taken"} {
+		s := predict.MustLookup(n)
+		if s.NeedsContext {
+			t.Errorf("%s should be replayable without program context", n)
+		}
+		// Context-free schemes must construct from an empty context.
+		if p := s.New(predict.SchemeContext{}); p == nil {
+			t.Errorf("%s: nil predictor from empty context", n)
+		}
+	}
+}
+
+func TestRegistryParamsDefaulting(t *testing.T) {
+	if got := (predict.Params{}).OrPaper(); got != predict.PaperParams {
+		t.Fatalf("zero Params resolved to %+v", got)
+	}
+	custom := predict.Params{SBTBEntries: 16, SBTBAssoc: 4,
+		CBTBEntries: 16, CBTBAssoc: 4, CounterBits: 1, CounterThreshold: 1}
+	if got := custom.OrPaper(); got != custom {
+		t.Fatalf("non-zero Params rewritten to %+v", got)
+	}
+	// A threshold of zero is expressible as long as the geometry is set.
+	zeroTh := predict.Params{CBTBEntries: 64, CBTBAssoc: 64, CounterBits: 2,
+		SBTBEntries: 64, SBTBAssoc: 64}
+	p := predict.MustLookup("cbtb").New(predict.SchemeContext{Params: zeroTh})
+	// Threshold 0 predicts taken even for a never-seen-taken branch once cached.
+	p.Update(vm.BranchEvent{PC: 7, Taken: false})
+	if pr := p.Predict(vm.BranchEvent{PC: 7}); !pr.Taken {
+		t.Fatalf("threshold-0 CBTB predicted not-taken: %+v", pr)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(label string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", label)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty name", func() { predict.Register(predict.Scheme{New: func(predict.SchemeContext) predict.Predictor { return nil }}) })
+	mustPanic("nil constructor", func() { predict.Register(predict.Scheme{Name: "x"}) })
+	mustPanic("duplicate", func() {
+		predict.Register(predict.Scheme{Name: "sbtb", New: func(predict.SchemeContext) predict.Predictor { return nil }})
+	})
+}

@@ -1,0 +1,204 @@
+package tracefile
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"branchcost/internal/isa"
+	"branchcost/internal/vm"
+)
+
+// Trace is an in-memory branch trace: record a program's counted-branch
+// stream once, replay it through any number of predictors without
+// re-executing the program. This is the paper-era methodology made explicit
+// — every scheme scores the identical recorded stream.
+//
+// The representation is compact so whole-suite traces stay cheap to cache:
+// per static branch site, the fields the VM emits identically every time
+// (PC, ID, opcode, likely bit, and the two possible next positions) live in
+// a side table; the dynamic stream is one uint32 per event — site index plus
+// taken bit — with indirect jumps (the only branches whose target varies at
+// run time) spending a second word on the target. A replayed event is
+// bit-identical to the recorded vm.BranchEvent at ~4 bytes per event.
+//
+// A Trace records the stream of exactly one program; mixing programs would
+// alias PCs across different instructions.
+type Trace struct {
+	sites  []traceSite
+	bySite map[int32]uint32 // PC -> index into sites
+	stream []uint32
+	events int
+
+	Steps int64 // dynamic instructions across the recorded runs
+	Runs  int   // recorded runs
+}
+
+// traceSite holds the static fields of one branch site. takenTarget and
+// fallTarget are the resolved next positions for the two outcomes (filled
+// lazily from the first event of each direction; a direction never recorded
+// is never replayed, so its slot stays unused).
+type traceSite struct {
+	pc, id      int32
+	takenTarget int32
+	fallTarget  int32
+	op          isa.Op
+	likely      bool
+}
+
+// Len returns the number of recorded branch events.
+func (t *Trace) Len() int { return t.events }
+
+// Sites returns the number of distinct static branch sites recorded.
+func (t *Trace) Sites() int { return len(t.sites) }
+
+// Record appends one counted-branch event.
+func (t *Trace) Record(ev vm.BranchEvent) {
+	if t.bySite == nil {
+		t.bySite = map[int32]uint32{}
+	}
+	idx, ok := t.bySite[ev.PC]
+	if !ok {
+		idx = uint32(len(t.sites))
+		t.sites = append(t.sites, traceSite{
+			pc: ev.PC, id: ev.ID, op: ev.Op, likely: ev.Likely,
+			takenTarget: -1, fallTarget: -1,
+		})
+		t.bySite[ev.PC] = idx
+	}
+	w := idx << 1
+	if ev.Taken {
+		w |= 1
+	}
+	t.stream = append(t.stream, w)
+	switch {
+	case ev.Op == isa.JMPI:
+		// Indirect-jump targets are dynamic (jump table): store per event.
+		t.stream = append(t.stream, uint32(ev.Target))
+	case ev.Taken:
+		t.sites[idx].takenTarget = ev.Target
+	default:
+		t.sites[idx].fallTarget = ev.Target
+	}
+	t.events++
+}
+
+// Hook returns a vm.BranchFunc recording every counted branch (CALL events
+// pass through unrecorded, matching the evaluator's view).
+func (t *Trace) Hook() vm.BranchFunc {
+	return func(ev vm.BranchEvent) {
+		if !ev.Op.IsBranch() {
+			return
+		}
+		t.Record(ev)
+	}
+}
+
+// Replay feeds every recorded event to hook, in recording order,
+// reconstructing each vm.BranchEvent exactly as the VM emitted it.
+func (t *Trace) Replay(hook vm.BranchFunc) {
+	sites, stream := t.sites, t.stream
+	for i := 0; i < len(stream); i++ {
+		w := stream[i]
+		s := &sites[w>>1]
+		taken := w&1 != 0
+		target := s.fallTarget
+		if taken {
+			target = s.takenTarget
+		}
+		if s.op == isa.JMPI {
+			i++
+			target = int32(stream[i])
+		}
+		hook(vm.BranchEvent{PC: s.pc, ID: s.id, Op: s.op,
+			Taken: taken, Target: target, Likely: s.likely})
+	}
+}
+
+// ScoreParallel replays the trace once per hook, fanning the replays out
+// over a worker pool bounded by GOMAXPROCS. The trace is read-only during
+// replay, so hooks only need their own state to be private (each predictor
+// evaluator is).
+func (t *Trace) ScoreParallel(hooks ...vm.BranchFunc) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(hooks) {
+		workers = len(hooks)
+	}
+	if workers <= 1 {
+		// Single worker: decode the stream once and fan each event out to
+		// every hook, instead of paying the decode once per hook. Each hook
+		// still sees the identical full event sequence.
+		t.Replay(func(ev vm.BranchEvent) {
+			for _, h := range hooks {
+				h(ev)
+			}
+		})
+		return
+	}
+	ch := make(chan vm.BranchFunc)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for h := range ch {
+				t.Replay(h)
+			}
+		}()
+	}
+	for _, h := range hooks {
+		ch <- h
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Record executes the program over the input suite and returns its recorded
+// trace. Additional hooks observe the same passes' raw event stream (CALL
+// events included), letting a profiler share the recording pass.
+func Record(p *isa.Program, inputs [][]byte, extra ...vm.BranchFunc) (*Trace, error) {
+	t := &Trace{}
+	rec := t.Hook()
+	hook := rec
+	if len(extra) > 0 {
+		hook = func(ev vm.BranchEvent) {
+			rec(ev)
+			for _, h := range extra {
+				h(ev)
+			}
+		}
+	}
+	for i, in := range inputs {
+		res, err := vm.Run(p, in, hook, vm.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: recording run %d: %w", i, err)
+		}
+		t.Steps += res.Steps
+		t.Runs++
+	}
+	return t, nil
+}
+
+// Dump serializes the trace in the BCT1 file format.
+func (t *Trace) Dump(w io.WriteSeeker) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	t.Replay(tw.Record)
+	return tw.Close()
+}
+
+// ReadTrace loads an entire BCT1 stream into an in-memory trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{}
+	if err := tr.Replay(t.Hook()); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
