@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench repro tables figures ablations fuzz goldens clean
+.PHONY: all build test vet race bench corpus-bench repro tables figures ablations fuzz goldens clean
 
 all: build vet test race
 
@@ -26,6 +26,11 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Warm-corpus suite replay (zero VM execution) vs. live re-execution.
+corpus-bench:
+	$(GO) test ./internal/experiments -run '^$$' \
+		-bench 'BenchmarkSuiteCorpusReplay|BenchmarkSuiteLiveReexec' -benchmem
 
 # Regenerate the paper's full evaluation (tables, figures, ablations).
 repro:

@@ -13,6 +13,9 @@
 //     bits, trace selection, and forward-slot filling (internal/fs);
 //   - the pipeline cost model and a cycle-level validator
 //     (internal/pipeline);
+//   - a streaming trace codec and disk-backed trace corpus for
+//     record-once/replay-many evaluation (internal/tracefile,
+//     internal/corpus);
 //   - the paper's 12 benchmarks re-implemented in MC (internal/workloads);
 //   - and harnesses regenerating every table and figure
 //     (internal/experiments).
@@ -23,9 +26,13 @@
 package branchcost
 
 import (
+	"context"
+	"io"
+
 	"branchcost/internal/btb"
 	"branchcost/internal/compile"
 	"branchcost/internal/core"
+	"branchcost/internal/corpus"
 	"branchcost/internal/fs"
 	"branchcost/internal/isa"
 	"branchcost/internal/opt"
@@ -170,14 +177,54 @@ type Eval = core.Eval
 type SchemeResult = core.SchemeResult
 
 // Trace is the recorded branch-event stream an evaluation replays; it can
-// be replayed again (Replay, ScoreParallel) or serialized (Dump).
+// be replayed again (Replay, ScoreParallel) or serialized (WriteTo /
+// WriteTrace).
 type Trace = tracefile.Trace
+
+// RecordTrace executes the program over the input suite and returns the
+// recorded branch trace — the record half of record-once/replay-many.
+func RecordTrace(p *Program, inputs [][]byte) (*Trace, error) {
+	return tracefile.Record(p, inputs)
+}
+
+// WriteTrace serializes a trace to w in the current (BCT2) encoding.
+// Callers writing to disk should wrap w in a bufio.Writer.
+func WriteTrace(w io.Writer, t *Trace) error {
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// ReadTrace materializes a trace from r, accepting both the BCT1 and BCT2
+// encodings (dispatched on the file magic).
+func ReadTrace(r io.Reader) (*Trace, error) { return tracefile.ReadTrace(r) }
+
+// Corpus is the disk-backed trace store: entries are keyed by a content
+// hash of the (program, input suite) pair, so a warm corpus lets Evaluate
+// skip VM execution entirely for hardware-scheme scoring. Wire one into
+// Config.Corpus, or set $BRANCHCOST_CORPUS and use CorpusFromEnv.
+type Corpus = corpus.Store
+
+// CorpusKey identifies one corpus entry.
+type CorpusKey = corpus.Key
+
+// OpenCorpus opens (creating if needed) a corpus rooted at dir.
+func OpenCorpus(dir string) (*Corpus, error) { return corpus.Open(dir) }
+
+// CorpusFromEnv opens the corpus named by $BRANCHCOST_CORPUS, or returns
+// (nil, nil) when the variable is unset — corpus use is strictly opt-in.
+func CorpusFromEnv() (*Corpus, error) { return corpus.FromEnv() }
 
 // Evaluate measures all three schemes on a program: profiling on
 // profInputs, scoring on evalInputs (pass the same suite for the paper's
 // methodology).
 func Evaluate(name string, p *Program, profInputs, evalInputs [][]byte, cfg Config) (*Eval, error) {
 	return core.Evaluate(name, p, profInputs, evalInputs, cfg)
+}
+
+// EvaluateContext is Evaluate with cancellation: ctx is honored between VM
+// runs and periodically during trace replay.
+func EvaluateContext(ctx context.Context, name string, p *Program, profInputs, evalInputs [][]byte, cfg Config) (*Eval, error) {
+	return core.EvaluateContext(ctx, name, p, profInputs, evalInputs, cfg)
 }
 
 // Benchmark is a member of the paper's workload suite.
@@ -193,4 +240,9 @@ func BenchmarkByName(name string) (*Benchmark, error) { return workloads.ByName(
 // EvaluateBenchmark measures one suite benchmark with its input suite.
 func EvaluateBenchmark(b *Benchmark, cfg Config) (*Eval, error) {
 	return core.EvaluateBenchmark(b, cfg)
+}
+
+// EvaluateBenchmarkContext is EvaluateBenchmark with cancellation.
+func EvaluateBenchmarkContext(ctx context.Context, b *Benchmark, cfg Config) (*Eval, error) {
+	return core.EvaluateBenchmarkContext(ctx, b, cfg)
 }

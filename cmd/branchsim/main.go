@@ -12,6 +12,10 @@
 //
 // Hardware configuration knobs (-entries, -assoc, -bits, -threshold,
 // -slots) default to the paper's configuration.
+//
+// -corpus DIR (default $BRANCHCOST_CORPUS) evaluates through the disk-backed
+// trace corpus: benchmarks with a matching entry replay from disk instead of
+// re-executing, and missing entries are recorded on first use.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"time"
 
 	"branchcost/internal/core"
+	"branchcost/internal/corpus"
 	"branchcost/internal/experiments"
 	"branchcost/internal/stats"
 	"branchcost/internal/workloads"
@@ -43,6 +48,7 @@ func main() {
 		slots     = flag.Int("slots", 2, "forward slots (k+l) for the measured FS binary")
 		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
 		format    = flag.String("format", "text", "table output format: text|csv|md")
+		corpusDir = flag.String("corpus", os.Getenv(corpus.EnvVar), "trace corpus directory (default $BRANCHCOST_CORPUS; empty disables)")
 	)
 	flag.Parse()
 
@@ -52,6 +58,14 @@ func main() {
 		CBTBEntries: *entries, CBTBAssoc: *assoc,
 		CounterBits: *bits, CounterThreshold: core.Ptr(uint8(*threshold)),
 		EvalSlots: slots,
+	}
+	if *corpusDir != "" {
+		store, err := corpus.Open(*corpusDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "branchsim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Corpus = store
 	}
 	suite := experiments.NewSuite(cfg)
 

@@ -1,57 +1,96 @@
-// Command btrace records and replays branch traces (trace-driven
-// simulation, the methodology of the paper's era).
+// Command btrace records, replays, and inspects branch traces
+// (trace-driven simulation, the methodology of the paper's era), and
+// manages the disk-backed trace corpus.
 //
 // Usage:
 //
-//	btrace -record -bench grep -o grep.bt     # record a benchmark's trace
-//	btrace -record -o prog.bt prog.mc         # record an MC program (empty input)
+//	btrace -record -bench grep -o grep.bt      # record a benchmark (BCT2)
+//	btrace -record -format bct1 -o g.bt ...    # record in the legacy format
+//	btrace -record -o prog.bt prog.mc          # record an MC program (empty input)
 //	btrace grep.bt                             # replay through every context-free scheme
 //	btrace -scheme cbtb -entries 64 grep.bt    # one scheme, custom geometry
+//	btrace -inspect grep.bt                    # format, blocks, sites, events
+//	btrace -corpus DIR -record-suite           # record-or-load all benchmarks into DIR
+//	btrace -corpus DIR -ls                     # list corpus entries
 //
-// Replay draws its schemes from the registry: every registered scheme that
-// needs neither the program (for static targets) nor a transformed binary
-// can score a standalone trace.
+// -corpus defaults to $BRANCHCOST_CORPUS. Replay draws its schemes from the
+// registry: every registered scheme that needs neither the program (for
+// static targets) nor a transformed binary can score a standalone trace.
+// BCT2 traces replay as a block stream (decode overlapped with scoring,
+// memory bounded by a few blocks); BCT1 traces are materialized first.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"branchcost"
+	"branchcost/internal/corpus"
 	"branchcost/internal/predict"
 	"branchcost/internal/tracefile"
 	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
 
 	_ "branchcost/internal/btb" // register sbtb/cbtb
 )
 
 func main() {
 	var (
-		record  = flag.Bool("record", false, "record a trace instead of replaying")
-		bench   = flag.String("bench", "", "benchmark to record")
-		out     = flag.String("o", "trace.bt", "output path when recording")
-		scheme  = flag.String("scheme", "", "replay one registered scheme (default: all context-free schemes)")
-		entries = flag.Int("entries", 256, "BTB entries")
-		assoc   = flag.Int("assoc", 256, "BTB associativity")
-		bits    = flag.Int("bits", 2, "CBTB counter bits")
-		thresh  = flag.Int("threshold", 2, "CBTB threshold")
+		record      = flag.Bool("record", false, "record a trace instead of replaying")
+		bench       = flag.String("bench", "", "benchmark to record")
+		out         = flag.String("o", "trace.bt", "output path when recording")
+		format      = flag.String("format", "bct2", "recording format: bct1|bct2")
+		inspect     = flag.Bool("inspect", false, "describe a trace file instead of replaying")
+		corpusDir   = flag.String("corpus", os.Getenv(corpus.EnvVar), "corpus directory (default $BRANCHCOST_CORPUS)")
+		recordSuite = flag.Bool("record-suite", false, "record-or-load every benchmark into -corpus")
+		list        = flag.Bool("ls", false, "list corpus entries")
+		scheme      = flag.String("scheme", "", "replay one registered scheme (default: all context-free schemes)")
+		entries     = flag.Int("entries", 256, "BTB entries")
+		assoc       = flag.Int("assoc", 256, "BTB associativity")
+		bits        = flag.Int("bits", 2, "CBTB counter bits")
+		thresh      = flag.Int("threshold", 2, "CBTB threshold")
 	)
 	flag.Parse()
 
-	if *record {
-		doRecord(*bench, *out, flag.Args())
-		return
+	switch {
+	case *recordSuite:
+		doRecordSuite(*corpusDir)
+	case *list:
+		doList(*corpusDir)
+	case *record:
+		doRecord(*bench, *out, *format, flag.Args())
+	case *inspect:
+		if flag.NArg() != 1 {
+			fail(fmt.Errorf("-inspect needs one trace file"))
+		}
+		doInspect(flag.Arg(0))
+	default:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "btrace: need a trace file to replay (or -record/-inspect/-record-suite/-ls)")
+			os.Exit(2)
+		}
+		doReplay(flag.Arg(0), *scheme, *entries, *assoc, *bits, uint8(*thresh))
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "btrace: need a trace file to replay (or -record)")
-		os.Exit(2)
-	}
-	doReplay(flag.Arg(0), *scheme, *entries, *assoc, *bits, uint8(*thresh))
 }
 
-func doRecord(bench, out string, srcPaths []string) {
+func traceFormat(f string) tracefile.Format {
+	switch f {
+	case "bct1":
+		return tracefile.FormatBCT1
+	case "bct2":
+		return tracefile.FormatBCT2
+	}
+	fail(fmt.Errorf("unknown format %q (bct1|bct2)", f))
+	panic("unreachable")
+}
+
+func doRecord(bench, out, format string, srcPaths []string) {
+	f := traceFormat(format)
 	var prog *branchcost.Program
 	var inputs [][]byte
 	switch {
@@ -83,29 +122,117 @@ func doRecord(bench, out string, srcPaths []string) {
 		fail(fmt.Errorf("need -bench or source files"))
 	}
 
-	f, err := os.Create(out)
+	t, err := branchcost.RecordTrace(prog, inputs)
+	if err != nil {
+		fail(err)
+	}
+	of, err := os.Create(out)
+	if err != nil {
+		fail(err)
+	}
+	defer of.Close()
+	bw := bufio.NewWriterSize(of, 1<<20)
+	n, err := t.WriteFormat(bw, f)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("recorded %d branch events (%d instructions, %d runs) to %s (%s, %d bytes)\n",
+		t.Len(), t.Steps, t.Runs, out, f, n)
+}
+
+func openCorpus(dir string) *corpus.Store {
+	if dir == "" {
+		fail(fmt.Errorf("no corpus directory (-corpus or $%s)", corpus.EnvVar))
+	}
+	s, err := corpus.Open(dir)
+	if err != nil {
+		fail(err)
+	}
+	return s
+}
+
+// doRecordSuite warms the corpus: every benchmark whose entry is missing is
+// recorded by one instrumented VM pass; present entries are left untouched.
+func doRecordSuite(dir string) {
+	store := openCorpus(dir)
+	for _, b := range workloads.All() {
+		prog, err := b.Program()
+		if err != nil {
+			fail(err)
+		}
+		inputs := b.Inputs()
+		k := corpus.KeyFor(b.Name, prog, inputs)
+		if store.Has(k) {
+			fmt.Printf("%-10s warm (%s)\n", b.Name, k.Hash)
+			continue
+		}
+		t, prof, err := corpus.Record(prog, inputs)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", b.Name, err))
+		}
+		if err := store.Put(k, t, prof); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-10s recorded %d events, %d sites (%s)\n", b.Name, t.Len(), t.Sites(), k.Hash)
+	}
+}
+
+func doList(dir string) {
+	store := openCorpus(dir)
+	keys, err := store.Keys()
+	if err != nil {
+		fail(err)
+	}
+	for _, k := range keys {
+		st, err := os.Stat(store.TracePath(k))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-10s %s  %d bytes\n", k.Name, k.Hash, st.Size())
+	}
+	fmt.Printf("%d entries in %s\n", len(keys), store.Dir())
+}
+
+func doInspect(path string) {
+	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
 	}
 	defer f.Close()
-	tw, err := tracefile.NewWriter(f)
+	br := bufio.NewReaderSize(f, 1<<20)
+	m, err := br.Peek(4)
 	if err != nil {
 		fail(err)
 	}
-	hook := tw.Hook()
-	var steps int64
-	for i, in := range inputs {
-		res, err := branchcost.Run(prog, in, hook, branchcost.RunConfig{})
+	switch string(m) {
+	case "BCT2":
+		d, err := tracefile.NewBCT2Reader(br)
 		if err != nil {
-			fail(fmt.Errorf("run %d: %w", i, err))
+			fail(err)
 		}
-		steps += res.Steps
+		for {
+			if _, err := d.NextBlock(nil); err != nil {
+				if !errors.Is(err, io.EOF) {
+					fail(err)
+				}
+				break
+			}
+		}
+		fmt.Printf("%s: BCT2, %d events, %d sites, %d blocks, %d bytes, %d instructions, %d runs\n",
+			path, d.Events(), d.Sites(), d.Blocks(), d.Offset(), d.Steps(), d.Runs())
+	case "BCT1":
+		tr, err := tracefile.NewReader(br)
+		if err != nil {
+			fail(err)
+		}
+		st, _ := f.Stat()
+		fmt.Printf("%s: BCT1, %d events, %d bytes\n", path, tr.Remaining(), st.Size())
+	default:
+		fail(tracefile.ErrBadMagic)
 	}
-	if err := tw.Close(); err != nil {
-		fail(err)
-	}
-	fmt.Printf("recorded %d branch events (%d instructions, %d runs) to %s\n",
-		tw.Count(), steps, len(inputs), out)
 }
 
 // replayable returns the registered schemes a standalone trace can score:
@@ -146,17 +273,33 @@ func doReplay(path, scheme string, entries, assoc, bits int, thresh uint8) {
 		fail(err)
 	}
 	defer f.Close()
-	tr, err := tracefile.ReadTrace(bufio.NewReaderSize(f, 1<<20))
-	if err != nil {
-		fail(err)
-	}
+	br := bufio.NewReaderSize(f, 1<<20)
 	evals := make([]*predict.Evaluator, len(names))
 	hooks := make([]vm.BranchFunc, len(names))
 	for i, n := range names {
 		evals[i] = &predict.Evaluator{P: predict.MustLookup(n).New(predict.SchemeContext{Params: params})}
 		hooks[i] = evals[i].Hook()
 	}
-	tr.ScoreParallel(hooks...)
+	m, err := br.Peek(4)
+	if err != nil {
+		fail(err)
+	}
+	if string(m) == "BCT2" {
+		// Stream: blocks decode once and fan out, nothing is materialized.
+		d, err := tracefile.NewBCT2Reader(br)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracefile.ScoreStream(context.Background(), d, hooks...); err != nil {
+			fail(err)
+		}
+	} else {
+		tr, err := tracefile.ReadTrace(br)
+		if err != nil {
+			fail(err)
+		}
+		tr.ScoreParallel(hooks...)
+	}
 	for i, n := range names {
 		e := evals[i]
 		fmt.Printf("%-16s accuracy %7.3f%%  miss ratio %.4f  (%d branches)\n",

@@ -5,14 +5,20 @@
 // replaying that trace in parallel. Schemes come from the predict.Scheme
 // registry; transformed schemes (the Forward Semantic) additionally get one
 // VM pass over the transformed binary, whose stream depends on the slot
-// depth. The root branchcost package re-exports this API.
+// depth. With Config.Corpus set, the recording pass itself is served from
+// the disk-backed trace corpus (internal/corpus) whenever an entry for the
+// exact (program, input-suite) pair exists, so warm evaluations execute no
+// VM at all for replayed schemes. The root branchcost package re-exports
+// this API.
 package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	_ "branchcost/internal/btb" // registers the sbtb/cbtb schemes
+	"branchcost/internal/corpus"
 	"branchcost/internal/fs"
 	"branchcost/internal/isa"
 	"branchcost/internal/pipeline"
@@ -61,6 +67,14 @@ type Config struct {
 	// Schemes lists the registered predict.Scheme names to score, in report
 	// order; nil means DefaultSchemes (the paper's three).
 	Schemes []string
+
+	// Corpus, when non-nil, is the disk-backed trace store Evaluate consults
+	// before executing any VM pass: a hit supplies the recorded trace and
+	// profile from disk, a miss records live and stores the result for every
+	// later run. Only consulted when the profiling and evaluation suites are
+	// identical (the paper's methodology), since an entry captures exactly
+	// that shared pass.
+	Corpus *corpus.Store
 }
 
 // Ptr returns a pointer to v, for the Config fields with pointer-or-nil
@@ -147,6 +161,10 @@ type Eval struct {
 	// AnalyticFS is A_FS computed from the profile alone; it must equal
 	// FS().Stats.Accuracy() when evaluation inputs equal profiling inputs.
 	AnalyticFS float64
+
+	// FromCorpus reports that the profile and trace were loaded from
+	// Config.Corpus instead of being recorded by VM execution.
+	FromCorpus bool
 }
 
 // Scheme returns the named scheme's result (zero value when not scored).
@@ -174,12 +192,18 @@ func cloneSim(cs *pipeline.CycleSim) *pipeline.CycleSim {
 // replay for every non-transformed scheme, and — for the Forward Semantic —
 // the transform plus one measurement pass over the transformed binary.
 func EvaluateBenchmark(b *workloads.Benchmark, cfg Config) (*Eval, error) {
+	return EvaluateBenchmarkContext(context.Background(), b, cfg)
+}
+
+// EvaluateBenchmarkContext is EvaluateBenchmark with cancellation: ctx is
+// checked between VM runs and during trace replay.
+func EvaluateBenchmarkContext(ctx context.Context, b *workloads.Benchmark, cfg Config) (*Eval, error) {
 	prog, err := b.Program()
 	if err != nil {
 		return nil, err
 	}
 	inputs := b.Inputs()
-	return Evaluate(b.Name, prog, inputs, inputs, cfg)
+	return EvaluateContext(ctx, b.Name, prog, inputs, inputs, cfg)
 }
 
 // sameInputs reports whether the two suites are content-identical, in which
@@ -202,6 +226,15 @@ func sameInputs(a, b [][]byte) bool {
 // benchmarks with the same inputs were used") and collapses profiling and
 // trace recording into one pass.
 func Evaluate(name string, prog *isa.Program, profInputs, evalInputs [][]byte, cfg Config) (*Eval, error) {
+	return EvaluateContext(context.Background(), name, prog, profInputs, evalInputs, cfg)
+}
+
+// EvaluateContext is Evaluate with cancellation (checked between VM runs
+// and periodically inside trace replay) and, when Config.Corpus is set,
+// disk-backed trace reuse: a warm corpus supplies the profile and recorded
+// trace without executing the VM, leaving the Forward Semantic's measurement
+// pass over the transformed binary as the only live execution.
+func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profInputs, evalInputs [][]byte, cfg Config) (*Eval, error) {
 	cfg = cfg.withDefaults()
 	names := cfg.Schemes
 	if len(names) == 0 {
@@ -227,43 +260,66 @@ func Evaluate(name string, prog *isa.Program, profInputs, evalInputs [][]byte, c
 		Order: names, Schemes: make(map[string]SchemeResult, len(names))}
 
 	// Pass 1: profile the original binary. When the evaluation suite equals
-	// the profiling suite, the same pass records the replay trace.
-	tr := &tracefile.Trace{}
-	col := &profile.Collector{P: e.Profile}
-	phook := col.Hook()
-	rec := tr.Hook()
+	// the profiling suite, the same pass records the replay trace — and the
+	// whole pass is what a corpus entry captures, so a warm corpus replaces
+	// it with a disk load.
 	same := sameInputs(profInputs, evalInputs)
-	hook := phook
-	if same {
-		hook = func(ev vm.BranchEvent) {
-			phook(ev)
-			rec(ev)
+	var key corpus.Key
+	if same && cfg.Corpus != nil {
+		key = corpus.KeyFor(name, prog, profInputs)
+		// A damaged entry loads like a miss: re-record and overwrite it.
+		if t, p, err := cfg.Corpus.Load(key); err == nil {
+			e.Trace, e.Profile, e.FromCorpus = t, p, true
 		}
 	}
-	for i, in := range profInputs {
-		res, err := vm.Run(prog, in, hook, vm.Config{})
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: profiling run %d: %w", name, i, err)
+	if e.Trace == nil {
+		tr := &tracefile.Trace{}
+		col := &profile.Collector{P: e.Profile}
+		phook := col.Hook()
+		rec := tr.Hook()
+		hook := phook
+		if same {
+			hook = func(ev vm.BranchEvent) {
+				phook(ev)
+				rec(ev)
+			}
 		}
-		e.Profile.Steps += res.Steps
-		e.Profile.Runs++
+		for i, in := range profInputs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := vm.Run(prog, in, hook, vm.Config{})
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: profiling run %d: %w", name, i, err)
+			}
+			e.Profile.Steps += res.Steps
+			e.Profile.Runs++
+		}
+		if same {
+			tr.Steps, tr.Runs = e.Profile.Steps, e.Profile.Runs
+			if cfg.Corpus != nil {
+				if err := cfg.Corpus.Put(key, tr, e.Profile); err != nil {
+					return nil, fmt.Errorf("core: %s: %w", name, err)
+				}
+			}
+		} else {
+			// Distinct evaluation suite: one recording pass over it.
+			for i, in := range evalInputs {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				res, err := vm.Run(prog, in, rec, vm.Config{})
+				if err != nil {
+					return nil, fmt.Errorf("core: %s: recording run %d: %w", name, i, err)
+				}
+				tr.Steps += res.Steps
+				tr.Runs++
+			}
+		}
+		e.Trace = tr
 	}
 	e.Summary = e.Profile.Summarize()
 	e.AnalyticFS = e.Profile.StaticAccuracy()
-	if same {
-		tr.Steps, tr.Runs = e.Profile.Steps, e.Profile.Runs
-	} else {
-		// Distinct evaluation suite: one recording pass over it.
-		for i, in := range evalInputs {
-			res, err := vm.Run(prog, in, rec, vm.Config{})
-			if err != nil {
-				return nil, fmt.Errorf("core: %s: recording run %d: %w", name, i, err)
-			}
-			tr.Steps += res.Steps
-			tr.Runs++
-		}
-	}
-	e.Trace = tr
 
 	// The transform is shared by every transformed scheme.
 	var fsRes *fs.Result
@@ -313,7 +369,9 @@ func Evaluate(name string, prog *isa.Program, profInputs, evalInputs [][]byte, c
 			replayHooks = append(replayHooks, j.ev.Hook())
 		}
 	}
-	tr.ScoreParallel(replayHooks...)
+	if err := e.Trace.ScoreParallelContext(ctx, replayHooks...); err != nil {
+		return nil, err
+	}
 	if len(transformed) > 0 {
 		fsHook := func(ev vm.BranchEvent) {
 			if fsRes.SyntheticID(ev.ID) {
@@ -324,6 +382,9 @@ func Evaluate(name string, prog *isa.Program, profInputs, evalInputs [][]byte, c
 			}
 		}
 		for i, in := range evalInputs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if _, err := vm.Run(fsRes.Prog, in, fsHook, vm.Config{}); err != nil {
 				return nil, fmt.Errorf("core: %s: FS evaluation run %d: %w", name, i, err)
 			}

@@ -1,0 +1,298 @@
+// Package corpus is the disk-backed trace store: record a benchmark's
+// branch stream once, serve it to every later evaluation from disk. This is
+// the paper-era tape archive made persistent — the VM only executes when the
+// corpus has no entry for exactly the (program, input-suite) pair being
+// measured, so a warm corpus turns a full-suite evaluation into pure replay.
+//
+// An entry is keyed by a content hash over the compiled program image and
+// the complete input suite (plus the store's format version), so any change
+// to a benchmark's sources, the compiler, the optimizer, or its inputs
+// silently invalidates stale entries: the key simply no longer matches and
+// the pair is re-recorded. Each entry holds two files,
+//
+//	<name>-<hash>.bct2  — the branch trace in the BCT2 encoding
+//	<name>-<hash>.prof  — the merged profile (profile.Save JSON)
+//
+// written atomically (temp file + rename), so concurrent evaluations racing
+// on a cold corpus at worst both record and one rename wins.
+package corpus
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"branchcost/internal/isa"
+	"branchcost/internal/profile"
+	"branchcost/internal/tracefile"
+)
+
+// EnvVar names the environment variable holding the default corpus
+// directory.
+const EnvVar = "BRANCHCOST_CORPUS"
+
+// formatVersion is folded into every key; bump it when the entry layout or
+// the trace encoding changes incompatibly, and old entries become misses.
+const formatVersion = 2 // 2 = BCT2 traces
+
+const (
+	traceExt = ".bct2"
+	profExt  = ".prof"
+)
+
+// Store is a corpus rooted at one directory. The zero value is unusable;
+// construct with Open.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("corpus: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// FromEnv opens the store named by $BRANCHCOST_CORPUS. It returns (nil,
+// nil) when the variable is unset or empty — corpus use is strictly opt-in.
+func FromEnv() (*Store, error) {
+	dir := os.Getenv(EnvVar)
+	if dir == "" {
+		return nil, nil
+	}
+	return Open(dir)
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Key identifies one corpus entry: a human-readable name plus the content
+// hash binding it to an exact (program, input suite, format) triple.
+type Key struct {
+	Name string
+	Hash string
+}
+
+// KeyFor computes the entry key for evaluating prog over the input suite.
+func KeyFor(name string, p *isa.Program, inputs [][]byte) Key {
+	h := sha256.New()
+	word := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	word(formatVersion)
+	word(uint64(len(name)))
+	io.WriteString(h, name)
+	fingerprintProgram(h, word, p)
+	word(uint64(len(inputs)))
+	for _, in := range inputs {
+		word(uint64(len(in)))
+		h.Write(in)
+	}
+	return Key{Name: name, Hash: hex.EncodeToString(h.Sum(nil))[:16]}
+}
+
+// fingerprintProgram hashes every field of the image that affects the branch
+// stream (which is all of them: any instruction change can shift control
+// flow).
+func fingerprintProgram(h io.Writer, word func(uint64), p *isa.Program) {
+	word(uint64(p.Entry))
+	word(uint64(p.Words))
+	word(uint64(len(p.Code)))
+	for i := range p.Code {
+		in := &p.Code[i]
+		var fixed [24]byte
+		fixed[0] = byte(in.Op)
+		fixed[1], fixed[2], fixed[3] = in.Rd, in.Rs, in.Rt
+		binary.LittleEndian.PutUint64(fixed[4:], uint64(in.Imm))
+		binary.LittleEndian.PutUint32(fixed[12:], uint32(in.Target))
+		binary.LittleEndian.PutUint32(fixed[16:], uint32(in.Fall))
+		binary.LittleEndian.PutUint32(fixed[20:], uint32(in.ID))
+		h.Write(fixed[:])
+		flags := byte(0)
+		if in.Likely {
+			flags |= 1
+		}
+		if in.IsSlot {
+			flags |= 2
+		}
+		h.Write([]byte{flags, in.Slots})
+		word(uint64(len(in.Table)))
+		for _, t := range in.Table {
+			word(uint64(uint32(t)))
+		}
+	}
+	word(uint64(len(p.Data)))
+	for _, d := range p.Data {
+		word(uint64(d))
+	}
+	word(uint64(len(p.Loc)))
+	for _, l := range p.Loc {
+		word(uint64(uint32(l)))
+	}
+}
+
+// sanitize keeps entry filenames portable whatever the benchmark name.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+func (s *Store) base(k Key) string {
+	return filepath.Join(s.dir, sanitize(k.Name)+"-"+k.Hash)
+}
+
+// TracePath returns the entry's trace file path.
+func (s *Store) TracePath(k Key) string { return s.base(k) + traceExt }
+
+// ProfilePath returns the entry's profile file path.
+func (s *Store) ProfilePath(k Key) string { return s.base(k) + profExt }
+
+// Has reports whether both files of the entry exist.
+func (s *Store) Has(k Key) bool {
+	for _, p := range []string{s.TracePath(k), s.ProfilePath(k)} {
+		if _, err := os.Stat(p); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Load materializes the entry's trace and profile. A missing entry returns
+// an error satisfying errors.Is(err, fs.ErrNotExist); a present but
+// undecodable one returns the located decode error — callers treat both as
+// "re-record".
+func (s *Store) Load(k Key) (*tracefile.Trace, *profile.Profile, error) {
+	tf, err := os.Open(s.TracePath(k))
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: %s: %w", k.Name, err)
+	}
+	defer tf.Close()
+	t, err := tracefile.ReadTrace(bufio.NewReaderSize(tf, 1<<20))
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: %s: trace: %w", k.Name, err)
+	}
+	pf, err := os.Open(s.ProfilePath(k))
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: %s: %w", k.Name, err)
+	}
+	defer pf.Close()
+	prof, err := profile.Load(pf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: %s: profile: %w", k.Name, err)
+	}
+	return t, prof, nil
+}
+
+// OpenTrace opens the entry's trace as a block stream, for replay without
+// materializing it. The caller must Close the returned closer.
+func (s *Store) OpenTrace(k Key) (*tracefile.BCT2Reader, io.Closer, error) {
+	f, err := os.Open(s.TracePath(k))
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: %s: %w", k.Name, err)
+	}
+	d, err := tracefile.NewBCT2Reader(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("corpus: %s: %w", k.Name, err)
+	}
+	return d, f, nil
+}
+
+// Put stores the entry atomically: each file is written to a temp name in
+// the store directory and renamed into place.
+func (s *Store) Put(k Key, t *tracefile.Trace, prof *profile.Profile) error {
+	if err := s.writeAtomic(s.TracePath(k), func(w io.Writer) error {
+		_, err := t.WriteTo(w)
+		return err
+	}); err != nil {
+		return fmt.Errorf("corpus: %s: trace: %w", k.Name, err)
+	}
+	if err := s.writeAtomic(s.ProfilePath(k), prof.Save); err != nil {
+		return fmt.Errorf("corpus: %s: profile: %w", k.Name, err)
+	}
+	return nil
+}
+
+func (s *Store) writeAtomic(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err := write(bw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Keys scans the store and returns every complete entry.
+func (s *Store) Keys() ([]Key, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	var keys []Key
+	for _, e := range ents {
+		name, ok := strings.CutSuffix(e.Name(), traceExt)
+		if !ok || e.IsDir() {
+			continue
+		}
+		i := strings.LastIndexByte(name, '-')
+		if i <= 0 {
+			continue
+		}
+		k := Key{Name: name[:i], Hash: name[i+1:]}
+		if s.Has(k) {
+			keys = append(keys, k)
+		}
+	}
+	return keys, nil
+}
+
+// Record runs one instrumented VM pass over the input suite, producing both
+// the replay trace and the merged profile — the exact payload of a corpus
+// entry, and the same single-pass methodology core.Evaluate uses when
+// profiling and evaluation suites coincide.
+func Record(p *isa.Program, inputs [][]byte) (*tracefile.Trace, *profile.Profile, error) {
+	prof := profile.New()
+	col := &profile.Collector{P: prof}
+	phook := col.Hook()
+	t, err := tracefile.Record(p, inputs, phook)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof.Steps, prof.Runs = t.Steps, t.Runs
+	return t, prof, nil
+}
+
+// IsMiss reports whether a Load failure means "no entry" rather than a
+// damaged one.
+func IsMiss(err error) bool { return errors.Is(err, fs.ErrNotExist) }

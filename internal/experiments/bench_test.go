@@ -1,10 +1,12 @@
 package experiments_test
 
 import (
+	"context"
 	"testing"
 
 	"branchcost/internal/btb"
 	"branchcost/internal/core"
+	"branchcost/internal/corpus"
 	"branchcost/internal/experiments"
 	"branchcost/internal/isa"
 	"branchcost/internal/predict"
@@ -73,6 +75,49 @@ func BenchmarkContextSwitchReexec(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		}
+	}
+}
+
+// BenchmarkSuiteCorpusReplay measures a suite evaluation against a warm
+// corpus (populated before the timer): every iteration builds a fresh Suite
+// — no in-memory cache — and still performs VM execution only for the FS
+// live passes; the hardware schemes replay BCT2 traces from disk. Compare
+// with BenchmarkSuiteLiveReexec for the `make corpus-bench` pair.
+func BenchmarkSuiteCorpusReplay(b *testing.B) {
+	store, err := corpus.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Corpus: store}
+	if _, err := experiments.NewSuite(cfg).EvalNames(context.Background(), benchNames); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before := vm.RunCount.Load()
+		s := experiments.NewSuite(cfg)
+		evals, err := s.EvalNames(context.Background(), benchNames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, e := range evals {
+			if !e.FromCorpus {
+				b.Fatalf("%s: corpus miss on warm corpus", benchNames[j])
+			}
+		}
+		b.ReportMetric(float64(vm.RunCount.Load()-before)/float64(len(benchNames)), "vmruns/bench")
+	}
+}
+
+// BenchmarkSuiteLiveReexec measures the same suite evaluation with no
+// corpus: every iteration records the traces by live VM execution, the
+// pre-corpus cost of a cold process start.
+func BenchmarkSuiteLiveReexec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(core.Config{})
+		if _, err := s.EvalNames(context.Background(), benchNames); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

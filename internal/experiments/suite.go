@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+	"runtime"
 	"sync"
 
 	"branchcost/internal/core"
@@ -16,54 +18,98 @@ import (
 )
 
 // Suite caches per-benchmark evaluations so that the tables sharing data
-// (3 and 4, the figures, the headline) measure once.
+// (3 and 4, the figures, the headline) measure once. Concurrent requests
+// for the same benchmark coalesce onto one evaluation (singleflight), and
+// suite-wide fan-out runs through a worker pool bounded by Workers — the
+// suite-level scheduler: with Cfg.Corpus warm, a full Tables/Headline pass
+// schedules only replays and the FS live passes.
 type Suite struct {
 	Cfg core.Config
 
+	// Workers bounds how many benchmarks evaluate concurrently in EvalNames
+	// and Warm; 0 means GOMAXPROCS.
+	Workers int
+
 	mu    sync.Mutex
-	evals map[string]*core.Eval
+	evals map[string]*suiteEntry
+}
+
+// suiteEntry is one benchmark's in-flight or completed evaluation.
+type suiteEntry struct {
+	done chan struct{}
+	e    *core.Eval
+	err  error
 }
 
 // NewSuite returns a suite with the given configuration (zero = paper).
 func NewSuite(cfg core.Config) *Suite {
-	return &Suite{Cfg: cfg, evals: map[string]*core.Eval{}}
+	return &Suite{Cfg: cfg, evals: map[string]*suiteEntry{}}
 }
 
 // Eval returns the (cached) evaluation of the named benchmark.
 func (s *Suite) Eval(name string) (*core.Eval, error) {
-	s.mu.Lock()
-	e, ok := s.evals[name]
-	s.mu.Unlock()
-	if ok {
-		return e, nil
-	}
-	b, err := workloads.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	e, err = core.EvaluateBenchmark(b, s.Cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.evals[name] = e
-	s.mu.Unlock()
-	return e, nil
+	return s.EvalContext(context.Background(), name)
 }
 
-// EvalPrimary evaluates the ten primary benchmarks (in parallel) and
-// returns them in the paper's table order.
-func (s *Suite) EvalPrimary() ([]*core.Eval, error) {
-	prim := workloads.Primary()
-	out := make([]*core.Eval, len(prim))
-	errs := make([]error, len(prim))
+// EvalContext is Eval with cancellation. The first caller for a name runs
+// the evaluation; concurrent callers wait on its result (or their own
+// context). A failed evaluation is not cached, so a later call retries.
+func (s *Suite) EvalContext(ctx context.Context, name string) (*core.Eval, error) {
+	s.mu.Lock()
+	ent, ok := s.evals[name]
+	if !ok {
+		ent = &suiteEntry{done: make(chan struct{})}
+		s.evals[name] = ent
+		s.mu.Unlock()
+		b, err := workloads.ByName(name)
+		if err == nil {
+			ent.e, ent.err = core.EvaluateBenchmarkContext(ctx, b, s.Cfg)
+		} else {
+			ent.err = err
+		}
+		if ent.err != nil {
+			s.mu.Lock()
+			delete(s.evals, name)
+			s.mu.Unlock()
+		}
+		close(ent.done)
+		return ent.e, ent.err
+	}
+	s.mu.Unlock()
+	select {
+	case <-ent.done:
+		return ent.e, ent.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// EvalNames evaluates the named benchmarks through the bounded worker pool
+// and returns them in argument order.
+func (s *Suite) EvalNames(ctx context.Context, names []string) ([]*core.Eval, error) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	out := make([]*core.Eval, len(names))
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	for i, b := range prim {
+	for i, name := range names {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			out[i], errs[i] = s.Eval(name)
-		}(i, b.Name)
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			out[i], errs[i] = s.EvalContext(ctx, name)
+		}(i, name)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -72,6 +118,34 @@ func (s *Suite) EvalPrimary() ([]*core.Eval, error) {
 		}
 	}
 	return out, nil
+}
+
+// Warm records-or-loads every benchmark of the suite (all twelve, the
+// Table-5-only ones included) through the worker pool. With Cfg.Corpus set,
+// a cold corpus is fully populated by one Warm call and every later suite
+// evaluation — this process or the next — replays from disk.
+func (s *Suite) Warm(ctx context.Context) error {
+	var names []string
+	for _, b := range workloads.All() {
+		names = append(names, b.Name)
+	}
+	_, err := s.EvalNames(ctx, names)
+	return err
+}
+
+// EvalPrimary evaluates the ten primary benchmarks (in parallel, bounded by
+// Workers) and returns them in the paper's table order.
+func (s *Suite) EvalPrimary() ([]*core.Eval, error) {
+	return s.EvalPrimaryContext(context.Background())
+}
+
+// EvalPrimaryContext is EvalPrimary with cancellation.
+func (s *Suite) EvalPrimaryContext(ctx context.Context) ([]*core.Eval, error) {
+	var names []string
+	for _, b := range workloads.Primary() {
+		names = append(names, b.Name)
+	}
+	return s.EvalNames(ctx, names)
 }
 
 // AverageAccuracies returns the suite-average A_SBTB, A_CBTB and A_FS used

@@ -1,0 +1,111 @@
+package experiments_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"branchcost/internal/core"
+	"branchcost/internal/corpus"
+	"branchcost/internal/experiments"
+	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
+)
+
+// TestSuiteSingleflight: concurrent requests for one benchmark must coalesce
+// onto a single evaluation (also the -race exercise for the entry map).
+func TestSuiteSingleflight(t *testing.T) {
+	s := experiments.NewSuite(core.Config{})
+	before := vm.RunCount.Load()
+	var wg sync.WaitGroup
+	evals := make([]*core.Eval, 8)
+	for i := range evals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := s.Eval("cmp")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			evals[i] = e
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range evals[1:] {
+		if e != evals[0] {
+			t.Fatal("concurrent Eval calls returned distinct evaluations")
+		}
+	}
+	b, err := workloads.ByName("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One profiling+recording pass plus one FS pass, once — not per caller.
+	if runs, want := vm.RunCount.Load()-before, 2*int64(len(b.Inputs())); runs != want {
+		t.Fatalf("8 concurrent Evals cost %d VM runs, want %d", runs, want)
+	}
+}
+
+// TestSuiteEvalNames: the pool must honor the workers bound, return results
+// in argument order, and report lookup failures.
+func TestSuiteEvalNames(t *testing.T) {
+	s := experiments.NewSuite(core.Config{})
+	s.Workers = 2
+	names := []string{"wc", "cmp"}
+	evals, err := s.EvalNames(context.Background(), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range evals {
+		if e.Name != names[i] {
+			t.Fatalf("result %d is %q, want %q (argument order)", i, e.Name, names[i])
+		}
+	}
+	if _, err := s.EvalNames(context.Background(), []string{"wc", "no-such-bench"}); err == nil {
+		t.Fatal("unknown benchmark did not fail the pool")
+	}
+}
+
+func TestSuiteEvalContextCancelled(t *testing.T) {
+	s := experiments.NewSuite(core.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.EvalContext(ctx, "wc"); err != context.Canceled {
+		t.Fatalf("cancelled EvalContext returned %v, want context.Canceled", err)
+	}
+	if _, err := s.EvalNames(ctx, []string{"wc", "cmp"}); err != context.Canceled {
+		t.Fatalf("cancelled EvalNames returned %v, want context.Canceled", err)
+	}
+}
+
+// TestSuiteWarmCorpusSchedulesNoVM: after one suite warms the corpus, a
+// fresh suite (fresh process, in effect) must evaluate benchmarks for the
+// hardware schemes with zero VM execution — the FS live pass is the only
+// execution a warm-corpus evaluation schedules, and dropping "fs" from the
+// scheme set drops it too.
+func TestSuiteWarmCorpusSchedulesNoVM(t *testing.T) {
+	store, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Corpus: store, Schemes: []string{"sbtb", "cbtb"}}
+	names := []string{"wc", "cmp"}
+	if _, err := experiments.NewSuite(cfg).EvalNames(context.Background(), names); err != nil {
+		t.Fatal(err)
+	}
+
+	before := vm.RunCount.Load()
+	evals, err := experiments.NewSuite(cfg).EvalNames(context.Background(), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range evals {
+		if !e.FromCorpus {
+			t.Fatalf("%s: corpus miss on warm corpus", names[i])
+		}
+	}
+	if runs := vm.RunCount.Load() - before; runs != 0 {
+		t.Fatalf("warm-corpus suite evaluation executed the VM %d times, want 0", runs)
+	}
+}

@@ -1,6 +1,9 @@
 package tracefile
 
 import (
+	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -116,11 +119,52 @@ func (t *Trace) Replay(hook vm.BranchFunc) {
 	}
 }
 
+// ctxCheckEvery is how many replayed events pass between cancellation
+// checks; coarse enough to keep the replay loop tight, fine enough that
+// cancellation lands within microseconds.
+const ctxCheckEvery = 1 << 16
+
+// replayCtx is Replay with periodic cancellation checks.
+func (t *Trace) replayCtx(ctx context.Context, hook vm.BranchFunc) error {
+	sites, stream := t.sites, t.stream
+	next := ctxCheckEvery
+	for i := 0; i < len(stream); i++ {
+		if i >= next {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			next += ctxCheckEvery
+		}
+		w := stream[i]
+		s := &sites[w>>1]
+		taken := w&1 != 0
+		target := s.fallTarget
+		if taken {
+			target = s.takenTarget
+		}
+		if s.op == isa.JMPI {
+			i++
+			target = int32(stream[i])
+		}
+		hook(vm.BranchEvent{PC: s.pc, ID: s.id, Op: s.op,
+			Taken: taken, Target: target, Likely: s.likely})
+	}
+	return nil
+}
+
 // ScoreParallel replays the trace once per hook, fanning the replays out
 // over a worker pool bounded by GOMAXPROCS. The trace is read-only during
 // replay, so hooks only need their own state to be private (each predictor
 // evaluator is).
 func (t *Trace) ScoreParallel(hooks ...vm.BranchFunc) {
+	// Background contexts never cancel, so the error is structurally nil.
+	_ = t.ScoreParallelContext(context.Background(), hooks...)
+}
+
+// ScoreParallelContext is ScoreParallel with cancellation: when ctx is
+// cancelled mid-replay the workers stop within ctxCheckEvery events and the
+// context's error is returned; the hooks' partial state is then meaningless.
+func (t *Trace) ScoreParallelContext(ctx context.Context, hooks ...vm.BranchFunc) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(hooks) {
 		workers = len(hooks)
@@ -129,29 +173,49 @@ func (t *Trace) ScoreParallel(hooks ...vm.BranchFunc) {
 		// Single worker: decode the stream once and fan each event out to
 		// every hook, instead of paying the decode once per hook. Each hook
 		// still sees the identical full event sequence.
-		t.Replay(func(ev vm.BranchEvent) {
+		return t.replayCtx(ctx, func(ev vm.BranchEvent) {
 			for _, h := range hooks {
 				h(ev)
 			}
 		})
-		return
 	}
 	ch := make(chan vm.BranchFunc)
+	errs := make(chan error, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for h := range ch {
-				t.Replay(h)
+				if err := t.replayCtx(ctx, h); err != nil {
+					errs <- err
+					return
+				}
 			}
 		}()
 	}
+	// Workers only abandon the channel when ctx is cancelled, so guarding
+	// the dispatch on ctx.Done() cannot deadlock against dead workers.
+	var cancelled bool
+dispatch:
 	for _, h := range hooks {
-		ch <- h
+		select {
+		case ch <- h:
+		case <-ctx.Done():
+			cancelled = true
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Record executes the program over the input suite and returns its recorded
@@ -180,25 +244,128 @@ func Record(p *isa.Program, inputs [][]byte, extra ...vm.BranchFunc) (*Trace, er
 	return t, nil
 }
 
-// Dump serializes the trace in the BCT1 file format.
-func (t *Trace) Dump(w io.WriteSeeker) error {
-	tw, err := NewWriter(w)
-	if err != nil {
-		return err
+// Format identifies a trace-file encoding.
+type Format uint8
+
+const (
+	// FormatBCT1 is the fixed-width legacy encoding: 16 bytes per event.
+	FormatBCT1 Format = 1
+	// FormatBCT2 is the block-structured varint+delta encoding with
+	// per-block checksums; the default for new files and the corpus.
+	FormatBCT2 Format = 2
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatBCT1:
+		return "BCT1"
+	case FormatBCT2:
+		return "BCT2"
 	}
-	t.Replay(tw.Record)
-	return tw.Close()
+	return fmt.Sprintf("Format(%d)", uint8(f))
 }
 
-// ReadTrace loads an entire BCT1 stream into an in-memory trace.
+// countingWriter tracks bytes written, for the io.WriterTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the trace in the BCT2 format. It implements
+// io.WriterTo; unlike the streaming Writer no seeking is needed, since a
+// materialized trace knows its event count upfront.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	return t.WriteFormat(w, FormatBCT2)
+}
+
+// WriteFormat serializes the trace in the requested encoding.
+func (t *Trace) WriteFormat(w io.Writer, f Format) (int64, error) {
+	cw := &countingWriter{w: w}
+	switch f {
+	case FormatBCT1:
+		var hdr [12]byte
+		copy(hdr[:4], magic[:])
+		binary.LittleEndian.PutUint64(hdr[4:], uint64(t.events))
+		if _, err := cw.Write(hdr[:]); err != nil {
+			return cw.n, err
+		}
+		var buf [eventSize]byte
+		var werr error
+		t.Replay(func(ev vm.BranchEvent) {
+			if werr != nil {
+				return
+			}
+			encodeEvent16(&buf, ev)
+			_, werr = cw.Write(buf[:])
+		})
+		return cw.n, werr
+	case FormatBCT2:
+		tw, err := NewBCT2Writer(cw)
+		if err != nil {
+			return cw.n, err
+		}
+		tw.Steps, tw.Runs = t.Steps, t.Runs
+		t.Replay(tw.Record)
+		return cw.n, tw.Close()
+	}
+	return 0, fmt.Errorf("tracefile: unknown format %v", f)
+}
+
+// Dump serializes the trace.
+//
+// Deprecated: Dump predates WriteTo and demanded an io.WriteSeeker the
+// encoding never actually needs; use WriteTo (or WriteFormat to pin an
+// encoding).
+func (t *Trace) Dump(w io.WriteSeeker) error {
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// ReadTrace loads a serialized trace stream — either format, dispatched on
+// the magic — into an in-memory trace.
 func ReadTrace(r io.Reader) (*Trace, error) {
-	tr, err := NewReader(r)
-	if err != nil {
-		return nil, err
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: short header: %w", err)
 	}
 	t := &Trace{}
-	if err := tr.Replay(t.Hook()); err != nil {
-		return nil, err
+	switch m {
+	case magic:
+		tr, err := newReaderAfterMagic(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.Replay(t.Hook()); err != nil {
+			return nil, err
+		}
+	case magic2:
+		d, err := newBCT2ReaderAfterMagic(r)
+		if err != nil {
+			return nil, err
+		}
+		var evs []vm.BranchEvent
+		for {
+			var err error
+			evs, err = d.NextBlock(evs[:0])
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			for _, ev := range evs {
+				t.Record(ev)
+			}
+		}
+		t.Steps, t.Runs = d.Steps(), d.Runs()
+	default:
+		return nil, ErrBadMagic
 	}
 	return t, nil
 }

@@ -106,8 +106,9 @@ func TestScoreParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestTraceDumpReadRoundTrip: in-memory trace -> BCT1 bytes -> in-memory
-// trace must preserve the event stream exactly.
+// TestTraceDumpReadRoundTrip: in-memory trace -> serialized bytes (Dump,
+// which now emits BCT2 through the WriteTo path) -> in-memory trace must
+// preserve the event stream exactly.
 func TestTraceDumpReadRoundTrip(t *testing.T) {
 	tr, live := liveEvents(t, "yacc")
 	var buf writeSeekBuffer

@@ -5,7 +5,12 @@
 // internal/predict.Evaluator reproduces any scheme's accuracy bit for bit,
 // without re-executing the program.
 //
-// Format (little-endian):
+// Two file encodings exist, dispatched on their 4-byte magic by ReadTrace:
+// the fixed-width legacy BCT1 below, and the block-structured compressed
+// BCT2 (see bct2.go), which is the default for new files and the on-disk
+// corpus.
+//
+// BCT1 format (little-endian):
 //
 //	magic  "BCT1" (4 bytes)
 //	count  uint64 — number of events
@@ -69,12 +74,8 @@ func (tw *Writer) Hook() vm.BranchFunc {
 	}
 }
 
-// Record appends one event.
-func (tw *Writer) Record(ev vm.BranchEvent) {
-	if tw.err != nil {
-		return
-	}
-	b := tw.buf[:]
+// encodeEvent16 packs one event into the BCT1 fixed-width layout.
+func encodeEvent16(b *[eventSize]byte, ev vm.BranchEvent) {
 	binary.LittleEndian.PutUint32(b[0:], uint32(ev.PC))
 	binary.LittleEndian.PutUint32(b[4:], uint32(ev.ID))
 	binary.LittleEndian.PutUint32(b[8:], uint32(ev.Target))
@@ -88,7 +89,15 @@ func (tw *Writer) Record(ev vm.BranchEvent) {
 	}
 	b[13] = flags
 	b[14], b[15] = 0, 0
-	if _, err := tw.w.Write(b); err != nil {
+}
+
+// Record appends one event.
+func (tw *Writer) Record(ev vm.BranchEvent) {
+	if tw.err != nil {
+		return
+	}
+	encodeEvent16(&tw.buf, ev)
+	if _, err := tw.w.Write(tw.buf[:]); err != nil {
 		tw.err = err
 		return
 	}
@@ -120,32 +129,53 @@ type Reader struct {
 	r      io.Reader
 	buf    [eventSize]byte
 	remain uint64
+	index  uint64 // events consumed, for error diagnostics
 }
 
 // NewReader validates the header.
 func NewReader(r io.Reader) (*Reader, error) {
-	var hdr [12]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
 		return nil, fmt.Errorf("tracefile: short header: %w", err)
 	}
-	if [4]byte(hdr[:4]) != magic {
+	if m != magic {
 		return nil, ErrBadMagic
 	}
-	return &Reader{r: r, remain: binary.LittleEndian.Uint64(hdr[4:])}, nil
+	return newReaderAfterMagic(r)
+}
+
+// newReaderAfterMagic reads the count field of a stream whose 4 magic bytes
+// are already consumed (the ReadTrace dispatch path).
+func newReaderAfterMagic(r io.Reader) (*Reader, error) {
+	var cnt [8]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: short header: %w", err)
+	}
+	return &Reader{r: r, remain: binary.LittleEndian.Uint64(cnt[:])}, nil
 }
 
 // Remaining returns how many events are left.
 func (tr *Reader) Remaining() uint64 { return tr.remain }
 
-// Next returns the next event, or io.EOF when the trace is exhausted.
+// offset returns the stream position of the current event.
+func (tr *Reader) offset() uint64 { return 12 + tr.index*eventSize }
+
+// Next returns the next event, or io.EOF when the trace is exhausted. A
+// stream that ends before the header's count, or carries an undecodable
+// event, yields an error locating the failure by event index and byte
+// offset (truncations satisfy errors.Is(err, io.ErrUnexpectedEOF)).
 func (tr *Reader) Next() (vm.BranchEvent, error) {
 	if tr.remain == 0 {
 		return vm.BranchEvent{}, io.EOF
 	}
 	if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
-		return vm.BranchEvent{}, fmt.Errorf("tracefile: truncated trace: %w", err)
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return vm.BranchEvent{}, fmt.Errorf(
+			"tracefile: bct1 event %d at offset %d (%d events remaining): truncated: %w",
+			tr.index, tr.offset(), tr.remain, err)
 	}
-	tr.remain--
 	b := tr.buf[:]
 	ev := vm.BranchEvent{
 		PC:     int32(binary.LittleEndian.Uint32(b[0:])),
@@ -156,8 +186,12 @@ func (tr *Reader) Next() (vm.BranchEvent, error) {
 		Likely: b[13]&2 != 0,
 	}
 	if !ev.Op.Valid() || !ev.Op.IsBranch() {
-		return vm.BranchEvent{}, fmt.Errorf("tracefile: corrupt event (op %d)", b[12])
+		return vm.BranchEvent{}, fmt.Errorf(
+			"tracefile: bct1 event %d at offset %d: corrupt event (op %d)",
+			tr.index, tr.offset(), b[12])
 	}
+	tr.remain--
+	tr.index++
 	return ev, nil
 }
 

@@ -11,6 +11,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"branchcost/internal/isa"
 )
@@ -82,9 +83,14 @@ func (t *trapError) Error() string {
 
 func (t *trapError) Unwrap() error { return t.err }
 
+// RunCount counts Run invocations process-wide. Tests and benchmarks read
+// it to assert that warm-corpus evaluations perform no VM execution.
+var RunCount atomic.Int64
+
 // Run executes p on the given input bytes. hook, if non-nil, is invoked for
 // every executed counted branch.
 func Run(p *isa.Program, input []byte, hook BranchFunc, cfg Config) (Result, error) {
+	RunCount.Add(1)
 	cfg = cfg.withDefaults()
 	m := Machine{prog: p, cfg: cfg}
 	return m.run(input, hook)
