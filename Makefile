@@ -2,9 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench corpus-bench repro tables figures ablations fuzz goldens clean
+.PHONY: all build test vet race telemetry-check bench bench-json corpus-bench repro tables figures ablations fuzz goldens clean
 
-all: build vet test race
+all: build vet test race telemetry-check
+
+# Tier-1 guard for the observability layer: vet plus the race detector over
+# the telemetry substrate and the layers that feed it concurrently. -short
+# skips the timing assertions, which race instrumentation would inflate;
+# plain `make test` still enforces them.
+telemetry-check:
+	$(GO) vet ./internal/telemetry ./internal/core ./internal/experiments
+	$(GO) test -race -short ./internal/telemetry
+	$(GO) test -race -short -run 'TestSuiteTelemetry|TestSuiteSingleflight' ./internal/experiments
 
 build:
 	$(GO) build ./...
@@ -26,6 +35,16 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark record: run the headline comparison through a
+# warm corpus and save the run manifests + counter snapshot as
+# BENCH_<date>.json (phase timings, per-scheme accuracies, VM run counts).
+BENCH_CORPUS ?= .bench-corpus
+bench-json:
+	$(GO) run ./cmd/btrace -corpus $(BENCH_CORPUS) -record-suite
+	$(GO) run ./cmd/branchsim -corpus $(BENCH_CORPUS) -headline \
+		-metrics BENCH_$$(date +%Y%m%d).json
+	@echo "wrote BENCH_$$(date +%Y%m%d).json"
 
 # Warm-corpus suite replay (zero VM execution) vs. live re-execution.
 corpus-bench:

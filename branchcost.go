@@ -39,6 +39,7 @@ import (
 	"branchcost/internal/pipeline"
 	"branchcost/internal/predict"
 	"branchcost/internal/profile"
+	"branchcost/internal/telemetry"
 	"branchcost/internal/tracefile"
 	"branchcost/internal/vm"
 	"branchcost/internal/workloads"
@@ -226,6 +227,32 @@ func Evaluate(name string, p *Program, profInputs, evalInputs [][]byte, cfg Conf
 func EvaluateContext(ctx context.Context, name string, p *Program, profInputs, evalInputs [][]byte, cfg Config) (*Eval, error) {
 	return core.EvaluateContext(ctx, name, p, profInputs, evalInputs, cfg)
 }
+
+// Telemetry is the instrumentation registry threaded through every layer:
+// named counters and gauges, hierarchical timed spans, and a structured
+// logger. A nil *Telemetry disables instrumentation at near-zero cost. Wire
+// one into Config.Telemetry (or onto a context with WithTelemetry) and read
+// it back with Snapshot or an Eval's Manifest.
+type Telemetry = telemetry.Set
+
+// TelemetrySnapshot is a point-in-time copy of a Telemetry set's counters,
+// gauges, and span trees, serializable as JSON.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewTelemetry returns an enabled, empty telemetry set.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// WithTelemetry returns ctx carrying the set; EvaluateContext and everything
+// below it (corpus access, trace replay, VM runs) report into it.
+func WithTelemetry(ctx context.Context, t *Telemetry) context.Context {
+	return telemetry.NewContext(ctx, t)
+}
+
+// Manifest is the machine-readable record of one evaluation — resolved
+// configuration, data provenance (corpus key, VM run count), per-phase
+// timings, per-scheme scores, and an optional telemetry snapshot. Build one
+// with Eval.Manifest; the CLI tools write them via -metrics.
+type Manifest = core.Manifest
 
 // Benchmark is a member of the paper's workload suite.
 type Benchmark = workloads.Benchmark

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"branchcost"
 	"branchcost/internal/asm"
 	"branchcost/internal/profile"
+	"branchcost/internal/telemetry"
 )
 
 type multiFlag []string
@@ -40,11 +42,22 @@ func main() {
 		fromAsm  = flag.Bool("asm", false, "treat the source files as assembly, not MC")
 	)
 	flag.Var(&inputs, "in", "input file (repeatable; default: empty input)")
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "bcc: no source files")
 		os.Exit(2)
 	}
+	set, err2 := tf.Init()
+	if err2 != nil {
+		fail(err2)
+	}
+	ctx := telemetry.NewContext(context.Background(), set)
+	defer func() {
+		if err := tf.Close(nil); err != nil {
+			fail(err)
+		}
+	}()
 
 	var sources []string
 	for _, path := range flag.Args() {
@@ -56,11 +69,13 @@ func main() {
 	}
 	var prog *branchcost.Program
 	var err error
+	_, span := telemetry.StartSpan(ctx, "bcc.compile")
 	if *fromAsm {
 		prog, err = asm.Parse(strings.Join(sources, "\n"))
 	} else {
 		prog, err = branchcost.Compile(sources...)
 	}
+	span.End()
 	if err != nil {
 		fail(err)
 	}
@@ -74,7 +89,7 @@ func main() {
 
 	if *run {
 		for i, in := range ins {
-			res, err := branchcost.Run(prog, in, nil, branchcost.RunConfig{})
+			res, err := branchcost.Run(prog, in, nil, branchcost.RunConfig{Metrics: set})
 			if err != nil {
 				fail(err)
 			}
@@ -99,7 +114,9 @@ func main() {
 		} else if prof, err = branchcost.CollectProfile(prog, ins); err != nil {
 			fail(err)
 		}
+		_, span := telemetry.StartSpan(ctx, "bcc.transform")
 		res, err := branchcost.Transform(prog, prof, *slots)
+		span.End()
 		if err != nil {
 			fail(err)
 		}

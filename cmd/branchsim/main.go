@@ -29,6 +29,7 @@ import (
 	"branchcost/internal/corpus"
 	"branchcost/internal/experiments"
 	"branchcost/internal/stats"
+	"branchcost/internal/telemetry"
 	"branchcost/internal/workloads"
 )
 
@@ -50,7 +51,13 @@ func main() {
 		format    = flag.String("format", "text", "table output format: text|csv|md")
 		corpusDir = flag.String("corpus", os.Getenv(corpus.EnvVar), "trace corpus directory (default $BRANCHCOST_CORPUS; empty disables)")
 	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	set, err := tf.Init()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "branchsim: %v\n", err)
+		os.Exit(1)
+	}
 
 	outputFormat = *format
 	cfg := core.Config{
@@ -58,6 +65,7 @@ func main() {
 		CBTBEntries: *entries, CBTBAssoc: *assoc,
 		CounterBits: *bits, CounterThreshold: core.Ptr(uint8(*threshold)),
 		EvalSlots: slots,
+		Telemetry: set,
 	}
 	if *corpusDir != "" {
 		store, err := corpus.Open(*corpusDir)
@@ -182,6 +190,17 @@ func main() {
 		for _, name := range []string{"counter", "btbsize", "assoc", "ctxswitch", "static", "cycle", "crossval", "icache", "delay", "opt", "superscalar", "hwcost", "sensitivity", "traces"} {
 			run("ablation "+name, ablations[name])
 		}
+	}
+
+	// The -metrics report: one manifest per evaluated benchmark plus the
+	// process-wide counter/gauge/span snapshot.
+	report := struct {
+		Manifests []*core.Manifest   `json:"manifests"`
+		Telemetry telemetry.Snapshot `json:"telemetry"`
+	}{suite.Manifests(), set.Snapshot()}
+	if err := tf.Close(report); err != nil {
+		fmt.Fprintf(os.Stderr, "branchsim: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"branchcost"
 	"branchcost/internal/corpus"
 	"branchcost/internal/predict"
+	"branchcost/internal/telemetry"
 	"branchcost/internal/tracefile"
 	"branchcost/internal/vm"
 	"branchcost/internal/workloads"
@@ -55,11 +56,17 @@ func main() {
 		bits        = flag.Int("bits", 2, "CBTB counter bits")
 		thresh      = flag.Int("threshold", 2, "CBTB threshold")
 	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	set, err := tf.Init()
+	if err != nil {
+		fail(err)
+	}
+	ctx := telemetry.NewContext(context.Background(), set)
 
 	switch {
 	case *recordSuite:
-		doRecordSuite(*corpusDir)
+		doRecordSuite(ctx, *corpusDir)
 	case *list:
 		doList(*corpusDir)
 	case *record:
@@ -68,13 +75,16 @@ func main() {
 		if flag.NArg() != 1 {
 			fail(fmt.Errorf("-inspect needs one trace file"))
 		}
-		doInspect(flag.Arg(0))
+		doInspect(ctx, flag.Arg(0))
 	default:
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "btrace: need a trace file to replay (or -record/-inspect/-record-suite/-ls)")
 			os.Exit(2)
 		}
-		doReplay(flag.Arg(0), *scheme, *entries, *assoc, *bits, uint8(*thresh))
+		doReplay(ctx, flag.Arg(0), *scheme, *entries, *assoc, *bits, uint8(*thresh))
+	}
+	if err := tf.Close(nil); err != nil {
+		fail(err)
 	}
 }
 
@@ -156,7 +166,7 @@ func openCorpus(dir string) *corpus.Store {
 
 // doRecordSuite warms the corpus: every benchmark whose entry is missing is
 // recorded by one instrumented VM pass; present entries are left untouched.
-func doRecordSuite(dir string) {
+func doRecordSuite(ctx context.Context, dir string) {
 	store := openCorpus(dir)
 	for _, b := range workloads.All() {
 		prog, err := b.Program()
@@ -173,7 +183,7 @@ func doRecordSuite(dir string) {
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", b.Name, err))
 		}
-		if err := store.Put(k, t, prof); err != nil {
+		if err := store.PutContext(ctx, k, t, prof); err != nil {
 			fail(err)
 		}
 		fmt.Printf("%-10s recorded %d events, %d sites (%s)\n", b.Name, t.Len(), t.Sites(), k.Hash)
@@ -196,7 +206,7 @@ func doList(dir string) {
 	fmt.Printf("%d entries in %s\n", len(keys), store.Dir())
 }
 
-func doInspect(path string) {
+func doInspect(ctx context.Context, path string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
@@ -213,6 +223,7 @@ func doInspect(path string) {
 		if err != nil {
 			fail(err)
 		}
+		d.Instrument(telemetry.FromContext(ctx))
 		for {
 			if _, err := d.NextBlock(nil); err != nil {
 				if !errors.Is(err, io.EOF) {
@@ -249,7 +260,7 @@ func replayable() []string {
 	return names
 }
 
-func doReplay(path, scheme string, entries, assoc, bits int, thresh uint8) {
+func doReplay(ctx context.Context, path, scheme string, entries, assoc, bits int, thresh uint8) {
 	params := predict.Params{
 		SBTBEntries: entries, SBTBAssoc: assoc,
 		CBTBEntries: entries, CBTBAssoc: assoc,
@@ -290,15 +301,17 @@ func doReplay(path, scheme string, entries, assoc, bits int, thresh uint8) {
 		if err != nil {
 			fail(err)
 		}
-		if err := tracefile.ScoreStream(context.Background(), d, hooks...); err != nil {
+		if err := tracefile.ScoreStream(ctx, d, hooks...); err != nil {
 			fail(err)
 		}
 	} else {
-		tr, err := tracefile.ReadTrace(br)
+		tr, err := tracefile.ReadTraceContext(ctx, br)
 		if err != nil {
 			fail(err)
 		}
-		tr.ScoreParallel(hooks...)
+		if err := tr.ScoreParallelContext(ctx, hooks...); err != nil {
+			fail(err)
+		}
 	}
 	for i, n := range names {
 		e := evals[i]

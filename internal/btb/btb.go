@@ -81,6 +81,19 @@ func (b *Buffer) Assoc() int { return b.assoc }
 // Evictions returns how many valid entries were replaced.
 func (b *Buffer) Evictions() int64 { return b.evicts }
 
+// Inserts returns how many entries were allocated (excluding refreshes of
+// already-present lines).
+func (b *Buffer) Inserts() int64 { return b.inserts }
+
+// metrics implements predict.MetricSource for the buffer-backed schemes.
+func (b *Buffer) metrics() map[string]int64 {
+	return map[string]int64{
+		"inserts":   b.inserts,
+		"evictions": b.evicts,
+		"occupancy": int64(b.count),
+	}
+}
+
 func (b *Buffer) setIdx(pc int32) uint32 {
 	return uint32(pc) % uint32(len(b.sets))
 }
@@ -206,6 +219,9 @@ func (s *SBTB) Update(ev vm.BranchEvent) {
 // Reset implements predict.Predictor.
 func (s *SBTB) Reset() { s.buf.Reset() }
 
+// Metrics implements predict.MetricSource.
+func (s *SBTB) Metrics() map[string]int64 { return s.buf.metrics() }
+
 // CBTB is the Counter-based Branch Target Buffer: every executed branch is
 // eligible for an entry; an n-bit saturating counter with threshold T
 // predicts the direction (taken when counter >= T).
@@ -278,3 +294,6 @@ func (c *CBTB) Update(ev vm.BranchEvent) {
 
 // Reset implements predict.Predictor.
 func (c *CBTB) Reset() { c.buf.Reset() }
+
+// Metrics implements predict.MetricSource.
+func (c *CBTB) Metrics() map[string]int64 { return c.buf.metrics() }

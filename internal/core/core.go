@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"time"
 
 	_ "branchcost/internal/btb" // registers the sbtb/cbtb schemes
 	"branchcost/internal/corpus"
@@ -24,6 +25,7 @@ import (
 	"branchcost/internal/pipeline"
 	"branchcost/internal/predict"
 	"branchcost/internal/profile"
+	"branchcost/internal/telemetry"
 	"branchcost/internal/tracefile"
 	"branchcost/internal/vm"
 	"branchcost/internal/workloads"
@@ -75,6 +77,12 @@ type Config struct {
 	// identical (the paper's methodology), since an entry captures exactly
 	// that shared pass.
 	Corpus *corpus.Store
+
+	// Telemetry, when non-nil, receives counters, gauges and spans for every
+	// layer the evaluation touches (VM, trace codec, corpus, per-scheme
+	// hit/miss totals). A set already present on the evaluation context takes
+	// precedence; this field exists for callers without a context in hand.
+	Telemetry *telemetry.Set
 }
 
 // Ptr returns a pointer to v, for the Config fields with pointer-or-nil
@@ -133,6 +141,11 @@ func (c Config) Params() predict.Params {
 type SchemeResult struct {
 	Stats predict.Stats
 	Cycle *pipeline.CycleSim // nil unless Config.CycleSim was set
+
+	// Extra holds scheme-internal capacity metrics (buffer inserts,
+	// evictions, occupancy) for predictors implementing predict.MetricSource;
+	// nil otherwise.
+	Extra map[string]int64
 }
 
 // Eval is the complete measurement of one benchmark.
@@ -165,6 +178,19 @@ type Eval struct {
 	// FromCorpus reports that the profile and trace were loaded from
 	// Config.Corpus instead of being recorded by VM execution.
 	FromCorpus bool
+
+	// CorpusKey is the content hash consulted when Config.Corpus was set
+	// ("" otherwise), VMRuns the number of live VM executions this
+	// evaluation performed (0 for a warm corpus with no transformed
+	// scheme), WallNS its wall-clock time, and Phases the per-phase
+	// breakdown. All four feed the run manifest (see Manifest).
+	CorpusKey string
+	VMRuns    int64
+	WallNS    int64
+	Phases    []PhaseTiming
+
+	cfg   Config // resolved configuration, for Manifest
+	telem *telemetry.Set
 }
 
 // Scheme returns the named scheme's result (zero value when not scored).
@@ -236,6 +262,14 @@ func Evaluate(name string, prog *isa.Program, profInputs, evalInputs [][]byte, c
 // pass over the transformed binary as the only live execution.
 func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profInputs, evalInputs [][]byte, cfg Config) (*Eval, error) {
 	cfg = cfg.withDefaults()
+	set := telemetry.FromContext(ctx)
+	if set == nil && cfg.Telemetry != nil {
+		set = cfg.Telemetry
+		ctx = telemetry.NewContext(ctx, set)
+	}
+	wall := time.Now()
+	ctx, evalSpan := telemetry.StartSpan(ctx, "core.evaluate:"+name)
+	defer evalSpan.End()
 	names := cfg.Schemes
 	if len(names) == 0 {
 		names = DefaultSchemes()
@@ -257,7 +291,8 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 		anyTransformed = anyTransformed || sc.Transformed
 	}
 	e := &Eval{Name: name, Program: prog, Profile: profile.New(),
-		Order: names, Schemes: make(map[string]SchemeResult, len(names))}
+		Order: names, Schemes: make(map[string]SchemeResult, len(names)),
+		cfg: cfg, telem: set}
 
 	// Pass 1: profile the original binary. When the evaluation suite equals
 	// the profiling suite, the same pass records the replay trace — and the
@@ -267,9 +302,12 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 	var key corpus.Key
 	if same && cfg.Corpus != nil {
 		key = corpus.KeyFor(name, prog, profInputs)
+		e.CorpusKey = key.Hash
+		start := time.Now()
 		// A damaged entry loads like a miss: re-record and overwrite it.
-		if t, p, err := cfg.Corpus.Load(key); err == nil {
+		if t, p, err := cfg.Corpus.LoadContext(ctx, key); err == nil {
 			e.Trace, e.Profile, e.FromCorpus = t, p, true
+			e.phase("corpus.load", start)
 		}
 	}
 	if e.Trace == nil {
@@ -284,37 +322,53 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 				rec(ev)
 			}
 		}
+		start := time.Now()
+		pctx, span := telemetry.StartSpan(ctx, "core.profile")
 		for i, in := range profInputs {
-			if err := ctx.Err(); err != nil {
+			if err := pctx.Err(); err != nil {
+				span.End()
 				return nil, err
 			}
-			res, err := vm.Run(prog, in, hook, vm.Config{})
+			res, err := vm.Run(prog, in, hook, vm.Config{Metrics: set})
 			if err != nil {
+				span.End()
 				return nil, fmt.Errorf("core: %s: profiling run %d: %w", name, i, err)
 			}
+			e.VMRuns++
 			e.Profile.Steps += res.Steps
 			e.Profile.Runs++
 		}
+		span.End()
+		e.phase("profile", start)
 		if same {
 			tr.Steps, tr.Runs = e.Profile.Steps, e.Profile.Runs
 			if cfg.Corpus != nil {
-				if err := cfg.Corpus.Put(key, tr, e.Profile); err != nil {
+				start := time.Now()
+				if err := cfg.Corpus.PutContext(ctx, key, tr, e.Profile); err != nil {
 					return nil, fmt.Errorf("core: %s: %w", name, err)
 				}
+				e.phase("corpus.store", start)
 			}
 		} else {
 			// Distinct evaluation suite: one recording pass over it.
+			start := time.Now()
+			rctx, span := telemetry.StartSpan(ctx, "core.record")
 			for i, in := range evalInputs {
-				if err := ctx.Err(); err != nil {
+				if err := rctx.Err(); err != nil {
+					span.End()
 					return nil, err
 				}
-				res, err := vm.Run(prog, in, rec, vm.Config{})
+				res, err := vm.Run(prog, in, rec, vm.Config{Metrics: set})
 				if err != nil {
+					span.End()
 					return nil, fmt.Errorf("core: %s: recording run %d: %w", name, i, err)
 				}
+				e.VMRuns++
 				tr.Steps += res.Steps
 				tr.Runs++
 			}
+			span.End()
+			e.phase("record", start)
 		}
 		e.Trace = tr
 	}
@@ -324,12 +378,16 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 	// The transform is shared by every transformed scheme.
 	var fsRes *fs.Result
 	if anyTransformed {
+		start := time.Now()
+		_, span := telemetry.StartSpan(ctx, "core.fs.transform")
 		var err error
 		fsRes, err = fs.Transform(prog, e.Profile, *cfg.EvalSlots)
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: transform: %w", name, err)
 		}
 		e.FSResult = fsRes
+		e.phase("fs.transform", start)
 	}
 
 	// Build one evaluator (and cycle simulator) per scheme, then score:
@@ -347,13 +405,13 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 	var replayHooks []vm.BranchFunc
 	var transformed []*job
 	for i, sc := range schemes {
-		ctx := predict.SchemeContext{Prog: prog, Profile: e.Profile, Params: params}
+		sctx := predict.SchemeContext{Prog: prog, Profile: e.Profile, Params: params}
 		if sc.Transformed {
-			ctx.Prog = fsRes.Prog
+			sctx.Prog = fsRes.Prog
 		}
 		j := &job{
 			name:  names[i],
-			ev:    &predict.Evaluator{P: sc.New(ctx), FlushEvery: cfg.FlushEvery},
+			ev:    &predict.Evaluator{P: sc.New(sctx), FlushEvery: cfg.FlushEvery},
 			cycle: cloneSim(cfg.CycleSim),
 		}
 		if j.cycle != nil {
@@ -369,8 +427,15 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 			replayHooks = append(replayHooks, j.ev.Hook())
 		}
 	}
-	if err := e.Trace.ScoreParallelContext(ctx, replayHooks...); err != nil {
-		return nil, err
+	if len(replayHooks) > 0 {
+		start := time.Now()
+		rctx, span := telemetry.StartSpan(ctx, "core.replay")
+		err := e.Trace.ScoreParallelContext(rctx, replayHooks...)
+		span.End()
+		if err != nil {
+			return nil, err
+		}
+		e.phase("replay", start)
 	}
 	if len(transformed) > 0 {
 		fsHook := func(ev vm.BranchEvent) {
@@ -381,19 +446,44 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 				j.ev.Observe(ev)
 			}
 		}
+		start := time.Now()
+		fctx, span := telemetry.StartSpan(ctx, "core.fs.eval")
 		for i, in := range evalInputs {
-			if err := ctx.Err(); err != nil {
+			if err := fctx.Err(); err != nil {
+				span.End()
 				return nil, err
 			}
-			if _, err := vm.Run(fsRes.Prog, in, fsHook, vm.Config{}); err != nil {
+			if _, err := vm.Run(fsRes.Prog, in, fsHook, vm.Config{Metrics: set}); err != nil {
+				span.End()
 				return nil, fmt.Errorf("core: %s: FS evaluation run %d: %w", name, i, err)
 			}
+			e.VMRuns++
 		}
+		span.End()
+		e.phase("fs.eval", start)
 	}
 	for _, j := range jobs {
-		e.Schemes[j.name] = SchemeResult{Stats: j.ev.S, Cycle: j.cycle}
+		res := SchemeResult{Stats: j.ev.S, Cycle: j.cycle}
+		if ms, ok := j.ev.P.(predict.MetricSource); ok {
+			res.Extra = ms.Metrics()
+		}
+		e.Schemes[j.name] = res
+		if set != nil {
+			set.Counter("scheme." + j.name + ".hits").Add(j.ev.S.Hits)
+			set.Counter("scheme." + j.name + ".misses").Add(j.ev.S.Misses)
+			set.Counter("scheme." + j.name + ".branches").Add(j.ev.S.Branches)
+		}
 	}
+	e.WallNS = time.Since(wall).Nanoseconds()
+	telemetry.Logger(ctx).Debug("core: evaluated benchmark",
+		"benchmark", name, "vm_runs", e.VMRuns, "from_corpus", e.FromCorpus,
+		"wall_ns", e.WallNS)
 	return e, nil
+}
+
+// phase appends one completed phase timing.
+func (e *Eval) phase(name string, start time.Time) {
+	e.Phases = append(e.Phases, PhaseTiming{Name: name, DurationNS: time.Since(start).Nanoseconds()})
 }
 
 // Cost evaluates the paper's cost model for each scheme at the given

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"branchcost/internal/telemetry"
+)
+
+// PhaseTiming is one completed pipeline phase of an evaluation (profile,
+// record, corpus.load, corpus.store, replay, fs.transform, fs.eval) with its
+// wall-clock duration.
+type PhaseTiming struct {
+	Name       string `json:"name"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// ManifestConfig is the fully resolved hardware/transform configuration an
+// evaluation ran with — no nil-means-default fields, so two manifests compare
+// byte-for-byte when their runs were configured identically.
+type ManifestConfig struct {
+	SBTBEntries      int      `json:"sbtb_entries"`
+	SBTBAssoc        int      `json:"sbtb_assoc"`
+	CBTBEntries      int      `json:"cbtb_entries"`
+	CBTBAssoc        int      `json:"cbtb_assoc"`
+	CounterBits      int      `json:"counter_bits"`
+	CounterThreshold uint8    `json:"counter_threshold"`
+	EvalSlots        int      `json:"eval_slots"`
+	FlushEvery       int64    `json:"flush_every,omitempty"`
+	Schemes          []string `json:"schemes"`
+}
+
+// ManifestScheme is one scheme's scores in a run manifest.
+type ManifestScheme struct {
+	Accuracy     float64          `json:"accuracy"`
+	CondAccuracy float64          `json:"cond_accuracy"`
+	MissRatio    float64          `json:"miss_ratio"`
+	Branches     int64            `json:"branches"`
+	Correct      int64            `json:"correct"`
+	Hits         int64            `json:"hits"`
+	Misses       int64            `json:"misses"`
+	Extra        map[string]int64 `json:"extra,omitempty"`
+}
+
+// Manifest is the machine-readable record of one evaluation: what ran
+// (benchmark, resolved config), where its data came from (corpus key, live VM
+// runs), how long each phase took, and what every scheme scored. CLI tools
+// write it via their -metrics flag; make bench-json aggregates them.
+type Manifest struct {
+	Benchmark   string                    `json:"benchmark"`
+	GoVersion   string                    `json:"go_version"`
+	CreatedAt   time.Time                 `json:"created_at"`
+	Config      ManifestConfig            `json:"config"`
+	CorpusKey   string                    `json:"corpus_key,omitempty"`
+	FromCorpus  bool                      `json:"from_corpus"`
+	VMRuns      int64                     `json:"vm_runs"`
+	WallNS      int64                     `json:"wall_ns"`
+	TraceEvents int64                     `json:"trace_events"`
+	TraceSteps  int64                     `json:"trace_steps"`
+	TraceRuns   int64                     `json:"trace_runs"`
+	AnalyticFS  float64                   `json:"analytic_fs"`
+	Order       []string                  `json:"order"`
+	Schemes     map[string]ManifestScheme `json:"schemes"`
+	Phases      []PhaseTiming             `json:"phases,omitempty"`
+
+	// Telemetry is the counter/gauge/span snapshot of the set the evaluation
+	// ran under. Note the set may be shared by several evaluations (a suite
+	// run), in which case the totals span all of them.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// Manifest builds the run manifest for a completed evaluation.
+func (e *Eval) Manifest() *Manifest {
+	cfg := e.cfg
+	m := &Manifest{
+		Benchmark: e.Name,
+		GoVersion: runtime.Version(),
+		CreatedAt: time.Now().UTC(),
+		Config: ManifestConfig{
+			SBTBEntries: cfg.SBTBEntries, SBTBAssoc: cfg.SBTBAssoc,
+			CBTBEntries: cfg.CBTBEntries, CBTBAssoc: cfg.CBTBAssoc,
+			CounterBits: cfg.CounterBits, FlushEvery: cfg.FlushEvery,
+			Schemes: e.Order,
+		},
+		CorpusKey:  e.CorpusKey,
+		FromCorpus: e.FromCorpus,
+		VMRuns:     e.VMRuns,
+		WallNS:     e.WallNS,
+		AnalyticFS: e.AnalyticFS,
+		Order:      e.Order,
+		Schemes:    make(map[string]ManifestScheme, len(e.Schemes)),
+		Phases:     e.Phases,
+	}
+	if cfg.CounterThreshold != nil {
+		m.Config.CounterThreshold = *cfg.CounterThreshold
+	}
+	if cfg.EvalSlots != nil {
+		m.Config.EvalSlots = *cfg.EvalSlots
+	}
+	if e.Trace != nil {
+		m.TraceEvents = int64(e.Trace.Len())
+		m.TraceSteps = int64(e.Trace.Steps)
+		m.TraceRuns = int64(e.Trace.Runs)
+	}
+	for name, r := range e.Schemes {
+		m.Schemes[name] = ManifestScheme{
+			Accuracy:     r.Stats.Accuracy(),
+			CondAccuracy: r.Stats.CondAccuracy(),
+			MissRatio:    r.Stats.MissRatio(),
+			Branches:     r.Stats.Branches,
+			Correct:      r.Stats.Correct,
+			Hits:         r.Stats.Hits,
+			Misses:       r.Stats.Misses,
+			Extra:        r.Extra,
+		}
+	}
+	if e.telem != nil {
+		snap := e.telem.Snapshot()
+		m.Telemetry = &snap
+	}
+	return m
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,71 @@
+package corpus
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteAtomicShortWrite simulates a recording pass dying mid-write (a
+// short write followed by an error): the final path must never appear — a
+// crash cannot leave a truncated-but-renamed entry that later fails CRC —
+// and the temp file must not litter the store.
+func TestWriteAtomicShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "wc-deadbeef.bct2")
+	wantErr := errors.New("simulated short write")
+	err = s.writeAtomic(target, func(w io.Writer) error {
+		if _, werr := w.Write([]byte("BCT2\x01partial block")); werr != nil {
+			return werr
+		}
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("writeAtomic error = %v, want %v", err, wantErr)
+	}
+	if _, err := os.Stat(target); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("short write left the final file behind (stat err %v)", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Errorf("short write littered the store: %s", e.Name())
+	}
+}
+
+// TestWriteAtomicDurable: the happy path fsyncs and renames; the final file
+// holds exactly the written bytes and no temp file remains.
+func TestWriteAtomicDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "wc-deadbeef.bct2")
+	payload := []byte("BCT2\x01complete")
+	if err := s.writeAtomic(target, func(w io.Writer) error {
+		_, werr := w.Write(payload)
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("final file holds %q, want %q", got, payload)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("store holds %d files, want just the entry", len(ents))
+	}
+}

@@ -19,6 +19,7 @@ package corpus
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -29,9 +30,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"branchcost/internal/isa"
 	"branchcost/internal/profile"
+	"branchcost/internal/telemetry"
 	"branchcost/internal/tracefile"
 )
 
@@ -181,12 +184,43 @@ func (s *Store) Has(k Key) bool {
 // undecodable one returns the located decode error — callers treat both as
 // "re-record".
 func (s *Store) Load(k Key) (*tracefile.Trace, *profile.Profile, error) {
+	return s.LoadContext(context.Background(), k)
+}
+
+// LoadContext is Load with telemetry: when ctx carries a Set, the outcome
+// is counted ("corpus.hits", "corpus.misses", or — for a present but
+// undecodable entry — "corpus.invalidations"), load latency accumulates in
+// "corpus.load_ns", and hits/invalidations are logged.
+func (s *Store) LoadContext(ctx context.Context, k Key) (*tracefile.Trace, *profile.Profile, error) {
+	set := telemetry.FromContext(ctx)
+	start := time.Now()
+	t, prof, err := s.load(ctx, k)
+	switch {
+	case err == nil:
+		set.Counter("corpus.hits").Inc()
+		set.Counter("corpus.load_ns").Add(time.Since(start).Nanoseconds())
+		set.Log().Debug("corpus hit", "entry", k.Name, "hash", k.Hash,
+			"events", t.Len(), "elapsed", time.Since(start))
+	case IsMiss(err):
+		set.Counter("corpus.misses").Inc()
+	default:
+		// A present entry that will not decode: the caller re-records it,
+		// but unlike a clean miss this deserves a warning — it means a
+		// damaged file (truncation, corruption) sat in the store.
+		set.Counter("corpus.invalidations").Inc()
+		set.Log().Warn("corpus entry invalid, will re-record",
+			"entry", k.Name, "hash", k.Hash, "err", err)
+	}
+	return t, prof, err
+}
+
+func (s *Store) load(ctx context.Context, k Key) (*tracefile.Trace, *profile.Profile, error) {
 	tf, err := os.Open(s.TracePath(k))
 	if err != nil {
 		return nil, nil, fmt.Errorf("corpus: %s: %w", k.Name, err)
 	}
 	defer tf.Close()
-	t, err := tracefile.ReadTrace(bufio.NewReaderSize(tf, 1<<20))
+	t, err := tracefile.ReadTraceContext(ctx, bufio.NewReaderSize(tf, 1<<20))
 	if err != nil {
 		return nil, nil, fmt.Errorf("corpus: %s: trace: %w", k.Name, err)
 	}
@@ -218,8 +252,19 @@ func (s *Store) OpenTrace(k Key) (*tracefile.BCT2Reader, io.Closer, error) {
 }
 
 // Put stores the entry atomically: each file is written to a temp name in
-// the store directory and renamed into place.
+// the store directory, fsynced, and renamed into place (with the directory
+// fsynced after), so a crash at any point leaves either the old entry, no
+// entry, or the complete new one — never a truncated file under the final
+// name.
 func (s *Store) Put(k Key, t *tracefile.Trace, prof *profile.Profile) error {
+	return s.PutContext(context.Background(), k, t, prof)
+}
+
+// PutContext is Put with telemetry: "corpus.stores" and "corpus.store_ns"
+// count successful writes, and each store is logged at debug level.
+func (s *Store) PutContext(ctx context.Context, k Key, t *tracefile.Trace, prof *profile.Profile) error {
+	set := telemetry.FromContext(ctx)
+	start := time.Now()
 	if err := s.writeAtomic(s.TracePath(k), func(w io.Writer) error {
 		_, err := t.WriteTo(w)
 		return err
@@ -229,6 +274,10 @@ func (s *Store) Put(k Key, t *tracefile.Trace, prof *profile.Profile) error {
 	if err := s.writeAtomic(s.ProfilePath(k), prof.Save); err != nil {
 		return fmt.Errorf("corpus: %s: profile: %w", k.Name, err)
 	}
+	set.Counter("corpus.stores").Inc()
+	set.Counter("corpus.store_ns").Add(time.Since(start).Nanoseconds())
+	set.Log().Debug("corpus store", "entry", k.Name, "hash", k.Hash,
+		"events", t.Len(), "elapsed", time.Since(start))
 	return nil
 }
 
@@ -247,10 +296,30 @@ func (s *Store) writeAtomic(path string, write func(io.Writer) error) error {
 		tmp.Close()
 		return err
 	}
+	// Sync the entry before renaming it into place: without this, a crash
+	// after the rename but before writeback could surface a truncated —
+	// but fully named — file whose next Load fails CRC.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Keys scans the store and returns every complete entry.

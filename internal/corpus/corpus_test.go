@@ -1,6 +1,7 @@
 package corpus_test
 
 import (
+	"context"
 	"errors"
 	"io/fs"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"branchcost/internal/corpus"
+	"branchcost/internal/telemetry"
 	"branchcost/internal/vm"
 	"branchcost/internal/workloads"
 )
@@ -153,6 +155,58 @@ func TestMissAndCorruptEntry(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "wc") {
 		t.Fatalf("corrupt-entry error lacks the benchmark name: %v", err)
+	}
+}
+
+// TestLoadTelemetryCounters: hits, misses, invalidations, and store counts
+// must land in the context's telemetry set.
+func TestLoadTelemetryCounters(t *testing.T) {
+	s := open(t)
+	set := telemetry.New()
+	ctx := telemetry.NewContext(context.Background(), set)
+	b, err := workloads.ByName("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{b.Input(0)}
+	k := corpus.KeyFor("wc", prog, inputs)
+
+	if _, _, err := s.LoadContext(ctx, k); !corpus.IsMiss(err) {
+		t.Fatalf("cold load: %v, want miss", err)
+	}
+	tr, prof, err := corpus.Record(prog, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutContext(ctx, k, tr, prof); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LoadContext(ctx, k); err != nil {
+		t.Fatal(err)
+	}
+	// Damage the trace so the next load counts as an invalidation.
+	if err := os.WriteFile(s.TracePath(k), []byte("BCT2\x01garbage"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LoadContext(ctx, k); err == nil || corpus.IsMiss(err) {
+		t.Fatalf("damaged load: %v, want non-miss error", err)
+	}
+
+	snap := set.Snapshot().Counters
+	for name, want := range map[string]int64{
+		"corpus.hits": 1, "corpus.misses": 1,
+		"corpus.invalidations": 1, "corpus.stores": 1,
+	} {
+		if snap[name] != want {
+			t.Errorf("%s = %d, want %d (snapshot %v)", name, snap[name], want, snap)
+		}
+	}
+	if snap["corpus.load_ns"] <= 0 || snap["corpus.store_ns"] <= 0 {
+		t.Errorf("latency counters missing: %v", snap)
 	}
 }
 

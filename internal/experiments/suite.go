@@ -7,11 +7,15 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"branchcost/internal/core"
 	"branchcost/internal/predict"
+	"branchcost/internal/telemetry"
 	"branchcost/internal/tracefile"
 	"branchcost/internal/vm"
 	"branchcost/internal/workloads"
@@ -46,6 +50,19 @@ func NewSuite(cfg core.Config) *Suite {
 	return &Suite{Cfg: cfg, evals: map[string]*suiteEntry{}}
 }
 
+// telem resolves the set the suite reports into: one already on the context
+// wins; otherwise the configured Cfg.Telemetry is attached to the context so
+// the whole evaluation stack below sees it.
+func (s *Suite) telem(ctx context.Context) (*telemetry.Set, context.Context) {
+	if set := telemetry.FromContext(ctx); set != nil {
+		return set, ctx
+	}
+	if s.Cfg.Telemetry != nil {
+		return s.Cfg.Telemetry, telemetry.NewContext(ctx, s.Cfg.Telemetry)
+	}
+	return nil, ctx
+}
+
 // Eval returns the (cached) evaluation of the named benchmark.
 func (s *Suite) Eval(name string) (*core.Eval, error) {
 	return s.EvalContext(context.Background(), name)
@@ -55,12 +72,15 @@ func (s *Suite) Eval(name string) (*core.Eval, error) {
 // the evaluation; concurrent callers wait on its result (or their own
 // context). A failed evaluation is not cached, so a later call retries.
 func (s *Suite) EvalContext(ctx context.Context, name string) (*core.Eval, error) {
+	set, ctx := s.telem(ctx)
 	s.mu.Lock()
 	ent, ok := s.evals[name]
 	if !ok {
 		ent = &suiteEntry{done: make(chan struct{})}
 		s.evals[name] = ent
 		s.mu.Unlock()
+		set.Counter("suite.evals").Inc()
+		start := time.Now()
 		b, err := workloads.ByName(name)
 		if err == nil {
 			ent.e, ent.err = core.EvaluateBenchmarkContext(ctx, b, s.Cfg)
@@ -71,11 +91,19 @@ func (s *Suite) EvalContext(ctx context.Context, name string) (*core.Eval, error
 			s.mu.Lock()
 			delete(s.evals, name)
 			s.mu.Unlock()
+		} else {
+			wall := time.Since(start).Nanoseconds()
+			set.Counter("suite.bench_wall_ns").Add(wall)
+			telemetry.Logger(ctx).Debug("suite: benchmark evaluated",
+				"benchmark", name, "wall_ns", wall,
+				"from_corpus", ent.e.FromCorpus, "vm_runs", ent.e.VMRuns)
 		}
 		close(ent.done)
 		return ent.e, ent.err
 	}
 	s.mu.Unlock()
+	// Another caller already owns this benchmark: coalesce onto its result.
+	set.Counter("suite.coalesced").Inc()
 	select {
 	case <-ent.done:
 		return ent.e, ent.err
@@ -85,8 +113,10 @@ func (s *Suite) EvalContext(ctx context.Context, name string) (*core.Eval, error
 }
 
 // EvalNames evaluates the named benchmarks through the bounded worker pool
-// and returns them in argument order.
+// and returns them in argument order. A failing benchmark's error is wrapped
+// with its name, so a suite-wide failure names the culprit.
 func (s *Suite) EvalNames(ctx context.Context, names []string) ([]*core.Eval, error) {
+	set, ctx := s.telem(ctx)
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -94,21 +124,38 @@ func (s *Suite) EvalNames(ctx context.Context, names []string) ([]*core.Eval, er
 	if workers > len(names) {
 		workers = len(names)
 	}
+	// Queue depth counts benchmarks waiting on a pool slot; active workers
+	// (with a peak high-water mark) counts slots in use.
+	queue := set.Gauge("suite.queue_depth")
+	active := set.Gauge("suite.active_workers")
+	peak := set.Gauge("suite.active_workers_peak")
 	out := make([]*core.Eval, len(names))
 	errs := make([]error, len(names))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, name := range names {
 		wg.Add(1)
+		queue.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
 			sem <- struct{}{}
-			defer func() { <-sem }()
+			queue.Add(-1)
+			active.Add(1)
+			peak.RecordMax(active.Value())
+			defer func() {
+				active.Add(-1)
+				<-sem
+			}()
 			if err := ctx.Err(); err != nil {
 				errs[i] = err
 				return
 			}
-			out[i], errs[i] = s.EvalContext(ctx, name)
+			e, err := s.EvalContext(ctx, name)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			out[i] = e
 		}(i, name)
 	}
 	wg.Wait()
@@ -118,6 +165,35 @@ func (s *Suite) EvalNames(ctx context.Context, names []string) ([]*core.Eval, er
 		}
 	}
 	return out, nil
+}
+
+// Manifests returns the run manifests of every completed, successful
+// evaluation in the suite's cache, sorted by benchmark name — the payload of
+// a suite-level -metrics report.
+func (s *Suite) Manifests() []*core.Manifest {
+	s.mu.Lock()
+	entries := make(map[string]*suiteEntry, len(s.evals))
+	for name, ent := range s.evals {
+		entries[name] = ent
+	}
+	s.mu.Unlock()
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []*core.Manifest
+	for _, name := range names {
+		ent := entries[name]
+		select {
+		case <-ent.done:
+			if ent.err == nil {
+				out = append(out, ent.e.Manifest())
+			}
+		default: // still in flight
+		}
+	}
+	return out
 }
 
 // Warm records-or-loads every benchmark of the suite (all twelve, the

@@ -2,12 +2,14 @@ package experiments_test
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"testing"
 
 	"branchcost/internal/core"
 	"branchcost/internal/corpus"
 	"branchcost/internal/experiments"
+	"branchcost/internal/telemetry"
 	"branchcost/internal/vm"
 	"branchcost/internal/workloads"
 )
@@ -64,6 +66,72 @@ func TestSuiteEvalNames(t *testing.T) {
 	}
 	if _, err := s.EvalNames(context.Background(), []string{"wc", "no-such-bench"}); err == nil {
 		t.Fatal("unknown benchmark did not fail the pool")
+	}
+}
+
+// TestSuiteEvalNamesErrorNamesBenchmark: a pool failure must say which
+// benchmark failed, not just why.
+func TestSuiteEvalNamesErrorNamesBenchmark(t *testing.T) {
+	s := experiments.NewSuite(core.Config{})
+	_, err := s.EvalNames(context.Background(), []string{"cmp", "no-such-bench"})
+	if err == nil {
+		t.Fatal("unknown benchmark did not fail the pool")
+	}
+	if !strings.HasPrefix(err.Error(), "no-such-bench: ") {
+		t.Fatalf("pool error does not lead with the benchmark name: %v", err)
+	}
+}
+
+// TestSuiteTelemetry drives concurrent evaluations through the worker pool
+// with a shared telemetry set — the race exercise for counters and gauges —
+// and checks the suite-level counters and manifests.
+func TestSuiteTelemetry(t *testing.T) {
+	set := telemetry.New()
+	s := experiments.NewSuite(core.Config{
+		Schemes:   []string{"sbtb", "cbtb"},
+		Telemetry: set,
+	})
+	s.Workers = 2
+	names := []string{"cmp", "wc"}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.EvalNames(context.Background(), names); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := set.Snapshot()
+	if got := snap.Counters["suite.evals"]; got != int64(len(names)) {
+		t.Fatalf("suite.evals = %d, want %d (singleflight must dedupe)", got, len(names))
+	}
+	if snap.Counters["suite.coalesced"] == 0 {
+		t.Fatal("concurrent pools coalesced no evaluations")
+	}
+	if peak := snap.Gauges["suite.active_workers_peak"]; peak < 1 {
+		t.Fatalf("active-worker peak = %d, want >= 1", peak)
+	}
+	if snap.Counters["suite.bench_wall_ns"] <= 0 {
+		t.Fatal("per-benchmark wall time not accumulated")
+	}
+	for _, name := range names {
+		if snap.Counters["scheme.sbtb.hits"]+snap.Counters["scheme.sbtb.misses"] == 0 {
+			t.Fatalf("%s: scheme counters missing from suite snapshot", name)
+		}
+	}
+
+	manifests := s.Manifests()
+	if len(manifests) != len(names) {
+		t.Fatalf("Manifests() returned %d entries, want %d", len(manifests), len(names))
+	}
+	for i, m := range manifests {
+		if m.Benchmark != names[i] { // names happen to be sorted
+			t.Fatalf("manifest %d is %q, want %q", i, m.Benchmark, names[i])
+		}
 	}
 }
 

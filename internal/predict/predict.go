@@ -33,6 +33,13 @@ type Predictor interface {
 	Reset()
 }
 
+// MetricSource is optionally implemented by predictors that expose internal
+// capacity metrics (buffer insertions, evictions, occupancy). The evaluator
+// layers surface them uniformly in telemetry snapshots and run manifests.
+type MetricSource interface {
+	Metrics() map[string]int64
+}
+
 // Stats accumulates evaluator results.
 type Stats struct {
 	Branches int64 // dynamic branches seen

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// expvarPublished guards against double-publishing: expvar.Publish panics
+// on a duplicate name, and tests may build multiple Sets per process.
+var expvarPublished sync.Map // name -> struct{}
+
+// PublishExpvar exports the Set's live snapshot as the named expvar
+// variable (readable at /debug/vars on any expvar-serving mux). Publishing
+// the same name twice keeps the first registration — expvar has no
+// unpublish — with the practical effect that the first Set wins.
+func (s *Set) PublishExpvar(name string) {
+	if s == nil {
+		return
+	}
+	if _, loaded := expvarPublished.LoadOrStore(name, struct{}{}); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return s.Snapshot() }))
+}
+
+// ServeDebug starts an HTTP server on addr exposing net/http/pprof under
+// /debug/pprof/, the process expvars under /debug/vars, and this Set's
+// snapshot under /debug/telemetry. It returns the bound address (useful
+// with ":0") and a stop function. The Set is also published as the
+// "telemetry" expvar.
+func (s *Set) ServeDebug(addr string) (string, func(), error) {
+	s.PublishExpvar("telemetry")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Snapshot())
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	stop := func() { srv.Close() }
+	return ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags bundles the observability flags every command shares: -v,
+// -log-format, -metrics, and -pprof. Register them with RegisterFlags
+// before flag.Parse, then Init after.
+type Flags struct {
+	Verbose   bool
+	LogFormat string
+	Metrics   string
+	Pprof     string
+
+	set  *Set
+	stop func()
+}
+
+// RegisterFlags installs the shared observability flags on fs (pass
+// flag.CommandLine in a main).
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Verbose, "v", false, "verbose structured logging (debug level; default warnings only)")
+	fs.StringVar(&f.LogFormat, "log-format", "text", "log output format: text|json")
+	fs.StringVar(&f.Metrics, "metrics", "", "write a JSON run report (manifests + counter snapshot) to this file on exit")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Init builds the telemetry Set the flags describe: a logger on stderr at
+// the selected level/format, and — when -pprof was given — the debug
+// server. Call Close before exiting to stop the server and write the
+// -metrics report.
+func (f *Flags) Init() (*Set, error) {
+	if f.LogFormat != "text" && f.LogFormat != "json" {
+		return nil, fmt.Errorf("telemetry: unknown -log-format %q (text|json)", f.LogFormat)
+	}
+	s := New()
+	s.SetLogger(NewLogger(os.Stderr, f.LogFormat, f.Verbose))
+	f.set = s
+	if f.Pprof != "" {
+		addr, stop, err := s.ServeDebug(f.Pprof)
+		if err != nil {
+			return nil, err
+		}
+		f.stop = stop
+		s.Log().Info("debug server listening", "addr", addr)
+	}
+	return s, nil
+}
+
+// Close stops the debug server and, when -metrics was given, writes the
+// report as indented JSON. A nil report writes the bare telemetry
+// snapshot; callers with richer data (run manifests) pass their own
+// document, which should embed the snapshot itself.
+func (f *Flags) Close(report any) error {
+	if f.stop != nil {
+		f.stop()
+		f.stop = nil
+	}
+	if f.Metrics == "" {
+		return nil
+	}
+	if report == nil {
+		report = struct {
+			Telemetry Snapshot `json:"telemetry"`
+		}{f.set.Snapshot()}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: metrics report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(f.Metrics, data, 0o666); err != nil {
+		return fmt.Errorf("telemetry: metrics report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// loggerBox wraps the logger for atomic.Pointer storage.
+type loggerBox struct{ l *slog.Logger }
+
+// discardHandler drops every record. (log/slog gains a built-in
+// DiscardHandler in Go 1.24; this module still targets go 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// Discard is a logger that drops everything; Log returns it whenever no
+// real logger is configured, so call sites never nil-check.
+var Discard = slog.New(discardHandler{})
+
+// SetLogger attaches a structured logger to the Set. Safe to call
+// concurrently with Log; a no-op on a nil Set.
+func (s *Set) SetLogger(l *slog.Logger) {
+	if s == nil {
+		return
+	}
+	s.logger.Store(&loggerBox{l: l})
+}
+
+// Log returns the Set's logger, or Discard when the Set is nil or has none
+// configured.
+func (s *Set) Log() *slog.Logger {
+	if s == nil {
+		return Discard
+	}
+	if b := s.logger.Load(); b != nil && b.l != nil {
+		return b.l
+	}
+	return Discard
+}
+
+// Logger returns the logger of the Set carried by ctx (Discard when
+// telemetry is disabled).
+func Logger(ctx context.Context) *slog.Logger {
+	return FromContext(ctx).Log()
+}
+
+// NewLogger builds a slog logger writing to w in the given format ("json"
+// or "text"), at debug level when verbose, warn level otherwise — the
+// policy behind every command's -v/-log-format flags.
+func NewLogger(w io.Writer, format string, verbose bool) *slog.Logger {
+	level := slog.LevelWarn
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}

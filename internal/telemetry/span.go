@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// SpanRecord is the serialized form of one timed span. Children are spans
+// started under this span's context, so an evaluation's record/replay/
+// transform phases nest under its root span. DurationNS is zero while the
+// span is still running.
+type SpanRecord struct {
+	Name       string        `json:"name"`
+	DurationNS int64         `json:"duration_ns"`
+	Children   []*SpanRecord `json:"children,omitempty"`
+}
+
+// Span is one in-flight timed region. The nil *Span (what StartSpan returns
+// when telemetry is disabled) is valid and End on it is a no-op.
+type Span struct {
+	set   *Set
+	rec   *SpanRecord
+	start time.Time
+}
+
+// StartSpan opens a span named name under ctx's current span (or as a new
+// root) and returns a derived context carrying it. When ctx carries no Set
+// the original context and a nil span come back, costing only the context
+// lookup.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	set := FromContext(ctx)
+	if set == nil {
+		return ctx, nil
+	}
+	sp := &Span{set: set, start: time.Now(), rec: &SpanRecord{Name: name}}
+	set.mu.Lock()
+	if parent, ok := ctx.Value(spanKey).(*Span); ok && parent != nil {
+		parent.rec.Children = append(parent.rec.Children, sp.rec)
+	} else {
+		set.spans = append(set.spans, sp.rec)
+	}
+	set.mu.Unlock()
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// End closes the span, recording its duration. Ending a span twice keeps
+// the longer (latest) measurement; ending a nil span is a no-op.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	d := time.Since(sp.start).Nanoseconds()
+	sp.set.mu.Lock()
+	sp.rec.DurationNS = d
+	sp.set.mu.Unlock()
+}
+
+// Duration returns the span's recorded duration (zero while running or on
+// nil).
+func (sp *Span) Duration() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	sp.set.mu.Lock()
+	defer sp.set.mu.Unlock()
+	return time.Duration(sp.rec.DurationNS)
+}
+
+// cloneSpans deep-copies span trees; callers hold the owning Set's mutex.
+func cloneSpans(spans []*SpanRecord) []*SpanRecord {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]*SpanRecord, len(spans))
+	for i, r := range spans {
+		out[i] = &SpanRecord{
+			Name:       r.Name,
+			DurationNS: r.DurationNS,
+			Children:   cloneSpans(r.Children),
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+// Package telemetry is the engine's instrumentation substrate: named
+// counters and gauges, hierarchical timed spans, and a structured logger,
+// all gathered in a Set that travels through context.Context (or explicit
+// wiring, for layers without one).
+//
+// The package is deliberately dependency-free within the repository — it
+// imports only the standard library — so every layer down to the VM can be
+// instrumented without import cycles. It is also near-zero-cost when
+// disabled: a nil *Set hands out nil *Counter/*Gauge/*Span values whose
+// methods are nil-receiver no-ops, so instrumented hot paths (the trace
+// replay inner loop records one counter increment per branch event) pay
+// only an inlined nil check when telemetry is off. The disabled path is
+// benchmark-asserted at ≤2ns/op (see bench_test.go and the replay overhead
+// test in internal/tracefile).
+//
+// Counter names are dotted paths namespaced by layer: "vm.runs",
+// "tracefile.replay.events", "corpus.hits", "scheme.cbtb.misses",
+// "suite.coalesced". Snapshot serializes the whole registry — counters,
+// gauges, and the completed span trees — as JSON; the same snapshot is
+// exported over expvar and the -pprof debug server (debug.go), and embedded
+// in run manifests (internal/core).
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil *Counter is
+// valid and discards updates, which is the disabled-telemetry fast path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Safe for concurrent use; a no-op on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value (queue depth, active workers).
+// The nil *Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// RecordMax raises the gauge to n if n exceeds its current value — a
+// high-water mark (peak worker-pool utilization).
+func (g *Gauge) RecordMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Set is one telemetry registry: the counters, gauges, span trees, and
+// logger of one process (or one test). The nil *Set is the disabled state:
+// every method is a cheap no-op and every accessor returns the corresponding
+// nil instrument.
+type Set struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	spans    []*SpanRecord // completed or in-flight root spans
+
+	logger atomic.Pointer[loggerBox]
+}
+
+// New returns an enabled, empty Set with no logger (Log returns the discard
+// logger until SetLogger is called).
+func New() *Set {
+	return &Set{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. On a nil Set
+// it returns nil, which discards all updates. Hot paths should look a
+// counter up once and hold the pointer.
+func (s *Set) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil Set).
+func (s *Set) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot is a point-in-time JSON-serializable copy of a Set: counter and
+// gauge values plus the recorded span trees (spans still running report a
+// zero duration).
+type Snapshot struct {
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	Spans    []*SpanRecord    `json:"spans,omitempty"`
+}
+
+// Snapshot copies the current state. Safe to call concurrently with
+// updates; the returned structure is private to the caller.
+func (s *Set) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{}
+	if len(s.counters) > 0 {
+		snap.Counters = make(map[string]int64, len(s.counters))
+		for name, c := range s.counters {
+			snap.Counters[name] = c.Value()
+		}
+	}
+	if len(s.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(s.gauges))
+		for name, g := range s.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	snap.Spans = cloneSpans(s.spans)
+	return snap
+}
+
+type ctxKey int
+
+const (
+	setKey ctxKey = iota
+	spanKey
+)
+
+// NewContext returns ctx carrying the Set; everything downstream that
+// accepts a context (core evaluation, corpus access, trace replay) picks it
+// up from there.
+func NewContext(ctx context.Context, s *Set) context.Context {
+	return context.WithValue(ctx, setKey, s)
+}
+
+// FromContext returns the Set carried by ctx, or nil when telemetry is
+// disabled. The nil result is directly usable: all Set methods no-op on nil.
+func FromContext(ctx context.Context) *Set {
+	s, _ := ctx.Value(setKey).(*Set)
+	return s
+}

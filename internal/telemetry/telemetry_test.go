@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestNilSetIsDisabled(t *testing.T) {
+	var s *Set
+	s.Counter("x").Add(5)
+	s.Counter("x").Inc()
+	s.Gauge("g").Set(3)
+	s.Gauge("g").Add(-1)
+	s.Gauge("g").RecordMax(9)
+	if v := s.Counter("x").Value(); v != 0 {
+		t.Fatalf("nil set counter = %d, want 0", v)
+	}
+	if got := s.Snapshot(); got.Counters != nil || got.Gauges != nil || got.Spans != nil {
+		t.Fatalf("nil set snapshot not empty: %+v", got)
+	}
+	if s.Log() != Discard {
+		t.Fatal("nil set logger is not Discard")
+	}
+	ctx, sp := StartSpan(context.Background(), "phase")
+	if sp != nil {
+		t.Fatal("span on telemetry-free context should be nil")
+	}
+	sp.End() // must not panic
+	if FromContext(ctx) != nil {
+		t.Fatal("telemetry-free context should carry no set")
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	s := New()
+	s.Counter("vm.runs").Add(3)
+	s.Counter("vm.runs").Inc()
+	if got := s.Counter("vm.runs").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := s.Gauge("pool.active")
+	g.Add(2)
+	g.RecordMax(2)
+	g.Add(-1)
+	g.RecordMax(1)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d, want 1", got)
+	}
+	snap := s.Snapshot()
+	if snap.Counters["vm.runs"] != 4 || snap.Gauges["pool.active"] != 1 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	s := New()
+	ctx := NewContext(context.Background(), s)
+	ctx, root := StartSpan(ctx, "evaluate")
+	cctx, child := StartSpan(ctx, "record")
+	_ = cctx
+	child.End()
+	_, sibling := StartSpan(ctx, "replay")
+	sibling.End()
+	root.End()
+
+	snap := s.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("root spans = %d, want 1", len(snap.Spans))
+	}
+	r := snap.Spans[0]
+	if r.Name != "evaluate" || r.DurationNS <= 0 {
+		t.Fatalf("bad root span: %+v", r)
+	}
+	if len(r.Children) != 2 || r.Children[0].Name != "record" || r.Children[1].Name != "replay" {
+		t.Fatalf("bad children: %+v", r.Children)
+	}
+	if child.Duration() <= 0 {
+		t.Fatal("child duration not recorded")
+	}
+}
+
+// TestCounterConcurrent exercises concurrent registration, updates, spans,
+// and snapshots under the race detector — the contract the Suite worker
+// pool relies on.
+func TestCounterConcurrent(t *testing.T) {
+	s := New()
+	ctx := NewContext(context.Background(), s)
+	const workers, updates = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "worker")
+			c := s.Counter("shared")
+			for i := 0; i < updates; i++ {
+				c.Inc()
+				s.Gauge("depth").Add(1)
+				s.Gauge("depth").Add(-1)
+			}
+			sp.End()
+			_ = s.Snapshot()
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("shared").Value(); got != workers*updates {
+		t.Fatalf("shared counter = %d, want %d", got, workers*updates)
+	}
+	if got := len(s.Snapshot().Spans); got != workers {
+		t.Fatalf("spans = %d, want %d", got, workers)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := New()
+	s.Counter("a.b").Add(7)
+	ctx := NewContext(context.Background(), s)
+	_, sp := StartSpan(ctx, "x")
+	sp.End()
+	data, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a.b"] != 7 || len(back.Spans) != 1 || back.Spans[0].Name != "x" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestLoggerThreading(t *testing.T) {
+	var buf bytes.Buffer
+	s := New()
+	s.SetLogger(NewLogger(&buf, "json", true))
+	ctx := NewContext(context.Background(), s)
+	Logger(ctx).Debug("corpus hit", "bench", "grep")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log output not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "corpus hit" || rec["bench"] != "grep" {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+	// Non-verbose loggers drop debug records.
+	buf.Reset()
+	s.SetLogger(NewLogger(&buf, "text", false))
+	Logger(ctx).Debug("dropped")
+	if buf.Len() != 0 {
+		t.Fatalf("debug record not dropped: %q", buf.String())
+	}
+	// A context without a set logs to Discard without panicking.
+	Logger(context.Background()).Info("nowhere")
+}
+
+func TestServeDebug(t *testing.T) {
+	s := New()
+	s.Counter("vm.runs").Add(2)
+	addr, stop, err := s.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	for _, path := range []string{"/debug/telemetry", "/debug/vars", "/debug/pprof/cmdline"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/debug/telemetry" {
+			var snap Snapshot
+			if err := json.Unmarshal(body, &snap); err != nil {
+				t.Fatalf("telemetry endpoint not JSON: %v", err)
+			}
+			if snap.Counters["vm.runs"] != 2 {
+				t.Fatalf("telemetry endpoint counters = %v", snap.Counters)
+			}
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"sync"
 
 	"branchcost/internal/isa"
+	"branchcost/internal/telemetry"
 	"branchcost/internal/vm"
 )
 
@@ -235,6 +236,22 @@ type BCT2Reader struct {
 	blocks int
 	events uint64
 	done   bool
+
+	// Decode counters, nil (no-op) unless Instrument was called.
+	mBlocks, mBytes, mEvents, mCRCFail *telemetry.Counter
+}
+
+// Instrument binds the reader's decode counters — "tracefile.bct2.blocks",
+// ".bytes", ".events", and ".crc_failures" — to set. A nil set (telemetry
+// disabled) leaves the reader uninstrumented.
+func (d *BCT2Reader) Instrument(set *telemetry.Set) {
+	if set == nil {
+		return
+	}
+	d.mBlocks = set.Counter("tracefile.bct2.blocks")
+	d.mBytes = set.Counter("tracefile.bct2.bytes")
+	d.mEvents = set.Counter("tracefile.bct2.events")
+	d.mCRCFail = set.Counter("tracefile.bct2.crc_failures")
 }
 
 // NewBCT2Reader validates the magic and version.
@@ -356,13 +373,18 @@ func (d *BCT2Reader) NextBlock(dst []vm.BranchEvent) ([]vm.BranchEvent, error) {
 		return nil, d.corruptErr(start, "checksum", err)
 	}
 	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(crc[:]); got != want {
+		d.mCRCFail.Inc()
 		return nil, d.corruptf(start, "checksum mismatch (got %08x, want %08x)", got, want)
 	}
+	before := d.events
 	dst, err = d.decodePayload(payload, start, dst)
 	if err != nil {
 		return nil, err
 	}
 	d.blocks++
+	d.mBlocks.Inc()
+	d.mBytes.Add(d.off - start)
+	d.mEvents.Add(int64(d.events - before))
 	return dst, nil
 }
 
@@ -383,6 +405,7 @@ func (d *BCT2Reader) readTrailer(start int64) error {
 		return d.corruptErr(start, "trailer checksum", err)
 	}
 	if got, want := crc32.Checksum(raw, crcTable), binary.LittleEndian.Uint32(crc[:]); got != want {
+		d.mCRCFail.Inc()
 		return d.corruptf(start, "trailer checksum mismatch (got %08x, want %08x)", got, want)
 	}
 	if steps > math.MaxInt64 || runs > math.MaxInt32 {
@@ -522,6 +545,7 @@ func (d *BCT2Reader) Offset() int64 { return d.off }
 // bounded by a few blocks regardless of trace length. Each hook sees the
 // complete event sequence in recording order.
 func ScoreStream(ctx context.Context, d *BCT2Reader, hooks ...vm.BranchFunc) error {
+	d.Instrument(telemetry.FromContext(ctx))
 	chans := make([]chan []vm.BranchEvent, len(hooks))
 	var wg sync.WaitGroup
 	for i, h := range hooks {

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"branchcost/internal/isa"
+	"branchcost/internal/telemetry"
 )
 
 // Config controls resource limits of a run.
@@ -25,6 +26,11 @@ type Config struct {
 	// instruction (the fetch stream). Used by the instruction-cache
 	// experiment; it slows the interpreter considerably.
 	Trace func(pos int32)
+
+	// Metrics, when non-nil, accumulates the "vm.runs", "vm.steps",
+	// "vm.branches" and "vm.traps" counters — one update batch per run, so
+	// the interpreter loop itself stays uninstrumented.
+	Metrics *telemetry.Set
 }
 
 // DefaultConfig are the limits used when a zero Config is supplied.
@@ -93,7 +99,16 @@ func Run(p *isa.Program, input []byte, hook BranchFunc, cfg Config) (Result, err
 	RunCount.Add(1)
 	cfg = cfg.withDefaults()
 	m := Machine{prog: p, cfg: cfg}
-	return m.run(input, hook)
+	res, err := m.run(input, hook)
+	if t := cfg.Metrics; t != nil {
+		t.Counter("vm.runs").Inc()
+		t.Counter("vm.steps").Add(res.Steps)
+		t.Counter("vm.branches").Add(res.Branches)
+		if err != nil {
+			t.Counter("vm.traps").Inc()
+		}
+	}
+	return res, err
 }
 
 // Machine holds the mutable state of one execution. A zero Machine is not
