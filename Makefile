@@ -2,9 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build test vet race telemetry-check bench bench-json corpus-bench repro tables figures ablations fuzz goldens clean
+.PHONY: all build test vet race telemetry-check chaos bench bench-json corpus-bench repro tables figures ablations fuzz goldens clean
 
-all: build vet test race telemetry-check
+all: build vet test race telemetry-check chaos
+
+# Chaos gate: the fault-injection suite under the race detector — faultfs
+# plan semantics, corpus behaviour under injected I/O faults and torn
+# renames, end-to-end self-healing (quarantine + live re-record), and the
+# degrade-don't-die scheduler (deadline kills a hung workload, transient
+# faults earn bounded retries). Deterministic by construction: every plan is
+# seeded (the probabilistic cases replay seeds {1, 7, 42}), so a failure here
+# reproduces exactly.
+chaos:
+	$(GO) test -race ./internal/faultfs
+	$(GO) test -race -run 'TestChaos' ./internal/corpus
+	$(GO) test -race -run 'TestCorpusSelfHealing|TestCorpusTransientLoadPropagates' ./internal/core
+	$(GO) test -race -run 'TestSuiteDegradeDontDie|TestSuiteRetryHealsTransientFault|TestSuiteEvalNamesContinuesPastFailure|TestRunContext' ./internal/experiments ./internal/vm
 
 # Tier-1 guard for the observability layer: vet plus the race detector over
 # the telemetry substrate and the layers that feed it concurrently. -short

@@ -215,6 +215,34 @@ func OpenCorpus(dir string) (*Corpus, error) { return corpus.Open(dir) }
 // (nil, nil) when the variable is unset — corpus use is strictly opt-in.
 func CorpusFromEnv() (*Corpus, error) { return corpus.FromEnv() }
 
+// Corpus failures carry a typed classification so callers can pick the
+// right recovery: a miss is recorded fresh, corruption is quarantined and
+// healed, and transient I/O is worth retrying. All three match with
+// errors.Is through arbitrary wrapping.
+var (
+	// ErrCorpusMiss: the entry is absent (or quarantined) — record it.
+	ErrCorpusMiss = corpus.ErrMiss
+	// ErrCorpusCorrupt: the bytes are present but provably bad (CRC
+	// mismatch, truncation) — quarantine and re-record.
+	ErrCorpusCorrupt = corpus.ErrCorrupt
+	// ErrCorpusIO: the environment failed (open/read/rename error) — the
+	// entry may be fine; retry before concluding anything.
+	ErrCorpusIO = corpus.ErrIO
+	// ErrMaxSteps: a VM run exceeded RunConfig.MaxSteps (the runaway-
+	// workload watchdog).
+	ErrMaxSteps = vm.ErrMaxSteps
+)
+
+// IsCorpusMiss reports whether err classifies as an absent corpus entry.
+func IsCorpusMiss(err error) bool { return corpus.IsMiss(err) }
+
+// IsCorpusCorrupt reports whether err classifies as a corrupt corpus entry.
+func IsCorpusCorrupt(err error) bool { return corpus.IsCorrupt(err) }
+
+// IsTransient reports whether err is a transient corpus I/O failure — one
+// that retrying (with backoff) may clear.
+func IsTransient(err error) bool { return corpus.IsTransient(err) }
+
 // Evaluate measures all three schemes on a program: profiling on
 // profInputs, scoring on evalInputs (pass the same suite for the paper's
 // methodology).

@@ -16,6 +16,12 @@
 // -corpus DIR (default $BRANCHCOST_CORPUS) evaluates through the disk-backed
 // trace corpus: benchmarks with a matching entry replay from disk instead of
 // re-executing, and missing entries are recorded on first use.
+//
+// Robustness knobs: -deadline bounds each benchmark's evaluation wall clock,
+// -max-steps bounds each VM run, and -partial degrades instead of dying —
+// failed experiments are skipped and reported at the end (exit status 1),
+// transient corpus I/O earns a bounded retry, and the -metrics report carries
+// the structured failure list alongside the surviving manifests.
 package main
 
 import (
@@ -50,6 +56,10 @@ func main() {
 		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
 		format    = flag.String("format", "text", "table output format: text|csv|md")
 		corpusDir = flag.String("corpus", os.Getenv(corpus.EnvVar), "trace corpus directory (default $BRANCHCOST_CORPUS; empty disables)")
+
+		deadline = flag.Duration("deadline", 0, "per-benchmark evaluation deadline, e.g. 30s (0 disables)")
+		maxSteps = flag.Int64("max-steps", 0, "per-run VM step budget; a run that exceeds it fails (0 = default budget)")
+		partial  = flag.Bool("partial", false, "degrade don't die: keep running past failed experiments and report every failure at the end")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -64,8 +74,9 @@ func main() {
 		SBTBEntries: *entries, SBTBAssoc: *assoc,
 		CBTBEntries: *entries, CBTBAssoc: *assoc,
 		CounterBits: *bits, CounterThreshold: core.Ptr(uint8(*threshold)),
-		EvalSlots: slots,
-		Telemetry: set,
+		EvalSlots:  slots,
+		Telemetry:  set,
+		MaxVMSteps: *maxSteps,
 	}
 	if *corpusDir != "" {
 		store, err := corpus.Open(*corpusDir)
@@ -76,6 +87,11 @@ func main() {
 		cfg.Corpus = store
 	}
 	suite := experiments.NewSuite(cfg)
+	suite.Deadline = *deadline
+	if *partial {
+		// Degraded mode also buys transient corpus I/O errors a bounded retry.
+		suite.Retries = 2
+	}
 
 	names := benchNames(*benchSel)
 
@@ -84,10 +100,18 @@ func main() {
 		*all = true
 	}
 
+	degraded := false
 	run := func(label string, f func() (string, error)) {
 		start := time.Now()
 		text, err := f()
 		if err != nil {
+			if *partial {
+				// Degrade, don't die: the failure is reported (and repeated in
+				// the summary below), the remaining experiments still run.
+				fmt.Fprintf(os.Stderr, "branchsim: %s: %v (continuing: -partial)\n", label, err)
+				degraded = true
+				return
+			}
 			fmt.Fprintf(os.Stderr, "branchsim: %s: %v\n", label, err)
 			os.Exit(1)
 		}
@@ -195,12 +219,21 @@ func main() {
 	// The -metrics report: one manifest per evaluated benchmark plus the
 	// process-wide counter/gauge/span snapshot.
 	report := struct {
-		Manifests []*core.Manifest   `json:"manifests"`
-		Telemetry telemetry.Snapshot `json:"telemetry"`
-	}{suite.Manifests(), set.Snapshot()}
+		Manifests []*core.Manifest          `json:"manifests"`
+		Failures  []*experiments.BenchError `json:"failures,omitempty"`
+		Telemetry telemetry.Snapshot        `json:"telemetry"`
+	}{suite.Manifests(), suite.Failures(), set.Snapshot()}
 	if err := tf.Close(report); err != nil {
 		fmt.Fprintf(os.Stderr, "branchsim: %v\n", err)
 		os.Exit(1)
+	}
+	if *partial {
+		for _, be := range suite.Failures() {
+			fmt.Fprintf(os.Stderr, "branchsim: degraded: %v\n", be)
+		}
+		if degraded {
+			os.Exit(1)
+		}
 	}
 }
 

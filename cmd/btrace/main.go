@@ -13,6 +13,11 @@
 //	btrace -corpus DIR -record-suite           # record-or-load all benchmarks into DIR
 //	btrace -corpus DIR -ls                     # list corpus entries
 //
+// Recording is watchdogged: -deadline bounds each benchmark's recording wall
+// clock, -max-steps bounds each VM run's step count, and -partial makes
+// -record-suite continue past failed benchmarks, reporting every failure at
+// the end instead of aborting on the first.
+//
 // -corpus defaults to $BRANCHCOST_CORPUS. Replay draws its schemes from the
 // registry: every registered scheme that needs neither the program (for
 // static targets) nor a transformed binary can score a standalone trace.
@@ -28,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"branchcost"
 	"branchcost/internal/corpus"
@@ -55,6 +61,10 @@ func main() {
 		assoc       = flag.Int("assoc", 256, "BTB associativity")
 		bits        = flag.Int("bits", 2, "CBTB counter bits")
 		thresh      = flag.Int("threshold", 2, "CBTB threshold")
+
+		deadline = flag.Duration("deadline", 0, "per-benchmark recording deadline, e.g. 30s (0 disables)")
+		maxSteps = flag.Int64("max-steps", 0, "per-run VM step budget when recording (0 = default budget)")
+		partial  = flag.Bool("partial", false, "with -record-suite: keep recording past failed benchmarks and report every failure at the end")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,11 +76,11 @@ func main() {
 
 	switch {
 	case *recordSuite:
-		doRecordSuite(ctx, *corpusDir)
+		doRecordSuite(ctx, *corpusDir, *deadline, *maxSteps, *partial)
 	case *list:
 		doList(*corpusDir)
 	case *record:
-		doRecord(*bench, *out, *format, flag.Args())
+		doRecord(ctx, *bench, *out, *format, flag.Args(), *deadline, *maxSteps)
 	case *inspect:
 		if flag.NArg() != 1 {
 			fail(fmt.Errorf("-inspect needs one trace file"))
@@ -99,7 +109,7 @@ func traceFormat(f string) tracefile.Format {
 	panic("unreachable")
 }
 
-func doRecord(bench, out, format string, srcPaths []string) {
+func doRecord(ctx context.Context, bench, out, format string, srcPaths []string, deadline time.Duration, maxSteps int64) {
 	f := traceFormat(format)
 	var prog *branchcost.Program
 	var inputs [][]byte
@@ -132,7 +142,12 @@ func doRecord(bench, out, format string, srcPaths []string) {
 		fail(fmt.Errorf("need -bench or source files"))
 	}
 
-	t, err := branchcost.RecordTrace(prog, inputs)
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	t, err := tracefile.RecordConfig(ctx, prog, inputs, vm.Config{MaxSteps: maxSteps})
 	if err != nil {
 		fail(err)
 	}
@@ -166,28 +181,54 @@ func openCorpus(dir string) *corpus.Store {
 
 // doRecordSuite warms the corpus: every benchmark whose entry is missing is
 // recorded by one instrumented VM pass; present entries are left untouched.
-func doRecordSuite(ctx context.Context, dir string) {
+// A positive deadline bounds each benchmark's recording, maxSteps bounds each
+// VM run, and partial turns per-benchmark failures into a joined end-of-run
+// report instead of aborting the warm-up.
+func doRecordSuite(ctx context.Context, dir string, deadline time.Duration, maxSteps int64, partial bool) {
 	store := openCorpus(dir)
+	var errs []error
 	for _, b := range workloads.All() {
-		prog, err := b.Program()
-		if err != nil {
-			fail(err)
-		}
-		inputs := b.Inputs()
-		k := corpus.KeyFor(b.Name, prog, inputs)
-		if store.Has(k) {
-			fmt.Printf("%-10s warm (%s)\n", b.Name, k.Hash)
+		err := recordOne(ctx, store, b, deadline, maxSteps)
+		if err == nil {
 			continue
 		}
-		t, prof, err := corpus.Record(prog, inputs)
-		if err != nil {
-			fail(fmt.Errorf("%s: %w", b.Name, err))
-		}
-		if err := store.PutContext(ctx, k, t, prof); err != nil {
+		err = fmt.Errorf("%s: %w", b.Name, err)
+		if !partial {
 			fail(err)
 		}
-		fmt.Printf("%-10s recorded %d events, %d sites (%s)\n", b.Name, t.Len(), t.Sites(), k.Hash)
+		fmt.Fprintf(os.Stderr, "btrace: %v (continuing: -partial)\n", err)
+		errs = append(errs, err)
 	}
+	if err := errors.Join(errs...); err != nil {
+		fail(fmt.Errorf("%d benchmark(s) failed to record:\n%w", len(errs), err))
+	}
+}
+
+func recordOne(ctx context.Context, store *corpus.Store, b *workloads.Benchmark, deadline time.Duration, maxSteps int64) error {
+	prog, err := b.Program()
+	if err != nil {
+		return err
+	}
+	inputs := b.Inputs()
+	k := corpus.KeyFor(b.Name, prog, inputs)
+	if store.Has(k) {
+		fmt.Printf("%-10s warm (%s)\n", b.Name, k.Hash)
+		return nil
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	t, prof, err := corpus.RecordContext(ctx, prog, inputs, maxSteps)
+	if err != nil {
+		return err
+	}
+	if err := store.PutContext(ctx, k, t, prof); err != nil {
+		return err
+	}
+	fmt.Printf("%-10s recorded %d events, %d sites (%s)\n", b.Name, t.Len(), t.Sites(), k.Hash)
+	return nil
 }
 
 func doList(dir string) {

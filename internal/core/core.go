@@ -83,6 +83,13 @@ type Config struct {
 	// hit/miss totals). A set already present on the evaluation context takes
 	// precedence; this field exists for callers without a context in hand.
 	Telemetry *telemetry.Set
+
+	// MaxVMSteps, when positive, bounds every VM run of the evaluation
+	// (profiling, recording, and the FS measurement pass) to that many
+	// dynamic instructions — the step-budget watchdog that converts a
+	// runaway workload into a located trap instead of a hung suite. Zero
+	// means the VM default (1<<34).
+	MaxVMSteps int64
 }
 
 // Ptr returns a pointer to v, for the Config fields with pointer-or-nil
@@ -188,6 +195,12 @@ type Eval struct {
 	VMRuns    int64
 	WallNS    int64
 	Phases    []PhaseTiming
+
+	// Degraded lists everything this evaluation survived instead of failing
+	// on — a quarantined corpus entry, a failed re-store — so a run's
+	// provenance records exactly what was healed or skipped. Empty on a
+	// clean run; carried into the manifest.
+	Degraded []DegradeEvent
 
 	cfg   Config // resolved configuration, for Manifest
 	telem *telemetry.Set
@@ -300,14 +313,37 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 	// it with a disk load.
 	same := sameInputs(profInputs, evalInputs)
 	var key corpus.Key
+	healing := false
 	if same && cfg.Corpus != nil {
 		key = corpus.KeyFor(name, prog, profInputs)
 		e.CorpusKey = key.Hash
 		start := time.Now()
-		// A damaged entry loads like a miss: re-record and overwrite it.
-		if t, p, err := cfg.Corpus.LoadContext(ctx, key); err == nil {
+		t, p, err := cfg.Corpus.LoadContext(ctx, key)
+		switch {
+		case err == nil:
 			e.Trace, e.Profile, e.FromCorpus = t, p, true
 			e.phase("corpus.load", start)
+		case corpus.IsMiss(err):
+			// Cold: fall through to the live recording pass.
+		case corpus.IsTransient(err):
+			// The entry may be intact; only this access failed. Re-recording
+			// here would silently overwrite a good entry on a disk glitch, so
+			// surface the error and let the scheduler retry the evaluation.
+			return nil, fmt.Errorf("core: %s: corpus load: %w", name, err)
+		default:
+			// Located corruption (CRC failure, truncation, torn rename):
+			// quarantine the damaged files for inspection, then heal by
+			// falling through to live re-recording — warm-path corruption
+			// becomes a logged slowdown, not a failure.
+			healing = true
+			e.degrade("corpus.load", "quarantine", err.Error())
+			if qerr := cfg.Corpus.QuarantineContext(ctx, key); qerr != nil {
+				// Best-effort: a failed quarantine still heals (the re-store
+				// below overwrites in place), it just loses the evidence.
+				e.degrade("corpus.load", "quarantine_failed", qerr.Error())
+				telemetry.Logger(ctx).Warn("core: quarantine failed",
+					"benchmark", name, "err", qerr)
+			}
 		}
 	}
 	if e.Trace == nil {
@@ -329,7 +365,7 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 				span.End()
 				return nil, err
 			}
-			res, err := vm.Run(prog, in, hook, vm.Config{Metrics: set})
+			res, err := vm.Run(prog, in, hook, vm.Config{Metrics: set, Ctx: pctx, MaxSteps: cfg.MaxVMSteps})
 			if err != nil {
 				span.End()
 				return nil, fmt.Errorf("core: %s: profiling run %d: %w", name, i, err)
@@ -345,7 +381,15 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 			if cfg.Corpus != nil {
 				start := time.Now()
 				if err := cfg.Corpus.PutContext(ctx, key, tr, e.Profile); err != nil {
-					return nil, fmt.Errorf("core: %s: %w", name, err)
+					// The trace is in memory and the evaluation can finish;
+					// losing the store only costs the next run a re-record.
+					e.degrade("corpus.store", "store_failed", err.Error())
+					set.Counter("core.store_degraded").Inc()
+					telemetry.Logger(ctx).Warn("core: corpus store failed, continuing",
+						"benchmark", name, "err", err)
+				} else if healing {
+					e.degrade("corpus.store", "healed", "re-recorded after quarantine")
+					set.Counter("core.heals").Inc()
 				}
 				e.phase("corpus.store", start)
 			}
@@ -358,7 +402,7 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 					span.End()
 					return nil, err
 				}
-				res, err := vm.Run(prog, in, rec, vm.Config{Metrics: set})
+				res, err := vm.Run(prog, in, rec, vm.Config{Metrics: set, Ctx: rctx, MaxSteps: cfg.MaxVMSteps})
 				if err != nil {
 					span.End()
 					return nil, fmt.Errorf("core: %s: recording run %d: %w", name, i, err)
@@ -453,7 +497,7 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 				span.End()
 				return nil, err
 			}
-			if _, err := vm.Run(fsRes.Prog, in, fsHook, vm.Config{Metrics: set}); err != nil {
+			if _, err := vm.Run(fsRes.Prog, in, fsHook, vm.Config{Metrics: set, Ctx: fctx, MaxSteps: cfg.MaxVMSteps}); err != nil {
 				span.End()
 				return nil, fmt.Errorf("core: %s: FS evaluation run %d: %w", name, i, err)
 			}
@@ -484,6 +528,11 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 // phase appends one completed phase timing.
 func (e *Eval) phase(name string, start time.Time) {
 	e.Phases = append(e.Phases, PhaseTiming{Name: name, DurationNS: time.Since(start).Nanoseconds()})
+}
+
+// degrade appends one survived-degradation record.
+func (e *Eval) degrade(phase, kind, detail string) {
+	e.Degraded = append(e.Degraded, DegradeEvent{Phase: phase, Kind: kind, Detail: detail})
 }
 
 // Cost evaluates the paper's cost model for each scheme at the given

@@ -17,6 +17,18 @@ type PhaseTiming struct {
 	DurationNS int64  `json:"duration_ns"`
 }
 
+// DegradeEvent is one failure an evaluation survived instead of aborting on:
+// Phase names the pipeline phase it struck ("corpus.load", "corpus.store"),
+// Kind the response ("quarantine", "healed", "store_failed",
+// "quarantine_failed"), and Detail the underlying error text. The manifest
+// carries these so a run's provenance shows exactly what was quarantined,
+// healed, or skipped.
+type DegradeEvent struct {
+	Phase  string `json:"phase"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
 // ManifestConfig is the fully resolved hardware/transform configuration an
 // evaluation ran with — no nil-means-default fields, so two manifests compare
 // byte-for-byte when their runs were configured identically.
@@ -64,6 +76,7 @@ type Manifest struct {
 	Order       []string                  `json:"order"`
 	Schemes     map[string]ManifestScheme `json:"schemes"`
 	Phases      []PhaseTiming             `json:"phases,omitempty"`
+	Degraded    []DegradeEvent            `json:"degraded,omitempty"`
 
 	// Telemetry is the counter/gauge/span snapshot of the set the evaluation
 	// ran under. Note the set may be shared by several evaluations (a suite
@@ -92,6 +105,7 @@ func (e *Eval) Manifest() *Manifest {
 		Order:      e.Order,
 		Schemes:    make(map[string]ManifestScheme, len(e.Schemes)),
 		Phases:     e.Phases,
+		Degraded:   e.Degraded,
 	}
 	if cfg.CounterThreshold != nil {
 		m.Config.CounterThreshold = *cfg.CounterThreshold

@@ -1,0 +1,199 @@
+package corpus_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"branchcost/internal/corpus"
+	"branchcost/internal/faultfs"
+	"branchcost/internal/telemetry"
+	"branchcost/internal/workloads"
+)
+
+// recordWC records wc's run-0 trace+profile and returns the matching key.
+func recordWC(t *testing.T) (corpus.Key, func(s *corpus.Store) error) {
+	t.Helper()
+	b, err := workloads.ByName("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{b.Input(0)}
+	tr, prof, err := corpus.Record(prog, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := corpus.KeyFor("wc", prog, inputs)
+	return k, func(s *corpus.Store) error { return s.Put(k, tr, prof) }
+}
+
+// TestChaosTransientReadRetainsEntry: an injected mid-file read failure must
+// classify as transient (retry), not corrupt (quarantine), and the entry must
+// survive intact: the very next load — fault spent — succeeds.
+func TestChaosTransientReadRetainsEntry(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(nil, faultfs.Plan{FailReadAt: 1, PathContains: ".bct2"})
+	s, err := corpus.OpenFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, put := recordWC(t)
+	if err := put(s); err != nil {
+		t.Fatal(err)
+	}
+	set := telemetry.New()
+	ctx := telemetry.NewContext(context.Background(), set)
+
+	_, _, err = s.LoadContext(ctx, k)
+	if !corpus.IsTransient(err) {
+		t.Fatalf("injected read fault classified %v, want transient", err)
+	}
+	if corpus.IsCorrupt(err) || corpus.IsMiss(err) {
+		t.Fatalf("transient fault misclassified: %v", err)
+	}
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("error chain lost the injected marker: %v", err)
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("injector fired %d times, want 1", inj.Injected())
+	}
+
+	// The one-shot fault is spent: the entry was never damaged.
+	if _, _, err := s.LoadContext(ctx, k); err != nil {
+		t.Fatalf("entry did not survive a transient fault: %v", err)
+	}
+	snap := set.Snapshot().Counters
+	if snap["corpus.io_errors"] != 1 || snap["corpus.hits"] != 1 {
+		t.Fatalf("counters: io_errors=%d hits=%d, want 1/1 (snapshot %v)",
+			snap["corpus.io_errors"], snap["corpus.hits"], snap)
+	}
+	if snap["corpus.invalidations"] != 0 {
+		t.Fatalf("transient fault counted as invalidation: %v", snap)
+	}
+}
+
+// TestChaosUnreadableEntryIsTransient: an entry whose every open fails is
+// transient — the store must never decide the bytes are bad from an EIO.
+func TestChaosUnreadableEntryIsTransient(t *testing.T) {
+	dir := t.TempDir()
+	// The plan matches only the final entry files, so Put's temp-file dance
+	// is untouched and the entry lands on disk intact.
+	inj := faultfs.NewInjector(nil, faultfs.Plan{FailOpenAt: 1, EveryOpen: true, PathContains: "wc-"})
+	s, err := corpus.OpenFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, put := recordWC(t)
+	if err := put(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, _, err := s.Load(k)
+		if !corpus.IsTransient(err) {
+			t.Fatalf("load %d: %v, want transient", i, err)
+		}
+	}
+	// The files themselves are fine: a clean store over the same dir loads.
+	clean, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := clean.Load(k); err != nil {
+		t.Fatalf("entry was damaged by open failures: %v", err)
+	}
+}
+
+// TestChaosTornRenameThenQuarantine: a torn rename leaves a truncated trace
+// under the final name — the next load must diagnose corruption (not a miss,
+// not a hang), and Quarantine must move the evidence aside so the entry
+// reads as a clean miss afterwards.
+func TestChaosTornRenameThenQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(nil, faultfs.Plan{TornRenameAt: 1, PathContains: ".bct2"})
+	s, err := corpus.OpenFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, put := recordWC(t)
+	if err := put(s); !errors.Is(err, faultfs.ErrInjected) || !corpus.IsTransient(err) {
+		t.Fatalf("torn put: %v, want transient injected failure", err)
+	}
+
+	// The wreckage: a truncated file sits under the final trace name.
+	clean, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(clean.TracePath(k)); err != nil {
+		t.Fatalf("torn rename left no wreckage: %v", err)
+	}
+	set := telemetry.New()
+	ctx := telemetry.NewContext(context.Background(), set)
+	_, _, err = clean.LoadContext(ctx, k)
+	if !corpus.IsCorrupt(err) {
+		t.Fatalf("torn entry classified %v, want corrupt", err)
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("torn entry error is not located: %v", err)
+	}
+
+	if err := clean.QuarantineContext(ctx, k); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := clean.Load(k); !corpus.IsMiss(err) {
+		t.Fatalf("post-quarantine load: %v, want miss", err)
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, ".quarantine"))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("quarantine dir empty (err %v)", err)
+	}
+	if got := set.Snapshot().Counters["corpus.quarantines"]; got != 1 {
+		t.Fatalf("corpus.quarantines = %d, want 1", got)
+	}
+	// Quarantining an already-gone entry is a no-op, not an error.
+	if err := clean.Quarantine(k); err != nil {
+		t.Fatalf("quarantine is not idempotent: %v", err)
+	}
+}
+
+// TestChaosSeededDeterminism: the probabilistic plan must make identical
+// injection decisions for an identical operation sequence — the property the
+// chaos suite's fixed seed list {1, 7, 42} depends on.
+func TestChaosSeededDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		outcome := func() []bool {
+			dir := t.TempDir()
+			inj := faultfs.NewInjector(nil, faultfs.Plan{Seed: seed, ReadFailProb: 0.4, PathContains: ".bct2"})
+			s, err := corpus.OpenFS(dir, inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kk, put := recordWC(t)
+			if err := put(s); err != nil {
+				t.Fatal(err)
+			}
+			var outs []bool
+			for i := 0; i < 16; i++ {
+				_, _, err := s.Load(kk)
+				outs = append(outs, err == nil)
+				if err != nil && !corpus.IsTransient(err) {
+					t.Fatalf("seed %d load %d: %v, want nil or transient", seed, i, err)
+				}
+			}
+			return outs
+		}
+		a, b := outcome(), outcome()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: replay diverged at load %d (%v vs %v)", seed, i, a, b)
+			}
+		}
+	}
+}

@@ -32,10 +32,12 @@ import (
 	"strings"
 	"time"
 
+	"branchcost/internal/faultfs"
 	"branchcost/internal/isa"
 	"branchcost/internal/profile"
 	"branchcost/internal/telemetry"
 	"branchcost/internal/tracefile"
+	"branchcost/internal/vm"
 )
 
 // EnvVar names the environment variable holding the default corpus
@@ -51,21 +53,52 @@ const (
 	profExt  = ".prof"
 )
 
+// QuarantineDirName is the store subdirectory damaged entries are moved
+// into: renamed aside rather than deleted, so a corruption incident stays
+// inspectable after the entry has been healed by re-recording.
+const QuarantineDirName = ".quarantine"
+
+// The three failure classes a corpus operation can report, all wrapped into
+// the returned error chain for errors.Is classification:
+//
+//   - ErrMiss: the entry does not exist. Callers record it.
+//   - ErrCorrupt: the entry exists but will not decode (CRC failure,
+//     truncation, torn rename). Callers quarantine and re-record it.
+//   - ErrIO: the entry may be intact but this access failed (injected or
+//     environmental I/O error). Callers retry — re-recording would waste a
+//     good entry, and overwriting it on a transient glitch is the failure
+//     mode the quarantine path exists to avoid.
+var (
+	ErrMiss    = errors.New("entry absent")
+	ErrCorrupt = errors.New("entry corrupt")
+	ErrIO      = errors.New("transient I/O failure")
+)
+
 // Store is a corpus rooted at one directory. The zero value is unusable;
-// construct with Open.
+// construct with Open (or OpenFS to inject a filesystem).
 type Store struct {
-	dir string
+	dir  string
+	fsys faultfs.FS
 }
 
 // Open returns a store rooted at dir, creating the directory if needed.
 func Open(dir string) (*Store, error) {
+	return OpenFS(dir, nil)
+}
+
+// OpenFS is Open over an injectable filesystem (nil means the real one) —
+// the seam chaos tests use to schedule I/O faults under the store.
+func OpenFS(dir string, fsys faultfs.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("corpus: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("corpus: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fsys: fsys}, nil
 }
 
 // FromEnv opens the store named by $BRANCHCOST_CORPUS. It returns (nil,
@@ -172,7 +205,7 @@ func (s *Store) ProfilePath(k Key) string { return s.base(k) + profExt }
 // Has reports whether both files of the entry exist.
 func (s *Store) Has(k Key) bool {
 	for _, p := range []string{s.TracePath(k), s.ProfilePath(k)} {
-		if _, err := os.Stat(p); err != nil {
+		if _, err := s.fsys.Stat(p); err != nil {
 			return false
 		}
 	}
@@ -188,9 +221,9 @@ func (s *Store) Load(k Key) (*tracefile.Trace, *profile.Profile, error) {
 }
 
 // LoadContext is Load with telemetry: when ctx carries a Set, the outcome
-// is counted ("corpus.hits", "corpus.misses", or — for a present but
-// undecodable entry — "corpus.invalidations"), load latency accumulates in
-// "corpus.load_ns", and hits/invalidations are logged.
+// is counted ("corpus.hits", "corpus.misses", "corpus.invalidations" for a
+// corrupt entry, or "corpus.io_errors" for a transient failure), load
+// latency accumulates in "corpus.load_ns", and hits/failures are logged.
 func (s *Store) LoadContext(ctx context.Context, k Key) (*tracefile.Trace, *profile.Profile, error) {
 	set := telemetry.FromContext(ctx)
 	start := time.Now()
@@ -203,10 +236,16 @@ func (s *Store) LoadContext(ctx context.Context, k Key) (*tracefile.Trace, *prof
 			"events", t.Len(), "elapsed", time.Since(start))
 	case IsMiss(err):
 		set.Counter("corpus.misses").Inc()
+	case IsTransient(err):
+		// The entry may be fine; only this access failed. Counted apart
+		// from invalidations so a flaky disk doesn't read as corruption.
+		set.Counter("corpus.io_errors").Inc()
+		set.Log().Warn("corpus load I/O failure, entry retained",
+			"entry", k.Name, "hash", k.Hash, "err", err)
 	default:
-		// A present entry that will not decode: the caller re-records it,
-		// but unlike a clean miss this deserves a warning — it means a
-		// damaged file (truncation, corruption) sat in the store.
+		// A present entry that will not decode: the caller quarantines and
+		// re-records it, and unlike a clean miss this deserves a warning —
+		// it means a damaged file (truncation, corruption) sat in the store.
 		set.Counter("corpus.invalidations").Inc()
 		set.Log().Warn("corpus entry invalid, will re-record",
 			"entry", k.Name, "hash", k.Hash, "err", err)
@@ -214,24 +253,44 @@ func (s *Store) LoadContext(ctx context.Context, k Key) (*tracefile.Trace, *prof
 	return t, prof, err
 }
 
+// classifyOpen maps an open/stat failure onto the sentinel taxonomy: a
+// missing file is a miss, anything else (permissions, injected EIO) is
+// transient — the entry itself is not known to be damaged.
+func classifyOpen(err error) error {
+	if errors.Is(err, fs.ErrNotExist) {
+		return ErrMiss
+	}
+	return ErrIO
+}
+
+// classifyDecode maps a decode failure: an injected I/O fault mid-read is
+// transient (the bytes on disk may be fine); every other decode failure
+// means the bytes themselves are wrong.
+func classifyDecode(err error) error {
+	if errors.Is(err, faultfs.ErrInjected) {
+		return ErrIO
+	}
+	return ErrCorrupt
+}
+
 func (s *Store) load(ctx context.Context, k Key) (*tracefile.Trace, *profile.Profile, error) {
-	tf, err := os.Open(s.TracePath(k))
+	tf, err := s.fsys.Open(s.TracePath(k))
 	if err != nil {
-		return nil, nil, fmt.Errorf("corpus: %s: %w", k.Name, err)
+		return nil, nil, fmt.Errorf("corpus: %s: %w: %w", k.Name, classifyOpen(err), err)
 	}
 	defer tf.Close()
 	t, err := tracefile.ReadTraceContext(ctx, bufio.NewReaderSize(tf, 1<<20))
 	if err != nil {
-		return nil, nil, fmt.Errorf("corpus: %s: trace: %w", k.Name, err)
+		return nil, nil, fmt.Errorf("corpus: %s: trace: %w: %w", k.Name, classifyDecode(err), err)
 	}
-	pf, err := os.Open(s.ProfilePath(k))
+	pf, err := s.fsys.Open(s.ProfilePath(k))
 	if err != nil {
-		return nil, nil, fmt.Errorf("corpus: %s: %w", k.Name, err)
+		return nil, nil, fmt.Errorf("corpus: %s: %w: %w", k.Name, classifyOpen(err), err)
 	}
 	defer pf.Close()
 	prof, err := profile.Load(pf)
 	if err != nil {
-		return nil, nil, fmt.Errorf("corpus: %s: profile: %w", k.Name, err)
+		return nil, nil, fmt.Errorf("corpus: %s: profile: %w: %w", k.Name, classifyDecode(err), err)
 	}
 	return t, prof, nil
 }
@@ -239,16 +298,49 @@ func (s *Store) load(ctx context.Context, k Key) (*tracefile.Trace, *profile.Pro
 // OpenTrace opens the entry's trace as a block stream, for replay without
 // materializing it. The caller must Close the returned closer.
 func (s *Store) OpenTrace(k Key) (*tracefile.BCT2Reader, io.Closer, error) {
-	f, err := os.Open(s.TracePath(k))
+	f, err := s.fsys.Open(s.TracePath(k))
 	if err != nil {
-		return nil, nil, fmt.Errorf("corpus: %s: %w", k.Name, err)
+		return nil, nil, fmt.Errorf("corpus: %s: %w: %w", k.Name, classifyOpen(err), err)
 	}
 	d, err := tracefile.NewBCT2Reader(bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("corpus: %s: %w", k.Name, err)
+		return nil, nil, fmt.Errorf("corpus: %s: %w: %w", k.Name, classifyDecode(err), err)
 	}
 	return d, f, nil
+}
+
+// Quarantine moves a damaged entry aside. See QuarantineContext.
+func (s *Store) Quarantine(k Key) error {
+	return s.QuarantineContext(context.Background(), k)
+}
+
+// QuarantineContext renames both files of the entry into the store's
+// .quarantine/ subdirectory — preserving the evidence for inspection while
+// freeing the live name for the healed re-recording — and counts the event
+// ("corpus.quarantines"). A file already gone is not an error: quarantining
+// is idempotent and tolerates half-written entries.
+func (s *Store) QuarantineContext(ctx context.Context, k Key) error {
+	set := telemetry.FromContext(ctx)
+	qdir := filepath.Join(s.dir, QuarantineDirName)
+	if err := s.fsys.MkdirAll(qdir, 0o777); err != nil {
+		return fmt.Errorf("corpus: quarantine %s: %w", k.Name, err)
+	}
+	moved := 0
+	for _, p := range []string{s.TracePath(k), s.ProfilePath(k)} {
+		err := s.fsys.Rename(p, filepath.Join(qdir, filepath.Base(p)))
+		switch {
+		case err == nil:
+			moved++
+		case errors.Is(err, fs.ErrNotExist):
+		default:
+			return fmt.Errorf("corpus: quarantine %s: %w", k.Name, err)
+		}
+	}
+	set.Counter("corpus.quarantines").Inc()
+	set.Log().Warn("corpus entry quarantined", "entry", k.Name, "hash", k.Hash,
+		"files", moved, "dir", qdir)
+	return nil
 }
 
 // Put stores the entry atomically: each file is written to a temp name in
@@ -269,10 +361,10 @@ func (s *Store) PutContext(ctx context.Context, k Key, t *tracefile.Trace, prof 
 		_, err := t.WriteTo(w)
 		return err
 	}); err != nil {
-		return fmt.Errorf("corpus: %s: trace: %w", k.Name, err)
+		return fmt.Errorf("corpus: %s: trace: %w: %w", k.Name, ErrIO, err)
 	}
 	if err := s.writeAtomic(s.ProfilePath(k), prof.Save); err != nil {
-		return fmt.Errorf("corpus: %s: profile: %w", k.Name, err)
+		return fmt.Errorf("corpus: %s: profile: %w: %w", k.Name, ErrIO, err)
 	}
 	set.Counter("corpus.stores").Inc()
 	set.Counter("corpus.store_ns").Add(time.Since(start).Nanoseconds())
@@ -282,11 +374,11 @@ func (s *Store) PutContext(ctx context.Context, k Key, t *tracefile.Trace, prof 
 }
 
 func (s *Store) writeAtomic(path string, write func(io.Writer) error) error {
-	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	tmp, err := s.fsys.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer s.fsys.Remove(tmp.Name())
 	bw := bufio.NewWriterSize(tmp, 1<<20)
 	if err := write(bw); err != nil {
 		tmp.Close()
@@ -306,7 +398,7 @@ func (s *Store) writeAtomic(path string, write func(io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := s.fsys.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
 	return syncDir(s.dir)
@@ -322,9 +414,11 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
-// Keys scans the store and returns every complete entry.
+// Keys scans the store and returns every complete entry (quarantined ones
+// excluded: they live under .quarantine/, which the scan does not descend
+// into).
 func (s *Store) Keys() ([]Key, error) {
-	ents, err := os.ReadDir(s.dir)
+	ents, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: %w", err)
 	}
@@ -351,10 +445,17 @@ func (s *Store) Keys() ([]Key, error) {
 // entry, and the same single-pass methodology core.Evaluate uses when
 // profiling and evaluation suites coincide.
 func Record(p *isa.Program, inputs [][]byte) (*tracefile.Trace, *profile.Profile, error) {
+	return RecordContext(context.Background(), p, inputs, 0)
+}
+
+// RecordContext is Record under a context and a per-run step budget
+// (0 means the VM default): the watchdogged recording path, where a hung
+// program is killed by deadline or budget instead of stalling the suite.
+func RecordContext(ctx context.Context, p *isa.Program, inputs [][]byte, maxSteps int64) (*tracefile.Trace, *profile.Profile, error) {
 	prof := profile.New()
 	col := &profile.Collector{P: prof}
 	phook := col.Hook()
-	t, err := tracefile.Record(p, inputs, phook)
+	t, err := tracefile.RecordConfig(ctx, p, inputs, vm.Config{MaxSteps: maxSteps}, phook)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -363,5 +464,16 @@ func Record(p *isa.Program, inputs [][]byte) (*tracefile.Trace, *profile.Profile
 }
 
 // IsMiss reports whether a Load failure means "no entry" rather than a
-// damaged one.
-func IsMiss(err error) bool { return errors.Is(err, fs.ErrNotExist) }
+// damaged or unreachable one. (The bare fs.ErrNotExist check predates the
+// sentinel taxonomy and is kept for errors that bypassed LoadContext.)
+func IsMiss(err error) bool {
+	return errors.Is(err, ErrMiss) || errors.Is(err, fs.ErrNotExist)
+}
+
+// IsCorrupt reports whether a failure means the entry's bytes are damaged —
+// the caller should quarantine and re-record.
+func IsCorrupt(err error) bool { return errors.Is(err, ErrCorrupt) }
+
+// IsTransient reports whether a failure was environmental (I/O) rather than
+// a verdict on the entry — the caller should retry, not re-record.
+func IsTransient(err error) bool { return errors.Is(err, ErrIO) }

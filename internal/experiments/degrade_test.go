@@ -1,0 +1,209 @@
+package experiments_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"branchcost/internal/core"
+	"branchcost/internal/corpus"
+	"branchcost/internal/experiments"
+	"branchcost/internal/faultfs"
+	"branchcost/internal/telemetry"
+	"branchcost/internal/workloads"
+)
+
+// hungBenchmark is a synthetic workload that never halts — the hung-suite
+// member of the degrade-don't-die acceptance test. Only the per-benchmark
+// deadline (vm.Config.Ctx polling) can kill it.
+func hungBenchmark() *workloads.Benchmark {
+	return &workloads.Benchmark{
+		Name: "hung",
+		Runs: 1,
+		Sources: []string{`
+func main() {
+	var i;
+	i = 0;
+	while (i < 1) {
+		i = i * 1;
+	}
+	return 0;
+}
+`},
+		Input: func(int) []byte { return nil },
+	}
+}
+
+// TestSuiteDegradeDontDie is the suite-level acceptance test: a fan-out over
+// N benchmarks where one hangs forever and one has a permanently unreadable
+// corpus entry must complete the other N−2, within the deadline, and report
+// both failures with their phase and attempt counts — not abort the run.
+func TestSuiteDegradeDontDie(t *testing.T) {
+	if testing.Short() {
+		// The healthy benchmarks must beat a real wall-clock deadline, which
+		// a loaded race-instrumented tier-1 run can't guarantee; make chaos
+		// runs this under -race without -short, standalone.
+		t.Skip("deadline-bound acceptance test; run via make chaos")
+	}
+	dir := t.TempDir()
+	// Every open of grep's entry files fails: a persistently unreadable
+	// (transient-class) entry that exhausts the retry budget.
+	inj := faultfs.NewInjector(nil, faultfs.Plan{Seed: 7, FailOpenAt: 1, EveryOpen: true, PathContains: "grep-"})
+	store, err := corpus.OpenFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := telemetry.New()
+	s := experiments.NewSuite(core.Config{
+		Corpus:    store,
+		Schemes:   []string{"sbtb", "cbtb"},
+		Telemetry: set,
+	})
+	s.Workers = 4
+	s.Deadline = 5 * time.Second
+	s.Retries = 2
+	s.RetryBackoff = time.Millisecond
+	s.Lookup = func(name string) (*workloads.Benchmark, error) {
+		if name == "hung" {
+			return hungBenchmark(), nil
+		}
+		return workloads.ByName(name)
+	}
+
+	names := []string{"wc", "cmp", "hung", "grep"}
+	start := time.Now()
+	p := s.EvalNamesPartial(context.Background(), names)
+	elapsed := time.Since(start)
+
+	// The healthy N−2 completed, in their argument slots.
+	if got := len(p.Complete()); got != 2 {
+		t.Fatalf("%d benchmarks completed, want 2 (errors: %v)", got, p.Errors)
+	}
+	if p.Evals[0] == nil || p.Evals[0].Name != "wc" || p.Evals[1] == nil || p.Evals[1].Name != "cmp" {
+		t.Fatalf("surviving evaluations misplaced: %+v", p.Evals)
+	}
+	if p.Evals[2] != nil || p.Evals[3] != nil {
+		t.Fatal("failed benchmarks produced evaluations")
+	}
+	// Degrading, not dying, also means not stalling: the whole run is bounded
+	// by roughly one deadline, not N of them serially.
+	if elapsed > 3*s.Deadline {
+		t.Fatalf("partial run took %v, want bounded by the deadline (%v)", elapsed, s.Deadline)
+	}
+
+	// Both failures are structured: benchmark, phase, attempts, cause.
+	byName := map[string]*experiments.BenchError{}
+	for _, be := range p.Errors {
+		byName[be.Benchmark] = be
+	}
+	if len(byName) != 2 {
+		t.Fatalf("reported failures %v, want hung and grep", p.Errors)
+	}
+	hung := byName["hung"]
+	if hung == nil || hung.Phase != "deadline" || hung.Attempts != 1 {
+		t.Fatalf("hung failure = %+v, want phase deadline after 1 attempt", hung)
+	}
+	if !errors.Is(hung, context.DeadlineExceeded) {
+		t.Fatalf("hung cause %v does not unwrap to DeadlineExceeded", hung)
+	}
+	grep := byName["grep"]
+	if grep == nil || grep.Phase != "corpus" || grep.Attempts != s.Retries+1 {
+		t.Fatalf("grep failure = %+v, want phase corpus after %d attempts", grep, s.Retries+1)
+	}
+	if !corpus.IsTransient(grep) {
+		t.Fatalf("grep cause %v is not transient", grep)
+	}
+
+	// Scheduler telemetry saw the retries, the failures, and the deadline.
+	snap := set.Snapshot().Counters
+	if snap["suite.retries"] != int64(s.Retries) {
+		t.Fatalf("suite.retries = %d, want %d", snap["suite.retries"], s.Retries)
+	}
+	if snap["suite.failures"] != 2 || snap["suite.deadlines"] != 1 {
+		t.Fatalf("failures=%d deadlines=%d, want 2/1 (snapshot %v)",
+			snap["suite.failures"], snap["suite.deadlines"], snap)
+	}
+
+	// Failures() keeps the record; Manifests() carries only the survivors.
+	fails := s.Failures()
+	if len(fails) != 2 || fails[0].Benchmark != "grep" || fails[1].Benchmark != "hung" {
+		t.Fatalf("Failures() = %v, want [grep hung]", fails)
+	}
+	if ms := s.Manifests(); len(ms) != 2 {
+		t.Fatalf("Manifests() returned %d entries, want 2", len(ms))
+	}
+
+	// The joined error names every failed benchmark.
+	msg := p.Err().Error()
+	if !strings.Contains(msg, "hung") || !strings.Contains(msg, "grep") {
+		t.Fatalf("joined error %q does not name both failures", msg)
+	}
+}
+
+// TestSuiteEvalNamesContinuesPastFailure: EvalNames must evaluate the whole
+// list even when an early name fails, and join every failure rather than
+// stopping at the first.
+func TestSuiteEvalNamesContinuesPastFailure(t *testing.T) {
+	set := telemetry.New()
+	s := experiments.NewSuite(core.Config{Telemetry: set})
+	s.Workers = 1 // serial: the failing names come first
+	_, err := s.EvalNames(context.Background(), []string{"no-such-a", "no-such-b", "wc"})
+	if err == nil {
+		t.Fatal("unknown benchmarks did not fail the pool")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "no-such-a") || !strings.Contains(msg, "no-such-b") {
+		t.Fatalf("joined error %q does not name every failure", msg)
+	}
+	// wc still evaluated despite the earlier failures.
+	if got := set.Snapshot().Counters["suite.evals"]; got != 3 {
+		t.Fatalf("suite.evals = %d, want 3 (the pool must not stop early)", got)
+	}
+	if ms := s.Manifests(); len(ms) != 1 || ms[0].Benchmark != "wc" {
+		t.Fatalf("wc did not complete: manifests %v", ms)
+	}
+	// A BenchError in the chain carries the lookup phase.
+	var be *experiments.BenchError
+	if !errors.As(err, &be) || be.Phase != "lookup" {
+		t.Fatalf("joined error lacks a lookup-phase BenchError: %v", err)
+	}
+}
+
+// TestSuiteRetryHealsTransientFault: a one-shot I/O fault must cost one
+// retry, then succeed — the bounded-backoff path's happy ending.
+func TestSuiteRetryHealsTransientFault(t *testing.T) {
+	dir := t.TempDir()
+	warm, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the entry cleanly first.
+	if _, err := experiments.NewSuite(core.Config{Corpus: warm}).EvalContext(context.Background(), "wc"); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultfs.NewInjector(nil, faultfs.Plan{FailOpenAt: 1, PathContains: "wc-"})
+	store, err := corpus.OpenFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := telemetry.New()
+	s := experiments.NewSuite(core.Config{Corpus: store, Telemetry: set})
+	s.Retries = 3
+	s.RetryBackoff = time.Millisecond
+	e, err := s.EvalContext(context.Background(), "wc")
+	if err != nil {
+		t.Fatalf("one-shot fault was not retried away: %v", err)
+	}
+	if !e.FromCorpus {
+		t.Fatal("retried evaluation did not hit the corpus")
+	}
+	if got := set.Snapshot().Counters["suite.retries"]; got != 1 {
+		t.Fatalf("suite.retries = %d, want 1", got)
+	}
+	if len(s.Failures()) != 0 {
+		t.Fatalf("successful retry left failures: %v", s.Failures())
+	}
+}

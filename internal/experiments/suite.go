@@ -7,13 +7,17 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"branchcost/internal/core"
+	"branchcost/internal/corpus"
 	"branchcost/internal/predict"
 	"branchcost/internal/telemetry"
 	"branchcost/internal/tracefile"
@@ -34,20 +38,150 @@ type Suite struct {
 	// and Warm; 0 means GOMAXPROCS.
 	Workers int
 
-	mu    sync.Mutex
-	evals map[string]*suiteEntry
+	// Deadline, when positive, bounds each benchmark's evaluation wall clock.
+	// It is applied when the evaluation starts executing — not while it waits
+	// for a pool slot — so a saturated pool does not eat the budget. A
+	// benchmark that blows its deadline fails with context.DeadlineExceeded
+	// (phase "deadline"); with Cfg.MaxVMSteps also set, whichever trips first
+	// kills a hung workload.
+	Deadline time.Duration
+
+	// Retries is how many extra attempts a transient corpus I/O failure earns
+	// before the benchmark is declared failed; 0 disables retry. Only
+	// corpus.IsTransient errors retry — corruption heals inside core, and
+	// deterministic failures (lookup, VM traps, deadlines) would only fail
+	// again.
+	Retries int
+
+	// RetryBackoff is the base delay of the exponential backoff between retry
+	// attempts (doubled each attempt, jittered ±50%); 0 means 50ms.
+	RetryBackoff time.Duration
+
+	// Lookup resolves a benchmark name; nil means workloads.ByName. Tests
+	// inject synthetic workloads (a hung loop, a poisoned input) here.
+	Lookup func(name string) (*workloads.Benchmark, error)
+
+	mu       sync.Mutex
+	evals    map[string]*suiteEntry
+	failures map[string]*BenchError
 }
 
 // suiteEntry is one benchmark's in-flight or completed evaluation.
 type suiteEntry struct {
-	done chan struct{}
-	e    *core.Eval
-	err  error
+	done     chan struct{}
+	e        *core.Eval
+	err      error
+	attempts int
 }
 
 // NewSuite returns a suite with the given configuration (zero = paper).
 func NewSuite(cfg core.Config) *Suite {
-	return &Suite{Cfg: cfg, evals: map[string]*suiteEntry{}}
+	return &Suite{Cfg: cfg, evals: map[string]*suiteEntry{}, failures: map[string]*BenchError{}}
+}
+
+// BenchError is one benchmark's failure inside a suite run: which benchmark,
+// which pipeline phase gave out ("lookup", "corpus", "deadline", "vm",
+// "cancelled", "evaluate"), and after how many attempts. Unwrap exposes the
+// cause, so errors.Is(err, context.DeadlineExceeded) and the corpus
+// predicates keep working through it.
+type BenchError struct {
+	Benchmark string
+	Phase     string
+	Attempts  int
+	Err       error
+}
+
+func (e *BenchError) Error() string {
+	return fmt.Sprintf("%s: %v (phase %s, %d attempt(s))", e.Benchmark, e.Err, e.Phase, e.Attempts)
+}
+
+func (e *BenchError) Unwrap() error { return e.Err }
+
+// MarshalJSON renders the cause as its message, so failures survive into the
+// -metrics manifest report instead of serializing as an empty object.
+func (e *BenchError) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Benchmark string `json:"benchmark"`
+		Phase     string `json:"phase"`
+		Attempts  int    `json:"attempts"`
+		Cause     string `json:"cause"`
+	}{e.Benchmark, e.Phase, e.Attempts, fmt.Sprint(e.Err)})
+}
+
+// classifyPhase maps a benchmark failure to the pipeline phase that caused
+// it, walking the error chain so wrapped causes still classify.
+func classifyPhase(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	case corpus.IsTransient(err) || corpus.IsCorrupt(err) || corpus.IsMiss(err):
+		return "corpus"
+	case errors.Is(err, vm.ErrMaxSteps):
+		return "vm"
+	default:
+		return "evaluate"
+	}
+}
+
+// lookup resolves a benchmark through the injected Lookup or the registry.
+func (s *Suite) lookup(name string) (*workloads.Benchmark, error) {
+	if s.Lookup != nil {
+		return s.Lookup(name)
+	}
+	return workloads.ByName(name)
+}
+
+// backoff returns the jittered exponential delay before retry attempt n
+// (n = 1 for the first retry).
+func (s *Suite) backoff(n int) time.Duration {
+	base := s.RetryBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << uint(n-1)
+	// ±50% jitter decorrelates retry storms across workers.
+	return d/2 + time.Duration(rand.Int63n(int64(d)+1))
+}
+
+// evalOne runs one benchmark's full evaluation: resolve it, then attempt
+// under the per-benchmark deadline, retrying with backoff as long as the
+// failure is a transient corpus I/O error and the retry budget lasts. On
+// failure it reports the phase that gave out and how many attempts it made.
+func (s *Suite) evalOne(ctx context.Context, set *telemetry.Set, name string) (e *core.Eval, attempts int, phase string, err error) {
+	b, err := s.lookup(name)
+	if err != nil {
+		return nil, 1, "lookup", err
+	}
+	for attempt := 1; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if s.Deadline > 0 {
+			actx, cancel = context.WithTimeout(ctx, s.Deadline)
+		}
+		e, err := core.EvaluateBenchmarkContext(actx, b, s.Cfg)
+		cancel()
+		if err == nil {
+			return e, attempt, "", nil
+		}
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			set.Counter("suite.deadlines").Inc()
+		}
+		if attempt > s.Retries || !corpus.IsTransient(err) || ctx.Err() != nil {
+			return nil, attempt, classifyPhase(err), err
+		}
+		set.Counter("suite.retries").Inc()
+		delay := s.backoff(attempt)
+		telemetry.Logger(ctx).Warn("suite: transient corpus failure, retrying",
+			"benchmark", name, "attempt", attempt, "backoff", delay, "err", err)
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, attempt, classifyPhase(ctx.Err()), ctx.Err()
+		}
+	}
 }
 
 // telem resolves the set the suite reports into: one already on the context
@@ -69,8 +203,10 @@ func (s *Suite) Eval(name string) (*core.Eval, error) {
 }
 
 // EvalContext is Eval with cancellation. The first caller for a name runs
-// the evaluation; concurrent callers wait on its result (or their own
-// context). A failed evaluation is not cached, so a later call retries.
+// the evaluation (under the suite's deadline and retry policy); concurrent
+// callers wait on its result (or their own context). A failed evaluation is
+// not cached, so a later call retries from scratch; its BenchError is kept
+// in Failures() until a success supersedes it.
 func (s *Suite) EvalContext(ctx context.Context, name string) (*core.Eval, error) {
 	set, ctx := s.telem(ctx)
 	s.mu.Lock()
@@ -81,17 +217,23 @@ func (s *Suite) EvalContext(ctx context.Context, name string) (*core.Eval, error
 		s.mu.Unlock()
 		set.Counter("suite.evals").Inc()
 		start := time.Now()
-		b, err := workloads.ByName(name)
-		if err == nil {
-			ent.e, ent.err = core.EvaluateBenchmarkContext(ctx, b, s.Cfg)
-		} else {
-			ent.err = err
-		}
+		var phase string
+		ent.e, ent.attempts, phase, ent.err = s.evalOne(ctx, set, name)
 		if ent.err != nil {
+			set.Counter("suite.failures").Inc()
 			s.mu.Lock()
 			delete(s.evals, name)
+			s.failures[name] = &BenchError{
+				Benchmark: name, Phase: phase, Attempts: ent.attempts, Err: ent.err,
+			}
 			s.mu.Unlock()
+			telemetry.Logger(ctx).Warn("suite: benchmark failed",
+				"benchmark", name, "phase", phase,
+				"attempts", ent.attempts, "err", ent.err)
 		} else {
+			s.mu.Lock()
+			delete(s.failures, name)
+			s.mu.Unlock()
 			wall := time.Since(start).Nanoseconds()
 			set.Counter("suite.bench_wall_ns").Add(wall)
 			telemetry.Logger(ctx).Debug("suite: benchmark evaluated",
@@ -112,10 +254,41 @@ func (s *Suite) EvalContext(ctx context.Context, name string) (*core.Eval, error
 	}
 }
 
-// EvalNames evaluates the named benchmarks through the bounded worker pool
-// and returns them in argument order. A failing benchmark's error is wrapped
-// with its name, so a suite-wide failure names the culprit.
-func (s *Suite) EvalNames(ctx context.Context, names []string) ([]*core.Eval, error) {
+// Partial is the degrade-don't-die result of a suite fan-out: every
+// benchmark that completed (aligned with the requested names, nil at failed
+// slots) plus a structured error per benchmark that did not. A hung workload
+// or an unreadable corpus entry costs its own slot, never the whole run.
+type Partial struct {
+	Names  []string     // the requested names, in argument order
+	Evals  []*core.Eval // aligned with Names; nil where the benchmark failed
+	Errors []*BenchError
+}
+
+// Complete returns the evaluations that succeeded, in request order.
+func (p *Partial) Complete() []*core.Eval {
+	var out []*core.Eval
+	for _, e := range p.Evals {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Err joins every benchmark failure into one error (nil when all completed).
+func (p *Partial) Err() error {
+	errs := make([]error, len(p.Errors))
+	for i, be := range p.Errors {
+		errs[i] = be
+	}
+	return errors.Join(errs...)
+}
+
+// EvalNamesPartial evaluates the named benchmarks through the bounded worker
+// pool and keeps going past failures: the result carries every completed
+// evaluation plus a BenchError (phase + attempt count) for each benchmark
+// that failed. This is the -partial mode of the CLIs.
+func (s *Suite) EvalNamesPartial(ctx context.Context, names []string) *Partial {
 	set, ctx := s.telem(ctx)
 	workers := s.Workers
 	if workers <= 0 {
@@ -129,8 +302,8 @@ func (s *Suite) EvalNames(ctx context.Context, names []string) ([]*core.Eval, er
 	queue := set.Gauge("suite.queue_depth")
 	active := set.Gauge("suite.active_workers")
 	peak := set.Gauge("suite.active_workers_peak")
-	out := make([]*core.Eval, len(names))
-	errs := make([]error, len(names))
+	p := &Partial{Names: names, Evals: make([]*core.Eval, len(names))}
+	errs := make([]*BenchError, len(names))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, name := range names {
@@ -147,24 +320,69 @@ func (s *Suite) EvalNames(ctx context.Context, names []string) ([]*core.Eval, er
 				<-sem
 			}()
 			if err := ctx.Err(); err != nil {
-				errs[i] = err
+				errs[i] = &BenchError{
+					Benchmark: name, Phase: classifyPhase(err), Attempts: 0, Err: err,
+				}
 				return
 			}
 			e, err := s.EvalContext(ctx, name)
 			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", name, err)
+				errs[i] = s.benchError(name, err)
 				return
 			}
-			out[i] = e
+			p.Evals[i] = e
 		}(i, name)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for _, be := range errs {
+		if be != nil {
+			p.Errors = append(p.Errors, be)
 		}
 	}
-	return out, nil
+	return p
+}
+
+// benchError resolves a benchmark failure to its recorded BenchError (which
+// knows the phase and attempt count from the singleflight owner), falling
+// back to classifying the error itself when the failure happened on the
+// caller's side (e.g. its own context died while coalesced).
+func (s *Suite) benchError(name string, err error) *BenchError {
+	s.mu.Lock()
+	be := s.failures[name]
+	s.mu.Unlock()
+	if be != nil && errors.Is(err, be.Err) {
+		return be
+	}
+	return &BenchError{Benchmark: name, Phase: classifyPhase(err), Attempts: 1, Err: err}
+}
+
+// EvalNames evaluates the named benchmarks through the bounded worker pool
+// and returns them in argument order. Unlike a fail-fast pool, it continues
+// through the whole list and joins every failure (each led by its benchmark
+// name) into the returned error, so one bad benchmark still reports all of
+// them. Caller-context cancellation is returned as-is.
+func (s *Suite) EvalNames(ctx context.Context, names []string) ([]*core.Eval, error) {
+	p := s.EvalNamesPartial(ctx, names)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	return p.Evals, nil
+}
+
+// Failures returns the most recent BenchError of every benchmark whose last
+// evaluation failed (and has not since succeeded), sorted by benchmark name.
+func (s *Suite) Failures() []*BenchError {
+	s.mu.Lock()
+	out := make([]*BenchError, 0, len(s.failures))
+	for _, be := range s.failures {
+		out = append(out, be)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Benchmark < out[j].Benchmark })
+	return out
 }
 
 // Manifests returns the run manifests of every completed, successful

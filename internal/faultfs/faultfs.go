@@ -1,0 +1,356 @@
+// Package faultfs is the fault-injection seam of the storage stack: an
+// injectable filesystem interface the corpus writes and reads through, plus
+// io.Reader/io.Writer wrappers for stream-level injection into the trace
+// codecs. Production code always runs over the passthrough OS
+// implementation; chaos tests swap in an Injector whose deterministic Plan
+// schedules the failures tier-1 tests never reach — a read that returns EIO
+// mid-file, a write that lands half its bytes, a rename that tears and
+// leaves a truncated file under the final name, an operation that stalls.
+//
+// Every injected failure wraps ErrInjected, so layers above can classify it
+// (the corpus maps it to its transient ErrIO class), and every decision is a
+// pure function of (Plan, operation index): replaying the same operation
+// sequence against the same plan injects the same faults, which is what
+// makes chaos tests reproducible from a seed list.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks every failure manufactured by this package. Callers
+// classify with errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// File is the subset of *os.File the storage stack uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Sync() error
+}
+
+// FS is the filesystem seam. OS is the passthrough implementation; Injector
+// wraps any FS with scheduled faults.
+type FS interface {
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm iofs.FileMode) error
+	Stat(name string) (iofs.FileInfo, error)
+	ReadDir(name string) ([]iofs.DirEntry, error)
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) Open(name string) (File, error)                 { return os.Open(name) }
+func (OS) CreateTemp(dir, pattern string) (File, error)   { return os.CreateTemp(dir, pattern) }
+func (OS) Rename(oldpath, newpath string) error           { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                       { return os.Remove(name) }
+func (OS) MkdirAll(path string, perm iofs.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) Stat(name string) (iofs.FileInfo, error)        { return os.Stat(name) }
+func (OS) ReadDir(name string) ([]iofs.DirEntry, error)   { return os.ReadDir(name) }
+
+// Plan schedules faults deterministically. The Nth-operation rules are
+// 1-based global indices per operation class (the 3rd read overall, the 1st
+// rename, ...); zero disables a rule. The probabilistic rules draw from a
+// splitmix64 stream derived from Seed and the operation index, so they too
+// are reproducible. PathContains, when non-empty, restricts every rule to
+// operations whose path (for reads and writes, the path of the file the
+// handle was opened on) contains the substring.
+type Plan struct {
+	Seed uint64
+
+	FailOpenAt   int64 // Nth Open fails outright
+	FailReadAt   int64 // Nth Read (across all injected handles) fails
+	ShortWriteAt int64 // Nth Write lands only half its bytes, then fails
+	TornRenameAt int64 // Nth Rename leaves a truncated file at the target
+	FailStatAt   int64 // Nth Stat fails
+
+	ReadFailProb  float64 // per-read failure probability (seeded)
+	WriteFailProb float64 // per-write failure probability (seeded)
+
+	// EveryRead / EveryWrite / EveryOpen make the matching rule recurring:
+	// when true, FailReadAt=n means "every read from the nth on" (and so on),
+	// which is how a test models a persistently unreadable file rather than a
+	// single glitch.
+	EveryRead  bool
+	EveryWrite bool
+	EveryOpen  bool
+
+	// Latency is added to every matched operation — the slow-disk model.
+	Latency time.Duration
+
+	PathContains string
+}
+
+// matches reports whether the plan applies to path.
+func (p *Plan) matches(path string) bool {
+	return p.PathContains == "" || strings.Contains(path, p.PathContains)
+}
+
+// splitmix64 is the standard 64-bit mix; good enough to decorrelate
+// (seed, index) pairs into uniform draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw returns a deterministic uniform [0,1) value for operation index n of
+// class c.
+func (p *Plan) draw(c uint64, n int64) float64 {
+	v := splitmix64(p.Seed ^ splitmix64(c*0x1000193+uint64(n)))
+	return float64(v>>11) / float64(1<<53)
+}
+
+// Injector wraps an FS with the faults a Plan schedules. The zero value is
+// unusable; construct with NewInjector. All counters are safe for concurrent
+// use — the corpus is hit from many goroutines at once.
+type Injector struct {
+	fs   FS
+	plan Plan
+
+	mu       sync.Mutex
+	opens    int64
+	reads    int64
+	writes   int64
+	renames  int64
+	stats    int64
+	injected int64
+}
+
+// NewInjector wraps fs (nil means the real filesystem) with plan.
+func NewInjector(fs FS, plan Plan) *Injector {
+	if fs == nil {
+		fs = OS{}
+	}
+	return &Injector{fs: fs, plan: plan}
+}
+
+// Injected returns how many faults have fired so far.
+func (in *Injector) Injected() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// Ops returns the operation counts seen so far (opens, reads, writes,
+// renames, stats) — the indices the plan's Nth rules are matched against.
+func (in *Injector) Ops() (opens, reads, writes, renames, stats int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.opens, in.reads, in.writes, in.renames, in.stats
+}
+
+// nth reports whether rule at (1-based; 0 = disabled) fires for operation
+// index n, honoring the recurring flag.
+func nth(at, n int64, every bool) bool {
+	if at <= 0 {
+		return false
+	}
+	if every {
+		return n >= at
+	}
+	return n == at
+}
+
+// decideRead is the injection decision for one read on a file at path.
+func (in *Injector) decideRead(path string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.plan.matches(path) {
+		return false
+	}
+	in.reads++
+	fire := nth(in.plan.FailReadAt, in.reads, in.plan.EveryRead) ||
+		(in.plan.ReadFailProb > 0 && in.plan.draw('r', in.reads) < in.plan.ReadFailProb)
+	if fire {
+		in.injected++
+	}
+	return fire
+}
+
+// decideWrite returns (short, fail) for one write on a file at path.
+func (in *Injector) decideWrite(path string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.plan.matches(path) {
+		return false
+	}
+	in.writes++
+	fire := nth(in.plan.ShortWriteAt, in.writes, in.plan.EveryWrite) ||
+		(in.plan.WriteFailProb > 0 && in.plan.draw('w', in.writes) < in.plan.WriteFailProb)
+	if fire {
+		in.injected++
+	}
+	return fire
+}
+
+func (in *Injector) sleep() {
+	if in.plan.Latency > 0 {
+		time.Sleep(in.plan.Latency)
+	}
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	in.sleep()
+	if in.plan.matches(name) {
+		in.mu.Lock()
+		in.opens++
+		fire := nth(in.plan.FailOpenAt, in.opens, in.plan.EveryOpen)
+		if fire {
+			in.injected++
+		}
+		in.mu.Unlock()
+		if fire {
+			return nil, fmt.Errorf("open %s: %w", name, ErrInjected)
+		}
+	}
+	f, err := in.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, in: in, path: name}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	in.sleep()
+	f, err := in.fs.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, in: in, path: f.Name()}, nil
+}
+
+// Rename tears when the plan says so: instead of moving the complete source
+// into place it writes a truncated prefix of the source under the target
+// name and removes the source — the on-disk state a crash mid-replace leaves
+// on filesystems without atomic rename. The call still reports failure.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	in.sleep()
+	fire := false
+	if in.plan.matches(newpath) {
+		in.mu.Lock()
+		in.renames++
+		fire = nth(in.plan.TornRenameAt, in.renames, false)
+		if fire {
+			in.injected++
+		}
+		in.mu.Unlock()
+	}
+	if fire {
+		if data, err := os.ReadFile(oldpath); err == nil {
+			os.WriteFile(newpath, data[:len(data)/2], 0o666)
+		}
+		in.fs.Remove(oldpath)
+		return fmt.Errorf("rename %s: torn: %w", newpath, ErrInjected)
+	}
+	return in.fs.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error { in.sleep(); return in.fs.Remove(name) }
+
+func (in *Injector) MkdirAll(path string, perm iofs.FileMode) error {
+	in.sleep()
+	return in.fs.MkdirAll(path, perm)
+}
+
+func (in *Injector) Stat(name string) (iofs.FileInfo, error) {
+	in.sleep()
+	if in.plan.matches(name) {
+		in.mu.Lock()
+		in.stats++
+		fire := nth(in.plan.FailStatAt, in.stats, false)
+		if fire {
+			in.injected++
+		}
+		in.mu.Unlock()
+		if fire {
+			return nil, fmt.Errorf("stat %s: %w", name, ErrInjected)
+		}
+	}
+	return in.fs.Stat(name)
+}
+
+func (in *Injector) ReadDir(name string) ([]iofs.DirEntry, error) {
+	in.sleep()
+	return in.fs.ReadDir(name)
+}
+
+// faultFile intercepts reads and writes on a handle the injector opened.
+type faultFile struct {
+	File
+	in   *Injector
+	path string
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	f.in.sleep()
+	if f.in.decideRead(f.path) {
+		return 0, fmt.Errorf("read %s: %w", f.path, ErrInjected)
+	}
+	return f.File.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.in.sleep()
+	if f.in.decideWrite(f.path) {
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, fmt.Errorf("write %s: short: %w", f.path, ErrInjected)
+	}
+	return f.File.Write(p)
+}
+
+// FaultyReader injects stream-level read faults without a filesystem: after
+// N successful reads the next read fails (once, or persistently with Every).
+// It exercises the trace codecs' mid-stream error paths directly.
+type FaultyReader struct {
+	R       io.Reader
+	FailAt  int64 // 1-based read index that fails; 0 disables
+	Every   bool  // fail every read from FailAt on
+	Latency time.Duration
+
+	n int64
+}
+
+func (fr *FaultyReader) Read(p []byte) (int, error) {
+	if fr.Latency > 0 {
+		time.Sleep(fr.Latency)
+	}
+	fr.n++
+	if nth(fr.FailAt, fr.n, fr.Every) {
+		return 0, fmt.Errorf("faultfs: read %d: %w", fr.n, ErrInjected)
+	}
+	return fr.R.Read(p)
+}
+
+// FaultyWriter is FaultyReader's write-side twin: the scheduled write lands
+// half its bytes and fails.
+type FaultyWriter struct {
+	W      io.Writer
+	FailAt int64
+	Every  bool
+
+	n int64
+}
+
+func (fw *FaultyWriter) Write(p []byte) (int, error) {
+	fw.n++
+	if nth(fw.FailAt, fw.n, fw.Every) {
+		n, _ := fw.W.Write(p[:len(p)/2])
+		return n, fmt.Errorf("faultfs: write %d: short: %w", fw.n, ErrInjected)
+	}
+	return fw.W.Write(p)
+}

@@ -1,0 +1,192 @@
+package faultfs_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"branchcost/internal/faultfs"
+)
+
+func write(t *testing.T, path, data string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(data), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNthReadFails: the scheduled read fails with ErrInjected, the reads
+// around it succeed, and the decision is reproducible across injectors.
+func TestNthReadFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	write(t, path, strings.Repeat("x", 10))
+	for run := 0; run < 2; run++ {
+		in := faultfs.NewInjector(nil, faultfs.Plan{FailReadAt: 2})
+		f, err := in.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one := make([]byte, 1)
+		if _, err := f.Read(one); err != nil {
+			t.Fatalf("run %d: read 1 failed: %v", run, err)
+		}
+		if _, err := f.Read(one); !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("run %d: read 2 = %v, want ErrInjected", run, err)
+		}
+		if _, err := f.Read(one); err != nil {
+			t.Fatalf("run %d: read 3 failed: %v", run, err)
+		}
+		if in.Injected() != 1 {
+			t.Fatalf("run %d: injected %d faults, want 1", run, in.Injected())
+		}
+		f.Close()
+	}
+}
+
+// TestEveryReadFailsFromN: the recurring flag turns one glitch into a
+// persistently unreadable file.
+func TestEveryReadFailsFromN(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	write(t, path, "data")
+	in := faultfs.NewInjector(nil, faultfs.Plan{FailReadAt: 1, EveryRead: true})
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := f.Read(make([]byte, 1)); !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("read %d = %v, want ErrInjected", i+1, err)
+		}
+	}
+}
+
+// TestShortWrite: the scheduled write lands half its bytes and fails — the
+// torn-write model atomic stores must survive.
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil, faultfs.Plan{ShortWriteAt: 1})
+	f, err := in.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("write = %v, want ErrInjected", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write landed %d bytes, want 5", n)
+	}
+	f.Close()
+}
+
+// TestTornRename: the scheduled rename reports failure and leaves a
+// truncated file under the target name — exactly the damage the corpus
+// must later diagnose as corruption.
+func TestTornRename(t *testing.T) {
+	dir := t.TempDir()
+	src, dst := filepath.Join(dir, "src"), filepath.Join(dir, "dst")
+	write(t, src, "0123456789")
+	in := faultfs.NewInjector(nil, faultfs.Plan{TornRenameAt: 1})
+	if err := in.Rename(src, dst); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("rename = %v, want ErrInjected", err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("torn target holds %q, want the 5-byte prefix", got)
+	}
+	if _, err := os.Stat(src); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("torn rename left the source behind")
+	}
+}
+
+// TestPathFilter: rules only fire on matching paths; other files pass
+// through untouched and uncounted.
+func TestPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	hit, miss := filepath.Join(dir, "victim.bct2"), filepath.Join(dir, "other.prof")
+	write(t, hit, "vv")
+	write(t, miss, "oo")
+	in := faultfs.NewInjector(nil, faultfs.Plan{FailOpenAt: 1, EveryOpen: true, PathContains: "victim"})
+	if _, err := in.Open(miss); err != nil {
+		t.Fatalf("non-matching open failed: %v", err)
+	}
+	if _, err := in.Open(hit); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("matching open = %v, want ErrInjected", err)
+	}
+}
+
+// TestSeededProbabilisticDeterminism: the same seed injects the same fault
+// pattern; a different seed (almost surely) a different one. Either way the
+// per-seed pattern must be stable across runs.
+func TestSeededProbabilisticDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	write(t, path, strings.Repeat("x", 64))
+	pattern := func(seed uint64) string {
+		in := faultfs.NewInjector(nil, faultfs.Plan{Seed: seed, ReadFailProb: 0.5})
+		f, err := in.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var sb strings.Builder
+		for i := 0; i < 32; i++ {
+			if _, err := f.Read(make([]byte, 1)); errors.Is(err, faultfs.ErrInjected) {
+				sb.WriteByte('!')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		return sb.String()
+	}
+	for _, seed := range []uint64{1, 7, 42} {
+		a, b := pattern(seed), pattern(seed)
+		if a != b {
+			t.Fatalf("seed %d not deterministic:\n%s\n%s", seed, a, b)
+		}
+		if !strings.Contains(a, "!") || !strings.Contains(a, ".") {
+			t.Fatalf("seed %d: p=0.5 over 32 reads produced %q", seed, a)
+		}
+	}
+}
+
+// TestFaultyReaderWriter: the stream wrappers fail their scheduled
+// operation and pass everything else through.
+func TestFaultyReaderWriter(t *testing.T) {
+	fr := &faultfs.FaultyReader{R: strings.NewReader("abcdef"), FailAt: 2}
+	buf := make([]byte, 2)
+	if _, err := fr.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Read(buf); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("read 2 = %v, want ErrInjected", err)
+	}
+	if n, err := fr.Read(buf); err != nil || n != 2 {
+		t.Fatalf("read 3 = (%d, %v), want clean", n, err)
+	}
+
+	var out bytes.Buffer
+	fw := &faultfs.FaultyWriter{W: &out, FailAt: 1}
+	if _, err := fw.Write([]byte("0123")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatal("write 1 did not fail")
+	}
+	if out.String() != "01" {
+		t.Fatalf("short write landed %q, want %q", out.String(), "01")
+	}
+	if _, err := io.WriteString(fw, "rest"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "01rest" {
+		t.Fatalf("writer state after fault: %q", out.String())
+	}
+}

@@ -3,7 +3,9 @@ package tracefile_test
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"strings"
 	"testing"
@@ -221,6 +223,19 @@ func FuzzBCT2Decode(f *testing.F) {
 	f.Add(enc[:len(enc)/2])
 	f.Add([]byte("BCT2\x01"))
 	f.Add([]byte{})
+	// Adversarial seeds promoted from fuzzing and the corruption table:
+	// CRC-valid frames whose payloads are structurally hostile, so mutation
+	// starts inside the decoder's validators instead of bouncing off the
+	// checksum, plus framing-level pathologies.
+	flipped := bytes.Clone(enc)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+	f.Add(seedBlock([]byte{0x00, 0x00}))                              // zero event count
+	f.Add(seedBlock([]byte{0x01, 0x7f}))                              // site count > event count
+	f.Add(seedBlock([]byte{0x01, 0x00, 0x7f}))                        // event references site 31 of an empty dictionary
+	f.Add(seedBlock([]byte{0x01, 0x01, 0x15, 0x00}))                  // site entry with negative pc
+	f.Add([]byte("BCT2\x01\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80")) // frame-length varint overflow
+	f.Add([]byte("BCT2\x01\x00\x64\x01\xde\xad\xbe\xef"))             // end marker, bogus trailer CRC
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := tracefile.NewBCT2Reader(bytes.NewReader(data))
 		if err != nil {
@@ -237,6 +252,14 @@ func FuzzBCT2Decode(f *testing.F) {
 			t.Fatalf("decode error lacks location: %v", err)
 		}
 	})
+}
+
+// seedBlock frames a payload as a single CRC-valid BCT2 block: the checksum
+// passes, so the decoder's structural validation is what rejects it.
+func seedBlock(payload []byte) []byte {
+	s := append([]byte("BCT2\x01"), binary.AppendUvarint(nil, uint64(len(payload)))...)
+	s = append(s, payload...)
+	return binary.LittleEndian.AppendUint32(s, crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
 }
 
 // mustProgram compiles wc for the fuzz seed corpus.

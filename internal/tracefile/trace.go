@@ -228,6 +228,13 @@ dispatch:
 // trace. Additional hooks observe the same passes' raw event stream (CALL
 // events included), letting a profiler share the recording pass.
 func Record(p *isa.Program, inputs [][]byte, extra ...vm.BranchFunc) (*Trace, error) {
+	return RecordConfig(context.Background(), p, inputs, vm.Config{}, extra...)
+}
+
+// RecordConfig is Record under a context and explicit VM limits: ctx is
+// polled inside each run (so a deadline kills a hung recording mid-pass) and
+// cfg carries the step budget a watchdogged recording runs under.
+func RecordConfig(ctx context.Context, p *isa.Program, inputs [][]byte, cfg vm.Config, extra ...vm.BranchFunc) (*Trace, error) {
 	t := &Trace{}
 	rec := t.Hook()
 	hook := rec
@@ -239,8 +246,12 @@ func Record(p *isa.Program, inputs [][]byte, extra ...vm.BranchFunc) (*Trace, er
 			}
 		}
 	}
+	cfg.Ctx = ctx
 	for i, in := range inputs {
-		res, err := vm.Run(p, in, hook, vm.Config{})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := vm.Run(p, in, hook, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("tracefile: recording run %d: %w", i, err)
 		}

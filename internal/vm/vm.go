@@ -9,6 +9,7 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -21,6 +22,13 @@ import (
 type Config struct {
 	MemWords int   // data memory size in words; 0 means 1<<20
 	MaxSteps int64 // dynamic instruction limit; 0 means 1<<34
+
+	// Ctx, when non-nil, is polled every ctxCheckSteps dynamic instructions:
+	// a cancelled or expired context traps the run with the context's error
+	// (located like any other trap). This is the watchdog seam that lets a
+	// per-benchmark deadline kill a hung workload mid-run instead of waiting
+	// out the full MaxSteps budget. RunContext sets it from its argument.
+	Ctx context.Context
 
 	// Trace, when non-nil, receives the code position of every executed
 	// instruction (the fetch stream). Used by the instruction-cache
@@ -35,6 +43,11 @@ type Config struct {
 
 // DefaultConfig are the limits used when a zero Config is supplied.
 var DefaultConfig = Config{MemWords: 1 << 20, MaxSteps: 1 << 34}
+
+// ctxCheckSteps is how many dynamic instructions pass between context polls
+// when Config.Ctx is set: coarse enough to keep the interpreter loop tight,
+// fine enough that a deadline lands within microseconds of expiring.
+const ctxCheckSteps = 1 << 14
 
 func (c Config) withDefaults() Config {
 	if c.MemWords == 0 {
@@ -93,6 +106,13 @@ func (t *trapError) Unwrap() error { return t.err }
 // it to assert that warm-corpus evaluations perform no VM execution.
 var RunCount atomic.Int64
 
+// RunContext is Run under a context: the interpreter polls ctx periodically
+// and traps with its error once it is cancelled or past its deadline.
+func RunContext(ctx context.Context, p *isa.Program, input []byte, hook BranchFunc, cfg Config) (Result, error) {
+	cfg.Ctx = ctx
+	return Run(p, input, hook, cfg)
+}
+
 // Run executes p on the given input bytes. hook, if non-nil, is invoked for
 // every executed counted branch.
 func Run(p *isa.Program, input []byte, hook BranchFunc, cfg Config) (Result, error) {
@@ -145,6 +165,8 @@ func (m *Machine) run(input []byte, hook BranchFunc) (Result, error) {
 	memLen := int64(len(m.mem))
 	pos := resolve(p.Entry)
 	maxSteps := m.cfg.MaxSteps
+	ctx := m.cfg.Ctx
+	nextCtx := int64(ctxCheckSteps)
 
 	for {
 		if int(pos) >= len(code) {
@@ -153,6 +175,12 @@ func (m *Machine) run(input []byte, hook BranchFunc) (Result, error) {
 		in := &code[pos]
 		if steps++; steps > maxSteps {
 			return m.result(steps, branches), &trapError{ErrMaxSteps, pos, steps}
+		}
+		if ctx != nil && steps >= nextCtx {
+			if err := ctx.Err(); err != nil {
+				return m.result(steps, branches), &trapError{err, pos, steps}
+			}
+			nextCtx = steps + ctxCheckSteps
 		}
 		if m.cfg.Trace != nil {
 			m.cfg.Trace(pos)

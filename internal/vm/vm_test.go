@@ -1,10 +1,12 @@
 package vm_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"branchcost/internal/isa"
 	"branchcost/internal/vm"
@@ -256,6 +258,40 @@ func TestMaxStepsTrap(t *testing.T) {
 	_, err := vm.Run(p, nil, nil, vm.Config{MaxSteps: 1000})
 	if !errors.Is(err, vm.ErrMaxSteps) {
 		t.Fatalf("got %v", err)
+	}
+}
+
+// TestRunContextDeadlineKillsHungProgram: the context watchdog must stop an
+// infinite loop soon after the deadline, long before the MaxSteps budget,
+// and surface the context's error through the trap chain.
+func TestRunContextDeadlineKillsHungProgram(t *testing.T) {
+	p := prog(isa.Inst{Op: isa.JMP, Target: 0})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := vm.RunContext(ctx, p, nil, nil, vm.Config{MemWords: 128})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded in chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog took %v to fire", elapsed)
+	}
+	if res.Steps == 0 {
+		t.Fatal("trap reported no executed steps")
+	}
+}
+
+// TestRunContextCancelKillsHungProgram: same watchdog, caller-side cancel.
+func TestRunContextCancelKillsHungProgram(t *testing.T) {
+	p := prog(isa.Inst{Op: isa.JMP, Target: 0})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err := vm.RunContext(ctx, p, nil, nil, vm.Config{MemWords: 128})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled in chain", err)
 	}
 }
 
