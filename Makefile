@@ -2,9 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test vet race telemetry-check chaos bench bench-json corpus-bench repro tables figures ablations fuzz goldens clean
+.PHONY: all build test vet race telemetry-check chaos verify bench bench-json corpus-bench repro tables figures ablations fuzz fuzz-short goldens clean
 
-all: build vet test race telemetry-check chaos
+all: build vet test race telemetry-check chaos verify
+
+# Differential-oracle gate: record-or-load the whole benchmark corpus, then
+# replay every trace through each context-free scheme and its deliberately
+# naive oracle twin (internal/oracle) in lockstep. Any disagreement is
+# reported with its step index and branch site, and fails the build.
+VERIFY_CORPUS ?= .verify-corpus
+verify:
+	$(GO) run ./cmd/btrace -corpus $(VERIFY_CORPUS) -record-suite
+	$(GO) run ./cmd/btrace -corpus $(VERIFY_CORPUS) -verify
 
 # Chaos gate: the fault-injection suite under the race detector — faultfs
 # plan semantics, corpus behaviour under injected I/O faults and torn
@@ -80,10 +89,17 @@ ablations:
 	         delay icache crossval opt superscalar hwcost sensitivity traces; do \
 		$(GO) run ./cmd/branchsim -ablate $$a; done
 
-# Front-end fuzzing (30 s each target).
+# Fuzzing: the language front end and both trace-file decoders.
+FUZZTIME ?= 5m
 fuzz:
-	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/lang
-	$(GO) test -fuzz FuzzInterp -fuzztime 30s ./internal/lang
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/lang
+	$(GO) test -fuzz FuzzInterp -fuzztime $(FUZZTIME) ./internal/lang
+	$(GO) test -fuzz FuzzBCT1Decode -fuzztime $(FUZZTIME) ./internal/tracefile
+	$(GO) test -fuzz FuzzBCT2Decode -fuzztime $(FUZZTIME) ./internal/tracefile
+
+# Quick pass over every fuzz target (30 s each) — the pre-commit loop.
+fuzz-short:
+	$(MAKE) fuzz FUZZTIME=30s
 
 # Rewrite the golden snapshots after a deliberate behaviour change.
 goldens:

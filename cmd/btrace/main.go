@@ -10,8 +10,17 @@
 //	btrace grep.bt                             # replay through every context-free scheme
 //	btrace -scheme cbtb -entries 64 grep.bt    # one scheme, custom geometry
 //	btrace -inspect grep.bt                    # format, blocks, sites, events
+//	btrace -verify grep.bt                     # differential check vs the oracle models
 //	btrace -corpus DIR -record-suite           # record-or-load all benchmarks into DIR
 //	btrace -corpus DIR -ls                     # list corpus entries
+//	btrace -corpus DIR -verify                 # verify every corpus trace
+//
+// -verify replays the trace through every context-free registered scheme and
+// a deliberately naive reference model (internal/oracle) in lockstep: the
+// first event on which the two disagree is reported with its step index,
+// branch site, and both predictions, and the exit status is nonzero. Schemes
+// without a reference model, or needing program context, are reported as
+// skipped.
 //
 // Recording is watchdogged: -deadline bounds each benchmark's recording wall
 // clock, -max-steps bounds each VM run's step count, and -partial makes
@@ -37,6 +46,7 @@ import (
 
 	"branchcost"
 	"branchcost/internal/corpus"
+	"branchcost/internal/oracle"
 	"branchcost/internal/predict"
 	"branchcost/internal/telemetry"
 	"branchcost/internal/tracefile"
@@ -53,6 +63,7 @@ func main() {
 		out         = flag.String("o", "trace.bt", "output path when recording")
 		format      = flag.String("format", "bct2", "recording format: bct1|bct2")
 		inspect     = flag.Bool("inspect", false, "describe a trace file instead of replaying")
+		verify      = flag.Bool("verify", false, "differentially verify schemes against the oracle (one trace file, or the whole -corpus)")
 		corpusDir   = flag.String("corpus", os.Getenv(corpus.EnvVar), "corpus directory (default $BRANCHCOST_CORPUS)")
 		recordSuite = flag.Bool("record-suite", false, "record-or-load every benchmark into -corpus")
 		list        = flag.Bool("ls", false, "list corpus entries")
@@ -74,7 +85,18 @@ func main() {
 	}
 	ctx := telemetry.NewContext(context.Background(), set)
 
+	params := predict.Params{
+		SBTBEntries: *entries, SBTBAssoc: *assoc,
+		CBTBEntries: *entries, CBTBAssoc: *assoc,
+		CounterBits: *bits, CounterThreshold: uint8(*thresh),
+	}
 	switch {
+	case *verify && flag.NArg() == 1:
+		doVerifyFile(ctx, flag.Arg(0), params)
+	case *verify && flag.NArg() == 0:
+		doVerifyCorpus(ctx, *corpusDir, params)
+	case *verify:
+		fail(fmt.Errorf("-verify takes one trace file, or none with -corpus"))
 	case *recordSuite:
 		doRecordSuite(ctx, *corpusDir, *deadline, *maxSteps, *partial)
 	case *list:
@@ -285,6 +307,74 @@ func doInspect(ctx context.Context, path string) {
 	default:
 		fail(tracefile.ErrBadMagic)
 	}
+}
+
+// printVerdicts renders one trace's verification outcomes, returning how
+// many schemes failed (divergence or bookkeeping mismatch).
+func printVerdicts(verdicts []oracle.Verdict) (failed int) {
+	for _, v := range verdicts {
+		switch {
+		case v.Skipped != "":
+			fmt.Printf("  %-16s skipped: %s\n", v.Scheme, v.Skipped)
+		case v.Div != nil:
+			fmt.Printf("  %-16s FAIL\n    %v\n", v.Scheme, v.Div)
+			failed++
+		case v.Err != nil:
+			fmt.Printf("  %-16s FAIL\n    %v\n", v.Scheme, v.Err)
+			failed++
+		default:
+			fmt.Printf("  %-16s ok  (%d events, accuracy %.3f%%)\n",
+				v.Scheme, v.Events, 100*v.Stats.Accuracy())
+		}
+	}
+	return failed
+}
+
+// doVerifyFile replays one trace file through every verifiable scheme and
+// its oracle twin in lockstep, exiting nonzero on the first divergence.
+func doVerifyFile(ctx context.Context, path string, params predict.Params) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := tracefile.ReadTraceContext(ctx, bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: %d events\n", path, tr.Len())
+	if n := printVerdicts(oracle.VerifyTrace(tr, params)); n > 0 {
+		fail(fmt.Errorf("%d scheme(s) diverged from the oracle", n))
+	}
+}
+
+// doVerifyCorpus verifies every trace in the corpus, keeps going past
+// failures, and reports a summary (nonzero exit if anything diverged).
+func doVerifyCorpus(ctx context.Context, dir string, params predict.Params) {
+	store := openCorpus(dir)
+	keys, err := store.Keys()
+	if err != nil {
+		fail(err)
+	}
+	if len(keys) == 0 {
+		fail(fmt.Errorf("corpus %s is empty; run -record-suite first", store.Dir()))
+	}
+	traces, failed := 0, 0
+	for _, k := range keys {
+		tr, _, err := store.LoadContext(ctx, k)
+		if err != nil {
+			fmt.Printf("%-10s FAIL: %v\n", k.Name, err)
+			failed++
+			continue
+		}
+		traces++
+		fmt.Printf("%-10s %s  %d events\n", k.Name, k.Hash, tr.Len())
+		failed += printVerdicts(oracle.VerifyTrace(tr, params))
+	}
+	if failed > 0 {
+		fail(fmt.Errorf("verification failed: %d scheme/trace pair(s) diverged", failed))
+	}
+	fmt.Printf("verified %d trace(s): every scheme agrees with its oracle\n", traces)
 }
 
 // replayable returns the registered schemes a standalone trace can score:

@@ -1,0 +1,61 @@
+package btb_test
+
+import (
+	"testing"
+
+	"branchcost/internal/btb"
+	"branchcost/internal/oracle"
+	"branchcost/internal/tracefile"
+	"branchcost/internal/workloads"
+)
+
+// TestBuffersMatchOracleOnBenchmarks drives the production buffers against
+// their deliberately naive oracle twins over real benchmark traces — not
+// just synthetic fuzz — at the paper geometry and at set-associative shapes
+// that exercise the production buffer's set indexing and O(1) eviction
+// paths, which the linear-scan oracle does not share.
+func TestBuffersMatchOracleOnBenchmarks(t *testing.T) {
+	geometries := []struct {
+		name          string
+		entries, ways int
+	}{
+		{"paper-256-full", 256, 256},
+		{"64-4way", 64, 4},
+		{"32-1way", 32, 1},
+		{"16-2way", 16, 2},
+	}
+	for _, bench := range []string{"cmp", "wc"} {
+		b, err := workloads.ByName(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := tracefile.Record(p, b.Inputs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range geometries {
+			stats, div := oracle.CheckTrace("sbtb", tr,
+				btb.NewSBTB(g.entries, g.ways),
+				oracle.NewRefSBTB(g.entries, g.ways))
+			if div != nil {
+				t.Errorf("%s/%s: %v", bench, g.name, div)
+			}
+			if stats.Branches != int64(tr.Len()) {
+				t.Errorf("%s/%s: sbtb scored %d of %d events", bench, g.name, stats.Branches, tr.Len())
+			}
+			stats, div = oracle.CheckTrace("cbtb", tr,
+				btb.NewCBTB(g.entries, g.ways, 2, 2),
+				oracle.NewRefCBTB(g.entries, g.ways, 2, 2))
+			if div != nil {
+				t.Errorf("%s/%s: %v", bench, g.name, div)
+			}
+			if err := oracle.CheckStats(stats); err != nil {
+				t.Errorf("%s/%s: cbtb: %v", bench, g.name, err)
+			}
+		}
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"reflect"
 	"testing"
+	"time"
 
 	"branchcost/internal/core"
 	"branchcost/internal/corpus"
@@ -97,6 +99,68 @@ func TestManifestWarmCorpus(t *testing.T) {
 		back.Schemes["sbtb"].Accuracy != m.Schemes["sbtb"].Accuracy ||
 		len(back.Phases) != len(m.Phases) {
 		t.Fatal("manifest JSON round-trip lost fields")
+	}
+}
+
+// TestManifestJSONRoundTrip: the manifest is the run's durable record, so
+// *every* field — resolved config, per-scheme counters including the Extra
+// maps, phase timings, telemetry snapshot — must survive encode/decode
+// exactly, not just the handful the warm-corpus test spot-checks.
+func TestManifestJSONRoundTrip(t *testing.T) {
+	store, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := telemetry.New()
+	ctx := telemetry.NewContext(context.Background(), set)
+	b, err := workloads.ByName("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.EvaluateBenchmarkContext(ctx, b, core.Config{
+		Corpus:  store,
+		Schemes: []string{"sbtb", "cbtb", "always-not-taken", "fs"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Manifest()
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back core.Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest JSON does not decode: %v", err)
+	}
+
+	// The resolved config must come back whole: this is what makes two runs
+	// comparable, so a lost field here silently invalidates comparisons.
+	if !reflect.DeepEqual(back.Config, m.Config) {
+		t.Fatalf("config lost in round-trip:\nwrote %+v\nread  %+v", m.Config, back.Config)
+	}
+	if back.Config.SBTBEntries != core.Paper.SBTBEntries ||
+		back.Config.CounterThreshold != *core.Paper.CounterThreshold {
+		t.Fatalf("decoded config not the resolved paper defaults: %+v", back.Config)
+	}
+	// Per-scheme counters, ratios and the Extra metric maps.
+	if !reflect.DeepEqual(back.Schemes, m.Schemes) {
+		t.Fatalf("scheme scores lost in round-trip:\nwrote %+v\nread  %+v", m.Schemes, back.Schemes)
+	}
+	for _, name := range []string{"sbtb", "cbtb"} {
+		if back.Schemes[name].Extra["inserts"] == 0 {
+			t.Fatalf("%s: Extra counters did not survive: %+v", name, back.Schemes[name])
+		}
+	}
+	if !back.CreatedAt.Equal(m.CreatedAt) {
+		t.Fatalf("timestamp drifted: wrote %v, read %v", m.CreatedAt, back.CreatedAt)
+	}
+	// Everything else, structurally. The timestamps were just compared by
+	// instant; zero them so DeepEqual doesn't re-litigate representation.
+	m.CreatedAt, back.CreatedAt = time.Time{}, time.Time{}
+	if !reflect.DeepEqual(&back, m) {
+		t.Fatalf("manifest round-trip not lossless:\nwrote %+v\nread  %+v", m, &back)
 	}
 }
 

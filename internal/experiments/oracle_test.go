@@ -1,0 +1,49 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"branchcost/internal/core"
+	"branchcost/internal/experiments"
+	"branchcost/internal/oracle"
+	"branchcost/internal/predict"
+)
+
+// TestSuiteManifestsPassOracle closes the loop between the measurement
+// engine and the verification subsystem: everything a suite run emits — the
+// run manifests behind -metrics and the recorded traces behind every table —
+// must pass the oracle's independent checks. A manifest whose counters don't
+// reconcile, or a trace on which a production scheme disagrees with its
+// naive twin, fails the suite here before it can reach a table.
+func TestSuiteManifestsPassOracle(t *testing.T) {
+	s := experiments.NewSuite(core.Config{Schemes: []string{"sbtb", "cbtb", "fs"}})
+	names := []string{"wc", "cmp"}
+	evals, err := s.EvalNames(t.Context(), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	manifests := s.Manifests()
+	if len(manifests) != len(names) {
+		t.Fatalf("suite produced %d manifests, want %d", len(manifests), len(names))
+	}
+	for _, m := range manifests {
+		if err := oracle.CheckManifest(m); err != nil {
+			t.Errorf("manifest %s: %v", m.Benchmark, err)
+		}
+	}
+
+	for i, e := range evals {
+		if e.Trace == nil {
+			t.Fatalf("%s: evaluation kept no trace", names[i])
+		}
+		for _, v := range oracle.VerifyTrace(e.Trace, predict.PaperParams) {
+			if v.Div != nil {
+				t.Errorf("%s: %v", names[i], v.Div)
+			}
+			if v.Err != nil {
+				t.Errorf("%s: %v", names[i], v.Err)
+			}
+		}
+	}
+}

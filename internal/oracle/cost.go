@@ -1,0 +1,142 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"branchcost/internal/core"
+	"branchcost/internal/pipeline"
+	"branchcost/internal/predict"
+)
+
+// costEpsilon bounds acceptable floating-point disagreement between the
+// production cost model and this package's independent transcription.
+const costEpsilon = 1e-9
+
+// CostIdentity recomputes the paper's §2.3 identity from its text, term by
+// term: a correctly predicted branch costs one cycle, a misprediction
+// flushes k + ℓ̄ + m̄ instructions, so the average branch cost at accuracy
+// A is A·1 + (1−A)·(k + ℓ̄ + m̄).
+func CostIdentity(k int, lbar, mbar, a float64) float64 {
+	flush := float64(k) + lbar + mbar
+	return a*1 + (1-a)*flush
+}
+
+// CheckCost verifies the production cost model against the independent
+// identity at one operating point, plus the identity's structural bounds:
+// the cost of a perfectly predicted stream is 1 cycle per branch, the cost
+// of a fully mispredicted stream is the flush penalty, and every accuracy
+// in between lands between those extremes.
+func CheckCost(p pipeline.Config, a float64) error {
+	if a < 0 || a > 1 || math.IsNaN(a) {
+		return fmt.Errorf("accuracy %v outside [0,1]", a)
+	}
+	got := p.Cost(a)
+	want := CostIdentity(p.K, p.LBar, p.MBar, a)
+	if math.Abs(got-want) > costEpsilon {
+		return fmt.Errorf("cost identity violated at %v, A=%v: pipeline.Cost=%v, §2.3 identity=%v",
+			p, a, got, want)
+	}
+	lo, hi := 1.0, p.Penalty()
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if got < lo-costEpsilon || got > hi+costEpsilon {
+		return fmt.Errorf("cost %v at %v, A=%v escapes [%v, %v]", got, p, a, lo, hi)
+	}
+	return nil
+}
+
+// CheckStats verifies the internal consistency of an evaluator's counts:
+// every branch is a hit or a miss, fully-correct predictions are a subset
+// of direction-correct ones, and the conditional-only counters nest inside
+// the totals.
+func CheckStats(s predict.Stats) error {
+	switch {
+	case s.Branches < 0 || s.Correct < 0 || s.DirRight < 0 || s.Hits < 0 || s.Misses < 0:
+		return fmt.Errorf("negative counter in %+v", s)
+	case s.Hits+s.Misses != s.Branches:
+		return fmt.Errorf("hits %d + misses %d != branches %d", s.Hits, s.Misses, s.Branches)
+	case s.Correct > s.DirRight:
+		return fmt.Errorf("correct %d exceeds direction-correct %d", s.Correct, s.DirRight)
+	case s.DirRight > s.Branches:
+		return fmt.Errorf("direction-correct %d exceeds branches %d", s.DirRight, s.Branches)
+	case s.CondBranches > s.Branches:
+		return fmt.Errorf("conditional branches %d exceed branches %d", s.CondBranches, s.Branches)
+	case s.CondCorrect > s.CondBranches:
+		return fmt.Errorf("conditional correct %d exceeds conditional branches %d", s.CondCorrect, s.CondBranches)
+	case s.CondCorrect > s.Correct:
+		return fmt.Errorf("conditional correct %d exceeds correct %d", s.CondCorrect, s.Correct)
+	}
+	if s.Branches > 0 {
+		if want := float64(s.Correct) / float64(s.Branches); s.Accuracy() != want {
+			return fmt.Errorf("Accuracy()=%v, recomputed %v", s.Accuracy(), want)
+		}
+		if want := float64(s.Misses) / float64(s.Branches); s.MissRatio() != want {
+			return fmt.Errorf("MissRatio()=%v, recomputed %v", s.MissRatio(), want)
+		}
+	}
+	return nil
+}
+
+// costCheckpoints are the pipeline operating points every manifest's
+// accuracies are pushed through: the paper's baseline machine (k=1), its
+// deeper fetch variants, and a degenerate no-penalty point.
+var costCheckpoints = []pipeline.Config{
+	{K: 0, LBar: 0, MBar: 0},
+	{K: 1, LBar: 1, MBar: 0.6},
+	{K: 2, LBar: 2, MBar: 1.2},
+	{K: 3, LBar: 4, MBar: 2.0},
+}
+
+// CheckManifest verifies a run manifest's arithmetic against the oracle:
+// per-scheme counts must be internally consistent, the recorded ratios
+// must equal their independent recomputation, every scheme listed in the
+// report order must have scores, and the §2.3 cost identity must hold for
+// every scheme's accuracy at every checkpoint operating point.
+func CheckManifest(m *core.Manifest) error {
+	if m == nil {
+		return fmt.Errorf("nil manifest")
+	}
+	for _, name := range m.Order {
+		if _, ok := m.Schemes[name]; !ok {
+			return fmt.Errorf("%s: scheme %q in report order but has no scores", m.Benchmark, name)
+		}
+	}
+	for name, ms := range m.Schemes {
+		if ms.Branches < 0 || ms.Correct < 0 || ms.Hits < 0 || ms.Misses < 0 {
+			return fmt.Errorf("%s/%s: negative counter %+v", m.Benchmark, name, ms)
+		}
+		if ms.Hits+ms.Misses != ms.Branches {
+			return fmt.Errorf("%s/%s: hits %d + misses %d != branches %d",
+				m.Benchmark, name, ms.Hits, ms.Misses, ms.Branches)
+		}
+		if ms.Correct > ms.Branches {
+			return fmt.Errorf("%s/%s: correct %d exceeds branches %d",
+				m.Benchmark, name, ms.Correct, ms.Branches)
+		}
+		if ms.Branches > 0 {
+			if want := float64(ms.Correct) / float64(ms.Branches); math.Abs(ms.Accuracy-want) > costEpsilon {
+				return fmt.Errorf("%s/%s: accuracy %v, recomputed %v", m.Benchmark, name, ms.Accuracy, want)
+			}
+			if want := float64(ms.Misses) / float64(ms.Branches); math.Abs(ms.MissRatio-want) > costEpsilon {
+				return fmt.Errorf("%s/%s: miss ratio %v, recomputed %v", m.Benchmark, name, ms.MissRatio, want)
+			}
+		}
+		if ms.Accuracy < 0 || ms.Accuracy > 1 || ms.CondAccuracy < 0 || ms.CondAccuracy > 1 {
+			return fmt.Errorf("%s/%s: accuracy outside [0,1]: %+v", m.Benchmark, name, ms)
+		}
+		for _, p := range costCheckpoints {
+			if err := CheckCost(p, ms.Accuracy); err != nil {
+				return fmt.Errorf("%s/%s: %w", m.Benchmark, name, err)
+			}
+		}
+	}
+	if m.TraceEvents < 0 || m.TraceRuns < 0 || m.TraceSteps < 0 || m.VMRuns < 0 {
+		return fmt.Errorf("%s: negative trace totals", m.Benchmark)
+	}
+	if m.AnalyticFS < 0 || m.AnalyticFS > 1 {
+		return fmt.Errorf("%s: analytic FS accuracy %v outside [0,1]", m.Benchmark, m.AnalyticFS)
+	}
+	return nil
+}

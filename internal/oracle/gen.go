@@ -1,0 +1,140 @@
+package oracle
+
+import (
+	"math/rand"
+
+	"branchcost/internal/isa"
+	"branchcost/internal/tracefile"
+	"branchcost/internal/vm"
+)
+
+// GenConfig sizes a generated random trace.
+type GenConfig struct {
+	Sites  int // distinct static branch sites
+	Events int // dynamic branch events
+}
+
+// Generated is one random branch trace in both representations the
+// differential engine consumes: the raw event slice and the compact
+// tracefile.Trace recorded from it (bit-identical on replay — the VM's
+// contract that a site's per-direction targets never vary is preserved by
+// construction), plus the target resolver its static sites imply.
+type Generated struct {
+	Events  []vm.BranchEvent
+	Targets TargetFunc
+
+	sites []genSite
+}
+
+type genSite struct {
+	pc, id      int32
+	op          isa.Op
+	likely      bool
+	takenTarget int32 // fixed per site; JMPI draws a fresh target per event
+	fallTarget  int32
+	takenBias   int // percent chance a conditional goes taken
+}
+
+var condOps = []isa.Op{isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLE, isa.BGT}
+
+// Generate builds a seeded random trace: sites get distinct PCs, a mix of
+// conditional and (in)direct-jump opcodes, fixed taken/fall-through
+// targets, and a per-site taken bias so counter dynamics and buffer
+// turnover both get exercised. Event sites are drawn with a skew toward
+// early sites, giving every buffer geometry a mix of hot residents and
+// cold evictees.
+func Generate(r *rand.Rand, cfg GenConfig) *Generated {
+	if cfg.Sites <= 0 {
+		cfg.Sites = 16
+	}
+	if cfg.Events <= 0 {
+		cfg.Events = 256
+	}
+	g := &Generated{sites: make([]genSite, cfg.Sites)}
+	for i := range g.sites {
+		s := &g.sites[i]
+		// Distinct PCs spaced 2 apart leave room for pc+1 fall-throughs.
+		s.pc = int32(2 * i)
+		s.id = int32(1000 + i)
+		switch roll := r.Intn(10); {
+		case roll < 7:
+			s.op = condOps[r.Intn(len(condOps))]
+		case roll < 9:
+			s.op = isa.JMP
+		default:
+			s.op = isa.JMPI
+		}
+		s.likely = r.Intn(2) == 0
+		s.takenTarget = int32(r.Intn(4 * cfg.Sites))
+		s.fallTarget = s.pc + 1
+		s.takenBias = r.Intn(101)
+	}
+	g.Events = make([]vm.BranchEvent, 0, cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		// Squaring the draw skews toward low site indices (hot sites).
+		s := &g.sites[(r.Intn(cfg.Sites)*r.Intn(cfg.Sites+1))%cfg.Sites]
+		ev := vm.BranchEvent{PC: s.pc, ID: s.id, Op: s.op, Likely: s.likely}
+		switch {
+		case s.op == isa.JMPI:
+			ev.Taken = true
+			ev.Target = int32(r.Intn(4 * cfg.Sites))
+		case s.op == isa.JMP:
+			ev.Taken = true
+			ev.Target = s.takenTarget
+		case r.Intn(100) < s.takenBias:
+			ev.Taken = true
+			ev.Target = s.takenTarget
+		default:
+			ev.Taken = false
+			ev.Target = s.fallTarget
+		}
+		g.Events = append(g.Events, ev)
+	}
+	bySite := make(map[int32]*genSite, len(g.sites))
+	for i := range g.sites {
+		bySite[g.sites[i].pc] = &g.sites[i]
+	}
+	g.Targets = func(pc int32) int32 {
+		s, ok := bySite[pc]
+		if !ok || s.op == isa.JMPI {
+			return -1
+		}
+		return s.takenTarget
+	}
+	return g
+}
+
+// Trace records the generated events into a tracefile.Trace; its replay is
+// bit-identical to Events.
+func (g *Generated) Trace() *tracefile.Trace {
+	tr := &tracefile.Trace{}
+	for _, ev := range g.Events {
+		tr.Record(ev)
+	}
+	return tr
+}
+
+// Shrink reduces a diverging event sequence to a small counterexample:
+// greedy delta-debugging that removes chunks of events (halving the chunk
+// size down to single events) as long as diverges still reports a
+// scheme/oracle disagreement on the remainder. diverges must be a pure
+// function of its argument — it is called with fresh predictor state each
+// time. The result still diverges; when the input does not diverge it is
+// returned unchanged.
+func Shrink(events []vm.BranchEvent, diverges func([]vm.BranchEvent) bool) []vm.BranchEvent {
+	cur := append([]vm.BranchEvent(nil), events...)
+	if !diverges(cur) {
+		return cur
+	}
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur); {
+			cand := append(append([]vm.BranchEvent(nil), cur[:start]...), cur[start+chunk:]...)
+			if diverges(cand) {
+				cur = cand
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,180 @@
+package oracle_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"branchcost/internal/oracle"
+	"branchcost/internal/pipeline"
+	"branchcost/internal/predict"
+	"branchcost/internal/tracefile"
+	"branchcost/internal/vm"
+)
+
+// Metamorphic properties: relations that must hold between *pairs* of runs
+// whatever the trace contents, so they need no golden numbers to check
+// against — the second run is the oracle for the first.
+
+// TestConcatConsistency: recording a stream as one trace or as two halves
+// replayed back to back must score identically — the trace codec boundary
+// carries no hidden state.
+func TestConcatConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for n := 0; n < 100; n++ {
+		g := oracle.Generate(r, oracle.GenConfig{Sites: 16, Events: 400})
+		cut := len(g.Events) / 3
+		a, b := g.Events[:cut], g.Events[cut:]
+		trA, trB, trAll := traceOf(a), traceOf(b), traceOf(g.Events)
+
+		for _, name := range []string{"sbtb", "cbtb", "always-not-taken"} {
+			params := fuzzGeometries[n%len(fuzzGeometries)]
+			whole := &predict.Evaluator{P: schemeUnderTest(t, name, params, g)}
+			trAll.Replay(whole.Observe)
+			split := &predict.Evaluator{P: schemeUnderTest(t, name, params, g)}
+			trA.Replay(split.Observe)
+			trB.Replay(split.Observe)
+			if whole.S != split.S {
+				t.Fatalf("trace %d, %s: concat inconsistency:\nwhole %+v\nsplit %+v",
+					n, name, whole.S, split.S)
+			}
+		}
+	}
+}
+
+func traceOf(evs []vm.BranchEvent) *tracefile.Trace {
+	tr := &tracefile.Trace{}
+	for _, ev := range evs {
+		tr.Record(ev)
+	}
+	return tr
+}
+
+// TestBTBHitMonotonicity: fully-associative LRU buffers have the stack
+// property — a bigger buffer's contents always include a smaller one's —
+// so growing the BTB can only add hits. This is a theorem for the buffer,
+// checked here over seeded random traces for both hardware schemes (and
+// their oracle twins, which must inherit the property).
+func TestBTBHitMonotonicity(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	sizes := []int{4, 8, 16, 32, 64}
+	for n := 0; n < 300; n++ {
+		g := oracle.Generate(r, oracle.GenConfig{Sites: 8 + r.Intn(56), Events: 200 + r.Intn(400)})
+		for _, name := range []string{"sbtb", "cbtb"} {
+			prevHits := int64(-1)
+			for _, size := range sizes {
+				params := predict.Params{
+					SBTBEntries: size, SBTBAssoc: size,
+					CBTBEntries: size, CBTBAssoc: size,
+					CounterBits: 2, CounterThreshold: 2,
+				}
+				stats, div := oracle.CheckEvents(name, g.Events,
+					schemeUnderTest(t, name, params, g), oracleFor(t, name, params, g))
+				if div != nil {
+					t.Fatalf("trace %d, %s@%d: %v", n, name, size, div)
+				}
+				if stats.Hits < prevHits {
+					t.Fatalf("trace %d, %s: hits fell from %d to %d when buffer grew to %d entries",
+						n, name, prevHits, stats.Hits, size)
+				}
+				prevHits = stats.Hits
+			}
+		}
+	}
+}
+
+// TestCounterThresholdSymmetry: an n-bit counter scheme is symmetric under
+// direction inversion — CBTB with threshold T on a trace predicts, on
+// every buffer hit, exactly the opposite direction of CBTB with threshold
+// 2^n−T (mirrored through the counter range) on the direction-inverted
+// trace. Misses predict not-taken on both sides by definition. The two
+// sides here are also different implementations (production vs oracle), so
+// the property and the differential check compound.
+func TestCounterThresholdSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	const bits = 2
+	maxC := uint8(1<<bits - 1)
+	for n := 0; n < 300; n++ {
+		g := oracle.Generate(r, oracle.GenConfig{Sites: 8 + r.Intn(24), Events: 200 + r.Intn(300)})
+		inv := make([]vm.BranchEvent, len(g.Events))
+		for i, ev := range g.Events {
+			ev.Taken = !ev.Taken
+			inv[i] = ev
+		}
+		for thr := uint8(1); thr <= maxC; thr++ {
+			mirror := maxC + 1 - thr
+			params := predict.Params{
+				SBTBEntries: 16, SBTBAssoc: 4, CBTBEntries: 16, CBTBAssoc: 4,
+				CounterBits: bits, CounterThreshold: thr,
+			}
+			fwd := predict.MustLookup("cbtb").New(predict.SchemeContext{Params: params})
+			rev := oracle.NewRefCBTB(16, 4, bits, mirror)
+			for i := range g.Events {
+				pf := fwd.Predict(g.Events[i])
+				pr := rev.Predict(inv[i])
+				if pf.Hit != pr.Hit {
+					t.Fatalf("trace %d, T=%d event %d: hit asymmetry %v vs %v", n, thr, i, pf.Hit, pr.Hit)
+				}
+				if pf.Hit && pf.Taken == pr.Taken {
+					t.Fatalf("trace %d, T=%d/%d event %d (pc %d): directions not mirrored: both %v",
+						n, thr, mirror, i, g.Events[i].PC, pf.Taken)
+				}
+				if !pf.Hit && (pf.Taken || pr.Taken) {
+					t.Fatalf("trace %d, T=%d event %d: miss predicted taken", n, thr, i)
+				}
+				fwd.Update(g.Events[i])
+				rev.Update(inv[i])
+			}
+		}
+	}
+}
+
+// TestCostIdentityProperties: the production cost model against the
+// independently transcribed §2.3 identity across a grid of operating
+// points and accuracies, including both endpoints.
+func TestCostIdentityProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for k := 0; k <= 4; k++ {
+		for trial := 0; trial < 200; trial++ {
+			p := pipeline.Config{K: k, LBar: 4 * r.Float64(), MBar: 3 * r.Float64()}
+			for _, a := range []float64{0, 1, r.Float64(), r.Float64()} {
+				if err := oracle.CheckCost(p, a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Endpoint identities, stated directly from the paper: perfect
+			// prediction costs one cycle per branch, total misprediction
+			// costs the full flush penalty.
+			if got := p.Cost(1); got != 1 {
+				t.Fatalf("%v: cost at A=1 is %v, want 1", p, got)
+			}
+			if got, want := p.Cost(0), p.Penalty(); got != want {
+				t.Fatalf("%v: cost at A=0 is %v, want penalty %v", p, got, want)
+			}
+		}
+	}
+	if err := oracle.CheckCost(pipeline.Config{K: 1, LBar: 1, MBar: 0.6}, 1.5); err == nil {
+		t.Fatal("accuracy 1.5 accepted")
+	}
+}
+
+// TestCheckStatsRejectsCorrupt: the consistency checker must actually bite.
+func TestCheckStatsRejectsCorrupt(t *testing.T) {
+	good := predict.Stats{Branches: 10, Correct: 6, DirRight: 7, Hits: 8, Misses: 2,
+		CondBranches: 5, CondCorrect: 3}
+	if err := oracle.CheckStats(good); err != nil {
+		t.Fatalf("consistent stats rejected: %v", err)
+	}
+	bad := []predict.Stats{
+		{Branches: 10, Hits: 5, Misses: 4},                               // hits+misses short
+		{Branches: 10, Hits: 8, Misses: 2, Correct: 7, DirRight: 6},      // correct > dirRight
+		{Branches: 10, Hits: 8, Misses: 2, DirRight: 11},                 // dirRight > branches
+		{Branches: 10, Hits: 8, Misses: 2, CondBranches: 11},             // cond > branches
+		{Branches: 10, Hits: 8, Misses: 2, CondBranches: 4, CondCorrect: 5}, // condCorrect > cond
+		{Branches: -1, Hits: -1},                                         // negative
+	}
+	for i, s := range bad {
+		if err := oracle.CheckStats(s); err == nil {
+			t.Errorf("corrupt stats %d accepted: %+v", i, s)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package oracle holds deliberately naive, independently-coded reference
+// models of every built-in prediction scheme, plus a differential-check
+// engine that replays a trace through a scheme and its oracle twin in
+// lockstep and reports the first diverging branch event. It is the repo's
+// standing correctness gate: the production implementations in
+// internal/btb and internal/predict are optimized (O(1) indexed buffers,
+// shared associative sets), while these models favour the most literal
+// transcription of the schemes' definitions — linear scans, explicit
+// recency lists, no shared state — so that a bug in either side surfaces
+// as a located divergence instead of silently becoming a "reproduced"
+// number. BTB reverse-engineering work validates predictor models the same
+// way: two independent implementations cross-checked event by event.
+//
+// The package must never import internal/btb; the whole point is that the
+// two BTB implementations share no code.
+package oracle
+
+import (
+	"branchcost/internal/isa"
+	"branchcost/internal/predict"
+	"branchcost/internal/vm"
+)
+
+// TargetFunc resolves the statically-known taken target of the branch at
+// pc, or -1 when the target is not statically encodable (indirect jumps).
+// predict.ProgramTargets.TargetAt satisfies it for real programs; generated
+// traces derive one from their site table.
+type TargetFunc func(pc int32) int32
+
+// refEntry is one line of the reference buffer. touch is a per-buffer
+// logical timestamp: the entry touched longest ago is the LRU victim.
+type refEntry struct {
+	pc      int32
+	target  int32
+	counter uint8
+	touch   uint64
+}
+
+// refBuffer is the naive associative buffer: one unordered slice per set,
+// linear scans everywhere, eviction by minimum touch stamp. Sets partition
+// by pc modulo the set count, exactly as the hardware (and internal/btb)
+// would index by the low address bits.
+type refBuffer struct {
+	sets  [][]refEntry
+	assoc int
+	tick  uint64
+}
+
+func newRefBuffer(entries, assoc int) *refBuffer {
+	if entries <= 0 || assoc <= 0 || entries%assoc != 0 {
+		panic("oracle: bad buffer geometry")
+	}
+	return &refBuffer{sets: make([][]refEntry, entries/assoc), assoc: assoc}
+}
+
+func (b *refBuffer) set(pc int32) int {
+	return int(uint32(pc) % uint32(len(b.sets)))
+}
+
+// lookup returns the entry for pc, refreshing its recency on hit.
+func (b *refBuffer) lookup(pc int32) *refEntry {
+	b.tick++
+	set := b.sets[b.set(pc)]
+	for i := range set {
+		if set[i].pc == pc {
+			set[i].touch = b.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert returns the entry for pc, allocating a zeroed line (evicting the
+// least recently touched line of a full set) when absent.
+func (b *refBuffer) insert(pc int32) *refEntry {
+	b.tick++
+	si := b.set(pc)
+	set := b.sets[si]
+	for i := range set {
+		if set[i].pc == pc {
+			set[i].touch = b.tick
+			return &set[i]
+		}
+	}
+	if len(set) == b.assoc {
+		victim := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].touch < set[victim].touch {
+				victim = i
+			}
+		}
+		set[victim] = refEntry{pc: pc, touch: b.tick}
+		b.sets[si] = set
+		return &set[victim]
+	}
+	b.sets[si] = append(set, refEntry{pc: pc, touch: b.tick})
+	return &b.sets[si][len(b.sets[si])-1]
+}
+
+// delete removes the entry for pc if present.
+func (b *refBuffer) delete(pc int32) {
+	si := b.set(pc)
+	set := b.sets[si]
+	for i := range set {
+		if set[i].pc == pc {
+			b.sets[si] = append(set[:i], set[i+1:]...)
+			return
+		}
+	}
+}
+
+func (b *refBuffer) reset() {
+	for i := range b.sets {
+		b.sets[i] = nil
+	}
+	b.tick = 0
+}
+
+// RefSBTB is the reference Simple Branch Target Buffer, transcribed from
+// the paper's definition: remember taken branches; a hit predicts taken to
+// the cached target, a miss predicts not-taken, and a hit whose branch
+// falls through is deleted.
+type RefSBTB struct{ buf *refBuffer }
+
+// NewRefSBTB returns a reference SBTB with the given geometry.
+func NewRefSBTB(entries, assoc int) *RefSBTB {
+	return &RefSBTB{buf: newRefBuffer(entries, assoc)}
+}
+
+// Name implements predict.Predictor.
+func (s *RefSBTB) Name() string { return "oracle:sbtb" }
+
+// Predict implements predict.Predictor.
+func (s *RefSBTB) Predict(ev vm.BranchEvent) predict.Prediction {
+	if e := s.buf.lookup(ev.PC); e != nil {
+		return predict.Prediction{Taken: true, Target: e.target, Hit: true}
+	}
+	return predict.Prediction{Taken: false, Hit: false}
+}
+
+// Update implements predict.Predictor.
+func (s *RefSBTB) Update(ev vm.BranchEvent) {
+	if ev.Taken {
+		s.buf.insert(ev.PC).target = ev.Target
+		return
+	}
+	s.buf.delete(ev.PC)
+}
+
+// Reset implements predict.Predictor.
+func (s *RefSBTB) Reset() { s.buf.reset() }
+
+// RefCBTB is the reference Counter-based Branch Target Buffer: every
+// executed branch is eligible for an entry; an n-bit saturating counter
+// with threshold T predicts taken when counter >= T (the >= reading of
+// J. E. Smith's scheme, matching internal/btb's documented choice).
+type RefCBTB struct {
+	buf       *refBuffer
+	max       uint8
+	threshold uint8
+}
+
+// NewRefCBTB returns a reference CBTB with the given geometry and counter.
+func NewRefCBTB(entries, assoc, bits int, threshold uint8) *RefCBTB {
+	if bits < 1 || bits > 8 {
+		panic("oracle: counter bits out of range")
+	}
+	maxC := uint8(1)<<bits - 1
+	if threshold > maxC {
+		panic("oracle: threshold exceeds counter max")
+	}
+	return &RefCBTB{buf: newRefBuffer(entries, assoc), max: maxC, threshold: threshold}
+}
+
+// Name implements predict.Predictor.
+func (c *RefCBTB) Name() string { return "oracle:cbtb" }
+
+// Predict implements predict.Predictor.
+func (c *RefCBTB) Predict(ev vm.BranchEvent) predict.Prediction {
+	e := c.buf.lookup(ev.PC)
+	if e == nil {
+		return predict.Prediction{Taken: false, Hit: false}
+	}
+	if e.counter >= c.threshold {
+		return predict.Prediction{Taken: true, Target: e.target, Hit: true}
+	}
+	return predict.Prediction{Taken: false, Hit: true}
+}
+
+// Update implements predict.Predictor. A newly allocated entry starts its
+// counter at T (taken) or T-1 (not taken), with an unknown target of -1
+// until the first taken outcome supplies one — the same initialization the
+// production CBTB uses, transcribed independently.
+func (c *RefCBTB) Update(ev vm.BranchEvent) {
+	e := c.buf.lookup(ev.PC)
+	if e == nil {
+		e = c.buf.insert(ev.PC)
+		e.target = -1
+		if ev.Taken {
+			e.counter = c.threshold
+			e.target = ev.Target
+		} else if c.threshold > 0 {
+			e.counter = c.threshold - 1
+		}
+		return
+	}
+	if ev.Taken {
+		if e.counter < c.max {
+			e.counter++
+		}
+		e.target = ev.Target
+	} else if e.counter > 0 {
+		e.counter--
+	}
+}
+
+// Reset implements predict.Predictor.
+func (c *RefCBTB) Reset() { c.buf.reset() }
+
+// RefAlwaysTaken predicts every branch taken to its static target.
+type RefAlwaysTaken struct{ Targets TargetFunc }
+
+// Name implements predict.Predictor.
+func (RefAlwaysTaken) Name() string { return "oracle:always-taken" }
+
+// Predict implements predict.Predictor.
+func (a RefAlwaysTaken) Predict(ev vm.BranchEvent) predict.Prediction {
+	return predict.Prediction{Taken: true, Target: a.Targets(ev.PC), Hit: true}
+}
+
+// Update implements predict.Predictor.
+func (RefAlwaysTaken) Update(vm.BranchEvent) {}
+
+// Reset implements predict.Predictor.
+func (RefAlwaysTaken) Reset() {}
+
+// RefAlwaysNotTaken predicts every branch not taken.
+type RefAlwaysNotTaken struct{}
+
+// Name implements predict.Predictor.
+func (RefAlwaysNotTaken) Name() string { return "oracle:always-not-taken" }
+
+// Predict implements predict.Predictor.
+func (RefAlwaysNotTaken) Predict(vm.BranchEvent) predict.Prediction {
+	return predict.Prediction{Taken: false, Hit: true}
+}
+
+// Update implements predict.Predictor.
+func (RefAlwaysNotTaken) Update(vm.BranchEvent) {}
+
+// Reset implements predict.Predictor.
+func (RefAlwaysNotTaken) Reset() {}
+
+// RefBTFNT predicts backward branches (target at or before the branch)
+// taken and forward branches not taken; unconditional jumps are taken.
+type RefBTFNT struct{ Targets TargetFunc }
+
+// Name implements predict.Predictor.
+func (RefBTFNT) Name() string { return "oracle:btfnt" }
+
+// Predict implements predict.Predictor.
+func (b RefBTFNT) Predict(ev vm.BranchEvent) predict.Prediction {
+	t := b.Targets(ev.PC)
+	if ev.Op == isa.JMP || ev.Op == isa.JMPI {
+		return predict.Prediction{Taken: true, Target: t, Hit: true}
+	}
+	if t >= 0 && t <= ev.PC {
+		return predict.Prediction{Taken: true, Target: t, Hit: true}
+	}
+	return predict.Prediction{Taken: false, Hit: true}
+}
+
+// Update implements predict.Predictor.
+func (RefBTFNT) Update(vm.BranchEvent) {}
+
+// Reset implements predict.Predictor.
+func (RefBTFNT) Reset() {}
+
+// RefLikelyBit predicts with the instruction's likely-taken bit: direct
+// jumps taken, indirect jumps taken to an unknowable target, conditionals
+// by the bit — the Forward Semantic's prediction mechanism.
+type RefLikelyBit struct{ Targets TargetFunc }
+
+// Name implements predict.Predictor.
+func (RefLikelyBit) Name() string { return "oracle:fs" }
+
+// Predict implements predict.Predictor.
+func (l RefLikelyBit) Predict(ev vm.BranchEvent) predict.Prediction {
+	switch {
+	case ev.Op == isa.JMP:
+		return predict.Prediction{Taken: true, Target: l.Targets(ev.PC), Hit: true}
+	case ev.Op == isa.JMPI:
+		return predict.Prediction{Taken: true, Target: -1, Hit: true}
+	case ev.Likely:
+		return predict.Prediction{Taken: true, Target: l.Targets(ev.PC), Hit: true}
+	default:
+		return predict.Prediction{Taken: false, Hit: true}
+	}
+}
+
+// Update implements predict.Predictor.
+func (RefLikelyBit) Update(vm.BranchEvent) {}
+
+// Reset implements predict.Predictor.
+func (RefLikelyBit) Reset() {}
+
+// For returns the oracle twin of the registered scheme name, or false when
+// the package has no reference model for it (unknown names, schemes whose
+// model needs aggregate profile data like opcode-bias). Schemes whose
+// predictions consult static branch targets need a non-nil targets
+// resolver; without one only the target-free models are available.
+func For(name string, p predict.Params, targets TargetFunc) (predict.Predictor, bool) {
+	p = p.OrPaper()
+	switch name {
+	case "sbtb":
+		return NewRefSBTB(p.SBTBEntries, p.SBTBAssoc), true
+	case "cbtb":
+		return NewRefCBTB(p.CBTBEntries, p.CBTBAssoc, p.CounterBits, p.CounterThreshold), true
+	case "always-not-taken":
+		return RefAlwaysNotTaken{}, true
+	case "always-taken":
+		if targets == nil {
+			return nil, false
+		}
+		return RefAlwaysTaken{Targets: targets}, true
+	case "btfnt":
+		if targets == nil {
+			return nil, false
+		}
+		return RefBTFNT{Targets: targets}, true
+	case "fs":
+		if targets == nil {
+			return nil, false
+		}
+		return RefLikelyBit{Targets: targets}, true
+	}
+	return nil, false
+}

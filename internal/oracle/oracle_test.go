@@ -1,0 +1,383 @@
+package oracle_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	_ "branchcost/internal/btb" // register sbtb/cbtb
+	"branchcost/internal/isa"
+	"branchcost/internal/oracle"
+	"branchcost/internal/predict"
+	"branchcost/internal/vm"
+)
+
+// fuzzTracesPerScheme is how many random traces every scheme is
+// differentially checked on — in -short mode too; the acceptance floor for
+// the verification subsystem is 10k per scheme with zero divergences.
+const fuzzTracesPerScheme = 10_000
+
+// fuzzGeometries are the buffer configurations the fuzzer rotates through:
+// deliberately small so eviction and set conflicts dominate, with a mix of
+// fully-associative and set-associative shapes and counter widths.
+var fuzzGeometries = []predict.Params{
+	{SBTBEntries: 16, SBTBAssoc: 4, CBTBEntries: 16, CBTBAssoc: 4, CounterBits: 2, CounterThreshold: 2},
+	{SBTBEntries: 32, SBTBAssoc: 32, CBTBEntries: 32, CBTBAssoc: 32, CounterBits: 2, CounterThreshold: 3},
+	{SBTBEntries: 8, SBTBAssoc: 8, CBTBEntries: 8, CBTBAssoc: 8, CounterBits: 1, CounterThreshold: 1},
+	{SBTBEntries: 64, SBTBAssoc: 16, CBTBEntries: 64, CBTBAssoc: 16, CounterBits: 3, CounterThreshold: 4},
+	{SBTBEntries: 24, SBTBAssoc: 2, CBTBEntries: 24, CBTBAssoc: 2, CounterBits: 2, CounterThreshold: 0},
+}
+
+// schemeUnderTest constructs the production predictor for a scheme name on
+// a generated trace: registry constructors for the context-free schemes,
+// direct construction with the generated target resolver for the statics
+// (whose registry constructors demand a compiled program).
+func schemeUnderTest(t testing.TB, name string, p predict.Params, g *oracle.Generated) predict.Predictor {
+	t.Helper()
+	res := predict.TargetFunc(g.Targets)
+	switch name {
+	case "sbtb", "cbtb", "always-not-taken":
+		return predict.MustLookup(name).New(predict.SchemeContext{Params: p})
+	case "always-taken":
+		return predict.AlwaysTaken{Targets: res}
+	case "btfnt":
+		return predict.BTFNT{Targets: res}
+	case "fs":
+		return predict.LikelyBit{Targets: res}
+	}
+	t.Fatalf("no production constructor for %q", name)
+	return nil
+}
+
+func oracleFor(t testing.TB, name string, p predict.Params, g *oracle.Generated) predict.Predictor {
+	t.Helper()
+	ref, ok := oracle.For(name, p, g.Targets)
+	if !ok {
+		t.Fatalf("no oracle model for %q", name)
+	}
+	return ref
+}
+
+// TestDifferentialFuzz is the subsystem's core guarantee: for every scheme,
+// 10k seeded random traces replayed through the production implementation
+// and the naive reference model in lockstep, with zero divergences and
+// internally consistent statistics. Seeds are fixed, so a failure here
+// reproduces exactly.
+func TestDifferentialFuzz(t *testing.T) {
+	schemes := []string{"sbtb", "cbtb", "always-taken", "always-not-taken", "btfnt", "fs"}
+	for si, name := range schemes {
+		name := name
+		seed := int64(0xD1FF + si)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			for n := 0; n < fuzzTracesPerScheme; n++ {
+				g := oracle.Generate(r, oracle.GenConfig{
+					Sites:  4 + r.Intn(44),
+					Events: 32 + r.Intn(288),
+				})
+				params := fuzzGeometries[n%len(fuzzGeometries)]
+				stats, div := oracle.CheckEvents(name,
+					g.Events, schemeUnderTest(t, name, params, g), oracleFor(t, name, params, g))
+				if div != nil {
+					t.Fatalf("trace %d (seed %d): %v", n, seed, div)
+				}
+				if err := oracle.CheckStats(stats); err != nil {
+					t.Fatalf("trace %d (seed %d): inconsistent stats: %v", n, seed, err)
+				}
+				if stats.Branches != int64(len(g.Events)) {
+					t.Fatalf("trace %d: counted %d branches of %d events", n, stats.Branches, len(g.Events))
+				}
+			}
+		})
+	}
+}
+
+// TestVerifyTraceClean: the registry-driven gate verifies every checkable
+// scheme on a generated trace and explains each skip.
+func TestVerifyTraceClean(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := oracle.Generate(r, oracle.GenConfig{Sites: 24, Events: 2048})
+	verdicts := oracle.VerifyTrace(g.Trace(), predict.Params{})
+	checked := 0
+	for _, v := range verdicts {
+		if v.Skipped != "" {
+			continue
+		}
+		checked++
+		if !v.OK() {
+			t.Errorf("%s: div=%v err=%v", v.Scheme, v.Div, v.Err)
+		}
+		if v.Stats.Branches != int64(g.Trace().Len()) {
+			t.Errorf("%s: scored %d of %d events", v.Scheme, v.Stats.Branches, g.Trace().Len())
+		}
+	}
+	// The context-free builtins must all be inside the gate.
+	if checked < 3 {
+		t.Fatalf("only %d schemes verified; want at least sbtb, cbtb, always-not-taken", checked)
+	}
+	for _, v := range verdicts {
+		if (v.Scheme == "sbtb" || v.Scheme == "cbtb" || v.Scheme == "always-not-taken") && v.Skipped != "" {
+			t.Errorf("%s skipped: %s", v.Scheme, v.Skipped)
+		}
+	}
+}
+
+// TestGeneratedTraceReplayBitIdentical: the generator's event slice and its
+// recorded tracefile.Trace must replay identically, or every trace-level
+// check in this package would test a different stream than the raw one.
+func TestGeneratedTraceReplayBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for n := 0; n < 100; n++ {
+		g := oracle.Generate(r, oracle.GenConfig{Sites: 2 + r.Intn(30), Events: 1 + r.Intn(500)})
+		var got []vm.BranchEvent
+		g.Trace().Replay(func(ev vm.BranchEvent) { got = append(got, ev) })
+		if len(got) != len(g.Events) {
+			t.Fatalf("trace %d: replayed %d events, recorded %d", n, len(got), len(g.Events))
+		}
+		for i := range got {
+			if got[i] != g.Events[i] {
+				t.Fatalf("trace %d event %d: replay %+v != recorded %+v", n, i, got[i], g.Events[i])
+			}
+		}
+	}
+}
+
+// brokenBuffer is a scratch copy of the production BTB's buffer logic with
+// a deliberately seeded off-by-one: a set evicts when it reaches assoc-1
+// lines, so the buffer silently holds one entry fewer than configured. The
+// kind of bug a golden table pinned to its own output would absorb as a
+// slightly different "reproduced" accuracy.
+type brokenBuffer struct {
+	entries map[int32]*brokenEntry
+	order   []int32 // recency, most recent last
+	assoc   int
+}
+
+type brokenEntry struct{ target int32 }
+
+func (b *brokenBuffer) touch(pc int32) {
+	for i, p := range b.order {
+		if p == pc {
+			b.order = append(append(b.order[:i:i], b.order[i+1:]...), pc)
+			return
+		}
+	}
+	b.order = append(b.order, pc)
+}
+
+func (b *brokenBuffer) lookup(pc int32) *brokenEntry {
+	e := b.entries[pc]
+	if e != nil {
+		b.touch(pc)
+	}
+	return e
+}
+
+func (b *brokenBuffer) insert(pc int32) *brokenEntry {
+	if e := b.entries[pc]; e != nil {
+		b.touch(pc)
+		return e
+	}
+	if len(b.order) >= b.assoc-1 { // the off-by-one: should be b.assoc
+		victim := b.order[0]
+		b.order = b.order[1:]
+		delete(b.entries, victim)
+	}
+	e := &brokenEntry{}
+	b.entries[pc] = e
+	b.touch(pc)
+	return e
+}
+
+func (b *brokenBuffer) delete(pc int32) {
+	if _, ok := b.entries[pc]; !ok {
+		return
+	}
+	delete(b.entries, pc)
+	for i, p := range b.order {
+		if p == pc {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			return
+		}
+	}
+}
+
+type brokenSBTB struct{ buf *brokenBuffer }
+
+func (s *brokenSBTB) Name() string { return "broken-sbtb" }
+func (s *brokenSBTB) Predict(ev vm.BranchEvent) predict.Prediction {
+	if e := s.buf.lookup(ev.PC); e != nil {
+		return predict.Prediction{Taken: true, Target: e.target, Hit: true}
+	}
+	return predict.Prediction{Taken: false}
+}
+func (s *brokenSBTB) Update(ev vm.BranchEvent) {
+	if ev.Taken {
+		s.buf.insert(ev.PC).target = ev.Target
+		return
+	}
+	s.buf.delete(ev.PC)
+}
+func (s *brokenSBTB) Reset() { s.buf.entries, s.buf.order = map[int32]*brokenEntry{}, nil }
+
+// TestOracleCatchesSeededOffByOne is the acceptance demonstration: an
+// intentionally-wrong scheme — a scratch SBTB whose buffer is one entry
+// short — is registered like any future scheme would be, and the oracle
+// catches it with a located divergence report, which the shrinker then
+// reduces to a small counterexample.
+func TestOracleCatchesSeededOffByOne(t *testing.T) {
+	if err := predict.RegisterScheme(predict.Scheme{
+		Name:        "broken-sbtb",
+		Description: "test-only: SBTB with an off-by-one buffer capacity",
+		New: func(predict.SchemeContext) predict.Predictor {
+			return &brokenSBTB{buf: &brokenBuffer{entries: map[int32]*brokenEntry{}, assoc: 8}}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc := predict.MustLookup("broken-sbtb")
+	params := predict.Params{SBTBEntries: 8, SBTBAssoc: 8,
+		CBTBEntries: 8, CBTBAssoc: 8, CounterBits: 2, CounterThreshold: 2}
+
+	r := rand.New(rand.NewSource(99))
+	var g *oracle.Generated
+	var div *oracle.Divergence
+	for n := 0; n < 1000; n++ {
+		cand := oracle.Generate(r, oracle.GenConfig{Sites: 12, Events: 256})
+		_, d := oracle.CheckEvents("broken-sbtb", cand.Events,
+			sc.New(predict.SchemeContext{Params: params}),
+			oracle.NewRefSBTB(8, 8))
+		if d != nil {
+			g, div = cand, d
+			break
+		}
+	}
+	if div == nil {
+		t.Fatal("oracle failed to catch the seeded off-by-one in 1000 traces")
+	}
+	if div.Step < 0 || div.Step >= int64(len(g.Events)) {
+		t.Fatalf("divergence step %d out of range", div.Step)
+	}
+	if g.Events[div.Step] != div.Event {
+		t.Fatalf("divergence event %+v is not event %d of the trace", div.Event, div.Step)
+	}
+	report := div.Error()
+	for _, want := range []string{"broken-sbtb", "step", "site", "oracle says"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("divergence report %q lacks %q", report, want)
+		}
+	}
+
+	diverges := func(evs []vm.BranchEvent) bool {
+		_, d := oracle.CheckEvents("broken-sbtb", evs,
+			sc.New(predict.SchemeContext{Params: params}),
+			oracle.NewRefSBTB(8, 8))
+		return d != nil
+	}
+	shrunk := oracle.Shrink(g.Events, diverges)
+	if !diverges(shrunk) {
+		t.Fatal("shrunk counterexample no longer diverges")
+	}
+	if len(shrunk) > len(g.Events) {
+		t.Fatalf("shrinker grew the counterexample: %d -> %d", len(g.Events), len(shrunk))
+	}
+	// The minimal repro for a one-entry-short 8-way buffer needs at most a
+	// handful of taken branches on distinct sites plus the revisit; anything
+	// bigger means the shrinker is not actually shrinking.
+	if len(shrunk) > 32 {
+		t.Errorf("shrunk counterexample still has %d events", len(shrunk))
+	}
+	t.Logf("caught: %v (shrunk from %d to %d events)", div, len(g.Events), len(shrunk))
+}
+
+// TestReferenceBufferSemantics pins the oracle's own buffer behaviour on a
+// hand-worked sequence, so the reference side of the differential check is
+// itself anchored to the schemes' definitions rather than only to the code
+// it is compared against.
+func TestReferenceBufferSemantics(t *testing.T) {
+	s := oracle.NewRefSBTB(2, 2)
+	ev := func(pc int32, taken bool, target int32) vm.BranchEvent {
+		return vm.BranchEvent{PC: pc, Op: isa.BEQ, Taken: taken, Target: target}
+	}
+	// Miss predicts not-taken.
+	if p := s.Predict(ev(0, true, 10)); p.Taken || p.Hit {
+		t.Fatalf("empty SBTB predicted %+v", p)
+	}
+	// Taken branches are remembered with their targets.
+	s.Update(ev(0, true, 10))
+	if p := s.Predict(ev(0, true, 10)); !p.Taken || p.Target != 10 || !p.Hit {
+		t.Fatalf("SBTB after taken predicted %+v", p)
+	}
+	// A not-taken outcome deletes the entry.
+	s.Update(ev(0, false, 1))
+	if p := s.Predict(ev(0, true, 10)); p.Taken || p.Hit {
+		t.Fatalf("SBTB after delete predicted %+v", p)
+	}
+	// LRU eviction: fill both lines, touch the first, insert a third — the
+	// untouched second line is the victim.
+	s.Update(ev(0, true, 10))
+	s.Update(ev(1, true, 11))
+	s.Predict(ev(0, true, 10)) // touch pc 0
+	s.Update(ev(2, true, 12))  // evicts pc 1
+	if p := s.Predict(ev(1, true, 11)); p.Hit {
+		t.Fatalf("LRU victim still resident: %+v", p)
+	}
+	if p := s.Predict(ev(0, true, 10)); !p.Hit {
+		t.Fatalf("recently touched line evicted: %+v", p)
+	}
+
+	c := oracle.NewRefCBTB(2, 2, 2, 2)
+	// First not-taken sighting seeds the counter at T-1: still not-taken,
+	// but now a buffer hit.
+	c.Update(ev(5, false, 6))
+	if p := c.Predict(ev(5, true, 9)); p.Taken || !p.Hit {
+		t.Fatalf("CBTB after one not-taken predicted %+v", p)
+	}
+	// One taken outcome reaches the threshold.
+	c.Update(ev(5, true, 9))
+	if p := c.Predict(ev(5, true, 9)); !p.Taken || p.Target != 9 {
+		t.Fatalf("CBTB at threshold predicted %+v", p)
+	}
+	// Two not-taken outcomes decay it back below threshold.
+	c.Update(ev(5, false, 6))
+	c.Update(ev(5, false, 6))
+	if p := c.Predict(ev(5, true, 9)); p.Taken {
+		t.Fatalf("CBTB decayed below threshold predicted %+v", p)
+	}
+}
+
+// TestResetLockstep: wiping predictor state mid-stream (the context-switch
+// ablation's Reset path) must not open a gap between scheme and oracle.
+func TestResetLockstep(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	params := fuzzGeometries[0]
+	for n := 0; n < 200; n++ {
+		g := oracle.Generate(r, oracle.GenConfig{Sites: 20, Events: 300})
+		for _, name := range []string{"sbtb", "cbtb"} {
+			every := 17 + n%40
+			sp := resetEvery{P: schemeUnderTest(t, name, params, g), N: every}
+			op := resetEvery{P: oracleFor(t, name, params, g), N: every}
+			if _, div := oracle.CheckEvents(name, g.Events, &sp, &op); div != nil {
+				t.Fatalf("trace %d, reset every %d: %v", n, every, div)
+			}
+		}
+	}
+}
+
+// resetEvery wraps a predictor, wiping its state every N updates.
+type resetEvery struct {
+	P predict.Predictor
+	N int
+	n int
+}
+
+func (w *resetEvery) Name() string                                { return w.P.Name() }
+func (w *resetEvery) Predict(ev vm.BranchEvent) predict.Prediction { return w.P.Predict(ev) }
+func (w *resetEvery) Reset()                                       { w.P.Reset() }
+func (w *resetEvery) Update(ev vm.BranchEvent) {
+	w.P.Update(ev)
+	if w.n++; w.n%w.N == 0 {
+		w.P.Reset()
+	}
+}

@@ -78,19 +78,30 @@ var registry = struct {
 	order  []string
 }{byName: map[string]Scheme{}}
 
-// Register adds a scheme to the registry. It panics on an empty name, a nil
-// constructor, or a duplicate registration — all programming errors.
-func Register(s Scheme) {
+// RegisterScheme adds a scheme to the registry, rejecting an empty name, a
+// nil constructor, and — crucially — a name that is already registered: a
+// duplicate must never silently replace the scheme every table and golden
+// refers to by that name. The registry is left untouched on error.
+func RegisterScheme(s Scheme) error {
 	if s.Name == "" || s.New == nil {
-		panic("predict: Register needs a name and a constructor")
+		return fmt.Errorf("predict: RegisterScheme needs a name and a constructor")
 	}
 	registry.Lock()
 	defer registry.Unlock()
 	if _, dup := registry.byName[s.Name]; dup {
-		panic(fmt.Sprintf("predict: scheme %q registered twice", s.Name))
+		return fmt.Errorf("predict: scheme %q already registered", s.Name)
 	}
 	registry.byName[s.Name] = s
 	registry.order = append(registry.order, s.Name)
+	return nil
+}
+
+// Register is RegisterScheme for init-time registration, where every
+// failure is a programming error: it panics instead of returning.
+func Register(s Scheme) {
+	if err := RegisterScheme(s); err != nil {
+		panic(err)
+	}
 }
 
 // Lookup returns the scheme registered under name.

@@ -1,6 +1,7 @@
 package predict_test
 
 import (
+	"strings"
 	"testing"
 
 	_ "branchcost/internal/btb" // registers sbtb/cbtb
@@ -73,4 +74,48 @@ func TestRegisterValidation(t *testing.T) {
 	mustPanic("duplicate", func() {
 		predict.Register(predict.Scheme{Name: "sbtb", New: func(predict.SchemeContext) predict.Predictor { return nil }})
 	})
+}
+
+// TestRegisterSchemeRejectsDuplicate: a duplicate registration must fail
+// with an error naming the scheme and leave the original registration —
+// the one every table refers to — untouched.
+func TestRegisterSchemeRejectsDuplicate(t *testing.T) {
+	if err := predict.RegisterScheme(predict.Scheme{}); err == nil {
+		t.Error("empty scheme accepted")
+	}
+	if err := predict.RegisterScheme(predict.Scheme{Name: "x"}); err == nil {
+		t.Error("nil constructor accepted")
+	}
+
+	usurper := predict.Scheme{
+		Name:        "sbtb",
+		Description: "usurper",
+		New:         func(predict.SchemeContext) predict.Predictor { return nil },
+	}
+	err := predict.RegisterScheme(usurper)
+	if err == nil {
+		t.Fatal("duplicate registration of sbtb accepted")
+	}
+	if !strings.Contains(err.Error(), "sbtb") {
+		t.Errorf("duplicate error %q does not name the scheme", err)
+	}
+
+	// The original must have survived: same description, working constructor,
+	// and exactly one "sbtb" in the registration order.
+	got := predict.MustLookup("sbtb")
+	if got.Description == usurper.Description {
+		t.Fatal("duplicate registration overwrote the original scheme")
+	}
+	if p := got.New(predict.SchemeContext{}); p == nil || p.Name() != "sbtb" {
+		t.Fatalf("original sbtb constructor broken after rejected duplicate: %v", p)
+	}
+	count := 0
+	for _, n := range predict.Names() {
+		if n == "sbtb" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("sbtb appears %d times in registration order", count)
+	}
 }

@@ -18,6 +18,21 @@ type staticBase struct{}
 func (staticBase) Update(vm.BranchEvent) {}
 func (staticBase) Reset()                {}
 
+// TargetResolver supplies a static predictor with the statically-known
+// taken target of the branch at pc (-1 when no target is encodable, as for
+// indirect jumps). ProgramTargets is the production resolver; trace-level
+// harnesses (differential fuzzing against internal/oracle) substitute
+// synthetic resolvers to score the statics without a compiled program.
+type TargetResolver interface {
+	TargetAt(pc int32) int32
+}
+
+// TargetFunc adapts a plain function to a TargetResolver.
+type TargetFunc func(pc int32) int32
+
+// TargetAt implements TargetResolver.
+func (f TargetFunc) TargetAt(pc int32) int32 { return f(pc) }
+
 // ProgramTargets adapts an isa.Program for static predictors, resolving
 // direct branch targets to canonical code positions.
 type ProgramTargets struct{ Prog *isa.Program }
@@ -37,7 +52,7 @@ func (p ProgramTargets) TargetAt(pc int32) int32 {
 // AlwaysTaken predicts every branch taken (to its static target).
 type AlwaysTaken struct {
 	staticBase
-	Targets ProgramTargets
+	Targets TargetResolver
 }
 
 // Name implements Predictor.
@@ -65,7 +80,7 @@ func (AlwaysNotTaken) Predict(vm.BranchEvent) Prediction {
 // jumps are predicted taken.
 type BTFNT struct {
 	staticBase
-	Targets ProgramTargets
+	Targets TargetResolver
 }
 
 // Name implements Predictor.
@@ -89,7 +104,7 @@ func (b BTFNT) Predict(ev vm.BranchEvent) Prediction {
 // jumps have no encodable target and thus always mispredict.
 type LikelyBit struct {
 	staticBase
-	Targets ProgramTargets
+	Targets TargetResolver
 }
 
 // Name implements Predictor.
@@ -116,12 +131,12 @@ func (l LikelyBit) Predict(ev vm.BranchEvent) Prediction {
 // from a profile with NewOpcodeBias.
 type OpcodeBias struct {
 	staticBase
-	Targets ProgramTargets
+	Targets TargetResolver
 	taken   map[isa.Op]bool
 }
 
 // NewOpcodeBias derives the per-opcode directions from a profile.
-func NewOpcodeBias(prof *profile.Profile, targets ProgramTargets) OpcodeBias {
+func NewOpcodeBias(prof *profile.Profile, targets TargetResolver) OpcodeBias {
 	exec := map[isa.Op]int64{}
 	tkn := map[isa.Op]int64{}
 	for _, b := range prof.Branches {
