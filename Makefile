@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet race telemetry-check chaos verify bench bench-json corpus-bench repro tables figures ablations fuzz fuzz-short goldens clean
+.PHONY: all build test vet race telemetry-check chaos verify frontend-check bench bench-json corpus-bench repro tables figures ablations fuzz fuzz-short goldens clean
 
-all: build vet test race telemetry-check chaos verify
+all: build vet test race telemetry-check chaos verify frontend-check
 
 # Differential-oracle gate: record-or-load the whole benchmark corpus, then
 # replay every trace through each context-free scheme and its deliberately
@@ -14,6 +14,14 @@ VERIFY_CORPUS ?= .verify-corpus
 verify:
 	$(GO) run ./cmd/btrace -corpus $(VERIFY_CORPUS) -record-suite
 	$(GO) run ./cmd/btrace -corpus $(VERIFY_CORPUS) -verify
+
+# Frontend-model gate: replay every benchmark's recorded streams through the
+# trace-fed pipeline simulator at W ∈ {1,2,4,8} and assert the calibrated
+# analytic cost models agree with the simulation within each run's provable
+# tolerance (exact at W=1, alignment-bounded at wider fetch). Covers all
+# benchmarks including Table 5's extras; exits nonzero on any violation.
+frontend-check:
+	$(GO) run ./cmd/branchsim -frontend-check
 
 # Chaos gate: the fault-injection suite under the race detector — faultfs
 # plan semantics, corpus behaviour under injected I/O faults and torn
@@ -86,7 +94,8 @@ figures:
 
 ablations:
 	for a in counter btbsize assoc ctxswitch static cycle scaling \
-	         delay icache crossval opt superscalar hwcost sensitivity traces; do \
+	         delay icache crossval opt superscalar hwcost sensitivity traces \
+	         frontend; do \
 		$(GO) run ./cmd/branchsim -ablate $$a; done
 
 # Fuzzing: the language front end and both trace-file decoders.

@@ -160,6 +160,21 @@ func Transform(p *Program, prof *Profile, slotCount int) (*TransformResult, erro
 // model: cost = A + (k+ℓ̄+m̄)(1−A) cycles per branch.
 type PipelineConfig = pipeline.Config
 
+// CostModel is the frontend cost-model seam Eval.Cost consumes: any
+// implementation maps a prediction accuracy to cycles per branch.
+// PipelineConfig is the analytic width-1 implementation; Superscalar and
+// VariableFetch extend it to wide fetch.
+type CostModel = pipeline.CostModel
+
+// Superscalar is the width-W cost model with fetch-block alignment
+// accounting: every fetch redirect abandons (W−1)/(2W) slots on average,
+// charged per branch at the calibrated BreakRate.
+type Superscalar = pipeline.Superscalar
+
+// VariableFetch is the width-W cost model where the flush penalty scales
+// with the sustained instruction fetch rate R: penalty = 1 + R·(P−1).
+type VariableFetch = pipeline.VariableFetch
+
 // Config selects hardware parameters and the scheme list for a full
 // evaluation; the zero value is the paper's configuration. Pointer fields
 // (CounterThreshold, EvalSlots) distinguish "unset" from an explicit zero —

@@ -9,9 +9,12 @@
 //	branchsim -headline            # the introduction's cycles/branch numbers
 //	branchsim -ablate counter      # counter|btbsize|assoc|ctxswitch|static|cycle|scaling
 //	branchsim -bench grep -table 3 # restrict ablations to one benchmark
+//	branchsim -frontend -width 1,2,4,8   # frontend cost-model sweep
+//	branchsim -frontend-check            # model-vs-pipesim agreement, all benchmarks
 //
 // Hardware configuration knobs (-entries, -assoc, -bits, -threshold,
-// -slots) default to the paper's configuration.
+// -slots) default to the paper's configuration. -width selects the fetch
+// widths of the frontend sweep/check (default 1,2,4,8).
 //
 // -corpus DIR (default $BRANCHCOST_CORPUS) evaluates through the disk-backed
 // trace corpus: benchmarks with a matching entry replay from disk instead of
@@ -44,7 +47,7 @@ func main() {
 		table    = flag.Int("table", 0, "regenerate one table (1..5)")
 		figure   = flag.Int("figure", 0, "regenerate one figure (3 or 4)")
 		headline = flag.Bool("headline", false, "regenerate the introduction's comparison")
-		ablate   = flag.String("ablate", "", "ablation: counter|btbsize|assoc|ctxswitch|static|cycle|scaling|crossval|icache|delay|opt|superscalar|hwcost|sensitivity|traces")
+		ablate   = flag.String("ablate", "", "ablation: counter|btbsize|assoc|ctxswitch|static|cycle|scaling|crossval|icache|delay|opt|superscalar|hwcost|sensitivity|traces|frontend")
 		all      = flag.Bool("all", false, "regenerate everything")
 		benchSel = flag.String("bench", "", "comma-separated benchmark subset for ablations (default: all primary)")
 
@@ -53,6 +56,9 @@ func main() {
 		bits      = flag.Int("bits", 2, "CBTB counter bits")
 		threshold = flag.Int("threshold", 2, "CBTB counter threshold")
 		slots     = flag.Int("slots", 2, "forward slots (k+l) for the measured FS binary")
+		widthSel  = flag.String("width", "", "comma-separated fetch widths for -frontend/-frontend-check (default 1,2,4,8)")
+		frontend  = flag.Bool("frontend", false, "run the frontend cost-model sweep across fetch widths")
+		frontCk   = flag.Bool("frontend-check", false, "assert model-vs-pipesim agreement on every benchmark (exit 1 on violation)")
 		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
 		format    = flag.String("format", "text", "table output format: text|csv|md")
 		corpusDir = flag.String("corpus", os.Getenv(corpus.EnvVar), "trace corpus directory (default $BRANCHCOST_CORPUS; empty disables)")
@@ -95,7 +101,14 @@ func main() {
 
 	names := benchNames(*benchSel)
 
-	nothing := *table == 0 && *figure == 0 && !*headline && *ablate == "" && !*all
+	widths, err := parseWidths(*widthSel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "branchsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	nothing := *table == 0 && *figure == 0 && !*headline && *ablate == "" && !*all &&
+		!*frontend && !*frontCk
 	if nothing {
 		*all = true
 	}
@@ -161,6 +174,31 @@ func main() {
 		})
 	}
 
+	if *frontend {
+		run("frontend sweep", func() (string, error) {
+			_, t, err := experiments.FrontendSweep(suite, names, widths)
+			return render(t, err)
+		})
+	}
+	if *frontCk {
+		// The check covers every benchmark (Table 5's extras included) — it
+		// is the acceptance gate of the frontend models, not a sample.
+		var all []string
+		for _, b := range workloads.All() {
+			all = append(all, b.Name)
+		}
+		_, t, err := experiments.FrontendCheck(suite, all, widths)
+		if t != nil {
+			if text, rerr := t.Render(outputFormat); rerr == nil {
+				fmt.Println(text)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "branchsim: frontend check: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	ablations := map[string]func() (string, error){
 		"counter": func() (string, error) { _, t, err := experiments.CounterSweep(suite, names); return render(t, err) },
 		"btbsize": func() (string, error) { _, t, err := experiments.SizeSweep(suite, names); return render(t, err) },
@@ -201,6 +239,10 @@ func main() {
 			_, t, err := experiments.TraceSelection(suite, names)
 			return render(t, err)
 		},
+		"frontend": func() (string, error) {
+			_, t, err := experiments.FrontendSweep(suite, names, widths)
+			return render(t, err)
+		},
 	}
 	if *ablate != "" {
 		f, ok := ablations[*ablate]
@@ -211,7 +253,7 @@ func main() {
 		run("ablation "+*ablate, f)
 	}
 	if *all {
-		for _, name := range []string{"counter", "btbsize", "assoc", "ctxswitch", "static", "cycle", "crossval", "icache", "delay", "opt", "superscalar", "hwcost", "sensitivity", "traces"} {
+		for _, name := range []string{"counter", "btbsize", "assoc", "ctxswitch", "static", "cycle", "crossval", "icache", "delay", "opt", "superscalar", "hwcost", "sensitivity", "traces", "frontend"} {
 			run("ablation "+name, ablations[name])
 		}
 	}
@@ -246,6 +288,22 @@ func render(t *stats.Table, err error) (string, error) {
 
 // outputFormat is set from -format before any experiment runs.
 var outputFormat string
+
+// parseWidths parses the -width list; empty selects the default sweep.
+func parseWidths(sel string) ([]int, error) {
+	if sel == "" {
+		return nil, nil // experiments substitute FrontendWidths
+	}
+	var widths []int
+	for _, part := range strings.Split(sel, ",") {
+		var w int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &w); err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -width element %q (want positive integers)", part)
+		}
+		widths = append(widths, w)
+	}
+	return widths, nil
+}
 
 func benchNames(sel string) []string {
 	if sel == "" {

@@ -9,6 +9,7 @@
 //	btrace -record -o prog.bt prog.mc          # record an MC program (empty input)
 //	btrace grep.bt                             # replay through every context-free scheme
 //	btrace -scheme cbtb -entries 64 grep.bt    # one scheme, custom geometry
+//	btrace -frontend -width 1,2,4,8 grep.bt    # trace-driven frontend cost report
 //	btrace -inspect grep.bt                    # format, blocks, sites, events
 //	btrace -verify grep.bt                     # differential check vs the oracle models
 //	btrace -corpus DIR -record-suite           # record-or-load all benchmarks into DIR
@@ -42,11 +43,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"branchcost"
 	"branchcost/internal/corpus"
 	"branchcost/internal/oracle"
+	"branchcost/internal/pipesim"
 	"branchcost/internal/predict"
 	"branchcost/internal/telemetry"
 	"branchcost/internal/tracefile"
@@ -72,6 +75,8 @@ func main() {
 		assoc       = flag.Int("assoc", 256, "BTB associativity")
 		bits        = flag.Int("bits", 2, "CBTB counter bits")
 		thresh      = flag.Int("threshold", 2, "CBTB threshold")
+		frontend    = flag.Bool("frontend", false, "with replay: drive the trace-fed pipeline simulator and report per-width branch costs")
+		widthSel    = flag.String("width", "", "comma-separated fetch widths for -frontend (default 1,2,4,8)")
 
 		deadline = flag.Duration("deadline", 0, "per-benchmark recording deadline, e.g. 30s (0 disables)")
 		maxSteps = flag.Int64("max-steps", 0, "per-run VM step budget when recording (0 = default budget)")
@@ -113,7 +118,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "btrace: need a trace file to replay (or -record/-inspect/-record-suite/-ls)")
 			os.Exit(2)
 		}
-		doReplay(ctx, flag.Arg(0), *scheme, *entries, *assoc, *bits, uint8(*thresh))
+		widths, err := parseWidths(*widthSel, *frontend)
+		if err != nil {
+			fail(err)
+		}
+		doReplay(ctx, flag.Arg(0), *scheme, *entries, *assoc, *bits, uint8(*thresh), widths)
 	}
 	if err := tf.Close(nil); err != nil {
 		fail(err)
@@ -391,7 +400,27 @@ func replayable() []string {
 	return names
 }
 
-func doReplay(ctx context.Context, path, scheme string, entries, assoc, bits int, thresh uint8) {
+// parseWidths parses -width; with -frontend set and no list given, the
+// default sweep {1,2,4,8} applies.
+func parseWidths(sel string, frontend bool) ([]int, error) {
+	if sel == "" {
+		if frontend {
+			return []int{1, 2, 4, 8}, nil
+		}
+		return nil, nil
+	}
+	var widths []int
+	for _, part := range strings.Split(sel, ",") {
+		var w int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &w); err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -width element %q (want positive integers)", part)
+		}
+		widths = append(widths, w)
+	}
+	return widths, nil
+}
+
+func doReplay(ctx context.Context, path, scheme string, entries, assoc, bits int, thresh uint8, widths []int) {
 	params := predict.Params{
 		SBTBEntries: entries, SBTBAssoc: assoc,
 		CBTBEntries: entries, CBTBAssoc: assoc,
@@ -422,6 +451,20 @@ func doReplay(ctx context.Context, path, scheme string, entries, assoc, bits int
 		evals[i] = &predict.Evaluator{P: predict.MustLookup(n).New(predict.SchemeContext{Params: params})}
 		hooks[i] = evals[i].Hook()
 	}
+	// -frontend: one trace-fed pipeline simulator per (scheme, width) rides
+	// the same replay — each with its own predictor instance, since the
+	// evaluators above are also stateful.
+	const fk, fl, fm = 1, 2, 2
+	sims := make(map[string]map[int]*pipesim.Sim, len(names))
+	for _, n := range names {
+		sims[n] = make(map[int]*pipesim.Sim, len(widths))
+		for _, w := range widths {
+			p := predict.MustLookup(n).New(predict.SchemeContext{Params: params})
+			sim := pipesim.New(w, fk, fl, fm, p)
+			sims[n][w] = sim
+			hooks = append(hooks, sim.TraceHook())
+		}
+	}
 	m, err := br.Peek(4)
 	if err != nil {
 		fail(err)
@@ -448,6 +491,21 @@ func doReplay(ctx context.Context, path, scheme string, entries, assoc, bits int
 		e := evals[i]
 		fmt.Printf("%-16s accuracy %7.3f%%  miss ratio %.4f  (%d branches)\n",
 			n, 100*e.S.Accuracy(), e.S.MissRatio(), e.S.Branches)
+	}
+	if len(widths) > 0 {
+		fmt.Printf("\nfrontend cost per branch (k=%d, l=%d, m=%d):\n", fk, fl, fm)
+		for _, n := range names {
+			for _, w := range widths {
+				s := sims[n][w]
+				model := s.Superscalar().Cost(s.Accuracy())
+				diff := s.CostPerBranch() - model
+				if diff < 0 {
+					diff = -diff
+				}
+				fmt.Printf("%-16s W=%d  sim %.4f  model %.4f  |err| %.2e (tol %.2e)  util %.3f\n",
+					n, w, s.CostPerBranch(), model, diff, s.ModelTolerance(), s.FetchUtilization())
+			}
+		}
 	}
 }
 

@@ -56,6 +56,17 @@ func TestBuffersMatchOracleOnBenchmarks(t *testing.T) {
 			if err := oracle.CheckStats(stats); err != nil {
 				t.Errorf("%s/%s: cbtb: %v", bench, g.name, err)
 			}
+			// Two-level: the geometry under test becomes the L2, with a
+			// deliberately tiny L1 so promotion and L1 eviction churn.
+			stats, div = oracle.CheckTrace("btb2l", tr,
+				btb.NewTwoLevel(8, 2, g.entries, g.ways, 2, 2),
+				oracle.NewRefTwoLevel(8, 2, g.entries, g.ways, 2, 2))
+			if div != nil {
+				t.Errorf("%s/%s: btb2l: %v", bench, g.name, div)
+			}
+			if err := oracle.CheckStats(stats); err != nil {
+				t.Errorf("%s/%s: btb2l: %v", bench, g.name, err)
+			}
 		}
 	}
 }

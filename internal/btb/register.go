@@ -23,4 +23,13 @@ func init() {
 			return NewCBTB(p.CBTBEntries, p.CBTBAssoc, p.CounterBits, p.CounterThreshold)
 		},
 	})
+	predict.Register(predict.Scheme{
+		Name:        "btb2l",
+		Description: "two-level BTB: small L1 promoted into from a large L2 (Micro BTB)",
+		New: func(ctx predict.SchemeContext) predict.Predictor {
+			p := ctx.Params.OrPaper()
+			l1e, l1a, l2e, l2a := p.TwoLevelGeometry()
+			return NewTwoLevel(l1e, l1a, l2e, l2a, p.CounterBits, p.CounterThreshold)
+		},
+	})
 }

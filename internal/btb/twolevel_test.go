@@ -1,0 +1,115 @@
+package btb_test
+
+import (
+	"testing"
+
+	"branchcost/internal/btb"
+	"branchcost/internal/isa"
+	"branchcost/internal/vm"
+)
+
+func takenAt(pc int32) vm.BranchEvent {
+	return vm.BranchEvent{PC: pc, Op: isa.BEQ, Taken: true, Target: pc + 100}
+}
+
+// TestTwoLevelPromotion: a branch first seen allocates only in L2; the next
+// lookup promotes it into L1, and subsequent lookups hit L1 directly.
+func TestTwoLevelPromotion(t *testing.T) {
+	tl := btb.NewTwoLevel(4, 2, 64, 8, 2, 2)
+	ev := takenAt(10)
+
+	if p := tl.Predict(ev); p.Hit {
+		t.Fatal("unknown branch must miss both levels")
+	}
+	tl.Update(ev)
+	if tl.L1().Len() != 0 || tl.L2().Len() != 1 {
+		t.Fatalf("after first update: L1=%d L2=%d entries, want 0/1", tl.L1().Len(), tl.L2().Len())
+	}
+
+	p := tl.Predict(ev) // L1 miss, L2 hit: promote
+	if !p.Hit || !p.Taken || p.Target != ev.Target {
+		t.Fatalf("promoted prediction = %+v", p)
+	}
+	if tl.L1().Len() != 1 {
+		t.Fatalf("promotion did not fill L1: %d entries", tl.L1().Len())
+	}
+
+	m := tl.Metrics()
+	if m["l1_hits"] != 0 || m["l2_hits"] != 1 || m["promotions"] != 1 || m["l2_misses"] != 1 {
+		t.Fatalf("metrics after promotion: %v", m)
+	}
+	tl.Update(ev)
+	if p := tl.Predict(ev); !p.Hit {
+		t.Fatal("promoted branch must hit")
+	}
+	if tl.Metrics()["l1_hits"] != 1 {
+		t.Fatalf("second lookup should hit L1: %v", tl.Metrics())
+	}
+}
+
+// TestTwoLevelL1EvictionKeepsL2State: churning more branches than L1 holds
+// evicts L1 lines, but their counters survive in L2 and re-promote intact.
+func TestTwoLevelL1EvictionKeepsL2State(t *testing.T) {
+	tl := btb.NewTwoLevel(2, 2, 64, 64, 2, 2)
+	first := takenAt(1)
+	// Saturate the first branch's counter to the max (3) through updates.
+	for i := 0; i < 4; i++ {
+		tl.Update(first)
+	}
+	tl.Predict(first) // promote into L1
+	// Evict it from the 2-entry L1 by promoting two other branches.
+	for _, pc := range []int32{2, 3} {
+		ev := takenAt(pc)
+		tl.Update(ev)
+		tl.Predict(ev)
+	}
+	if m := tl.Metrics(); m["l1_evictions"] == 0 {
+		t.Fatalf("expected L1 evictions: %v", m)
+	}
+	// The evicted branch's saturated state re-promotes from L2: a single
+	// not-taken outcome must not flip the prediction (counter 3 → 2 ≥ T).
+	p := tl.Predict(first)
+	if !p.Hit || !p.Taken || p.Target != first.Target {
+		t.Fatalf("re-promoted prediction = %+v", p)
+	}
+	notTaken := vm.BranchEvent{PC: 1, Op: isa.BEQ, Taken: false, Target: 2}
+	tl.Update(notTaken)
+	if p := tl.Predict(first); !p.Taken {
+		t.Fatal("saturated counter lost on L1 eviction: one not-taken flipped the prediction")
+	}
+}
+
+// TestTwoLevelUpdateSyncsL1: an update while the branch is L1-resident must
+// keep both copies coherent (the L1 copy is what Predict consults).
+func TestTwoLevelUpdateSyncsL1(t *testing.T) {
+	tl := btb.NewTwoLevel(4, 4, 64, 64, 2, 2)
+	ev := takenAt(5)
+	tl.Update(ev)
+	tl.Predict(ev) // promote
+	// Drive the counter below threshold via the L2 master; L1 must follow.
+	notTaken := vm.BranchEvent{PC: 5, Op: isa.BEQ, Taken: false, Target: 6}
+	tl.Update(notTaken)
+	if p := tl.Predict(ev); p.Taken {
+		t.Fatalf("L1 copy stale after update: %+v", p)
+	}
+	// And back above threshold.
+	tl.Update(ev)
+	if p := tl.Predict(ev); !p.Taken || p.Target != ev.Target {
+		t.Fatalf("L1 copy stale after re-raise: %+v", p)
+	}
+}
+
+// TestTwoLevelReset clears both levels and predictions start cold.
+func TestTwoLevelReset(t *testing.T) {
+	tl := btb.NewTwoLevel(4, 4, 16, 4, 2, 2)
+	ev := takenAt(7)
+	tl.Update(ev)
+	tl.Predict(ev)
+	tl.Reset()
+	if tl.L1().Len() != 0 || tl.L2().Len() != 0 {
+		t.Fatal("Reset left entries")
+	}
+	if p := tl.Predict(ev); p.Hit {
+		t.Fatalf("prediction after Reset = %+v", p)
+	}
+}

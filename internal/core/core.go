@@ -21,6 +21,7 @@ import (
 	_ "branchcost/internal/btb" // registers the sbtb/cbtb schemes
 	"branchcost/internal/corpus"
 	"branchcost/internal/fs"
+	"branchcost/internal/icache"
 	"branchcost/internal/isa"
 	"branchcost/internal/pipeline"
 	"branchcost/internal/predict"
@@ -47,6 +48,14 @@ type Config struct {
 	CBTBEntries int
 	CBTBAssoc   int
 	CounterBits int
+
+	// Two-level BTB geometry (the "btb2l" scheme). Zero fields resolve to
+	// predict.TwoLevelDefaults rather than the paper configuration — the
+	// 1989 paper has no two-level organization to default to.
+	BTBL1Entries int
+	BTBL1Assoc   int
+	BTBL2Entries int
+	BTBL2Assoc   int
 
 	// CounterThreshold is the CBTB taken threshold; nil means the paper's 2.
 	CounterThreshold *uint8
@@ -83,6 +92,13 @@ type Config struct {
 	// hit/miss totals). A set already present on the evaluation context takes
 	// precedence; this field exists for callers without a context in hand.
 	Telemetry *telemetry.Set
+
+	// ICache, when non-nil, measures instruction-cache behaviour of the
+	// Forward Semantic code expansion with that geometry: one pass over the
+	// original binary and one over the transformed binary (through the
+	// slot-substituting fetch model), reported as Eval.ICache. Costs two
+	// extra VM runs per input; nil skips the measurement entirely.
+	ICache *icache.Geometry
 
 	// MaxVMSteps, when positive, bounds every VM run of the evaluation
 	// (profiling, recording, and the FS measurement pass) to that many
@@ -141,6 +157,8 @@ func (c Config) Params() predict.Params {
 		SBTBEntries: d.SBTBEntries, SBTBAssoc: d.SBTBAssoc,
 		CBTBEntries: d.CBTBEntries, CBTBAssoc: d.CBTBAssoc,
 		CounterBits: d.CounterBits, CounterThreshold: *d.CounterThreshold,
+		L1Entries: d.BTBL1Entries, L1Assoc: d.BTBL1Assoc,
+		L2Entries: d.BTBL2Entries, L2Assoc: d.BTBL2Assoc,
 	}
 }
 
@@ -154,6 +172,20 @@ type SchemeResult struct {
 	// nil otherwise.
 	Extra map[string]int64
 }
+
+// ICacheResult is the instruction-cache measurement of the Forward
+// Semantic code expansion (Config.ICache): miss ratios of the original and
+// transformed binaries over the same inputs, with the code growth that
+// bought the difference.
+type ICacheResult struct {
+	Geometry icache.Geometry
+	MissOrig float64
+	MissFS   float64
+	Growth   float64 // FS code growth, as a fraction of the original size
+}
+
+// Delta returns MissFS − MissOrig, the miss-ratio cost of the expansion.
+func (r ICacheResult) Delta() float64 { return r.MissFS - r.MissOrig }
 
 // Eval is the complete measurement of one benchmark.
 type Eval struct {
@@ -181,6 +213,11 @@ type Eval struct {
 	// AnalyticFS is A_FS computed from the profile alone; it must equal
 	// FS().Stats.Accuracy() when evaluation inputs equal profiling inputs.
 	AnalyticFS float64
+
+	// ICache holds the instruction-cache measurement of the FS code
+	// expansion; nil unless Config.ICache was set and a transformed scheme
+	// was scored.
+	ICache *ICacheResult
 
 	// FromCorpus reports that the profile and trace were loaded from
 	// Config.Corpus instead of being recorded by VM execution.
@@ -223,7 +260,7 @@ func cloneSim(cs *pipeline.CycleSim) *pipeline.CycleSim {
 	if cs == nil {
 		return nil
 	}
-	return &pipeline.CycleSim{K: cs.K, L: cs.L, M: cs.M}
+	return cs.Clone()
 }
 
 // EvaluateBenchmark runs the full pipeline for one benchmark: a single
@@ -506,6 +543,35 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 		span.End()
 		e.phase("fs.eval", start)
 	}
+	if cfg.ICache != nil && fsRes != nil {
+		start := time.Now()
+		ictx, span := telemetry.StartSpan(ctx, "core.icache")
+		orig := cfg.ICache.New()
+		fsSim := cfg.ICache.New()
+		fm := icache.NewFSFetch(fsRes.Prog, fsSim)
+		for i, in := range evalInputs {
+			if err := ictx.Err(); err != nil {
+				span.End()
+				return nil, err
+			}
+			if _, err := vm.Run(prog, in, nil, vm.Config{Trace: orig.Access, Metrics: set, Ctx: ictx, MaxSteps: cfg.MaxVMSteps}); err != nil {
+				span.End()
+				return nil, fmt.Errorf("core: %s: icache original run %d: %w", name, i, err)
+			}
+			if _, err := vm.Run(fsRes.Prog, in, nil, vm.Config{Trace: fm.Trace, Metrics: set, Ctx: ictx, MaxSteps: cfg.MaxVMSteps}); err != nil {
+				span.End()
+				return nil, fmt.Errorf("core: %s: icache FS run %d: %w", name, i, err)
+			}
+			e.VMRuns += 2
+		}
+		span.End()
+		e.ICache = &ICacheResult{
+			Geometry: *cfg.ICache,
+			MissOrig: orig.MissRatio(), MissFS: fsSim.MissRatio(),
+			Growth: fsRes.CodeGrowth(),
+		}
+		e.phase("icache", start)
+	}
 	for _, j := range jobs {
 		res := SchemeResult{Stats: j.ev.S, Cycle: j.cycle}
 		if ms, ok := j.ev.P.(predict.MetricSource); ok {
@@ -535,10 +601,13 @@ func (e *Eval) degrade(phase, kind, detail string) {
 	e.Degraded = append(e.Degraded, DegradeEvent{Phase: phase, Kind: kind, Detail: detail})
 }
 
-// Cost evaluates the paper's cost model for each scheme at the given
-// pipeline operating point, returning SBTB, CBTB and FS costs.
-func (e *Eval) Cost(p pipeline.Config) (sbtb, cbtb, fsc float64) {
-	return p.Cost(e.SBTB().Stats.Accuracy()),
-		p.Cost(e.CBTB().Stats.Accuracy()),
-		p.Cost(e.FS().Stats.Accuracy())
+// Cost evaluates a frontend cost model for each scheme at the given
+// operating point, returning SBTB, CBTB and FS costs. Any pipeline.CostModel
+// works; the analytic pipeline.Config reproduces the paper's single-issue
+// numbers, the wider models (pipeline.Superscalar, pipeline.VariableFetch)
+// its superscalar extrapolations.
+func (e *Eval) Cost(m pipeline.CostModel) (sbtb, cbtb, fsc float64) {
+	return m.Cost(e.SBTB().Stats.Accuracy()),
+		m.Cost(e.CBTB().Stats.Accuracy()),
+		m.Cost(e.FS().Stats.Accuracy())
 }

@@ -169,7 +169,7 @@ func TestCycleSimAttachment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := &pipeline.CycleSim{K: 1, L: 1, M: 2}
+	sim := pipeline.NewCycleSim(1, 1, 2)
 	e, err := core.Evaluate("t", prog, testInputs, testInputs, core.Config{CycleSim: sim})
 	if err != nil {
 		t.Fatal(err)

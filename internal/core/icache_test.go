@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"branchcost/internal/core"
+	"branchcost/internal/icache"
+	"branchcost/internal/workloads"
+)
+
+// TestICacheGoldenWC pins the instruction-cache measurement of the FS code
+// expansion on one benchmark (Config.ICache wired through the evaluation
+// path). The numbers are the paper's locality claim in miniature: wc's code
+// grows ~13.6% under the transform, yet the miss ratio does not — here it
+// even improves by a hair, because the slot copies straighten the fetch
+// stream across taken branches. The measurement is fully deterministic
+// (fixed binary, fixed inputs, LRU cache), so exact strings are pinned.
+func TestICacheGoldenWC(t *testing.T) {
+	b, err := workloads.ByName("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := icache.DefaultGeometry
+	e, err := core.EvaluateBenchmark(b, core.Config{ICache: &g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ICache == nil {
+		t.Fatal("Config.ICache set but Eval.ICache is nil")
+	}
+	if e.ICache.Geometry != g {
+		t.Fatalf("geometry %+v, want %+v", e.ICache.Geometry, g)
+	}
+	got := fmt.Sprintf("orig=%.10f fs=%.10f growth=%.4f delta=%.10f",
+		e.ICache.MissOrig, e.ICache.MissFS, e.ICache.Growth, e.ICache.Delta())
+	const want = "orig=0.0000066695 fs=0.0000065957 growth=0.1359 delta=-0.0000000737"
+	if got != want {
+		t.Fatalf("icache golden moved:\n got %s\nwant %s", got, want)
+	}
+
+	// The flag off must cost nothing and report nothing.
+	e2, err := core.EvaluateBenchmark(b, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.ICache != nil {
+		t.Fatal("Eval.ICache non-nil without Config.ICache")
+	}
+	if e2.VMRuns >= e.VMRuns {
+		t.Fatalf("icache flag added no VM runs: %d vs %d", e.VMRuns, e2.VMRuns)
+	}
+}

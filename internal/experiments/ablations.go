@@ -261,7 +261,7 @@ type CycleRow struct {
 // cycles/branch must equal the model evaluated at the simulation's
 // effective m̄ (exactly — both count the same stalls).
 func CycleCheck(names []string) ([]CycleRow, *stats.Table, error) {
-	sim := &pipeline.CycleSim{K: 1, L: 1, M: 2}
+	sim := pipeline.NewCycleSim(1, 1, 2)
 	suite := NewSuite(core.Config{CycleSim: sim})
 	t := stats.NewTable("Ablation: cycle-level simulation vs analytic cost model (k=1, l=1, m=2)",
 		"Benchmark", "Scheme", "Simulated", "Analytic", "Delta")

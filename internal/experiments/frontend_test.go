@@ -1,0 +1,73 @@
+package experiments_test
+
+import (
+	"math"
+	"testing"
+
+	"branchcost/internal/core"
+	"branchcost/internal/experiments"
+	"branchcost/internal/pipeline"
+)
+
+// TestFrontendCheckAgrees: on real benchmarks, the calibrated Superscalar
+// model lands within each run's provable tolerance at every width, and at
+// W = 1 the agreement collapses to the analytic identity (1e-9).
+func TestFrontendCheckAgrees(t *testing.T) {
+	s := experiments.NewSuite(core.Config{})
+	names := []string{"wc", "cmp"}
+	rows, _, err := experiments.FrontendCheck(s, names, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(names) * 2 * len(experiments.FrontendSchemes); len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%s W=%d %s: |%v - %v| = %v > tol %v",
+				r.Benchmark, r.Width, r.Scheme, r.SimCost, r.SSCost, r.Err, r.Tolerance)
+		}
+		if r.Width == 1 && r.Err > 1e-9 {
+			t.Errorf("%s W=1 %s: error %v not analytic-exact", r.Benchmark, r.Scheme, r.Err)
+		}
+	}
+}
+
+// TestFrontendSweepWidthOneIsAnalytic: at W = 1 the sweep's simulated cost,
+// Superscalar model and VariableFetch model all coincide (the analytic
+// degenerate point), and the replayed hardware-scheme accuracies equal the
+// core evaluation's scored accuracies — same trace, same predictors.
+func TestFrontendSweepWidthOneIsAnalytic(t *testing.T) {
+	s := experiments.NewSuite(core.Config{Schemes: []string{"sbtb", "cbtb", "btb2l", "fs"}})
+	rows, _, err := experiments.FrontendSweep(s, []string{"wc"}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Eval("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.Abs(r.SimCost-r.SSCost) > 1e-9 || math.Abs(r.SimCost-r.VFCost) > 1e-9 {
+			t.Errorf("W=1 %s: sim %v, ss %v, vf %v — models must coincide",
+				r.Scheme, r.SimCost, r.SSCost, r.VFCost)
+		}
+		switch r.Scheme {
+		case "SBTB", "CBTB", "BTB2L":
+			name := map[string]string{"SBTB": "sbtb", "CBTB": "cbtb", "BTB2L": "btb2l"}[r.Scheme]
+			if want := e.Scheme(name).Stats.Accuracy(); math.Abs(r.Accuracy-want) > 1e-12 {
+				t.Errorf("%s replay accuracy %v, core scored %v", r.Scheme, r.Accuracy, want)
+			}
+		}
+	}
+	// Eval.Cost accepts any frontend model; at W = 1 the wider models
+	// reproduce the analytic Config numbers bit-exactly.
+	base := pipeline.Config{K: 1, LBar: 2, MBar: 2}
+	s1, c1, f1 := e.Cost(base)
+	s2, c2, f2 := e.Cost(pipeline.Superscalar{W: 1, Base: base, BreakRate: 0.9})
+	s3, c3, f3 := e.Cost(pipeline.VariableFetch{W: 1, Base: base, Rate: 1})
+	if s1 != s2 || c1 != c2 || f1 != f2 || s1 != s3 || c1 != c3 || f1 != f3 {
+		t.Errorf("W=1 models disagree through Eval.Cost: (%v %v %v) (%v %v %v) (%v %v %v)",
+			s1, c1, f1, s2, c2, f2, s3, c3, f3)
+	}
+}

@@ -5,7 +5,6 @@ import (
 
 	"branchcost/internal/fs"
 	"branchcost/internal/icache"
-	"branchcost/internal/isa"
 	"branchcost/internal/stats"
 	"branchcost/internal/vm"
 	"branchcost/internal/workloads"
@@ -22,59 +21,10 @@ type ICacheRow struct {
 	MissFS    float64
 }
 
-// fetchModel replays the functional execution trace as the hardware fetch
-// stream: after a predicted-taken branch with forward slots, the machine
-// fetches the slot copies (sequential, right after the branch) instead of
-// the first instructions at the target; fetch resumes at target+slots.
-// The functional VM executes the canonical target instructions, so the
-// model substitutes their addresses.
-type fetchModel struct {
-	prog *isa.Program
-	c    *icache.Sim
-
-	// Pending substitution state.
-	want     int32 // canonical target position that confirms "taken"
-	slotBase int32 // first slot address (branch position + 1)
-	slots    int
-
-	subRemaining int
-	subNext      int32 // next substituted fetch address
-	seqCheck     int32 // expected functional position while substituting
-}
-
-func (f *fetchModel) trace(pos int32) {
-	if f.subRemaining > 0 {
-		if pos == f.seqCheck {
-			f.c.Access(f.subNext)
-			f.subNext++
-			f.seqCheck++
-			f.subRemaining--
-			return
-		}
-		f.subRemaining = 0 // control diverted inside the slot region
-	}
-	if f.slots > 0 && pos == f.want {
-		// The branch was taken: the hardware fetched the slot copies.
-		f.c.Access(f.slotBase)
-		f.subNext = f.slotBase + 1
-		f.subRemaining = f.slots - 1
-		f.seqCheck = pos + 1
-		f.slots = 0
-		return
-	}
-	f.slots = 0
-	f.c.Access(pos)
-	in := &f.prog.Code[pos]
-	if in.Slots > 0 && (in.Op.IsCondBranch() || in.Op == isa.JMP) {
-		f.want = f.prog.Canonical(in.Target)
-		f.slotBase = pos + 1
-		f.slots = int(in.Slots)
-	}
-}
-
-// ICacheConfig is the cache geometry used by the locality experiment:
-// deliberately small relative to the benchmarks so that layout matters.
-var ICacheConfig = struct{ Lines, Assoc, LineWords int }{32, 2, 8}
+// ICacheConfig is the cache geometry used by the locality experiment. The
+// fetch-substitution model itself lives in internal/icache (FSFetch), where
+// core's per-evaluation measurement shares it.
+var ICacheConfig = icache.DefaultGeometry
 
 // ICache measures instruction-cache miss ratios of the original and the
 // FS-transformed binaries over the same runs, for each slot depth.
@@ -94,7 +44,7 @@ func ICache(s *Suite, names []string, slotDepths []int) ([]ICacheRow, *stats.Tab
 			return nil, nil, err
 		}
 		// Original binary miss ratio (measured once).
-		orig := icache.New(ICacheConfig.Lines, ICacheConfig.Assoc, ICacheConfig.LineWords)
+		orig := ICacheConfig.New()
 		cfg := vm.Config{Trace: func(pos int32) { orig.Access(pos) }}
 		for run := 0; run < b.Runs; run++ {
 			if _, err := vm.Run(e.Program, b.Input(run), nil, cfg); err != nil {
@@ -106,9 +56,9 @@ func ICache(s *Suite, names []string, slotDepths []int) ([]ICacheRow, *stats.Tab
 			if err != nil {
 				return nil, nil, err
 			}
-			sim := icache.New(ICacheConfig.Lines, ICacheConfig.Assoc, ICacheConfig.LineWords)
-			fm := &fetchModel{prog: res.Prog, c: sim}
-			tcfg := vm.Config{Trace: fm.trace}
+			sim := ICacheConfig.New()
+			fm := icache.NewFSFetch(res.Prog, sim)
+			tcfg := vm.Config{Trace: fm.Trace}
 			for run := 0; run < b.Runs; run++ {
 				if _, err := vm.Run(res.Prog, b.Input(run), nil, tcfg); err != nil {
 					return nil, nil, err

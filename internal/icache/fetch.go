@@ -1,0 +1,80 @@
+package icache
+
+import (
+	"branchcost/internal/isa"
+)
+
+// Geometry describes one cache configuration.
+type Geometry struct {
+	Lines     int // total lines
+	Assoc     int // ways
+	LineWords int // instructions per line (power of two)
+}
+
+// DefaultGeometry is the configuration the locality experiments use:
+// deliberately small relative to the benchmarks so that layout matters.
+var DefaultGeometry = Geometry{Lines: 32, Assoc: 2, LineWords: 8}
+
+// New returns a cache with this geometry.
+func (g Geometry) New() *Sim { return New(g.Lines, g.Assoc, g.LineWords) }
+
+// FSFetch replays the functional execution trace of a Forward-Semantic-
+// transformed binary as the hardware fetch stream: after a predicted-taken
+// branch with forward slots, the machine fetches the slot copies
+// (sequential, right after the branch) instead of the first instructions at
+// the target; fetch resumes at target+slots. The functional VM executes the
+// canonical target instructions, so the model substitutes their addresses.
+//
+// Wire Trace as the vm.Config Trace hook of a run over the transformed
+// binary.
+type FSFetch struct {
+	prog *isa.Program
+	c    *Sim
+
+	// Pending substitution state.
+	want     int32 // canonical target position that confirms "taken"
+	slotBase int32 // first slot address (branch position + 1)
+	slots    int
+
+	subRemaining int
+	subNext      int32 // next substituted fetch address
+	seqCheck     int32 // expected functional position while substituting
+}
+
+// NewFSFetch returns a fetch model feeding cache c from the transformed
+// binary prog.
+func NewFSFetch(prog *isa.Program, c *Sim) *FSFetch {
+	return &FSFetch{prog: prog, c: c}
+}
+
+// Trace observes one functionally executed position (a vm.Config Trace
+// hook) and feeds the corresponding fetch address to the cache.
+func (f *FSFetch) Trace(pos int32) {
+	if f.subRemaining > 0 {
+		if pos == f.seqCheck {
+			f.c.Access(f.subNext)
+			f.subNext++
+			f.seqCheck++
+			f.subRemaining--
+			return
+		}
+		f.subRemaining = 0 // control diverted inside the slot region
+	}
+	if f.slots > 0 && pos == f.want {
+		// The branch was taken: the hardware fetched the slot copies.
+		f.c.Access(f.slotBase)
+		f.subNext = f.slotBase + 1
+		f.subRemaining = f.slots - 1
+		f.seqCheck = pos + 1
+		f.slots = 0
+		return
+	}
+	f.slots = 0
+	f.c.Access(pos)
+	in := &f.prog.Code[pos]
+	if in.Slots > 0 && (in.Op.IsCondBranch() || in.Op == isa.JMP) {
+		f.want = f.prog.Canonical(in.Target)
+		f.slotBase = pos + 1
+		f.slots = int(in.Slots)
+	}
+}

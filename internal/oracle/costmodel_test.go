@@ -1,0 +1,49 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"branchcost/internal/oracle"
+	"branchcost/internal/pipeline"
+)
+
+// TestCheckCostModelWidthOne: at W = 1 every frontend model must survive
+// the bit-exact identity check, and a deliberately broken one must not.
+func TestCheckCostModelWidthOne(t *testing.T) {
+	base := pipeline.Config{K: 1, LBar: 1, MBar: 2}
+	good := []pipeline.CostModel{
+		base,
+		pipeline.Superscalar{W: 1, Base: base, BreakRate: 0.8},
+		pipeline.VariableFetch{W: 1, Base: base, Rate: 1},
+	}
+	for _, m := range good {
+		for _, a := range []float64{0, 0.5, 0.935, 1} {
+			if err := oracle.CheckCostModel(m, a); err != nil {
+				t.Errorf("%v at A=%v: %v", m, a, err)
+			}
+		}
+	}
+	if err := oracle.CheckCostModel(base, 1.5); err == nil {
+		t.Error("accuracy outside [0,1] must fail")
+	}
+}
+
+// TestCheckCostModelWide: the W > 1 envelope accepts the calibrated models
+// and rejects structurally impossible ones.
+func TestCheckCostModelWide(t *testing.T) {
+	base := pipeline.Config{K: 1, LBar: 1, MBar: 2}
+	for _, m := range []pipeline.CostModel{
+		pipeline.Superscalar{W: 4, Base: base, BreakRate: 0.7},
+		pipeline.VariableFetch{W: 4, Base: base, Rate: 2.5},
+	} {
+		if err := oracle.CheckCostModel(m, 0.9); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+	// A model claiming a wide machine beats the analytic floor is broken:
+	// negative break rates are not a calibration pipesim can produce.
+	bad := pipeline.Superscalar{W: 4, Base: base, BreakRate: -2}
+	if err := oracle.CheckCostModel(bad, 0.9); err == nil {
+		t.Error("below-floor wide model must fail the envelope")
+	}
+}

@@ -316,6 +316,9 @@ func For(name string, p predict.Params, targets TargetFunc) (predict.Predictor, 
 		return NewRefSBTB(p.SBTBEntries, p.SBTBAssoc), true
 	case "cbtb":
 		return NewRefCBTB(p.CBTBEntries, p.CBTBAssoc, p.CounterBits, p.CounterThreshold), true
+	case "btb2l":
+		l1e, l1a, l2e, l2a := p.TwoLevelGeometry()
+		return NewRefTwoLevel(l1e, l1a, l2e, l2a, p.CounterBits, p.CounterThreshold), true
 	case "always-not-taken":
 		return RefAlwaysNotTaken{}, true
 	case "always-taken":

@@ -21,11 +21,16 @@ const fuzzTracesPerScheme = 10_000
 // deliberately small so eviction and set conflicts dominate, with a mix of
 // fully-associative and set-associative shapes and counter widths.
 var fuzzGeometries = []predict.Params{
-	{SBTBEntries: 16, SBTBAssoc: 4, CBTBEntries: 16, CBTBAssoc: 4, CounterBits: 2, CounterThreshold: 2},
-	{SBTBEntries: 32, SBTBAssoc: 32, CBTBEntries: 32, CBTBAssoc: 32, CounterBits: 2, CounterThreshold: 3},
-	{SBTBEntries: 8, SBTBAssoc: 8, CBTBEntries: 8, CBTBAssoc: 8, CounterBits: 1, CounterThreshold: 1},
-	{SBTBEntries: 64, SBTBAssoc: 16, CBTBEntries: 64, CBTBAssoc: 16, CounterBits: 3, CounterThreshold: 4},
-	{SBTBEntries: 24, SBTBAssoc: 2, CBTBEntries: 24, CBTBAssoc: 2, CounterBits: 2, CounterThreshold: 0},
+	{SBTBEntries: 16, SBTBAssoc: 4, CBTBEntries: 16, CBTBAssoc: 4, CounterBits: 2, CounterThreshold: 2,
+		L1Entries: 4, L1Assoc: 2, L2Entries: 16, L2Assoc: 4},
+	{SBTBEntries: 32, SBTBAssoc: 32, CBTBEntries: 32, CBTBAssoc: 32, CounterBits: 2, CounterThreshold: 3,
+		L1Entries: 8, L1Assoc: 8, L2Entries: 32, L2Assoc: 32},
+	{SBTBEntries: 8, SBTBAssoc: 8, CBTBEntries: 8, CBTBAssoc: 8, CounterBits: 1, CounterThreshold: 1,
+		L1Entries: 2, L1Assoc: 1, L2Entries: 8, L2Assoc: 2},
+	{SBTBEntries: 64, SBTBAssoc: 16, CBTBEntries: 64, CBTBAssoc: 16, CounterBits: 3, CounterThreshold: 4,
+		L1Entries: 8, L1Assoc: 4, L2Entries: 64, L2Assoc: 16},
+	{SBTBEntries: 24, SBTBAssoc: 2, CBTBEntries: 24, CBTBAssoc: 2, CounterBits: 2, CounterThreshold: 0,
+		L1Entries: 4, L1Assoc: 4, L2Entries: 24, L2Assoc: 2},
 }
 
 // schemeUnderTest constructs the production predictor for a scheme name on
@@ -36,7 +41,7 @@ func schemeUnderTest(t testing.TB, name string, p predict.Params, g *oracle.Gene
 	t.Helper()
 	res := predict.TargetFunc(g.Targets)
 	switch name {
-	case "sbtb", "cbtb", "always-not-taken":
+	case "sbtb", "cbtb", "btb2l", "always-not-taken":
 		return predict.MustLookup(name).New(predict.SchemeContext{Params: p})
 	case "always-taken":
 		return predict.AlwaysTaken{Targets: res}
@@ -64,7 +69,7 @@ func oracleFor(t testing.TB, name string, p predict.Params, g *oracle.Generated)
 // internally consistent statistics. Seeds are fixed, so a failure here
 // reproduces exactly.
 func TestDifferentialFuzz(t *testing.T) {
-	schemes := []string{"sbtb", "cbtb", "always-taken", "always-not-taken", "btfnt", "fs"}
+	schemes := []string{"sbtb", "cbtb", "btb2l", "always-taken", "always-not-taken", "btfnt", "fs"}
 	for si, name := range schemes {
 		name := name
 		seed := int64(0xD1FF + si)

@@ -1,0 +1,91 @@
+package oracle
+
+import (
+	"branchcost/internal/predict"
+	"branchcost/internal/vm"
+)
+
+// RefTwoLevel is the reference two-level counter-based BTB, transcribed
+// from the scheme's definition (a small L1 promoted into from a large L2;
+// see internal/btb's btb2l) with the naive refBuffer on both levels. The
+// L2 is the master copy — allocated and updated for every executed branch
+// with the CBTB initialization — while L1 receives entries only by
+// promotion on an L1-miss/L2-hit lookup, and is re-synced from L2 after
+// every update of an L1-resident branch.
+type RefTwoLevel struct {
+	l1, l2    *refBuffer
+	max       uint8
+	threshold uint8
+}
+
+// NewRefTwoLevel returns a reference two-level BTB with the given per-level
+// geometry and counter configuration.
+func NewRefTwoLevel(l1Entries, l1Assoc, l2Entries, l2Assoc, bits int, threshold uint8) *RefTwoLevel {
+	if bits < 1 || bits > 8 {
+		panic("oracle: counter bits out of range")
+	}
+	maxC := uint8(1)<<bits - 1
+	if threshold > maxC {
+		panic("oracle: threshold exceeds counter max")
+	}
+	return &RefTwoLevel{
+		l1:  newRefBuffer(l1Entries, l1Assoc),
+		l2:  newRefBuffer(l2Entries, l2Assoc),
+		max: maxC, threshold: threshold,
+	}
+}
+
+// Name implements predict.Predictor.
+func (t *RefTwoLevel) Name() string { return "oracle:btb2l" }
+
+func (t *RefTwoLevel) decide(counter uint8, target int32) predict.Prediction {
+	if counter >= t.threshold {
+		return predict.Prediction{Taken: true, Target: target, Hit: true}
+	}
+	return predict.Prediction{Taken: false, Hit: true}
+}
+
+// Predict implements predict.Predictor.
+func (t *RefTwoLevel) Predict(ev vm.BranchEvent) predict.Prediction {
+	if e := t.l1.lookup(ev.PC); e != nil {
+		return t.decide(e.counter, e.target)
+	}
+	if e2 := t.l2.lookup(ev.PC); e2 != nil {
+		// Promote into L1; L2 keeps the state, so the eviction is harmless.
+		e1 := t.l1.insert(ev.PC)
+		e1.target, e1.counter = e2.target, e2.counter
+		return t.decide(e1.counter, e1.target)
+	}
+	return predict.Prediction{Taken: false, Hit: false}
+}
+
+// Update implements predict.Predictor.
+func (t *RefTwoLevel) Update(ev vm.BranchEvent) {
+	e2 := t.l2.lookup(ev.PC)
+	if e2 == nil {
+		e2 = t.l2.insert(ev.PC)
+		e2.target = -1
+		if ev.Taken {
+			e2.counter = t.threshold
+			e2.target = ev.Target
+		} else if t.threshold > 0 {
+			e2.counter = t.threshold - 1
+		}
+	} else if ev.Taken {
+		if e2.counter < t.max {
+			e2.counter++
+		}
+		e2.target = ev.Target
+	} else if e2.counter > 0 {
+		e2.counter--
+	}
+	if e1 := t.l1.lookup(ev.PC); e1 != nil {
+		e1.target, e1.counter = e2.target, e2.counter
+	}
+}
+
+// Reset implements predict.Predictor.
+func (t *RefTwoLevel) Reset() {
+	t.l1.reset()
+	t.l2.reset()
+}

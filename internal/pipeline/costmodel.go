@@ -1,0 +1,128 @@
+package pipeline
+
+import "fmt"
+
+// CostModel is the pluggable frontend behind every cost number the repo
+// reports. The paper's analytic Config is the width-1 implementation; the
+// width-W models below generalize it to machines that fetch more than one
+// instruction per cycle, where a branch costs more than its misprediction
+// stall because every change of fetch address also wastes part of a fetch
+// block. Models are calibrated against internal/pipesim (see Sim.Superscalar
+// and Sim.VariableFetch), exactly as CycleSim.EffectiveConfig calibrates the
+// analytic model at W = 1.
+type CostModel interface {
+	// Width is the fetch width W the model describes (1 for Config).
+	Width() int
+	// Penalty is the effective misprediction penalty.
+	Penalty() float64
+	// Cost is the branch cost at prediction accuracy a. At W = 1 this is
+	// the paper's cycles per branch; at W > 1 the unit is the model's own
+	// currency (fetch cycles per branch for Superscalar, issue slots per
+	// branch for VariableFetch).
+	Cost(a float64) float64
+	// String renders the operating point.
+	String() string
+}
+
+// Width marks Config as the width-1 frontend: one instruction per cycle,
+// where taken branches cause no alignment waste and the §2.3 identity
+// cost = A + P(1−A) is exact.
+func (c Config) Width() int { return 1 }
+
+var (
+	_ CostModel = Config{}
+	_ CostModel = Superscalar{}
+	_ CostModel = VariableFetch{}
+)
+
+// Superscalar models a width-W fetch engine over the paper's pipeline: the
+// misprediction stall is unchanged (Base), but every fetch redirect — a
+// correctly predicted taken branch or a misprediction recovery — ends the
+// current fetch block early and wastes, on average, half a block:
+//
+//	cost(a) = Base.Cost(a) + (W−1)/(2W) · BreakRate  fetch cycles per branch
+//
+// The (W−1)/(2W) factor is the expected unused tail of a W-wide fetch block
+// under uniform alignment of redirect targets; BreakRate is redirects per
+// branch, calibrated from pipesim's group-break accounting (analytically
+// ≈ a·t + (1−a) for taken fraction t). At W = 1 the alignment term vanishes
+// and the model reduces bit-exactly to Config.
+type Superscalar struct {
+	W         int
+	Base      Config
+	BreakRate float64 // fetch redirects per branch
+}
+
+// Width implements CostModel.
+func (s Superscalar) Width() int { return s.W }
+
+// Penalty implements CostModel: the misprediction flush is width-independent.
+func (s Superscalar) Penalty() float64 { return s.Base.Penalty() }
+
+// AlignLoss is the expected fetch cycles wasted per redirect: the unused
+// tail of a W-wide fetch block, averaged over uniform target alignment.
+func (s Superscalar) AlignLoss() float64 {
+	if s.W <= 1 {
+		return 0
+	}
+	return float64(s.W-1) / float64(2*s.W)
+}
+
+// Cost implements CostModel.
+func (s Superscalar) Cost(a float64) float64 {
+	return s.Base.Cost(a) + s.AlignLoss()*s.BreakRate
+}
+
+// String implements CostModel.
+func (s Superscalar) String() string {
+	return fmt.Sprintf("W=%d %s break=%.3f", s.W, s.Base, s.BreakRate)
+}
+
+// BreakRateFor estimates the fetch-break rate analytically when no
+// simulation is available: correctly predicted taken branches (a·t,
+// treating accuracy as direction-independent) and every misprediction
+// redirect fetch.
+func BreakRateFor(a, takenFrac float64) float64 {
+	return a*takenFrac + (1 - a)
+}
+
+// VariableFetch models the variable-instruction-fetch-rate view of
+// Ramachandran & Johnson (PAPERS.md): a machine sustaining R useful
+// instructions per cycle loses R issue slots for every stall cycle, so the
+// effective misprediction penalty grows with the sustained rate:
+//
+//	penalty = 1 + R·(P − 1)   issue slots
+//	cost(a) = a + penalty·(1−a)
+//
+// The redirect cycle itself still issues the first right-path fetch group —
+// hence the leading 1 — and each of the remaining P−1 dead cycles forfeits R
+// slots. Rate is calibrated from pipesim as useful instructions per
+// non-dead fetch cycle (Sim.SustainedRate), which is exactly 1 at W = 1, so
+// the model reduces bit-exactly to Config there.
+type VariableFetch struct {
+	W    int
+	Base Config
+	Rate float64 // sustained useful fetch rate R ∈ [1, W]
+}
+
+// Width implements CostModel.
+func (v VariableFetch) Width() int { return v.W }
+
+// Penalty implements CostModel: the flush measured in forfeited issue slots.
+func (v VariableFetch) Penalty() float64 {
+	r := v.Rate
+	if r < 1 {
+		r = 1
+	}
+	return 1 + r*(v.Base.Penalty()-1)
+}
+
+// Cost implements CostModel.
+func (v VariableFetch) Cost(a float64) float64 {
+	return a + v.Penalty()*(1-a)
+}
+
+// String implements CostModel.
+func (v VariableFetch) String() string {
+	return fmt.Sprintf("W=%d %s rate=%.2f", v.W, v.Base, v.Rate)
+}

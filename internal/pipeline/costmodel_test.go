@@ -1,0 +1,119 @@
+package pipeline_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"branchcost/internal/pipeline"
+)
+
+// TestCostModelWidthOneReduction: every frontend model must reproduce the
+// analytic Config bit-exactly at W = 1 — the acceptance bar for the whole
+// CostModel seam.
+func TestCostModelWidthOneReduction(t *testing.T) {
+	base := pipeline.Config{K: 1, LBar: 2, MBar: 1.5}
+	models := []pipeline.CostModel{
+		pipeline.Superscalar{W: 1, Base: base, BreakRate: 0.9},
+		pipeline.VariableFetch{W: 1, Base: base, Rate: 1},
+	}
+	for _, m := range models {
+		for _, a := range []float64{0, 0.25, 0.5, 0.935, 1} {
+			if got, want := m.Cost(a), base.Cost(a); got != want {
+				t.Errorf("%s: Cost(%v) = %v, want %v (analytic)", m, a, got, want)
+			}
+		}
+		if m.Penalty() != base.Penalty() {
+			t.Errorf("%s: Penalty() = %v, want %v", m, m.Penalty(), base.Penalty())
+		}
+		if m.Width() != 1 {
+			t.Errorf("%s: Width() = %d", m, m.Width())
+		}
+	}
+	if pipeline.Config.Width(base) != 1 {
+		t.Error("Config must report width 1")
+	}
+}
+
+// TestSuperscalarAlignment: the alignment term is (W−1)/(2W) per redirect,
+// zero at W = 1 and approaching half a cycle as W grows.
+func TestSuperscalarAlignment(t *testing.T) {
+	base := pipeline.Config{K: 1, LBar: 1, MBar: 2}
+	for _, tc := range []struct {
+		w    int
+		want float64
+	}{{1, 0}, {2, 0.25}, {4, 0.375}, {8, 0.4375}} {
+		s := pipeline.Superscalar{W: tc.w, Base: base, BreakRate: 1}
+		if got := s.AlignLoss(); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("W=%d: AlignLoss = %v, want %v", tc.w, got, tc.want)
+		}
+		// BreakRate 1: cost exceeds the analytic base by exactly AlignLoss.
+		if got := s.Cost(0.9) - base.Cost(0.9); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("W=%d: alignment surcharge = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+// TestVariableFetchPenaltyGrowth: effective penalty grows linearly in the
+// sustained rate and is exact at R = 1.
+func TestVariableFetchPenaltyGrowth(t *testing.T) {
+	base := pipeline.Config{K: 1, LBar: 1, MBar: 2} // P = 4
+	v1 := pipeline.VariableFetch{W: 4, Base: base, Rate: 1}
+	if v1.Penalty() != 4 {
+		t.Fatalf("R=1 penalty = %v, want 4", v1.Penalty())
+	}
+	v3 := pipeline.VariableFetch{W: 4, Base: base, Rate: 3}
+	if got := v3.Penalty(); got != 1+3*3 {
+		t.Fatalf("R=3 penalty = %v, want 10", got)
+	}
+	// Rates below 1 (degenerate calibrations) clamp rather than shrink the
+	// penalty below the analytic floor.
+	v0 := pipeline.VariableFetch{W: 4, Base: base, Rate: 0.5}
+	if v0.Penalty() != 4 {
+		t.Fatalf("clamped penalty = %v, want 4", v0.Penalty())
+	}
+}
+
+// TestCostModelMonotonicity: for both width-W models, cost falls with
+// accuracy and rises with width, for arbitrary calibrations.
+func TestCostModelMonotonicity(t *testing.T) {
+	check := func(aRaw, brRaw float64, wRaw uint8) bool {
+		a := math.Abs(math.Mod(aRaw, 1))
+		br := math.Abs(math.Mod(brRaw, 1))
+		w := int(wRaw%8) + 2
+		base := pipeline.Config{K: 1, LBar: 2, MBar: 2}
+		narrow := pipeline.Superscalar{W: w - 1, Base: base, BreakRate: br}
+		wide := pipeline.Superscalar{W: w, Base: base, BreakRate: br}
+		if wide.Cost(a) < narrow.Cost(a)-1e-12 {
+			return false // per-branch alignment waste must grow with width
+		}
+		da := (1 - a) / 2
+		return wide.Cost(a+da) <= wide.Cost(a)+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakRateFor(t *testing.T) {
+	// Perfect prediction: only taken branches break fetch.
+	if got := pipeline.BreakRateFor(1, 0.6); got != 0.6 {
+		t.Fatalf("BreakRateFor(1, 0.6) = %v", got)
+	}
+	// Useless prediction: every branch redirects.
+	if got := pipeline.BreakRateFor(0, 0.6); got != 1 {
+		t.Fatalf("BreakRateFor(0, 0.6) = %v", got)
+	}
+}
+
+func TestCostModelStrings(t *testing.T) {
+	s := pipeline.Superscalar{W: 4, Base: pipeline.Config{K: 1, LBar: 1, MBar: 1}, BreakRate: 0.5}.String()
+	if !strings.Contains(s, "W=4") || !strings.Contains(s, "break=") {
+		t.Fatalf("Superscalar.String() = %q", s)
+	}
+	v := pipeline.VariableFetch{W: 2, Base: pipeline.Config{K: 1, LBar: 1, MBar: 1}, Rate: 1.5}.String()
+	if !strings.Contains(v, "W=2") || !strings.Contains(v, "rate=") {
+		t.Fatalf("VariableFetch.String() = %q", v)
+	}
+}

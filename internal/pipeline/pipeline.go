@@ -48,13 +48,38 @@ func MBarStatic(m int, fracCond float64) float64 { return float64(m) * fracCond 
 // k+ℓ. Comparing the simulated cycles-per-branch against Config.Cost
 // validates the analytic model (they differ only in how m̄ averages over
 // conditional-vs-unconditional mispredictions; see the cycle ablation).
+//
+// Construct with NewCycleSim, which validates the depths; the zero value is
+// unusable (k+ℓ must be at least 1).
 type CycleSim struct {
-	K, L, M int
+	k, l, m int
 
 	Branches    int64
 	Mispredicts int64
 	StallCycles int64
 	condWrong   int64
+}
+
+// NewCycleSim validates the stage depths at construction, like pipesim.New:
+// negative depths panic, and so does k+ℓ == 0 — a branch resolves at the end
+// of decode at the earliest, so the stall arithmetic in OnBranch relies on
+// k+ℓ ≥ 1.
+func NewCycleSim(k, l, m int) *CycleSim {
+	if k < 0 || l < 0 || m < 0 {
+		panic(fmt.Sprintf("pipeline: negative stage depth k=%d l=%d m=%d", k, l, m))
+	}
+	if k+l == 0 {
+		panic("pipeline: k+l must be at least 1 (branches resolve after decode)")
+	}
+	return &CycleSim{k: k, l: l, m: m}
+}
+
+// Depths returns the configured stage depths.
+func (cs *CycleSim) Depths() (k, l, m int) { return cs.k, cs.l, cs.m }
+
+// Clone returns a fresh simulator with the same depths and zeroed counters.
+func (cs *CycleSim) Clone() *CycleSim {
+	return &CycleSim{k: cs.k, l: cs.l, m: cs.m}
 }
 
 // OnBranch records one executed branch and whether its prediction was fully
@@ -65,13 +90,10 @@ func (cs *CycleSim) OnBranch(correct, conditional bool) {
 		return
 	}
 	cs.Mispredicts++
-	stall := cs.K + cs.L - 1
+	stall := cs.k + cs.l - 1 // ≥ 0: NewCycleSim guarantees k+l ≥ 1
 	if conditional {
-		stall += cs.M
+		stall += cs.m
 		cs.condWrong++
-	}
-	if stall < 0 {
-		stall = 0
 	}
 	cs.StallCycles += int64(stall)
 }
@@ -102,7 +124,7 @@ func (cs *CycleSim) CPI(steps int64) float64 {
 func (cs *CycleSim) EffectiveConfig() Config {
 	mbar := 0.0
 	if cs.Mispredicts > 0 {
-		mbar = float64(cs.M) * float64(cs.condWrong) / float64(cs.Mispredicts)
+		mbar = float64(cs.m) * float64(cs.condWrong) / float64(cs.Mispredicts)
 	}
-	return Config{K: cs.K, LBar: float64(cs.L), MBar: mbar}
+	return Config{K: cs.k, LBar: float64(cs.l), MBar: mbar}
 }

@@ -80,7 +80,7 @@ func TestConfigString(t *testing.T) {
 func TestCycleSimMatchesModel(t *testing.T) {
 	// Feed a synthetic outcome stream and verify the simulated
 	// cycles/branch equals the analytic model at the effective config.
-	cs := &pipeline.CycleSim{K: 1, L: 2, M: 3}
+	cs := pipeline.NewCycleSim(1, 2, 3)
 	outcomes := []struct {
 		correct, cond bool
 		n             int
@@ -114,7 +114,7 @@ func TestCycleSimMatchesModel(t *testing.T) {
 }
 
 func TestCycleSimTotalsAndCPI(t *testing.T) {
-	cs := &pipeline.CycleSim{K: 1, L: 1, M: 1}
+	cs := pipeline.NewCycleSim(1, 1, 1)
 	cs.OnBranch(false, true) // stall 2
 	if cs.TotalCycles(10) != 12 {
 		t.Fatalf("total = %d", cs.TotalCycles(10))
@@ -125,19 +125,37 @@ func TestCycleSimTotalsAndCPI(t *testing.T) {
 	if got := cs.CPI(0); got != 1 {
 		t.Fatalf("empty CPI = %v", got)
 	}
-	empty := &pipeline.CycleSim{K: 1, L: 1, M: 1}
+	empty := pipeline.NewCycleSim(1, 1, 1)
 	if empty.CostPerBranch() != 1 {
 		t.Fatal("empty cost per branch must be 1")
 	}
 }
 
-func TestCycleSimNoNegativeStall(t *testing.T) {
-	// k=0, l=0: an unconditional mispredict would stall k+l-1 = -1; it
-	// must clamp to zero.
-	cs := &pipeline.CycleSim{K: 0, L: 0, M: 2}
-	cs.OnBranch(false, false)
-	if cs.StallCycles != 0 {
-		t.Fatalf("negative stall not clamped: %d", cs.StallCycles)
+func TestNewCycleSimValidatesDepths(t *testing.T) {
+	// k=0, l=0: an unconditional mispredict would stall k+l-1 = -1.
+	// Depths are validated at construction instead of clamping after the
+	// fact, so both the degenerate and the negative configurations panic.
+	for _, bad := range [][3]int{{0, 0, 2}, {-1, 1, 1}, {1, -1, 1}, {1, 1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCycleSim(%d, %d, %d) did not panic", bad[0], bad[1], bad[2])
+				}
+			}()
+			pipeline.NewCycleSim(bad[0], bad[1], bad[2])
+		}()
+	}
+}
+
+func TestCycleSimCloneAndDepths(t *testing.T) {
+	cs := pipeline.NewCycleSim(1, 2, 3)
+	cs.OnBranch(false, true)
+	c := cs.Clone()
+	if k, l, m := c.Depths(); k != 1 || l != 2 || m != 3 {
+		t.Fatalf("Clone depths = %d %d %d", k, l, m)
+	}
+	if c.Branches != 0 || c.StallCycles != 0 {
+		t.Fatalf("Clone carried counters: %+v", c)
 	}
 }
 
@@ -145,7 +163,7 @@ func TestCycleSimNoNegativeStall(t *testing.T) {
 // simulator and the analytic model agree exactly.
 func TestCycleSimPropertyEquivalence(t *testing.T) {
 	check := func(seed []byte) bool {
-		cs := &pipeline.CycleSim{K: 2, L: 1, M: 2}
+		cs := pipeline.NewCycleSim(2, 1, 2)
 		correctCount := 0
 		for _, b := range seed {
 			correct := b&1 == 0

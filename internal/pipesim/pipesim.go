@@ -21,13 +21,15 @@ package pipesim
 import (
 	"fmt"
 
-	"branchcost/internal/isa"
+	"branchcost/internal/pipeline"
 	"branchcost/internal/predict"
 	"branchcost/internal/vm"
 )
 
-// Sim accumulates cycle counts for one run. Drive it by passing its Hook
-// into vm.Run together with a predictor.
+// Sim accumulates cycle counts for one run. Drive it either live — Hook plus
+// a vm.Config Trace of Step — or from a recorded trace alone via TraceHook,
+// which is how the frontend cost models are calibrated without extra VM
+// passes.
 type Sim struct {
 	Width   int // fetch width W (instructions per cycle), >= 1
 	K, L, M int
@@ -37,9 +39,15 @@ type Sim struct {
 	Branches    int64
 	Mispredicts int64
 	Squashed    int64 // wrong-path fetch slots issued then discarded
-	GroupBreaks int64 // fetch groups ended early by a taken branch
+	GroupBreaks int64 // fetch groups ended early by a correctly taken branch
+	DeadCycles  int64 // fetch cycles idled waiting for misprediction recovery
+	// UnrecordedBreaks counts fetch breaks charged by TraceHook for control
+	// transfers the trace does not record (CALL/RET fold the callee out of
+	// the recorded stream). Always 0 when driven live.
+	UnrecordedBreaks int64
 
-	pred predict.Predictor
+	pred      predict.Predictor
+	condWrong int64
 
 	// fetch state: cycle currently being filled and slots used in it.
 	curCycle  int64
@@ -48,10 +56,19 @@ type Sim struct {
 	drainCycle int64
 }
 
-// New returns a simulator using the given predictor.
+// New returns a simulator using the given predictor. Stage depths are
+// validated up front: negative depths panic, as does k+l == 0 (a branch
+// resolves at the end of decode at the earliest, so every misprediction
+// penalty is at least one cycle).
 func New(width, k, l, m int, pred predict.Predictor) *Sim {
 	if width < 1 {
 		panic(fmt.Sprintf("pipesim: width %d < 1", width))
+	}
+	if k < 0 || l < 0 || m < 0 {
+		panic(fmt.Sprintf("pipesim: negative stage depth k=%d l=%d m=%d", k, l, m))
+	}
+	if k+l == 0 {
+		panic("pipesim: k+l must be at least 1 (branches resolve after decode)")
 	}
 	return &Sim{Width: width, K: k, L: l, M: m, pred: pred, curCycle: 1}
 }
@@ -135,7 +152,9 @@ func (s *Sim) Branch(ev vm.BranchEvent) {
 	penalty := int64(s.K + s.L)
 	if ev.Op.IsCondBranch() {
 		penalty += int64(s.M)
+		s.condWrong++
 	}
+	s.DeadCycles += penalty - 1
 	// Wrong-path slots issued while waiting: full width for each cycle
 	// between the branch's group and the redirect, minus the slot the
 	// branch itself used.
@@ -144,6 +163,72 @@ func (s *Sim) Branch(ev vm.BranchEvent) {
 		s.Squashed += wrongCycles*int64(s.Width) + int64(s.Width-s.slotsUsed)
 	}
 	s.redirect(fetchCycle + penalty)
+}
+
+// fetchRun accounts n sequential right-path instructions, equivalent to n
+// calls of fetchOne but in O(1): TraceHook reconstructs whole fetch runs
+// from PC arithmetic rather than per-instruction VM callbacks.
+func (s *Sim) fetchRun(n int64) {
+	for n > 0 {
+		if s.slotsUsed >= s.Width {
+			s.curCycle++
+			s.slotsUsed = 0
+		}
+		take := int64(s.Width - s.slotsUsed)
+		if take > n {
+			take = n
+		}
+		s.slotsUsed += int(take)
+		s.Insts += take
+		n -= take
+		if full := n / int64(s.Width); full > 0 {
+			s.curCycle += full
+			s.slotsUsed = s.Width
+			s.Insts += full * int64(s.Width)
+			n -= full * int64(s.Width)
+		}
+	}
+	if done := s.curCycle + 1 + s.depth(); done > s.drainCycle {
+		s.drainCycle = done
+	}
+}
+
+// TraceHook returns a vm.BranchFunc that drives the simulation from a
+// recorded branch stream alone (tracefile.Trace.Replay), with no live VM
+// pass: the sequential instructions between consecutive branch events are
+// reconstructed from PC arithmetic — every recorded event carries the
+// actual next fetch position in ev.Target, so the straight-line run up to
+// the next event is the position gap. Control transfers the trace does not
+// record (CALL/RET) surface as gaps that do not match: a backward move is
+// charged as one fetch break (UnrecordedBreaks), a forward move is fetched
+// as if it were straight-line. The reconstruction is exact at W = 1 and
+// width-independent, so cross-width comparisons stay apples to apples.
+func (s *Sim) TraceHook() vm.BranchFunc {
+	expect := int64(-1)
+	return func(ev vm.BranchEvent) {
+		if !ev.Op.IsBranch() {
+			return
+		}
+		pc := int64(ev.PC)
+		switch {
+		case expect < 0:
+			s.fetchRun(pc) // straight-line prologue from program entry
+		case pc >= expect:
+			s.fetchRun(pc - expect)
+		default:
+			s.UnrecordedBreaks++
+			// Reset fetch-block alignment, but only if the current group has
+			// started filling — if the previous event already redirected,
+			// fetch is at a fresh boundary and redirecting again would burn
+			// an empty cycle (and break the W = 1 identity).
+			if s.slotsUsed > 0 {
+				s.redirect(s.curCycle + 1)
+			}
+		}
+		s.fetchOne() // the branch itself, as Step would have
+		s.Branch(ev)
+		expect = int64(ev.Target)
+	}
 }
 
 // Cycles returns the total cycle count (through pipeline drain).
@@ -155,8 +240,15 @@ func (s *Sim) Cycles() int64 {
 }
 
 // FetchCycles returns the cycles spent fetching (no drain), the
-// denominator for utilization.
-func (s *Sim) FetchCycles() int64 { return s.curCycle }
+// denominator for utilization. A redirect leaves curCycle pointing at a
+// fresh group; until something is fetched into it that cycle has not been
+// spent (this matters for trace-driven runs, which end on a branch).
+func (s *Sim) FetchCycles() int64 {
+	if s.slotsUsed == 0 {
+		return s.curCycle - 1
+	}
+	return s.curCycle
+}
 
 // CPI is cycles per right-path instruction.
 func (s *Sim) CPI() float64 {
@@ -202,4 +294,85 @@ func (s *Sim) FetchUtilization() float64 {
 	return u
 }
 
-var _ = isa.NOP // keep the isa import for documentation references
+// Accuracy is the prediction accuracy A realized by this run.
+func (s *Sim) Accuracy() float64 {
+	if s.Branches == 0 {
+		return 1
+	}
+	return 1 - float64(s.Mispredicts)/float64(s.Branches)
+}
+
+// redirects is the total number of fetch-address changes: correctly
+// predicted taken branches, misprediction recoveries, and (under TraceHook)
+// unrecorded control transfers.
+func (s *Sim) redirects() int64 {
+	return s.GroupBreaks + s.Mispredicts + s.UnrecordedBreaks
+}
+
+// BreakRate is fetch redirects per branch — the calibration input of the
+// Superscalar cost model's alignment term.
+func (s *Sim) BreakRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.redirects()) / float64(s.Branches)
+}
+
+// SustainedRate is the useful fetch rate R: right-path instructions per
+// non-dead fetch cycle. Exactly 1 at W = 1 (every live cycle fetches one
+// instruction), between 1 and W at wider fetch.
+func (s *Sim) SustainedRate() float64 {
+	live := s.FetchCycles() - s.DeadCycles
+	if live <= 0 {
+		return 1
+	}
+	r := float64(s.Insts) / float64(live)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// EffectiveConfig returns the width-1 analytic operating point this run
+// realized: k and ℓ̄ = ℓ as configured, m̄ averaged over the observed
+// misprediction mix — the same calibration CycleSim.EffectiveConfig does.
+// At W = 1, EffectiveConfig().Cost(Accuracy()) equals CostPerBranch()
+// exactly.
+func (s *Sim) EffectiveConfig() pipeline.Config {
+	mbar := 0.0
+	if s.Mispredicts > 0 {
+		mbar = float64(s.M) * float64(s.condWrong) / float64(s.Mispredicts)
+	}
+	return pipeline.Config{K: s.K, LBar: float64(s.L), MBar: mbar}
+}
+
+// Superscalar returns the alignment-aware cost model calibrated by this
+// run: the effective analytic base plus the measured fetch-break rate.
+func (s *Sim) Superscalar() pipeline.Superscalar {
+	return pipeline.Superscalar{W: s.Width, Base: s.EffectiveConfig(), BreakRate: s.BreakRate()}
+}
+
+// VariableFetch returns the variable-fetch-rate cost model calibrated by
+// this run: the effective analytic base inflated by the sustained rate.
+func (s *Sim) VariableFetch() pipeline.VariableFetch {
+	return pipeline.VariableFetch{W: s.Width, Base: s.EffectiveConfig(), Rate: s.SustainedRate()}
+}
+
+// ModelTolerance is the provable agreement bound between the calibrated
+// Superscalar model and CostPerBranch. The model charges the expected
+// alignment waste (W−1)/(2W) per redirect where the simulation pays the
+// actual integer ceil waste of each fetch run — at most (W−1)/W, so the two
+// differ by at most (W−1)/(2W) per redirect, plus O(1/Branches) edge terms
+// for the final partial run. At W = 1 both terms vanish and the agreement
+// is exact (bound: floating-point epsilon only).
+func (s *Sim) ModelTolerance() float64 {
+	if s.Width == 1 {
+		return 1e-9
+	}
+	align := float64(s.Width-1) / float64(2*s.Width)
+	slack := 0.0
+	if s.Branches > 0 {
+		slack = 4 / float64(s.Branches)
+	}
+	return s.BreakRate()*align + slack + 1e-9
+}

@@ -21,6 +21,14 @@ type Params struct {
 	// CounterThreshold is interpreted only when Params is non-zero as a
 	// whole: a caller sweeping thresholds sets the geometry fields too.
 	CounterThreshold uint8
+
+	// Two-level BTB geometry (the btb2l scheme). These resolve separately
+	// from OrPaper — the 1989 paper has no two-level organization, so zero
+	// fields mean TwoLevelDefaults even inside an otherwise non-zero Params.
+	L1Entries int
+	L1Assoc   int
+	L2Entries int
+	L2Assoc   int
 }
 
 // PaperParams is the configuration used throughout the paper's evaluation:
@@ -31,12 +39,40 @@ var PaperParams = Params{
 	CounterBits: 2, CounterThreshold: 2,
 }
 
+// TwoLevelDefaults is the btb2l scheme's default geometry: a 16-entry 4-way
+// L1 backed by a 1024-entry 8-way L2 (small enough that promotion traffic
+// is visible on the suite, large enough that the L2 rarely misses).
+var TwoLevelDefaults = Params{
+	L1Entries: 16, L1Assoc: 4,
+	L2Entries: 1024, L2Assoc: 8,
+}
+
 // OrPaper resolves the zero value to PaperParams.
 func (p Params) OrPaper() Params {
 	if p == (Params{}) {
 		return PaperParams
 	}
 	return p
+}
+
+// TwoLevelGeometry resolves the two-level BTB geometry, substituting
+// TwoLevelDefaults for zero fields.
+func (p Params) TwoLevelGeometry() (l1Entries, l1Assoc, l2Entries, l2Assoc int) {
+	d := TwoLevelDefaults
+	l1Entries, l1Assoc, l2Entries, l2Assoc = p.L1Entries, p.L1Assoc, p.L2Entries, p.L2Assoc
+	if l1Entries <= 0 {
+		l1Entries = d.L1Entries
+	}
+	if l1Assoc <= 0 {
+		l1Assoc = d.L1Assoc
+	}
+	if l2Entries <= 0 {
+		l2Entries = d.L2Entries
+	}
+	if l2Assoc <= 0 {
+		l2Assoc = d.L2Assoc
+	}
+	return l1Entries, l1Assoc, l2Entries, l2Assoc
 }
 
 // SchemeContext is everything a scheme constructor may need. Context-free
