@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet race telemetry-check chaos verify frontend-check bench bench-json corpus-bench repro tables figures ablations fuzz fuzz-short goldens clean
+.PHONY: all build test vet race telemetry-check chaos verify frontend-check pareto bench bench-json corpus-bench repro tables figures ablations fuzz fuzz-short goldens clean
 
-all: build vet test race telemetry-check chaos verify frontend-check
+all: build vet test race telemetry-check chaos verify frontend-check pareto
 
 # Differential-oracle gate: record-or-load the whole benchmark corpus, then
 # replay every trace through each context-free scheme and its deliberately
@@ -22,6 +22,16 @@ verify:
 # benchmarks including Table 5's extras; exits nonzero on any violation.
 frontend-check:
 	$(GO) run ./cmd/branchsim -frontend-check
+
+# Storage-vs-accuracy frontier: replay the predictor zoo (SBTB/CBTB/btb2l
+# plus gshare/local/perceptron/TAGE, ≥3 geometries each, FS as the
+# zero-storage baseline) through a warm corpus and emit the Pareto rows as
+# PARETO_<date>.json next to the BENCH_*.json manifests.
+pareto:
+	$(GO) run ./cmd/btrace -corpus $(BENCH_CORPUS) -record-suite
+	$(GO) run ./cmd/branchsim -corpus $(BENCH_CORPUS) -pareto \
+		-pareto-json PARETO_$$(date +%Y%m%d).json
+	@echo "wrote PARETO_$$(date +%Y%m%d).json"
 
 # Chaos gate: the fault-injection suite under the race detector — faultfs
 # plan semantics, corpus behaviour under injected I/O faults and torn
@@ -95,7 +105,7 @@ figures:
 ablations:
 	for a in counter btbsize assoc ctxswitch static cycle scaling \
 	         delay icache crossval opt superscalar hwcost sensitivity traces \
-	         frontend; do \
+	         frontend pareto; do \
 		$(GO) run ./cmd/branchsim -ablate $$a; done
 
 # Fuzzing: the language front end and both trace-file decoders.

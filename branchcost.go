@@ -131,10 +131,29 @@ type Scheme = predict.Scheme
 // SchemeContext is what a Scheme constructor sees.
 type SchemeContext = predict.SchemeContext
 
-// SchemeParams are the resolved hardware parameters handed to scheme
-// constructors (the zero value resolves to the paper's configuration via
-// OrPaper).
-type SchemeParams = predict.Params
+// SchemeConfig is the typed per-scheme configuration interface; a scheme's
+// Defaults() returns its concrete config struct (the paper's configuration
+// for the paper's schemes), and callers override individual fields before
+// handing the set to an evaluation.
+type SchemeConfig = predict.SchemeConfig
+
+// ConfigSet maps scheme names to configuration overrides; Resolved merges an
+// entry over the scheme's registered defaults and normalizes it. A nil set
+// (or an absent entry) means pure defaults.
+type ConfigSet = predict.ConfigSet
+
+// The concrete per-scheme configuration structs. Zero-valued fields resolve
+// to the scheme's defaults; see each scheme's Defaults() for the baseline.
+type (
+	BTBGeometry      = predict.BTBGeometry
+	CounterConfig    = predict.CounterConfig
+	SBTBConfig       = predict.SBTBConfig
+	CBTBConfig       = predict.CBTBConfig
+	TwoLevelConfig   = predict.TwoLevelConfig
+	HistoryConfig    = predict.HistoryConfig
+	PerceptronConfig = predict.PerceptronConfig
+	TAGEConfig       = predict.TAGEConfig
+)
 
 // RegisterScheme adds a scheme to the global registry. It panics on a
 // duplicate or invalid registration, mirroring database/sql.Register.

@@ -11,9 +11,12 @@
 //	branchsim -bench grep -table 3 # restrict ablations to one benchmark
 //	branchsim -frontend -width 1,2,4,8   # frontend cost-model sweep
 //	branchsim -frontend-check            # model-vs-pipesim agreement, all benchmarks
+//	branchsim -pareto -pareto-json pareto.json   # storage-vs-accuracy frontier
+//	branchsim -scheme-opt gshare.history=14 -ablate pareto  # per-scheme override
 //
 // Hardware configuration knobs (-entries, -assoc, -bits, -threshold,
-// -slots) default to the paper's configuration. -width selects the fetch
+// -slots) default to the paper's configuration; -scheme-opt scheme.key=value
+// (repeatable) overrides any registered scheme's typed configuration. -width selects the fetch
 // widths of the frontend sweep/check (default 1,2,4,8).
 //
 // -corpus DIR (default $BRANCHCOST_CORPUS) evaluates through the disk-backed
@@ -37,36 +40,50 @@ import (
 	"branchcost/internal/core"
 	"branchcost/internal/corpus"
 	"branchcost/internal/experiments"
+	"branchcost/internal/predict"
 	"branchcost/internal/stats"
 	"branchcost/internal/telemetry"
 	"branchcost/internal/workloads"
 )
+
+// multiFlag is a repeatable string flag (for -scheme-opt).
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
 
 func main() {
 	var (
 		table    = flag.Int("table", 0, "regenerate one table (1..5)")
 		figure   = flag.Int("figure", 0, "regenerate one figure (3 or 4)")
 		headline = flag.Bool("headline", false, "regenerate the introduction's comparison")
-		ablate   = flag.String("ablate", "", "ablation: counter|btbsize|assoc|ctxswitch|static|cycle|scaling|crossval|icache|delay|opt|superscalar|hwcost|sensitivity|traces|frontend")
+		ablate   = flag.String("ablate", "", "ablation: counter|btbsize|assoc|ctxswitch|static|cycle|scaling|crossval|icache|delay|opt|superscalar|hwcost|sensitivity|traces|frontend|pareto")
 		all      = flag.Bool("all", false, "regenerate everything")
 		benchSel = flag.String("bench", "", "comma-separated benchmark subset for ablations (default: all primary)")
 
-		entries   = flag.Int("entries", 256, "BTB entries")
-		assoc     = flag.Int("assoc", 256, "BTB associativity")
-		bits      = flag.Int("bits", 2, "CBTB counter bits")
-		threshold = flag.Int("threshold", 2, "CBTB counter threshold")
-		slots     = flag.Int("slots", 2, "forward slots (k+l) for the measured FS binary")
-		widthSel  = flag.String("width", "", "comma-separated fetch widths for -frontend/-frontend-check (default 1,2,4,8)")
-		frontend  = flag.Bool("frontend", false, "run the frontend cost-model sweep across fetch widths")
-		frontCk   = flag.Bool("frontend-check", false, "assert model-vs-pipesim agreement on every benchmark (exit 1 on violation)")
-		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
-		format    = flag.String("format", "text", "table output format: text|csv|md")
-		corpusDir = flag.String("corpus", os.Getenv(corpus.EnvVar), "trace corpus directory (default $BRANCHCOST_CORPUS; empty disables)")
+		entries    = flag.Int("entries", 256, "BTB entries")
+		assoc      = flag.Int("assoc", 256, "BTB associativity")
+		bits       = flag.Int("bits", 2, "CBTB counter bits")
+		threshold  = flag.Int("threshold", -1, "CBTB counter threshold (-1: auto, the counter midpoint)")
+		slots      = flag.Int("slots", 2, "forward slots (k+l) for the measured FS binary")
+		widthSel   = flag.String("width", "", "comma-separated fetch widths for -frontend/-frontend-check (default 1,2,4,8)")
+		frontend   = flag.Bool("frontend", false, "run the frontend cost-model sweep across fetch widths")
+		frontCk    = flag.Bool("frontend-check", false, "assert model-vs-pipesim agreement on every benchmark (exit 1 on violation)")
+		pareto     = flag.Bool("pareto", false, "run the storage-vs-accuracy Pareto sweep over the predictor zoo")
+		paretoJSON = flag.String("pareto-json", "", "with -pareto: also write the frontier rows as JSON to this file")
+		timing     = flag.Bool("time", false, "print wall-clock time per experiment")
+		format     = flag.String("format", "text", "table output format: text|csv|md")
+		corpusDir  = flag.String("corpus", os.Getenv(corpus.EnvVar), "trace corpus directory (default $BRANCHCOST_CORPUS; empty disables)")
 
 		deadline = flag.Duration("deadline", 0, "per-benchmark evaluation deadline, e.g. 30s (0 disables)")
 		maxSteps = flag.Int64("max-steps", 0, "per-run VM step budget; a run that exceeds it fails (0 = default budget)")
 		partial  = flag.Bool("partial", false, "degrade don't die: keep running past failed experiments and report every failure at the end")
 	)
+	var schemeOpts multiFlag
+	flag.Var(&schemeOpts, "scheme-opt", "per-scheme option override, scheme.key=value (repeatable, e.g. -scheme-opt tage.tables=5)")
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	set, err := tf.Init()
@@ -79,10 +96,17 @@ func main() {
 	cfg := core.Config{
 		SBTBEntries: *entries, SBTBAssoc: *assoc,
 		CBTBEntries: *entries, CBTBAssoc: *assoc,
-		CounterBits: *bits, CounterThreshold: core.Ptr(uint8(*threshold)),
-		EvalSlots:  slots,
-		Telemetry:  set,
-		MaxVMSteps: *maxSteps,
+		CounterBits: *bits,
+		EvalSlots:   slots,
+		Telemetry:   set,
+		MaxVMSteps:  *maxSteps,
+	}
+	if *threshold >= 0 {
+		cfg.CounterThreshold = core.Ptr(uint8(*threshold))
+	}
+	if cfg.SchemeConfigs, err = predict.ParseOptions(schemeOpts); err != nil {
+		fmt.Fprintf(os.Stderr, "branchsim: %v\n", err)
+		os.Exit(2)
 	}
 	if *corpusDir != "" {
 		store, err := corpus.Open(*corpusDir)
@@ -108,7 +132,7 @@ func main() {
 	}
 
 	nothing := *table == 0 && *figure == 0 && !*headline && *ablate == "" && !*all &&
-		!*frontend && !*frontCk
+		!*frontend && !*frontCk && !*pareto
 	if nothing {
 		*all = true
 	}
@@ -180,6 +204,28 @@ func main() {
 			return render(t, err)
 		})
 	}
+	if *pareto || (*all && *paretoJSON != "") {
+		run("pareto", func() (string, error) {
+			rows, t, err := experiments.Pareto(suite, names)
+			if err != nil {
+				return "", err
+			}
+			if *paretoJSON != "" {
+				f, err := os.Create(*paretoJSON)
+				if err != nil {
+					return "", err
+				}
+				werr := experiments.WriteParetoJSON(f, rows)
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					return "", werr
+				}
+			}
+			return render(t, nil)
+		})
+	}
 	if *frontCk {
 		// The check covers every benchmark (Table 5's extras included) — it
 		// is the acceptance gate of the frontend models, not a sample.
@@ -243,6 +289,10 @@ func main() {
 			_, t, err := experiments.FrontendSweep(suite, names, widths)
 			return render(t, err)
 		},
+		"pareto": func() (string, error) {
+			_, t, err := experiments.Pareto(suite, names)
+			return render(t, err)
+		},
 	}
 	if *ablate != "" {
 		f, ok := ablations[*ablate]
@@ -253,7 +303,7 @@ func main() {
 		run("ablation "+*ablate, f)
 	}
 	if *all {
-		for _, name := range []string{"counter", "btbsize", "assoc", "ctxswitch", "static", "cycle", "crossval", "icache", "delay", "opt", "superscalar", "hwcost", "sensitivity", "traces", "frontend"} {
+		for _, name := range []string{"counter", "btbsize", "assoc", "ctxswitch", "static", "cycle", "crossval", "icache", "delay", "opt", "superscalar", "hwcost", "sensitivity", "traces", "frontend", "pareto"} {
 			run("ablation "+name, ablations[name])
 		}
 	}

@@ -9,9 +9,11 @@
 //	btrace -record -o prog.bt prog.mc          # record an MC program (empty input)
 //	btrace grep.bt                             # replay through every context-free scheme
 //	btrace -scheme cbtb -entries 64 grep.bt    # one scheme, custom geometry
+//	btrace -scheme tage -scheme-opt tage.tables=5 grep.bt  # per-scheme option
 //	btrace -frontend -width 1,2,4,8 grep.bt    # trace-driven frontend cost report
 //	btrace -inspect grep.bt                    # format, blocks, sites, events
 //	btrace -verify grep.bt                     # differential check vs the oracle models
+//	btrace -ls                                 # list schemes, default configs, storage bits
 //	btrace -corpus DIR -record-suite           # record-or-load all benchmarks into DIR
 //	btrace -corpus DIR -ls                     # list corpus entries
 //	btrace -corpus DIR -verify                 # verify every corpus trace
@@ -56,7 +58,8 @@ import (
 	"branchcost/internal/vm"
 	"branchcost/internal/workloads"
 
-	_ "branchcost/internal/btb" // register sbtb/cbtb
+	_ "branchcost/internal/btb"     // register sbtb/cbtb/btb2l
+	_ "branchcost/internal/history" // register gshare/local/perceptron/tage
 )
 
 func main() {
@@ -74,7 +77,7 @@ func main() {
 		entries     = flag.Int("entries", 256, "BTB entries")
 		assoc       = flag.Int("assoc", 256, "BTB associativity")
 		bits        = flag.Int("bits", 2, "CBTB counter bits")
-		thresh      = flag.Int("threshold", 2, "CBTB threshold")
+		thresh      = flag.Int("threshold", -1, "CBTB threshold (-1: auto, the counter midpoint)")
 		frontend    = flag.Bool("frontend", false, "with replay: drive the trace-fed pipeline simulator and report per-width branch costs")
 		widthSel    = flag.String("width", "", "comma-separated fetch widths for -frontend (default 1,2,4,8)")
 
@@ -82,6 +85,8 @@ func main() {
 		maxSteps = flag.Int64("max-steps", 0, "per-run VM step budget when recording (0 = default budget)")
 		partial  = flag.Bool("partial", false, "with -record-suite: keep recording past failed benchmarks and report every failure at the end")
 	)
+	var schemeOpts multiFlag
+	flag.Var(&schemeOpts, "scheme-opt", "per-scheme option override, scheme.key=value (repeatable, e.g. -scheme-opt gshare.history=14)")
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	set, err := tf.Init()
@@ -90,22 +95,31 @@ func main() {
 	}
 	ctx := telemetry.NewContext(context.Background(), set)
 
-	params := predict.Params{
-		SBTBEntries: *entries, SBTBAssoc: *assoc,
-		CBTBEntries: *entries, CBTBAssoc: *assoc,
-		CounterBits: *bits, CounterThreshold: uint8(*thresh),
+	configs, err := buildConfigs(*entries, *assoc, *bits, *thresh, schemeOpts)
+	if err != nil {
+		fail(err)
 	}
+	// -ls without an explicit -corpus flag lists the scheme registry; with
+	// one it keeps its historical meaning, listing corpus entries.
+	corpusFlagSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "corpus" {
+			corpusFlagSet = true
+		}
+	})
 	switch {
 	case *verify && flag.NArg() == 1:
-		doVerifyFile(ctx, flag.Arg(0), params)
+		doVerifyFile(ctx, flag.Arg(0), configs)
 	case *verify && flag.NArg() == 0:
-		doVerifyCorpus(ctx, *corpusDir, params)
+		doVerifyCorpus(ctx, *corpusDir, configs)
 	case *verify:
 		fail(fmt.Errorf("-verify takes one trace file, or none with -corpus"))
 	case *recordSuite:
 		doRecordSuite(ctx, *corpusDir, *deadline, *maxSteps, *partial)
-	case *list:
+	case *list && corpusFlagSet:
 		doList(*corpusDir)
+	case *list:
+		doListSchemes(configs)
 	case *record:
 		doRecord(ctx, *bench, *out, *format, flag.Args(), *deadline, *maxSteps)
 	case *inspect:
@@ -122,10 +136,60 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		doReplay(ctx, flag.Arg(0), *scheme, *entries, *assoc, *bits, uint8(*thresh), widths)
+		doReplay(ctx, flag.Arg(0), *scheme, configs, widths)
 	}
 	if err := tf.Close(nil); err != nil {
 		fail(err)
+	}
+}
+
+// multiFlag is a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+// buildConfigs resolves the base geometry flags into a per-scheme config set
+// and layers the -scheme-opt overrides on top of them.
+func buildConfigs(entries, assoc, bits, thresh int, opts []string) (predict.ConfigSet, error) {
+	geom := predict.BTBGeometry{Entries: entries, Assoc: assoc}
+	cbtb := predict.CBTBConfig{BTBGeometry: geom, CounterConfig: predict.CounterConfig{Bits: bits}}
+	if thresh >= 0 {
+		cbtb.Threshold = predict.Ptr(uint8(thresh))
+	}
+	base := predict.ConfigSet{
+		"sbtb": predict.SBTBConfig{BTBGeometry: geom},
+		"cbtb": cbtb,
+	}
+	over, err := predict.ParseOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return predict.MergeSets(base, over), nil
+}
+
+// doListSchemes prints every registered scheme with its resolved default
+// configuration and, for the configurable hardware schemes, the predictor
+// state it implies in bits.
+func doListSchemes(configs predict.ConfigSet) {
+	for _, n := range predict.Names() {
+		sc := predict.MustLookup(n)
+		cfg := configs.Resolved(n)
+		desc := "-"
+		storage := "-"
+		if cfg != nil {
+			desc = predict.DescribeOptions(cfg)
+			if !sc.NeedsContext && !sc.Transformed {
+				if s, ok := sc.New(predict.SchemeContext{Configs: configs}).(predict.StorageSized); ok {
+					storage = fmt.Sprintf("%d", s.StorageBits())
+				}
+			}
+		}
+		fmt.Printf("%-16s %-10s %s\n", n, storage, desc)
+		fmt.Printf("%-16s %-10s %s\n", "", "", sc.Description)
 	}
 }
 
@@ -341,7 +405,7 @@ func printVerdicts(verdicts []oracle.Verdict) (failed int) {
 
 // doVerifyFile replays one trace file through every verifiable scheme and
 // its oracle twin in lockstep, exiting nonzero on the first divergence.
-func doVerifyFile(ctx context.Context, path string, params predict.Params) {
+func doVerifyFile(ctx context.Context, path string, configs predict.ConfigSet) {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
@@ -352,14 +416,14 @@ func doVerifyFile(ctx context.Context, path string, params predict.Params) {
 		fail(err)
 	}
 	fmt.Printf("%s: %d events\n", path, tr.Len())
-	if n := printVerdicts(oracle.VerifyTrace(tr, params)); n > 0 {
+	if n := printVerdicts(oracle.VerifyTrace(tr, configs)); n > 0 {
 		fail(fmt.Errorf("%d scheme(s) diverged from the oracle", n))
 	}
 }
 
 // doVerifyCorpus verifies every trace in the corpus, keeps going past
 // failures, and reports a summary (nonzero exit if anything diverged).
-func doVerifyCorpus(ctx context.Context, dir string, params predict.Params) {
+func doVerifyCorpus(ctx context.Context, dir string, configs predict.ConfigSet) {
 	store := openCorpus(dir)
 	keys, err := store.Keys()
 	if err != nil {
@@ -378,7 +442,7 @@ func doVerifyCorpus(ctx context.Context, dir string, params predict.Params) {
 		}
 		traces++
 		fmt.Printf("%-10s %s  %d events\n", k.Name, k.Hash, tr.Len())
-		failed += printVerdicts(oracle.VerifyTrace(tr, params))
+		failed += printVerdicts(oracle.VerifyTrace(tr, configs))
 	}
 	if failed > 0 {
 		fail(fmt.Errorf("verification failed: %d scheme/trace pair(s) diverged", failed))
@@ -420,12 +484,7 @@ func parseWidths(sel string, frontend bool) ([]int, error) {
 	return widths, nil
 }
 
-func doReplay(ctx context.Context, path, scheme string, entries, assoc, bits int, thresh uint8, widths []int) {
-	params := predict.Params{
-		SBTBEntries: entries, SBTBAssoc: assoc,
-		CBTBEntries: entries, CBTBAssoc: assoc,
-		CounterBits: bits, CounterThreshold: thresh,
-	}
+func doReplay(ctx context.Context, path, scheme string, configs predict.ConfigSet, widths []int) {
 	names := replayable()
 	if scheme != "" {
 		sc, ok := predict.Lookup(scheme)
@@ -448,7 +507,7 @@ func doReplay(ctx context.Context, path, scheme string, entries, assoc, bits int
 	evals := make([]*predict.Evaluator, len(names))
 	hooks := make([]vm.BranchFunc, len(names))
 	for i, n := range names {
-		evals[i] = &predict.Evaluator{P: predict.MustLookup(n).New(predict.SchemeContext{Params: params})}
+		evals[i] = &predict.Evaluator{P: predict.MustLookup(n).New(predict.SchemeContext{Configs: configs})}
 		hooks[i] = evals[i].Hook()
 	}
 	// -frontend: one trace-fed pipeline simulator per (scheme, width) rides
@@ -459,7 +518,7 @@ func doReplay(ctx context.Context, path, scheme string, entries, assoc, bits int
 	for _, n := range names {
 		sims[n] = make(map[int]*pipesim.Sim, len(widths))
 		for _, w := range widths {
-			p := predict.MustLookup(n).New(predict.SchemeContext{Params: params})
+			p := predict.MustLookup(n).New(predict.SchemeContext{Configs: configs})
 			sim := pipesim.New(w, fk, fl, fm, p)
 			sims[n][w] = sim
 			hooks = append(hooks, sim.TraceHook())

@@ -94,6 +94,16 @@ func (b *Buffer) metrics() map[string]int64 {
 	}
 }
 
+// entryBits is the storage cost of one buffer line: a 32-bit tag (the full
+// PC — the simulator's PCs are program positions, charged at word width), a
+// 32-bit target and a valid bit. Counter bits are charged by the scheme.
+const entryBits = 32 + 32 + 1
+
+// storageBits is the buffer's state in bits, excluding per-entry counters.
+func (b *Buffer) storageBits() int64 {
+	return int64(b.Entries()) * entryBits
+}
+
 func (b *Buffer) setIdx(pc int32) uint32 {
 	return uint32(pc) % uint32(len(b.sets))
 }
@@ -220,7 +230,14 @@ func (s *SBTB) Update(ev vm.BranchEvent) {
 func (s *SBTB) Reset() { s.buf.Reset() }
 
 // Metrics implements predict.MetricSource.
-func (s *SBTB) Metrics() map[string]int64 { return s.buf.metrics() }
+func (s *SBTB) Metrics() map[string]int64 {
+	m := s.buf.metrics()
+	m["storage_bits"] = s.StorageBits()
+	return m
+}
+
+// StorageBits implements predict.StorageSized.
+func (s *SBTB) StorageBits() int64 { return s.buf.storageBits() }
 
 // CBTB is the Counter-based Branch Target Buffer: every executed branch is
 // eligible for an entry; an n-bit saturating counter with threshold T
@@ -232,6 +249,7 @@ func (s *SBTB) Metrics() map[string]int64 { return s.buf.metrics() }
 // scheme, which the paper cites as the source.
 type CBTB struct {
 	buf       *Buffer
+	bits      int
 	max       uint8 // 2^bits - 1
 	threshold uint8
 }
@@ -246,7 +264,7 @@ func NewCBTB(entries, assoc, bits int, threshold uint8) *CBTB {
 	if threshold > maxC {
 		panic(fmt.Sprintf("btb: threshold %d exceeds counter max %d", threshold, maxC))
 	}
-	return &CBTB{buf: NewBuffer(entries, assoc), max: maxC, threshold: threshold}
+	return &CBTB{buf: NewBuffer(entries, assoc), bits: bits, max: maxC, threshold: threshold}
 }
 
 // Name implements predict.Predictor.
@@ -296,4 +314,14 @@ func (c *CBTB) Update(ev vm.BranchEvent) {
 func (c *CBTB) Reset() { c.buf.Reset() }
 
 // Metrics implements predict.MetricSource.
-func (c *CBTB) Metrics() map[string]int64 { return c.buf.metrics() }
+func (c *CBTB) Metrics() map[string]int64 {
+	m := c.buf.metrics()
+	m["storage_bits"] = c.StorageBits()
+	return m
+}
+
+// StorageBits implements predict.StorageSized: the buffer lines plus one
+// counter per entry.
+func (c *CBTB) StorageBits() int64 {
+	return c.buf.storageBits() + int64(c.buf.Entries())*int64(c.bits)
+}

@@ -10,26 +10,47 @@ func init() {
 	predict.Register(predict.Scheme{
 		Name:        "sbtb",
 		Description: "Simple Branch Target Buffer: caches taken branches, hit predicts taken",
+		Defaults: func() predict.SchemeConfig {
+			// The paper's 256-entry fully associative buffer.
+			return predict.SBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 256, Assoc: 256}}
+		},
 		New: func(ctx predict.SchemeContext) predict.Predictor {
-			p := ctx.Params.OrPaper()
-			return NewSBTB(p.SBTBEntries, p.SBTBAssoc)
+			c := ctx.Config("sbtb").(predict.SBTBConfig)
+			return NewSBTB(c.Entries, c.Assoc)
 		},
 	})
 	predict.Register(predict.Scheme{
 		Name:        "cbtb",
 		Description: "Counter-based BTB: n-bit saturating counter per entry (J. E. Smith)",
+		Defaults: func() predict.SchemeConfig {
+			// The paper's 256-entry fully associative buffer with 2-bit
+			// counters; the nil threshold resolves to half range (T = 2).
+			return predict.CBTBConfig{
+				BTBGeometry:   predict.BTBGeometry{Entries: 256, Assoc: 256},
+				CounterConfig: predict.CounterConfig{Bits: 2},
+			}
+		},
 		New: func(ctx predict.SchemeContext) predict.Predictor {
-			p := ctx.Params.OrPaper()
-			return NewCBTB(p.CBTBEntries, p.CBTBAssoc, p.CounterBits, p.CounterThreshold)
+			c := ctx.Config("cbtb").(predict.CBTBConfig)
+			return NewCBTB(c.Entries, c.Assoc, c.Bits, *c.Threshold)
 		},
 	})
 	predict.Register(predict.Scheme{
 		Name:        "btb2l",
 		Description: "two-level BTB: small L1 promoted into from a large L2 (Micro BTB)",
+		Defaults: func() predict.SchemeConfig {
+			// A 16-entry 4-way L1 backed by a 1024-entry 8-way L2 (small
+			// enough that promotion traffic is visible on the suite, large
+			// enough that the L2 rarely misses).
+			return predict.TwoLevelConfig{
+				L1Entries: 16, L1Assoc: 4,
+				L2Entries: 1024, L2Assoc: 8,
+				CounterConfig: predict.CounterConfig{Bits: 2},
+			}
+		},
 		New: func(ctx predict.SchemeContext) predict.Predictor {
-			p := ctx.Params.OrPaper()
-			l1e, l1a, l2e, l2a := p.TwoLevelGeometry()
-			return NewTwoLevel(l1e, l1a, l2e, l2a, p.CounterBits, p.CounterThreshold)
+			c := ctx.Config("btb2l").(predict.TwoLevelConfig)
+			return NewTwoLevel(c.L1Entries, c.L1Assoc, c.L2Entries, c.L2Assoc, c.Bits, *c.Threshold)
 		},
 	})
 }

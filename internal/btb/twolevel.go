@@ -25,6 +25,7 @@ import (
 //     on update, only on promotion.
 type TwoLevel struct {
 	l1, l2    *Buffer
+	bits      int
 	max       uint8 // 2^bits - 1
 	threshold uint8
 
@@ -43,6 +44,7 @@ func NewTwoLevel(l1Entries, l1Assoc, l2Entries, l2Assoc, bits int, threshold uin
 	return &TwoLevel{
 		l1:        NewBuffer(l1Entries, l1Assoc),
 		l2:        c.buf,
+		bits:      bits,
 		max:       c.max,
 		threshold: c.threshold,
 	}
@@ -129,5 +131,14 @@ func (t *TwoLevel) Metrics() map[string]int64 {
 	for k, v := range t.l2.metrics() {
 		m["l2_"+k] = v
 	}
+	m["storage_bits"] = t.StorageBits()
 	return m
+}
+
+// StorageBits implements predict.StorageSized: both levels' lines, each
+// carrying a counter copy.
+func (t *TwoLevel) StorageBits() int64 {
+	perEntry := int64(t.bits)
+	return t.l1.storageBits() + int64(t.l1.Entries())*perEntry +
+		t.l2.storageBits() + int64(t.l2.Entries())*perEntry
 }

@@ -18,9 +18,10 @@ import (
 	"fmt"
 	"time"
 
-	_ "branchcost/internal/btb" // registers the sbtb/cbtb schemes
+	_ "branchcost/internal/btb" // registers the sbtb/cbtb/btb2l schemes
 	"branchcost/internal/corpus"
 	"branchcost/internal/fs"
+	_ "branchcost/internal/history" // registers the history-based schemes
 	"branchcost/internal/icache"
 	"branchcost/internal/isa"
 	"branchcost/internal/pipeline"
@@ -106,6 +107,11 @@ type Config struct {
 	// runaway workload into a located trap instead of a hung suite. Zero
 	// means the VM default (1<<34).
 	MaxVMSteps int64
+
+	// SchemeConfigs carries per-scheme configuration overrides (typically
+	// parsed from -scheme-opt flags) layered over both the registry defaults
+	// and the flat geometry fields above; an override here wins over both.
+	SchemeConfigs predict.ConfigSet
 }
 
 // Ptr returns a pointer to v, for the Config fields with pointer-or-nil
@@ -149,17 +155,26 @@ func (c Config) withDefaults() Config {
 	return d
 }
 
-// Params returns the resolved hardware parameters as the registry's
-// constructor input.
-func (c Config) Params() predict.Params {
+// Configs returns the resolved per-scheme configuration set the registry's
+// constructors consume: the flat geometry fields expressed as typed
+// overrides, with Config.SchemeConfigs layered on top.
+func (c Config) Configs() predict.ConfigSet {
 	d := c.withDefaults()
-	return predict.Params{
-		SBTBEntries: d.SBTBEntries, SBTBAssoc: d.SBTBAssoc,
-		CBTBEntries: d.CBTBEntries, CBTBAssoc: d.CBTBAssoc,
-		CounterBits: d.CounterBits, CounterThreshold: *d.CounterThreshold,
-		L1Entries: d.BTBL1Entries, L1Assoc: d.BTBL1Assoc,
-		L2Entries: d.BTBL2Entries, L2Assoc: d.BTBL2Assoc,
+	cs := predict.ConfigSet{
+		"sbtb": predict.SBTBConfig{
+			BTBGeometry: predict.BTBGeometry{Entries: d.SBTBEntries, Assoc: d.SBTBAssoc},
+		},
+		"cbtb": predict.CBTBConfig{
+			BTBGeometry:   predict.BTBGeometry{Entries: d.CBTBEntries, Assoc: d.CBTBAssoc},
+			CounterConfig: predict.CounterConfig{Bits: d.CounterBits, Threshold: d.CounterThreshold},
+		},
+		"btb2l": predict.TwoLevelConfig{
+			L1Entries: d.BTBL1Entries, L1Assoc: d.BTBL1Assoc,
+			L2Entries: d.BTBL2Entries, L2Assoc: d.BTBL2Assoc,
+			CounterConfig: predict.CounterConfig{Bits: d.CounterBits, Threshold: d.CounterThreshold},
+		},
 	}
+	return predict.MergeSets(cs, c.SchemeConfigs)
 }
 
 // SchemeResult is one scheme's score on one benchmark.
@@ -481,12 +496,12 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 		ev    *predict.Evaluator
 		cycle *pipeline.CycleSim
 	}
-	params := cfg.Params()
+	configs := cfg.Configs()
 	jobs := make([]*job, len(schemes))
 	var replayHooks []vm.BranchFunc
 	var transformed []*job
 	for i, sc := range schemes {
-		sctx := predict.SchemeContext{Prog: prog, Profile: e.Profile, Params: params}
+		sctx := predict.SchemeContext{Prog: prog, Profile: e.Profile, Configs: configs}
 		if sc.Transformed {
 			sctx.Prog = fsRes.Prog
 		}

@@ -7,6 +7,7 @@ import (
 	"branchcost/internal/compile"
 	"branchcost/internal/core"
 	"branchcost/internal/pipeline"
+	"branchcost/internal/predict"
 	"branchcost/internal/workloads"
 )
 
@@ -102,12 +103,14 @@ func TestZeroCounterThresholdExpressible(t *testing.T) {
 	if zero.CBTB().Stats == dflt.CBTB().Stats {
 		t.Fatal("CounterThreshold: 0 was silently replaced by the default")
 	}
-	if p := (core.Config{}).Params(); p.CounterThreshold != 2 {
-		t.Fatalf("default threshold = %d, want 2", p.CounterThreshold)
+	c := (core.Config{}).Configs().Resolved("cbtb").(predict.CBTBConfig)
+	if got := c.ThresholdValue(); got != 2 {
+		t.Fatalf("default threshold = %d, want 2", got)
 	}
 	cfg := core.Config{CounterThreshold: core.Ptr[uint8](0)}
-	if p := cfg.Params(); p.CounterThreshold != 0 {
-		t.Fatalf("explicit zero threshold resolved to %d", p.CounterThreshold)
+	c = cfg.Configs().Resolved("cbtb").(predict.CBTBConfig)
+	if got := c.ThresholdValue(); got != 0 {
+		t.Fatalf("explicit zero threshold resolved to %d", got)
 	}
 }
 

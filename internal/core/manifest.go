@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"branchcost/internal/predict"
 	"branchcost/internal/telemetry"
 )
 
@@ -42,6 +43,10 @@ type ManifestConfig struct {
 	EvalSlots        int      `json:"eval_slots"`
 	FlushEvery       int64    `json:"flush_every,omitempty"`
 	Schemes          []string `json:"schemes"`
+
+	// SchemeConfigs is each scored scheme's fully resolved configuration
+	// (predict.DescribeOptions rendering), for schemes that have one.
+	SchemeConfigs map[string]string `json:"scheme_configs,omitempty"`
 }
 
 // ManifestScheme is one scheme's scores in a run manifest.
@@ -112,6 +117,15 @@ func (e *Eval) Manifest() *Manifest {
 	}
 	if cfg.EvalSlots != nil {
 		m.Config.EvalSlots = *cfg.EvalSlots
+	}
+	configs := cfg.Configs()
+	for _, name := range e.Order {
+		if resolved := configs.Resolved(name); resolved != nil {
+			if m.Config.SchemeConfigs == nil {
+				m.Config.SchemeConfigs = make(map[string]string)
+			}
+			m.Config.SchemeConfigs[name] = predict.DescribeOptions(resolved)
+		}
 	}
 	if e.Trace != nil {
 		m.TraceEvents = int64(e.Trace.Len())

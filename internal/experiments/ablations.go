@@ -153,22 +153,30 @@ func AssocSweep(s *Suite, names []string) ([]AssocSweepRow, *stats.Table, error)
 
 // CtxSwitchRow shows scheme accuracies under periodic predictor flushes.
 type CtxSwitchRow struct {
-	FlushEvery int64 // 0 = never
-	SBTBAcc    float64
-	CBTBAcc    float64
-	FSAcc      float64
+	FlushEvery    int64 // 0 = never
+	SBTBAcc       float64
+	CBTBAcc       float64
+	GShareAcc     float64
+	LocalAcc      float64
+	PerceptronAcc float64
+	TAGEAcc       float64
+	FSAcc         float64
 }
 
 // ContextSwitch simulates context switching by flushing the hardware
 // predictors every N branches. The paper's §3 predicts the hardware schemes
 // degrade while the Forward Semantic is unaffected. Each flush period
-// replays the cached trace with fresh BTB instances; the Forward Semantic
-// predictor is stateless (Reset is a no-op), so its accuracy is taken from
-// the base evaluation — flushing cannot change it.
+// replays the cached trace with fresh predictor instances; the Forward
+// Semantic predictor is stateless (Reset is a no-op), so its accuracy is
+// taken from the base evaluation — flushing cannot change it. The
+// history-based schemes sit in the same sweep: their larger warm-up state
+// (histories, pattern tables, weights) makes them the most
+// context-switch-sensitive column of the table.
 func ContextSwitch(s *Suite, names []string) ([]CtxSwitchRow, *stats.Table, error) {
 	periods := []int64{0, 100000, 10000, 1000}
+	historySchemes := []string{"gshare", "local", "perceptron", "tage"}
 	rows := make([]CtxSwitchRow, len(periods))
-	params := s.Cfg.Params()
+	configs := s.Cfg.Configs()
 	for i, p := range periods {
 		rows[i].FlushEvery = p
 		for _, name := range names {
@@ -177,32 +185,48 @@ func ContextSwitch(s *Suite, names []string) ([]CtxSwitchRow, *stats.Table, erro
 				return nil, nil, err
 			}
 			rows[i].FSAcc += e.FS().Stats.Accuracy()
+			var evs []*predict.Evaluator
+			if p != 0 {
+				evs = append(evs,
+					&predict.Evaluator{P: newScheme("sbtb", e, configs), FlushEvery: p},
+					&predict.Evaluator{P: newScheme("cbtb", e, configs), FlushEvery: p})
+			}
+			histAt := len(evs)
+			for _, h := range historySchemes {
+				evs = append(evs, &predict.Evaluator{P: newScheme(h, e, configs), FlushEvery: p})
+			}
+			replayEvaluators(e.Trace, evs)
 			if p == 0 {
 				rows[i].SBTBAcc += e.SBTB().Stats.Accuracy()
 				rows[i].CBTBAcc += e.CBTB().Stats.Accuracy()
-				continue
+			} else {
+				rows[i].SBTBAcc += evs[0].S.Accuracy()
+				rows[i].CBTBAcc += evs[1].S.Accuracy()
 			}
-			evs := []*predict.Evaluator{
-				{P: newScheme("sbtb", e, params), FlushEvery: p},
-				{P: newScheme("cbtb", e, params), FlushEvery: p},
-			}
-			replayEvaluators(e.Trace, evs)
-			rows[i].SBTBAcc += evs[0].S.Accuracy()
-			rows[i].CBTBAcc += evs[1].S.Accuracy()
+			rows[i].GShareAcc += evs[histAt].S.Accuracy()
+			rows[i].LocalAcc += evs[histAt+1].S.Accuracy()
+			rows[i].PerceptronAcc += evs[histAt+2].S.Accuracy()
+			rows[i].TAGEAcc += evs[histAt+3].S.Accuracy()
 		}
 		n := float64(len(names))
 		rows[i].SBTBAcc /= n
 		rows[i].CBTBAcc /= n
+		rows[i].GShareAcc /= n
+		rows[i].LocalAcc /= n
+		rows[i].PerceptronAcc /= n
+		rows[i].TAGEAcc /= n
 		rows[i].FSAcc /= n
 	}
 	t := stats.NewTable("Ablation: context switching (flush hardware predictors every N branches)",
-		"Flush period", "A_SBTB", "A_CBTB", "A_FS")
+		"Flush period", "A_SBTB", "A_CBTB", "A_gshare", "A_local", "A_perc", "A_TAGE", "A_FS")
 	for _, r := range rows {
 		label := "never"
 		if r.FlushEvery > 0 {
 			label = fmt.Sprintf("%d", r.FlushEvery)
 		}
-		t.AddRow(label, stats.Pct(r.SBTBAcc), stats.Pct(r.CBTBAcc), stats.Pct(r.FSAcc))
+		t.AddRow(label, stats.Pct(r.SBTBAcc), stats.Pct(r.CBTBAcc),
+			stats.Pct(r.GShareAcc), stats.Pct(r.LocalAcc),
+			stats.Pct(r.PerceptronAcc), stats.Pct(r.TAGEAcc), stats.Pct(r.FSAcc))
 	}
 	return rows, t, nil
 }
@@ -222,7 +246,7 @@ type StaticRow struct {
 func StaticSchemes(s *Suite, names []string) ([]StaticRow, *stats.Table, error) {
 	labels := []string{"always-taken", "always-not-taken", "btfnt", "opcode-bias"}
 	sums := make([]float64, len(labels))
-	params := s.Cfg.Params()
+	configs := s.Cfg.Configs()
 	for _, name := range names {
 		e, err := s.Eval(name)
 		if err != nil {
@@ -230,7 +254,7 @@ func StaticSchemes(s *Suite, names []string) ([]StaticRow, *stats.Table, error) 
 		}
 		evs := make([]*predict.Evaluator, len(labels))
 		for i, l := range labels {
-			evs[i] = &predict.Evaluator{P: newScheme(l, e, params)}
+			evs[i] = &predict.Evaluator{P: newScheme(l, e, configs)}
 		}
 		replayEvaluators(e.Trace, evs)
 		for i := range labels {

@@ -27,8 +27,9 @@ const (
 var FrontendWidths = []int{1, 2, 4, 8}
 
 // FrontendSchemes is the scheme axis: the paper's hardware schemes, the
-// two-level BTB extension, and the Forward Semantic software scheme.
-var FrontendSchemes = []string{"sbtb", "cbtb", "btb2l", "fs"}
+// two-level BTB extension, the history-based predictor zoo, and the Forward
+// Semantic software scheme.
+var FrontendSchemes = []string{"sbtb", "cbtb", "btb2l", "gshare", "local", "perceptron", "tage", "fs"}
 
 // FrontendRow is one (width, scheme) point of the frontend sweep, averaged
 // over benchmarks: the trace-driven simulation cost per branch next to the
@@ -64,7 +65,7 @@ type FrontendCheckRow struct {
 // recorded here, once — the transformed binary's trace for the FS scheme.
 // No per-width live VM pass runs; width only changes how the same stream
 // is packed into fetch groups.
-func frontendSims(e *core.Eval, params predict.Params, widths []int, schemes []string) (map[int]map[string]*pipesim.Sim, error) {
+func frontendSims(e *core.Eval, configs predict.ConfigSet, widths []int, schemes []string) (map[int]map[string]*pipesim.Sim, error) {
 	sims := make(map[int]map[string]*pipesim.Sim, len(widths))
 	var hwHooks, fsSimHooks []vm.BranchFunc
 
@@ -102,7 +103,7 @@ func frontendSims(e *core.Eval, params predict.Params, widths []int, schemes []s
 			if !ok {
 				return nil, fmt.Errorf("frontend: unknown scheme %q", name)
 			}
-			p := sc.New(predict.SchemeContext{Prog: e.Program, Profile: e.Profile, Params: params})
+			p := sc.New(predict.SchemeContext{Prog: e.Program, Profile: e.Profile, Configs: configs})
 			sim := pipesim.New(w, frontendK, frontendL, frontendM, p)
 			sims[w][name] = sim
 			hwHooks = append(hwHooks, sim.TraceHook())
@@ -146,13 +147,13 @@ func FrontendSweep(s *Suite, names []string, widths []int) ([]FrontendRow, *stat
 			res[w][sc] = &agg{}
 		}
 	}
-	params := s.Cfg.Params()
+	configs := s.Cfg.Configs()
 	for _, name := range names {
 		e, err := s.Eval(name)
 		if err != nil {
 			return nil, nil, err
 		}
-		sims, err := frontendSims(e, params, widths, FrontendSchemes)
+		sims, err := frontendSims(e, configs, widths, FrontendSchemes)
 		if err != nil {
 			return nil, nil, fmt.Errorf("frontend: %s: %w", name, err)
 		}
@@ -206,7 +207,7 @@ func FrontendCheck(s *Suite, names []string, widths []int) ([]FrontendCheckRow, 
 	if len(widths) == 0 {
 		widths = FrontendWidths
 	}
-	params := s.Cfg.Params()
+	configs := s.Cfg.Configs()
 	var rows []FrontendCheckRow
 	var bad []string
 	t := stats.NewTable(
@@ -218,7 +219,7 @@ func FrontendCheck(s *Suite, names []string, widths []int) ([]FrontendCheckRow, 
 		if err != nil {
 			return nil, nil, err
 		}
-		sims, err := frontendSims(e, params, widths, FrontendSchemes)
+		sims, err := frontendSims(e, configs, widths, FrontendSchemes)
 		if err != nil {
 			return nil, nil, fmt.Errorf("frontend: %s: %w", name, err)
 		}

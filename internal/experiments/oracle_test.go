@@ -6,7 +6,6 @@ import (
 	"branchcost/internal/core"
 	"branchcost/internal/experiments"
 	"branchcost/internal/oracle"
-	"branchcost/internal/predict"
 )
 
 // TestSuiteManifestsPassOracle closes the loop between the measurement
@@ -37,7 +36,7 @@ func TestSuiteManifestsPassOracle(t *testing.T) {
 		if e.Trace == nil {
 			t.Fatalf("%s: evaluation kept no trace", names[i])
 		}
-		for _, v := range oracle.VerifyTrace(e.Trace, predict.PaperParams) {
+		for _, v := range oracle.VerifyTrace(e.Trace, nil) {
 			if v.Div != nil {
 				t.Errorf("%s: %v", names[i], v.Div)
 			}

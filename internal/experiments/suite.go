@@ -461,19 +461,23 @@ func (s *Suite) AverageAccuracies() (aSBTB, aCBTB, aFS float64, err error) {
 
 // newScheme constructs a registered scheme's predictor against one cached
 // evaluation's program and profile.
-func newScheme(name string, e *core.Eval, params predict.Params) predict.Predictor {
+func newScheme(name string, e *core.Eval, configs predict.ConfigSet) predict.Predictor {
 	return predict.MustLookup(name).New(predict.SchemeContext{
-		Prog: e.Program, Profile: e.Profile, Params: params,
+		Prog: e.Program, Profile: e.Profile, Configs: configs,
 	})
 }
 
-// geometry builds the registry parameters for a swept BTB configuration
+// geometry builds the configuration set for a swept BTB configuration
 // (same geometry for both buffers, as the ablation tables use).
-func geometry(entries, assoc, bits int, threshold uint8) predict.Params {
-	return predict.Params{
-		SBTBEntries: entries, SBTBAssoc: assoc,
-		CBTBEntries: entries, CBTBAssoc: assoc,
-		CounterBits: bits, CounterThreshold: threshold,
+func geometry(entries, assoc, bits int, threshold uint8) predict.ConfigSet {
+	return predict.ConfigSet{
+		"sbtb": predict.SBTBConfig{
+			BTBGeometry: predict.BTBGeometry{Entries: entries, Assoc: assoc},
+		},
+		"cbtb": predict.CBTBConfig{
+			BTBGeometry:   predict.BTBGeometry{Entries: entries, Assoc: assoc},
+			CounterConfig: predict.CounterConfig{Bits: bits, Threshold: predict.Ptr(threshold)},
+		},
 	}
 }
 

@@ -1,0 +1,131 @@
+package history_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"branchcost/internal/history"
+	"branchcost/internal/oracle"
+	"branchcost/internal/predict"
+)
+
+// historyMakers builds one fresh, small instance of each history scheme —
+// small enough that aliasing and eviction are exercised within a few
+// hundred events.
+func historyMakers() map[string]func() predict.Predictor {
+	return map[string]func() predict.Predictor{
+		"gshare":     func() predict.Predictor { return history.NewGShare(8, 7, 2, 2, 16, 4) },
+		"local":      func() predict.Predictor { return history.NewLocal(6, 5, 6, 2, 2, 16, 4) },
+		"perceptron": func() predict.Predictor { return history.NewPerceptron(10, 5, 8, 16, 4) },
+		"tage":       func() predict.Predictor { return history.NewTAGE(3, 5, 4, 6, 2, 16, 3, 2, 16, 4) },
+	}
+}
+
+// TestFlushEveryEqualsChunkedFreshRuns pins the context-switch semantics of
+// every history scheme: an Evaluator flushing every N branches must score
+// exactly what N-event chunks each scored by a brand-new predictor score in
+// total. Any state Reset fails to clear — a stale history bit, a warm
+// counter, an unreset TAGE folded-history register — breaks the identity.
+func TestFlushEveryEqualsChunkedFreshRuns(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for name, mk := range historyMakers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 50; trial++ {
+				g := oracle.Generate(r, oracle.GenConfig{
+					Sites:  6 + r.Intn(26),
+					Events: 100 + r.Intn(400),
+				})
+				n := int64(20 + r.Intn(80))
+				flushed := &predict.Evaluator{P: mk(), FlushEvery: n}
+				for _, ev := range g.Events {
+					flushed.Observe(ev)
+				}
+				var sum predict.Stats
+				for lo := 0; lo < len(g.Events); lo += int(n) {
+					hi := lo + int(n)
+					if hi > len(g.Events) {
+						hi = len(g.Events)
+					}
+					fresh := &predict.Evaluator{P: mk()}
+					for _, ev := range g.Events[lo:hi] {
+						fresh.Observe(ev)
+					}
+					sum.Branches += fresh.S.Branches
+					sum.Correct += fresh.S.Correct
+					sum.DirRight += fresh.S.DirRight
+					sum.Hits += fresh.S.Hits
+					sum.Misses += fresh.S.Misses
+					sum.CondBranches += fresh.S.CondBranches
+					sum.CondCorrect += fresh.S.CondCorrect
+				}
+				if flushed.S != sum {
+					t.Fatalf("trial %d (flush every %d over %d events): flushed run %+v != stitched fresh chunks %+v",
+						trial, n, len(g.Events), flushed.S, sum)
+				}
+			}
+		})
+	}
+}
+
+// TestFlushStormDegradesWithinRewarmup bounds how badly a context-switch
+// storm may hurt a history scheme: the flushed accuracy can trail the
+// unflushed one, but never by more than the warm-up exposure — at worst
+// every one of the first min(warmup, chunk) branches after each flush is a
+// miss that the unflushed run got right. With chunks much longer than the
+// warm-up window, flushing must not destroy the scheme.
+func TestFlushStormDegradesWithinRewarmup(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	for name, mk := range historyMakers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			g := oracle.Generate(r, oracle.GenConfig{Sites: 12, Events: 6000})
+			base := &predict.Evaluator{P: mk()}
+			for _, ev := range g.Events {
+				base.Observe(ev)
+			}
+			const every = 600
+			flushed := &predict.Evaluator{P: mk(), FlushEvery: every}
+			for _, ev := range g.Events {
+				flushed.Observe(ev)
+			}
+			// Every post-flush branch could at worst flip from correct to
+			// wrong while the tables re-warm; charge the whole chunk as the
+			// (loose, provable) warm-up bound.
+			flushes := float64((len(g.Events) - 1) / every)
+			bound := flushes * every / float64(len(g.Events))
+			drop := base.S.Accuracy() - flushed.S.Accuracy()
+			if drop > bound {
+				t.Fatalf("accuracy dropped %.4f under flushing, beyond the re-warmup bound %.4f (base %.4f, flushed %.4f)",
+					drop, bound, base.S.Accuracy(), flushed.S.Accuracy())
+			}
+		})
+	}
+}
+
+// TestStorageBitsPositiveAndMonotonic sanity-checks the storage accounting:
+// every geometry reports positive state, and growing a table grows it.
+func TestStorageBitsPositiveAndMonotonic(t *testing.T) {
+	type sized interface{ StorageBits() int64 }
+	small := []sized{
+		history.NewGShare(8, 7, 2, 2, 16, 4),
+		history.NewLocal(6, 5, 6, 2, 2, 16, 4),
+		history.NewPerceptron(10, 5, 8, 16, 4),
+		history.NewTAGE(3, 5, 4, 6, 2, 16, 3, 2, 16, 4),
+	}
+	big := []sized{
+		history.NewGShare(12, 10, 2, 2, 64, 8),
+		history.NewLocal(8, 8, 8, 2, 2, 64, 8),
+		history.NewPerceptron(16, 8, 8, 64, 8),
+		history.NewTAGE(4, 8, 7, 8, 2, 32, 3, 2, 64, 8),
+	}
+	for i := range small {
+		s, b := small[i].StorageBits(), big[i].StorageBits()
+		if s <= 0 {
+			t.Errorf("predictor %d: non-positive storage %d", i, s)
+		}
+		if b <= s {
+			t.Errorf("predictor %d: bigger geometry reports %d bits <= smaller's %d", i, b, s)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package history
+
+import "branchcost/internal/predict"
+
+// The history-based schemes register here, following btb's pattern: the
+// dependency points history -> predict, and core blank-imports this package
+// so every registry consumer sees the full zoo.
+func init() {
+	predict.Register(predict.Scheme{
+		Name:        "gshare",
+		Description: "gshare: global history XORed into a shared counter table (McFarling)",
+		Defaults: func() predict.SchemeConfig {
+			return predict.HistoryConfig{
+				History: 12, Table: 12,
+				CounterConfig: predict.CounterConfig{Bits: 2},
+				TargetEntries: 256, TargetAssoc: 256,
+			}
+		},
+		New: func(ctx predict.SchemeContext) predict.Predictor {
+			c := ctx.Config("gshare").(predict.HistoryConfig)
+			return NewGShare(c.History, c.Table, c.Bits, *c.Threshold, c.TargetEntries, c.TargetAssoc)
+		},
+	})
+	predict.Register(predict.Scheme{
+		Name:        "local",
+		Description: "two-level local: per-site history registers indexing a pattern table (Yeh/Patt)",
+		Defaults: func() predict.SchemeConfig {
+			return predict.HistoryConfig{
+				History: 10, Sites: 10, Table: 10,
+				CounterConfig: predict.CounterConfig{Bits: 2},
+				TargetEntries: 256, TargetAssoc: 256,
+			}
+		},
+		New: func(ctx predict.SchemeContext) predict.Predictor {
+			c := ctx.Config("local").(predict.HistoryConfig)
+			return NewLocal(c.History, c.Sites, c.Table, c.Bits, *c.Threshold, c.TargetEntries, c.TargetAssoc)
+		},
+	})
+	predict.Register(predict.Scheme{
+		Name:        "perceptron",
+		Description: "perceptron: signed weight vectors dotted with global history (Jiménez/Lin)",
+		Defaults: func() predict.SchemeConfig {
+			return predict.PerceptronConfig{
+				History: 16, Table: 8, WeightBits: 8,
+				TargetEntries: 256, TargetAssoc: 256,
+			}
+		},
+		New: func(ctx predict.SchemeContext) predict.Predictor {
+			c := ctx.Config("perceptron").(predict.PerceptronConfig)
+			return NewPerceptron(c.History, c.Table, c.WeightBits, c.TargetEntries, c.TargetAssoc)
+		},
+	})
+	predict.Register(predict.Scheme{
+		Name:        "tage",
+		Description: "TAGE: tagged tables with geometric history lengths (Seznec/Michaud)",
+		Defaults: func() predict.SchemeConfig {
+			return predict.TAGEConfig{
+				Tables: 4, Base: 11, Table: 9, TagBits: 8,
+				MinHist: 4, MaxHist: 64, Bits: 3, UBits: 2,
+				TargetEntries: 256, TargetAssoc: 256,
+			}
+		},
+		New: func(ctx predict.SchemeContext) predict.Predictor {
+			c := ctx.Config("tage").(predict.TAGEConfig)
+			return NewTAGE(c.Tables, c.Base, c.Table, c.TagBits, c.MinHist, c.MaxHist,
+				c.Bits, c.UBits, c.TargetEntries, c.TargetAssoc)
+		},
+	})
+}

@@ -133,15 +133,15 @@ func (v Verdict) OK() bool { return v.Div == nil && v.Err == nil && v.Skipped ==
 // additionally scored through predict.Evaluator and the two independently
 // produced statistics compared, so the evaluator's bookkeeping is verified
 // along with the predictor.
-func VerifyTrace(tr *tracefile.Trace, params predict.Params) []Verdict {
+func VerifyTrace(tr *tracefile.Trace, configs predict.ConfigSet) []Verdict {
 	var out []Verdict
 	for _, name := range predict.Names() {
-		out = append(out, verifyScheme(name, tr, params))
+		out = append(out, verifyScheme(name, tr, configs))
 	}
 	return out
 }
 
-func verifyScheme(name string, tr *tracefile.Trace, params predict.Params) Verdict {
+func verifyScheme(name string, tr *tracefile.Trace, configs predict.ConfigSet) Verdict {
 	v := Verdict{Scheme: name, Events: int64(tr.Len())}
 	sc, ok := predict.Lookup(name)
 	if !ok {
@@ -152,12 +152,12 @@ func verifyScheme(name string, tr *tracefile.Trace, params predict.Params) Verdi
 		v.Skipped = "needs program context"
 		return v
 	}
-	ref, ok := For(name, params, nil)
+	ref, ok := For(name, configs.Resolved(name), nil)
 	if !ok {
 		v.Skipped = "no oracle reference model"
 		return v
 	}
-	stats, div := CheckTrace(name, tr, sc.New(predict.SchemeContext{Params: params}), ref)
+	stats, div := CheckTrace(name, tr, sc.New(predict.SchemeContext{Configs: configs}), ref)
 	v.Stats, v.Div = stats, div
 	if v.Div != nil {
 		return v
@@ -168,7 +168,7 @@ func verifyScheme(name string, tr *tracefile.Trace, params predict.Params) Verdi
 	}
 	// Cross-check the production evaluator's counting against the naive
 	// count above: same trace, fresh predictor, must agree bit for bit.
-	e := &predict.Evaluator{P: sc.New(predict.SchemeContext{Params: params})}
+	e := &predict.Evaluator{P: sc.New(predict.SchemeContext{Configs: configs})}
 	tr.Replay(e.Observe)
 	if e.S != stats {
 		v.Err = fmt.Errorf(

@@ -1,0 +1,539 @@
+package oracle
+
+// Naive reference models of the history-based schemes in internal/history.
+// The production implementations keep packed history registers and update
+// TAGE's folded-history checksums incrementally; the models here store the
+// history as explicit bool slices and recompute every index, fold and dot
+// product from scratch on each event — the most literal transcription of
+// each scheme's definition. As everywhere in this package, no code is
+// shared with the production side (internal/btb and internal/history are
+// never imported).
+
+import (
+	"math"
+
+	"branchcost/internal/predict"
+	"branchcost/internal/vm"
+)
+
+// refTargetCache is the naive target side shared by the history models: a
+// refBuffer with CBTB-style allocation (every executed branch allocates, a
+// target of -1 until first seen taken). Its lookup/insert call sequence
+// matches the production targetCache operation for operation, so the two
+// LRU clocks advance in lockstep.
+type refTargetCache struct{ buf *refBuffer }
+
+func newRefTargetCache(entries, assoc int) refTargetCache {
+	return refTargetCache{buf: newRefBuffer(entries, assoc)}
+}
+
+func (t refTargetCache) lookup(pc int32) (int32, bool) {
+	if e := t.buf.lookup(pc); e != nil {
+		return e.target, true
+	}
+	return -1, false
+}
+
+func (t refTargetCache) update(ev vm.BranchEvent) {
+	e := t.buf.lookup(ev.PC)
+	if e == nil {
+		e = t.buf.insert(ev.PC)
+		e.target = -1
+	}
+	if ev.Taken {
+		e.target = ev.Target
+	}
+}
+
+func (t refTargetCache) reset() { t.buf.reset() }
+
+// boolHist is a fixed-length outcome history, index 0 = most recent.
+type boolHist []bool
+
+// push shifts one outcome in, discarding the oldest.
+func (h boolHist) push(taken bool) {
+	copy(h[1:], h[:len(h)-1])
+	h[0] = taken
+}
+
+// low folds the newest n bits into an integer, bit j = outcome j.
+func (h boolHist) low(n int) uint32 {
+	var v uint32
+	for j := 0; j < n && j < len(h); j++ {
+		if h[j] {
+			v |= 1 << uint(j)
+		}
+	}
+	return v
+}
+
+func (h boolHist) clear() {
+	for i := range h {
+		h[i] = false
+	}
+}
+
+// decide wraps a direction decision in the shared prediction policy: the
+// target cache is consulted for every branch, unconditionals are always
+// taken, and Hit reports cache residency.
+func decide(cache refTargetCache, ev vm.BranchEvent, condTaken bool) predict.Prediction {
+	target, hit := cache.lookup(ev.PC)
+	taken := true
+	if ev.Op.IsCondBranch() {
+		taken = condTaken
+	}
+	if taken {
+		return predict.Prediction{Taken: true, Target: target, Hit: hit}
+	}
+	return predict.Prediction{Taken: false, Hit: hit}
+}
+
+// satInc / satDec are the n-bit saturating counter moves.
+func satInc(c *uint8, max uint8) {
+	if *c < max {
+		*c++
+	}
+}
+
+func satDec(c *uint8) {
+	if *c > 0 {
+		*c--
+	}
+}
+
+// RefGShare is the reference gshare: one counter table indexed by PC XOR
+// global history.
+type RefGShare struct {
+	histLen   int
+	tableLog  int
+	max       uint8
+	threshold uint8
+	hist      boolHist
+	ctr       []uint8
+	cache     refTargetCache
+}
+
+// NewRefGShare returns a reference gshare model.
+func NewRefGShare(histLen, tableLog, bits int, threshold uint8, targetEntries, targetAssoc int) *RefGShare {
+	return &RefGShare{
+		histLen: histLen, tableLog: tableLog,
+		max: uint8(1)<<uint(bits) - 1, threshold: threshold,
+		hist:  make(boolHist, histLen),
+		ctr:   make([]uint8, 1<<uint(tableLog)),
+		cache: newRefTargetCache(targetEntries, targetAssoc),
+	}
+}
+
+func (g *RefGShare) index(pc int32) uint32 {
+	return (uint32(pc) ^ g.hist.low(g.histLen)) & (uint32(1)<<uint(g.tableLog) - 1)
+}
+
+// Name implements predict.Predictor.
+func (g *RefGShare) Name() string { return "oracle:gshare" }
+
+// Predict implements predict.Predictor.
+func (g *RefGShare) Predict(ev vm.BranchEvent) predict.Prediction {
+	return decide(g.cache, ev, g.ctr[g.index(ev.PC)] >= g.threshold)
+}
+
+// Update implements predict.Predictor.
+func (g *RefGShare) Update(ev vm.BranchEvent) {
+	if ev.Op.IsCondBranch() {
+		c := &g.ctr[g.index(ev.PC)]
+		if ev.Taken {
+			satInc(c, g.max)
+		} else {
+			satDec(c)
+		}
+		g.hist.push(ev.Taken)
+	}
+	g.cache.update(ev)
+}
+
+// Reset implements predict.Predictor.
+func (g *RefGShare) Reset() {
+	g.hist.clear()
+	for i := range g.ctr {
+		g.ctr[i] = 0
+	}
+	g.cache.reset()
+}
+
+// RefLocal is the reference two-level local predictor: per-site history
+// registers (direct-mapped, untagged) indexing a shared pattern table.
+type RefLocal struct {
+	histLen   int
+	tableLog  int
+	max       uint8
+	threshold uint8
+	bht       []boolHist
+	pht       []uint8
+	cache     refTargetCache
+}
+
+// NewRefLocal returns a reference local model.
+func NewRefLocal(histLen, siteLog, tableLog, bits int, threshold uint8, targetEntries, targetAssoc int) *RefLocal {
+	bht := make([]boolHist, 1<<uint(siteLog))
+	for i := range bht {
+		bht[i] = make(boolHist, histLen)
+	}
+	return &RefLocal{
+		histLen: histLen, tableLog: tableLog,
+		max: uint8(1)<<uint(bits) - 1, threshold: threshold,
+		bht:   bht,
+		pht:   make([]uint8, 1<<uint(tableLog)),
+		cache: newRefTargetCache(targetEntries, targetAssoc),
+	}
+}
+
+func (l *RefLocal) index(pc int32) uint32 {
+	h := l.bht[uint32(pc)%uint32(len(l.bht))]
+	return h.low(l.histLen) & (uint32(1)<<uint(l.tableLog) - 1)
+}
+
+// Name implements predict.Predictor.
+func (l *RefLocal) Name() string { return "oracle:local" }
+
+// Predict implements predict.Predictor.
+func (l *RefLocal) Predict(ev vm.BranchEvent) predict.Prediction {
+	return decide(l.cache, ev, l.pht[l.index(ev.PC)] >= l.threshold)
+}
+
+// Update implements predict.Predictor.
+func (l *RefLocal) Update(ev vm.BranchEvent) {
+	if ev.Op.IsCondBranch() {
+		c := &l.pht[l.index(ev.PC)]
+		if ev.Taken {
+			satInc(c, l.max)
+		} else {
+			satDec(c)
+		}
+		l.bht[uint32(ev.PC)%uint32(len(l.bht))].push(ev.Taken)
+	}
+	l.cache.update(ev)
+}
+
+// Reset implements predict.Predictor.
+func (l *RefLocal) Reset() {
+	for _, h := range l.bht {
+		h.clear()
+	}
+	for i := range l.pht {
+		l.pht[i] = 0
+	}
+	l.cache.reset()
+}
+
+// RefPerceptron is the reference perceptron predictor. Weights are plain
+// ints; the dot product and the training rule are recomputed literally from
+// the paper's pseudocode.
+type RefPerceptron struct {
+	histLen    int
+	theta      int
+	wmin, wmax int
+	hist       boolHist
+	w          [][]int
+	cache      refTargetCache
+}
+
+// NewRefPerceptron returns a reference perceptron model.
+func NewRefPerceptron(histLen, tableLog, weightBits, targetEntries, targetAssoc int) *RefPerceptron {
+	w := make([][]int, 1<<uint(tableLog))
+	for i := range w {
+		w[i] = make([]int, histLen+1)
+	}
+	return &RefPerceptron{
+		histLen: histLen,
+		theta:   (193*histLen + 1400) / 100, // θ = 1.93h + 14, in integer math
+		wmin:    -(1 << uint(weightBits-1)),
+		wmax:    1<<uint(weightBits-1) - 1,
+		hist:    make(boolHist, histLen),
+		w:       w,
+		cache:   newRefTargetCache(targetEntries, targetAssoc),
+	}
+}
+
+func (p *RefPerceptron) row(pc int32) []int {
+	return p.w[uint32(pc)%uint32(len(p.w))]
+}
+
+func (p *RefPerceptron) output(pc int32) int {
+	row := p.row(pc)
+	y := row[0]
+	for i := 1; i <= p.histLen; i++ {
+		if p.hist[i-1] {
+			y += row[i]
+		} else {
+			y -= row[i]
+		}
+	}
+	return y
+}
+
+// Name implements predict.Predictor.
+func (p *RefPerceptron) Name() string { return "oracle:perceptron" }
+
+// Predict implements predict.Predictor.
+func (p *RefPerceptron) Predict(ev vm.BranchEvent) predict.Prediction {
+	return decide(p.cache, ev, p.output(ev.PC) >= 0)
+}
+
+// Update implements predict.Predictor.
+func (p *RefPerceptron) Update(ev vm.BranchEvent) {
+	if ev.Op.IsCondBranch() {
+		y := p.output(ev.PC)
+		mag := y
+		if mag < 0 {
+			mag = -mag
+		}
+		if (y >= 0) != ev.Taken || mag <= p.theta {
+			row := p.row(ev.PC)
+			t := -1
+			if ev.Taken {
+				t = 1
+			}
+			for i := 0; i <= p.histLen; i++ {
+				x := 1 // the bias input
+				if i > 0 {
+					x = -1
+					if p.hist[i-1] {
+						x = 1
+					}
+				}
+				row[i] += t * x
+				if row[i] < p.wmin {
+					row[i] = p.wmin
+				}
+				if row[i] > p.wmax {
+					row[i] = p.wmax
+				}
+			}
+		}
+		p.hist.push(ev.Taken)
+	}
+	p.cache.update(ev)
+}
+
+// Reset implements predict.Predictor.
+func (p *RefPerceptron) Reset() {
+	p.hist.clear()
+	for _, row := range p.w {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	p.cache.reset()
+}
+
+// refGeoLengths duplicates the geometric history series (the transcription
+// is independent; a mismatch surfaces as a divergence on the first branch
+// whose window length differs).
+func refGeoLengths(n, minHist, maxHist int) []int {
+	lens := make([]int, n)
+	for i := range lens {
+		if i == 0 || n == 1 {
+			lens[i] = minHist
+			continue
+		}
+		r := math.Pow(float64(maxHist)/float64(minHist), float64(i)/float64(n-1))
+		l := int(math.Round(float64(minHist) * r))
+		if l <= lens[i-1] {
+			l = lens[i-1] + 1
+		}
+		if l > maxHist {
+			l = maxHist
+		}
+		lens[i] = l
+	}
+	return lens
+}
+
+// refTageEntry is one tagged-table line.
+type refTageEntry struct {
+	tag uint32
+	ctr uint8
+	u   uint8
+}
+
+// RefTAGE is the reference TAGE. Where the production predictor maintains
+// folded-history registers incrementally, this model recomputes every fold
+// from the bool-slice history on every index and tag calculation.
+type RefTAGE struct {
+	nTables   int
+	baseLog   int
+	tableLog  int
+	tagBits   int
+	max       uint8
+	umax      uint8
+	threshold uint8
+	lens      []int
+
+	base   []uint8
+	tables [][]refTageEntry
+	hist   boolHist
+	cache  refTargetCache
+}
+
+// NewRefTAGE returns a reference TAGE model.
+func NewRefTAGE(nTables, baseLog, tableLog, tagBits, minHist, maxHist, bits, uBits int, targetEntries, targetAssoc int) *RefTAGE {
+	threshold := uint8(1) << uint(bits-1)
+	tables := make([][]refTageEntry, nTables)
+	for i := range tables {
+		tables[i] = make([]refTageEntry, 1<<uint(tableLog))
+	}
+	t := &RefTAGE{
+		nTables: nTables, baseLog: baseLog, tableLog: tableLog, tagBits: tagBits,
+		max:       uint8(1)<<uint(bits) - 1,
+		umax:      uint8(1)<<uint(uBits) - 1,
+		threshold: threshold,
+		lens:      refGeoLengths(nTables, minHist, maxHist),
+		base:      make([]uint8, 1<<uint(baseLog)),
+		tables:    tables,
+		hist:      make(boolHist, maxHist),
+		cache:     newRefTargetCache(targetEntries, targetAssoc),
+	}
+	for i := range t.base {
+		t.base[i] = threshold - 1
+	}
+	return t
+}
+
+// fold compresses the newest L history bits to width w by XOR at j mod w.
+func (t *RefTAGE) fold(L, w int) uint32 {
+	var f uint32
+	for j := 0; j < L; j++ {
+		if t.hist[j] {
+			f ^= 1 << uint(j%w)
+		}
+	}
+	return f
+}
+
+func (t *RefTAGE) index(pc int32, i int) uint32 {
+	L := t.lens[i]
+	return (uint32(pc) ^ uint32(pc)>>uint(t.tableLog) ^ t.fold(L, t.tableLog)) &
+		(uint32(1)<<uint(t.tableLog) - 1)
+}
+
+func (t *RefTAGE) tag(pc int32, i int) uint32 {
+	L := t.lens[i]
+	return (uint32(pc) ^ t.fold(L, t.tagBits) ^ (t.fold(L, t.tagBits-1) << 1)) &
+		(uint32(1)<<uint(t.tagBits) - 1)
+}
+
+// scan returns the provider and alternate table indices (-1 when absent).
+func (t *RefTAGE) scan(pc int32) (provider, alt int) {
+	provider, alt = -1, -1
+	for i := t.nTables - 1; i >= 0; i-- {
+		if t.tables[i][t.index(pc, i)].tag == t.tag(pc, i) {
+			if provider < 0 {
+				provider = i
+			} else {
+				alt = i
+				break
+			}
+		}
+	}
+	return provider, alt
+}
+
+func (t *RefTAGE) basePred(pc int32) bool {
+	return t.base[uint32(pc)%uint32(len(t.base))] >= t.threshold
+}
+
+func (t *RefTAGE) dir(pc int32) bool {
+	provider, _ := t.scan(pc)
+	if provider >= 0 {
+		return t.tables[provider][t.index(pc, provider)].ctr >= t.threshold
+	}
+	return t.basePred(pc)
+}
+
+// Name implements predict.Predictor.
+func (t *RefTAGE) Name() string { return "oracle:tage" }
+
+// Predict implements predict.Predictor.
+func (t *RefTAGE) Predict(ev vm.BranchEvent) predict.Prediction {
+	return decide(t.cache, ev, t.dir(ev.PC))
+}
+
+// Update implements predict.Predictor.
+func (t *RefTAGE) Update(ev vm.BranchEvent) {
+	if ev.Op.IsCondBranch() {
+		t.train(ev.PC, ev.Taken)
+		t.hist.push(ev.Taken)
+	}
+	t.cache.update(ev)
+}
+
+func (t *RefTAGE) train(pc int32, taken bool) {
+	provider, alt := t.scan(pc)
+	var altPred bool
+	if alt >= 0 {
+		altPred = t.tables[alt][t.index(pc, alt)].ctr >= t.threshold
+	} else {
+		altPred = t.basePred(pc)
+	}
+	var pred bool
+	if provider >= 0 {
+		e := &t.tables[provider][t.index(pc, provider)]
+		pred = e.ctr >= t.threshold
+		if taken {
+			satInc(&e.ctr, t.max)
+		} else {
+			satDec(&e.ctr)
+		}
+		if pred != altPred {
+			if pred == taken {
+				satInc(&e.u, t.umax)
+			} else {
+				satDec(&e.u)
+			}
+		}
+	} else {
+		pred = altPred
+		c := &t.base[uint32(pc)%uint32(len(t.base))]
+		if taken {
+			satInc(c, t.max)
+		} else {
+			satDec(c)
+		}
+	}
+	if pred != taken && provider < t.nTables-1 {
+		alloc := -1
+		for j := provider + 1; j < t.nTables; j++ {
+			if t.tables[j][t.index(pc, j)].u == 0 {
+				alloc = j
+				break
+			}
+		}
+		if alloc >= 0 {
+			e := &t.tables[alloc][t.index(pc, alloc)]
+			e.tag = t.tag(pc, alloc)
+			if taken {
+				e.ctr = t.threshold
+			} else {
+				e.ctr = t.threshold - 1
+			}
+			e.u = 0
+		} else {
+			for j := provider + 1; j < t.nTables; j++ {
+				satDec(&t.tables[j][t.index(pc, j)].u)
+			}
+		}
+	}
+}
+
+// Reset implements predict.Predictor.
+func (t *RefTAGE) Reset() {
+	for i := range t.base {
+		t.base[i] = t.threshold - 1
+	}
+	for _, tbl := range t.tables {
+		for j := range tbl {
+			tbl[j] = refTageEntry{}
+		}
+	}
+	t.hist.clear()
+	t.cache.reset()
+}

@@ -26,11 +26,11 @@ func TestConcatConsistency(t *testing.T) {
 		a, b := g.Events[:cut], g.Events[cut:]
 		trA, trB, trAll := traceOf(a), traceOf(b), traceOf(g.Events)
 
-		for _, name := range []string{"sbtb", "cbtb", "always-not-taken"} {
-			params := fuzzGeometries[n%len(fuzzGeometries)]
-			whole := &predict.Evaluator{P: schemeUnderTest(t, name, params, g)}
+		for _, name := range []string{"sbtb", "cbtb", "gshare", "local", "perceptron", "tage", "always-not-taken"} {
+			configs := fuzzGeometries[n%len(fuzzGeometries)]
+			whole := &predict.Evaluator{P: schemeUnderTest(t, name, configs, g)}
 			trAll.Replay(whole.Observe)
-			split := &predict.Evaluator{P: schemeUnderTest(t, name, params, g)}
+			split := &predict.Evaluator{P: schemeUnderTest(t, name, configs, g)}
 			trA.Replay(split.Observe)
 			trB.Replay(split.Observe)
 			if whole.S != split.S {
@@ -62,13 +62,15 @@ func TestBTBHitMonotonicity(t *testing.T) {
 		for _, name := range []string{"sbtb", "cbtb"} {
 			prevHits := int64(-1)
 			for _, size := range sizes {
-				params := predict.Params{
-					SBTBEntries: size, SBTBAssoc: size,
-					CBTBEntries: size, CBTBAssoc: size,
-					CounterBits: 2, CounterThreshold: 2,
+				configs := predict.ConfigSet{
+					"sbtb": predict.SBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: size, Assoc: size}},
+					"cbtb": predict.CBTBConfig{
+						BTBGeometry:   predict.BTBGeometry{Entries: size, Assoc: size},
+						CounterConfig: predict.CounterConfig{Bits: 2, Threshold: predict.Ptr[uint8](2)},
+					},
 				}
 				stats, div := oracle.CheckEvents(name, g.Events,
-					schemeUnderTest(t, name, params, g), oracleFor(t, name, params, g))
+					schemeUnderTest(t, name, configs, g), oracleFor(t, name, configs, g))
 				if div != nil {
 					t.Fatalf("trace %d, %s@%d: %v", n, name, size, div)
 				}
@@ -102,11 +104,13 @@ func TestCounterThresholdSymmetry(t *testing.T) {
 		}
 		for thr := uint8(1); thr <= maxC; thr++ {
 			mirror := maxC + 1 - thr
-			params := predict.Params{
-				SBTBEntries: 16, SBTBAssoc: 4, CBTBEntries: 16, CBTBAssoc: 4,
-				CounterBits: bits, CounterThreshold: thr,
+			configs := predict.ConfigSet{
+				"cbtb": predict.CBTBConfig{
+					BTBGeometry:   predict.BTBGeometry{Entries: 16, Assoc: 4},
+					CounterConfig: predict.CounterConfig{Bits: bits, Threshold: predict.Ptr(thr)},
+				},
 			}
-			fwd := predict.MustLookup("cbtb").New(predict.SchemeContext{Params: params})
+			fwd := predict.MustLookup("cbtb").New(predict.SchemeContext{Configs: configs})
 			rev := oracle.NewRefCBTB(16, 4, bits, mirror)
 			for i := range g.Events {
 				pf := fwd.Predict(g.Events[i])
@@ -165,12 +169,12 @@ func TestCheckStatsRejectsCorrupt(t *testing.T) {
 		t.Fatalf("consistent stats rejected: %v", err)
 	}
 	bad := []predict.Stats{
-		{Branches: 10, Hits: 5, Misses: 4},                               // hits+misses short
-		{Branches: 10, Hits: 8, Misses: 2, Correct: 7, DirRight: 6},      // correct > dirRight
-		{Branches: 10, Hits: 8, Misses: 2, DirRight: 11},                 // dirRight > branches
-		{Branches: 10, Hits: 8, Misses: 2, CondBranches: 11},             // cond > branches
+		{Branches: 10, Hits: 5, Misses: 4},                                  // hits+misses short
+		{Branches: 10, Hits: 8, Misses: 2, Correct: 7, DirRight: 6},         // correct > dirRight
+		{Branches: 10, Hits: 8, Misses: 2, DirRight: 11},                    // dirRight > branches
+		{Branches: 10, Hits: 8, Misses: 2, CondBranches: 11},                // cond > branches
 		{Branches: 10, Hits: 8, Misses: 2, CondBranches: 4, CondCorrect: 5}, // condCorrect > cond
-		{Branches: -1, Hits: -1},                                         // negative
+		{Branches: -1, Hits: -1},                                            // negative
 	}
 	for i, s := range bad {
 		if err := oracle.CheckStats(s); err == nil {

@@ -306,19 +306,49 @@ func (RefLikelyBit) Reset() {}
 
 // For returns the oracle twin of the registered scheme name, or false when
 // the package has no reference model for it (unknown names, schemes whose
-// model needs aggregate profile data like opcode-bias). Schemes whose
-// predictions consult static branch targets need a non-nil targets
-// resolver; without one only the target-free models are available.
-func For(name string, p predict.Params, targets TargetFunc) (predict.Predictor, bool) {
-	p = p.OrPaper()
+// model needs aggregate profile data like opcode-bias). cfg is the scheme's
+// resolved configuration (a nil cfg resolves the registry defaults — the
+// paper's configuration); a cfg of the wrong concrete type yields no model.
+// Schemes whose predictions consult static branch targets need a non-nil
+// targets resolver; without one only the target-free models are available.
+func For(name string, cfg predict.SchemeConfig, targets TargetFunc) (predict.Predictor, bool) {
+	if cfg == nil {
+		cfg = predict.ConfigSet(nil).Resolved(name)
+	}
 	switch name {
 	case "sbtb":
-		return NewRefSBTB(p.SBTBEntries, p.SBTBAssoc), true
+		if c, ok := cfg.(predict.SBTBConfig); ok {
+			return NewRefSBTB(c.Entries, c.Assoc), true
+		}
 	case "cbtb":
-		return NewRefCBTB(p.CBTBEntries, p.CBTBAssoc, p.CounterBits, p.CounterThreshold), true
+		if c, ok := cfg.(predict.CBTBConfig); ok {
+			return NewRefCBTB(c.Entries, c.Assoc, c.Bits, c.ThresholdValue()), true
+		}
 	case "btb2l":
-		l1e, l1a, l2e, l2a := p.TwoLevelGeometry()
-		return NewRefTwoLevel(l1e, l1a, l2e, l2a, p.CounterBits, p.CounterThreshold), true
+		if c, ok := cfg.(predict.TwoLevelConfig); ok {
+			return NewRefTwoLevel(c.L1Entries, c.L1Assoc, c.L2Entries, c.L2Assoc,
+				c.Bits, c.ThresholdValue()), true
+		}
+	case "gshare":
+		if c, ok := cfg.(predict.HistoryConfig); ok {
+			return NewRefGShare(c.History, c.Table, c.Bits, c.ThresholdValue(),
+				c.TargetEntries, c.TargetAssoc), true
+		}
+	case "local":
+		if c, ok := cfg.(predict.HistoryConfig); ok {
+			return NewRefLocal(c.History, c.Sites, c.Table, c.Bits, c.ThresholdValue(),
+				c.TargetEntries, c.TargetAssoc), true
+		}
+	case "perceptron":
+		if c, ok := cfg.(predict.PerceptronConfig); ok {
+			return NewRefPerceptron(c.History, c.Table, c.WeightBits,
+				c.TargetEntries, c.TargetAssoc), true
+		}
+	case "tage":
+		if c, ok := cfg.(predict.TAGEConfig); ok {
+			return NewRefTAGE(c.Tables, c.Base, c.Table, c.TagBits, c.MinHist, c.MaxHist,
+				c.Bits, c.UBits, c.TargetEntries, c.TargetAssoc), true
+		}
 	case "always-not-taken":
 		return RefAlwaysNotTaken{}, true
 	case "always-taken":

@@ -5,7 +5,8 @@ import (
 	"strings"
 	"testing"
 
-	_ "branchcost/internal/btb" // register sbtb/cbtb
+	_ "branchcost/internal/btb"     // register sbtb/cbtb/btb2l
+	_ "branchcost/internal/history" // register gshare/local/perceptron/tage
 	"branchcost/internal/isa"
 	"branchcost/internal/oracle"
 	"branchcost/internal/predict"
@@ -17,32 +18,108 @@ import (
 // the verification subsystem is 10k per scheme with zero divergences.
 const fuzzTracesPerScheme = 10_000
 
-// fuzzGeometries are the buffer configurations the fuzzer rotates through:
-// deliberately small so eviction and set conflicts dominate, with a mix of
-// fully-associative and set-associative shapes and counter widths.
-var fuzzGeometries = []predict.Params{
-	{SBTBEntries: 16, SBTBAssoc: 4, CBTBEntries: 16, CBTBAssoc: 4, CounterBits: 2, CounterThreshold: 2,
-		L1Entries: 4, L1Assoc: 2, L2Entries: 16, L2Assoc: 4},
-	{SBTBEntries: 32, SBTBAssoc: 32, CBTBEntries: 32, CBTBAssoc: 32, CounterBits: 2, CounterThreshold: 3,
-		L1Entries: 8, L1Assoc: 8, L2Entries: 32, L2Assoc: 32},
-	{SBTBEntries: 8, SBTBAssoc: 8, CBTBEntries: 8, CBTBAssoc: 8, CounterBits: 1, CounterThreshold: 1,
-		L1Entries: 2, L1Assoc: 1, L2Entries: 8, L2Assoc: 2},
-	{SBTBEntries: 64, SBTBAssoc: 16, CBTBEntries: 64, CBTBAssoc: 16, CounterBits: 3, CounterThreshold: 4,
-		L1Entries: 8, L1Assoc: 4, L2Entries: 64, L2Assoc: 16},
-	{SBTBEntries: 24, SBTBAssoc: 2, CBTBEntries: 24, CBTBAssoc: 2, CounterBits: 2, CounterThreshold: 0,
-		L1Entries: 4, L1Assoc: 4, L2Entries: 24, L2Assoc: 2},
+// fuzzGeometries are the configurations the fuzzer rotates through:
+// deliberately small so eviction, set conflicts and history aliasing
+// dominate, with a mix of fully-associative and set-associative shapes,
+// counter widths, history lengths and table sizes.
+var fuzzGeometries = []predict.ConfigSet{
+	{
+		"sbtb": predict.SBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 16, Assoc: 4}},
+		"cbtb": predict.CBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 16, Assoc: 4},
+			CounterConfig: predict.CounterConfig{Bits: 2, Threshold: predict.Ptr[uint8](2)}},
+		"btb2l": predict.TwoLevelConfig{L1Entries: 4, L1Assoc: 2, L2Entries: 16, L2Assoc: 4,
+			CounterConfig: predict.CounterConfig{Bits: 2, Threshold: predict.Ptr[uint8](2)}},
+		"gshare": predict.HistoryConfig{History: 6, Table: 6,
+			CounterConfig: predict.CounterConfig{Bits: 2, Threshold: predict.Ptr[uint8](2)},
+			TargetEntries: 16, TargetAssoc: 4},
+		"local": predict.HistoryConfig{History: 5, Sites: 4, Table: 5,
+			CounterConfig: predict.CounterConfig{Bits: 2},
+			TargetEntries: 16, TargetAssoc: 4},
+		"perceptron": predict.PerceptronConfig{History: 8, Table: 4, WeightBits: 6,
+			TargetEntries: 16, TargetAssoc: 4},
+		"tage": predict.TAGEConfig{Tables: 3, Base: 5, Table: 4, TagBits: 6,
+			MinHist: 2, MaxHist: 16, Bits: 3, UBits: 2, TargetEntries: 16, TargetAssoc: 4},
+	},
+	{
+		"sbtb": predict.SBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 32, Assoc: 32}},
+		"cbtb": predict.CBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 32, Assoc: 32},
+			CounterConfig: predict.CounterConfig{Bits: 2, Threshold: predict.Ptr[uint8](3)}},
+		"btb2l": predict.TwoLevelConfig{L1Entries: 8, L1Assoc: 8, L2Entries: 32, L2Assoc: 32,
+			CounterConfig: predict.CounterConfig{Bits: 2, Threshold: predict.Ptr[uint8](3)}},
+		"gshare": predict.HistoryConfig{History: 8, Table: 7,
+			CounterConfig: predict.CounterConfig{Bits: 2, Threshold: predict.Ptr[uint8](3)},
+			TargetEntries: 32, TargetAssoc: 32},
+		"local": predict.HistoryConfig{History: 6, Sites: 5, Table: 6,
+			CounterConfig: predict.CounterConfig{Bits: 3},
+			TargetEntries: 32, TargetAssoc: 32},
+		"perceptron": predict.PerceptronConfig{History: 12, Table: 5, WeightBits: 8,
+			TargetEntries: 32, TargetAssoc: 32},
+		"tage": predict.TAGEConfig{Tables: 4, Base: 6, Table: 5, TagBits: 7,
+			MinHist: 3, MaxHist: 24, Bits: 2, UBits: 1, TargetEntries: 32, TargetAssoc: 32},
+	},
+	{
+		"sbtb": predict.SBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 8, Assoc: 8}},
+		"cbtb": predict.CBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 8, Assoc: 8},
+			CounterConfig: predict.CounterConfig{Bits: 1, Threshold: predict.Ptr[uint8](1)}},
+		"btb2l": predict.TwoLevelConfig{L1Entries: 2, L1Assoc: 1, L2Entries: 8, L2Assoc: 2,
+			CounterConfig: predict.CounterConfig{Bits: 1, Threshold: predict.Ptr[uint8](1)}},
+		"gshare": predict.HistoryConfig{History: 4, Table: 4,
+			CounterConfig: predict.CounterConfig{Bits: 1},
+			TargetEntries: 8, TargetAssoc: 8},
+		"local": predict.HistoryConfig{History: 3, Sites: 3, Table: 4,
+			CounterConfig: predict.CounterConfig{Bits: 1},
+			TargetEntries: 8, TargetAssoc: 8},
+		"perceptron": predict.PerceptronConfig{History: 4, Table: 3, WeightBits: 4,
+			TargetEntries: 8, TargetAssoc: 8},
+		"tage": predict.TAGEConfig{Tables: 2, Base: 4, Table: 3, TagBits: 4,
+			MinHist: 1, MaxHist: 8, Bits: 2, UBits: 1, TargetEntries: 8, TargetAssoc: 8},
+	},
+	{
+		"sbtb": predict.SBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 64, Assoc: 16}},
+		"cbtb": predict.CBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 64, Assoc: 16},
+			CounterConfig: predict.CounterConfig{Bits: 3, Threshold: predict.Ptr[uint8](4)}},
+		"btb2l": predict.TwoLevelConfig{L1Entries: 8, L1Assoc: 4, L2Entries: 64, L2Assoc: 16,
+			CounterConfig: predict.CounterConfig{Bits: 3, Threshold: predict.Ptr[uint8](4)}},
+		"gshare": predict.HistoryConfig{History: 10, Table: 8,
+			CounterConfig: predict.CounterConfig{Bits: 3, Threshold: predict.Ptr[uint8](4)},
+			TargetEntries: 64, TargetAssoc: 16},
+		"local": predict.HistoryConfig{History: 8, Sites: 6, Table: 8,
+			CounterConfig: predict.CounterConfig{Bits: 3},
+			TargetEntries: 64, TargetAssoc: 16},
+		"perceptron": predict.PerceptronConfig{History: 16, Table: 6, WeightBits: 7,
+			TargetEntries: 64, TargetAssoc: 16},
+		"tage": predict.TAGEConfig{Tables: 5, Base: 7, Table: 6, TagBits: 8,
+			MinHist: 4, MaxHist: 32, Bits: 3, UBits: 2, TargetEntries: 64, TargetAssoc: 16},
+	},
+	{
+		"sbtb": predict.SBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 24, Assoc: 2}},
+		"cbtb": predict.CBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 24, Assoc: 2},
+			CounterConfig: predict.CounterConfig{Bits: 2, Threshold: predict.Ptr[uint8](0)}},
+		"btb2l": predict.TwoLevelConfig{L1Entries: 4, L1Assoc: 4, L2Entries: 24, L2Assoc: 2,
+			CounterConfig: predict.CounterConfig{Bits: 2, Threshold: predict.Ptr[uint8](0)}},
+		"gshare": predict.HistoryConfig{History: 7, Table: 6,
+			CounterConfig: predict.CounterConfig{Bits: 2, Threshold: predict.Ptr[uint8](0)},
+			TargetEntries: 24, TargetAssoc: 2},
+		"local": predict.HistoryConfig{History: 5, Sites: 5, Table: 5,
+			CounterConfig: predict.CounterConfig{Bits: 2, Threshold: predict.Ptr[uint8](0)},
+			TargetEntries: 24, TargetAssoc: 2},
+		"perceptron": predict.PerceptronConfig{History: 10, Table: 4, WeightBits: 5,
+			TargetEntries: 24, TargetAssoc: 2},
+		"tage": predict.TAGEConfig{Tables: 3, Base: 5, Table: 5, TagBits: 5,
+			MinHist: 2, MaxHist: 12, Bits: 2, UBits: 2, TargetEntries: 24, TargetAssoc: 2},
+	},
 }
 
 // schemeUnderTest constructs the production predictor for a scheme name on
 // a generated trace: registry constructors for the context-free schemes,
 // direct construction with the generated target resolver for the statics
 // (whose registry constructors demand a compiled program).
-func schemeUnderTest(t testing.TB, name string, p predict.Params, g *oracle.Generated) predict.Predictor {
+func schemeUnderTest(t testing.TB, name string, cs predict.ConfigSet, g *oracle.Generated) predict.Predictor {
 	t.Helper()
 	res := predict.TargetFunc(g.Targets)
 	switch name {
-	case "sbtb", "cbtb", "btb2l", "always-not-taken":
-		return predict.MustLookup(name).New(predict.SchemeContext{Params: p})
+	case "sbtb", "cbtb", "btb2l", "gshare", "local", "perceptron", "tage", "always-not-taken":
+		return predict.MustLookup(name).New(predict.SchemeContext{Configs: cs})
 	case "always-taken":
 		return predict.AlwaysTaken{Targets: res}
 	case "btfnt":
@@ -54,9 +131,9 @@ func schemeUnderTest(t testing.TB, name string, p predict.Params, g *oracle.Gene
 	return nil
 }
 
-func oracleFor(t testing.TB, name string, p predict.Params, g *oracle.Generated) predict.Predictor {
+func oracleFor(t testing.TB, name string, cs predict.ConfigSet, g *oracle.Generated) predict.Predictor {
 	t.Helper()
-	ref, ok := oracle.For(name, p, g.Targets)
+	ref, ok := oracle.For(name, cs.Resolved(name), g.Targets)
 	if !ok {
 		t.Fatalf("no oracle model for %q", name)
 	}
@@ -69,7 +146,8 @@ func oracleFor(t testing.TB, name string, p predict.Params, g *oracle.Generated)
 // internally consistent statistics. Seeds are fixed, so a failure here
 // reproduces exactly.
 func TestDifferentialFuzz(t *testing.T) {
-	schemes := []string{"sbtb", "cbtb", "btb2l", "always-taken", "always-not-taken", "btfnt", "fs"}
+	schemes := []string{"sbtb", "cbtb", "btb2l", "gshare", "local", "perceptron", "tage",
+		"always-taken", "always-not-taken", "btfnt", "fs"}
 	for si, name := range schemes {
 		name := name
 		seed := int64(0xD1FF + si)
@@ -81,9 +159,9 @@ func TestDifferentialFuzz(t *testing.T) {
 					Sites:  4 + r.Intn(44),
 					Events: 32 + r.Intn(288),
 				})
-				params := fuzzGeometries[n%len(fuzzGeometries)]
+				configs := fuzzGeometries[n%len(fuzzGeometries)]
 				stats, div := oracle.CheckEvents(name,
-					g.Events, schemeUnderTest(t, name, params, g), oracleFor(t, name, params, g))
+					g.Events, schemeUnderTest(t, name, configs, g), oracleFor(t, name, configs, g))
 				if div != nil {
 					t.Fatalf("trace %d (seed %d): %v", n, seed, div)
 				}
@@ -103,7 +181,7 @@ func TestDifferentialFuzz(t *testing.T) {
 func TestVerifyTraceClean(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	g := oracle.Generate(r, oracle.GenConfig{Sites: 24, Events: 2048})
-	verdicts := oracle.VerifyTrace(g.Trace(), predict.Params{})
+	verdicts := oracle.VerifyTrace(g.Trace(), nil)
 	checked := 0
 	for _, v := range verdicts {
 		if v.Skipped != "" {
@@ -242,8 +320,9 @@ func TestOracleCatchesSeededOffByOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc := predict.MustLookup("broken-sbtb")
-	params := predict.Params{SBTBEntries: 8, SBTBAssoc: 8,
-		CBTBEntries: 8, CBTBAssoc: 8, CounterBits: 2, CounterThreshold: 2}
+	configs := predict.ConfigSet{
+		"sbtb": predict.SBTBConfig{BTBGeometry: predict.BTBGeometry{Entries: 8, Assoc: 8}},
+	}
 
 	r := rand.New(rand.NewSource(99))
 	var g *oracle.Generated
@@ -251,7 +330,7 @@ func TestOracleCatchesSeededOffByOne(t *testing.T) {
 	for n := 0; n < 1000; n++ {
 		cand := oracle.Generate(r, oracle.GenConfig{Sites: 12, Events: 256})
 		_, d := oracle.CheckEvents("broken-sbtb", cand.Events,
-			sc.New(predict.SchemeContext{Params: params}),
+			sc.New(predict.SchemeContext{Configs: configs}),
 			oracle.NewRefSBTB(8, 8))
 		if d != nil {
 			g, div = cand, d
@@ -276,7 +355,7 @@ func TestOracleCatchesSeededOffByOne(t *testing.T) {
 
 	diverges := func(evs []vm.BranchEvent) bool {
 		_, d := oracle.CheckEvents("broken-sbtb", evs,
-			sc.New(predict.SchemeContext{Params: params}),
+			sc.New(predict.SchemeContext{Configs: configs}),
 			oracle.NewRefSBTB(8, 8))
 		return d != nil
 	}
@@ -356,13 +435,13 @@ func TestReferenceBufferSemantics(t *testing.T) {
 // ablation's Reset path) must not open a gap between scheme and oracle.
 func TestResetLockstep(t *testing.T) {
 	r := rand.New(rand.NewSource(23))
-	params := fuzzGeometries[0]
+	configs := fuzzGeometries[0]
 	for n := 0; n < 200; n++ {
 		g := oracle.Generate(r, oracle.GenConfig{Sites: 20, Events: 300})
-		for _, name := range []string{"sbtb", "cbtb"} {
+		for _, name := range []string{"sbtb", "cbtb", "gshare", "local", "perceptron", "tage"} {
 			every := 17 + n%40
-			sp := resetEvery{P: schemeUnderTest(t, name, params, g), N: every}
-			op := resetEvery{P: oracleFor(t, name, params, g), N: every}
+			sp := resetEvery{P: schemeUnderTest(t, name, configs, g), N: every}
+			op := resetEvery{P: oracleFor(t, name, configs, g), N: every}
 			if _, div := oracle.CheckEvents(name, g.Events, &sp, &op); div != nil {
 				t.Fatalf("trace %d, reset every %d: %v", n, every, div)
 			}
@@ -377,7 +456,7 @@ type resetEvery struct {
 	n int
 }
 
-func (w *resetEvery) Name() string                                { return w.P.Name() }
+func (w *resetEvery) Name() string                                 { return w.P.Name() }
 func (w *resetEvery) Predict(ev vm.BranchEvent) predict.Prediction { return w.P.Predict(ev) }
 func (w *resetEvery) Reset()                                       { w.P.Reset() }
 func (w *resetEvery) Update(ev vm.BranchEvent) {

@@ -40,6 +40,14 @@ type MetricSource interface {
 	Metrics() map[string]int64
 }
 
+// StorageSized is optionally implemented by hardware predictors that can
+// account for their state in bits, so storage-vs-accuracy tables compare
+// schemes honestly. Purely software schemes (the Forward Semantic, the
+// statics) carry no hardware state and simply don't implement it.
+type StorageSized interface {
+	StorageBits() int64
+}
+
 // Stats accumulates evaluator results.
 type Stats struct {
 	Branches int64 // dynamic branches seen

@@ -9,72 +9,6 @@ import (
 	"branchcost/internal/profile"
 )
 
-// Params carries the hardware-configuration knobs a registered scheme's
-// constructor may consult. The zero value means "use the paper's
-// configuration" (see PaperParams); resolve it with OrPaper.
-type Params struct {
-	SBTBEntries int
-	SBTBAssoc   int
-	CBTBEntries int
-	CBTBAssoc   int
-	CounterBits int
-	// CounterThreshold is interpreted only when Params is non-zero as a
-	// whole: a caller sweeping thresholds sets the geometry fields too.
-	CounterThreshold uint8
-
-	// Two-level BTB geometry (the btb2l scheme). These resolve separately
-	// from OrPaper — the 1989 paper has no two-level organization, so zero
-	// fields mean TwoLevelDefaults even inside an otherwise non-zero Params.
-	L1Entries int
-	L1Assoc   int
-	L2Entries int
-	L2Assoc   int
-}
-
-// PaperParams is the configuration used throughout the paper's evaluation:
-// 256-entry fully associative buffers, 2-bit counters with threshold 2.
-var PaperParams = Params{
-	SBTBEntries: 256, SBTBAssoc: 256,
-	CBTBEntries: 256, CBTBAssoc: 256,
-	CounterBits: 2, CounterThreshold: 2,
-}
-
-// TwoLevelDefaults is the btb2l scheme's default geometry: a 16-entry 4-way
-// L1 backed by a 1024-entry 8-way L2 (small enough that promotion traffic
-// is visible on the suite, large enough that the L2 rarely misses).
-var TwoLevelDefaults = Params{
-	L1Entries: 16, L1Assoc: 4,
-	L2Entries: 1024, L2Assoc: 8,
-}
-
-// OrPaper resolves the zero value to PaperParams.
-func (p Params) OrPaper() Params {
-	if p == (Params{}) {
-		return PaperParams
-	}
-	return p
-}
-
-// TwoLevelGeometry resolves the two-level BTB geometry, substituting
-// TwoLevelDefaults for zero fields.
-func (p Params) TwoLevelGeometry() (l1Entries, l1Assoc, l2Entries, l2Assoc int) {
-	d := TwoLevelDefaults
-	l1Entries, l1Assoc, l2Entries, l2Assoc = p.L1Entries, p.L1Assoc, p.L2Entries, p.L2Assoc
-	if l1Entries <= 0 {
-		l1Entries = d.L1Entries
-	}
-	if l1Assoc <= 0 {
-		l1Assoc = d.L1Assoc
-	}
-	if l2Entries <= 0 {
-		l2Entries = d.L2Entries
-	}
-	if l2Assoc <= 0 {
-		l2Assoc = d.L2Assoc
-	}
-	return l1Entries, l1Assoc, l2Entries, l2Assoc
-}
-
 // SchemeContext is everything a scheme constructor may need. Context-free
 // schemes (pure hardware predictors, trivial statics) ignore Prog and
 // Profile, which lets them replay bare trace files.
@@ -85,8 +19,17 @@ type SchemeContext struct {
 	// Profile is the aggregate profile of the original binary (nil when the
 	// caller has none; schemes that require it set NeedsContext).
 	Profile *profile.Profile
-	// Params configures hardware geometry; the zero value means PaperParams.
-	Params Params
+	// Configs carries per-scheme configuration overrides; nil (or an absent
+	// entry) means every scheme's registry defaults — the paper's
+	// configuration for the paper's schemes. Constructors read their own
+	// entry with ctx.Config(name).
+	Configs ConfigSet
+}
+
+// Config resolves the named scheme's effective configuration from the
+// context's ConfigSet (defaults, overridden per-field, normalized).
+func (ctx SchemeContext) Config(name string) SchemeConfig {
+	return ctx.Configs.Resolved(name)
 }
 
 // Scheme is one registered prediction scheme: a name the evaluation
@@ -103,6 +46,11 @@ type Scheme struct {
 	// NeedsContext schemes require ctx.Prog (and possibly ctx.Profile) and
 	// therefore cannot replay a bare trace file without program context.
 	NeedsContext bool
+
+	// Defaults returns the scheme's default typed configuration (the paper's
+	// for the paper's schemes). Nil for schemes that take no configuration
+	// (the static baselines, the Forward Semantic).
+	Defaults func() SchemeConfig
 
 	// New constructs a fresh predictor instance.
 	New func(ctx SchemeContext) Predictor

@@ -4,7 +4,8 @@ import (
 	"strings"
 	"testing"
 
-	_ "branchcost/internal/btb" // registers sbtb/cbtb
+	_ "branchcost/internal/btb"     // registers sbtb/cbtb/btb2l
+	_ "branchcost/internal/history" // registers gshare/local/perceptron/tage
 	"branchcost/internal/predict"
 	"branchcost/internal/vm"
 )
@@ -14,6 +15,7 @@ func TestRegistryBuiltins(t *testing.T) {
 	want := map[string]bool{
 		"always-taken": true, "always-not-taken": true, "btfnt": true,
 		"opcode-bias": true, "fs": true, "sbtb": true, "cbtb": true,
+		"btb2l": true, "gshare": true, "local": true, "perceptron": true, "tage": true,
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -28,7 +30,7 @@ func TestRegistryBuiltins(t *testing.T) {
 	if !fs.Transformed || !fs.NeedsContext {
 		t.Errorf("fs flags wrong: %+v", fs)
 	}
-	for _, n := range []string{"sbtb", "cbtb", "always-not-taken"} {
+	for _, n := range []string{"sbtb", "cbtb", "btb2l", "gshare", "local", "perceptron", "tage", "always-not-taken"} {
 		s := predict.MustLookup(n)
 		if s.NeedsContext {
 			t.Errorf("%s should be replayable without program context", n)
@@ -40,19 +42,58 @@ func TestRegistryBuiltins(t *testing.T) {
 	}
 }
 
-func TestRegistryParamsDefaulting(t *testing.T) {
-	if got := (predict.Params{}).OrPaper(); got != predict.PaperParams {
-		t.Fatalf("zero Params resolved to %+v", got)
+func TestRegistryConfigDefaulting(t *testing.T) {
+	// An empty set resolves every scheme to its registry defaults — the
+	// paper's configuration for the paper's schemes.
+	c := predict.ConfigSet(nil).Resolved("cbtb").(predict.CBTBConfig)
+	if c.Entries != 256 || c.Assoc != 256 || c.Bits != 2 || c.ThresholdValue() != 2 {
+		t.Fatalf("cbtb defaults resolved to %+v", c)
 	}
-	custom := predict.Params{SBTBEntries: 16, SBTBAssoc: 4,
-		CBTBEntries: 16, CBTBAssoc: 4, CounterBits: 1, CounterThreshold: 1}
-	if got := custom.OrPaper(); got != custom {
-		t.Fatalf("non-zero Params rewritten to %+v", got)
+	s := predict.ConfigSet(nil).Resolved("sbtb").(predict.SBTBConfig)
+	if s.Entries != 256 || s.Assoc != 256 {
+		t.Fatalf("sbtb defaults resolved to %+v", s)
 	}
-	// A threshold of zero is expressible as long as the geometry is set.
-	zeroTh := predict.Params{CBTBEntries: 64, CBTBAssoc: 64, CounterBits: 2,
-		SBTBEntries: 64, SBTBAssoc: 64}
-	p := predict.MustLookup("cbtb").New(predict.SchemeContext{Params: zeroTh})
+	// Statics take no configuration.
+	if got := predict.ConfigSet(nil).Resolved("always-taken"); got != nil {
+		t.Fatalf("static scheme resolved a config: %+v", got)
+	}
+
+	// Partial overrides keep the untouched fields at their defaults.
+	cs := predict.ConfigSet{"cbtb": predict.CBTBConfig{
+		BTBGeometry: predict.BTBGeometry{Entries: 16, Assoc: 4},
+	}}
+	c = cs.Resolved("cbtb").(predict.CBTBConfig)
+	if c.Entries != 16 || c.Assoc != 4 || c.Bits != 2 || c.ThresholdValue() != 2 {
+		t.Fatalf("partial cbtb override resolved to %+v", c)
+	}
+
+	// The wart-fix regression: a nil threshold follows the counter width to
+	// its midpoint per-field — whatever else is (or is not) configured —
+	// while an explicit zero survives.
+	cs = predict.ConfigSet{"cbtb": predict.CBTBConfig{
+		CounterConfig: predict.CounterConfig{Bits: 3},
+	}}
+	c = cs.Resolved("cbtb").(predict.CBTBConfig)
+	if c.Bits != 3 || c.ThresholdValue() != 4 {
+		t.Fatalf("bits-only override did not re-derive the midpoint threshold: %+v", c)
+	}
+	for bits := 1; bits <= 5; bits++ {
+		cc := predict.CounterConfig{Bits: bits}
+		if got, want := cc.ThresholdValue(), uint8(1)<<(bits-1); got != want {
+			t.Errorf("bits=%d: nil threshold resolved to %d, want midpoint %d", bits, got, want)
+		}
+	}
+
+	// A threshold of zero is expressible with Ptr.
+	cs = predict.ConfigSet{"cbtb": predict.CBTBConfig{
+		BTBGeometry:   predict.BTBGeometry{Entries: 64, Assoc: 64},
+		CounterConfig: predict.CounterConfig{Threshold: predict.Ptr[uint8](0)},
+	}}
+	c = cs.Resolved("cbtb").(predict.CBTBConfig)
+	if c.ThresholdValue() != 0 {
+		t.Fatalf("explicit zero threshold resolved to %d", c.ThresholdValue())
+	}
+	p := predict.MustLookup("cbtb").New(predict.SchemeContext{Configs: cs})
 	// Threshold 0 predicts taken even for a never-seen-taken branch once cached.
 	p.Update(vm.BranchEvent{PC: 7, Taken: false})
 	if pr := p.Predict(vm.BranchEvent{PC: 7}); !pr.Taken {
@@ -69,7 +110,9 @@ func TestRegisterValidation(t *testing.T) {
 		}()
 		f()
 	}
-	mustPanic("empty name", func() { predict.Register(predict.Scheme{New: func(predict.SchemeContext) predict.Predictor { return nil }}) })
+	mustPanic("empty name", func() {
+		predict.Register(predict.Scheme{New: func(predict.SchemeContext) predict.Predictor { return nil }})
+	})
 	mustPanic("nil constructor", func() { predict.Register(predict.Scheme{Name: "x"}) })
 	mustPanic("duplicate", func() {
 		predict.Register(predict.Scheme{Name: "sbtb", New: func(predict.SchemeContext) predict.Predictor { return nil }})
