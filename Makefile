@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet race telemetry-check chaos verify frontend-check pareto bench bench-json corpus-bench repro tables figures ablations fuzz fuzz-short goldens clean
+.PHONY: all build test vet race telemetry-check chaos verify frontend-check pareto bench bench-json bench-check bench-check-warn corpus-bench repro tables figures ablations fuzz fuzz-short goldens clean
 
-all: build vet test race telemetry-check chaos verify frontend-check pareto
+all: build vet test race telemetry-check chaos verify frontend-check pareto bench-check-warn
 
 # Differential-oracle gate: record-or-load the whole benchmark corpus, then
 # replay every trace through each context-free scheme and its deliberately
@@ -85,6 +85,25 @@ bench-json:
 	$(GO) run ./cmd/branchsim -corpus $(BENCH_CORPUS) -headline \
 		-metrics BENCH_$$(date +%Y%m%d).json
 	@echo "wrote BENCH_$$(date +%Y%m%d).json"
+
+# Regression gate against the committed bench-json baseline: regenerate the
+# headline manifests through the warm corpus and diff them against the newest
+# committed BENCH_*.json. Scores must replay bit-identically (accuracy to
+# 1e-9, counts exact); wall clock gets a wide machine-noise ratio. Hard-fails
+# on drift; `bench-check-warn` is the tier-1 wrapper that only warns, since
+# tier-1 must stay green on machines with no baseline provenance.
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BENCH_CURRENT ?= .bench-current.json
+bench-check:
+	@test -n "$(BENCH_BASELINE)" || { echo "bench-check: no BENCH_*.json baseline; run make bench-json first"; exit 2; }
+	$(GO) run ./cmd/btrace -corpus $(BENCH_CORPUS) -record-suite
+	$(GO) run ./cmd/branchsim -corpus $(BENCH_CORPUS) -headline \
+		-metrics $(BENCH_CURRENT) >/dev/null
+	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) $(BENCH_CURRENT)
+
+bench-check-warn:
+	-@$(MAKE) --no-print-directory bench-check || \
+		echo "bench-check: drift vs $(BENCH_BASELINE) (warning only in tier-1)"
 
 # Warm-corpus suite replay (zero VM execution) vs. live re-execution.
 corpus-bench:

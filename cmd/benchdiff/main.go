@@ -1,0 +1,62 @@
+// Command benchdiff compares two `make bench-json` artifacts and fails when
+// the current run drifted past tolerance: per-scheme accuracies and branch
+// counts must replay bit-identically (they are deterministic), wall clock may
+// wander within a wide ratio (it is machine noise).
+//
+// Usage:
+//
+//	benchdiff BENCH_20260801.json BENCH_20260808.json
+//	benchdiff -tol-wall 10 -tol-acc 1e-6 baseline.json current.json
+//
+// Exit status: 0 when every compared metric is within tolerance, 1 on any
+// violation (a delta table is printed either way), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchcost/internal/experiments"
+)
+
+func main() {
+	var (
+		tolAcc    = flag.Float64("tol-acc", 0, "absolute accuracy drift allowed (0 = default 1e-9)")
+		tolCounts = flag.Float64("tol-counts", 0, "relative count drift allowed (default exact)")
+		tolWall   = flag.Float64("tol-wall", 0, "wall-clock ratio allowed either way (0 = default 5.0, negative disables)")
+		format    = flag.String("format", "text", "table output format: text|csv|md")
+		quiet     = flag.Bool("quiet", false, "print the table only on drift")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json current.json")
+		os.Exit(2)
+	}
+	baseline, err := experiments.ReadBenchReport(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := experiments.ReadBenchReport(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	deltas := experiments.CompareBench(baseline, current, experiments.BenchTolerance{
+		Accuracy: *tolAcc, Counts: *tolCounts, Wall: *tolWall,
+	})
+	if !*quiet || len(deltas) > 0 {
+		text, err := experiments.BenchDeltaTable(deltas).Render(*format)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(text)
+	}
+	if bad := experiments.BenchViolations(deltas); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) drifted past tolerance vs %s\n",
+			len(bad), flag.Arg(0))
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@
 //	branchsim -frontend-check            # model-vs-pipesim agreement, all benchmarks
 //	branchsim -pareto -pareto-json pareto.json   # storage-vs-accuracy frontier
 //	branchsim -scheme-opt gshare.history=14 -ablate pareto  # per-scheme override
+//	branchsim -attr -topk 10 -attr-json attr.json  # mispredict attribution report
 //
 // Hardware configuration knobs (-entries, -assoc, -bits, -threshold,
 // -slots) default to the paper's configuration; -scheme-opt scheme.key=value
@@ -31,12 +32,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"branchcost/internal/attr"
 	"branchcost/internal/core"
 	"branchcost/internal/corpus"
 	"branchcost/internal/experiments"
@@ -74,6 +78,9 @@ func main() {
 		frontCk    = flag.Bool("frontend-check", false, "assert model-vs-pipesim agreement on every benchmark (exit 1 on violation)")
 		pareto     = flag.Bool("pareto", false, "run the storage-vs-accuracy Pareto sweep over the predictor zoo")
 		paretoJSON = flag.String("pareto-json", "", "with -pareto: also write the frontier rows as JSON to this file")
+		attrRep    = flag.Bool("attr", false, "run the suite-wide mispredict attribution report (per-site + scheme overlap)")
+		attrJSON   = flag.String("attr-json", "", "with -attr: also write the attribution report as JSON to this file")
+		topK       = flag.Int("topk", attr.DefaultTopK, "with -attr: worst sites to keep per scheme")
 		timing     = flag.Bool("time", false, "print wall-clock time per experiment")
 		format     = flag.String("format", "text", "table output format: text|csv|md")
 		corpusDir  = flag.String("corpus", os.Getenv(corpus.EnvVar), "trace corpus directory (default $BRANCHCOST_CORPUS; empty disables)")
@@ -108,6 +115,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "branchsim: %v\n", err)
 		os.Exit(2)
 	}
+	if *attrRep || *attrJSON != "" {
+		// Record attribution up front so the suite's cached evaluations carry
+		// it, instead of AttributionReport re-evaluating under a derived suite.
+		cfg.Attribution = &attr.Options{TopK: *topK}
+	}
 	if *corpusDir != "" {
 		store, err := corpus.Open(*corpusDir)
 		if err != nil {
@@ -132,7 +144,7 @@ func main() {
 	}
 
 	nothing := *table == 0 && *figure == 0 && !*headline && *ablate == "" && !*all &&
-		!*frontend && !*frontCk && !*pareto
+		!*frontend && !*frontCk && !*pareto && !*attrRep && *attrJSON == ""
 	if nothing {
 		*all = true
 	}
@@ -224,6 +236,38 @@ func main() {
 				}
 			}
 			return render(t, nil)
+		})
+	}
+	if *attrRep || *attrJSON != "" {
+		run("attribution", func() (string, error) {
+			rep, err := experiments.AttributionReport(context.Background(), suite, names, *topK)
+			if err != nil {
+				return "", err
+			}
+			if *attrJSON != "" {
+				f, err := os.Create(*attrJSON)
+				if err != nil {
+					return "", err
+				}
+				enc := json.NewEncoder(f)
+				enc.SetIndent("", "  ")
+				werr := enc.Encode(rep)
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					return "", werr
+				}
+			}
+			sites, err := rep.Table().Render(outputFormat)
+			if err != nil {
+				return "", err
+			}
+			overlap, err := rep.OverlapTable().Render(outputFormat)
+			if err != nil {
+				return "", err
+			}
+			return sites + "\n\n" + overlap, nil
 		})
 	}
 	if *frontCk {

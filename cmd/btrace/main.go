@@ -11,6 +11,8 @@
 //	btrace -scheme cbtb -entries 64 grep.bt    # one scheme, custom geometry
 //	btrace -scheme tage -scheme-opt tage.tables=5 grep.bt  # per-scheme option
 //	btrace -frontend -width 1,2,4,8 grep.bt    # trace-driven frontend cost report
+//	btrace -explain -topk 10 grep.bt           # per-scheme mispredict forensics
+//	btrace -explain-json attr.json grep.bt     # ... full attribution report as JSON
 //	btrace -inspect grep.bt                    # format, blocks, sites, events
 //	btrace -verify grep.bt                     # differential check vs the oracle models
 //	btrace -ls                                 # list schemes, default configs, storage bits
@@ -40,6 +42,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -49,6 +52,7 @@ import (
 	"time"
 
 	"branchcost"
+	"branchcost/internal/attr"
 	"branchcost/internal/corpus"
 	"branchcost/internal/oracle"
 	"branchcost/internal/pipesim"
@@ -80,6 +84,10 @@ func main() {
 		thresh      = flag.Int("threshold", -1, "CBTB threshold (-1: auto, the counter midpoint)")
 		frontend    = flag.Bool("frontend", false, "with replay: drive the trace-fed pipeline simulator and report per-width branch costs")
 		widthSel    = flag.String("width", "", "comma-separated fetch widths for -frontend (default 1,2,4,8)")
+		explain     = flag.Bool("explain", false, "with replay: per-scheme mispredict forensics (top sites, accuracy over time)")
+		explainJSON = flag.String("explain-json", "", "with -explain: also write the full attribution report as JSON to this path")
+		topK        = flag.Int("topk", attr.DefaultTopK, "how many worst sites -explain reports per scheme")
+		window      = flag.Int64("window", attr.DefaultWindow, "interval length, in branch events, of the -explain time series")
 
 		deadline = flag.Duration("deadline", 0, "per-benchmark recording deadline, e.g. 30s (0 disables)")
 		maxSteps = flag.Int64("max-steps", 0, "per-run VM step budget when recording (0 = default budget)")
@@ -136,7 +144,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		doReplay(ctx, flag.Arg(0), *scheme, configs, widths)
+		var rep *explainOpts
+		if *explain || *explainJSON != "" {
+			rep = &explainOpts{jsonPath: *explainJSON, opts: attr.Options{TopK: *topK, Window: *window}}
+		}
+		doReplay(ctx, flag.Arg(0), *scheme, configs, widths, rep)
 	}
 	if err := tf.Close(nil); err != nil {
 		fail(err)
@@ -484,7 +496,13 @@ func parseWidths(sel string, frontend bool) ([]int, error) {
 	return widths, nil
 }
 
-func doReplay(ctx context.Context, path, scheme string, configs predict.ConfigSet, widths []int) {
+// explainOpts carries the -explain configuration into the replay.
+type explainOpts struct {
+	jsonPath string
+	opts     attr.Options
+}
+
+func doReplay(ctx context.Context, path, scheme string, configs predict.ConfigSet, widths []int, explain *explainOpts) {
 	names := replayable()
 	if scheme != "" {
 		sc, ok := predict.Lookup(scheme)
@@ -506,8 +524,16 @@ func doReplay(ctx context.Context, path, scheme string, configs predict.ConfigSe
 	br := bufio.NewReaderSize(f, 1<<20)
 	evals := make([]*predict.Evaluator, len(names))
 	hooks := make([]vm.BranchFunc, len(names))
+	recs := make([]*attr.Recorder, len(names))
 	for i, n := range names {
 		evals[i] = &predict.Evaluator{P: predict.MustLookup(n).New(predict.SchemeContext{Configs: configs})}
+		if explain != nil {
+			// One recorder per evaluator: both the BCT2 stream fan-out and
+			// ScoreParallel give each hook its own goroutine, so the
+			// single-goroutine recorder rides its evaluator safely.
+			recs[i] = attr.NewRecorder(explain.opts)
+			evals[i].Obs = recs[i]
+		}
 		hooks[i] = evals[i].Hook()
 	}
 	// -frontend: one trace-fed pipeline simulator per (scheme, width) rides
@@ -550,6 +576,44 @@ func doReplay(ctx context.Context, path, scheme string, configs predict.ConfigSe
 		e := evals[i]
 		fmt.Printf("%-16s accuracy %7.3f%%  miss ratio %.4f  (%d branches)\n",
 			n, 100*e.S.Accuracy(), e.S.MissRatio(), e.S.Branches)
+	}
+	if explain != nil {
+		var summaries []*attr.Summary
+		for i, n := range names {
+			if err := recs[i].Check(evals[i].S); err != nil {
+				fail(err)
+			}
+			sum := recs[i].Summarize(n, path)
+			summaries = append(summaries, sum)
+			fmt.Printf("\n%s: top %d mispredicting sites (%d tracked, %d mispredicts total):\n",
+				n, len(sum.TopSites), sum.Sites, sum.Mispredicts)
+			if err := sum.WriteTable(os.Stdout); err != nil {
+				fail(err)
+			}
+			fmt.Printf("\n%s: accuracy per %d-event window:\n", n, sum.Window)
+			if err := sum.WriteWindows(os.Stdout); err != nil {
+				fail(err)
+			}
+		}
+		if explain.jsonPath != "" {
+			of, err := os.Create(explain.jsonPath)
+			if err != nil {
+				fail(err)
+			}
+			enc := json.NewEncoder(of)
+			enc.SetIndent("", "  ")
+			err = enc.Encode(struct {
+				Trace   string          `json:"trace"`
+				Schemes []*attr.Summary `json:"schemes"`
+			}{path, summaries})
+			if cerr := of.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("\nwrote attribution report to %s\n", explain.jsonPath)
+		}
 	}
 	if len(widths) > 0 {
 		fmt.Printf("\nfrontend cost per branch (k=%d, l=%d, m=%d):\n", fk, fl, fm)

@@ -1,0 +1,277 @@
+// Package attr is the replay-attribution subsystem: it breaks a scheme's
+// aggregate predict.Stats down to the branch sites and time windows that
+// produced them, so a mispredict count stops being a number and becomes a
+// list of culprits.
+//
+// A Recorder implements predict.Observer and hangs off Evaluator.Obs. Per
+// scored branch it is allocation-free: one map lookup into a bounded site
+// table plus a few integer updates. The table is bounded (Options.MaxSites,
+// first-come) and everything beyond the bound folds into a single overflow
+// bucket, so the per-site accounting always sums bit-exactly to the
+// aggregate — the invariant Check verifies and the oracle wires into
+// `make verify`. Windows slice the scored stream into fixed-size intervals
+// (Options.Window events) for accuracy-over-time series.
+//
+// Recorders are single-goroutine, matching the engine's evaluator model: the
+// replay fan-out gives every (scheme, hook) pair its own goroutine and its
+// own Evaluator, so the observer attached to it never races.
+package attr
+
+import (
+	"fmt"
+	"sort"
+
+	"branchcost/internal/predict"
+	"branchcost/internal/telemetry"
+	"branchcost/internal/vm"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxSites = 4096
+	DefaultWindow   = 1 << 16
+	DefaultTopK     = 10
+)
+
+// Options configures a Recorder. The zero value is usable: every field
+// falls back to its Default* constant.
+type Options struct {
+	// MaxSites bounds the per-site table. Sites beyond the bound (first-come)
+	// aggregate into the overflow bucket; totals stay exact regardless.
+	MaxSites int
+	// Window is the interval length, in scored events, of the time series.
+	Window int64
+	// TopK is how many worst sites Summary keeps.
+	TopK int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSites <= 0 {
+		o.MaxSites = DefaultMaxSites
+	}
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.TopK <= 0 {
+		o.TopK = DefaultTopK
+	}
+	return o
+}
+
+// SiteStats is the per-site accounting bucket. The overflow bucket uses the
+// same shape with PC = -1. ID is the stable instruction ID (the profile
+// key), which — unlike the PC — survives the FS transform's relayout, so
+// cross-scheme site comparisons key on (benchmark, ID).
+type SiteStats struct {
+	PC          int32  `json:"pc"`
+	ID          int32  `json:"id"`
+	Op          string `json:"op,omitempty"`
+	Predictions int64  `json:"predictions"`
+	Mispredicts int64  `json:"mispredicts"` // not fully correct
+	DirWrong    int64  `json:"dir_wrong"`   // predicted direction was wrong
+	BTBMisses   int64  `json:"btb_misses"`  // predictor had no state
+	Taken       int64  `json:"taken"`       // actual outcome was taken
+	FirstEvent  int64  `json:"first_event"` // index of first scored event here
+	LastEvent   int64  `json:"last_event"`
+}
+
+// TakenRatio is the fraction of executions of this site that were taken.
+func (s SiteStats) TakenRatio() float64 {
+	if s.Predictions == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.Predictions)
+}
+
+// MispredictRate is the fraction of this site's predictions that were wrong.
+func (s SiteStats) MispredictRate() float64 {
+	if s.Predictions == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Predictions)
+}
+
+// Window is one fixed-length interval of the scored stream.
+type Window struct {
+	Start       int64 `json:"start"` // index of the first event in the window
+	Branches    int64 `json:"branches"`
+	Correct     int64 `json:"correct"`
+	Mispredicts int64 `json:"mispredicts"`
+}
+
+// Accuracy is the fully-correct fraction within the window.
+func (w Window) Accuracy() float64 {
+	if w.Branches == 0 {
+		return 1
+	}
+	return float64(w.Correct) / float64(w.Branches)
+}
+
+// Recorder accumulates per-site and per-window attribution. Create with
+// NewRecorder and attach via Evaluator.Obs (or let internal/core do it).
+// Not safe for concurrent use; use one Recorder per Evaluator.
+type Recorder struct {
+	opts Options
+
+	index    map[int32]int // PC -> position in sites
+	sites    []SiteStats
+	overflow SiteStats // PC = -1: everything past MaxSites
+
+	windows []Window
+
+	// totals replicate the evaluator's Stats counting from the observed
+	// events alone, so Check can compare them bit-exactly.
+	totals predict.Stats
+
+	events int64
+}
+
+// NewRecorder returns a Recorder with opts (zero fields defaulted).
+func NewRecorder(opts Options) *Recorder {
+	o := opts.withDefaults()
+	return &Recorder{
+		opts:     o,
+		index:    make(map[int32]int, min(o.MaxSites, 1024)),
+		overflow: SiteStats{PC: -1, ID: -1},
+	}
+}
+
+// Options returns the recorder's effective (defaulted) options.
+func (r *Recorder) Options() Options { return r.opts }
+
+// ObserveEvent implements predict.Observer.
+func (r *Recorder) ObserveEvent(ev vm.BranchEvent, out predict.Outcome) {
+	r.events++
+
+	// Per-site bucket: tracked site, new site (if room), or overflow.
+	s := &r.overflow
+	if i, ok := r.index[ev.PC]; ok {
+		s = &r.sites[i]
+	} else if len(r.sites) < r.opts.MaxSites {
+		r.index[ev.PC] = len(r.sites)
+		r.sites = append(r.sites, SiteStats{PC: ev.PC, ID: ev.ID, Op: ev.Op.String(), FirstEvent: out.Index})
+		s = &r.sites[len(r.sites)-1]
+	} else if r.overflow.Predictions == 0 {
+		r.overflow.FirstEvent = out.Index
+	}
+	s.Predictions++
+	s.LastEvent = out.Index
+	if !out.Correct {
+		s.Mispredicts++
+	}
+	if !out.DirRight {
+		s.DirWrong++
+	}
+	if !out.Pred.Hit {
+		s.BTBMisses++
+	}
+	if ev.Taken {
+		s.Taken++
+	}
+
+	// Interval series.
+	wi := out.Index / r.opts.Window
+	for int64(len(r.windows)) <= wi {
+		r.windows = append(r.windows, Window{Start: int64(len(r.windows)) * r.opts.Window})
+	}
+	w := &r.windows[wi]
+	w.Branches++
+	if out.Correct {
+		w.Correct++
+	} else {
+		w.Mispredicts++
+	}
+
+	// Shadow totals, counted exactly as the evaluator counts.
+	r.totals.Branches++
+	if ev.Op.IsCondBranch() {
+		r.totals.CondBranches++
+		if out.Correct {
+			r.totals.CondCorrect++
+		}
+	}
+	if out.Pred.Hit {
+		r.totals.Hits++
+	} else {
+		r.totals.Misses++
+	}
+	if out.DirRight {
+		r.totals.DirRight++
+	}
+	if out.Correct {
+		r.totals.Correct++
+	}
+}
+
+// Totals returns the recorder's shadow Stats.
+func (r *Recorder) Totals() predict.Stats { return r.totals }
+
+// Sites returns the tracked per-site buckets in PC order, plus the overflow
+// bucket (nil when nothing overflowed). The returned slice is a copy.
+func (r *Recorder) Sites() ([]SiteStats, *SiteStats) {
+	out := append([]SiteStats(nil), r.sites...)
+	sort.Slice(out, func(i, j int) bool { return out[i].PC < out[j].PC })
+	if r.overflow.Predictions == 0 {
+		return out, nil
+	}
+	ovf := r.overflow
+	return out, &ovf
+}
+
+// Windows returns a copy of the interval series.
+func (r *Recorder) Windows() []Window {
+	return append([]Window(nil), r.windows...)
+}
+
+// Check verifies the attribution invariants against the evaluator's own
+// Stats: the shadow totals must equal stats field for field, the per-site
+// buckets plus overflow must sum to the totals, and so must the windows.
+// A nil error means per-site attribution is bit-exact.
+func (r *Recorder) Check(stats predict.Stats) error {
+	if r.totals != stats {
+		return fmt.Errorf("attr: totals diverge from evaluator stats: recorder %+v, evaluator %+v", r.totals, stats)
+	}
+	var pred, mis, btb int64
+	for i := range r.sites {
+		pred += r.sites[i].Predictions
+		mis += r.sites[i].Mispredicts
+		btb += r.sites[i].BTBMisses
+	}
+	pred += r.overflow.Predictions
+	mis += r.overflow.Mispredicts
+	btb += r.overflow.BTBMisses
+	if pred != stats.Branches {
+		return fmt.Errorf("attr: site predictions sum %d != branches %d", pred, stats.Branches)
+	}
+	if mis != stats.Branches-stats.Correct {
+		return fmt.Errorf("attr: site mispredicts sum %d != branches-correct %d", mis, stats.Branches-stats.Correct)
+	}
+	if btb != stats.Misses {
+		return fmt.Errorf("attr: site BTB misses sum %d != misses %d", btb, stats.Misses)
+	}
+	var wb, wc int64
+	for _, w := range r.windows {
+		wb += w.Branches
+		wc += w.Correct
+	}
+	if wb != stats.Branches || wc != stats.Correct {
+		return fmt.Errorf("attr: window sums (%d branches, %d correct) != stats (%d, %d)",
+			wb, wc, stats.Branches, stats.Correct)
+	}
+	return nil
+}
+
+// FeedHistogram observes every tracked site's mispredict count (and the
+// overflow bucket's, if any) into h — the per-site mispredict distribution.
+// A nil histogram is a no-op.
+func (r *Recorder) FeedHistogram(h *telemetry.Histogram) {
+	if h == nil {
+		return
+	}
+	for i := range r.sites {
+		h.Observe(r.sites[i].Mispredicts)
+	}
+	if r.overflow.Predictions > 0 {
+		h.Observe(r.overflow.Mispredicts)
+	}
+}

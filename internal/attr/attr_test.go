@@ -1,0 +1,302 @@
+package attr_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"branchcost/internal/attr"
+	"branchcost/internal/btb"
+	"branchcost/internal/isa"
+	"branchcost/internal/predict"
+	"branchcost/internal/telemetry"
+	"branchcost/internal/vm"
+)
+
+// syntheticStream builds a deterministic pseudo-random branch stream over
+// nSites distinct PCs with mixed opcodes and outcomes.
+func syntheticStream(n, nSites int, seed int64) []vm.BranchEvent {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]vm.BranchEvent, n)
+	for i := range evs {
+		pc := int32(rng.Intn(nSites)) * 2
+		op := isa.BEQ
+		taken := rng.Intn(100) < 30+int(pc)%40 // per-site bias
+		switch rng.Intn(10) {
+		case 0:
+			op = isa.JMP
+			taken = true
+		case 1:
+			op = isa.BNE
+		}
+		evs[i] = vm.BranchEvent{PC: pc, ID: pc, Op: op, Taken: taken, Target: pc + 7}
+	}
+	return evs
+}
+
+func runStream(evs []vm.BranchEvent, obs predict.Observer) *predict.Evaluator {
+	e := &predict.Evaluator{P: btb.NewCBTB(64, 2, 2, 2), Obs: obs}
+	for _, ev := range evs {
+		e.Observe(ev)
+	}
+	return e
+}
+
+// TestRecorderMatchesEvaluator: the recorder's shadow totals, per-site sums,
+// and window sums all agree bit-exactly with the evaluator's own Stats.
+func TestRecorderMatchesEvaluator(t *testing.T) {
+	evs := syntheticStream(50_000, 100, 1)
+	rec := attr.NewRecorder(attr.Options{Window: 1 << 10})
+	e := runStream(evs, rec)
+	if err := rec.Check(e.S); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Totals() != e.S {
+		t.Fatalf("totals %+v != evaluator stats %+v", rec.Totals(), e.S)
+	}
+	sites, ovf := rec.Sites()
+	if ovf != nil {
+		t.Fatalf("unexpected overflow with 100 sites under default bound: %+v", ovf)
+	}
+	if len(sites) != 100 {
+		t.Fatalf("tracked %d sites, want 100", len(sites))
+	}
+	var first, last int64 = 1 << 62, -1
+	for _, s := range sites {
+		if s.FirstEvent < first {
+			first = s.FirstEvent
+		}
+		if s.LastEvent > last {
+			last = s.LastEvent
+		}
+		if s.FirstEvent > s.LastEvent {
+			t.Fatalf("site %d: first %d > last %d", s.PC, s.FirstEvent, s.LastEvent)
+		}
+	}
+	if first != 0 || last != e.S.Branches-1 {
+		t.Fatalf("event index range [%d, %d], want [0, %d]", first, last, e.S.Branches-1)
+	}
+}
+
+// TestRecorderOverflow: with a tiny site bound, evicted sites fold into the
+// overflow bucket and the sums stay exact.
+func TestRecorderOverflow(t *testing.T) {
+	evs := syntheticStream(20_000, 200, 2)
+	rec := attr.NewRecorder(attr.Options{MaxSites: 16, Window: 1 << 10})
+	e := runStream(evs, rec)
+	if err := rec.Check(e.S); err != nil {
+		t.Fatal(err)
+	}
+	sites, ovf := rec.Sites()
+	if len(sites) != 16 {
+		t.Fatalf("tracked %d sites, want 16", len(sites))
+	}
+	if ovf == nil || ovf.Predictions == 0 {
+		t.Fatal("expected a populated overflow bucket")
+	}
+	if ovf.PC != -1 {
+		t.Fatalf("overflow PC = %d, want -1", ovf.PC)
+	}
+}
+
+// TestRecorderWindows: window boundaries and sums.
+func TestRecorderWindows(t *testing.T) {
+	evs := syntheticStream(2500, 10, 3)
+	rec := attr.NewRecorder(attr.Options{Window: 1000})
+	e := runStream(evs, rec)
+	wins := rec.Windows()
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3", len(wins))
+	}
+	if wins[0].Start != 0 || wins[1].Start != 1000 || wins[2].Start != 2000 {
+		t.Fatalf("window starts wrong: %+v", wins)
+	}
+	if wins[0].Branches != 1000 || wins[1].Branches != 1000 || wins[2].Branches != 500 {
+		t.Fatalf("window sizes wrong: %+v", wins)
+	}
+	var total int64
+	for _, w := range wins {
+		total += w.Correct
+		if w.Correct+w.Mispredicts != w.Branches {
+			t.Fatalf("window does not balance: %+v", w)
+		}
+	}
+	if total != e.S.Correct {
+		t.Fatalf("window correct sum %d != %d", total, e.S.Correct)
+	}
+}
+
+// TestObserverDoesNotChangeScore: attaching a Recorder leaves the
+// evaluator's Stats bit-identical to an unobserved run.
+func TestObserverDoesNotChangeScore(t *testing.T) {
+	evs := syntheticStream(30_000, 50, 4)
+	plain := runStream(evs, nil)
+	observed := runStream(evs, attr.NewRecorder(attr.Options{}))
+	if plain.S != observed.S {
+		t.Fatalf("observer changed the score: %+v vs %+v", plain.S, observed.S)
+	}
+}
+
+// TestCheckDetectsDivergence: Check is not a tautology — a recorder fed a
+// different stream fails against the evaluator's stats.
+func TestCheckDetectsDivergence(t *testing.T) {
+	evs := syntheticStream(1000, 10, 5)
+	rec := attr.NewRecorder(attr.Options{})
+	runStream(evs, rec)
+	e := runStream(evs[:999], nil)
+	if err := rec.Check(e.S); err == nil {
+		t.Fatal("Check accepted diverging stats")
+	}
+}
+
+// TestSummaryDeterministic: two identical runs summarize to byte-identical
+// JSON, ranked sites come out worst-first, and shares sum to ~1.
+func TestSummaryDeterministic(t *testing.T) {
+	build := func() []byte {
+		evs := syntheticStream(40_000, 60, 6)
+		rec := attr.NewRecorder(attr.Options{TopK: 5, Window: 1 << 12})
+		runStream(evs, rec)
+		sum := rec.Summarize("cbtb", "synthetic")
+		b, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical runs produced different summary JSON")
+	}
+	var sum attr.Summary
+	if err := json.Unmarshal(a, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.TopSites) != 5 {
+		t.Fatalf("TopK: got %d sites", len(sum.TopSites))
+	}
+	for i := 1; i < len(sum.TopSites); i++ {
+		if sum.TopSites[i].Mispredicts > sum.TopSites[i-1].Mispredicts {
+			t.Fatal("top sites not ranked worst-first")
+		}
+	}
+	if sum.Scheme != "cbtb" || sum.Benchmark != "synthetic" || sum.Sites != 60 {
+		t.Fatalf("summary header wrong: %+v", sum)
+	}
+}
+
+// TestSummaryTables: the text renderings include the ranked sites and the
+// interval series.
+func TestSummaryTables(t *testing.T) {
+	evs := syntheticStream(5000, 8, 7)
+	rec := attr.NewRecorder(attr.Options{TopK: 3, Window: 1000})
+	runStream(evs, rec)
+	sum := rec.Summarize("cbtb", "synthetic")
+	var table, wins bytes.Buffer
+	if err := sum.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.WriteWindows(&wins); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "mispredicts") || len(strings.Split(strings.TrimSpace(table.String()), "\n")) != 4 {
+		t.Errorf("site table wrong:\n%s", table.String())
+	}
+	if !strings.Contains(wins.String(), "accuracy") || len(strings.Split(strings.TrimSpace(wins.String()), "\n")) != 6 {
+		t.Errorf("window table wrong:\n%s", wins.String())
+	}
+}
+
+// TestMergeRerank: suite-level aggregation adds totals and re-ranks the
+// concatenated site lists.
+func TestMergeRerank(t *testing.T) {
+	mk := func(seed int64, bench string) *attr.Summary {
+		rec := attr.NewRecorder(attr.Options{TopK: 4})
+		runStream(syntheticStream(10_000, 20, seed), rec)
+		s := rec.Summarize("cbtb", bench)
+		for i := range s.TopSites {
+			s.TopSites[i].Benchmark = bench
+		}
+		return s
+	}
+	a, b := mk(8, "a"), mk(9, "b")
+	wantBranches := a.Branches + b.Branches
+	wantMis := a.Mispredicts + b.Mispredicts
+	a.Merge(b)
+	a.Rerank(4)
+	if a.Branches != wantBranches || a.Mispredicts != wantMis {
+		t.Fatalf("merge totals wrong: %+v", a)
+	}
+	if len(a.TopSites) != 4 {
+		t.Fatalf("rerank kept %d sites", len(a.TopSites))
+	}
+	for i := 1; i < len(a.TopSites); i++ {
+		if a.TopSites[i].Mispredicts > a.TopSites[i-1].Mispredicts {
+			t.Fatal("merged sites not ranked")
+		}
+	}
+}
+
+// TestFeedHistogram: per-site mispredict counts land in the telemetry
+// histogram, one observation per tracked site.
+func TestFeedHistogram(t *testing.T) {
+	rec := attr.NewRecorder(attr.Options{})
+	runStream(syntheticStream(5000, 30, 10), rec)
+	h := telemetry.New().Histogram("attr.site.mispredicts")
+	rec.FeedHistogram(h)
+	if h.Count() != 30 {
+		t.Fatalf("histogram got %d observations, want 30", h.Count())
+	}
+	rec.FeedHistogram(nil) // must not panic
+}
+
+// Package-level sinks keep the compiler from constant-folding the disabled
+// seam out of the measured loop.
+var (
+	benchObs  predict.Observer
+	benchSink int64
+	benchEv   vm.BranchEvent
+	benchOut  predict.Outcome
+)
+
+// TestNilObserverOverhead bounds the disabled seam directly: what every
+// scored event pays when Evaluator.Obs is nil is one interface nil check,
+// and that check must cost at most 2ns over an empty loop — the same
+// methodology as the telemetry disabled-path bounds.
+func TestNilObserverOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short/-race runs")
+	}
+	const n = 1 << 23
+	loop := func(body func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for try := 0; try < 5; try++ {
+			start := time.Now()
+			body()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	base := loop(func() {
+		for i := 0; i < n; i++ {
+			benchSink++
+		}
+	})
+	instrumented := loop(func() {
+		for i := 0; i < n; i++ {
+			benchSink++
+			if benchObs != nil {
+				benchObs.ObserveEvent(benchEv, benchOut)
+			}
+		}
+	})
+	perOp := float64(instrumented-base) / float64(n)
+	t.Logf("disabled observer overhead: %.3f ns/op (base %v, instrumented %v)", perOp, base, instrumented)
+	if perOp > 2.0 {
+		t.Errorf("disabled observer costs %.3f ns/op, want <= 2ns", perOp)
+	}
+}

@@ -1,0 +1,183 @@
+package attr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"branchcost/internal/predict"
+)
+
+// Summary is the exportable digest of a Recorder: shadow totals, the top-K
+// worst sites, the interval series, and the bucket bookkeeping needed to
+// interpret them. It is struct-only (no maps), with slices in deterministic
+// order, so its JSON encoding is byte-identical across identical runs.
+type Summary struct {
+	Scheme      string  `json:"scheme,omitempty"`
+	Benchmark   string  `json:"benchmark,omitempty"`
+	Branches    int64   `json:"branches"`
+	Mispredicts int64   `json:"mispredicts"`
+	Accuracy    float64 `json:"accuracy"`
+
+	// Sites is the number of distinct tracked sites; Overflow aggregates
+	// whatever did not fit the bounded table (absent when nothing did).
+	Sites    int        `json:"sites"`
+	Overflow *SiteStats `json:"overflow,omitempty"`
+
+	// TopSites are the worst offenders, ranked by mispredicts descending
+	// (PC ascending on ties).
+	TopSites []SiteSummary `json:"top_sites,omitempty"`
+
+	// Window is the interval length in events; Windows the series itself.
+	Window  int64           `json:"window"`
+	Windows []WindowSummary `json:"windows,omitempty"`
+}
+
+// SiteSummary is one ranked site with its derived ratios materialized, so
+// consumers of the JSON artifact need no recomputation.
+type SiteSummary struct {
+	SiteStats
+	// Benchmark disambiguates sites after suite-level Merges, where the same
+	// PC in different programs means different branches. Empty in single-run
+	// summaries (the enclosing Summary carries the benchmark there).
+	Benchmark       string  `json:"benchmark,omitempty"`
+	MispredictShare float64 `json:"mispredict_share"` // of the run's mispredicts
+	Rate            float64 `json:"rate"`             // per-site mispredict rate
+	TakenFrac       float64 `json:"taken_frac"`
+}
+
+// WindowSummary is one interval with its accuracy materialized.
+type WindowSummary struct {
+	Window
+	Acc float64 `json:"accuracy"`
+}
+
+// Summarize builds the digest. scheme and benchmark label the artifact and
+// may be empty; the ranking keeps r.Options().TopK sites.
+func (r *Recorder) Summarize(scheme, benchmark string) *Summary {
+	stats := r.totals
+	mispredicts := stats.Branches - stats.Correct
+	sum := &Summary{
+		Scheme:      scheme,
+		Benchmark:   benchmark,
+		Branches:    stats.Branches,
+		Mispredicts: mispredicts,
+		Accuracy:    stats.Accuracy(),
+		Sites:       len(r.sites),
+		Window:      r.opts.Window,
+	}
+	if r.overflow.Predictions > 0 {
+		ovf := r.overflow
+		sum.Overflow = &ovf
+	}
+	ranked := append([]SiteStats(nil), r.sites...)
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Mispredicts != ranked[j].Mispredicts {
+			return ranked[i].Mispredicts > ranked[j].Mispredicts
+		}
+		return ranked[i].PC < ranked[j].PC
+	})
+	k := r.opts.TopK
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	for _, s := range ranked[:k] {
+		share := 0.0
+		if mispredicts > 0 {
+			share = float64(s.Mispredicts) / float64(mispredicts)
+		}
+		sum.TopSites = append(sum.TopSites, SiteSummary{
+			SiteStats:       s,
+			MispredictShare: share,
+			Rate:            s.MispredictRate(),
+			TakenFrac:       s.TakenRatio(),
+		})
+	}
+	for _, w := range r.windows {
+		sum.Windows = append(sum.Windows, WindowSummary{Window: w, Acc: w.Accuracy()})
+	}
+	return sum
+}
+
+// Merge folds other into s site-by-site for suite-level aggregation: top
+// sites concatenate (re-ranked and re-truncated by the caller via Rerank),
+// totals add, windows are dropped (they index different streams).
+func (s *Summary) Merge(other *Summary) {
+	s.Branches += other.Branches
+	s.Mispredicts += other.Mispredicts
+	if s.Branches > 0 {
+		s.Accuracy = 1 - float64(s.Mispredicts)/float64(s.Branches)
+	}
+	s.Sites += other.Sites
+	s.TopSites = append(s.TopSites, other.TopSites...)
+	s.Windows = nil
+	s.Window = 0
+}
+
+// Rerank re-sorts TopSites (mispredicts descending, benchmark then PC on
+// ties) and truncates to k. Call after a sequence of Merges.
+func (s *Summary) Rerank(k int) {
+	sort.Slice(s.TopSites, func(i, j int) bool {
+		a, b := s.TopSites[i], s.TopSites[j]
+		if a.Mispredicts != b.Mispredicts {
+			return a.Mispredicts > b.Mispredicts
+		}
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		return a.PC < b.PC
+	})
+	if k > 0 && len(s.TopSites) > k {
+		s.TopSites = s.TopSites[:k]
+	}
+}
+
+// WriteTable renders the top-sites ranking as an aligned text table.
+func (s *Summary) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "rank\tpc\top\tpredictions\tmispredicts\tshare\trate\ttaken\n")
+	for i, site := range s.TopSites {
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%d\t%d\t%.1f%%\t%.3f\t%.3f\n",
+			i+1, site.PC, site.Op, site.Predictions, site.Mispredicts,
+			100*site.MispredictShare, site.Rate, site.TakenFrac)
+	}
+	if s.Overflow != nil {
+		fmt.Fprintf(tw, "-\toverflow\t-\t%d\t%d\t\t\t\n", s.Overflow.Predictions, s.Overflow.Mispredicts)
+	}
+	return tw.Flush()
+}
+
+// WriteWindows renders the interval series as a sparkline-style text block:
+// one row per window with accuracy and a proportional bar.
+func (s *Summary) WriteWindows(w io.Writer) error {
+	if len(s.Windows) == 0 {
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "window\tbranches\tmispredicts\taccuracy\t\n")
+	for _, win := range s.Windows {
+		bar := int(win.Acc*20 + 0.5)
+		if bar < 0 {
+			bar = 0
+		} else if bar > 20 {
+			bar = 20
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.4f\t%s\n",
+			win.Start, win.Branches, win.Mispredicts, win.Acc, strings.Repeat("█", bar))
+	}
+	return tw.Flush()
+}
+
+// SummaryFromStats builds a site-less Summary shell from aggregate stats —
+// used when attribution was disabled but a uniform shape is still wanted.
+func SummaryFromStats(scheme, benchmark string, stats predict.Stats) *Summary {
+	return &Summary{
+		Scheme:      scheme,
+		Benchmark:   benchmark,
+		Branches:    stats.Branches,
+		Mispredicts: stats.Branches - stats.Correct,
+		Accuracy:    stats.Accuracy(),
+	}
+}

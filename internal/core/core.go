@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"branchcost/internal/attr"
 	_ "branchcost/internal/btb" // registers the sbtb/cbtb/btb2l schemes
 	"branchcost/internal/corpus"
 	"branchcost/internal/fs"
@@ -112,6 +113,13 @@ type Config struct {
 	// parsed from -scheme-opt flags) layered over both the registry defaults
 	// and the flat geometry fields above; an override here wins over both.
 	SchemeConfigs predict.ConfigSet
+
+	// Attribution, when non-nil, attaches a per-scheme attr.Recorder to every
+	// evaluator (Evaluator.Obs): the evaluation then carries per-site and
+	// per-window mispredict attribution in Eval.Attr, cross-checked against
+	// each scheme's aggregate Stats. Nil keeps the observer seam disabled
+	// (one nil check per scored event).
+	Attribution *attr.Options
 }
 
 // Ptr returns a pointer to v, for the Config fields with pointer-or-nil
@@ -233,6 +241,10 @@ type Eval struct {
 	// expansion; nil unless Config.ICache was set and a transformed scheme
 	// was scored.
 	ICache *ICacheResult
+
+	// Attr maps scheme name to its attribution summary (top mispredicting
+	// sites, interval series); nil unless Config.Attribution was set.
+	Attr map[string]*attr.Summary
 
 	// FromCorpus reports that the profile and trace were loaded from
 	// Config.Corpus instead of being recorded by VM execution.
@@ -495,6 +507,7 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 		name  string
 		ev    *predict.Evaluator
 		cycle *pipeline.CycleSim
+		rec   *attr.Recorder // nil unless Config.Attribution was set
 	}
 	configs := cfg.Configs()
 	jobs := make([]*job, len(schemes))
@@ -515,6 +528,10 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 			j.ev.OnResult = func(ev vm.BranchEvent, correct bool) {
 				cyc.OnBranch(correct, ev.Op.IsCondBranch())
 			}
+		}
+		if cfg.Attribution != nil {
+			j.rec = attr.NewRecorder(*cfg.Attribution)
+			j.ev.Obs = j.rec
 		}
 		jobs[i] = j
 		if sc.Transformed {
@@ -594,9 +611,24 @@ func EvaluateContext(ctx context.Context, name string, prog *isa.Program, profIn
 		}
 		e.Schemes[j.name] = res
 		if set != nil {
-			set.Counter("scheme." + j.name + ".hits").Add(j.ev.S.Hits)
-			set.Counter("scheme." + j.name + ".misses").Add(j.ev.S.Misses)
-			set.Counter("scheme." + j.name + ".branches").Add(j.ev.S.Branches)
+			// Scheme names are user-visible registry keys ("always-taken"),
+			// not metric segments; sanitize before building metric names.
+			seg := telemetry.MetricSegment(j.name)
+			set.Counter("scheme." + seg + ".hits").Add(j.ev.S.Hits)
+			set.Counter("scheme." + seg + ".misses").Add(j.ev.S.Misses)
+			set.Counter("scheme." + seg + ".branches").Add(j.ev.S.Branches)
+		}
+		if j.rec != nil {
+			if err := j.rec.Check(j.ev.S); err != nil {
+				// A divergence here is an engine bug, never a workload
+				// property; fail loudly rather than report wrong forensics.
+				return nil, fmt.Errorf("core: %s: scheme %s: %w", name, j.name, err)
+			}
+			if e.Attr == nil {
+				e.Attr = make(map[string]*attr.Summary, len(jobs))
+			}
+			e.Attr[j.name] = j.rec.Summarize(j.name, name)
+			j.rec.FeedHistogram(set.Histogram("attr.site.mispredicts"))
 		}
 	}
 	e.WallNS = time.Since(wall).Nanoseconds()

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"branchcost/internal/attr"
 	"branchcost/internal/predict"
 	"branchcost/internal/telemetry"
 )
@@ -83,6 +84,10 @@ type Manifest struct {
 	Phases      []PhaseTiming             `json:"phases,omitempty"`
 	Degraded    []DegradeEvent            `json:"degraded,omitempty"`
 
+	// Attribution maps scheme name to its per-site/per-window mispredict
+	// summary; present only when the evaluation ran with Config.Attribution.
+	Attribution map[string]*attr.Summary `json:"attribution,omitempty"`
+
 	// Telemetry is the counter/gauge/span snapshot of the set the evaluation
 	// ran under. Note the set may be shared by several evaluations (a suite
 	// run), in which case the totals span all of them.
@@ -144,6 +149,7 @@ func (e *Eval) Manifest() *Manifest {
 			Extra:        r.Extra,
 		}
 	}
+	m.Attribution = e.Attr
 	if e.telem != nil {
 		snap := e.telem.Snapshot()
 		m.Telemetry = &snap

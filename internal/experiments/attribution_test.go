@@ -1,0 +1,158 @@
+package experiments_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"branchcost/internal/attr"
+	"branchcost/internal/core"
+	"branchcost/internal/experiments"
+	"branchcost/internal/telemetry"
+)
+
+// attrSuite runs with attribution recording on, separate from the shared
+// suite so the plain-config tests keep their cache.
+var attrSuite = experiments.NewSuite(core.Config{
+	Attribution: &attr.Options{TopK: 5, Window: 1 << 14},
+})
+
+func TestAttributionReport(t *testing.T) {
+	rep, err := experiments.AttributionReport(context.Background(), attrSuite, []string{"wc", "cmp"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Schemes) != 3 {
+		t.Fatalf("got %d scheme summaries, want 3 (paper schemes)", len(rep.Schemes))
+	}
+	for _, sa := range rep.Schemes {
+		sum := sa.Summary
+		if sum.Branches == 0 || sum.Sites == 0 {
+			t.Errorf("%s: empty summary %+v", sa.Scheme, sum)
+		}
+		if len(sum.TopSites) == 0 || len(sum.TopSites) > 5 {
+			t.Errorf("%s: top sites length %d", sa.Scheme, len(sum.TopSites))
+		}
+		for i, site := range sum.TopSites {
+			if site.Benchmark != "wc" && site.Benchmark != "cmp" {
+				t.Errorf("%s: site %d has benchmark %q", sa.Scheme, i, site.Benchmark)
+			}
+			if i > 0 && site.Mispredicts > sum.TopSites[i-1].Mispredicts {
+				t.Errorf("%s: sites not ranked", sa.Scheme)
+			}
+		}
+	}
+	// Overlap partition is consistent: shared sites appear in all schemes'
+	// top-K, unique in exactly one.
+	for _, o := range rep.SharedSites {
+		if len(o.Schemes) != len(rep.Schemes) {
+			t.Errorf("shared site %+v does not cover all schemes", o)
+		}
+	}
+	for _, o := range rep.UniqueSites {
+		if len(o.Schemes) != 1 {
+			t.Errorf("unique site %+v covered by %d schemes", o, len(o.Schemes))
+		}
+	}
+	out := rep.Table().String() + rep.OverlapTable().String()
+	if !strings.Contains(out, "Mispredict attribution") || !strings.Contains(out, "Site overlap") {
+		t.Errorf("tables missing headers:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}
+
+// TestAttributionDeterministic: the full report JSON is byte-identical
+// across two independent evaluations of the same benchmark.
+func TestAttributionDeterministic(t *testing.T) {
+	build := func() []byte {
+		s := experiments.NewSuite(core.Config{Attribution: &attr.Options{TopK: 5}})
+		rep, err := experiments.AttributionReport(context.Background(), s, []string{"cmp"}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := build(), build(); !bytes.Equal(a, b) {
+		t.Error("two identical attribution runs produced different JSON")
+	}
+}
+
+// TestAttributionInManifest: an attribution-enabled evaluation carries the
+// summaries into its manifest, and the per-site totals agree with the
+// scheme's aggregate stats.
+func TestAttributionInManifest(t *testing.T) {
+	e, err := attrSuite.Eval("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Manifest()
+	if len(m.Attribution) != len(e.Order) {
+		t.Fatalf("manifest attribution has %d schemes, want %d", len(m.Attribution), len(e.Order))
+	}
+	for name, sum := range m.Attribution {
+		st := e.Schemes[name].Stats
+		if sum.Branches != st.Branches || sum.Mispredicts != st.Branches-st.Correct {
+			t.Errorf("%s: summary totals %d/%d disagree with stats %d/%d",
+				name, sum.Branches, sum.Mispredicts, st.Branches, st.Branches-st.Correct)
+		}
+	}
+}
+
+// TestMetricNameAudit enforces the registry naming contract over a real
+// evaluation's snapshot: every counter, gauge, and histogram name follows
+// the dotted component.metric pattern, and no name is reused across
+// instrument kinds.
+func TestMetricNameAudit(t *testing.T) {
+	set := telemetry.New()
+	cfg := core.Config{
+		Telemetry:   set,
+		Attribution: &attr.Options{},
+		Schemes: []string{"sbtb", "cbtb", "fs", "always-taken", "always-not-taken",
+			"btfnt", "opcode-bias"},
+	}
+	s := experiments.NewSuite(cfg)
+	if _, err := s.Eval("cmp"); err != nil {
+		t.Fatal(err)
+	}
+	snap := set.Snapshot()
+	kinds := map[string]string{}
+	audit := func(kind string, names map[string]struct{}) {
+		for name := range names {
+			if !telemetry.ValidMetricName(name) {
+				t.Errorf("%s %q violates the metric naming contract", kind, name)
+			}
+			if prev, ok := kinds[name]; ok {
+				t.Errorf("name %q registered as both %s and %s", name, prev, kind)
+			}
+			kinds[name] = kind
+		}
+	}
+	cs := map[string]struct{}{}
+	for name := range snap.Counters {
+		cs[name] = struct{}{}
+	}
+	gs := map[string]struct{}{}
+	for name := range snap.Gauges {
+		gs[name] = struct{}{}
+	}
+	hs := map[string]struct{}{}
+	for name := range snap.Histograms {
+		hs[name] = struct{}{}
+	}
+	audit("counter", cs)
+	audit("gauge", gs)
+	audit("histogram", hs)
+	if len(cs) == 0 {
+		t.Fatal("evaluation produced no counters; audit is vacuous")
+	}
+	// The hyphenated scheme names must have been sanitized, not dropped.
+	if _, ok := snap.Counters["scheme.always_taken.hits"]; !ok {
+		t.Error("sanitized scheme counter scheme.always_taken.hits missing")
+	}
+}

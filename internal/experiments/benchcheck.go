@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"branchcost/internal/core"
+	"branchcost/internal/stats"
+)
+
+// BenchReport is the wire shape of a BENCH_<date>.json artifact: the run
+// manifests `make bench-json` saved (the telemetry snapshot in the file is
+// ignored here — counters are cumulative process totals, not comparable
+// across runs of different length).
+type BenchReport struct {
+	Manifests []*core.Manifest `json:"manifests"`
+}
+
+// ReadBenchReport loads a bench-json artifact from disk.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("benchcheck: %s: %w", path, err)
+	}
+	if len(r.Manifests) == 0 {
+		return nil, fmt.Errorf("benchcheck: %s carries no manifests", path)
+	}
+	return &r, nil
+}
+
+// BenchTolerance bounds the drift CompareBench accepts. Scores are
+// deterministic replays, so their tolerances default tight; wall clock is
+// machine noise, so its tolerance is a wide ratio.
+type BenchTolerance struct {
+	// Accuracy is the absolute per-scheme accuracy drift allowed.
+	// Zero selects the default 1e-9 (i.e. bit-identical up to float noise).
+	Accuracy float64
+	// Counts is the relative drift allowed on branch/correct counts.
+	// The default 0 means exact: replay determinism is the whole point.
+	Counts float64
+	// Wall is the allowed wall-clock ratio in either direction (current may
+	// be up to Wall× slower or faster). Zero selects the default 5.0;
+	// negative disables the wall check entirely.
+	Wall float64
+}
+
+func (t BenchTolerance) withDefaults() BenchTolerance {
+	if t.Accuracy <= 0 {
+		t.Accuracy = 1e-9
+	}
+	if t.Counts < 0 {
+		t.Counts = 0
+	}
+	if t.Wall == 0 {
+		t.Wall = 5.0
+	}
+	return t
+}
+
+// BenchDelta is one compared metric of the baseline/current pair. Scheme is
+// empty for benchmark-level metrics (wall_ns, presence).
+type BenchDelta struct {
+	Benchmark string  `json:"benchmark"`
+	Scheme    string  `json:"scheme,omitempty"`
+	Metric    string  `json:"metric"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	Violates  bool    `json:"violates"`
+	Note      string  `json:"note,omitempty"`
+}
+
+// CompareBench diffs current against baseline under tol and returns every
+// metric that moved (plus hard violations for benchmarks or schemes the
+// current run lost). An empty result means the two runs agree within
+// tolerance on every compared metric. Benchmarks or schemes present only in
+// current are new coverage, not drift, and are ignored.
+func CompareBench(baseline, current *BenchReport, tol BenchTolerance) []BenchDelta {
+	tol = tol.withDefaults()
+	cur := map[string]*core.Manifest{}
+	for _, m := range current.Manifests {
+		cur[m.Benchmark] = m
+	}
+	var out []BenchDelta
+	add := func(d BenchDelta) { out = append(out, d) }
+	for _, base := range baseline.Manifests {
+		m, ok := cur[base.Benchmark]
+		if !ok {
+			add(BenchDelta{Benchmark: base.Benchmark, Metric: "present",
+				Baseline: 1, Current: 0, Violates: true, Note: "benchmark missing from current run"})
+			continue
+		}
+		if tol.Wall > 0 && base.WallNS > 0 && m.WallNS > 0 {
+			ratio := float64(m.WallNS) / float64(base.WallNS)
+			if ratio != 1 {
+				add(BenchDelta{Benchmark: base.Benchmark, Metric: "wall_ns",
+					Baseline: float64(base.WallNS), Current: float64(m.WallNS),
+					Violates: ratio > tol.Wall || ratio < 1/tol.Wall})
+			}
+		}
+		var schemes []string
+		for name := range base.Schemes {
+			schemes = append(schemes, name)
+		}
+		sort.Strings(schemes)
+		for _, name := range schemes {
+			bs := base.Schemes[name]
+			cs, ok := m.Schemes[name]
+			if !ok {
+				add(BenchDelta{Benchmark: base.Benchmark, Scheme: name, Metric: "present",
+					Baseline: 1, Current: 0, Violates: true, Note: "scheme missing from current run"})
+				continue
+			}
+			if bs.Accuracy != cs.Accuracy {
+				d := cs.Accuracy - bs.Accuracy
+				add(BenchDelta{Benchmark: base.Benchmark, Scheme: name, Metric: "accuracy",
+					Baseline: bs.Accuracy, Current: cs.Accuracy,
+					Violates: d > tol.Accuracy || d < -tol.Accuracy})
+			}
+			counts := []struct {
+				metric     string
+				base, curr int64
+			}{
+				{"branches", bs.Branches, cs.Branches},
+				{"correct", bs.Correct, cs.Correct},
+				{"misses", bs.Misses, cs.Misses},
+			}
+			for _, c := range counts {
+				if c.base == c.curr {
+					continue
+				}
+				drift := relDrift(c.base, c.curr)
+				add(BenchDelta{Benchmark: base.Benchmark, Scheme: name, Metric: c.metric,
+					Baseline: float64(c.base), Current: float64(c.curr),
+					Violates: drift > tol.Counts})
+			}
+		}
+	}
+	return out
+}
+
+// relDrift is |curr-base| / max(|base|, 1).
+func relDrift(base, curr int64) float64 {
+	d := curr - base
+	if d < 0 {
+		d = -d
+	}
+	den := base
+	if den < 0 {
+		den = -den
+	}
+	if den == 0 {
+		den = 1
+	}
+	return float64(d) / float64(den)
+}
+
+// BenchViolations filters the deltas down to the tolerance violations.
+func BenchViolations(deltas []BenchDelta) []BenchDelta {
+	var out []BenchDelta
+	for _, d := range deltas {
+		if d.Violates {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// BenchDeltaTable renders the drift report: every moved metric, with the
+// violations flagged. An empty delta list renders a table stating so.
+func BenchDeltaTable(deltas []BenchDelta) *stats.Table {
+	t := stats.NewTable("Benchmark drift vs baseline",
+		"benchmark", "scheme", "metric", "baseline", "current", "delta", "status")
+	for _, d := range deltas {
+		status := "ok"
+		if d.Violates {
+			status = "FAIL"
+		}
+		if d.Note != "" {
+			status += " (" + d.Note + ")"
+		}
+		t.AddRow(d.Benchmark, d.Scheme, d.Metric,
+			benchNum(d.Metric, d.Baseline), benchNum(d.Metric, d.Current),
+			fmt.Sprintf("%+.3g", d.Current-d.Baseline), status)
+	}
+	if len(deltas) == 0 {
+		t.AddRow("-", "-", "-", "-", "-", "-", "identical within tolerance")
+	}
+	return t
+}
+
+func benchNum(metric string, v float64) string {
+	switch metric {
+	case "accuracy":
+		return fmt.Sprintf("%.6f", v)
+	case "wall_ns":
+		return fmt.Sprintf("%.3gs", v/1e9)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,117 @@
+package experiments_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"branchcost/internal/core"
+	"branchcost/internal/experiments"
+)
+
+func benchManifest(name string, wall int64, acc float64, branches, correct int64) *core.Manifest {
+	return &core.Manifest{
+		Benchmark: name,
+		WallNS:    wall,
+		Schemes: map[string]core.ManifestScheme{
+			"sbtb": {Accuracy: acc, Branches: branches, Correct: correct, Misses: branches - correct},
+		},
+	}
+}
+
+func TestCompareBenchIdentical(t *testing.T) {
+	r := &experiments.BenchReport{Manifests: []*core.Manifest{
+		benchManifest("wc", 1e9, 0.9, 1000, 900),
+	}}
+	deltas := experiments.CompareBench(r, r, experiments.BenchTolerance{})
+	if len(deltas) != 0 {
+		t.Fatalf("identical reports produced deltas: %+v", deltas)
+	}
+	out := experiments.BenchDeltaTable(deltas).String()
+	if !strings.Contains(out, "identical within tolerance") {
+		t.Errorf("empty-delta table missing the all-clear row:\n%s", out)
+	}
+}
+
+func TestCompareBenchViolations(t *testing.T) {
+	base := &experiments.BenchReport{Manifests: []*core.Manifest{
+		benchManifest("wc", 1e9, 0.9, 1000, 900),
+		benchManifest("cmp", 1e9, 0.8, 2000, 1600),
+	}}
+	cur := &experiments.BenchReport{Manifests: []*core.Manifest{
+		// Accuracy moved far past 1e-9, counts moved, wall 10x slower.
+		benchManifest("wc", 10e9, 0.85, 1001, 850),
+		// cmp missing entirely.
+	}}
+	deltas := experiments.CompareBench(base, cur, experiments.BenchTolerance{})
+	bad := experiments.BenchViolations(deltas)
+	want := map[string]bool{}
+	for _, d := range bad {
+		want[d.Benchmark+"/"+d.Metric] = true
+	}
+	for _, k := range []string{"wc/wall_ns", "wc/accuracy", "wc/branches", "wc/correct", "cmp/present"} {
+		if !want[k] {
+			t.Errorf("expected violation %s, got %+v", k, bad)
+		}
+	}
+	out := experiments.BenchDeltaTable(deltas).String()
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("delta table does not flag violations:\n%s", out)
+	}
+}
+
+func TestCompareBenchTolerance(t *testing.T) {
+	base := &experiments.BenchReport{Manifests: []*core.Manifest{
+		benchManifest("wc", 1e9, 0.9, 1000, 900),
+	}}
+	cur := &experiments.BenchReport{Manifests: []*core.Manifest{
+		benchManifest("wc", 3e9, 0.9+1e-12, 1000, 900),
+	}}
+	// Wall 3x and float-noise accuracy both sit inside the defaults.
+	if bad := experiments.BenchViolations(experiments.CompareBench(base, cur, experiments.BenchTolerance{})); len(bad) != 0 {
+		t.Errorf("in-tolerance drift flagged: %+v", bad)
+	}
+	// Disabling the wall check suppresses even huge ratios.
+	cur.Manifests[0].WallNS = 1e12
+	if bad := experiments.BenchViolations(experiments.CompareBench(base, cur, experiments.BenchTolerance{Wall: -1})); len(bad) != 0 {
+		t.Errorf("wall check not disabled: %+v", bad)
+	}
+	// New coverage in current is not drift.
+	cur.Manifests[0] = benchManifest("wc", 1e9, 0.9, 1000, 900)
+	cur.Manifests = append(cur.Manifests, benchManifest("new", 1, 0.5, 1, 0))
+	if deltas := experiments.CompareBench(base, cur, experiments.BenchTolerance{}); len(deltas) != 0 {
+		t.Errorf("extra benchmark produced deltas: %+v", deltas)
+	}
+}
+
+func TestReadBenchReport(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	r := &experiments.BenchReport{Manifests: []*core.Manifest{benchManifest("wc", 1, 0.9, 10, 9)}}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := experiments.ReadBenchReport(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Manifests) != 1 || got.Manifests[0].Benchmark != "wc" {
+		t.Errorf("round-trip lost manifests: %+v", got)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"manifests":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := experiments.ReadBenchReport(empty); err == nil {
+		t.Error("empty manifest list accepted")
+	}
+	if _, err := experiments.ReadBenchReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

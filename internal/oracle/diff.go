@@ -3,6 +3,7 @@ package oracle
 import (
 	"fmt"
 
+	"branchcost/internal/attr"
 	"branchcost/internal/predict"
 	"branchcost/internal/tracefile"
 	"branchcost/internal/vm"
@@ -167,13 +168,21 @@ func verifyScheme(name string, tr *tracefile.Trace, configs predict.ConfigSet) V
 		return v
 	}
 	// Cross-check the production evaluator's counting against the naive
-	// count above: same trace, fresh predictor, must agree bit for bit.
-	e := &predict.Evaluator{P: sc.New(predict.SchemeContext{Configs: configs})}
+	// count above: same trace, fresh predictor, must agree bit for bit. The
+	// attached attribution recorder rides the same pass, so the per-site /
+	// per-window decomposition is verified against both independent counts:
+	// sites plus overflow must sum exactly to the aggregate Stats.
+	rec := attr.NewRecorder(attr.Options{})
+	e := &predict.Evaluator{P: sc.New(predict.SchemeContext{Configs: configs}), Obs: rec}
 	tr.Replay(e.Observe)
 	if e.S != stats {
 		v.Err = fmt.Errorf(
 			"oracle: scheme %q: predict.Evaluator counted %+v, oracle counted %+v",
 			name, e.S, stats)
+		return v
+	}
+	if err := rec.Check(stats); err != nil {
+		v.Err = fmt.Errorf("oracle: scheme %q: %w", name, err)
 	}
 	return v
 }

@@ -96,6 +96,24 @@ func (s *Stats) Add(other Stats) {
 	s.CondCorrect += other.CondCorrect
 }
 
+// Outcome is the evaluator's full verdict on one scored branch: the
+// prediction, how it fared, and the branch's zero-based position in the
+// scored stream. It is a value struct so observing allocates nothing.
+type Outcome struct {
+	Index    int64 // zero-based position among scored branches
+	Pred     Prediction
+	DirRight bool // predicted direction matched the outcome
+	Correct  bool // fully correct (direction and, if taken, target)
+}
+
+// Observer receives every scored branch together with its Outcome. It is the
+// attribution/forensics seam: internal/attr implements it to break aggregate
+// Stats down by site and by time window. A nil Observer in the Evaluator is
+// the disabled state and costs one inlined nil check per event.
+type Observer interface {
+	ObserveEvent(ev vm.BranchEvent, out Outcome)
+}
+
 // Evaluator feeds a branch stream through a predictor and scores it.
 type Evaluator struct {
 	P Predictor
@@ -109,6 +127,12 @@ type Evaluator struct {
 	// OnResult, when non-nil, receives each branch with the correctness of
 	// its prediction (used by the cycle-level pipeline simulator).
 	OnResult func(ev vm.BranchEvent, correct bool)
+
+	// Obs, when non-nil, receives every scored branch with its full Outcome
+	// (used by the attribution recorder). Observers must not mutate ev and
+	// must not themselves influence scoring: the evaluator's Stats are
+	// complete for the event before ObserveEvent runs.
+	Obs Observer
 }
 
 // Hook returns a vm.BranchFunc that evaluates every executed branch.
@@ -154,5 +178,13 @@ func (e *Evaluator) Observe(ev vm.BranchEvent) {
 	e.P.Update(ev)
 	if e.OnResult != nil {
 		e.OnResult(ev, correct)
+	}
+	if e.Obs != nil {
+		e.Obs.ObserveEvent(ev, Outcome{
+			Index:    e.S.Branches - 1,
+			Pred:     p,
+			DirRight: dirRight,
+			Correct:  correct,
+		})
 	}
 }

@@ -11,6 +11,7 @@ import (
 var (
 	benchCounter *Counter
 	benchGauge   *Gauge
+	benchHist    *Histogram
 	benchSink    int64
 )
 
@@ -33,6 +34,22 @@ func BenchmarkEnabledCounter(b *testing.B) {
 func BenchmarkDisabledGauge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		benchGauge.Add(1)
+	}
+}
+
+// BenchmarkDisabledHistogram measures the disabled fast path an attribution
+// or latency observation pays: one Observe on a nil histogram.
+func BenchmarkDisabledHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHist.Observe(int64(i))
+	}
+}
+
+func BenchmarkEnabledHistogram(b *testing.B) {
+	h := New().Histogram("bench.hist")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
 	}
 }
 
@@ -92,5 +109,42 @@ func TestDisabledCounterOverhead(t *testing.T) {
 	t.Logf("disabled counter overhead: %.3f ns/op (base %v, instrumented %v)", perOp, base, instrumented)
 	if perOp > 2.0 {
 		t.Errorf("disabled counter costs %.3f ns/op, want <= 2ns", perOp)
+	}
+}
+
+// TestDisabledHistogramOverhead extends the same ≤2ns bound to the disabled
+// histogram path: an attribution observer that is switched off must cost one
+// inlined nil check per event, nothing more.
+func TestDisabledHistogramOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short/-race runs")
+	}
+	const n = 1 << 23
+	loop := func(body func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for try := 0; try < 5; try++ {
+			start := time.Now()
+			body()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	base := loop(func() {
+		for i := 0; i < n; i++ {
+			benchSink++
+		}
+	})
+	instrumented := loop(func() {
+		for i := 0; i < n; i++ {
+			benchSink++
+			benchHist.Observe(int64(i))
+		}
+	})
+	perOp := float64(instrumented-base) / float64(n)
+	t.Logf("disabled histogram overhead: %.3f ns/op (base %v, instrumented %v)", perOp, base, instrumented)
+	if perOp > 2.0 {
+		t.Errorf("disabled histogram costs %.3f ns/op, want <= 2ns", perOp)
 	}
 }

@@ -30,10 +30,12 @@ func (s *Set) PublishExpvar(name string) {
 }
 
 // ServeDebug starts an HTTP server on addr exposing net/http/pprof under
-// /debug/pprof/, the process expvars under /debug/vars, and this Set's
-// snapshot under /debug/telemetry. It returns the bound address (useful
-// with ":0") and a stop function. The Set is also published as the
-// "telemetry" expvar.
+// /debug/pprof/, the process expvars under /debug/vars, this Set's snapshot
+// under /debug/telemetry, the Prometheus/OpenMetrics text exposition under
+// /metrics, and the Chrome trace-event export of the span trees under
+// /debug/trace-events (open the saved file in Perfetto or chrome://tracing).
+// It returns the bound address (useful with ":0") and a stop function. The
+// Set is also published as the "telemetry" expvar.
 func (s *Set) ServeDebug(addr string) (string, func(), error) {
 	s.PublishExpvar("telemetry")
 	mux := http.NewServeMux()
@@ -48,6 +50,14 @@ func (s *Set) ServeDebug(addr string) (string, func(), error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		s.WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/debug/trace-events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.WriteTraceEvents(w)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

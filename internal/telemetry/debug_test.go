@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// exportSet builds a Set with one instrument of every kind, with values
+// chosen to exercise the exposition renderer's branches (multi-bucket
+// histogram, zero counter, dotted names).
+func exportSet() *Set {
+	s := New()
+	s.Counter("vm.runs").Add(4)
+	s.Counter("tracefile.replay.events").Add(123456)
+	s.Counter("core.heals") // registered but zero
+	s.Gauge("suite.queue_depth").Set(7)
+	h := s.Histogram("core.replay.latency_ns")
+	for _, v := range []int64{0, 1, 2, 3, 900, 1024, -5} {
+		h.Observe(v)
+	}
+	return s
+}
+
+// TestOpenMetricsGolden pins the exposition format byte for byte:
+// content ordering, TYPE/HELP lines, counter and gauge rendering, and the
+// cumulative histogram series with power-of-two le bounds.
+func TestOpenMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportSet().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP core_heals core.heals
+# TYPE core_heals counter
+core_heals 0
+# HELP tracefile_replay_events tracefile.replay.events
+# TYPE tracefile_replay_events counter
+tracefile_replay_events 123456
+# HELP vm_runs vm.runs
+# TYPE vm_runs counter
+vm_runs 4
+# HELP suite_queue_depth suite.queue_depth
+# TYPE suite_queue_depth gauge
+suite_queue_depth 7
+# HELP core_replay_latency_ns core.replay.latency_ns
+# TYPE core_replay_latency_ns histogram
+core_replay_latency_ns_bucket{le="0"} 2
+core_replay_latency_ns_bucket{le="1"} 3
+core_replay_latency_ns_bucket{le="3"} 5
+core_replay_latency_ns_bucket{le="7"} 5
+core_replay_latency_ns_bucket{le="15"} 5
+core_replay_latency_ns_bucket{le="31"} 5
+core_replay_latency_ns_bucket{le="63"} 5
+core_replay_latency_ns_bucket{le="127"} 5
+core_replay_latency_ns_bucket{le="255"} 5
+core_replay_latency_ns_bucket{le="511"} 5
+core_replay_latency_ns_bucket{le="1023"} 6
+core_replay_latency_ns_bucket{le="2047"} 7
+core_replay_latency_ns_bucket{le="+Inf"} 7
+core_replay_latency_ns_sum 1930
+core_replay_latency_ns_count 7
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestOpenMetricsEscaping checks HELP-line escaping and metric-name
+// sanitization for names outside the registry contract.
+func TestOpenMetricsEscaping(t *testing.T) {
+	s := New()
+	s.Counter(`weird.na\me` + "\n" + `x`).Add(1)
+	var buf bytes.Buffer
+	if err := s.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP weird_na_me_x weird.na\\me\nx`) {
+		t.Errorf("HELP line not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "weird_na_me_x 1\n") {
+		t.Errorf("metric name not sanitized:\n%s", out)
+	}
+}
+
+// TestOpenMetricsDeterministic: two renders of the same state are
+// byte-identical (map iteration order must not leak into the artifact).
+func TestOpenMetricsDeterministic(t *testing.T) {
+	s := exportSet()
+	var a, b bytes.Buffer
+	if err := s.WriteOpenMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same Set differ")
+	}
+}
+
+// TestWriteTraceEvents checks the Chrome trace-event export: one X event per
+// span, microsecond units, children on the real timeline, and byte-identical
+// re-renders of the same snapshot.
+func TestWriteTraceEvents(t *testing.T) {
+	snap := Snapshot{Spans: []*SpanRecord{
+		{
+			Name: "core.evaluate:wc", StartUnixNS: 1_000_000_000, DurationNS: 5_000_000,
+			Children: []*SpanRecord{
+				{Name: "core.profile", StartUnixNS: 1_001_000_000, DurationNS: 2_000_000},
+				{Name: "core.replay", StartUnixNS: 1_003_000_000, DurationNS: 1_500_000},
+			},
+		},
+		{Name: "legacy", DurationNS: 1_000_000}, // no recorded start: synthetic layout
+	}}
+	var a bytes.Buffer
+	if err := WriteTraceEventsSnapshot(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	root := doc.TraceEvents[0]
+	if root.Name != "core.evaluate:wc" || root.Ph != "X" || root.Ts != 0 || root.Dur != 5000 {
+		t.Errorf("root event wrong: %+v", root)
+	}
+	if replay := doc.TraceEvents[2]; replay.Ts != 3000 || replay.Dur != 1500 {
+		t.Errorf("child not on the real timeline: %+v", replay)
+	}
+	// The start-less root lays out after the first root's end.
+	if legacy := doc.TraceEvents[3]; legacy.Ts != 5000 {
+		t.Errorf("synthetic layout: ts = %v, want 5000", legacy.Ts)
+	}
+	var b bytes.Buffer
+	if err := WriteTraceEventsSnapshot(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same snapshot differ")
+	}
+}
+
+// TestWriteTraceEventsLive: spans recorded through StartSpan round-trip into
+// a loadable document with nesting preserved.
+func TestWriteTraceEventsLive(t *testing.T) {
+	s := New()
+	ctx := NewContext(context.Background(), s)
+	rctx, root := StartSpan(ctx, "root")
+	_, child := StartSpan(rctx, "child")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := s.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"root"`, `"child"`, `"ph": "X"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestDebugServerMetricsAndPprofCoexist: one debug server serves the
+// Prometheus exposition, the pprof index, expvar, and the trace-event export
+// side by side.
+func TestDebugServerMetricsAndPprofCoexist(t *testing.T) {
+	s := exportSet()
+	addr, stop, err := s.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+	body, ctype := get("/metrics")
+	if ctype != OpenMetricsContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ctype, OpenMetricsContentType)
+	}
+	if !strings.Contains(body, "vm_runs 4") || !strings.Contains(body, "# TYPE core_replay_latency_ns histogram") {
+		t.Errorf("/metrics missing expected series:\n%s", body)
+	}
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline returned nothing")
+	}
+	if body, _ := get("/debug/trace-events"); !strings.Contains(body, "traceEvents") {
+		t.Errorf("/debug/trace-events not a trace document:\n%s", body)
+	}
+}

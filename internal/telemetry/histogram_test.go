@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	// One sample at each interesting boundary: bucket 0 is exactly {0},
+	// bucket i covers [2^(i-1), 2^i - 1], negatives clamp to 0.
+	for _, v := range []int64{0, -3, 1, 2, 3, 4, 7, 8, 1 << 20, -1} {
+		h.Observe(v)
+	}
+	if h.Count() != 10 {
+		t.Errorf("Count = %d, want 10", h.Count())
+	}
+	if want := int64(0 + 0 + 1 + 2 + 3 + 4 + 7 + 8 + 1<<20 + 0); h.Sum() != want {
+		t.Errorf("Sum = %d, want %d", h.Sum(), want)
+	}
+	snap := h.snapshot()
+	want := make([]int64, 22)
+	want[0] = 3  // 0 and the clamped -3, -1
+	want[1] = 1  // 1
+	want[2] = 2  // 2, 3
+	want[3] = 2  // 4, 7
+	want[4] = 1  // 8
+	want[21] = 1 // 1<<20
+	if !reflect.DeepEqual(snap.Buckets, want) {
+		t.Errorf("Buckets = %v, want %v", snap.Buckets, want)
+	}
+}
+
+func TestHistogramNil(t *testing.T) {
+	var h *Histogram
+	h.Observe(42) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram reports non-zero state")
+	}
+}
+
+func TestHistogramSnapshotTrimsTrailingZeros(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(5) // bucket 3
+	snap := h.snapshot()
+	if len(snap.Buckets) != 4 {
+		t.Errorf("Buckets length = %d, want 4 (trailing zeros trimmed)", len(snap.Buckets))
+	}
+	if (&Histogram{}).snapshot().Buckets != nil {
+		t.Error("empty histogram should serialize with no buckets")
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	cases := map[int]int64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 63: 1<<63 - 1, 64: 1<<63 - 1, 100: 1<<63 - 1}
+	for i, want := range cases {
+		if got := BucketUpper(i); got != want {
+			t.Errorf("BucketUpper(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Every bucket index Observe can touch (bits.Len64 <= 64 after clamping
+	// to non-negative means index <= 63) has a finite, increasing bound.
+	prev := int64(-1)
+	for i := 0; i < 64; i++ {
+		u := BucketUpper(i)
+		if u <= prev {
+			t.Fatalf("BucketUpper not increasing at %d: %d <= %d", i, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestValidMetricName(t *testing.T) {
+	valid := []string{
+		"vm.runs", "tracefile.replay.events", "scheme.cbtb.hits",
+		"core.replay.latency_ns", "a.b2_c",
+	}
+	for _, name := range valid {
+		if !ValidMetricName(name) {
+			t.Errorf("ValidMetricName(%q) = false, want true", name)
+		}
+	}
+	invalid := []string{
+		"", "runs", "vm.", ".runs", "vm..runs", "Vm.runs", "vm.Runs",
+		"scheme.always-taken.hits", "vm.2runs", "vm._runs", "vm.ru ns",
+	}
+	for _, name := range invalid {
+		if ValidMetricName(name) {
+			t.Errorf("ValidMetricName(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestMetricSegment(t *testing.T) {
+	cases := map[string]string{
+		"always-taken":     "always_taken",
+		"always-not-taken": "always_not_taken",
+		"btfnt":            "btfnt",
+		"TAGE":             "tage",
+		"2bit":             "xbit",
+		"":                 "x",
+		"_hidden":          "xhidden",
+		"ctr.32":           "ctr_32",
+	}
+	for in, want := range cases {
+		got := MetricSegment(in)
+		if got != want {
+			t.Errorf("MetricSegment(%q) = %q, want %q", in, got, want)
+		}
+		if !validSegment(got) {
+			t.Errorf("MetricSegment(%q) = %q is not a valid segment", in, got)
+		}
+	}
+}

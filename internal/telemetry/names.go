@@ -1,0 +1,67 @@
+package telemetry
+
+import "strings"
+
+// Metric naming contract: every counter, gauge, and histogram name is a
+// dot-separated path of at least two lowercase segments —
+// "component.metric" or "component.sub.metric" — where each segment starts
+// with a letter and continues with letters, digits, and underscores
+// ("corpus.load_ns", "tracefile.bct2.crc_failures"). The contract keeps the
+// registry greppable, makes the OpenMetrics rendering (dots become
+// underscores) collision-free, and is enforced by a registry audit test over
+// a real evaluation's snapshot.
+
+// ValidMetricName reports whether name satisfies the naming contract.
+func ValidMetricName(name string) bool {
+	segs := strings.Split(name, ".")
+	if len(segs) < 2 {
+		return false
+	}
+	for _, seg := range segs {
+		if !validSegment(seg) {
+			return false
+		}
+	}
+	return true
+}
+
+func validSegment(seg string) bool {
+	if seg == "" || seg[0] < 'a' || seg[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(seg); i++ {
+		c := seg[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// MetricSegment rewrites an externally supplied identifier (a scheme name, a
+// benchmark name) into a valid metric-name segment: letters are lowercased,
+// and every other character becomes an underscore. Layers that build metric
+// names from user-visible names ("scheme." + name + ".hits") must pass them
+// through here — scheme names like "always-taken" are legal registry names
+// but not legal metric segments.
+func MetricSegment(s string) string {
+	if s == "" {
+		return "x"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+			b[i] = c - 'A' + 'a'
+		case c >= '0' && c <= '9' && i > 0:
+		case c == '_' && i > 0:
+		default:
+			b[i] = '_'
+		}
+	}
+	if b[0] == '_' {
+		b[0] = 'x'
+	}
+	return string(b)
+}

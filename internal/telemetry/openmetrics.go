@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// OpenMetricsContentType is the Content-Type of the /metrics endpoint: the
+// Prometheus text exposition format (version 0.0.4), which every Prometheus
+// and OpenMetrics scraper accepts.
+const OpenMetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteOpenMetrics renders the Set's live state in the Prometheus text
+// exposition format: counters as `counter`, gauges as `gauge`, histograms as
+// cumulative `histogram` series with power-of-two `le` bounds. Metric
+// families are emitted in lexicographic name order, so two renders of the
+// same state are byte-identical. A nil Set writes nothing.
+func (s *Set) WriteOpenMetrics(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	return WriteOpenMetricsSnapshot(w, s.Snapshot())
+}
+
+// WriteOpenMetricsSnapshot renders a captured snapshot (see WriteOpenMetrics).
+func WriteOpenMetricsSnapshot(w io.Writer, snap Snapshot) error {
+	ew := &errWriter{w: w}
+	for _, name := range sortedKeys(snap.Counters) {
+		om := openMetricName(name)
+		ew.printf("# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			om, escapeHelp(name), om, om, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		om := openMetricName(name)
+		ew.printf("# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			om, escapeHelp(name), om, om, snap.Gauges[name])
+	}
+	hnames := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := snap.Histograms[name]
+		om := openMetricName(name)
+		ew.printf("# HELP %s %s\n# TYPE %s histogram\n", om, escapeHelp(name), om)
+		cum := int64(0)
+		for i, n := range h.Buckets {
+			cum += n
+			ew.printf("%s_bucket{le=\"%d\"} %d\n", om, BucketUpper(i), cum)
+		}
+		ew.printf("%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			om, h.Count, om, h.Sum, om, h.Count)
+	}
+	return ew.err
+}
+
+// openMetricName converts a registry name to a Prometheus metric name: dots
+// become underscores (segments never contain characters a Prometheus name
+// rejects — see ValidMetricName), anything else unexpected is underscored
+// defensively.
+func openMetricName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// escapeHelp escapes a HELP line per the exposition format: backslash and
+// newline are the only characters that need it.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// errWriter latches the first write error so the renderers stay linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}

@@ -8,11 +8,13 @@ import (
 // SpanRecord is the serialized form of one timed span. Children are spans
 // started under this span's context, so an evaluation's record/replay/
 // transform phases nest under its root span. DurationNS is zero while the
-// span is still running.
+// span is still running. StartUnixNS is the span's wall-clock start
+// (UnixNano); WriteTraceEvents uses it to place spans on a real timeline.
 type SpanRecord struct {
-	Name       string        `json:"name"`
-	DurationNS int64         `json:"duration_ns"`
-	Children   []*SpanRecord `json:"children,omitempty"`
+	Name        string        `json:"name"`
+	StartUnixNS int64         `json:"start_unix_ns,omitempty"`
+	DurationNS  int64         `json:"duration_ns"`
+	Children    []*SpanRecord `json:"children,omitempty"`
 }
 
 // Span is one in-flight timed region. The nil *Span (what StartSpan returns
@@ -32,7 +34,8 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if set == nil {
 		return ctx, nil
 	}
-	sp := &Span{set: set, start: time.Now(), rec: &SpanRecord{Name: name}}
+	start := time.Now()
+	sp := &Span{set: set, start: start, rec: &SpanRecord{Name: name, StartUnixNS: start.UnixNano()}}
 	set.mu.Lock()
 	if parent, ok := ctx.Value(spanKey).(*Span); ok && parent != nil {
 		parent.rec.Children = append(parent.rec.Children, sp.rec)
@@ -74,9 +77,10 @@ func cloneSpans(spans []*SpanRecord) []*SpanRecord {
 	out := make([]*SpanRecord, len(spans))
 	for i, r := range spans {
 		out[i] = &SpanRecord{
-			Name:       r.Name,
-			DurationNS: r.DurationNS,
-			Children:   cloneSpans(r.Children),
+			Name:        r.Name,
+			StartUnixNS: r.StartUnixNS,
+			DurationNS:  r.DurationNS,
+			Children:    cloneSpans(r.Children),
 		}
 	}
 	return out

@@ -1,7 +1,7 @@
 // Package telemetry is the engine's instrumentation substrate: named
-// counters and gauges, hierarchical timed spans, and a structured logger,
-// all gathered in a Set that travels through context.Context (or explicit
-// wiring, for layers without one).
+// counters, gauges, and log2-bucket histograms, hierarchical timed spans,
+// and a structured logger, all gathered in a Set that travels through
+// context.Context (or explicit wiring, for layers without one).
 //
 // The package is deliberately dependency-free within the repository — it
 // imports only the standard library — so every layer down to the VM can be
@@ -13,12 +13,14 @@
 // benchmark-asserted at ≤2ns/op (see bench_test.go and the replay overhead
 // test in internal/tracefile).
 //
-// Counter names are dotted paths namespaced by layer: "vm.runs",
+// Metric names are dotted paths namespaced by layer: "vm.runs",
 // "tracefile.replay.events", "corpus.hits", "scheme.cbtb.misses",
-// "suite.coalesced". Snapshot serializes the whole registry — counters,
-// gauges, and the completed span trees — as JSON; the same snapshot is
-// exported over expvar and the -pprof debug server (debug.go), and embedded
-// in run manifests (internal/core).
+// "suite.coalesced" (see ValidMetricName for the exact contract). Snapshot
+// serializes the whole registry — counters, gauges, histograms, and the
+// completed span trees — as JSON; the same snapshot is exported over expvar
+// and the -pprof debug server (debug.go, which also serves the Prometheus
+// text format at /metrics and Chrome trace events at /debug/trace-events),
+// and embedded in run manifests (internal/core).
 package telemetry
 
 import (
@@ -101,10 +103,11 @@ func (g *Gauge) Value() int64 {
 // every method is a cheap no-op and every accessor returns the corresponding
 // nil instrument.
 type Set struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	spans    []*SpanRecord // completed or in-flight root spans
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	spans      []*SpanRecord // completed or in-flight root spans
 
 	logger atomic.Pointer[loggerBox]
 }
@@ -113,8 +116,9 @@ type Set struct {
 // logger until SetLogger is called).
 func New() *Set {
 	return &Set{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -150,13 +154,30 @@ func (s *Set) Gauge(name string) *Gauge {
 	return g
 }
 
-// Snapshot is a point-in-time JSON-serializable copy of a Set: counter and
-// gauge values plus the recorded span trees (spans still running report a
-// zero duration).
+// Histogram returns the named histogram, creating it on first use (nil on a
+// nil Set, which discards all observations).
+func (s *Set) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		s.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time JSON-serializable copy of a Set: counter,
+// gauge, and histogram values plus the recorded span trees (spans still
+// running report a zero duration).
 type Snapshot struct {
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Gauges   map[string]int64 `json:"gauges,omitempty"`
-	Spans    []*SpanRecord    `json:"spans,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []*SpanRecord                `json:"spans,omitempty"`
 }
 
 // Snapshot copies the current state. Safe to call concurrently with
@@ -178,6 +199,12 @@ func (s *Set) Snapshot() Snapshot {
 		snap.Gauges = make(map[string]int64, len(s.gauges))
 		for name, g := range s.gauges {
 			snap.Gauges[name] = g.Value()
+		}
+	}
+	if len(s.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(s.histograms))
+		for name, h := range s.histograms {
+			snap.Histograms[name] = h.snapshot()
 		}
 	}
 	snap.Spans = cloneSpans(s.spans)

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event export: the Set's span trees rendered as "X" (complete)
+// events in the Trace Event JSON format, so a run's phase structure —
+// core.evaluate roots with profile/record/replay/fs.* children — opens
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Timestamps are microseconds relative to the earliest recorded span, taken
+// from each span's wall-clock start; spans recorded without a start (older
+// snapshots) are laid out sequentially after their previous sibling so the
+// nesting still renders. Events are emitted in deterministic pre-order
+// (roots in recording order), so identical snapshots export byte-identically.
+
+// traceEvent is one Trace Event Format entry. Field order here is the JSON
+// field order (encoding/json emits struct fields in declaration order),
+// which the determinism golden test relies on.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteTraceEvents renders the Set's current span trees (see the package
+// comment above). A nil Set writes an empty trace document.
+func (s *Set) WriteTraceEvents(w io.Writer) error {
+	return WriteTraceEventsSnapshot(w, s.Snapshot())
+}
+
+// WriteTraceEventsSnapshot renders a captured snapshot's span trees.
+func WriteTraceEventsSnapshot(w io.Writer, snap Snapshot) error {
+	base := int64(0)
+	for _, r := range snap.Spans {
+		if r.StartUnixNS > 0 && (base == 0 || r.StartUnixNS < base) {
+			base = r.StartUnixNS
+		}
+	}
+	var events []traceEvent
+	var cursor int64 // synthetic timeline for spans without a recorded start
+	for _, r := range snap.Spans {
+		events = appendTraceEvents(events, r, base, &cursor)
+	}
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []traceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// appendTraceEvents emits r and its children in pre-order. startNS tracks
+// the synthetic cursor used when spans carry no wall-clock start: such a
+// span begins where its previous sibling ended.
+func appendTraceEvents(events []traceEvent, r *SpanRecord, base int64, cursor *int64) []traceEvent {
+	start := *cursor
+	if r.StartUnixNS > 0 {
+		start = r.StartUnixNS - base
+	}
+	events = append(events, traceEvent{
+		Name: r.Name, Cat: "span", Ph: "X",
+		Ts:  float64(start) / 1e3,
+		Dur: float64(r.DurationNS) / 1e3,
+		Pid: 1, Tid: 1,
+	})
+	childCursor := start
+	for _, c := range r.Children {
+		events = appendTraceEvents(events, c, base, &childCursor)
+	}
+	*cursor = start + r.DurationNS
+	return events
+}

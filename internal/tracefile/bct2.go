@@ -48,6 +48,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"branchcost/internal/isa"
 	"branchcost/internal/telemetry"
@@ -239,11 +240,15 @@ type BCT2Reader struct {
 
 	// Decode counters, nil (no-op) unless Instrument was called.
 	mBlocks, mBytes, mEvents, mCRCFail *telemetry.Counter
+	// Per-block decode latency distribution; nil skips the clock reads too.
+	hDecode *telemetry.Histogram
 }
 
 // Instrument binds the reader's decode counters — "tracefile.bct2.blocks",
-// ".bytes", ".events", and ".crc_failures" — to set. A nil set (telemetry
-// disabled) leaves the reader uninstrumented.
+// ".bytes", ".events", and ".crc_failures" — plus the per-block decode
+// latency histogram "tracefile.bct2.block_decode_ns" to set. A nil set
+// (telemetry disabled) leaves the reader uninstrumented; the latency clock
+// reads happen only when the histogram is bound.
 func (d *BCT2Reader) Instrument(set *telemetry.Set) {
 	if set == nil {
 		return
@@ -252,6 +257,7 @@ func (d *BCT2Reader) Instrument(set *telemetry.Set) {
 	d.mBytes = set.Counter("tracefile.bct2.bytes")
 	d.mEvents = set.Counter("tracefile.bct2.events")
 	d.mCRCFail = set.Counter("tracefile.bct2.crc_failures")
+	d.hDecode = set.Histogram("tracefile.bct2.block_decode_ns")
 }
 
 // NewBCT2Reader validates the magic and version.
@@ -350,6 +356,10 @@ func (d *BCT2Reader) NextBlock(dst []vm.BranchEvent) ([]vm.BranchEvent, error) {
 	if d.done {
 		return nil, io.EOF
 	}
+	var t0 time.Time
+	if d.hDecode != nil {
+		t0 = time.Now()
+	}
 	start := d.off
 	plen, err := d.readUvarint(nil)
 	if err != nil {
@@ -385,6 +395,9 @@ func (d *BCT2Reader) NextBlock(dst []vm.BranchEvent) ([]vm.BranchEvent, error) {
 	d.mBlocks.Inc()
 	d.mBytes.Add(d.off - start)
 	d.mEvents.Add(int64(d.events - before))
+	if d.hDecode != nil {
+		d.hDecode.Observe(time.Since(t0).Nanoseconds())
+	}
 	return dst, nil
 }
 

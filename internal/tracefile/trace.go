@@ -8,6 +8,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"branchcost/internal/isa"
 	"branchcost/internal/telemetry"
@@ -128,9 +129,18 @@ const ctxCheckEvery = 1 << 16
 // replayCtx is Replay with periodic cancellation checks. The per-event
 // counter update is the telemetry layer's hot-path contract: with no Set in
 // ctx the counter is nil and each Inc is an inlined nil check
-// (benchmark-asserted ≤2ns/op in replay_overhead_test.go).
+// (benchmark-asserted ≤2ns/op in replay_overhead_test.go). With telemetry
+// enabled, the latency of each ctxCheckEvery-event chunk also lands in the
+// "tracefile.replay.latency_ns" histogram — chunk granularity keeps the
+// clock reads off the per-event path entirely.
 func (t *Trace) replayCtx(ctx context.Context, hook vm.BranchFunc) error {
-	events := telemetry.FromContext(ctx).Counter("tracefile.replay.events")
+	set := telemetry.FromContext(ctx)
+	events := set.Counter("tracefile.replay.events")
+	latency := set.Histogram("tracefile.replay.latency_ns")
+	var chunkStart time.Time
+	if latency != nil {
+		chunkStart = time.Now()
+	}
 	sites, stream := t.sites, t.stream
 	next := ctxCheckEvery
 	for i := 0; i < len(stream); i++ {
@@ -139,6 +149,11 @@ func (t *Trace) replayCtx(ctx context.Context, hook vm.BranchFunc) error {
 				return err
 			}
 			next += ctxCheckEvery
+			if latency != nil {
+				now := time.Now()
+				latency.Observe(now.Sub(chunkStart).Nanoseconds())
+				chunkStart = now
+			}
 		}
 		events.Inc()
 		w := stream[i]
@@ -154,6 +169,9 @@ func (t *Trace) replayCtx(ctx context.Context, hook vm.BranchFunc) error {
 		}
 		hook(vm.BranchEvent{PC: s.pc, ID: s.id, Op: s.op,
 			Taken: taken, Target: target, Likely: s.likely})
+	}
+	if latency != nil && len(stream) > 0 {
+		latency.Observe(time.Since(chunkStart).Nanoseconds())
 	}
 	return nil
 }
