@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet race telemetry-check chaos verify frontend-check pareto bench bench-json bench-check bench-check-warn corpus-bench repro tables figures ablations fuzz fuzz-short goldens clean
+.PHONY: all build test vet race telemetry-check chaos chaos-serve serve-check verify frontend-check pareto bench bench-json bench-check bench-check-warn corpus-bench repro tables figures ablations fuzz fuzz-short goldens clean
 
-all: build vet test race telemetry-check chaos verify frontend-check pareto bench-check-warn
+all: build vet test race telemetry-check chaos serve-check verify frontend-check pareto bench-check-warn
 
 # Differential-oracle gate: record-or-load the whole benchmark corpus, then
 # replay every trace through each context-free scheme and its deliberately
@@ -45,6 +45,26 @@ chaos:
 	$(GO) test -race -run 'TestChaos' ./internal/corpus
 	$(GO) test -race -run 'TestCorpusSelfHealing|TestCorpusTransientLoadPropagates' ./internal/core
 	$(GO) test -race -run 'TestSuiteDegradeDontDie|TestSuiteRetryHealsTransientFault|TestSuiteEvalNamesContinuesPastFailure|TestRunContext' ./internal/experiments ./internal/vm
+
+# Daemon availability gate: boot the evaluation server over a fault-injecting
+# corpus (probabilistic read errors, a torn rename, per-op latency, a byte
+# budget that keeps eviction churning) and hammer it with concurrent clients
+# across rolling restarts. Asserts the server never wedges, /healthz answers
+# throughout, every failure is a structured typed error (never a panic),
+# each instance drains within its deadline, the byte budget holds, and a
+# post-chaos clean run self-heals to scores bit-identical to a chaos-free
+# baseline with the replay oracle agreeing on every healed trace.
+chaos-serve:
+	$(GO) test -race -run 'TestChaosServe' -count=1 -v ./internal/serve
+
+# Daemon smoke gate (tier-1): exercise cmd/branchcostd as a real process
+# under the race detector — boot, parse the listening line, poll /readyz
+# through the corpus warm-check, run one evaluation over HTTP, then SIGTERM
+# and require a clean drain and exit 0. The in-process server suite
+# (admission control, rate limiting, drain, panic isolation, uploads) runs
+# alongside it.
+serve-check:
+	$(GO) test -race -count=1 -run 'TestServe|TestDaemonSmoke' ./internal/serve ./cmd/branchcostd
 
 # Tier-1 guard for the observability layer: vet plus the race detector over
 # the telemetry substrate and the layers that feed it concurrently. -short

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain lets the test binary double as the daemon: when re-exec'd with
+// BRANCHCOSTD_EXEC=1 it runs main() on its own arguments, so the smoke test
+// drives exactly the shipped entrypoint — flag parsing, signal handling,
+// exit codes — under whatever instrumentation (-race) the test build has.
+func TestMain(m *testing.M) {
+	if os.Getenv("BRANCHCOSTD_EXEC") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// TestDaemonSmoke is the serve-check gate: boot the daemon as a real
+// process, wait for readiness, run one evaluation over HTTP, then SIGTERM
+// it and require a clean drain and exit 0.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level smoke test; run via make serve-check")
+	}
+	cmd := exec.Command(os.Args[0],
+		"-addr", "127.0.0.1:0",
+		"-corpus", t.TempDir(),
+		"-schemes", "sbtb,cbtb",
+		"-warm", "wc",
+		"-drain-timeout", "30s",
+	)
+	cmd.Env = append(os.Environ(), "BRANCHCOSTD_EXEC=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The startup line carries the bound address (the daemon picked a port).
+	sc := bufio.NewScanner(stdout)
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "branchcostd: listening on "); ok {
+			base = "http://" + strings.TrimSpace(addr)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no listening line before deadline")
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never printed its address (scan err %v)", sc.Err())
+	}
+	// Keep draining stdout so the daemon never blocks on a full pipe.
+	drained := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteByte('\n')
+		}
+		drained <- rest.String()
+	}()
+
+	get := func(path string) (*http.Response, error) { return http.Get(base + path) }
+
+	// Liveness is immediate; readiness waits for the warm-check.
+	if resp, err := get("/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("/healthz = %v, %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	ready := false
+	for deadline := time.Now().Add(60 * time.Second); time.Now().Before(deadline); {
+		resp, err := get("/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				ready = true
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatal("/readyz never turned 200")
+	}
+
+	resp, err := http.Post(base+"/eval?benchmark=wc", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/eval = %d, body %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{`"kind":"scheme"`, `"kind":"manifest"`, `"kind":"done"`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("eval stream missing %s: %s", want, body)
+		}
+	}
+	if resp, err := get("/metrics"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("/metrics = %v, %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// SIGTERM: drain and exit 0. Read stdout to EOF (process exit) BEFORE
+	// cmd.Wait — Wait closes the pipe and would race the last lines away.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	select {
+	case out = <-drained:
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon stdout never reached EOF within 60s of SIGTERM")
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exited nonzero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit within 60s of SIGTERM")
+	}
+	if !strings.Contains(out, "drained") {
+		t.Fatalf("daemon exit output missing drain confirmation: %q", out)
+	}
+}

@@ -163,6 +163,78 @@ func TestChaosTornRenameThenQuarantine(t *testing.T) {
 	}
 }
 
+// TestChaosQuarantineSyncsDirectories: QuarantineContext renames entry files
+// across directories, so durability needs both the quarantine directory and
+// the store directory fsynced afterwards — the same crash window the
+// fsync-before-rename fix closed for Put. This is the regression test for
+// the missing directory sync: the rename pass must be followed by (at least)
+// two SyncDir calls through the filesystem seam.
+func TestChaosQuarantineSyncsDirectories(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(nil, faultfs.Plan{})
+	s, err := corpus.OpenFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, put := recordWC(t)
+	if err := put(s); err != nil {
+		t.Fatal(err)
+	}
+	before := inj.SyncDirs()
+	if err := s.Quarantine(k); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.SyncDirs() - before; got < 2 {
+		t.Fatalf("quarantine issued %d directory syncs, want >= 2 (quarantine dir + store dir)", got)
+	}
+	// Quarantining an absent entry moves nothing and must not pay (or
+	// depend on) directory syncs.
+	before = inj.SyncDirs()
+	if err := s.Quarantine(k); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.SyncDirs() - before; got != 0 {
+		t.Fatalf("no-op quarantine issued %d directory syncs, want 0", got)
+	}
+}
+
+// TestChaosQuarantineTornRename: a rename that tears mid-quarantine must
+// surface as an error (not silently half-quarantine), and the store must
+// still heal: after the wreckage, the entry reads as miss-or-corrupt and a
+// clean re-record restores a loadable entry.
+func TestChaosQuarantineTornRename(t *testing.T) {
+	dir := t.TempDir()
+	// Put runs over the clean fs; only the quarantine renames (target under
+	// .quarantine/) are scheduled to tear.
+	clean, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, put := recordWC(t)
+	if err := put(clean); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector(nil, faultfs.Plan{TornRenameAt: 1, PathContains: corpus.QuarantineDirName})
+	s, err := corpus.OpenFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.QuarantineContext(context.Background(), k); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("torn quarantine rename reported %v, want the injected fault", err)
+	}
+	// The entry is now wreckage (trace gone or truncated). Whatever the
+	// exact state, re-recording through the clean store must heal it.
+	if _, _, err := clean.Load(k); err == nil {
+		t.Fatal("half-quarantined entry still loads; torn rename did not bite")
+	}
+	if err := put(clean); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := clean.Load(k); err != nil {
+		t.Fatalf("re-record after torn quarantine did not heal: %v", err)
+	}
+}
+
 // TestChaosSeededDeterminism: the probabilistic plan must make identical
 // injection decisions for an identical operation sequence — the property the
 // chaos suite's fixed seed list {1, 7, 42} depends on.

@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"branchcost/internal/faultfs"
@@ -76,9 +77,18 @@ var (
 
 // Store is a corpus rooted at one directory. The zero value is unusable;
 // construct with Open (or OpenFS to inject a filesystem).
+//
+// A store is unbounded by default; SetBudget imposes a byte budget enforced
+// by access-ordered eviction (see evict.go). Pinned (in-flight) entries and
+// quarantined files are never evicted.
 type Store struct {
 	dir  string
 	fsys faultfs.FS
+
+	mu     sync.Mutex
+	budget int64                // byte budget; 0 = unbounded
+	pins   map[string]int       // entry base name -> in-flight refcount
+	atimes map[string]time.Time // entry base name -> last access
 }
 
 // Open returns a store rooted at dir, creating the directory if needed.
@@ -98,7 +108,8 @@ func OpenFS(dir string, fsys faultfs.FS) (*Store, error) {
 	if err := fsys.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("corpus: %w", err)
 	}
-	return &Store{dir: dir, fsys: fsys}, nil
+	return &Store{dir: dir, fsys: fsys,
+		pins: map[string]int{}, atimes: map[string]time.Time{}}, nil
 }
 
 // FromEnv opens the store named by $BRANCHCOST_CORPUS. It returns (nil,
@@ -227,9 +238,12 @@ func (s *Store) Load(k Key) (*tracefile.Trace, *profile.Profile, error) {
 func (s *Store) LoadContext(ctx context.Context, k Key) (*tracefile.Trace, *profile.Profile, error) {
 	set := telemetry.FromContext(ctx)
 	start := time.Now()
+	release := s.Pin(k)
+	defer release()
 	t, prof, err := s.load(ctx, k)
 	switch {
 	case err == nil:
+		s.touch(k)
 		set.Counter("corpus.hits").Inc()
 		set.Counter("corpus.load_ns").Add(time.Since(start).Nanoseconds())
 		set.Log().Debug("corpus hit", "entry", k.Name, "hash", k.Hash,
@@ -296,18 +310,35 @@ func (s *Store) load(ctx context.Context, k Key) (*tracefile.Trace, *profile.Pro
 }
 
 // OpenTrace opens the entry's trace as a block stream, for replay without
-// materializing it. The caller must Close the returned closer.
+// materializing it. The caller must Close the returned closer; the entry
+// stays pinned against eviction until it does.
 func (s *Store) OpenTrace(k Key) (*tracefile.BCT2Reader, io.Closer, error) {
+	release := s.Pin(k)
 	f, err := s.fsys.Open(s.TracePath(k))
 	if err != nil {
+		release()
 		return nil, nil, fmt.Errorf("corpus: %s: %w: %w", k.Name, classifyOpen(err), err)
 	}
 	d, err := tracefile.NewBCT2Reader(bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
 		f.Close()
+		release()
 		return nil, nil, fmt.Errorf("corpus: %s: %w: %w", k.Name, classifyDecode(err), err)
 	}
-	return d, f, nil
+	s.touch(k)
+	return d, &pinnedCloser{c: f, release: release}, nil
+}
+
+// pinnedCloser unpins a streamed entry when the stream is closed.
+type pinnedCloser struct {
+	c       io.Closer
+	release func()
+	once    sync.Once
+}
+
+func (p *pinnedCloser) Close() error {
+	defer p.once.Do(p.release)
+	return p.c.Close()
 }
 
 // Quarantine moves a damaged entry aside. See QuarantineContext.
@@ -337,6 +368,17 @@ func (s *Store) QuarantineContext(ctx context.Context, k Key) error {
 			return fmt.Errorf("corpus: quarantine %s: %w", k.Name, err)
 		}
 	}
+	if moved > 0 {
+		// The renames crossed from the store directory into .quarantine/:
+		// both directories must reach disk, or a crash could resurrect the
+		// damaged entry under its live name — the exact window the
+		// fsync-before-rename fix closed for Put.
+		for _, d := range []string{qdir, s.dir} {
+			if err := s.fsys.SyncDir(d); err != nil {
+				return fmt.Errorf("corpus: quarantine %s: sync %s: %w", k.Name, filepath.Base(d), err)
+			}
+		}
+	}
 	set.Counter("corpus.quarantines").Inc()
 	set.Log().Warn("corpus entry quarantined", "entry", k.Name, "hash", k.Hash,
 		"files", moved, "dir", qdir)
@@ -357,6 +399,10 @@ func (s *Store) Put(k Key, t *tracefile.Trace, prof *profile.Profile) error {
 func (s *Store) PutContext(ctx context.Context, k Key, t *tracefile.Trace, prof *profile.Profile) error {
 	set := telemetry.FromContext(ctx)
 	start := time.Now()
+	// Pin across the write and the eviction pass below, so a store that
+	// overflows the budget evicts older entries, never the one just written.
+	release := s.Pin(k)
+	defer release()
 	if err := s.writeAtomic(s.TracePath(k), func(w io.Writer) error {
 		_, err := t.WriteTo(w)
 		return err
@@ -366,10 +412,12 @@ func (s *Store) PutContext(ctx context.Context, k Key, t *tracefile.Trace, prof 
 	if err := s.writeAtomic(s.ProfilePath(k), prof.Save); err != nil {
 		return fmt.Errorf("corpus: %s: profile: %w: %w", k.Name, ErrIO, err)
 	}
+	s.touch(k)
 	set.Counter("corpus.stores").Inc()
 	set.Counter("corpus.store_ns").Add(time.Since(start).Nanoseconds())
 	set.Log().Debug("corpus store", "entry", k.Name, "hash", k.Hash,
 		"events", t.Len(), "elapsed", time.Since(start))
+	s.evictContext(ctx)
 	return nil
 }
 
@@ -401,17 +449,7 @@ func (s *Store) writeAtomic(path string, write func(io.Writer) error) error {
 	if err := s.fsys.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	return syncDir(s.dir)
-}
-
-// syncDir fsyncs a directory so a completed rename survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return s.fsys.SyncDir(s.dir)
 }
 
 // Keys scans the store and returns every complete entry (quarantined ones

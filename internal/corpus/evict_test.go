@@ -1,0 +1,216 @@
+package corpus_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"branchcost/internal/corpus"
+	"branchcost/internal/telemetry"
+	"branchcost/internal/workloads"
+)
+
+// recordBench records one benchmark's run-0 trace+profile and returns the
+// key plus a put closure, like recordWC but for any benchmark.
+func recordBench(t *testing.T, name string) (corpus.Key, func(s *corpus.Store) error) {
+	t.Helper()
+	b, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{b.Input(0)}
+	tr, prof, err := corpus.Record(prog, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := corpus.KeyFor(name, prog, inputs)
+	return k, func(s *corpus.Store) error { return s.Put(k, tr, prof) }
+}
+
+// TestEvictionHoldsBudget: with a budget sized for roughly one entry, storing
+// three must evict the least-recently-used ones and keep total size at or
+// under budget, counting every eviction.
+func TestEvictionHoldsBudget(t *testing.T) {
+	dir := t.TempDir()
+	s, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := telemetry.New()
+	ctx := telemetry.NewContext(context.Background(), set)
+
+	names := []string{"wc", "cmp", "grep"}
+	keys := make([]corpus.Key, len(names))
+	for i, name := range names {
+		k, put := recordBench(t, name)
+		keys[i] = k
+		if err := put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sz, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One byte short of the full store: at least one entry must go, and
+	// evicting the oldest single entry is always enough.
+	budget := sz - 1
+	s.SetBudgetContext(ctx, budget)
+
+	after, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > budget {
+		t.Fatalf("size %d over budget %d after eviction", after, budget)
+	}
+	snap := set.Snapshot()
+	if snap.Counters["corpus.evictions"] == 0 {
+		t.Fatal("nothing was evicted despite an over-budget store")
+	}
+	if g := snap.Gauges["corpus.size_bytes"]; g > budget {
+		t.Fatalf("corpus.size_bytes gauge %d over budget %d", g, budget)
+	}
+	// Surviving entries still load; evicted ones read as clean misses.
+	live, evicted := 0, 0
+	for _, k := range keys {
+		_, _, err := s.LoadContext(ctx, k)
+		switch {
+		case err == nil:
+			live++
+		case corpus.IsMiss(err):
+			evicted++
+		default:
+			t.Fatalf("post-eviction load of %s: %v, want hit or miss", k.Name, err)
+		}
+	}
+	if live == 0 || evicted == 0 {
+		t.Fatalf("live=%d evicted=%d, want both nonzero", live, evicted)
+	}
+}
+
+// TestEvictionIsLRU: touching an old entry must save it; the untouched one
+// goes first.
+func TestEvictionIsLRU(t *testing.T) {
+	dir := t.TempDir()
+	s, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kWC, putWC := recordBench(t, "wc")
+	kCmp, putCmp := recordBench(t, "cmp")
+	if err := putWC(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := putCmp(s); err != nil {
+		t.Fatal(err)
+	}
+	// wc is older on disk; a load refreshes its access time past cmp's.
+	if _, _, err := s.Load(kWC); err != nil {
+		t.Fatal(err)
+	}
+	wcSize := entrySize(t, s, kWC)
+	total, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetBudget(total - wcSize/2) // forces exactly one eviction
+
+	if _, _, err := s.Load(kWC); err != nil {
+		t.Fatalf("recently-used wc was evicted: %v", err)
+	}
+	if _, _, err := s.Load(kCmp); !corpus.IsMiss(err) {
+		t.Fatalf("least-recently-used cmp not evicted: %v", err)
+	}
+}
+
+// TestEvictionSkipsPinned: a pinned (in-flight) entry survives even when it
+// is the eviction candidate, and is shed once released.
+func TestEvictionSkipsPinned(t *testing.T) {
+	dir := t.TempDir()
+	s, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kWC, putWC := recordBench(t, "wc")
+	kCmp, putCmp := recordBench(t, "cmp")
+	if err := putWC(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := putCmp(s); err != nil {
+		t.Fatal(err)
+	}
+	release := s.Pin(kWC)
+	if _, _, err := s.Load(kCmp); err != nil { // cmp is now most recent
+		t.Fatal(err)
+	}
+	total, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wc is the LRU candidate but pinned: eviction must shed cmp instead.
+	s.SetBudget(total - entrySize(t, s, kWC)/2)
+	if _, _, err := s.Load(kWC); err != nil {
+		t.Fatalf("pinned entry was evicted: %v", err)
+	}
+	if _, _, err := s.Load(kCmp); !corpus.IsMiss(err) {
+		t.Fatalf("eviction under a pin shed nothing: cmp load = %v, want miss", err)
+	}
+	// Released, the pin no longer protects wc from a tighter budget.
+	release()
+	s.SetBudget(1)
+	if _, _, err := s.Load(kWC); !corpus.IsMiss(err) {
+		t.Fatalf("released entry not evicted: %v", err)
+	}
+}
+
+// TestEvictionSparesQuarantine: eviction must never delete quarantined
+// evidence, however tight the budget.
+func TestEvictionSparesQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kWC, putWC := recordBench(t, "wc")
+	if err := putWC(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine(kWC); err != nil {
+		t.Fatal(err)
+	}
+	kCmp, putCmp := recordBench(t, "cmp")
+	if err := putCmp(s); err != nil {
+		t.Fatal(err)
+	}
+	s.SetBudget(1) // evict everything evictable
+	if _, _, err := s.Load(kCmp); !corpus.IsMiss(err) {
+		t.Fatalf("live entry survived a 1-byte budget: %v", err)
+	}
+	qents, err := readQuarantine(dir)
+	if err != nil || len(qents) != 2 {
+		t.Fatalf("quarantine dir disturbed by eviction: %d files, err %v", len(qents), err)
+	}
+}
+
+func entrySize(t *testing.T, s *corpus.Store, k corpus.Key) int64 {
+	t.Helper()
+	var n int64
+	for _, p := range []string{s.TracePath(k), s.ProfilePath(k)} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += fi.Size()
+	}
+	return n
+}
+
+func readQuarantine(dir string) ([]os.DirEntry, error) {
+	return os.ReadDir(filepath.Join(dir, corpus.QuarantineDirName))
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -168,6 +169,155 @@ func TestSuiteEvalNamesContinuesPastFailure(t *testing.T) {
 	var be *experiments.BenchError
 	if !errors.As(err, &be) || be.Phase != "lookup" {
 		t.Fatalf("joined error lacks a lookup-phase BenchError: %v", err)
+	}
+}
+
+// TestSuiteBackoffSeededDeterminism: with RetrySeed set, the jittered retry
+// schedule must be a pure function of the seed — two identically seeded
+// suites produce identical schedules, different seeds diverge, and every
+// delay stays inside the documented ±50% jitter envelope. Without a seed the
+// draws come from the global stream (the pre-existing default), which two
+// suites must not share deterministically.
+func TestSuiteBackoffSeededDeterminism(t *testing.T) {
+	mk := func(seed int64) *experiments.Suite {
+		s := experiments.NewSuite(core.Config{})
+		s.RetryBackoff = 10 * time.Millisecond
+		s.RetrySeed = seed
+		return s
+	}
+	schedule := func(s *experiments.Suite) []time.Duration {
+		var out []time.Duration
+		for n := 1; n <= 6; n++ {
+			out = append(out, s.Backoff(n))
+		}
+		return out
+	}
+	a, b := schedule(mk(42)), schedule(mk(42))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 schedules diverge at retry %d: %v vs %v", i+1, a, b)
+		}
+		base := 10 * time.Millisecond << uint(i)
+		if a[i] < base/2 || a[i] > base+base/2 {
+			t.Fatalf("retry %d delay %v outside jitter envelope [%v, %v]",
+				i+1, a[i], base/2, base+base/2)
+		}
+	}
+	c := schedule(mk(7))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 7 produced identical schedules: %v", a)
+	}
+}
+
+// TestSuitePanicIsolated: a benchmark whose evaluation panics must fail with
+// phase "panic" (cause unwrapping to ErrEvalPanic) and release coalesced
+// waiters — never unwind the worker — and the suite must stay usable for
+// the next request.
+func TestSuitePanicIsolated(t *testing.T) {
+	set := telemetry.New()
+	s := experiments.NewSuite(core.Config{Telemetry: set})
+	s.Lookup = func(name string) (*workloads.Benchmark, error) {
+		if name == "poisoned" {
+			return &workloads.Benchmark{
+				Name:    "poisoned",
+				Runs:    1,
+				Sources: []string{`func main() { return 0; }`},
+				Input:   func(int) []byte { panic("poisoned input generator") },
+			}, nil
+		}
+		return workloads.ByName(name)
+	}
+	_, err := s.EvalContext(context.Background(), "poisoned")
+	if !errors.Is(err, experiments.ErrEvalPanic) {
+		t.Fatalf("panicking evaluation returned %v, want ErrEvalPanic", err)
+	}
+	fails := s.Failures()
+	if len(fails) != 1 || fails[0].Phase != "panic" {
+		t.Fatalf("Failures() = %v, want one phase-panic entry", fails)
+	}
+	if got := set.Snapshot().Counters["suite.panics"]; got != 1 {
+		t.Fatalf("suite.panics = %d, want 1", got)
+	}
+	// The suite survived: a healthy benchmark still evaluates.
+	if _, err := s.EvalContext(context.Background(), "wc"); err != nil {
+		t.Fatalf("suite unusable after a panic: %v", err)
+	}
+}
+
+// TestSuitePartialConcurrentIdentical: N concurrent identical EvalNamesPartial
+// fan-outs over a suite with one persistently failing benchmark. Singleflight
+// followers must see the same structured BenchError (phase and attempt count)
+// the owner recorded — not a locally reclassified one — every successful slot
+// must carry the same cached evaluation, and Failures() must order
+// deterministically.
+func TestSuitePartialConcurrentIdentical(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(nil, faultfs.Plan{FailOpenAt: 1, EveryOpen: true, PathContains: "grep-"})
+	store, err := corpus.OpenFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := experiments.NewSuite(core.Config{Corpus: store, Schemes: []string{"sbtb"}})
+	s.Workers = 4
+	s.Retries = 2
+	s.RetryBackoff = time.Millisecond
+	s.RetrySeed = 1
+
+	const callers = 6
+	names := []string{"wc", "grep", "cmp"}
+	results := make([]*experiments.Partial, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.EvalNamesPartial(context.Background(), names)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, p := range results {
+		if len(p.Errors) != 1 {
+			t.Fatalf("caller %d: %d errors, want exactly 1 (grep): %v", i, len(p.Errors), p.Errors)
+		}
+		be := p.Errors[0]
+		if be.Benchmark != "grep" || be.Phase != "corpus" {
+			t.Fatalf("caller %d: failure %+v, want grep/corpus", i, be)
+		}
+		// The owner ran Retries+1 attempts; followers must report the same
+		// count, not their own. (Callers racing ahead of the owner's failure
+		// record re-run the eval and legitimately become owners themselves —
+		// but every owner exhausts the same retry budget, so the attempt
+		// count is identical either way.)
+		if be.Attempts != s.Retries+1 {
+			t.Fatalf("caller %d: attempts = %d, want %d", i, be.Attempts, s.Retries+1)
+		}
+		if !corpus.IsTransient(be) {
+			t.Fatalf("caller %d: cause %v is not transient", i, be.Err)
+		}
+		if p.Evals[0] == nil || p.Evals[0].Name != "wc" || p.Evals[2] == nil || p.Evals[2].Name != "cmp" {
+			t.Fatalf("caller %d: surviving evals misplaced: %v", i, p.Evals)
+		}
+		// Successful slots coalesced onto the same cached evaluations.
+		if i > 0 {
+			if p.Evals[0] != results[0].Evals[0] || p.Evals[2] != results[0].Evals[2] {
+				t.Fatalf("caller %d did not share the singleflight evaluations", i)
+			}
+		}
+	}
+	// Failures() is deterministic: sorted by benchmark, one record.
+	f1, f2 := s.Failures(), s.Failures()
+	if len(f1) != 1 || f1[0].Benchmark != "grep" {
+		t.Fatalf("Failures() = %v, want [grep]", f1)
+	}
+	if len(f2) != len(f1) || f1[0] != f2[0] {
+		t.Fatalf("Failures() not stable across calls: %v vs %v", f1, f2)
 	}
 }
 

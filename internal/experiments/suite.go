@@ -57,6 +57,13 @@ type Suite struct {
 	// attempts (doubled each attempt, jittered ±50%); 0 means 50ms.
 	RetryBackoff time.Duration
 
+	// RetrySeed, when nonzero, makes the backoff jitter draw from a private
+	// source seeded with it instead of the global math/rand stream — the
+	// same suite configuration then produces the same retry schedule, which
+	// is what makes chaos runs replayable from a seed. Zero keeps the global
+	// source (the default, unchanged).
+	RetrySeed int64
+
 	// Lookup resolves a benchmark name; nil means workloads.ByName. Tests
 	// inject synthetic workloads (a hung loop, a poisoned input) here.
 	Lookup func(name string) (*workloads.Benchmark, error)
@@ -64,6 +71,9 @@ type Suite struct {
 	mu       sync.Mutex
 	evals    map[string]*suiteEntry
 	failures map[string]*BenchError
+
+	jmu   sync.Mutex
+	jrand *rand.Rand // lazily seeded from RetrySeed; nil = global source
 }
 
 // suiteEntry is one benchmark's in-flight or completed evaluation.
@@ -108,10 +118,25 @@ func (e *BenchError) MarshalJSON() ([]byte, error) {
 	}{e.Benchmark, e.Phase, e.Attempts, fmt.Sprint(e.Err)})
 }
 
+// ErrEvalPanic marks a benchmark evaluation that panicked. The suite
+// converts the panic into this error (phase "panic") instead of letting it
+// unwind the worker — one poisoned workload or corrupted structure must
+// never take down a long-running daemon, and the singleflight entry must
+// still resolve so coalesced waiters are released.
+var ErrEvalPanic = errors.New("evaluation panicked")
+
+// ClassifyPhase maps a benchmark failure to the pipeline phase that caused
+// it ("panic", "deadline", "cancelled", "corpus", "vm", "evaluate"), walking
+// the error chain so wrapped causes still classify. Exported for callers —
+// the evaluation daemon — that type errors the suite did not wrap itself.
+func ClassifyPhase(err error) string { return classifyPhase(err) }
+
 // classifyPhase maps a benchmark failure to the pipeline phase that caused
 // it, walking the error chain so wrapped causes still classify.
 func classifyPhase(err error) string {
 	switch {
+	case errors.Is(err, ErrEvalPanic):
+		return "panic"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "deadline"
 	case errors.Is(err, context.Canceled):
@@ -133,16 +158,32 @@ func (s *Suite) lookup(name string) (*workloads.Benchmark, error) {
 	return workloads.ByName(name)
 }
 
-// backoff returns the jittered exponential delay before retry attempt n
-// (n = 1 for the first retry).
-func (s *Suite) backoff(n int) time.Duration {
+// Backoff returns the jittered exponential delay before retry attempt n
+// (n = 1 for the first retry). With RetrySeed set the draws come from a
+// private seeded stream, so the schedule is a deterministic function of
+// (RetrySeed, call sequence) — exported so chaos tests can assert it.
+func (s *Suite) Backoff(n int) time.Duration {
 	base := s.RetryBackoff
 	if base <= 0 {
 		base = 50 * time.Millisecond
 	}
 	d := base << uint(n-1)
 	// ±50% jitter decorrelates retry storms across workers.
-	return d/2 + time.Duration(rand.Int63n(int64(d)+1))
+	return d/2 + time.Duration(s.jitter(int64(d)+1))
+}
+
+// jitter draws a uniform value in [0, n) from the seeded source when
+// RetrySeed is set, else from the global math/rand stream.
+func (s *Suite) jitter(n int64) int64 {
+	if s.RetrySeed == 0 {
+		return rand.Int63n(n)
+	}
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.jrand == nil {
+		s.jrand = rand.New(rand.NewSource(s.RetrySeed))
+	}
+	return s.jrand.Int63n(n)
 }
 
 // evalOne runs one benchmark's full evaluation: resolve it, then attempt
@@ -159,7 +200,7 @@ func (s *Suite) evalOne(ctx context.Context, set *telemetry.Set, name string) (e
 		if s.Deadline > 0 {
 			actx, cancel = context.WithTimeout(ctx, s.Deadline)
 		}
-		e, err := core.EvaluateBenchmarkContext(actx, b, s.Cfg)
+		e, err := s.evalAttempt(actx, set, b)
 		cancel()
 		if err == nil {
 			return e, attempt, "", nil
@@ -171,7 +212,7 @@ func (s *Suite) evalOne(ctx context.Context, set *telemetry.Set, name string) (e
 			return nil, attempt, classifyPhase(err), err
 		}
 		set.Counter("suite.retries").Inc()
-		delay := s.backoff(attempt)
+		delay := s.Backoff(attempt)
 		telemetry.Logger(ctx).Warn("suite: transient corpus failure, retrying",
 			"benchmark", name, "attempt", attempt, "backoff", delay, "err", err)
 		t := time.NewTimer(delay)
@@ -181,6 +222,50 @@ func (s *Suite) evalOne(ctx context.Context, set *telemetry.Set, name string) (e
 			t.Stop()
 			return nil, attempt, classifyPhase(ctx.Err()), ctx.Err()
 		}
+	}
+}
+
+// evalAttempt runs one panic-isolated evaluation attempt. A panic anywhere
+// in the pipeline (a poisoned input generator, a scheme whose state was
+// corrupted by a bad entry) becomes an ErrEvalPanic failure, and — since the
+// most likely external cause is a damaged corpus entry feeding the replay —
+// the benchmark's entry is quarantined best-effort so the next attempt
+// re-records from scratch instead of re-crashing on the same bytes.
+func (s *Suite) evalAttempt(ctx context.Context, set *telemetry.Set, b *workloads.Benchmark) (e *core.Eval, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, err = nil, fmt.Errorf("%w: %v", ErrEvalPanic, r)
+			set.Counter("suite.panics").Inc()
+			telemetry.Logger(ctx).Error("suite: evaluation panicked",
+				"benchmark", b.Name, "panic", fmt.Sprint(r))
+			s.quarantineAfterPanic(ctx, b)
+		}
+	}()
+	return core.EvaluateBenchmarkContext(ctx, b, s.Cfg)
+}
+
+// quarantineAfterPanic moves the panicking benchmark's corpus entry aside,
+// best-effort: computing the key re-runs the benchmark's program build and
+// input generators, either of which may be the very thing that panicked, so
+// the whole attempt is fenced by its own recover.
+func (s *Suite) quarantineAfterPanic(ctx context.Context, b *workloads.Benchmark) {
+	if s.Cfg.Corpus == nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			telemetry.Logger(ctx).Warn("suite: post-panic quarantine itself panicked, skipped",
+				"benchmark", b.Name, "panic", fmt.Sprint(r))
+		}
+	}()
+	prog, err := b.Program()
+	if err != nil {
+		return
+	}
+	k := corpus.KeyFor(b.Name, prog, b.Inputs())
+	if err := s.Cfg.Corpus.QuarantineContext(ctx, k); err != nil {
+		telemetry.Logger(ctx).Warn("suite: post-panic quarantine failed",
+			"benchmark", b.Name, "err", err)
 	}
 }
 

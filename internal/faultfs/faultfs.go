@@ -48,6 +48,10 @@ type FS interface {
 	MkdirAll(path string, perm iofs.FileMode) error
 	Stat(name string) (iofs.FileInfo, error)
 	ReadDir(name string) ([]iofs.DirEntry, error)
+	// SyncDir fsyncs a directory, making a completed rename within it
+	// crash-durable. Going through the seam (rather than a bare os.Open)
+	// keeps directory syncs countable and failable in chaos plans.
+	SyncDir(name string) error
 }
 
 // OS is the real filesystem.
@@ -61,6 +65,15 @@ func (OS) MkdirAll(path string, perm iofs.FileMode) error { return os.MkdirAll(p
 func (OS) Stat(name string) (iofs.FileInfo, error)        { return os.Stat(name) }
 func (OS) ReadDir(name string) ([]iofs.DirEntry, error)   { return os.ReadDir(name) }
 
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
 // Plan schedules faults deterministically. The Nth-operation rules are
 // 1-based global indices per operation class (the 3rd read overall, the 1st
 // rename, ...); zero disables a rule. The probabilistic rules draw from a
@@ -71,11 +84,12 @@ func (OS) ReadDir(name string) ([]iofs.DirEntry, error)   { return os.ReadDir(na
 type Plan struct {
 	Seed uint64
 
-	FailOpenAt   int64 // Nth Open fails outright
-	FailReadAt   int64 // Nth Read (across all injected handles) fails
-	ShortWriteAt int64 // Nth Write lands only half its bytes, then fails
-	TornRenameAt int64 // Nth Rename leaves a truncated file at the target
-	FailStatAt   int64 // Nth Stat fails
+	FailOpenAt    int64 // Nth Open fails outright
+	FailReadAt    int64 // Nth Read (across all injected handles) fails
+	ShortWriteAt  int64 // Nth Write lands only half its bytes, then fails
+	TornRenameAt  int64 // Nth Rename leaves a truncated file at the target
+	FailStatAt    int64 // Nth Stat fails
+	FailSyncDirAt int64 // Nth SyncDir fails (the dropped-directory-writeback crash model)
 
 	ReadFailProb  float64 // per-read failure probability (seeded)
 	WriteFailProb float64 // per-write failure probability (seeded)
@@ -128,6 +142,7 @@ type Injector struct {
 	writes   int64
 	renames  int64
 	stats    int64
+	syncs    int64
 	injected int64
 }
 
@@ -287,6 +302,34 @@ func (in *Injector) Stat(name string) (iofs.FileInfo, error) {
 func (in *Injector) ReadDir(name string) ([]iofs.DirEntry, error) {
 	in.sleep()
 	return in.fs.ReadDir(name)
+}
+
+// SyncDir counts directory syncs and fails the scheduled one — the model of
+// a crash window where the rename landed but the directory writeback did
+// not. SyncDirs returns how many the store has issued, which is how the
+// quarantine durability regression test asserts the sync actually happens.
+func (in *Injector) SyncDir(name string) error {
+	in.sleep()
+	if in.plan.matches(name) {
+		in.mu.Lock()
+		in.syncs++
+		fire := nth(in.plan.FailSyncDirAt, in.syncs, false)
+		if fire {
+			in.injected++
+		}
+		in.mu.Unlock()
+		if fire {
+			return fmt.Errorf("syncdir %s: %w", name, ErrInjected)
+		}
+	}
+	return in.fs.SyncDir(name)
+}
+
+// SyncDirs returns how many SyncDir calls the injector has seen.
+func (in *Injector) SyncDirs() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.syncs
 }
 
 // faultFile intercepts reads and writes on a handle the injector opened.

@@ -1,0 +1,311 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"branchcost/internal/core"
+	"branchcost/internal/corpus"
+	"branchcost/internal/faultfs"
+	"branchcost/internal/oracle"
+	"branchcost/internal/serve"
+	"branchcost/internal/telemetry"
+	"branchcost/internal/workloads"
+)
+
+// chaosNames is the benchmark mix the availability gate hammers.
+var chaosNames = []string{"wc", "tee", "cmp", "grep"}
+
+// schemeScores extracts the per-scheme lines of one /eval NDJSON response,
+// keyed by scheme name, with the raw decoded values (so a comparison is
+// bit-identity of everything the daemon reports, not a rounded subset).
+func schemeScores(t *testing.T, body *bytes.Buffer) map[string]map[string]any {
+	t.Helper()
+	out := map[string]map[string]any{}
+	for _, m := range ndjsonLines(t, body) {
+		if m["kind"] != "scheme" {
+			continue
+		}
+		name := m["scheme"].(string)
+		delete(m, "kind")
+		out[name] = m
+	}
+	return out
+}
+
+// evalScores runs one benchmark evaluation through the server and fails the
+// test unless it succeeds cleanly.
+func evalScores(t *testing.T, s *serve.Server, name string) map[string]map[string]any {
+	t.Helper()
+	w := do(s, httptest.NewRequest("POST", "/eval?benchmark="+name, nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("eval %s = %d, body %s", name, w.Code, w.Body)
+	}
+	return schemeScores(t, w.Body)
+}
+
+// TestChaosServe is the daemon availability gate: a server whose corpus
+// lives on a fault-injecting filesystem (probabilistic read errors, a torn
+// rename, per-op latency) and carries a byte budget, under sustained
+// concurrent load. The server must
+//
+//   - never wedge: the whole storm is wall-clock bounded,
+//   - keep /healthz answering throughout,
+//   - fail only with structured typed errors (never a panic, never a
+//     naked non-JSON 500),
+//   - drain cleanly within its deadline afterwards,
+//   - hold the corpus at or under its byte budget, and
+//   - leave entries that — after self-healing — score bit-identically to a
+//     chaos-free run, with the replay oracle agreeing on the trace.
+func TestChaosServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("availability gate; run via make chaos-serve")
+	}
+
+	schemes := []string{"sbtb", "cbtb", "gshare"}
+	newCfg := func(store *corpus.Store, budget int64) serve.Config {
+		return serve.Config{
+			Core: core.Config{
+				Corpus:    store,
+				Schemes:   schemes,
+				Telemetry: telemetry.New(),
+			},
+			Workers:      4,
+			Deadline:     30 * time.Second,
+			Retries:      3,
+			RetryBackoff: time.Millisecond,
+			RetrySeed:    1,
+			MaxInFlight:  4,
+			MaxQueue:     64,
+			CorpusBudget: budget,
+			DrainTimeout: 10 * time.Second,
+		}
+	}
+
+	// Chaos-free baseline: scores and corpus footprint of the same mix.
+	cleanStore, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanSrv := serve.New(newCfg(cleanStore, 0))
+	baseline := map[string]map[string]map[string]any{}
+	for _, name := range chaosNames {
+		baseline[name] = evalScores(t, cleanSrv, name)
+	}
+	cleanSize, err := cleanStore.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The chaos store: every corpus file operation risks an injected read
+	// error, pays latency, and the third rename tears mid-flight. The
+	// budget fits roughly two thirds of the full entry set, so recording
+	// the mix churns eviction while requests are still arriving.
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(nil, faultfs.Plan{
+		Seed:         42,
+		ReadFailProb: 0.2,
+		TornRenameAt: 3,
+		Latency:      200 * time.Microsecond,
+	})
+	store, err := corpus.OpenFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nine tenths of the full footprint: always over-full once the whole
+	// mix is recorded (eviction stays busy), but with enough resident
+	// entries that loads hit disk and the probabilistic read faults bite.
+	budget := cleanSize * 9 / 10
+
+	// Each round gets a fresh server over the SAME faulty store — a rolling
+	// restart. A fresh suite has no in-memory results, so every round's
+	// evaluations go back to the corpus: loads (read faults), re-records
+	// after eviction or quarantine (write/rename faults), eviction churn.
+	const (
+		rounds  = 4
+		clients = 6
+	)
+	servers := make([]*serve.Server, rounds)
+	for r := range servers {
+		servers[r] = serve.New(newCfg(store, budget))
+	}
+	s := servers[0]
+
+	done := make(chan struct{})
+	var health sync.WaitGroup
+	health.Add(1)
+	go func() { // /healthz must answer 200 for the whole storm
+		defer health.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if w := do(s, httptest.NewRequest("GET", "/healthz", nil)); w.Code != http.StatusOK {
+				t.Errorf("/healthz under chaos = %d", w.Code)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, rounds*clients)
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for r := 0; r < rounds; r++ {
+			var load sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				load.Add(1)
+				name := chaosNames[c%len(chaosNames)]
+				go func(srv *serve.Server, name string) {
+					defer load.Done()
+					w := do(srv, httptest.NewRequest("POST", "/eval?benchmark="+name, nil))
+					results <- result{w.Code, w.Body.Bytes()}
+				}(servers[r], name)
+			}
+			load.Wait()
+		}
+	}()
+
+	// No wedge: the storm finishes inside a hard wall-clock bound.
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("chaos load wedged: evaluations still in flight after 2m")
+	}
+	close(done)
+	health.Wait()
+	close(results)
+
+	ok, failed := 0, 0
+	for res := range results {
+		switch res.status {
+		case http.StatusOK:
+			ok++
+		default:
+			failed++
+			// Every failure must be a structured typed error — and never a
+			// panic escaping as a response.
+			var body struct {
+				Error serve.APIError `json:"error"`
+			}
+			if err := json.Unmarshal(res.body, &body); err != nil || body.Error.Code == "" {
+				t.Fatalf("untyped failure under chaos: status %d body %q", res.status, res.body)
+			}
+			if body.Error.Code == "panic" {
+				t.Fatalf("evaluation panicked under chaos: %s", res.body)
+			}
+		}
+	}
+	t.Logf("chaos storm: %d ok, %d typed failures, %d injected faults", ok, failed, inj.Injected())
+	if ok == 0 {
+		t.Fatal("no evaluation succeeded under chaos; the fault plan is too hot to prove availability")
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("no fault fired; the gate proved nothing")
+	}
+
+	// Every server drains cleanly within its deadline.
+	for r, srv := range servers {
+		dstart := time.Now()
+		if err := srv.Drain(context.Background()); err != nil {
+			t.Fatalf("post-chaos drain of server %d: %v", r, err)
+		}
+		if elapsed := time.Since(dstart); elapsed > 10*time.Second {
+			t.Fatalf("drain of server %d took %v, over the deadline", r, elapsed)
+		}
+	}
+
+	// The byte budget holds. Under concurrent Puts the budget is an
+	// amortized bound (pinned in-flight entries are never shed), so with
+	// the fleet drained and every pin released, one more enforcement pass
+	// must land the store at or under budget — wreckage from torn renames
+	// has no complete entry and never counts; quarantined evidence is
+	// exempt by design.
+	store.SetBudgetContext(context.Background(), budget)
+	size, err := store.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size > budget {
+		t.Fatalf("post-chaos corpus size %d over budget %d", size, budget)
+	}
+
+	// Bit-identical recovery: a clean server over the chaos directory must
+	// self-heal whatever wreckage remains (quarantine + re-record) and
+	// reproduce the baseline scores exactly.
+	healStore, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healSrv := serve.New(newCfg(healStore, 0))
+	for _, name := range chaosNames {
+		got := evalScores(t, healSrv, name)
+		want := baseline[name]
+		if len(got) != len(want) {
+			t.Fatalf("%s: post-chaos schemes %v, want %v", name, keysOf(got), keysOf(want))
+		}
+		for scheme, wantVals := range want {
+			gotVals := got[scheme]
+			for field, wv := range wantVals {
+				if gv := gotVals[field]; !reflect.DeepEqual(gv, wv) {
+					t.Errorf("%s/%s.%s = %v, want %v (not bit-identical after chaos)",
+						name, scheme, field, gv, wv)
+				}
+			}
+		}
+	}
+
+	// The replay oracle agrees with the healed entries: re-scoring every
+	// replayable scheme against the lockstep reference finds no divergence.
+	for _, name := range chaosNames {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := corpus.KeyFor(name, prog, inputsOf(b))
+		tr, _, err := healStore.Load(k)
+		if err != nil {
+			t.Fatalf("healed store has no %s entry: %v", name, err)
+		}
+		for _, v := range oracle.VerifyTrace(tr, nil) {
+			if v.Div != nil || v.Err != nil {
+				t.Errorf("oracle divergence on healed %s trace, scheme %s: div=%v err=%v",
+					name, v.Scheme, v.Div, v.Err)
+			}
+		}
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func inputsOf(b *workloads.Benchmark) [][]byte {
+	inputs := make([][]byte, b.Runs)
+	for i := range inputs {
+		inputs[i] = b.Input(i)
+	}
+	return inputs
+}
