@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet race telemetry-check chaos chaos-serve serve-check verify frontend-check pareto bench bench-json bench-check bench-check-warn corpus-bench repro tables figures ablations fuzz fuzz-short goldens clean
+.PHONY: all build test vet race telemetry-check chaos chaos-serve serve-check verify frontend-check pareto workloads-check bench bench-json bench-check bench-check-warn corpus-bench repro tables figures ablations fuzz fuzz-short goldens clean
 
-all: build vet test race telemetry-check chaos serve-check verify frontend-check pareto bench-check-warn
+all: build vet test race telemetry-check chaos serve-check verify frontend-check pareto workloads-check bench-check-warn
 
 # Differential-oracle gate: record-or-load the whole benchmark corpus, then
 # replay every trace through each context-free scheme and its deliberately
@@ -32,6 +32,20 @@ pareto:
 	$(GO) run ./cmd/branchsim -corpus $(BENCH_CORPUS) -pareto \
 		-pareto-json PARETO_$$(date +%Y%m%d).json
 	@echo "wrote PARETO_$$(date +%Y%m%d).json"
+
+# Workload conformance gate: every registered benchmark — the paper suite
+# and the modern adversarial classes — must honour its machine-checked
+# contract. Declared fingerprints hold within tolerance across seeds,
+# generators and recorded traces are bit-identical run to run, the modern
+# classes replay to their committed golden per-scheme scores, each class's
+# headline inversion holds with an asserted margin (interp rewards history,
+# scans flip CBTB on data order, btb-stress defeats history and cliffs past
+# BTB capacity, ctx-storm favours local), and the replay oracle agrees on
+# every class trace.
+workloads-check:
+	$(GO) test -count=1 -run \
+		'TestFingerprint|TestScanPairSameFingerprint|TestInputDeterminism|TestGeneratorDeterminism|TestProgramDeterminism|TestTraceDeterminism|TestClassGoldenScores|TestInterpInversion|TestScanOrderFlip|TestStressDefeatsHistory|TestStormFavorsLocal|TestStressCapacityCliff|TestClassOracleVerify' \
+		./internal/workloads ./internal/profile
 
 # Chaos gate: the fault-injection suite under the race detector — faultfs
 # plan semantics, corpus behaviour under injected I/O faults and torn

@@ -12,6 +12,8 @@
 //	branchsim -frontend -width 1,2,4,8   # frontend cost-model sweep
 //	branchsim -frontend-check            # model-vs-pipesim agreement, all benchmarks
 //	branchsim -pareto -pareto-json pareto.json   # storage-vs-accuracy frontier
+//	branchsim -modern                    # adversarial workload classes vs the scheme zoo
+//	branchsim -bench modern -pareto      # -bench accepts groups: primary|all|modern|everything|<class>
 //	branchsim -scheme-opt gshare.history=14 -ablate pareto  # per-scheme override
 //	branchsim -attr -topk 10 -attr-json attr.json  # mispredict attribution report
 //
@@ -77,6 +79,7 @@ func main() {
 		frontend   = flag.Bool("frontend", false, "run the frontend cost-model sweep across fetch widths")
 		frontCk    = flag.Bool("frontend-check", false, "assert model-vs-pipesim agreement on every benchmark (exit 1 on violation)")
 		pareto     = flag.Bool("pareto", false, "run the storage-vs-accuracy Pareto sweep over the predictor zoo")
+		modern     = flag.Bool("modern", false, "run the modern/adversarial workload classes against the scheme zoo")
 		paretoJSON = flag.String("pareto-json", "", "with -pareto: also write the frontier rows as JSON to this file")
 		attrRep    = flag.Bool("attr", false, "run the suite-wide mispredict attribution report (per-site + scheme overlap)")
 		attrJSON   = flag.String("attr-json", "", "with -attr: also write the attribution report as JSON to this file")
@@ -144,7 +147,7 @@ func main() {
 	}
 
 	nothing := *table == 0 && *figure == 0 && !*headline && *ablate == "" && !*all &&
-		!*frontend && !*frontCk && !*pareto && !*attrRep && *attrJSON == ""
+		!*frontend && !*frontCk && !*pareto && !*modern && !*attrRep && *attrJSON == ""
 	if nothing {
 		*all = true
 	}
@@ -213,6 +216,12 @@ func main() {
 	if *frontend {
 		run("frontend sweep", func() (string, error) {
 			_, t, err := experiments.FrontendSweep(suite, names, widths)
+			return render(t, err)
+		})
+	}
+	if *modern {
+		run("modern classes", func() (string, error) {
+			_, t, err := experiments.ModernSuite(suite)
 			return render(t, err)
 		})
 	}
@@ -399,6 +408,30 @@ func parseWidths(sel string) ([]int, error) {
 	return widths, nil
 }
 
+// benchGroups expands a -bench selector element that names a group rather
+// than a single benchmark: the registry slices (primary, all, modern,
+// everything) and any workload class name ("scan" selects both scan
+// benchmarks). Returns nil when the element is not a group.
+func benchGroups(part string) []*workloads.Benchmark {
+	switch part {
+	case "primary":
+		return workloads.Primary()
+	case "all":
+		return workloads.All()
+	case "modern":
+		return workloads.Modern()
+	case "everything":
+		return workloads.Everything()
+	}
+	var class []*workloads.Benchmark
+	for _, b := range workloads.Modern() {
+		if b.Class == part {
+			class = append(class, b)
+		}
+	}
+	return class
+}
+
 func benchNames(sel string) []string {
 	if sel == "" {
 		var names []string
@@ -407,13 +440,20 @@ func benchNames(sel string) []string {
 		}
 		return names
 	}
-	parts := strings.Split(sel, ",")
-	for i := range parts {
-		parts[i] = strings.TrimSpace(parts[i])
-		if _, err := workloads.ByName(parts[i]); err != nil {
-			fmt.Fprintf(os.Stderr, "branchsim: %v\n", err)
+	var names []string
+	for _, part := range strings.Split(sel, ",") {
+		part = strings.TrimSpace(part)
+		if group := benchGroups(part); group != nil {
+			for _, b := range group {
+				names = append(names, b.Name)
+			}
+			continue
+		}
+		if _, err := workloads.ByName(part); err != nil {
+			fmt.Fprintf(os.Stderr, "branchsim: %v (or a group: primary, all, modern, everything, or a class name)\n", err)
 			os.Exit(2)
 		}
+		names = append(names, part)
 	}
-	return parts
+	return names
 }

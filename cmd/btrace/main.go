@@ -57,6 +57,7 @@ import (
 	"branchcost/internal/oracle"
 	"branchcost/internal/pipesim"
 	"branchcost/internal/predict"
+	"branchcost/internal/profile"
 	"branchcost/internal/telemetry"
 	"branchcost/internal/tracefile"
 	"branchcost/internal/vm"
@@ -288,13 +289,15 @@ func openCorpus(dir string) *corpus.Store {
 
 // doRecordSuite warms the corpus: every benchmark whose entry is missing is
 // recorded by one instrumented VM pass; present entries are left untouched.
-// A positive deadline bounds each benchmark's recording, maxSteps bounds each
-// VM run, and partial turns per-benchmark failures into a joined end-of-run
-// report instead of aborting the warm-up.
+// The sweep covers the full registry — the paper's twelve and the modern
+// workload classes — so downstream corpus consumers (the oracle sweep
+// included) see every class. A positive deadline bounds each benchmark's
+// recording, maxSteps bounds each VM run, and partial turns per-benchmark
+// failures into a joined end-of-run report instead of aborting the warm-up.
 func doRecordSuite(ctx context.Context, dir string, deadline time.Duration, maxSteps int64, partial bool) {
 	store := openCorpus(dir)
 	var errs []error
-	for _, b := range workloads.All() {
+	for _, b := range workloads.Everything() {
 		err := recordOne(ctx, store, b, deadline, maxSteps)
 		if err == nil {
 			continue
@@ -349,7 +352,31 @@ func doList(dir string) {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%-10s %s  %d bytes\n", k.Name, k.Hash, st.Size())
+		// Class and fingerprint columns: the registered class (paper suite
+		// members print "paper", unregistered names "-"), and the stored
+		// profile's measured fingerprint so a listing doubles as a conformance
+		// eyeball — the declared contract lives on the benchmark. Keys carry
+		// sanitized names, so match the registry through the same mapping.
+		class := "-"
+		for _, b := range workloads.Everything() {
+			if corpus.SanitizeName(b.Name) == k.Name {
+				if class = b.Class; class == "" {
+					class = "paper"
+				}
+				break
+			}
+		}
+		fp := "-"
+		if pf, err := os.Open(store.ProfilePath(k)); err == nil {
+			prof, perr := profile.Load(pf)
+			pf.Close()
+			if perr == nil {
+				f := prof.Fingerprint()
+				fp = fmt.Sprintf("taken=%.3f cond=%.3f ind=%.3f sites=%d",
+					f.TakenRatio, f.CondTakenRatio, f.IndirectShare, f.Sites)
+			}
+		}
+		fmt.Printf("%-13s %-9s %s  %8d bytes  %s\n", k.Name, class, k.Hash, st.Size(), fp)
 	}
 	fmt.Printf("%d entries in %s\n", len(keys), store.Dir())
 }

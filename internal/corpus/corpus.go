@@ -192,8 +192,10 @@ func fingerprintProgram(h io.Writer, word func(uint64), p *isa.Program) {
 	}
 }
 
-// sanitize keeps entry filenames portable whatever the benchmark name.
-func sanitize(name string) string {
+// SanitizeName maps a benchmark name to the portable form used in entry
+// filenames — the name Keys() reports back. Tools correlating corpus entries
+// with the registry (btrace -ls) match through this.
+func SanitizeName(name string) string {
 	return strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
@@ -202,6 +204,8 @@ func sanitize(name string) string {
 		return '_'
 	}, name)
 }
+
+func sanitize(name string) string { return SanitizeName(name) }
 
 func (s *Store) base(k Key) string {
 	return filepath.Join(s.dir, sanitize(k.Name)+"-"+k.Hash)

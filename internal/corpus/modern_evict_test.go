@@ -1,0 +1,77 @@
+package corpus_test
+
+import (
+	"testing"
+
+	"branchcost/internal/corpus"
+)
+
+// The modern classes produce the corpus's biggest entries (btb-stress:
+// 1291 sites across ~650k events). These tests pin that the PR-9 byte
+// budget handles them like any other entry: they are evictable, they are
+// pin-safe while an evaluation streams them, and eviction math stays
+// correct at their sizes.
+
+func TestStressEntryEvictable(t *testing.T) {
+	s, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kStress, putStress := recordBench(t, "btb-stress")
+	kScan, putScan := recordBench(t, "scan-unsorted")
+	if err := putStress(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := putScan(s); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(kStress) || !s.Has(kScan) {
+		t.Fatal("entries missing after put")
+	}
+
+	// Budget for the scan entry alone: the older, bigger stress entry is
+	// the LRU victim, and the store lands at or under budget.
+	budget := entrySize(t, s, kScan)
+	s.SetBudget(budget)
+	if s.Has(kStress) {
+		t.Error("btb-stress entry survived a budget below its size")
+	}
+	if !s.Has(kScan) {
+		t.Error("most-recent entry evicted ahead of the LRU one")
+	}
+	if sz, err := s.Size(); err != nil || sz > budget {
+		t.Errorf("store size %d over budget %d after eviction (err %v)", sz, budget, err)
+	}
+}
+
+func TestStressEntryPinSafe(t *testing.T) {
+	s, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kStress, putStress := recordBench(t, "btb-stress")
+	if err := putStress(s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pinned: a budget of one byte cannot touch the entry an evaluation is
+	// streaming right now.
+	release := s.Pin(kStress)
+	s.SetBudget(1)
+	if !s.Has(kStress) {
+		t.Fatal("pinned btb-stress entry evicted")
+	}
+	if _, _, err := s.Load(kStress); err != nil {
+		t.Fatalf("pinned entry unreadable: %v", err)
+	}
+
+	// Released: the next budget pass reclaims it.
+	release()
+	s.SetBudget(1)
+	if s.Has(kStress) {
+		t.Fatal("released entry survived a one-byte budget")
+	}
+	if sz, err := s.Size(); err != nil || sz != 0 {
+		t.Fatalf("store size %d after evicting everything (err %v)", sz, err)
+	}
+}

@@ -499,13 +499,14 @@ func (s *Suite) Manifests() []*core.Manifest {
 	return out
 }
 
-// Warm records-or-loads every benchmark of the suite (all twelve, the
-// Table-5-only ones included) through the worker pool. With Cfg.Corpus set,
-// a cold corpus is fully populated by one Warm call and every later suite
-// evaluation — this process or the next — replays from disk.
+// Warm records-or-loads every registered benchmark — the paper's twelve
+// (Table-5-only ones included) and the modern workload classes — through the
+// worker pool. With Cfg.Corpus set, a cold corpus is fully populated by one
+// Warm call and every later suite evaluation — this process or the next —
+// replays from disk.
 func (s *Suite) Warm(ctx context.Context) error {
 	var names []string
-	for _, b := range workloads.All() {
+	for _, b := range workloads.Everything() {
 		names = append(names, b.Name)
 	}
 	_, err := s.EvalNames(ctx, names)

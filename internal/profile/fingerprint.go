@@ -1,0 +1,165 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"branchcost/internal/isa"
+)
+
+// Fingerprint is the compact branch-behaviour signature of a profiled
+// program: the quantities that decide which prediction scheme a workload
+// rewards or defeats. Two profiles of the same workload class — different
+// input seeds, same generator — must produce fingerprints within a declared
+// Tolerance of each other; that is the machine-checked contract every
+// workload class (the paper's twelve and the modern adversarial classes)
+// carries in its tests.
+type Fingerprint struct {
+	// Branches is the dynamic branch count the ratios below are over.
+	Branches int64 `json:"branches"`
+
+	// TakenRatio is the fraction of dynamic branches that were taken
+	// (unconditional branches count as taken).
+	TakenRatio float64 `json:"taken_ratio"`
+
+	// CondTakenRatio is the taken fraction restricted to conditional
+	// branches — the paper's Table 2 "taken" column.
+	CondTakenRatio float64 `json:"cond_taken_ratio"`
+
+	// IndirectShare is the fraction of dynamic branches that were indirect
+	// jumps (JMPI — switch dispatch, the BTB-killing class).
+	IndirectShare float64 `json:"indirect_share"`
+
+	// PerOp counts dynamic executions per branch opcode, keyed by mnemonic.
+	PerOp map[string]int64 `json:"per_op"`
+
+	// Sites is the number of distinct static branch sites that executed —
+	// the BTB working-set size.
+	Sites int `json:"sites"`
+}
+
+// Fingerprint summarizes the profile into its branch-behaviour signature.
+func (p *Profile) Fingerprint() Fingerprint {
+	f := Fingerprint{PerOp: map[string]int64{}}
+	var taken, condExec, condTaken, indirect int64
+	for _, b := range p.Branches {
+		f.Branches += b.Exec
+		f.PerOp[b.Op.String()] += b.Exec
+		taken += b.Taken
+		if b.Op.IsCondBranch() {
+			condExec += b.Exec
+			condTaken += b.Taken
+		}
+		if b.Op == isa.JMPI {
+			indirect += b.Exec
+		}
+		f.Sites++
+	}
+	if f.Branches > 0 {
+		f.TakenRatio = float64(taken) / float64(f.Branches)
+		f.IndirectShare = float64(indirect) / float64(f.Branches)
+	}
+	if condExec > 0 {
+		f.CondTakenRatio = float64(condTaken) / float64(condExec)
+	}
+	return f
+}
+
+// Tolerance is the allowed band when comparing a measured fingerprint
+// against a declared one. Ratios compare absolutely; Sites and the per-op
+// mix compare relatively. Zero fields disable that check.
+type Tolerance struct {
+	// TakenRatio bounds |got − want| of TakenRatio and CondTakenRatio.
+	TakenRatio float64
+	// IndirectShare bounds |got − want| of IndirectShare.
+	IndirectShare float64
+	// SitesFrac bounds |got − want| / max(want, 1) of the distinct-site count.
+	SitesFrac float64
+	// OpShareFrac bounds, per opcode, the absolute difference of that
+	// opcode's share of all dynamic branches.
+	OpShareFrac float64
+}
+
+// opShare returns op's fraction of the fingerprint's dynamic branches.
+func (f Fingerprint) opShare(op string) float64 {
+	if f.Branches == 0 {
+		return 0
+	}
+	return float64(f.PerOp[op]) / float64(f.Branches)
+}
+
+// Within checks the fingerprint against a declared one, reporting every
+// violated band (nil when all hold). The declared fingerprint's PerOp map
+// may be nil to skip the op-mix check.
+func (f Fingerprint) Within(want Fingerprint, tol Tolerance) error {
+	var bad []string
+	abs := func(x float64) float64 { return math.Abs(x) }
+	if tol.TakenRatio > 0 {
+		if d := abs(f.TakenRatio - want.TakenRatio); d > tol.TakenRatio {
+			bad = append(bad, fmt.Sprintf("taken ratio %.4f vs %.4f (|Δ|=%.4f > %.4f)",
+				f.TakenRatio, want.TakenRatio, d, tol.TakenRatio))
+		}
+		if d := abs(f.CondTakenRatio - want.CondTakenRatio); d > tol.TakenRatio {
+			bad = append(bad, fmt.Sprintf("cond taken ratio %.4f vs %.4f (|Δ|=%.4f > %.4f)",
+				f.CondTakenRatio, want.CondTakenRatio, d, tol.TakenRatio))
+		}
+	}
+	if tol.IndirectShare > 0 {
+		if d := abs(f.IndirectShare - want.IndirectShare); d > tol.IndirectShare {
+			bad = append(bad, fmt.Sprintf("indirect share %.4f vs %.4f (|Δ|=%.4f > %.4f)",
+				f.IndirectShare, want.IndirectShare, d, tol.IndirectShare))
+		}
+	}
+	if tol.SitesFrac > 0 {
+		den := float64(want.Sites)
+		if den < 1 {
+			den = 1
+		}
+		if d := abs(float64(f.Sites-want.Sites)) / den; d > tol.SitesFrac {
+			bad = append(bad, fmt.Sprintf("sites %d vs %d (Δ=%.3f > %.3f of declared)",
+				f.Sites, want.Sites, d, tol.SitesFrac))
+		}
+	}
+	if tol.OpShareFrac > 0 && want.PerOp != nil {
+		ops := map[string]bool{}
+		for op := range f.PerOp {
+			ops[op] = true
+		}
+		for op := range want.PerOp {
+			ops[op] = true
+		}
+		sorted := make([]string, 0, len(ops))
+		for op := range ops {
+			sorted = append(sorted, op)
+		}
+		sort.Strings(sorted)
+		for _, op := range sorted {
+			if d := abs(f.opShare(op) - want.opShare(op)); d > tol.OpShareFrac {
+				bad = append(bad, fmt.Sprintf("op %s share %.4f vs %.4f (|Δ|=%.4f > %.4f)",
+					op, f.opShare(op), want.opShare(op), d, tol.OpShareFrac))
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("fingerprint outside tolerance: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// String renders the fingerprint on one line, ops sorted by mnemonic.
+func (f Fingerprint) String() string {
+	ops := make([]string, 0, len(f.PerOp))
+	for op := range f.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	var b strings.Builder
+	fmt.Fprintf(&b, "branches=%d taken=%.3f cond-taken=%.3f indirect=%.3f sites=%d",
+		f.Branches, f.TakenRatio, f.CondTakenRatio, f.IndirectShare, f.Sites)
+	for _, op := range ops {
+		fmt.Fprintf(&b, " %s=%d", op, f.PerOp[op])
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package profile
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"branchcost/internal/isa"
+)
+
+// fpProfile builds a small profile with a known branch mix: one biased
+// conditional, one alternating conditional, one direct jump, one indirect.
+func fpProfile() *Profile {
+	p := New()
+	p.Branches[1] = &BranchStat{Op: isa.BEQ, Exec: 100, Taken: 90}
+	p.Branches[2] = &BranchStat{Op: isa.BNE, Exec: 100, Taken: 50}
+	p.Branches[3] = &BranchStat{Op: isa.JMP, Exec: 40, Taken: 40}
+	p.Branches[4] = &BranchStat{Op: isa.JMPI, Exec: 60, Taken: 60,
+		Targets: map[int32]int64{10: 30, 20: 30}}
+	p.Steps = 1000
+	p.Runs = 1
+	return p
+}
+
+func TestFingerprintValues(t *testing.T) {
+	f := fpProfile().Fingerprint()
+	if f.Branches != 300 {
+		t.Fatalf("branches = %d, want 300", f.Branches)
+	}
+	if want := (90.0 + 50 + 40 + 60) / 300; math.Abs(f.TakenRatio-want) > 1e-12 {
+		t.Errorf("taken ratio %.6f, want %.6f", f.TakenRatio, want)
+	}
+	if want := 140.0 / 200; math.Abs(f.CondTakenRatio-want) > 1e-12 {
+		t.Errorf("cond taken ratio %.6f, want %.6f", f.CondTakenRatio, want)
+	}
+	if want := 60.0 / 300; math.Abs(f.IndirectShare-want) > 1e-12 {
+		t.Errorf("indirect share %.6f, want %.6f", f.IndirectShare, want)
+	}
+	if f.Sites != 4 {
+		t.Errorf("sites = %d, want 4", f.Sites)
+	}
+	if f.PerOp["beq"] != 100 || f.PerOp["jmpi"] != 60 {
+		t.Errorf("per-op counts wrong: %v", f.PerOp)
+	}
+}
+
+func TestFingerprintEmptyProfile(t *testing.T) {
+	f := New().Fingerprint()
+	if f.Branches != 0 || f.TakenRatio != 0 || f.IndirectShare != 0 || f.Sites != 0 {
+		t.Fatalf("empty profile fingerprint not zero: %+v", f)
+	}
+}
+
+func TestFingerprintJSONRoundTrip(t *testing.T) {
+	f := fpProfile().Fingerprint()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Fingerprint
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip changed the fingerprint:\n got %+v\nwant %+v", got, f)
+	}
+	// The wire names are part of the format: tools (btrace -ls, the daemon's
+	// /benchmarks catalog) key on them.
+	for _, key := range []string{"branches", "taken_ratio", "cond_taken_ratio",
+		"indirect_share", "per_op", "sites"} {
+		if !strings.Contains(string(data), `"`+key+`"`) {
+			t.Errorf("serialized fingerprint lacks %q: %s", key, data)
+		}
+	}
+}
+
+func TestFingerprintWithin(t *testing.T) {
+	f := fpProfile().Fingerprint()
+	tol := Tolerance{TakenRatio: 0.05, IndirectShare: 0.05, SitesFrac: 0.25, OpShareFrac: 0.05}
+
+	if err := f.Within(f, tol); err != nil {
+		t.Fatalf("fingerprint not within itself: %v", err)
+	}
+
+	// Nudge within band.
+	near := f
+	near.TakenRatio += 0.04
+	near.CondTakenRatio -= 0.04
+	near.Sites = 5
+	if err := near.Within(f, tol); err != nil {
+		t.Fatalf("near fingerprint rejected: %v", err)
+	}
+
+	// Each band violation is caught and named.
+	cases := []struct {
+		name string
+		mut  func(*Fingerprint)
+		want string
+	}{
+		{"taken", func(g *Fingerprint) { g.TakenRatio += 0.06 }, "taken ratio"},
+		{"cond-taken", func(g *Fingerprint) { g.CondTakenRatio -= 0.06 }, "cond taken ratio"},
+		{"indirect", func(g *Fingerprint) { g.IndirectShare += 0.06 }, "indirect share"},
+		{"sites", func(g *Fingerprint) { g.Sites = 9 }, "sites"},
+		{"op-mix", func(g *Fingerprint) {
+			g.PerOp = map[string]int64{"beq": 160, "bne": 40, "jmp": 40, "jmpi": 60}
+		}, "op beq share"},
+	}
+	for _, tc := range cases {
+		g := f
+		tc.mut(&g)
+		err := g.Within(f, tol)
+		if err == nil {
+			t.Errorf("%s: violation not caught", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFingerprintToleranceZeroDisables(t *testing.T) {
+	f := fpProfile().Fingerprint()
+	far := f
+	far.TakenRatio = 0
+	far.IndirectShare = 1
+	far.Sites = 1000
+	if err := far.Within(f, Tolerance{}); err != nil {
+		t.Fatalf("zero tolerance should disable all checks, got %v", err)
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	s := fpProfile().Fingerprint().String()
+	for _, want := range []string{"branches=300", "sites=4", "jmpi=60"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() %q lacks %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"branchcost/internal/core"
+	"branchcost/internal/profile"
+	"branchcost/internal/workloads"
+)
+
+// TestServeBenchmarksCatalog: GET /benchmarks lists the full registry —
+// paper suite and modern classes — with each benchmark's class and declared
+// fingerprint contract, wire-keyed the way profile.Fingerprint serializes.
+func TestServeBenchmarksCatalog(t *testing.T) {
+	s := testServer(t, nil)
+	w := do(s, httptest.NewRequest("GET", "/benchmarks", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("/benchmarks = %d, body %.300s", w.Code, w.Body)
+	}
+	var body struct {
+		Benchmarks []struct {
+			Name        string               `json:"name"`
+			Class       string               `json:"class"`
+			Runs        int                  `json:"runs"`
+			Fingerprint *profile.Fingerprint `json:"fingerprint"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("catalog is not JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for i, e := range body.Benchmarks {
+		byName[e.Name] = i
+	}
+	for _, b := range workloads.Everything() {
+		i, ok := byName[b.Name]
+		if !ok {
+			t.Errorf("catalog lacks %s", b.Name)
+			continue
+		}
+		e := body.Benchmarks[i]
+		if e.Class != b.Class {
+			t.Errorf("%s: class %q, want %q", b.Name, e.Class, b.Class)
+		}
+		if e.Runs != b.Runs {
+			t.Errorf("%s: runs %d, want %d", b.Name, e.Runs, b.Runs)
+		}
+		if e.Fingerprint == nil {
+			t.Errorf("%s: catalog entry has no fingerprint", b.Name)
+			continue
+		}
+		if e.Fingerprint.TakenRatio != b.Fingerprint.TakenRatio ||
+			e.Fingerprint.Sites != b.Fingerprint.Sites {
+			t.Errorf("%s: catalog fingerprint %+v diverges from declared %+v",
+				b.Name, e.Fingerprint, b.Fingerprint)
+		}
+	}
+	if len(body.Benchmarks) != len(workloads.Everything()) {
+		t.Errorf("catalog has %d entries, registry %d", len(body.Benchmarks), len(workloads.Everything()))
+	}
+}
+
+// TestServeEvalModernClasses: POST /eval?benchmark=<class member> streams
+// per-scheme scores bit-identical to an in-process evaluation — same
+// integer counts, same accuracy floats after the JSON round trip (Go's
+// float64 encoding is shortest-round-trip, so == is the right comparison).
+// The daemon path must not perturb the numbers: corpus round trip, NDJSON
+// encoding and the suite scheduler are all score-neutral.
+func TestServeEvalModernClasses(t *testing.T) {
+	s := testServer(t, nil)
+	for _, name := range []string{"interp", "scan-unsorted", "btb-stress"} {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.EvaluateBenchmark(b, core.Config{Schemes: []string{"sbtb", "cbtb"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := do(s, httptest.NewRequest("POST", "/eval?benchmark="+name, nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("/eval?benchmark=%s = %d, body %.300s", name, w.Code, w.Body)
+		}
+		schemes := 0
+		for _, m := range ndjsonLines(t, w.Body) {
+			if m["kind"] != "scheme" {
+				continue
+			}
+			schemes++
+			sn := m["scheme"].(string)
+			ref, ok := want.Schemes[sn]
+			if !ok {
+				t.Fatalf("%s: daemon streamed unexpected scheme %q", name, sn)
+			}
+			if got := m["accuracy"].(float64); got != ref.Stats.Accuracy() {
+				t.Errorf("%s/%s: daemon accuracy %v != in-process %v", name, sn, got, ref.Stats.Accuracy())
+			}
+			if got := int64(m["branches"].(float64)); got != ref.Stats.Branches {
+				t.Errorf("%s/%s: daemon branches %d != in-process %d", name, sn, got, ref.Stats.Branches)
+			}
+			if got := int64(m["correct"].(float64)); got != ref.Stats.Correct {
+				t.Errorf("%s/%s: daemon correct %d != in-process %d", name, sn, got, ref.Stats.Correct)
+			}
+			if got := int64(m["hits"].(float64)); got != ref.Stats.Hits {
+				t.Errorf("%s/%s: daemon hits %d != in-process %d", name, sn, got, ref.Stats.Hits)
+			}
+		}
+		if schemes != 2 {
+			t.Fatalf("%s: %d scheme lines, want 2", name, schemes)
+		}
+	}
+}
+
+// TestServeWarmCoversModernClasses: the default warm set (nil
+// WarmBenchmarks) is the full registry, so a freshly warmed daemon serves
+// class members from its corpus without a cold recording on first request.
+func TestServeWarmCoversModernClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry warm is slow")
+	}
+	s := testServer(t, nil)
+	if err := s.WarmCheck(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if w := do(s, httptest.NewRequest("GET", "/readyz", nil)); w.Code != http.StatusOK {
+		t.Fatalf("/readyz after full warm = %d (body %s)", w.Code, w.Body)
+	}
+	for _, b := range workloads.Modern() {
+		if _, err := s.Suite().Eval(b.Name); err != nil {
+			t.Errorf("%s not served after warm: %v", b.Name, err)
+		}
+	}
+}

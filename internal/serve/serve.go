@@ -41,6 +41,7 @@ import (
 	"branchcost/internal/core"
 	"branchcost/internal/experiments"
 	"branchcost/internal/predict"
+	"branchcost/internal/profile"
 	"branchcost/internal/telemetry"
 	"branchcost/internal/workloads"
 )
@@ -171,6 +172,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /failures", s.handleFailures)
 	mux.HandleFunc("GET /schemes", s.handleSchemes)
+	mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", telemetry.OpenMetricsContentType)
 		s.set.WriteOpenMetrics(w)
@@ -200,7 +202,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) WarmCheck(ctx context.Context) error {
 	names := s.cfg.WarmBenchmarks
 	if names == nil {
-		for _, b := range workloads.All() {
+		// The default warm set is the full registry: the paper's twelve and
+		// the modern workload classes the daemon also serves.
+		for _, b := range workloads.Everything() {
 			names = append(names, b.Name)
 		}
 	}
@@ -334,6 +338,31 @@ func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"schemes": out})
+}
+
+// handleBenchmarks lists the benchmark registry — the paper's suite and the
+// modern workload classes — with each benchmark's declared fingerprint
+// contract, so clients can discover what /eval accepts and what branch
+// behaviour each name stands for.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	type benchInfo struct {
+		Name        string               `json:"name"`
+		Class       string               `json:"class,omitempty"` // empty: the paper's 1989 suite
+		Description string               `json:"description,omitempty"`
+		Runs        int                  `json:"runs"`
+		Fingerprint *profile.Fingerprint `json:"fingerprint,omitempty"`
+	}
+	var out []benchInfo
+	for _, b := range workloads.Everything() {
+		out = append(out, benchInfo{
+			Name:        b.Name,
+			Class:       b.Class,
+			Description: b.Description,
+			Runs:        b.Runs,
+			Fingerprint: b.Fingerprint,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": out})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,224 @@
+package workloads_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"branchcost/internal/core"
+	"branchcost/internal/oracle"
+	"branchcost/internal/predict"
+	"branchcost/internal/tracefile"
+	"branchcost/internal/workloads"
+)
+
+// scoreSchemes is the scheme set the class goldens are committed over: the
+// paper's three (sbtb, cbtb, fs), the two-level BTB, and the history zoo
+// members each class was designed to separate.
+var scoreSchemes = []string{"sbtb", "cbtb", "btb2l", "gshare", "local", "tage", "fs"}
+
+// classGoldens locks the per-scheme overall accuracy of every modern class
+// benchmark, full suite of profiling runs, to six decimals. Replay is
+// deterministic, so any drift means the generator, compiler, VM or a
+// predictor changed behaviour — deliberate changes update the table.
+var classGoldens = map[string]map[string]float64{
+	"btb-stress":    {"sbtb": 0.541537, "cbtb": 0.541541, "btb2l": 0.541553, "gshare": 0.479576, "local": 0.512101, "tage": 0.453420, "fs": 0.716584},
+	"ctx-storm":     {"sbtb": 0.566837, "cbtb": 0.576369, "btb2l": 0.579685, "gshare": 0.520245, "local": 0.711242, "tage": 0.626825, "fs": 0.598535},
+	"interp":        {"sbtb": 0.885668, "cbtb": 0.880276, "btb2l": 0.880276, "gshare": 0.887776, "local": 0.885764, "tage": 0.889089, "fs": 0.822828},
+	"scan-sorted":   {"sbtb": 0.999202, "cbtb": 0.999117, "btb2l": 0.999117, "gshare": 0.999510, "local": 0.999215, "tage": 0.999616, "fs": 0.841414},
+	"scan-unsorted": {"sbtb": 0.800524, "cbtb": 0.826180, "btb2l": 0.826180, "gshare": 0.838830, "local": 0.827368, "tage": 0.850127, "fs": 0.841414},
+	"vcall":         {"sbtb": 0.915054, "cbtb": 0.915090, "btb2l": 0.915090, "gshare": 0.914879, "local": 0.917916, "tage": 0.915870, "fs": 0.876756},
+}
+
+// classEvals evaluates every modern benchmark once and shares the results
+// across the score tests.
+var classEvals = func() map[string]*core.Eval {
+	out := map[string]*core.Eval{}
+	for _, b := range workloads.Modern() {
+		e, err := core.EvaluateBenchmark(b, core.Config{Schemes: scoreSchemes})
+		if err != nil {
+			panic(fmt.Sprintf("evaluate %s: %v", b.Name, err))
+		}
+		out[b.Name] = e
+	}
+	return out
+}()
+
+func acc(t *testing.T, bench, scheme string) float64 {
+	t.Helper()
+	e, ok := classEvals[bench]
+	if !ok {
+		t.Fatalf("no evaluation for %q", bench)
+	}
+	return e.Schemes[scheme].Stats.Accuracy()
+}
+
+func condAcc(t *testing.T, bench, scheme string) float64 {
+	t.Helper()
+	return classEvals[bench].Schemes[scheme].Stats.CondAccuracy()
+}
+
+func TestClassGoldenScores(t *testing.T) {
+	for _, b := range workloads.Modern() {
+		want, ok := classGoldens[b.Name]
+		if !ok {
+			t.Errorf("%s: no golden scores committed", b.Name)
+			continue
+		}
+		for _, s := range scoreSchemes {
+			got := acc(t, b.Name, s)
+			if math.Abs(got-want[s]) > 1e-6 {
+				t.Errorf("%s/%s: accuracy %.6f, golden %.6f", b.Name, s, got, want[s])
+			}
+		}
+	}
+}
+
+// TestInterpInversion pins the dispatch class's headline result: on
+// interpreter workloads the global-history predictors (gshare, TAGE) beat
+// both of the paper's BTB schemes — the inversion the 1989 data could not
+// show — while profile-guided static prediction, the paper's software
+// winner, falls far behind. Margins are asserted, not just signs: replay is
+// deterministic, so these are exact reproducible gaps, not noise.
+func TestInterpInversion(t *testing.T) {
+	sbtb, cbtb := acc(t, "interp", "sbtb"), acc(t, "interp", "cbtb")
+	for _, hist := range []string{"gshare", "tage"} {
+		h := acc(t, "interp", hist)
+		if h < sbtb+0.0015 {
+			t.Errorf("%s %.6f does not beat sbtb %.6f by 0.0015", hist, h, sbtb)
+		}
+		if h < cbtb+0.005 {
+			t.Errorf("%s %.6f does not beat cbtb %.6f by 0.005", hist, h, cbtb)
+		}
+		if ch, cc := condAcc(t, "interp", hist), condAcc(t, "interp", "cbtb"); ch < cc+0.01 {
+			t.Errorf("%s cond accuracy %.6f does not beat cbtb's %.6f by 0.01", hist, ch, cc)
+		}
+	}
+	fs := acc(t, "interp", "fs")
+	for _, s := range scoreSchemes {
+		if s != "fs" && acc(t, "interp", s) <= fs {
+			t.Errorf("fs %.6f should be the worst, but beats %s %.6f", fs, s, acc(t, "interp", s))
+		}
+	}
+}
+
+// TestScanOrderFlip pins the scan pair's story: identical program, identical
+// value multiset, and sorting alone moves cbtb by 17 points. The static fs
+// scheme is exactly order-blind — same accuracy on both to the last bit —
+// and overtakes cbtb once the data is shuffled.
+func TestScanOrderFlip(t *testing.T) {
+	cbtbSorted, cbtbUnsorted := acc(t, "scan-sorted", "cbtb"), acc(t, "scan-unsorted", "cbtb")
+	if cbtbSorted < cbtbUnsorted+0.15 {
+		t.Errorf("cbtb sorted %.6f vs unsorted %.6f: flip below 0.15", cbtbSorted, cbtbUnsorted)
+	}
+	fsSorted, fsUnsorted := acc(t, "scan-sorted", "fs"), acc(t, "scan-unsorted", "fs")
+	if fsSorted != fsUnsorted {
+		t.Errorf("fs is order-blind yet scored %.9f sorted vs %.9f unsorted", fsSorted, fsUnsorted)
+	}
+	if fsUnsorted < cbtbUnsorted+0.01 {
+		t.Errorf("fs %.6f does not beat cbtb %.6f on unsorted data by 0.01", fsUnsorted, cbtbUnsorted)
+	}
+}
+
+// TestStressDefeatsHistory pins the btb-stress story: with 1291 live sites
+// aliasing through every table, the history predictors do worse than the
+// paper's plain BTBs (their state is trampled AND they mispredict targets),
+// and profile-guided fs — which needs no table at all — beats everything.
+func TestStressDefeatsHistory(t *testing.T) {
+	sbtb := acc(t, "btb-stress", "sbtb")
+	if g := acc(t, "btb-stress", "gshare"); g > sbtb-0.04 {
+		t.Errorf("gshare %.6f not defeated by sbtb %.6f (want gap ≥ 0.04)", g, sbtb)
+	}
+	if tg := acc(t, "btb-stress", "tage"); tg > sbtb-0.05 {
+		t.Errorf("tage %.6f not defeated by sbtb %.6f (want gap ≥ 0.05)", tg, sbtb)
+	}
+	fs := acc(t, "btb-stress", "fs")
+	for _, s := range scoreSchemes {
+		if s != "fs" && fs < acc(t, "btb-stress", s)+0.1 {
+			t.Errorf("fs %.6f does not beat %s %.6f by 0.1", fs, s, acc(t, "btb-stress", s))
+		}
+	}
+}
+
+// TestStormFavorsLocal pins the ctx-storm story: per-site local history
+// survives quantum round-robin far better than global history (which
+// interleaves all processes into one register) or the capacity-starved BTBs.
+func TestStormFavorsLocal(t *testing.T) {
+	local := acc(t, "ctx-storm", "local")
+	for _, s := range scoreSchemes {
+		if s != "local" && local < acc(t, "ctx-storm", s)+0.05 {
+			t.Errorf("local %.6f does not beat %s %.6f by 0.05", local, s, acc(t, "ctx-storm", s))
+		}
+	}
+}
+
+// TestStressCapacityCliff sweeps StressBenchmark across hot-site counts
+// straddling the paper's 256-entry BTB geometry and asserts the cbtb hit
+// rate is monotonically non-increasing in working-set size, with the
+// capacity cliff itself — in-capacity to past-capacity — worth over half
+// the hit rate.
+func TestStressCapacityCliff(t *testing.T) {
+	sweep := []int{64, 192, 256, 448, 1024}
+	hits := make([]float64, len(sweep))
+	for i, sites := range sweep {
+		b := workloads.StressBenchmark(fmt.Sprintf("cap-%d", sites), sites, 6000)
+		e, err := core.EvaluateBenchmark(b, core.Config{Schemes: []string{"cbtb", "sbtb"}})
+		if err != nil {
+			t.Fatalf("sites=%d: %v", sites, err)
+		}
+		st := e.Schemes["cbtb"].Stats
+		hits[i] = float64(st.Hits) / float64(st.Branches)
+		t.Logf("sites=%d cbtb hit rate %.4f", sites, hits[i])
+		if i > 0 && hits[i] > hits[i-1] {
+			t.Errorf("hit rate rose from %.4f (sites=%d) to %.4f (sites=%d)",
+				hits[i-1], sweep[i-1], hits[i], sweep[i])
+		}
+		// sbtb collapses past capacity too, just from a taken-gated baseline.
+		if ss := e.Schemes["sbtb"].Stats; sites >= 448 {
+			if r := float64(ss.Hits) / float64(ss.Branches); r > 0.3 {
+				t.Errorf("sites=%d: sbtb hit rate %.4f did not collapse", sites, r)
+			}
+		}
+	}
+	if cliff := hits[1] - hits[len(hits)-1]; cliff < 0.5 {
+		t.Errorf("capacity cliff %.4f below 0.5 (in-capacity %.4f, past %.4f)",
+			cliff, hits[1], hits[len(hits)-1])
+	}
+}
+
+// TestClassOracleVerify replays every modern class's full recorded trace
+// through the oracle's lockstep differential checker: zero divergences
+// between each scheme and its independently-implemented reference twin, on
+// workloads far outside the regime the predictors were first written for.
+func TestClassOracleVerify(t *testing.T) {
+	for _, b := range workloads.Modern() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := b.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := tracefile.Record(prog, b.Inputs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked := 0
+			for _, v := range oracle.VerifyTrace(tr, predict.ConfigSet{}) {
+				if v.Skipped != "" {
+					continue
+				}
+				checked++
+				if v.Div != nil {
+					t.Errorf("%s: %v", v.Scheme, v.Div)
+				}
+				if v.Err != nil {
+					t.Errorf("%s: %v", v.Scheme, v.Err)
+				}
+			}
+			if checked < 5 {
+				t.Fatalf("only %d schemes verified — oracle sweep lost coverage", checked)
+			}
+		})
+	}
+}

@@ -1,0 +1,218 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"branchcost/internal/compile"
+	"branchcost/internal/tracefile"
+	"branchcost/internal/vm"
+)
+
+// The whole experimental method rests on record-once/replay-many: a
+// benchmark's inputs, program bytes and recorded trace must be pure
+// functions of (benchmark, run). These tests regress that at every layer —
+// generator output, compiled program, serialized trace.
+
+// TestInputDeterminism re-derives every profiling input and demands
+// byte-identity. This is the seed contract: Input(run) may keep no state
+// between calls and may consult nothing but its seeded rng.
+func TestInputDeterminism(t *testing.T) {
+	for _, b := range Everything() {
+		for run := 0; run < b.Runs; run++ {
+			a, c := b.Input(run), b.Input(run)
+			if !bytes.Equal(a, c) {
+				t.Errorf("%s run %d: Input not deterministic (%d vs %d bytes)",
+					b.Name, run, len(a), len(c))
+			}
+		}
+	}
+}
+
+// TestGeneratorDeterminism pins the generator functions directly: the same
+// seed twice gives identical bytes, and neighbouring seeds give different
+// bytes (i.e. the seed actually reaches the output).
+func TestGeneratorDeterminism(t *testing.T) {
+	gens := []struct {
+		name string
+		gen  func(r *rng) []byte
+	}{
+		{"c-program", func(r *rng) []byte { return genCProgram(r, 300) }},
+		{"text-file", func(r *rng) []byte { return genTextFile(r, 200) }},
+		{"lisp-program", func(r *rng) []byte { return genLispProgram(r, 150) }},
+		{"awk-program", func(r *rng) []byte { return genAwkProgram(r, 100) }},
+		{"mutate", func(r *rng) []byte { return mutate(r, []byte("the quick brown fox jumps over the lazy dog\n"), 6) }},
+		{"bytecode", func(r *rng) []byte { return genBytecode(r) }},
+		{"stress-source", func(r *rng) []byte { return []byte(StressSource(r, 96)) }},
+		{"storm-source", func(r *rng) []byte { return []byte(StormSource(r, 5)) }},
+		{"stress-input", func(r *rng) []byte { return StressInput(r, 500) }},
+	}
+	for _, g := range gens {
+		t.Run(g.name, func(t *testing.T) {
+			first := g.gen(newRNG(g.name, 1))
+			again := g.gen(newRNG(g.name, 1))
+			if !bytes.Equal(first, again) {
+				t.Fatalf("same seed produced different bytes (%d vs %d)", len(first), len(again))
+			}
+			other := g.gen(newRNG(g.name, 2))
+			if bytes.Equal(first, other) {
+				t.Fatalf("different seeds produced identical bytes — seed not reaching output")
+			}
+		})
+	}
+}
+
+// TestProgramDeterminism compiles every benchmark's sources twice from
+// scratch (bypassing the Program() cache) and demands identical code —
+// generated sources (btb-stress, ctx-storm) included.
+func TestProgramDeterminism(t *testing.T) {
+	for _, b := range Everything() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			first, err := compile.CompileOpts(compile.Options{Inline: true}, b.Sources...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := compile.CompileOpts(compile.Options{Inline: true}, b.Sources...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first.Code, again.Code) {
+				t.Fatal("recompilation produced different code")
+			}
+		})
+	}
+}
+
+// TestTraceDeterminism records each modern class's run-0 trace twice and
+// compares the serialized BCT2 bytes — bit identity, not just equal scores.
+// The corpus is content-addressed, so any nondeterminism here would split
+// one benchmark across corpus keys and silently double storage.
+func TestTraceDeterminism(t *testing.T) {
+	for _, b := range Modern() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := b.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialize := func() []byte {
+				tr, err := tracefile.Record(prog, [][]byte{b.Input(0)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if _, err := tr.WriteTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			first, again := serialize(), serialize()
+			if !bytes.Equal(first, again) {
+				t.Fatalf("recorded traces differ: %d vs %d bytes", len(first), len(again))
+			}
+			if len(first) == 0 {
+				t.Fatal("empty trace")
+			}
+		})
+	}
+}
+
+// FuzzInterpBytecode drives the interp VM with arbitrary bytecode. The VM
+// is guarded by construction (indices masked, unknown opcodes are nops,
+// fuel bounds the dynamic count), so every byte string must run to a clean
+// halt within a fixed host-step budget — no trap, no runaway.
+func FuzzInterpBytecode(f *testing.F) {
+	for run := 0; run < 3; run++ {
+		f.Add(genBytecode(newRNG("interp", run)))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{bcJmp, 0, 0})                      // tight infinite loop: fuel must end it
+	f.Add(bytes.Repeat([]byte{bcPush, 255}, 2000))  // stack pressure: masking must absorb it
+	f.Add([]byte{bcJnz, 0xff, 0xff, bcJz, 0, 0xfe}) // out-of-range targets: masked
+
+	prog, err := Interp.Program()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) > 4000 {
+			code = code[:4000]
+		}
+		var in bytes.Buffer
+		fmt.Fprintf(&in, "%d\n", len(code))
+		in.Write(code)
+		in.WriteString("20000\n")
+		res, err := vm.Run(prog, in.Bytes(), nil, vm.Config{MaxSteps: 8_000_000})
+		if err != nil {
+			t.Fatalf("guarded interpreter trapped: %v", err)
+		}
+		if n := len(res.Output); n == 0 || res.Output[n-1] != '\n' {
+			t.Fatalf("interpreter did not reach its halt marker (output %q...)", res.Output[:min(n, 20)])
+		}
+	})
+}
+
+// FuzzStressProgram generates BTB-stress programs across the (seed, sites)
+// plane and asserts each compiles and runs to completion within a step
+// budget — the generator must never emit source the compiler rejects
+// (e.g. by exceeding the jump-table bound) or a program that wanders off.
+func FuzzStressProgram(f *testing.F) {
+	f.Add(uint64(1), 8)
+	f.Add(uint64(2), 96)
+	f.Add(uint64(3), 1024)
+	f.Add(uint64(4), 0)
+	f.Add(uint64(5), 1<<20) // silly-large: stressFuncs must clamp it
+	f.Fuzz(func(t *testing.T, seed uint64, sites int) {
+		if sites < 0 {
+			sites = -sites
+		}
+		src := StressSource(&rng{s: seed}, sites)
+		prog, err := compile.CompileOpts(compile.Options{Inline: true}, src)
+		if err != nil {
+			t.Fatalf("sites=%d: generated source does not compile: %v", sites, err)
+		}
+		res, err := vm.Run(prog, StressInput(&rng{s: seed ^ 0xabc}, 400), nil,
+			vm.Config{MaxSteps: 40_000_000})
+		if err != nil {
+			t.Fatalf("sites=%d: %v", sites, err)
+		}
+		if len(res.Output) == 0 {
+			t.Fatalf("sites=%d: no output", sites)
+		}
+	})
+}
+
+// FuzzStormProgram does the same across the (seed, procs) plane for the
+// context-switch storm generator.
+func FuzzStormProgram(f *testing.F) {
+	f.Add(uint64(1), 2)
+	f.Add(uint64(2), 8)
+	f.Add(uint64(3), 64)
+	f.Add(uint64(4), -5) // below range: StormSource must clamp
+	f.Add(uint64(5), 999)
+	f.Fuzz(func(t *testing.T, seed uint64, procs int) {
+		src := StormSource(&rng{s: seed}, procs)
+		prog, err := compile.CompileOpts(compile.Options{Inline: true}, src)
+		if err != nil {
+			t.Fatalf("procs=%d: generated source does not compile: %v", procs, err)
+		}
+		var in bytes.Buffer
+		in.WriteString("24\n16\n")
+		r := &rng{s: seed ^ 0x5a5a}
+		for i := 0; i < 2048; i++ {
+			in.WriteByte(byte(r.intn(256)))
+		}
+		res, err := vm.Run(prog, in.Bytes(), nil, vm.Config{MaxSteps: 40_000_000})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if len(res.Output) == 0 {
+			t.Fatalf("procs=%d: no output", procs)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"branchcost/internal/profile"
+	"branchcost/internal/vm"
+	"branchcost/internal/workloads"
+)
+
+// TestFingerprintDeclared pins the suite-wide invariant that every
+// registered benchmark — the paper's twelve and the modern classes — carries
+// a declared fingerprint contract the conformance gate can check.
+func TestFingerprintDeclared(t *testing.T) {
+	for _, b := range workloads.Everything() {
+		if b.Fingerprint == nil {
+			t.Errorf("%s: no declared fingerprint", b.Name)
+			continue
+		}
+		tol := b.FingerprintTol
+		if tol.TakenRatio <= 0 || tol.IndirectShare <= 0 || tol.SitesFrac <= 0 {
+			t.Errorf("%s: tolerance %+v leaves a band disabled", b.Name, tol)
+		}
+	}
+}
+
+// profileRun executes one profiling run and returns its profile.
+func profileRun(t *testing.T, b *workloads.Benchmark, run int) *profile.Profile {
+	t.Helper()
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	p := profile.New()
+	col := &profile.Collector{P: p}
+	if _, err := vm.Run(prog, b.Input(run), col.Hook(), vm.Config{}); err != nil {
+		t.Fatalf("%s run %d: %v", b.Name, run, err)
+	}
+	return p
+}
+
+// TestFingerprintContracts measures every benchmark against its declared
+// contract:
+//
+//   - the aggregate fingerprint over all profiling runs must land within the
+//     declared tolerance (this is the fingerprint the corpus .prof stores);
+//   - the aggregate over only the first three runs must too, so the contract
+//     does not depend on one late run carrying the average;
+//   - modern classes additionally hold per run — their generators are
+//     seed-stable by construction, unlike the legacy suite's deliberately
+//     multimodal input mixes (cmp's identical-file runs, grep's no-match
+//     patterns).
+func TestFingerprintContracts(t *testing.T) {
+	for _, b := range workloads.Everything() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			if b.Fingerprint == nil {
+				t.Fatal("no declared fingerprint")
+			}
+			want, tol := *b.Fingerprint, b.FingerprintTol
+			agg, prefix := profile.New(), profile.New()
+			for run := 0; run < b.Runs; run++ {
+				p := profileRun(t, b, run)
+				if b.Class != "" {
+					if err := p.Fingerprint().Within(want, tol); err != nil {
+						t.Errorf("run %d: %v", run, err)
+					}
+				}
+				agg.Merge(p)
+				if run < 3 {
+					prefix.Merge(p)
+				}
+			}
+			if err := agg.Fingerprint().Within(want, tol); err != nil {
+				t.Errorf("aggregate over %d runs: %v", b.Runs, err)
+			}
+			if err := prefix.Fingerprint().Within(want, tol); err != nil {
+				t.Errorf("aggregate over first runs: %v", err)
+			}
+		})
+	}
+}
+
+// TestScanPairSameFingerprint pins the scan class's defining property: the
+// sorted and unsorted variants process the same values, so their aggregate
+// fingerprints are identical — data order is the only thing that differs,
+// and any per-scheme score gap between the two is pure history-predictability.
+func TestScanPairSameFingerprint(t *testing.T) {
+	sorted, err := workloads.ByName("scan-sorted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsorted, err := workloads.ByName("scan-unsorted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.Runs != unsorted.Runs {
+		t.Fatalf("run counts differ: %d vs %d", sorted.Runs, unsorted.Runs)
+	}
+	for run := 0; run < sorted.Runs; run++ {
+		fs := profileRun(t, sorted, run).Fingerprint()
+		fu := profileRun(t, unsorted, run).Fingerprint()
+		if fs.Branches != fu.Branches || fs.Sites != fu.Sites ||
+			fs.TakenRatio != fu.TakenRatio || fs.CondTakenRatio != fu.CondTakenRatio ||
+			fs.IndirectShare != fu.IndirectShare {
+			t.Errorf("run %d: fingerprints diverge:\n  sorted   %s\n  unsorted %s",
+				run, fs.String(), fu.String())
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"branchcost/internal/compile"
 	"branchcost/internal/isa"
 	"branchcost/internal/opt"
+	"branchcost/internal/profile"
 )
 
 // Benchmark is one member of the suite.
@@ -30,6 +31,20 @@ type Benchmark struct {
 	Runs        int // number of profiling inputs (paper's "Runs" column)
 	Input       func(run int) []byte
 	Table5Only  bool // eqn/espresso: appear only in the code-size table
+
+	// Class names the modern/adversarial workload class the benchmark
+	// belongs to ("dispatch", "scan", "vcall", "btbstress", "ctxstorm").
+	// Empty means the paper's 1989 suite. Class members are first-class
+	// registry citizens — ByName, the corpus, the suite scheduler and the
+	// evaluation daemon all resolve them — but they stay out of All(), so
+	// the paper's tables keep reproducing the paper.
+	Class string
+
+	// Fingerprint, when non-nil, is the class's declared branch-behaviour
+	// contract: every profiling run's measured fingerprint must land within
+	// FingerprintTol of it (asserted by the workloads-check gate).
+	Fingerprint    *profile.Fingerprint
+	FingerprintTol profile.Tolerance
 
 	once sync.Once
 	raw  *isa.Program
@@ -95,11 +110,16 @@ func ByName(name string) (*Benchmark, error) {
 	return b, nil
 }
 
-// All returns every benchmark, primary suite first (in the paper's table
-// order), then the Table-5-only ones.
+// All returns every benchmark of the paper's suite, primary suite first (in
+// the paper's table order), then the Table-5-only ones. Modern workload
+// classes are excluded — the paper's tables reproduce the paper; use
+// Modern() or Everything() to reach the adversarial classes.
 func All() []*Benchmark {
 	var prim, extra []*Benchmark
 	for _, b := range registry {
+		if b.Class != "" {
+			continue
+		}
 		if b.Table5Only {
 			extra = append(extra, b)
 		} else {
@@ -112,6 +132,31 @@ func All() []*Benchmark {
 	order(prim)
 	order(extra)
 	return append(prim, extra...)
+}
+
+// Modern returns the adversarial/modern workload-class benchmarks, sorted by
+// class then name.
+func Modern() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range registry {
+		if b.Class != "" {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Everything returns the full registry: the paper's twelve followed by the
+// modern classes. This is what the corpus warm-up, the suite's Warm and the
+// daemon's readiness check cover.
+func Everything() []*Benchmark {
+	return append(All(), Modern()...)
 }
 
 // Primary returns the ten benchmarks of Tables 1–4.
